@@ -1,0 +1,311 @@
+//! The CLFLUSH-based rowhammer attacks (paper Section 2.1, Figure 1a).
+
+use crate::env::{Attack, AttackEnv, AttackOp};
+use crate::error::AttackError;
+use crate::rowfind::find_aggressor_pairs;
+use anvil_dram::DramLocation;
+use anvil_mem::AccessKind;
+
+const MB: u64 = 1 << 20;
+
+#[derive(Debug)]
+struct Prepared {
+    /// One iteration of the hammer loop.
+    ops: Vec<AttackOp>,
+    cursor: usize,
+    aggressors: Vec<u64>,
+    victims: Vec<u64>,
+}
+
+impl Prepared {
+    fn next(&mut self) -> AttackOp {
+        let op = self.ops[self.cursor];
+        self.cursor = (self.cursor + 1) % self.ops.len();
+        op
+    }
+}
+
+/// Double-sided CLFLUSH hammering: alternately access the two rows
+/// adjacent to the victim, flushing each line after use so every access
+/// re-activates its row (the paper's fastest attack: 220K accesses /
+/// 15 ms to the first flip, Table 1).
+#[derive(Debug)]
+pub struct DoubleSidedClflush {
+    arena_bytes: u64,
+    pair_index: usize,
+    prepared: Option<Prepared>,
+}
+
+impl DoubleSidedClflush {
+    /// Creates the attack with the default 8 MB arena.
+    pub fn new() -> Self {
+        DoubleSidedClflush {
+            arena_bytes: 8 * MB,
+            pair_index: 0,
+            prepared: None,
+        }
+    }
+
+    /// Selects which discovered aggressor pair to hammer (attackers scan
+    /// pairs until they find a flippable victim; experiment harnesses use
+    /// this to iterate candidates).
+    pub fn with_pair_index(mut self, index: usize) -> Self {
+        self.pair_index = index;
+        self
+    }
+
+    /// Overrides the arena size.
+    pub fn with_arena_bytes(mut self, bytes: u64) -> Self {
+        self.arena_bytes = bytes;
+        self
+    }
+}
+
+impl Default for DoubleSidedClflush {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for DoubleSidedClflush {
+    fn name(&self) -> &str {
+        "double-sided-clflush"
+    }
+
+    fn prepare(&mut self, env: &mut AttackEnv<'_>) -> Result<(), AttackError> {
+        let va = env.process.mmap(self.arena_bytes, env.frames)?;
+        let mapping = *env.sys.dram().mapping();
+        let pairs = find_aggressor_pairs(
+            env.process,
+            env.pagemap,
+            &mapping,
+            va,
+            self.arena_bytes,
+            self.pair_index + 1,
+        )?;
+        let pair = *pairs.get(self.pair_index).ok_or(AttackError::NoAggressorPair)?;
+        let victim_pa = mapping.address_of(DramLocation {
+            bank: pair.victim.bank,
+            row: pair.victim.row,
+            col: 0,
+        });
+        self.prepared = Some(Prepared {
+            ops: vec![
+                AttackOp::Access { vaddr: pair.below_va, kind: AccessKind::Read },
+                AttackOp::Clflush { vaddr: pair.below_va },
+                AttackOp::Access { vaddr: pair.above_va, kind: AccessKind::Read },
+                AttackOp::Clflush { vaddr: pair.above_va },
+            ],
+            cursor: 0,
+            aggressors: vec![pair.below_pa, pair.above_pa],
+            victims: vec![victim_pa],
+        });
+        Ok(())
+    }
+
+    fn next_op(&mut self) -> AttackOp {
+        self.prepared.as_mut().expect("prepare the attack first").next()
+    }
+
+    fn aggressor_paddrs(&self) -> Vec<u64> {
+        self.prepared.as_ref().map_or(Vec::new(), |p| p.aggressors.clone())
+    }
+
+    fn victim_paddrs(&self) -> Vec<u64> {
+        self.prepared.as_ref().map_or(Vec::new(), |p| p.victims.clone())
+    }
+}
+
+/// Single-sided CLFLUSH hammering: hammer one aggressor, plus a same-bank
+/// conflict address to keep closing the aggressor's row (the original
+/// attack shape; 400K accesses / 58 ms to the first flip, Table 1).
+#[derive(Debug)]
+pub struct SingleSidedClflush {
+    arena_bytes: u64,
+    pair_index: usize,
+    prepared: Option<Prepared>,
+}
+
+impl SingleSidedClflush {
+    /// Creates the attack with the default 8 MB arena.
+    pub fn new() -> Self {
+        SingleSidedClflush {
+            arena_bytes: 8 * MB,
+            pair_index: 0,
+            prepared: None,
+        }
+    }
+
+    /// Selects which discovered aggressor to hammer (see
+    /// [`DoubleSidedClflush::with_pair_index`]).
+    pub fn with_pair_index(mut self, index: usize) -> Self {
+        self.pair_index = index;
+        self
+    }
+
+    /// Overrides the arena size.
+    pub fn with_arena_bytes(mut self, bytes: u64) -> Self {
+        self.arena_bytes = bytes;
+        self
+    }
+}
+
+impl Default for SingleSidedClflush {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for SingleSidedClflush {
+    fn name(&self) -> &str {
+        "single-sided-clflush"
+    }
+
+    fn prepare(&mut self, env: &mut AttackEnv<'_>) -> Result<(), AttackError> {
+        let va = env.process.mmap(self.arena_bytes, env.frames)?;
+        let mapping = *env.sys.dram().mapping();
+        let pairs = crate::rowfind::find_same_bank_pairs(
+            env.process,
+            env.pagemap,
+            &mapping,
+            va,
+            self.arena_bytes,
+            4, // keep the conflict row well away from the victims
+            self.pair_index + 1,
+        )?;
+        let pair = *pairs.get(self.pair_index).ok_or(AttackError::NoAggressorPair)?;
+        // Victims: the rows adjacent to the aggressor.
+        let victims = [-1i64, 1]
+            .iter()
+            .filter_map(|&d| mapping.same_bank_row_offset(pair.aggressor_pa, d))
+            .collect();
+        self.prepared = Some(Prepared {
+            ops: vec![
+                AttackOp::Access { vaddr: pair.aggressor_va, kind: AccessKind::Read },
+                AttackOp::Clflush { vaddr: pair.aggressor_va },
+                AttackOp::Access { vaddr: pair.conflict_va, kind: AccessKind::Read },
+                AttackOp::Clflush { vaddr: pair.conflict_va },
+            ],
+            cursor: 0,
+            aggressors: vec![pair.aggressor_pa],
+            victims,
+        });
+        Ok(())
+    }
+
+    fn next_op(&mut self) -> AttackOp {
+        self.prepared.as_mut().expect("prepare the attack first").next()
+    }
+
+    fn aggressor_paddrs(&self) -> Vec<u64> {
+        self.prepared.as_ref().map_or(Vec::new(), |p| p.aggressors.clone())
+    }
+
+    fn victim_paddrs(&self) -> Vec<u64> {
+        self.prepared.as_ref().map_or(Vec::new(), |p| p.victims.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_mem::{AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy, Process};
+
+    fn env(sys: &mut MemorySystem) -> (Process, FrameAllocator) {
+        let frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        (Process::new(100, "attacker"), frames)
+    }
+
+    #[test]
+    fn double_sided_prepares_a_sandwich() {
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let (mut process, mut frames) = env(&mut sys);
+        let mut attack = DoubleSidedClflush::new();
+        attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Open,
+            })
+            .unwrap();
+        let aggs = attack.aggressor_paddrs();
+        let victims = attack.victim_paddrs();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(victims.len(), 1);
+        let map = sys.dram().mapping();
+        let a = map.location_of(aggs[0]);
+        let b = map.location_of(aggs[1]);
+        let v = map.location_of(victims[0]);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.bank, v.bank);
+        assert_eq!(v.row, a.row + 1);
+        assert_eq!(b.row, v.row + 1);
+    }
+
+    #[test]
+    fn iteration_is_access_flush_access_flush() {
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let (mut process, mut frames) = env(&mut sys);
+        let mut attack = DoubleSidedClflush::new();
+        attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Open,
+            })
+            .unwrap();
+        let ops: Vec<AttackOp> = (0..8).map(|_| attack.next_op()).collect();
+        assert!(matches!(ops[0], AttackOp::Access { .. }));
+        assert!(matches!(ops[1], AttackOp::Clflush { .. }));
+        assert!(matches!(ops[2], AttackOp::Access { .. }));
+        assert!(matches!(ops[3], AttackOp::Clflush { .. }));
+        assert_eq!(ops[0], ops[4], "loop repeats");
+    }
+
+    #[test]
+    fn restricted_pagemap_stops_preparation() {
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let (mut process, mut frames) = env(&mut sys);
+        let mut attack = DoubleSidedClflush::new();
+        let err = attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Restricted,
+            })
+            .unwrap_err();
+        assert_eq!(err, AttackError::PagemapDenied);
+    }
+
+    #[test]
+    fn single_sided_victims_flank_the_aggressor() {
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let (mut process, mut frames) = env(&mut sys);
+        let mut attack = SingleSidedClflush::new();
+        attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Open,
+            })
+            .unwrap();
+        let agg = attack.aggressor_paddrs()[0];
+        let map = sys.dram().mapping();
+        let a = map.location_of(agg);
+        for v in attack.victim_paddrs() {
+            let loc = map.location_of(v);
+            assert_eq!(loc.bank, a.bank);
+            assert_eq!(loc.row.abs_diff(a.row), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prepare the attack first")]
+    fn next_op_before_prepare_panics() {
+        DoubleSidedClflush::new().next_op();
+    }
+}

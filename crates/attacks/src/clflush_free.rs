@@ -1,0 +1,269 @@
+//! The CLFLUSH-free double-sided rowhammer attack (paper Section 2.2,
+//! Figure 1b) — the paper's headline offensive contribution.
+//!
+//! Instead of flushing the aggressor lines, the attack evicts them from
+//! the inclusive last-level cache by touching an eviction set in an order
+//! tuned to the (reverse-engineered) Bit-PLRU replacement policy, so that
+//! each iteration misses only on the aggressor and one conflict address.
+//! Any program restricted to plain loads and stores can therefore hammer.
+
+use crate::env::{Attack, AttackEnv, AttackOp};
+use crate::error::AttackError;
+use crate::eviction::build_eviction_set;
+use crate::pattern::{discover_pattern, HammerPattern};
+use crate::rowfind::find_aggressor_pairs;
+use anvil_dram::DramLocation;
+use anvil_mem::AccessKind;
+
+const MB: u64 = 1 << 20;
+
+#[derive(Debug)]
+struct Prepared {
+    ops: Vec<AttackOp>,
+    cursor: usize,
+    aggressors: Vec<u64>,
+    victims: Vec<u64>,
+    patterns: (HammerPattern, HammerPattern),
+}
+
+/// The CLFLUSH-free double-sided attack.
+#[derive(Debug)]
+pub struct ClflushFreeDoubleSided {
+    arena_bytes: u64,
+    pair_index: usize,
+    prepared: Option<Prepared>,
+}
+
+impl ClflushFreeDoubleSided {
+    /// Creates the attack with the default 24 MB arena (large enough to
+    /// find aggressor pairs *and* build two 12-way eviction sets).
+    pub fn new() -> Self {
+        ClflushFreeDoubleSided {
+            arena_bytes: 24 * MB,
+            pair_index: 0,
+            prepared: None,
+        }
+    }
+
+    /// Selects which discovered aggressor pair to hammer.
+    pub fn with_pair_index(mut self, index: usize) -> Self {
+        self.pair_index = index;
+        self
+    }
+
+    /// Overrides the arena size.
+    pub fn with_arena_bytes(mut self, bytes: u64) -> Self {
+        self.arena_bytes = bytes;
+        self
+    }
+
+    /// The discovered eviction patterns (after `prepare`): one per
+    /// aggressor. Used by the experiment harness to report the pattern's
+    /// cost, mirroring the paper's 880-cycle estimate.
+    pub fn patterns(&self) -> Option<(&HammerPattern, &HammerPattern)> {
+        self.prepared.as_ref().map(|p| (&p.patterns.0, &p.patterns.1))
+    }
+}
+
+impl Default for ClflushFreeDoubleSided {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for ClflushFreeDoubleSided {
+    fn name(&self) -> &str {
+        "clflush-free-double-sided"
+    }
+
+    fn prepare(&mut self, env: &mut AttackEnv<'_>) -> Result<(), AttackError> {
+        let va = env.process.mmap(self.arena_bytes, env.frames)?;
+        let mapping = *env.sys.dram().mapping();
+        let pairs = find_aggressor_pairs(
+            env.process,
+            env.pagemap,
+            &mapping,
+            va,
+            self.arena_bytes,
+            self.pair_index + 1,
+        )?;
+        let pair = *pairs.get(self.pair_index).ok_or(AttackError::NoAggressorPair)?;
+
+        // Build one eviction set per aggressor and tune the access order
+        // against a private simulation of the hierarchy.
+        let hierarchy_config = *env.sys.hierarchy().config();
+        let core = env.sys.config().core;
+        let mut patterns = Vec::new();
+        for target_va in [pair.below_va, pair.above_va] {
+            let set = build_eviction_set(
+                env.process,
+                env.pagemap,
+                env.sys.hierarchy(),
+                va,
+                self.arena_bytes,
+                target_va,
+            )?;
+            let target_pa = env.process.pagemap(target_va, env.pagemap)?.expect("mapped");
+            let conflicts: Vec<(u64, u64)> = set
+                .conflict_vas
+                .iter()
+                .map(|&c| {
+                    let pa = env
+                        .process
+                        .pagemap(c, env.pagemap)
+                        .expect("policy already checked")
+                        .expect("mapped");
+                    (c, pa)
+                })
+                .collect();
+            patterns.push(discover_pattern(
+                &hierarchy_config,
+                &core,
+                (target_va, target_pa),
+                &conflicts,
+            ));
+        }
+        let below_pattern = patterns.remove(0);
+        let above_pattern = patterns.remove(0);
+
+        // One iteration interleaves the two per-set patterns, hammering
+        // each aggressor exactly once (Figure 1b).
+        let mut ops = Vec::new();
+        for p in [&below_pattern, &above_pattern] {
+            ops.extend(p.sequence.iter().map(|&vaddr| AttackOp::Access {
+                vaddr,
+                kind: AccessKind::Read,
+            }));
+        }
+
+        let victim_pa = mapping.address_of(DramLocation {
+            bank: pair.victim.bank,
+            row: pair.victim.row,
+            col: 0,
+        });
+        self.prepared = Some(Prepared {
+            ops,
+            cursor: 0,
+            aggressors: vec![pair.below_pa, pair.above_pa],
+            victims: vec![victim_pa],
+            patterns: (below_pattern, above_pattern),
+        });
+        Ok(())
+    }
+
+    fn next_op(&mut self) -> AttackOp {
+        let p = self.prepared.as_mut().expect("prepare the attack first");
+        let op = p.ops[p.cursor];
+        p.cursor = (p.cursor + 1) % p.ops.len();
+        op
+    }
+
+    fn aggressor_paddrs(&self) -> Vec<u64> {
+        self.prepared.as_ref().map_or(Vec::new(), |p| p.aggressors.clone())
+    }
+
+    fn victim_paddrs(&self) -> Vec<u64> {
+        self.prepared.as_ref().map_or(Vec::new(), |p| p.victims.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_mem::{
+        AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy, Process,
+    };
+
+    fn prepared_attack() -> (MemorySystem, Process, ClflushFreeDoubleSided) {
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let mut frames =
+            FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        let mut process = Process::new(100, "attacker");
+        let mut attack = ClflushFreeDoubleSided::new();
+        attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Open,
+            })
+            .unwrap();
+        (sys, process, attack)
+    }
+
+    #[test]
+    fn prepare_builds_two_patterns_with_no_clflush() {
+        let (_sys, _p, attack) = prepared_attack();
+        let (a, b) = attack.patterns().unwrap();
+        assert!(a.aggressor_miss_rate >= 0.95);
+        assert!(b.aggressor_miss_rate >= 0.95);
+        // The whole op stream must be loads only — that is the point.
+        let mut atk = attack;
+        for _ in 0..200 {
+            match atk.next_op() {
+                AttackOp::Access { kind, .. } => assert_eq!(kind, AccessKind::Read),
+                other => panic!("CLFLUSH-free attack emitted {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_misses_reach_both_aggressor_rows() {
+        let (mut sys, process, mut attack) = prepared_attack();
+        let map = *sys.dram().mapping();
+        let agg_rows: Vec<_> = attack
+            .aggressor_paddrs()
+            .iter()
+            .map(|&pa| map.location_of(pa).row_id())
+            .collect();
+        // Run a few hundred iterations; both aggressor rows must be
+        // activated repeatedly (i.e. the pattern defeats the cache).
+        let mut hits = [0u64; 2];
+        for _ in 0..500 * 44 {
+            let op = attack.next_op();
+            if let Some(outcome) = crate::env::exec_op(op, &process, &mut sys) {
+                if let Some(loc) = outcome.dram {
+                    if let Some(i) = agg_rows.iter().position(|&r| r == loc.row_id()) {
+                        hits[i] += 1;
+                    }
+                }
+            }
+        }
+        assert!(hits[0] > 300, "below-aggressor activations: {hits:?}");
+        assert!(hits[1] > 300, "above-aggressor activations: {hits:?}");
+    }
+
+    #[test]
+    fn iteration_cost_is_in_the_papers_ballpark() {
+        // Section 2.2 estimates ~880 cycles for one per-set pattern
+        // (latency-weighted). Our discovered pattern should be within a
+        // small factor per set.
+        let (_sys, _p, attack) = prepared_attack();
+        let (a, b) = attack.patterns().unwrap();
+        for p in [a, b] {
+            assert!(
+                (300.0..2000.0).contains(&p.est_cycles_per_iteration),
+                "per-set iteration estimate {} out of range",
+                p.est_cycles_per_iteration
+            );
+        }
+    }
+
+    #[test]
+    fn needs_pagemap() {
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let mut frames =
+            FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        let mut process = Process::new(100, "attacker");
+        let mut attack = ClflushFreeDoubleSided::new();
+        let err = attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Restricted,
+            })
+            .unwrap_err();
+        assert_eq!(err, AttackError::PagemapDenied);
+    }
+}

@@ -1,0 +1,106 @@
+//! The attack's view of the machine, and the operation vocabulary shared
+//! with the platform runner.
+
+use anvil_mem::{AccessKind, AccessOutcome, FrameAllocator, MemorySystem, PagemapPolicy, Process};
+
+/// Everything an unprivileged attacker program can touch: its own process,
+/// the machine's memory system, and (policy permitting) the pagemap
+/// interface.
+#[derive(Debug)]
+pub struct AttackEnv<'a> {
+    /// The machine.
+    pub sys: &'a mut MemorySystem,
+    /// The attacker's process.
+    pub process: &'a mut Process,
+    /// The kernel's frame allocator (used indirectly through `mmap`).
+    pub frames: &'a mut FrameAllocator,
+    /// Whether `/proc/pagemap` is readable from user space.
+    pub pagemap: PagemapPolicy,
+}
+
+/// One step of an attack program. Unlike plain workloads, attacks may
+/// issue CLFLUSH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackOp {
+    /// A load or store to a virtual address.
+    Access {
+        /// Virtual address in the attacker's address space.
+        vaddr: u64,
+        /// Load or store.
+        kind: AccessKind,
+    },
+    /// CLFLUSH of the line containing a virtual address.
+    Clflush {
+        /// Virtual address in the attacker's address space.
+        vaddr: u64,
+    },
+    /// Pure compute (loop overhead).
+    Compute {
+        /// Cycles of non-memory work.
+        cycles: u64,
+    },
+}
+
+/// Executes one [`AttackOp`] directly against the memory system (used by
+/// the standalone runner; the platform in `anvil-core` has its own
+/// instrumented execution path).
+///
+/// Returns the access outcome for `Access` ops, `None` otherwise.
+///
+/// # Panics
+///
+/// Panics if an `Access`/`Clflush` virtual address is unmapped — attack
+/// programs only emit addresses they mapped in `prepare`.
+pub fn exec_op(op: AttackOp, process: &Process, sys: &mut MemorySystem) -> Option<AccessOutcome> {
+    match op {
+        AttackOp::Access { vaddr, kind } => {
+            let paddr = process
+                .translate(vaddr)
+                .unwrap_or_else(|| panic!("attack accessed unmapped va {vaddr:#x}"));
+            Some(sys.access(paddr, kind))
+        }
+        AttackOp::Clflush { vaddr } => {
+            let paddr = process
+                .translate(vaddr)
+                .unwrap_or_else(|| panic!("attack flushed unmapped va {vaddr:#x}"));
+            sys.clflush(paddr);
+            None
+        }
+        AttackOp::Compute { cycles } => {
+            sys.advance(cycles);
+            None
+        }
+    }
+}
+
+/// An attack program: set up in `prepare`, then an endless hammer loop.
+pub trait Attack: std::fmt::Debug {
+    /// Attack name as used in the paper's tables (e.g.
+    /// `"double-sided-clflush"`).
+    fn name(&self) -> &str;
+
+    /// Maps memory, locates aggressor/victim rows, builds eviction sets.
+    /// Must be called once before [`next_op`](Self::next_op).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AttackError`](crate::AttackError) when the environment
+    /// denies a required capability (pagemap, memory) or the arena lacks
+    /// usable aggressor rows.
+    fn prepare(&mut self, env: &mut AttackEnv<'_>) -> Result<(), crate::AttackError>;
+
+    /// The next step of the hammer loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`prepare`](Self::prepare).
+    fn next_op(&mut self) -> AttackOp;
+
+    /// Physical addresses of the aggressor rows being hammered (one
+    /// representative address per row). Empty before `prepare`.
+    fn aggressor_paddrs(&self) -> Vec<u64>;
+
+    /// Physical addresses of the victim rows (one representative address
+    /// per row). Empty before `prepare`.
+    fn victim_paddrs(&self) -> Vec<u64>;
+}

@@ -1,0 +1,76 @@
+//! Attack errors.
+
+use anvil_mem::{OutOfMemory, PagemapDenied};
+
+/// Why an attack could not be prepared or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// The pagemap interface is restricted (the Linux hardening), so the
+    /// attack cannot translate its addresses.
+    PagemapDenied,
+    /// Physical memory exhausted while mapping the attack arena.
+    OutOfMemory,
+    /// No pair of same-bank aggressor rows with a victim row between them
+    /// was found in the mapped arena.
+    NoAggressorPair,
+    /// Not enough same-slice/same-set conflict addresses to build an
+    /// eviction set of the required size.
+    EvictionSetTooSmall {
+        /// Conflicts found.
+        found: usize,
+        /// Conflicts required (LLC associativity).
+        needed: usize,
+    },
+    /// The attack was asked to run before a successful `prepare`.
+    NotPrepared,
+}
+
+impl std::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackError::PagemapDenied => f.write_str("pagemap interface is restricted"),
+            AttackError::OutOfMemory => f.write_str("out of physical memory"),
+            AttackError::NoAggressorPair => {
+                f.write_str("no same-bank aggressor row pair found in the arena")
+            }
+            AttackError::EvictionSetTooSmall { found, needed } => write!(
+                f,
+                "eviction set too small: found {found} conflicts, need {needed}"
+            ),
+            AttackError::NotPrepared => f.write_str("attack has not been prepared"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<PagemapDenied> for AttackError {
+    fn from(_: PagemapDenied) -> Self {
+        AttackError::PagemapDenied
+    }
+}
+
+impl From<OutOfMemory> for AttackError {
+    fn from(_: OutOfMemory) -> Self {
+        AttackError::OutOfMemory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AttackError::PagemapDenied.to_string().contains("pagemap"));
+        let e = AttackError::EvictionSetTooSmall { found: 5, needed: 12 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(AttackError::from(PagemapDenied), AttackError::PagemapDenied);
+        assert_eq!(AttackError::from(OutOfMemory), AttackError::OutOfMemory);
+    }
+}

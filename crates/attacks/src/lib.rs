@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # anvil-attacks
+//!
+//! The rowhammer attacks from the ANVIL paper (ASPLOS 2016), implemented
+//! against the simulated Sandy Bridge platform:
+//!
+//! * [`SingleSidedClflush`] and [`DoubleSidedClflush`] — the classic
+//!   CLFLUSH-based attacks (Section 2.1, Figure 1a), including the
+//!   demonstration that they beat the vendors' doubled refresh rate.
+//! * [`ClflushFreeDoubleSided`] — the paper's first-of-its-kind
+//!   CLFLUSH-free attack (Section 2.2, Figure 1b): pagemap-driven
+//!   eviction-set construction plus a Bit-PLRU-tuned access order that
+//!   misses only on the aggressor and one conflict per iteration.
+//!
+//! Attacks implement the [`Attack`] trait: `prepare` maps memory and
+//! locates aggressor/victim rows, `next_op` yields the endless hammer
+//! loop. Run them standalone with [`StandaloneHarness`] +
+//! [`hammer_until_flip`], or under the ANVIL detector via the platform in
+//! `anvil-core`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use anvil_attacks::{DoubleSidedClflush, StandaloneHarness, hammer_until_flip, Attack};
+//! use anvil_mem::{AllocationPolicy, MemoryConfig};
+//!
+//! let mut harness = StandaloneHarness::new(
+//!     MemoryConfig::paper_platform(),
+//!     AllocationPolicy::Contiguous,
+//! );
+//! let mut attack = DoubleSidedClflush::new();
+//! harness.prepare(&mut attack)?;
+//! let result = hammer_until_flip(&mut attack, &mut harness, 250_000);
+//! println!("flipped: {} after {} aggressor accesses", result.flipped, result.aggressor_accesses);
+//! # Ok::<(), anvil_attacks::AttackError>(())
+//! ```
+
+mod clflush;
+mod clflush_free;
+mod env;
+mod error;
+mod eviction;
+mod pattern;
+mod rowfind;
+mod runner;
+mod timing;
+mod timing_attack;
+
+pub use clflush::{DoubleSidedClflush, SingleSidedClflush};
+pub use clflush_free::ClflushFreeDoubleSided;
+pub use env::{exec_op, Attack, AttackEnv, AttackOp};
+pub use error::AttackError;
+pub use eviction::{build_eviction_set, EvictionSet};
+pub use pattern::{discover_pattern, HammerPattern, PatternTemplate};
+pub use rowfind::{find_aggressor_pairs, find_same_bank_pair, find_same_bank_pairs, AggressorPair, SameBankPair};
+pub use runner::{
+    hammer_for_ops, hammer_until_flip, measure_hammer_rate, probe_op, uses_clflush,
+    HammerResult, StandaloneHarness,
+};
+pub use timing::{build_eviction_set_by_timing, same_bank_by_timing, MISS_LATENCY_THRESHOLD};
+pub use timing_attack::TimingClflushFree;

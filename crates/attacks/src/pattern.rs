@@ -1,0 +1,275 @@
+//! Efficient eviction-pattern discovery (paper Section 2.2).
+//!
+//! "A time efficient memory access pattern misses the last-level cache
+//! only on the aggressor address and one additional conflicting address,
+//! and hits on the rest of addresses in the eviction set. This works by
+//! always driving the aggressor address to the least recently used
+//! position in the replacement state."
+//!
+//! The authors found their pattern by trial against replacement-policy
+//! simulators; [`discover_pattern`] does the same mechanically: it scores a
+//! family of candidate orderings on a private simulation of the target
+//! hierarchy and returns the fastest ordering that still misses on the
+//! aggressor every iteration.
+
+use anvil_cache::{CacheHierarchy, HierarchyConfig};
+use anvil_mem::CoreModel;
+use serde::{Deserialize, Serialize};
+
+/// A candidate ordering of the eviction set within one loop iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternTemplate {
+    /// The paper's Figure 1(b) shape:
+    /// `A, X1..X{w-2}, X{w-1}, X1..X{w-3}, X{w}`.
+    Paper,
+    /// Naive cyclic thrash over all `w + 1` addresses.
+    Cyclic,
+    /// Paper shape with the inner runs shortened by `k` (touches fewer
+    /// conflicts per iteration; may or may not still evict, depending on
+    /// the policy).
+    Shortened {
+        /// How many conflicts to drop from each inner run.
+        k: usize,
+    },
+}
+
+impl PatternTemplate {
+    /// All candidates tried by discovery.
+    pub fn candidates() -> Vec<PatternTemplate> {
+        let mut v = vec![PatternTemplate::Paper, PatternTemplate::Cyclic];
+        for k in 1..=3 {
+            v.push(PatternTemplate::Shortened { k });
+        }
+        v
+    }
+
+    /// Expands the template into a sequence of indices, where index 0 is
+    /// the aggressor and index `i >= 1` is `conflicts[i - 1]`. `w` is the
+    /// number of conflicts (the LLC associativity).
+    pub fn expand(&self, w: usize) -> Vec<usize> {
+        match *self {
+            PatternTemplate::Paper => {
+                let mut seq = vec![0];
+                seq.extend(1..=w - 2);
+                seq.push(w - 1);
+                seq.extend(1..=w - 3);
+                seq.push(w);
+                seq
+            }
+            PatternTemplate::Cyclic => (0..=w).collect(),
+            PatternTemplate::Shortened { k } => {
+                let k = k.min(w - 4);
+                let mut seq = vec![0];
+                seq.extend(1..=w - 2 - k);
+                seq.push(w - 1);
+                seq.extend(1..=w - 3 - k);
+                seq.push(w);
+                seq
+            }
+        }
+    }
+}
+
+/// A scored hammer pattern for one eviction set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HammerPattern {
+    /// Virtual addresses in iteration order (the aggressor appears once).
+    pub sequence: Vec<u64>,
+    /// Template that produced it.
+    pub template: PatternTemplate,
+    /// Steady-state LLC misses per iteration (measured on the private
+    /// simulator).
+    pub misses_per_iteration: f64,
+    /// Steady-state fraction of iterations in which the *aggressor* access
+    /// missed (must be ~1.0 for the hammer to work).
+    pub aggressor_miss_rate: f64,
+    /// Estimated cycles per iteration under `CoreModel` costs.
+    pub est_cycles_per_iteration: f64,
+}
+
+/// Measures one template on a fresh simulation of `config`.
+///
+/// `target` and `conflicts` are (virtual, physical) address pairs; the
+/// measurement uses the physical side, the returned sequence the virtual.
+fn measure(
+    template: PatternTemplate,
+    config: &HierarchyConfig,
+    core: &CoreModel,
+    target: (u64, u64),
+    conflicts: &[(u64, u64)],
+) -> HammerPattern {
+    let w = conflicts.len();
+    let idx_seq = template.expand(w);
+    let pa = |i: usize| if i == 0 { target.1 } else { conflicts[i - 1].1 };
+    let va = |i: usize| if i == 0 { target.0 } else { conflicts[i - 1].0 };
+
+    let mut sim = CacheHierarchy::new(*config);
+    let warmup = 30;
+    let measured = 30;
+    let mut misses = 0u64;
+    let mut aggressor_misses = 0u64;
+    let mut hits = 0u64;
+    for iter in 0..(warmup + measured) {
+        for &i in &idx_seq {
+            let r = sim.access(pa(i), false);
+            if iter >= warmup {
+                if r.level.is_llc_miss() {
+                    misses += 1;
+                    if i == 0 {
+                        aggressor_misses += 1;
+                    }
+                } else {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    // A DRAM access costs roughly conflict latency + core overhead; use a
+    // representative 180 cycles for scoring (scoring only needs relative
+    // order).
+    let miss_cost = 180.0 + core.miss_overhead as f64;
+    let hit_cost = core.l3_hit_cost as f64;
+    HammerPattern {
+        sequence: idx_seq.iter().map(|&i| va(i)).collect(),
+        template,
+        misses_per_iteration: misses as f64 / measured as f64,
+        aggressor_miss_rate: aggressor_misses as f64 / measured as f64,
+        est_cycles_per_iteration: (misses as f64 * miss_cost + hits as f64 * hit_cost)
+            / measured as f64,
+    }
+}
+
+/// Finds the fastest hammer ordering for an eviction set: the pattern with
+/// the lowest estimated cycles per iteration among those whose aggressor
+/// access still misses (almost) every iteration.
+///
+/// # Panics
+///
+/// Panics if `conflicts` has fewer than 5 entries (no meaningful pattern
+/// space).
+pub fn discover_pattern(
+    config: &HierarchyConfig,
+    core: &CoreModel,
+    target: (u64, u64),
+    conflicts: &[(u64, u64)],
+) -> HammerPattern {
+    assert!(conflicts.len() >= 5, "eviction set too small for discovery");
+    let mut best: Option<HammerPattern> = None;
+    for template in PatternTemplate::candidates() {
+        let p = measure(template, config, core, target, conflicts);
+        if p.aggressor_miss_rate < 0.95 {
+            continue; // not a hammer: the aggressor stays cached
+        }
+        let better = match &best {
+            None => true,
+            Some(b) => p.est_cycles_per_iteration < b.est_cycles_per_iteration,
+        };
+        if better {
+            best = Some(p);
+        }
+    }
+    best.unwrap_or_else(|| {
+        // Cyclic always evicts (thrash); fall back to it.
+        measure(PatternTemplate::Cyclic, config, core, target, conflicts)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds (va, pa) pairs that all land in LLC slice/set of `base`.
+    fn same_set_addresses(config: &HierarchyConfig, n: usize) -> Vec<(u64, u64)> {
+        let h = CacheHierarchy::new(*config);
+        let key = h.llc_set_of(0);
+        let mut out = Vec::new();
+        let mut pa = 0u64;
+        while out.len() < n {
+            if h.llc_set_of(pa) == key {
+                out.push((pa + 0x10_0000_0000, pa)); // distinct va alias
+            }
+            pa += 64;
+        }
+        out
+    }
+
+    #[test]
+    fn paper_template_shape_matches_figure_1b() {
+        let seq = PatternTemplate::Paper.expand(12);
+        // A, X1..X10, X11, X1..X9, X12
+        assert_eq!(seq.len(), 1 + 10 + 1 + 9 + 1);
+        assert_eq!(seq[0], 0);
+        assert_eq!(seq[11], 11);
+        assert_eq!(*seq.last().unwrap(), 12);
+        assert_eq!(seq.iter().filter(|&&i| i == 0).count(), 1);
+    }
+
+    #[test]
+    fn cyclic_pattern_thrashes() {
+        let config = HierarchyConfig::sandy_bridge_i5_2540m();
+        let addrs = same_set_addresses(&config, 13);
+        let p = measure(
+            PatternTemplate::Cyclic,
+            &config,
+            &CoreModel::sandy_bridge(),
+            addrs[0],
+            &addrs[1..],
+        );
+        // Bit-PLRU is not true LRU: cyclic traffic over ways+1 lines
+        // misses on many accesses but does NOT reliably evict the one
+        // address you care about — exactly the paper's observation that
+        // "access patterns that assume true LRU replacement policy often
+        // do not result in misses on the required target addresses".
+        assert!(
+            p.misses_per_iteration > 5.0,
+            "cyclic should thrash: {}",
+            p.misses_per_iteration
+        );
+        assert!(
+            p.aggressor_miss_rate < 0.95,
+            "cyclic unexpectedly reliable: {}",
+            p.aggressor_miss_rate
+        );
+    }
+
+    #[test]
+    fn discovery_beats_cyclic_on_bit_plru() {
+        let config = HierarchyConfig::sandy_bridge_i5_2540m();
+        let addrs = same_set_addresses(&config, 13);
+        let core = CoreModel::sandy_bridge();
+        let best = discover_pattern(&config, &core, addrs[0], &addrs[1..]);
+        let cyclic = measure(PatternTemplate::Cyclic, &config, &core, addrs[0], &addrs[1..]);
+        assert!(best.aggressor_miss_rate >= 0.95);
+        assert!(
+            best.est_cycles_per_iteration < cyclic.est_cycles_per_iteration,
+            "discovered {:?} ({} cy) should beat cyclic ({} cy)",
+            best.template,
+            best.est_cycles_per_iteration,
+            cyclic.est_cycles_per_iteration
+        );
+        // The paper reports 2 misses per iteration per set; allow a little
+        // slack for L1/L2 interactions in the full hierarchy.
+        assert!(
+            best.misses_per_iteration <= 4.0,
+            "expected a near-2-miss pattern, got {}",
+            best.misses_per_iteration
+        );
+    }
+
+    #[test]
+    fn discovered_sequence_contains_aggressor_once() {
+        let config = HierarchyConfig::sandy_bridge_i5_2540m();
+        let addrs = same_set_addresses(&config, 13);
+        let best = discover_pattern(
+            &config,
+            &CoreModel::sandy_bridge(),
+            addrs[0],
+            &addrs[1..],
+        );
+        let target_va = addrs[0].0;
+        assert_eq!(
+            best.sequence.iter().filter(|&&v| v == target_va).count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Locating aggressor rows through the pagemap interface.
+//!
+//! A double-sided attack needs two addresses whose physical locations are
+//! in the *same DRAM bank*, in rows exactly two apart, so the row between
+//! them becomes the victim (Figure 1). The attacker mmaps a large arena,
+//! translates it page-by-page via `/proc/pagemap` (Section 2.3), decodes
+//! each physical address with the reverse-engineered DRAM mapping, and
+//! searches for row triples.
+
+use crate::error::AttackError;
+use anvil_dram::{AddressMapping, RowId};
+use anvil_mem::{PagemapPolicy, Process, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// A pair of same-bank aggressor addresses sandwiching a victim row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggressorPair {
+    /// Virtual address in the row *below* the victim (victim row - 1).
+    pub below_va: u64,
+    /// Virtual address in the row *above* the victim (victim row + 1).
+    pub above_va: u64,
+    /// Physical address of `below_va`.
+    pub below_pa: u64,
+    /// Physical address of `above_va`.
+    pub above_pa: u64,
+    /// The victim row between the two aggressors.
+    pub victim: RowId,
+}
+
+/// A pair of same-bank addresses in rows at least two apart — what a
+/// single-sided attack needs (the second address forces row-buffer
+/// conflicts so every access to the aggressor re-activates its row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SameBankPair {
+    /// The aggressor address (its neighbors are the victims).
+    pub aggressor_va: u64,
+    /// Physical address of the aggressor.
+    pub aggressor_pa: u64,
+    /// A same-bank address far from the aggressor, used to close its row.
+    pub conflict_va: u64,
+}
+
+/// Translates every page of `[arena_va, arena_va + arena_len)` and indexes
+/// it by DRAM row.
+fn row_index(
+    process: &Process,
+    pagemap: PagemapPolicy,
+    mapping: &AddressMapping,
+    arena_va: u64,
+    arena_len: u64,
+) -> Result<HashMap<RowId, u64>, AttackError> {
+    let mut by_row: HashMap<RowId, u64> = HashMap::new();
+    let mut va = arena_va;
+    while va < arena_va + arena_len {
+        if let Some(pa) = process.pagemap(va, pagemap)? {
+            let loc = mapping.location_of(pa);
+            by_row.entry(loc.row_id()).or_insert(va);
+        }
+        va += PAGE_SIZE;
+    }
+    Ok(by_row)
+}
+
+/// Finds up to `max` aggressor pairs in the arena.
+///
+/// # Errors
+///
+/// [`AttackError::PagemapDenied`] under a restricted pagemap policy, or
+/// [`AttackError::NoAggressorPair`] when the arena contains no usable
+/// triple.
+pub fn find_aggressor_pairs(
+    process: &Process,
+    pagemap: PagemapPolicy,
+    mapping: &AddressMapping,
+    arena_va: u64,
+    arena_len: u64,
+    max: usize,
+) -> Result<Vec<AggressorPair>, AttackError> {
+    let by_row = row_index(process, pagemap, mapping, arena_va, arena_len)?;
+    let mut pairs = Vec::new();
+    let mut rows: Vec<&RowId> = by_row.keys().collect();
+    rows.sort();
+    for &row in &rows {
+        if pairs.len() >= max {
+            break;
+        }
+        if row.row < 1 {
+            continue;
+        }
+        let below = *row;
+        let above = RowId::new(row.bank, row.row + 2);
+        if let Some(&above_va) = by_row.get(&above) {
+            let below_va = by_row[&below];
+            pairs.push(AggressorPair {
+                below_va,
+                above_va,
+                below_pa: process.pagemap(below_va, pagemap)?.expect("mapped"),
+                above_pa: process.pagemap(above_va, pagemap)?.expect("mapped"),
+                victim: RowId::new(row.bank, row.row + 1),
+            });
+        }
+    }
+    if pairs.is_empty() {
+        return Err(AttackError::NoAggressorPair);
+    }
+    Ok(pairs)
+}
+
+/// Finds a same-bank pair for single-sided hammering: an aggressor and a
+/// conflict address at least `min_distance` rows away in the same bank.
+///
+/// # Errors
+///
+/// [`AttackError::PagemapDenied`] or [`AttackError::NoAggressorPair`].
+pub fn find_same_bank_pair(
+    process: &Process,
+    pagemap: PagemapPolicy,
+    mapping: &AddressMapping,
+    arena_va: u64,
+    arena_len: u64,
+    min_distance: u32,
+) -> Result<SameBankPair, AttackError> {
+    find_same_bank_pairs(process, pagemap, mapping, arena_va, arena_len, min_distance, 1)
+        .map(|mut v| v.remove(0))
+}
+
+/// Finds up to `max` same-bank pairs with distinct aggressor rows (see
+/// [`find_same_bank_pair`]). Attackers iterate these candidates until one
+/// has a flippable victim next to it.
+///
+/// # Errors
+///
+/// [`AttackError::PagemapDenied`] or [`AttackError::NoAggressorPair`].
+pub fn find_same_bank_pairs(
+    process: &Process,
+    pagemap: PagemapPolicy,
+    mapping: &AddressMapping,
+    arena_va: u64,
+    arena_len: u64,
+    min_distance: u32,
+    max: usize,
+) -> Result<Vec<SameBankPair>, AttackError> {
+    let by_row = row_index(process, pagemap, mapping, arena_va, arena_len)?;
+    let mut rows: Vec<&RowId> = by_row.keys().collect();
+    rows.sort();
+    let mut pairs = Vec::new();
+    for &a in &rows {
+        if pairs.len() >= max {
+            break;
+        }
+        for &b in &rows {
+            if a.bank == b.bank && b.row >= a.row + min_distance {
+                let aggressor_va = by_row[a];
+                pairs.push(SameBankPair {
+                    aggressor_va,
+                    aggressor_pa: process.pagemap(aggressor_va, pagemap)?.expect("mapped"),
+                    conflict_va: by_row[b],
+                });
+                break;
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return Err(AttackError::NoAggressorPair);
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_dram::DramGeometry;
+    use anvil_mem::{AllocationPolicy, FrameAllocator};
+
+    fn setup(policy: AllocationPolicy) -> (Process, FrameAllocator, AddressMapping, u64, u64) {
+        let geometry = DramGeometry::ddr3_4gb();
+        let mapping = AddressMapping::new(geometry);
+        let mut frames = FrameAllocator::new(geometry.total_bytes(), policy);
+        let mut p = Process::new(1, "attacker");
+        let len = 8 << 20;
+        let va = p.mmap(len, &mut frames).unwrap();
+        (p, frames, mapping, va, len)
+    }
+
+    #[test]
+    fn finds_pairs_with_contiguous_allocation() {
+        let (p, _f, mapping, va, len) = setup(AllocationPolicy::Contiguous);
+        let pairs =
+            find_aggressor_pairs(&p, PagemapPolicy::Open, &mapping, va, len, 8).unwrap();
+        assert!(!pairs.is_empty());
+        for pair in &pairs {
+            let below = mapping.location_of(pair.below_pa);
+            let above = mapping.location_of(pair.above_pa);
+            assert_eq!(below.bank, above.bank, "same bank");
+            assert_eq!(below.row + 2, above.row, "rows two apart");
+            assert_eq!(pair.victim, RowId::new(below.bank, below.row + 1));
+            // The attacker really owns these addresses.
+            assert_eq!(p.translate(pair.below_va), Some(pair.below_pa));
+        }
+    }
+
+    #[test]
+    fn restricted_pagemap_blocks_the_search() {
+        let (p, _f, mapping, va, len) = setup(AllocationPolicy::Contiguous);
+        let err =
+            find_aggressor_pairs(&p, PagemapPolicy::Restricted, &mapping, va, len, 8).unwrap_err();
+        assert_eq!(err, AttackError::PagemapDenied);
+    }
+
+    #[test]
+    fn same_bank_pair_for_single_sided() {
+        let (p, _f, mapping, va, len) = setup(AllocationPolicy::Contiguous);
+        let pair =
+            find_same_bank_pair(&p, PagemapPolicy::Open, &mapping, va, len, 4).unwrap();
+        let a = mapping.location_of(pair.aggressor_pa);
+        let b = mapping.location_of(p.translate(pair.conflict_va).unwrap());
+        assert_eq!(a.bank, b.bank);
+        assert!(b.row >= a.row + 4);
+    }
+
+    #[test]
+    fn tiny_arena_has_no_pairs() {
+        let geometry = DramGeometry::ddr3_4gb();
+        let mapping = AddressMapping::new(geometry);
+        let mut frames = FrameAllocator::new(
+            geometry.total_bytes(),
+            AllocationPolicy::Randomized { seed: 3 },
+        );
+        let mut p = Process::new(1, "a");
+        // 2 scattered pages: no adjacent rows.
+        let va = p.mmap(2 * PAGE_SIZE, &mut frames).unwrap();
+        let r = find_aggressor_pairs(&p, PagemapPolicy::Open, &mapping, va, 2 * PAGE_SIZE, 4);
+        assert_eq!(r.unwrap_err(), AttackError::NoAggressorPair);
+    }
+
+    #[test]
+    fn randomized_allocation_still_yields_pairs_with_large_arena() {
+        let geometry = DramGeometry::ddr3_4gb();
+        let mapping = AddressMapping::new(geometry);
+        let mut frames = FrameAllocator::new(
+            geometry.total_bytes(),
+            AllocationPolicy::Randomized { seed: 11 },
+        );
+        let mut p = Process::new(1, "a");
+        let len = 768 << 20; // large spray, as real attacks use
+        let va = p.mmap(len, &mut frames).unwrap();
+        let pairs = find_aggressor_pairs(&p, PagemapPolicy::Open, &mapping, va, len, 2);
+        assert!(pairs.is_ok(), "large spray should find pairs: {pairs:?}");
+    }
+}

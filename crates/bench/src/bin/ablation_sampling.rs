@@ -1,0 +1,50 @@
+//! **Ablation** — PEBS sampling rate.
+//!
+//! ANVIL samples at 5000/s (≈30 samples per 6 ms window). Fewer samples
+//! are cheaper but noisier (slower detection under load); more samples
+//! cost overhead. This sweep quantifies both sides.
+
+use anvil_bench::{detection_run, normalized_time_target, write_json, AttackKind, Scale, Table};
+use anvil_core::{AnvilConfig, PlatformConfig};
+use anvil_workloads::SpecBenchmark;
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_args();
+    let det_ms = scale.ms(250.0).max(120.0);
+    let target_ms = scale.ms(150.0).max(60.0);
+
+    let rates = [1_000u64, 2_500, 5_000, 10_000, 20_000];
+    let mut table = Table::new(
+        "Ablation: sampling rate (CLFLUSH-free detection under heavy load; mcf overhead)",
+        &["Samples/sec", "Detect (heavy) ms", "Flips", "mcf slowdown"],
+    );
+    let mut records = Vec::new();
+    for rate in rates {
+        let mut cfg = AnvilConfig::baseline();
+        cfg.sampling.interval = 2_600_000_000 / rate;
+        let det = detection_run(AttackKind::ClflushFree, cfg, true, det_ms, 7);
+        let slowdown =
+            normalized_time_target(SpecBenchmark::Mcf, PlatformConfig::with_anvil(cfg), target_ms, 7);
+        table.row(&[
+            rate.to_string(),
+            det.detect_ms.map_or("miss".into(), |d| format!("{d:.1}")),
+            det.flips.to_string(),
+            format!("{slowdown:.4}"),
+        ]);
+        records.push(json!({
+            "samples_per_sec": rate,
+            "detect_ms": det.detect_ms,
+            "flips": det.flips,
+            "mcf_slowdown": slowdown,
+        }));
+        eprintln!("  [{rate}/s] detect {:?}", det.detect_ms);
+    }
+
+    table.print();
+    println!(
+        "The paper's 5000/s sits at the knee: enough samples for one-window detection\n\
+         in the common case, at ~1% overhead for memory-bound programs."
+    );
+    write_json("ablation_sampling", &json!({ "experiment": "ablation_sampling", "rows": records }));
+}

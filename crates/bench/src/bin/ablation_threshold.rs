@@ -1,0 +1,66 @@
+//! **Ablation** — the stage-1 LLC-miss threshold.
+//!
+//! The paper sets `LLC_MISS_THRESHOLD = 20K` per 6 ms from the minimum
+//! hammering rate that flips bits (Section 4.2: 220K accesses per 64 ms
+//! window → 20.6K per 6 ms). This ablation sweeps the threshold and shows
+//! the trade-off: lower thresholds arm the expensive sampling stage more
+//! often (overhead ↑), higher thresholds risk missing slow attacks.
+
+use anvil_bench::{normalized_time_target, write_json, Scale, Table};
+use anvil_core::{AnvilConfig, Platform, PlatformConfig};
+use anvil_workloads::SpecBenchmark;
+use serde_json::json;
+
+/// Fraction of stage-1 windows that crossed the threshold for `bench`.
+fn crossing_fraction(bench: SpecBenchmark, anvil: AnvilConfig, ms: f64) -> f64 {
+    let mut p = Platform::new(PlatformConfig::with_anvil(anvil));
+    p.add_workload(bench.build(13));
+    p.run_ms(ms);
+    let s = p.detector_stats().expect("anvil loaded");
+    if s.stage1_windows == 0 {
+        0.0
+    } else {
+        s.threshold_crossings as f64 / s.stage1_windows as f64
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let ms = scale.ms(400.0).max(150.0);
+    let target_ms = scale.ms(150.0).max(60.0);
+
+    let thresholds = [5_000u64, 10_000, 20_000, 40_000, 80_000];
+    let mut table = Table::new(
+        "Ablation: stage-1 miss threshold (mcf: crossings & slowdown; sjeng: crossings)",
+        &["Threshold", "mcf windows crossed", "mcf slowdown", "sjeng windows crossed"],
+    );
+    let mut records = Vec::new();
+    for t in thresholds {
+        let mut cfg = AnvilConfig::baseline();
+        cfg.llc_miss_threshold = t;
+        let mcf_cross = crossing_fraction(SpecBenchmark::Mcf, cfg, ms);
+        let sjeng_cross = crossing_fraction(SpecBenchmark::Sjeng, cfg, ms);
+        let slowdown =
+            normalized_time_target(SpecBenchmark::Mcf, PlatformConfig::with_anvil(cfg), target_ms, 13);
+        table.row(&[
+            format!("{}K", t / 1000),
+            format!("{:.0}%", mcf_cross * 100.0),
+            format!("{slowdown:.4}"),
+            format!("{:.0}%", sjeng_cross * 100.0),
+        ]);
+        records.push(json!({
+            "threshold": t,
+            "mcf_crossing_fraction": mcf_cross,
+            "mcf_slowdown": slowdown,
+            "sjeng_crossing_fraction": sjeng_cross,
+        }));
+        eprintln!("  [threshold {t}] mcf {:.0}% crossed", mcf_cross * 100.0);
+    }
+
+    table.print();
+    println!(
+        "Paper (Section 4.3): memory-intensive benchmarks cross the 20K threshold in\n\
+         95-99% of windows; compute-bound ones in <10% — sampling cost tracks that."
+    );
+    write_json("ablation_threshold", &json!({ "experiment": "ablation_threshold", "rows": records }));
+}

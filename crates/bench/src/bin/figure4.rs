@@ -1,0 +1,50 @@
+//! **Figure 4** — Sensitivity of execution overheads to potential future
+//! attacks.
+//!
+//! The paper's Section 4.5 scenario: future DRAM flips with 110K accesses.
+//! `ANVIL-heavy` (tc = ts = 2 ms) catches attacks twice as fast as today's;
+//! `ANVIL-light` (threshold 10K) catches attacks spread across a whole
+//! refresh window. Both cost a little more than the baseline, heavy more
+//! than light, on bzip2 / gcc / gobmk / libquantum / perlbench.
+
+use anvil_bench::{normalized_time_target, write_json, Scale, Table};
+use anvil_core::{AnvilConfig, PlatformConfig};
+use anvil_workloads::SpecBenchmark;
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_args();
+    let target_ms = scale.ms(250.0).max(80.0);
+
+    let configs: [(&str, AnvilConfig); 3] = [
+        ("ANVIL-baseline", AnvilConfig::baseline()),
+        ("ANVIL-light", AnvilConfig::light()),
+        ("ANVIL-heavy", AnvilConfig::heavy()),
+    ];
+
+    let mut table = Table::new(
+        "Figure 4: Normalized Execution Time under future-attack configurations",
+        &["Benchmark", "ANVIL-baseline", "ANVIL-light", "ANVIL-heavy"],
+    );
+    let mut records = Vec::new();
+
+    for bench in SpecBenchmark::figure4_subset() {
+        let mut row = vec![bench.name().to_string()];
+        let mut entry = json!({ "benchmark": bench.name() });
+        for (label, cfg) in configs {
+            let t = normalized_time_target(bench, PlatformConfig::with_anvil(cfg), target_ms, 23);
+            row.push(format!("{t:.4}"));
+            entry[label] = json!(t);
+            eprintln!("  [{} / {label}] {t:.4}", bench.name());
+        }
+        table.row(&row);
+        records.push(entry);
+    }
+
+    table.print();
+    println!(
+        "Paper: overheads grow only slightly for the nimbler configurations, with the\n\
+         2 ms sampling period (ANVIL-heavy) having the larger impact."
+    );
+    write_json("figure4", &json!({ "experiment": "figure4", "rows": records, "target_ms": target_ms }));
+}

@@ -1,0 +1,104 @@
+//! **Section 5.2.1** — Does restricting `/proc/pagemap` stop rowhammer?
+//!
+//! Linux restricted pagemap so attackers cannot translate virtual to
+//! physical addresses. The paper's verdict: "this attack still leaves
+//! room for potential attacks that rely on side-channel information to
+//! make inferences about the physical memory layout." This experiment
+//! plays the whole escalation ladder: the pagemap-based CLFLUSH-free
+//! attack against open and restricted pagemap, then the timing-only
+//! attack (no pagemap, no CLFLUSH) against both frame-allocation regimes,
+//! and finally ANVIL against everything that still works.
+
+use anvil_attacks::{hammer_until_flip, Attack, ClflushFreeDoubleSided, StandaloneHarness, TimingClflushFree};
+use anvil_bench::{write_json, Scale, Table};
+use anvil_core::{AnvilConfig, Platform, PlatformConfig};
+use anvil_mem::{AllocationPolicy, MemoryConfig, PagemapPolicy};
+use serde_json::json;
+
+fn try_attack(
+    mut attack: Box<dyn Attack>,
+    pagemap: PagemapPolicy,
+    allocation: AllocationPolicy,
+) -> (bool, Option<u64>) {
+    let mut h = StandaloneHarness::new(MemoryConfig::paper_platform(), allocation);
+    h.pagemap = pagemap;
+    match h.prepare(attack.as_mut()) {
+        Err(_) => (false, None),
+        Ok(()) => {
+            let r = hammer_until_flip(attack.as_mut(), &mut h, 900_000);
+            (true, r.flipped.then_some(r.aggressor_accesses))
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut table = Table::new(
+        "Section 5.2.1: The pagemap-hardening escalation ladder",
+        &["Attack", "Pagemap", "Frame allocation", "Prepares?", "Bits flip?"],
+    );
+    let mut records = Vec::new();
+    let mut push = |table: &mut Table, name: &str, pagemap: &str, alloc: &str, prepared: bool, flipped: bool| {
+        table.row(&[
+            name.into(),
+            pagemap.into(),
+            alloc.into(),
+            if prepared { "yes" } else { "NO" }.into(),
+            if flipped { "YES" } else { "no" }.into(),
+        ]);
+        records.push(json!({
+            "attack": name, "pagemap": pagemap, "allocation": alloc,
+            "prepared": prepared, "flipped": flipped,
+        }));
+    };
+
+    // Rung 1: the pagemap-based CLFLUSH-free attack.
+    let (prep, flip) = try_attack(
+        Box::new(ClflushFreeDoubleSided::new()),
+        PagemapPolicy::Open,
+        AllocationPolicy::Contiguous,
+    );
+    push(&mut table, "clflush-free (pagemap)", "open", "contiguous", prep, flip.is_some());
+
+    let (prep, flip) = try_attack(
+        Box::new(ClflushFreeDoubleSided::new()),
+        PagemapPolicy::Restricted,
+        AllocationPolicy::Contiguous,
+    );
+    push(&mut table, "clflush-free (pagemap)", "RESTRICTED", "contiguous", prep, flip.is_some());
+
+    // Rung 2: the timing-only attack — pagemap restriction is irrelevant.
+    let (prep, flip) = try_attack(
+        Box::new(TimingClflushFree::new()),
+        PagemapPolicy::Restricted,
+        AllocationPolicy::Contiguous,
+    );
+    push(&mut table, "timing-clflush-free", "RESTRICTED", "contiguous", prep, flip.is_some());
+
+    // ...until physical contiguity is gone too.
+    let (prep, flip) = try_attack(
+        Box::new(TimingClflushFree::new()),
+        PagemapPolicy::Restricted,
+        AllocationPolicy::Randomized { seed: 23 },
+    );
+    push(&mut table, "timing-clflush-free", "RESTRICTED", "randomized", prep, flip.is_some());
+
+    table.print();
+
+    // Rung 3: ANVIL stops what the OS hardening cannot.
+    let mut pc = PlatformConfig::with_anvil(AnvilConfig::baseline());
+    pc.pagemap = PagemapPolicy::Restricted;
+    let mut p = Platform::new(pc);
+    p.add_attack(Box::new(TimingClflushFree::new())).expect("prepares");
+    p.run_ms(scale.ms(150.0).max(80.0));
+    println!(
+        "ANVIL vs the timing attack: detected at {} ms, {} bit flips.",
+        p.first_detection_ms().map_or("-".into(), |t| format!("{t:.1}")),
+        p.total_flips()
+    );
+    println!(
+        "Conclusion (paper Section 5.2.1): interface hardening narrows but does not\n\
+         close the attack surface; a behavioural detector like ANVIL does."
+    );
+    write_json("pagemap_hardening", &json!({ "experiment": "pagemap_hardening", "rows": records }));
+}

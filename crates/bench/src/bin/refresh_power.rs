@@ -1,0 +1,76 @@
+//! **Section 2.1** — The cost of refresh-rate escalation.
+//!
+//! "Going from a 64ms refresh period to the 15ms required to protect our
+//! DRAM requires over a 4x increase in refresh power and throughput
+//! overhead." This experiment runs a memory-intensive workload at each
+//! refresh period and reports refresh power (from the energy model) and
+//! the throughput overhead (refresh-stall cycles), alongside whether the
+//! double-sided attack still lands.
+
+use anvil_attacks::{hammer_until_flip, StandaloneHarness};
+use anvil_bench::{vulnerable_pair_index, write_json, AttackKind, Table};
+use anvil_core::{Platform, PlatformConfig};
+use anvil_dram::EnergyModel;
+use anvil_mem::{AllocationPolicy, MemoryConfig};
+use anvil_workloads::SpecBenchmark;
+use serde_json::json;
+
+fn main() {
+    let model = EnergyModel::ddr3();
+    let pair = vulnerable_pair_index(AttackKind::DoubleSided, MemoryConfig::paper_platform(), 24)
+        .unwrap_or(0);
+
+    let mut table = Table::new(
+        "Section 2.1: Cost of raising the refresh rate (vs. protection achieved)",
+        &["Refresh", "Refresh power", "vs 64 ms", "mcf slowdown", "Attack flips?"],
+    );
+    let mut records = Vec::new();
+    let mut base_power = None;
+    let mut base_cycles = None;
+
+    for refresh_ms in [64.0, 32.0, 16.0, 15.0, 8.0] {
+        let clock = MemoryConfig::paper_platform().clock;
+        let mut cfg = MemoryConfig::paper_platform();
+        cfg.dram = cfg.dram.with_refresh_ms(clock, refresh_ms);
+
+        // Refresh power (independent of traffic) + mcf throughput.
+        let mut p = Platform::new(PlatformConfig { memory: cfg, ..PlatformConfig::unprotected() });
+        let pid = p.add_workload(SpecBenchmark::Mcf.build(3));
+        p.run_core_ops(pid, 400_000);
+        let now = p.sys().now();
+        let energy = p.sys().dram().energy(&model, now, &clock);
+        let power = energy.refresh_mw();
+        let cycles = p.core_stats(pid).unwrap().cycles;
+        let base_p = *base_power.get_or_insert(power);
+        let base_c = *base_cycles.get_or_insert(cycles);
+
+        // Does the attack still land?
+        let mut h = StandaloneHarness::new(cfg, AllocationPolicy::Contiguous);
+        let mut attack = AttackKind::DoubleSided.build(pair);
+        h.prepare(attack.as_mut()).expect("open platform");
+        let flips = hammer_until_flip(attack.as_mut(), &mut h, 300_000).flipped;
+
+        table.row(&[
+            format!("{refresh_ms:.0} ms"),
+            format!("{power:.0} mW"),
+            format!("{:.2}x", power / base_p),
+            format!("{:.4}", cycles as f64 / base_c as f64),
+            if flips { "YES" } else { "no" }.into(),
+        ]);
+        records.push(json!({
+            "refresh_ms": refresh_ms,
+            "refresh_mw": power,
+            "power_ratio": power / base_p,
+            "mcf_slowdown": cycles as f64 / base_c as f64,
+            "attack_flips": flips,
+        }));
+    }
+
+    table.print();
+    println!(
+        "The paper's Section 2.1 claim, quantified: reaching a refresh period that\n\
+         actually stops the attack costs >4x the refresh power (plus throughput loss),\n\
+         while ANVIL achieves protection at ~1% CPU overhead (Figure 3)."
+    );
+    write_json("refresh_power", &json!({ "experiment": "refresh_power", "rows": records }));
+}

@@ -1,0 +1,233 @@
+//! Shared experiment procedures used by the table/figure binaries.
+
+use anvil_attacks::{Attack, ClflushFreeDoubleSided, DoubleSidedClflush, SingleSidedClflush};
+use anvil_core::{AnvilConfig, Platform, PlatformConfig};
+use anvil_mem::MemoryConfig;
+use anvil_workloads::SpecBenchmark;
+use serde::Serialize;
+
+/// Time scaling for the experiment binaries: `--quick` on the command line
+/// trades precision for speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    factor: f64,
+}
+
+impl Scale {
+    /// Parses the process arguments (`--quick` recognized).
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Scale {
+            factor: if quick { 0.35 } else { 1.0 },
+        }
+    }
+
+    /// A fixed scale, for tests.
+    pub fn fixed(factor: f64) -> Self {
+        Scale { factor }
+    }
+
+    /// Scales a duration in ms.
+    pub fn ms(&self, base: f64) -> f64 {
+        base * self.factor
+    }
+
+    /// Scales an operation count.
+    pub fn ops(&self, base: u64) -> u64 {
+        ((base as f64) * self.factor) as u64
+    }
+}
+
+/// The three attacks of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AttackKind {
+    /// Single-sided with CLFLUSH.
+    SingleSided,
+    /// Double-sided with CLFLUSH.
+    DoubleSided,
+    /// Double-sided without CLFLUSH (the paper's new attack).
+    ClflushFree,
+}
+
+impl AttackKind {
+    /// All three, in Table 1 order.
+    pub fn all() -> [AttackKind; 3] {
+        [AttackKind::SingleSided, AttackKind::DoubleSided, AttackKind::ClflushFree]
+    }
+
+    /// Display name matching Table 1's rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackKind::SingleSided => "Single-Sided with CLFLUSH",
+            AttackKind::DoubleSided => "Double-Sided with CLFLUSH",
+            AttackKind::ClflushFree => "Double-Sided without CLFLUSH",
+        }
+    }
+
+    /// Builds the attack hammering the `pair`-th discovered aggressor
+    /// candidate.
+    pub fn build(&self, pair: usize) -> Box<dyn Attack> {
+        match self {
+            AttackKind::SingleSided => Box::new(SingleSidedClflush::new().with_pair_index(pair)),
+            AttackKind::DoubleSided => Box::new(DoubleSidedClflush::new().with_pair_index(pair)),
+            AttackKind::ClflushFree => {
+                Box::new(ClflushFreeDoubleSided::new().with_pair_index(pair))
+            }
+        }
+    }
+}
+
+/// Finds a pair index whose victim row contains a minimum-threshold cell,
+/// the way a real attacker profiles a module before the headline run
+/// (Seaborn's rowhammer-test does exactly this scan). Returns `None` if no
+/// candidate among `max` is vulnerable.
+pub fn vulnerable_pair_index(kind: AttackKind, memory: MemoryConfig, max: usize) -> Option<usize> {
+    for i in 0..max {
+        let mut probe = Platform::new(PlatformConfig {
+            memory,
+            ..PlatformConfig::unprotected()
+        });
+        let Ok(pid) = probe.add_attack(kind.build(i)) else {
+            return None;
+        };
+        let (_, victims) = probe.attack_truth(pid);
+        let dram = probe.sys().dram();
+        if victims
+            .iter()
+            .any(|&v| dram.is_vulnerable_row(dram.mapping().location_of(v).row_id()))
+        {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Result of one detection experiment (a Table 3 cell).
+#[derive(Debug, Clone, Serialize)]
+pub struct DetectionSummary {
+    /// Attack label.
+    pub attack: String,
+    /// Whether background load was running.
+    pub heavy_load: bool,
+    /// Time to the first detection, ms (None: never detected).
+    pub detect_ms: Option<f64>,
+    /// Average selective refreshes per 64 ms window.
+    pub refreshes_per_window: f64,
+    /// Bit flips observed (must be 0 under ANVIL).
+    pub flips: u64,
+}
+
+/// Runs one attack under ANVIL for `ms`, with or without the paper's
+/// memory-intensive background trio, and summarizes the detection.
+pub fn detection_run(
+    kind: AttackKind,
+    anvil: AnvilConfig,
+    heavy_load: bool,
+    ms: f64,
+    seed: u64,
+) -> DetectionSummary {
+    let mut p = Platform::new(PlatformConfig::with_anvil(anvil));
+    if heavy_load {
+        for b in SpecBenchmark::memory_intensive() {
+            p.add_workload(b.build(seed));
+        }
+    }
+    let pair = vulnerable_pair_index(kind, MemoryConfig::paper_platform(), 24).unwrap_or(0);
+    p.add_attack(kind.build(pair)).expect("attack prepares on open platform");
+    p.run_ms(ms);
+    DetectionSummary {
+        attack: kind.label().to_string(),
+        heavy_load,
+        detect_ms: p.first_detection_ms(),
+        refreshes_per_window: p.refreshes_per_window(),
+        flips: p.total_flips(),
+    }
+}
+
+/// Normalized execution time of `bench` under `config`, relative to the
+/// unprotected platform, over `ops` operations (a Figure 3/4 bar).
+pub fn normalized_time(bench: SpecBenchmark, config: PlatformConfig, ops: u64, seed: u64) -> f64 {
+    let run = |cfg: PlatformConfig| {
+        let mut p = Platform::new(cfg);
+        let pid = p.add_workload(bench.build(seed));
+        p.run_core_ops(pid, ops);
+        p.core_stats(pid).expect("just added").cycles as f64
+    };
+    let base = run(PlatformConfig {
+        anvil: None,
+        memory: MemoryConfig::paper_platform(),
+        ..config
+    });
+    run(config) / base
+}
+
+/// Like [`normalized_time`], but sizes the run so the *baseline* executes
+/// for about `target_ms` of simulated time regardless of the benchmark's
+/// per-op cost — fast-op benchmarks otherwise finish before the detector
+/// has run enough windows to show its overhead.
+pub fn normalized_time_target(
+    bench: SpecBenchmark,
+    config: PlatformConfig,
+    target_ms: f64,
+    seed: u64,
+) -> f64 {
+    // Calibrate ops/ms on a short unprotected run.
+    let mut probe = Platform::new(PlatformConfig::unprotected());
+    let pid = probe.add_workload(bench.build(seed));
+    probe.run_core_ops(pid, 50_000);
+    let per_op = probe.core_stats(pid).expect("just added").cycles as f64 / 50_000.0;
+    let clock = probe.config().memory.clock;
+    let ops = ((clock.ms_to_cycles(target_ms) as f64) / per_op) as u64;
+    normalized_time(bench, config, ops.max(50_000), seed)
+}
+
+/// False-positive refresh rate (refreshes/second) of `bench` running alone
+/// under ANVIL for `ms` (a Table 4/5 cell).
+pub fn false_positive_rate(bench: SpecBenchmark, anvil: AnvilConfig, ms: f64, seed: u64) -> f64 {
+    let mut p = Platform::new(PlatformConfig::with_anvil(anvil));
+    p.add_workload(bench.build(seed));
+    p.run_ms(ms);
+    p.refreshes_per_second()
+}
+
+/// The paper's double-refresh comparison platform.
+pub fn double_refresh_platform() -> PlatformConfig {
+    let mut c = PlatformConfig::unprotected();
+    c.memory.dram = c.memory.dram.with_doubled_refresh();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_math() {
+        let s = Scale::fixed(0.5);
+        assert_eq!(s.ms(100.0), 50.0);
+        assert_eq!(s.ops(1000), 500);
+    }
+
+    #[test]
+    fn attack_kinds_cover_table1() {
+        assert_eq!(AttackKind::all().len(), 3);
+        assert!(AttackKind::ClflushFree.label().contains("without"));
+    }
+
+    #[test]
+    fn vulnerable_pair_search_finds_one() {
+        let idx =
+            vulnerable_pair_index(AttackKind::DoubleSided, MemoryConfig::paper_platform(), 24);
+        assert!(idx.is_some(), "1-in-4 rows vulnerable: 24 candidates suffice");
+    }
+
+    #[test]
+    fn double_refresh_halves_the_period() {
+        let base = PlatformConfig::unprotected();
+        let dbl = double_refresh_platform();
+        assert_eq!(
+            dbl.memory.dram.timing.refresh_period * 2,
+            base.memory.dram.timing.refresh_period
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Plain-text tables and JSON result records for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A fixed-column text table, printed in the style of the paper's tables.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} ===", self.title);
+        let line = |out: &mut String| {
+            let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        };
+        line(&mut out);
+        let _ = write!(out, "|");
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(out, " {h:<w$} |");
+        }
+        let _ = writeln!(out);
+        line(&mut out);
+        for row in &self.rows {
+            let _ = write!(out, "|");
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(out, " {c:<w$} |");
+            }
+            let _ = writeln!(out);
+        }
+        line(&mut out);
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Writes an experiment's machine-readable record to
+/// `results/<name>.json` (next to the human-readable table), creating the
+/// directory as needed. Failures are reported but non-fatal — the table on
+/// stdout is the primary output.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("note: could not create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("note: could not write {}: {e}", path.display());
+            } else {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("note: could not serialize results: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("=== Demo ==="));
+        assert!(s.contains("| long-name | 2"));
+        assert!(s.contains("| a         | 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(&["only-one".into()]);
+    }
+}

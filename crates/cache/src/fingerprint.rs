@@ -1,0 +1,219 @@
+//! Replacement-policy fingerprinting.
+//!
+//! Section 2.2 of the paper: to build a time-efficient eviction pattern the
+//! authors "generated a high miss-rate pattern that cyclically accesses the
+//! 13 addresses in the eviction set, and us[ed] performance counters ... to
+//! determine whether each access was a cache hit or a cache miss. Then we
+//! correlate the performance counter results with results from different
+//! cache replacement policy simulators that we built." This module is that
+//! methodology: drive an *oracle* cache (standing in for the hardware)
+//! with probe patterns, record its hit/miss trace, and score each candidate
+//! policy simulator by trace agreement.
+
+use crate::cache::Cache;
+use crate::config::CacheConfig;
+use crate::policy::PolicyKind;
+
+/// Agreement scores of every candidate policy against the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FingerprintReport {
+    /// (candidate, fraction of accesses whose hit/miss outcome matched),
+    /// sorted best-first.
+    pub scores: Vec<(PolicyKind, f64)>,
+    /// Total probe accesses replayed.
+    pub probes: usize,
+}
+
+impl FingerprintReport {
+    /// The best-matching candidate.
+    pub fn best(&self) -> PolicyKind {
+        self.scores[0].0
+    }
+
+    /// Whether the best candidate matched the oracle on every access.
+    pub fn exact_match(&self) -> bool {
+        self.scores[0].1 == 1.0
+    }
+}
+
+/// Probe access patterns over an eviction set of `n` addresses (indices
+/// into the set). Patterns are chosen to separate the candidate policies:
+/// cyclic thrash distinguishes LRU from the pseudo-LRU family, and
+/// revisit-heavy patterns split Bit-PLRU from NRU and Tree-PLRU.
+fn probe_patterns(n: usize) -> Vec<Vec<usize>> {
+    let mut patterns = Vec::new();
+
+    // 1. Cyclic thrash over all n addresses.
+    patterns.push((0..n).cycle().take(n * 8).collect());
+
+    // 2. The paper's efficient pattern shape: a0, x1..x10, x11, x1..x9, x12
+    //    generalized to n addresses.
+    if n >= 4 {
+        let mut p = Vec::new();
+        for _ in 0..6 {
+            p.push(0);
+            p.extend(1..n - 2);
+            p.push(n - 2);
+            p.extend(1..n - 3);
+            p.push(n - 1);
+        }
+        patterns.push(p);
+    }
+
+    // 3. Hot/cold: hammer a few addresses while streaming the rest.
+    let mut hotcold = Vec::new();
+    for i in 0..n * 6 {
+        hotcold.push(if i % 3 == 0 { i / 3 % 2 } else { 2 + (i % (n - 2)) });
+    }
+    patterns.push(hotcold);
+
+    // 4. Deterministic pseudo-random walk (splitmix-driven).
+    let mut x = 0x9e37_79b9u64;
+    let mut rnd = Vec::new();
+    for _ in 0..n * 8 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rnd.push(((x >> 33) as usize) % n);
+    }
+    patterns.push(rnd);
+
+    // 5. Stack-distance probe: a, b, a, c, b, a ... re-references at
+    //    graded distances.
+    let mut stack = Vec::new();
+    for d in 1..n {
+        for i in 0..=d {
+            stack.push(i);
+        }
+        stack.push(0);
+    }
+    patterns.push(stack);
+
+    patterns
+}
+
+/// Fingerprints the replacement policy of `oracle` by replaying probe
+/// patterns through it and through a fresh simulator per candidate.
+///
+/// `geometry` must describe the oracle's sets/ways/line size; the eviction
+/// set used for probing contains `ways + 1` same-set addresses (the same
+/// construction the attack uses).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or the geometry is invalid.
+pub fn fingerprint(
+    oracle: &mut Cache,
+    geometry: CacheConfig,
+    candidates: &[PolicyKind],
+) -> FingerprintReport {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let n = geometry.ways + 1;
+    let stride = (geometry.sets() * geometry.line_bytes) as u64;
+    let addrs: Vec<u64> = (0..n as u64).map(|i| i * stride).collect();
+
+    // Record the oracle's hit/miss trace.
+    let mut trace = Vec::new();
+    for pattern in probe_patterns(n) {
+        for &idx in &pattern {
+            trace.push((idx, oracle.access(addrs[idx], false).hit));
+        }
+        // Separate patterns with a flush so each starts cold.
+        oracle.flush_all();
+        trace.push((usize::MAX, false)); // pattern boundary marker
+    }
+
+    // Replay through each candidate and score agreement.
+    let mut scores: Vec<(PolicyKind, f64)> = candidates
+        .iter()
+        .map(|&kind| {
+            let mut sim_cfg = geometry;
+            sim_cfg.policy = kind;
+            let mut sim = Cache::new(sim_cfg);
+            let mut agree = 0usize;
+            let mut total = 0usize;
+            for &(idx, oracle_hit) in &trace {
+                if idx == usize::MAX {
+                    sim.flush_all();
+                    continue;
+                }
+                let hit = sim.access(addrs[idx], false).hit;
+                total += 1;
+                if hit == oracle_hit {
+                    agree += 1;
+                }
+            }
+            (kind, agree as f64 / total as f64)
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let probes = trace.iter().filter(|(i, _)| *i != usize::MAX).count();
+    FingerprintReport { scores, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry(policy: PolicyKind) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 12 * 64 * 16, // 16 sets x 12 ways, like an LLC slice scaled down
+            ways: 12,
+            line_bytes: 64,
+            policy,
+            latency: 29,
+        }
+    }
+
+    #[test]
+    fn identifies_every_deterministic_policy() {
+        for kind in PolicyKind::deterministic_candidates() {
+            let cfg = geometry(kind);
+            let mut oracle = Cache::new(cfg);
+            let report = fingerprint(&mut oracle, cfg, &PolicyKind::deterministic_candidates());
+            assert_eq!(
+                report.best(),
+                kind,
+                "misidentified {kind}: {:?}",
+                report.scores
+            );
+            assert!(report.exact_match(), "{kind} should self-match exactly");
+        }
+    }
+
+    #[test]
+    fn bit_plru_oracle_prefers_bit_plru_over_nru() {
+        let cfg = geometry(PolicyKind::BitPlru);
+        let mut oracle = Cache::new(cfg);
+        let report = fingerprint(
+            &mut oracle,
+            cfg,
+            &[PolicyKind::BitPlru, PolicyKind::Nru],
+        );
+        assert_eq!(report.best(), PolicyKind::BitPlru);
+        let bit = report.scores.iter().find(|(k, _)| *k == PolicyKind::BitPlru).unwrap().1;
+        let nru = report.scores.iter().find(|(k, _)| *k == PolicyKind::Nru).unwrap().1;
+        assert!(bit > nru, "Bit-PLRU {bit} must beat NRU {nru}");
+    }
+
+    #[test]
+    fn random_oracle_matches_nothing_exactly() {
+        let cfg = geometry(PolicyKind::Random { seed: 3 });
+        let mut oracle = Cache::new(cfg);
+        let report = fingerprint(&mut oracle, cfg, &PolicyKind::deterministic_candidates());
+        assert!(
+            !report.exact_match(),
+            "random policy should not be perfectly explained: {:?}",
+            report.scores
+        );
+    }
+
+    #[test]
+    fn report_is_sorted_best_first() {
+        let cfg = geometry(PolicyKind::TrueLru);
+        let mut oracle = Cache::new(cfg);
+        let report = fingerprint(&mut oracle, cfg, &PolicyKind::deterministic_candidates());
+        for w in report.scores.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(report.probes > 0);
+    }
+}

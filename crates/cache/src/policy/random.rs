@@ -1,0 +1,75 @@
+//! Seeded random replacement.
+
+use super::ReplacementPolicy;
+
+/// Uniform-random victim selection with a deterministic xorshift64* stream,
+/// so simulations remain reproducible for a fixed seed.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    ways: usize,
+    state: u64,
+}
+
+impl RandomPolicy {
+    /// Creates the policy for `sets` x `ways` caches with the given seed.
+    pub fn new(_sets: usize, ways: usize, seed: u64) -> Self {
+        RandomPolicy {
+            ways,
+            state: seed | 1, // xorshift state must be non-zero
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl ReplacementPolicy for RandomPolicy {
+    fn on_hit(&mut self, _set: usize, _way: usize) {}
+
+    fn on_fill(&mut self, _set: usize, _way: usize) {}
+
+    fn victim(&mut self, _set: usize) -> usize {
+        (self.next() % self.ways as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = RandomPolicy::new(1, 8, 42);
+        let mut b = RandomPolicy::new(1, 8, 42);
+        for _ in 0..100 {
+            assert_eq!(a.victim(0), b.victim(0));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut p = RandomPolicy::new(1, 8, 7);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[p.victim(0)] += 1;
+        }
+        for c in counts {
+            let expected = n / 8;
+            assert!(
+                (expected * 9 / 10..=expected * 11 / 10).contains(&c),
+                "skewed: {counts:?}"
+            );
+        }
+    }
+}

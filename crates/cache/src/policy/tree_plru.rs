@@ -1,0 +1,142 @@
+//! Binary-tree pseudo-LRU replacement.
+
+use super::ReplacementPolicy;
+
+/// Tree-PLRU: a complete binary tree of direction bits per set. On an
+/// access, the bits along the path to the accessed way are pointed *away*
+/// from it; the victim is found by following the bits from the root.
+/// Standard in L1/L2 caches (and one of the fingerprinting candidates for
+/// the LLC).
+///
+/// Non-power-of-two associativities (like the 12-way Sandy Bridge LLC) are
+/// handled by building the tree over the next power of two and steering
+/// victim walks away from the non-existent leaves, as real implementations
+/// do.
+#[derive(Debug, Clone)]
+pub struct TreePlru {
+    ways: usize,
+    /// Tree capacity: `ways` rounded up to a power of two.
+    cap: usize,
+    /// `cap - 1` tree bits per set, heap order (node 0 is the root).
+    bits: Vec<bool>,
+}
+
+impl TreePlru {
+    /// Creates the policy for `sets` x `ways`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        let cap = ways.next_power_of_two();
+        TreePlru {
+            ways,
+            cap,
+            bits: vec![false; sets * (cap - 1).max(1)],
+        }
+    }
+
+    fn levels(&self) -> usize {
+        self.cap.trailing_zeros() as usize
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        if self.cap == 1 {
+            return;
+        }
+        let base = set * (self.cap - 1);
+        let mut node = 0usize;
+        for level in (0..self.levels()).rev() {
+            let bit = (way >> level) & 1;
+            // Point away from the accessed way.
+            self.bits[base + node] = bit == 0;
+            node = 2 * node + 1 + bit;
+        }
+    }
+}
+
+impl ReplacementPolicy for TreePlru {
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        self.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        if self.cap == 1 {
+            return 0;
+        }
+        let base = set * (self.cap - 1);
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut size = self.cap;
+        for _ in 0..self.levels() {
+            size /= 2;
+            let mut dir = usize::from(self.bits[base + node]);
+            // Steer away from leaves that do not exist (ways < cap).
+            if dir == 1 && lo + size >= self.ways {
+                dir = 0;
+            }
+            lo += dir * size;
+            node = 2 * node + 1 + dir;
+        }
+        debug_assert!(lo < self.ways);
+        lo
+    }
+
+    fn name(&self) -> &'static str {
+        "tree-plru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tree_points_at_way_zero() {
+        let mut p = TreePlru::new(1, 8);
+        assert_eq!(p.victim(0), 0);
+    }
+
+    #[test]
+    fn touch_redirects_away() {
+        let mut p = TreePlru::new(1, 4);
+        p.on_hit(0, 0);
+        // Root now points right, right subtree unmodified -> way 2.
+        assert_eq!(p.victim(0), 2);
+        p.on_hit(0, 2);
+        assert_eq!(p.victim(0), 1);
+    }
+
+    #[test]
+    fn never_evicts_just_touched() {
+        let mut p = TreePlru::new(1, 16);
+        for i in 0..500usize {
+            let w = (i * 5) % 16;
+            p.on_hit(0, w);
+            assert_ne!(p.victim(0), w);
+        }
+    }
+
+    #[test]
+    fn twelve_ways_stays_in_range() {
+        let mut p = TreePlru::new(1, 12);
+        for w in 0..12 {
+            p.on_fill(0, w);
+        }
+        for i in 0..2_000usize {
+            let w = (i * 7) % 12;
+            p.on_hit(0, w);
+            let v = p.victim(0);
+            assert!(v < 12, "victim {v} out of range");
+            assert_ne!(v, w, "evicted the just-touched way");
+            p.on_fill(0, v);
+        }
+    }
+
+    #[test]
+    fn single_way_degenerate() {
+        let mut p = TreePlru::new(2, 1);
+        p.on_fill(1, 0);
+        assert_eq!(p.victim(1), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the replacement policies and the hierarchy.
+
+use anvil_cache::{Cache, CacheConfig, CacheHierarchy, HierarchyConfig, HitLevel, PolicyKind};
+use proptest::prelude::*;
+
+fn cache(policy: PolicyKind, ways: usize) -> Cache {
+    Cache::new(CacheConfig {
+        capacity_bytes: (ways * 64 * 8) as u64, // 8 sets
+        ways,
+        line_bytes: 64,
+        policy,
+        latency: 4,
+    })
+}
+
+proptest! {
+    /// Working sets that fit in one set never miss after the first touch,
+    /// under every deterministic policy ("reuse hits").
+    #[test]
+    fn resident_working_set_always_hits(
+        policy_sel in 0usize..5,
+        ways in 2usize..=16,
+        rounds in 1usize..20,
+    ) {
+        let policy = PolicyKind::deterministic_candidates()[policy_sel];
+        let mut c = cache(policy, ways);
+        // `ways` distinct lines, all mapping to set 0 (stride = 8 sets * 64).
+        let addrs: Vec<u64> = (0..ways as u64).map(|i| i * 512).collect();
+        for &a in &addrs {
+            c.access(a, false);
+        }
+        let misses_before = c.stats().misses();
+        for _ in 0..rounds {
+            for &a in &addrs {
+                c.access(a, false);
+            }
+        }
+        prop_assert_eq!(c.stats().misses(), misses_before, "{} evicted a resident set", policy);
+    }
+
+    /// Victim selection always returns a way in range, and an eviction
+    /// always makes room (the set never exceeds its associativity).
+    #[test]
+    fn eviction_always_makes_room(
+        policy_sel in 0usize..5,
+        addrs in prop::collection::vec(0u64..(1 << 14), 1..500),
+    ) {
+        let policy = PolicyKind::deterministic_candidates()[policy_sel];
+        let mut c = cache(policy, 4);
+        for &a in &addrs {
+            let r = c.access(a, false);
+            if !r.hit {
+                // After a fill, the line must be present.
+                prop_assert!(c.probe(a));
+            }
+            prop_assert!(c.resident_lines() <= 32);
+        }
+    }
+
+    /// CLFLUSH-equivalence: invalidating a line and re-accessing it always
+    /// misses, under every policy and any prior history.
+    #[test]
+    fn invalidate_then_access_misses(
+        policy_sel in 0usize..5,
+        warmup in prop::collection::vec(0u64..(1 << 13), 0..100),
+        target in 0u64..(1 << 13),
+    ) {
+        let policy = PolicyKind::deterministic_candidates()[policy_sel];
+        let mut c = cache(policy, 8);
+        for &a in &warmup {
+            c.access(a, false);
+        }
+        c.access(target, false);
+        c.invalidate(target);
+        prop_assert!(!c.access(target, false).hit);
+    }
+
+    /// The hierarchy's CLFLUSH makes the next access a full DRAM access,
+    /// independent of history — the primitive the CLFLUSH attack rests on.
+    #[test]
+    fn clflush_always_reaches_memory(
+        warmup in prop::collection::vec(0u64..(1 << 16), 0..200),
+        target in 0u64..(1 << 16),
+    ) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        for &a in &warmup {
+            h.access(a, false);
+        }
+        h.access(target, false);
+        h.clflush(target);
+        prop_assert_eq!(h.access(target, false).level, HitLevel::Memory);
+    }
+
+    /// Eviction sets work against every deterministic policy: touching
+    /// `2 x ways` same-set lines evicts any given target (thrash bound).
+    #[test]
+    fn oversubscription_evicts(policy_sel in 0usize..5) {
+        let policy = PolicyKind::deterministic_candidates()[policy_sel];
+        let mut c = cache(policy, 4);
+        let target = 0u64;
+        c.access(target, false);
+        // 8 distinct same-set lines, twice each, none equal to target.
+        for round in 0..2 {
+            for i in 1..=8u64 {
+                c.access(i * 512, false);
+                let _ = round;
+            }
+        }
+        prop_assert!(!c.probe(target), "{}: target survived oversubscription", policy);
+    }
+}

@@ -1,0 +1,206 @@
+//! ANVIL detector configuration (the paper's Table 2 plus the Section 4.5
+//! variants).
+
+use anvil_dram::{CpuClock, Cycle};
+use anvil_pmu::SamplerConfig;
+use serde::{Deserialize, Serialize};
+
+/// CPU-time costs charged for the detector's own work (the source of the
+/// slowdowns in Figures 3 and 4). On real hardware these are PMI handler
+/// executions, PEBS microcode assists, PMU reprogramming (WRMSRs), and the
+/// kernel-side sample analysis; here they are explicit cycle charges
+/// against the core that triggers them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorCosts {
+    /// Cost of a performance-monitoring interrupt (timer or counter
+    /// overflow), including the handler.
+    pub pmi: Cycle,
+    /// Cost of one PEBS sample (microcode assist + debug-store handling).
+    pub sample: Cycle,
+    /// Cost of arming/disarming stage-2 sampling (PMU reprogramming).
+    pub stage2_arm: Cycle,
+    /// Cost of the end-of-window sample analysis (sort + locality scan).
+    pub analysis: Cycle,
+    /// Cost of one selective-refresh read (flush + uncached read).
+    pub refresh_read: Cycle,
+}
+
+impl Default for DetectorCosts {
+    fn default() -> Self {
+        DetectorCosts {
+            pmi: 4_000,
+            sample: 9_000,
+            stage2_arm: 30_000,
+            analysis: 20_000,
+            refresh_read: 2_000,
+        }
+    }
+}
+
+/// Full ANVIL configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnvilConfig {
+    /// Stage-1 LLC-miss threshold per miss-count window
+    /// (`LLC_MISS_THRESHOLD`, Table 2: 20K).
+    pub llc_miss_threshold: u64,
+    /// Miss-count (stage-1) window duration `tc` in ms (Table 2: 6 ms).
+    pub tc_ms: f64,
+    /// Sampling (stage-2) window duration `ts` in ms (Table 2: 6 ms).
+    pub ts_ms: f64,
+    /// PEBS sampling configuration (5000 samples/s in the paper).
+    pub sampling: SamplerConfig,
+    /// Minimum activations per refresh window the detector assumes can
+    /// flip bits (set from the observed attack minimum: 220K double-sided
+    /// accesses means 110K activations of each aggressor).
+    pub min_hammer_accesses: u64,
+    /// Safety factor applied to the hammer rate when judging a row
+    /// suspicious (detect attackers running below the proven minimum).
+    pub rate_safety: f64,
+    /// Never flag a row with fewer than this many samples, regardless of
+    /// the rate estimate (noise floor).
+    pub row_sample_floor: u32,
+    /// Required number of *other-row* samples in the same bank (the
+    /// bank-locality check of Section 3.1; rowhammering needs at least two
+    /// rows in one bank).
+    pub bank_support_min: u32,
+    /// Rows on each side of an aggressor to refresh (the paper refreshes
+    /// the directly adjacent rows; "our approach easily extends to N").
+    pub victim_radius: u32,
+    /// If LLC-miss loads exceed this fraction of misses, sample loads only.
+    pub load_fraction_hi: f64,
+    /// If LLC-miss loads fall below this fraction, sample stores only.
+    pub load_fraction_lo: f64,
+    /// Detector self-cost model.
+    pub costs: DetectorCosts,
+}
+
+impl AnvilConfig {
+    /// The paper's deployed configuration (Table 2): 20K misses / 6 ms /
+    /// 6 ms.
+    pub fn baseline() -> Self {
+        AnvilConfig {
+            llc_miss_threshold: 20_000,
+            tc_ms: 6.0,
+            ts_ms: 6.0,
+            sampling: SamplerConfig::anvil_default(),
+            min_hammer_accesses: 110_000,
+            rate_safety: 0.3,
+            row_sample_floor: 3,
+            bank_support_min: 2,
+            victim_radius: 1,
+            load_fraction_hi: 0.9,
+            load_fraction_lo: 0.1,
+            costs: DetectorCosts::default(),
+        }
+    }
+
+    /// `ANVIL-heavy` (Section 4.5): tc = ts = 2 ms for attacks that flip
+    /// bits with 110K accesses in 7.5 ms.
+    pub fn heavy() -> Self {
+        let mut c = Self::baseline();
+        c.tc_ms = 2.0;
+        c.ts_ms = 2.0;
+        c
+    }
+
+    /// `ANVIL-light` (Section 4.5): the miss threshold halved to 10K for
+    /// attacks that spread 110K accesses over a whole refresh period.
+    pub fn light() -> Self {
+        let mut c = Self::baseline();
+        c.llc_miss_threshold = 10_000;
+        c.min_hammer_accesses = 55_000;
+        c
+    }
+
+    /// Stage-1 window in cycles.
+    pub fn tc_cycles(&self, clock: &CpuClock) -> Cycle {
+        clock.ms_to_cycles(self.tc_ms)
+    }
+
+    /// Stage-2 window in cycles.
+    pub fn ts_cycles(&self, clock: &CpuClock) -> Cycle {
+        clock.ms_to_cycles(self.ts_ms)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tc_ms <= 0.0 || self.ts_ms <= 0.0 {
+            return Err("window durations must be positive".into());
+        }
+        if self.llc_miss_threshold == 0 {
+            return Err("miss threshold must be non-zero".into());
+        }
+        if !(0.0..=1.0).contains(&self.rate_safety) {
+            return Err("rate_safety must be in [0, 1]".into());
+        }
+        if self.victim_radius == 0 {
+            return Err("victim radius must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.load_fraction_lo)
+            || !(0.0..=1.0).contains(&self.load_fraction_hi)
+            || self.load_fraction_lo > self.load_fraction_hi
+        {
+            return Err("load fractions must satisfy 0 <= lo <= hi <= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for AnvilConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = AnvilConfig::baseline();
+        assert_eq!(c.llc_miss_threshold, 20_000);
+        assert_eq!(c.tc_ms, 6.0);
+        assert_eq!(c.ts_ms, 6.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn heavy_shrinks_windows() {
+        let c = AnvilConfig::heavy();
+        assert_eq!(c.tc_ms, 2.0);
+        assert_eq!(c.llc_miss_threshold, 20_000);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn light_halves_threshold() {
+        let c = AnvilConfig::light();
+        assert_eq!(c.llc_miss_threshold, 10_000);
+        assert_eq!(c.tc_ms, 6.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn windows_in_cycles() {
+        let clock = CpuClock::SANDY_BRIDGE_2_6GHZ;
+        assert_eq!(AnvilConfig::baseline().tc_cycles(&clock), 15_600_000);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = AnvilConfig::baseline();
+        c.tc_ms = 0.0;
+        assert!(c.validate().is_err());
+        let mut c2 = AnvilConfig::baseline();
+        c2.victim_radius = 0;
+        assert!(c2.validate().is_err());
+        let mut c3 = AnvilConfig::baseline();
+        c3.load_fraction_lo = 0.95;
+        assert!(c3.validate().is_err());
+    }
+}

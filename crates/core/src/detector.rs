@@ -1,0 +1,448 @@
+//! The ANVIL two-stage detection state machine (Section 3.3, Figure 2).
+//!
+//! Stage 1 watches the `LONGEST_LAT_CACHE.MISS` rate over windows of
+//! `tc`; only when a window's miss count could sustain a rowhammer attack
+//! does stage 2 arm the PEBS sampling facilities for `ts`, translate the
+//! sampled virtual addresses through the owning process's page table, and
+//! run the row/bank locality analysis. On detection, the rows adjacent to
+//! each identified aggressor are selectively refreshed with a read.
+
+use crate::config::AnvilConfig;
+use crate::locality::{analyze, LocalityReport, RowSample};
+use anvil_dram::{AddressMapping, CpuClock, Cycle, DramLocation, RowId};
+use anvil_pmu::{DataSource, EventKind, Pmu, SampleFilter};
+use serde::{Deserialize, Serialize};
+
+/// Which window the detector is currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorStage {
+    /// Stage 1: counting LLC misses over `tc`.
+    MissCount,
+    /// Stage 2: sampling memory-access addresses over `ts`.
+    Sampling,
+}
+
+/// Detector activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorStats {
+    /// Stage-1 windows completed.
+    pub stage1_windows: u64,
+    /// Stage-1 windows whose miss count crossed the threshold.
+    pub threshold_crossings: u64,
+    /// Stage-2 (sampling) windows completed.
+    pub stage2_windows: u64,
+    /// Stage-2 windows that flagged at least one aggressor.
+    pub detections: u64,
+    /// Selective victim-row refreshes performed.
+    pub selective_refreshes: u64,
+    /// Samples fed into locality analysis.
+    pub samples_analyzed: u64,
+}
+
+/// What a detector service call decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceOutcome {
+    /// Stage-1 window ended below threshold; stage 1 re-armed.
+    Quiet {
+        /// LLC misses seen in the window.
+        misses: u64,
+        /// Kernel time consumed.
+        cost: Cycle,
+    },
+    /// Stage-1 window crossed the threshold; sampling armed.
+    Armed {
+        /// LLC misses seen in the window.
+        misses: u64,
+        /// The sampling filter chosen from the load fraction.
+        filter: SampleFilter,
+        /// Kernel time consumed.
+        cost: Cycle,
+    },
+    /// Stage-2 window ended and was analyzed.
+    Analyzed {
+        /// The locality analysis result.
+        report: LocalityReport,
+        /// Victim rows to refresh (deduplicated), with a representative
+        /// physical address for each.
+        refreshes: Vec<(RowId, u64)>,
+        /// Kernel time consumed (excluding the per-refresh reads).
+        cost: Cycle,
+    },
+}
+
+/// The ANVIL detector.
+///
+/// Owned by the platform runner, which calls
+/// [`service`](AnvilDetector::service) whenever the simulation clock
+/// passes [`deadline`](AnvilDetector::deadline).
+#[derive(Debug)]
+pub struct AnvilDetector {
+    config: AnvilConfig,
+    refresh_period: Cycle,
+    tc: Cycle,
+    ts: Cycle,
+    stage: DetectorStage,
+    deadline: Cycle,
+    stats: DetectorStats,
+}
+
+impl AnvilDetector {
+    /// Creates the detector and arms stage 1 starting at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`AnvilConfig::validate`].
+    pub fn new(
+        config: AnvilConfig,
+        clock: &CpuClock,
+        refresh_period: Cycle,
+        now: Cycle,
+        pmu: &mut Pmu,
+    ) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid ANVIL config: {e}"));
+        pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
+        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss).clear();
+        let tc = config.tc_cycles(clock);
+        let ts = config.ts_cycles(clock);
+        AnvilDetector {
+            config,
+            refresh_period,
+            tc,
+            ts,
+            stage: DetectorStage::MissCount,
+            deadline: now + tc,
+            stats: DetectorStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnvilConfig {
+        &self.config
+    }
+
+    /// Time at which [`service`](Self::service) must next run.
+    pub fn deadline(&self) -> Cycle {
+        self.deadline
+    }
+
+    /// The current stage.
+    pub fn stage(&self) -> DetectorStage {
+        self.stage
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &DetectorStats {
+        &self.stats
+    }
+
+    /// Services the expired window at time `now`. `translate` resolves
+    /// (pid, virtual address) to a physical address — the `task_struct`
+    /// walk of the real kernel module.
+    pub fn service(
+        &mut self,
+        now: Cycle,
+        pmu: &mut Pmu,
+        mapping: &AddressMapping,
+        translate: &mut dyn FnMut(u32, u64) -> Option<u64>,
+    ) -> ServiceOutcome {
+        debug_assert!(now >= self.deadline, "serviced before the deadline");
+        match self.stage {
+            DetectorStage::MissCount => self.end_stage1(now, pmu),
+            DetectorStage::Sampling => self.end_stage2(now, pmu, mapping, translate),
+        }
+    }
+
+    fn end_stage1(&mut self, now: Cycle, pmu: &mut Pmu) -> ServiceOutcome {
+        self.stats.stage1_windows += 1;
+        let misses = pmu.counter(EventKind::LongestLatCacheMiss).read();
+        let miss_loads = pmu.counter(EventKind::MemLoadUopsRetiredLlcMiss).read();
+
+        if misses < self.config.llc_miss_threshold {
+            self.restart_stage1(now, pmu);
+            return ServiceOutcome::Quiet {
+                misses,
+                cost: self.config.costs.pmi,
+            };
+        }
+
+        // Threshold crossed: arm stage 2 with the facility matching the
+        // window's load/store mix.
+        self.stats.threshold_crossings += 1;
+        let load_fraction = if misses == 0 {
+            1.0
+        } else {
+            miss_loads as f64 / misses as f64
+        };
+        let filter = if load_fraction > self.config.load_fraction_hi {
+            SampleFilter::LoadsOnly
+        } else if load_fraction < self.config.load_fraction_lo {
+            SampleFilter::StoresOnly
+        } else {
+            SampleFilter::LoadsAndStores
+        };
+        pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
+        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss).clear();
+        pmu.enable_sampling(filter, now);
+        self.stage = DetectorStage::Sampling;
+        self.deadline = now + self.ts;
+        ServiceOutcome::Armed {
+            misses,
+            filter,
+            cost: self.config.costs.pmi + self.config.costs.stage2_arm,
+        }
+    }
+
+    fn end_stage2(
+        &mut self,
+        now: Cycle,
+        pmu: &mut Pmu,
+        mapping: &AddressMapping,
+        translate: &mut dyn FnMut(u32, u64) -> Option<u64>,
+    ) -> ServiceOutcome {
+        self.stats.stage2_windows += 1;
+        let misses = pmu.counter(EventKind::LongestLatCacheMiss).read();
+        pmu.disable_sampling();
+        let records = pmu.drain_samples();
+
+        // Keep DRAM-sourced samples and translate them to rows.
+        let samples: Vec<RowSample> = records
+            .iter()
+            .filter(|r| r.source == DataSource::Dram)
+            .filter_map(|r| {
+                let paddr = translate(r.pid, r.vaddr)?;
+                Some(RowSample {
+                    row: mapping.location_of(paddr).row_id(),
+                    paddr,
+                    pid: r.pid,
+                })
+            })
+            .collect();
+        self.stats.samples_analyzed += samples.len() as u64;
+
+        let report = analyze(&self.config, &samples, misses, self.ts, self.refresh_period);
+
+        // Victim rows: the neighbors of each aggressor, deduplicated,
+        // excluding rows that are themselves aggressors (reading an
+        // aggressor would be wasted work — it is being activated anyway).
+        let mut refreshes: Vec<(RowId, u64)> = Vec::new();
+        if report.detected() {
+            self.stats.detections += 1;
+            let aggressor_rows: Vec<RowId> = report.aggressors.iter().map(|a| a.row).collect();
+            for finding in &report.aggressors {
+                for victim in finding.row.neighbors(self.config.victim_radius, mapping.geometry())
+                {
+                    if aggressor_rows.contains(&victim)
+                        || refreshes.iter().any(|(r, _)| *r == victim)
+                    {
+                        continue;
+                    }
+                    let paddr = mapping.address_of(DramLocation {
+                        bank: victim.bank,
+                        row: victim.row,
+                        col: 0,
+                    });
+                    refreshes.push((victim, paddr));
+                }
+            }
+            self.stats.selective_refreshes += refreshes.len() as u64;
+        }
+
+        self.restart_stage1(now, pmu);
+        ServiceOutcome::Analyzed {
+            report,
+            refreshes,
+            cost: self.config.costs.pmi + self.config.costs.analysis,
+        }
+    }
+
+    fn restart_stage1(&mut self, now: Cycle, pmu: &mut Pmu) {
+        pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
+        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss).clear();
+        self.stage = DetectorStage::MissCount;
+        self.deadline = now + self.tc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_cache::HitLevel;
+    use anvil_dram::DramGeometry;
+    use anvil_mem::{AccessKind, AccessOutcome};
+    use anvil_pmu::{RetiredOp, SamplerConfig};
+
+    const CLOCK: CpuClock = CpuClock::SANDY_BRIDGE_2_6GHZ;
+    const PERIOD: Cycle = 166_400_000;
+
+    fn detector(pmu: &mut Pmu) -> AnvilDetector {
+        AnvilDetector::new(AnvilConfig::baseline(), &CLOCK, PERIOD, 0, pmu)
+    }
+
+    fn miss_op(vaddr: u64, pid: u32) -> RetiredOp {
+        RetiredOp {
+            vaddr,
+            pid,
+            outcome: AccessOutcome {
+                paddr: vaddr, // identity-mapped for tests
+                kind: AccessKind::Read,
+                level: HitLevel::Memory,
+                advance: 184,
+                dram: None,
+            },
+        }
+    }
+
+    #[test]
+    fn quiet_window_restarts_stage1() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = detector(&mut pmu);
+        let d1 = det.deadline();
+        // A handful of misses: below 20K.
+        for i in 0..100u64 {
+            pmu.observe_at(&miss_op(i * 4096, 1), i * 1000);
+        }
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let out = det.service(d1, &mut pmu, &mapping, &mut |_, v| Some(v));
+        assert!(matches!(out, ServiceOutcome::Quiet { misses: 100, .. }));
+        assert_eq!(det.stage(), DetectorStage::MissCount);
+        assert_eq!(det.deadline(), d1 + det.config().tc_cycles(&CLOCK));
+        assert_eq!(det.stats().threshold_crossings, 0);
+    }
+
+    #[test]
+    fn threshold_crossing_arms_sampling_with_loads_only() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = detector(&mut pmu);
+        for i in 0..25_000u64 {
+            pmu.observe_at(&miss_op(i * 64, 1), i * 400);
+        }
+        let d1 = det.deadline();
+        let out = det.service(d1, &mut pmu, &AddressMapping::new(DramGeometry::ddr3_4gb()), &mut |_, v| {
+            Some(v)
+        });
+        match out {
+            ServiceOutcome::Armed { misses, filter, .. } => {
+                assert_eq!(misses, 25_000);
+                assert_eq!(filter, SampleFilter::LoadsOnly);
+            }
+            other => panic!("expected Armed, got {other:?}"),
+        }
+        assert_eq!(det.stage(), DetectorStage::Sampling);
+    }
+
+    #[test]
+    fn full_cycle_detects_a_synthetic_attack() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = detector(&mut pmu);
+
+        // Two aggressor addresses two rows apart in one bank.
+        let base = mapping.address_of(DramLocation {
+            bank: anvil_dram::BankId(2),
+            row: 500,
+            col: 0,
+        });
+        let above = mapping.same_bank_row_offset(base, 2).unwrap();
+
+        // Stage 1: hammer-level miss traffic on the two aggressors.
+        let mut t = 0u64;
+        while t < det.deadline() {
+            pmu.observe_at(&miss_op(base, 7), t);
+            pmu.observe_at(&miss_op(above, 7), t + 200);
+            t += 400;
+        }
+        let out = det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v));
+        assert!(matches!(out, ServiceOutcome::Armed { .. }));
+
+        // Stage 2: same traffic while sampling.
+        let end = det.deadline();
+        while t < end {
+            pmu.observe_at(&miss_op(base, 7), t);
+            pmu.observe_at(&miss_op(above, 7), t + 200);
+            t += 400;
+        }
+        let out = det.service(end, &mut pmu, &mapping, &mut |_, v| Some(v));
+        match out {
+            ServiceOutcome::Analyzed { report, refreshes, .. } => {
+                assert!(report.detected(), "attack must be flagged: {report:?}");
+                // The victim row between the aggressors must be refreshed.
+                let victim = mapping.location_of(base).row + 1;
+                assert!(
+                    refreshes.iter().any(|(r, _)| r.row == victim),
+                    "sandwiched victim missing from {refreshes:?}"
+                );
+                // No aggressor row is refreshed.
+                for (r, _) in &refreshes {
+                    assert_ne!(r.row, mapping.location_of(base).row);
+                    assert_ne!(r.row, mapping.location_of(above).row);
+                }
+            }
+            other => panic!("expected Analyzed, got {other:?}"),
+        }
+        assert_eq!(det.stats().detections, 1);
+        assert!(det.stats().selective_refreshes >= 2);
+        assert_eq!(det.stage(), DetectorStage::MissCount);
+    }
+
+    #[test]
+    fn benign_stage2_produces_no_refreshes() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = detector(&mut pmu);
+
+        // Streaming traffic: sequential lines, high miss count.
+        let mut t = 0u64;
+        let mut addr = 0u64;
+        while t < det.deadline() {
+            pmu.observe_at(&miss_op(addr, 3), t);
+            addr += 64;
+            t += 400;
+        }
+        assert!(matches!(
+            det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v)),
+            ServiceOutcome::Armed { .. }
+        ));
+        let end = det.deadline();
+        while t < end {
+            pmu.observe_at(&miss_op(addr, 3), t);
+            addr += 64;
+            t += 400;
+        }
+        match det.service(end, &mut pmu, &mapping, &mut |_, v| Some(v)) {
+            ServiceOutcome::Analyzed { report, refreshes, .. } => {
+                assert!(!report.detected(), "streaming flagged: {report:?}");
+                assert!(refreshes.is_empty());
+            }
+            other => panic!("expected Analyzed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untranslatable_samples_are_dropped() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = detector(&mut pmu);
+        let mut t = 0u64;
+        while t < det.deadline() {
+            pmu.observe_at(&miss_op(64, 9), t);
+            pmu.observe_at(&miss_op(64 + (1 << 18), 9), t + 200);
+            t += 400;
+        }
+        det.service(det.deadline(), &mut pmu, &mapping, &mut |_, _| None);
+        let end = det.deadline();
+        while t < end {
+            pmu.observe_at(&miss_op(64, 9), t);
+            t += 400;
+        }
+        // Translation always fails: nothing to analyze, no detection.
+        match det.service(end, &mut pmu, &mapping, &mut |_, _| None) {
+            ServiceOutcome::Analyzed { report, .. } => {
+                assert_eq!(report.total_samples, 0);
+                assert!(!report.detected());
+            }
+            other => panic!("expected Analyzed, got {other:?}"),
+        }
+    }
+}

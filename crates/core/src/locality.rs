@@ -1,0 +1,335 @@
+//! Stage-2 sample analysis: DRAM row- and bank-locality (Section 3.3,
+//! "Rowhammer Detection").
+//!
+//! "At the end of sampling, sampled DRAM row accesses are sorted and the
+//! sample distribution is analyzed to identify high DRAM row locality.
+//! DRAM row locality is determined by considering the number of samples,
+//! the number of last-level cache misses for the sampling duration and the
+//! required last-level cache miss rate for a successful rowhammer attack.
+//! For each row that has high DRAM locality, a check is made to see if
+//! there are other row access samples from the same DRAM bank."
+
+use crate::config::AnvilConfig;
+use anvil_dram::{Cycle, RowId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One sampled DRAM access after translation: the row it touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowSample {
+    /// The DRAM row.
+    pub row: RowId,
+    /// Physical address sampled (a representative address in that row).
+    pub paddr: u64,
+    /// Process that issued the sampled access (from the PEBS record's
+    /// interrupted context) — the paper's task_struct sampling gives
+    /// ANVIL this attribution for free.
+    pub pid: u32,
+}
+
+/// A row the analysis flagged as a potential aggressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggressorFinding {
+    /// The suspicious row.
+    pub row: RowId,
+    /// Samples that hit it.
+    pub samples: u32,
+    /// Estimated activations of this row per refresh period, extrapolated
+    /// from its sample share and the window's total LLC misses.
+    pub estimated_rate: u64,
+    /// Same-bank samples of *other* rows (the bank-locality evidence).
+    pub bank_support: u32,
+    /// Processes whose samples hit this row (sorted, deduplicated) — the
+    /// suspects a response policy can act on.
+    pub pids: Vec<u32>,
+}
+
+/// Result of one stage-2 analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalityReport {
+    /// Rows flagged as aggressors (empty: no rowhammering detected).
+    pub aggressors: Vec<AggressorFinding>,
+    /// Total usable (DRAM-sourced, translatable) samples.
+    pub total_samples: u32,
+    /// LLC misses counted during the sampling window.
+    pub misses_in_window: u64,
+}
+
+impl LocalityReport {
+    /// Whether the window looks like a rowhammer attack.
+    pub fn detected(&self) -> bool {
+        !self.aggressors.is_empty()
+    }
+}
+
+/// Analyzes one sampling window.
+///
+/// `samples` are the translated DRAM-sourced samples, `misses` the LLC
+/// miss count over the window, `ts` the window length and
+/// `refresh_period` the DRAM retention window (both in cycles).
+pub fn analyze(
+    config: &AnvilConfig,
+    samples: &[RowSample],
+    misses: u64,
+    ts: Cycle,
+    refresh_period: Cycle,
+) -> LocalityReport {
+    let total = samples.len() as u32;
+    let mut report = LocalityReport {
+        aggressors: Vec::new(),
+        total_samples: total,
+        misses_in_window: misses,
+    };
+    if total == 0 || misses == 0 {
+        return report;
+    }
+
+    // Count samples per row (with issuing pids) and per bank.
+    let mut per_row: HashMap<RowId, (u32, Vec<u32>)> = HashMap::new();
+    let mut per_bank: HashMap<u32, u32> = HashMap::new();
+    for s in samples {
+        let e = per_row.entry(s.row).or_insert((0, Vec::new()));
+        e.0 += 1;
+        if !e.1.contains(&s.pid) {
+            e.1.push(s.pid);
+        }
+        *per_bank.entry(s.row.bank.0).or_insert(0) += 1;
+    }
+
+    // A row is suspicious when its extrapolated activation rate could
+    // reach the flip threshold within one refresh period (with the safety
+    // margin), it carries at least the sample floor, and other same-bank
+    // rows corroborate (bank locality).
+    let windows_per_period = refresh_period as f64 / ts as f64;
+    let required = (config.min_hammer_accesses as f64 * config.rate_safety).max(1.0);
+    let mut aggressors: Vec<AggressorFinding> = per_row
+        .iter()
+        .filter_map(|(&row, (n, pids))| {
+            let n = *n;
+            let share = n as f64 / total as f64;
+            let estimated_rate = (share * misses as f64 * windows_per_period) as u64;
+            let bank_support = per_bank[&row.bank.0] - n;
+            let suspicious = n >= config.row_sample_floor
+                && estimated_rate as f64 >= required
+                && bank_support >= config.bank_support_min;
+            suspicious.then(|| {
+                let mut pids = pids.clone();
+                pids.sort_unstable();
+                AggressorFinding {
+                    row,
+                    samples: n,
+                    estimated_rate,
+                    bank_support,
+                    pids,
+                }
+            })
+        })
+        .collect();
+    aggressors.sort_by(|a, b| b.samples.cmp(&a.samples).then(a.row.cmp(&b.row)));
+    report.aggressors = aggressors;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_dram::BankId;
+
+    const TS: Cycle = 15_600_000; // 6 ms at 2.6 GHz
+    const PERIOD: Cycle = 166_400_000; // 64 ms
+
+    fn sample(bank: u32, row: u32) -> RowSample {
+        RowSample {
+            row: RowId::new(BankId(bank), row),
+            paddr: (bank as u64) << 32 | (row as u64) << 13,
+            pid: 42,
+        }
+    }
+
+    /// The double-sided attack's sampling signature: two same-bank rows
+    /// dominating the samples.
+    fn attack_samples() -> Vec<RowSample> {
+        let mut v = Vec::new();
+        for _ in 0..12 {
+            v.push(sample(3, 100));
+            v.push(sample(3, 102));
+        }
+        // A few background samples elsewhere.
+        for i in 0..6 {
+            v.push(sample(i % 8, 5000 + i * 17));
+        }
+        v
+    }
+
+    #[test]
+    fn detects_double_sided_signature() {
+        let config = AnvilConfig::baseline();
+        let report = analyze(&config, &attack_samples(), 80_000, TS, PERIOD);
+        assert!(report.detected());
+        let rows: Vec<u32> = report.aggressors.iter().map(|a| a.row.row).collect();
+        assert!(rows.contains(&100));
+        assert!(rows.contains(&102));
+        for a in &report.aggressors {
+            assert!(a.estimated_rate > config.min_hammer_accesses / 3);
+            assert!(a.bank_support >= config.bank_support_min);
+        }
+    }
+
+    #[test]
+    fn no_detection_on_uniform_traffic() {
+        // Streaming-like: every sample a different row/bank.
+        let config = AnvilConfig::baseline();
+        let samples: Vec<RowSample> =
+            (0..30).map(|i| sample(i % 16, 1000 + i * 31)).collect();
+        let report = analyze(&config, &samples, 80_000, TS, PERIOD);
+        assert!(!report.detected());
+    }
+
+    #[test]
+    fn bank_locality_filters_lone_hot_row() {
+        // One hot row but its bank gets no other samples (e.g. a hot line
+        // served by an open row buffer — harmless because it never
+        // re-activates). The bank check must filter it.
+        let config = AnvilConfig::baseline();
+        let mut samples = Vec::new();
+        for _ in 0..15 {
+            samples.push(sample(3, 100));
+        }
+        for i in 0..15 {
+            samples.push(sample(4 + i % 4, 2000 + i * 13)); // other banks only
+        }
+        let report = analyze(&config, &samples, 80_000, TS, PERIOD);
+        assert!(!report.detected(), "bank check must filter: {report:?}");
+    }
+
+    #[test]
+    fn same_hot_row_with_bank_support_is_flagged() {
+        let config = AnvilConfig::baseline();
+        let mut samples = Vec::new();
+        for _ in 0..15 {
+            samples.push(sample(3, 100));
+        }
+        for i in 0..15 {
+            samples.push(sample(3, 2000 + i * 13)); // same bank, other rows
+        }
+        let report = analyze(&config, &samples, 80_000, TS, PERIOD);
+        assert!(report.detected());
+        assert_eq!(report.aggressors[0].row.row, 100);
+    }
+
+    #[test]
+    fn low_miss_count_suppresses_detection() {
+        // Same shape as an attack, but so few misses that the
+        // extrapolated rate cannot flip bits within a refresh period.
+        let config = AnvilConfig::baseline();
+        let report = analyze(&config, &attack_samples(), 2_000, TS, PERIOD);
+        assert!(!report.detected());
+    }
+
+    #[test]
+    fn empty_window_is_clean() {
+        let config = AnvilConfig::baseline();
+        let report = analyze(&config, &[], 50_000, TS, PERIOD);
+        assert!(!report.detected());
+        assert_eq!(report.total_samples, 0);
+    }
+
+    #[test]
+    fn aggressors_sorted_by_sample_count() {
+        let config = AnvilConfig::baseline();
+        let report = analyze(&config, &attack_samples(), 80_000, TS, PERIOD);
+        for w in report.aggressors.windows(2) {
+            assert!(w[0].samples >= w[1].samples);
+        }
+    }
+
+    #[test]
+    fn sample_floor_suppresses_singletons() {
+        let mut config = AnvilConfig::baseline();
+        config.row_sample_floor = 3;
+        // Two samples on one row with huge miss counts: rate estimate is
+        // enormous but the floor suppresses it.
+        let samples = vec![sample(1, 10), sample(1, 10), sample(1, 99)];
+        let report = analyze(&config, &samples, 1_000_000, TS, PERIOD);
+        assert!(!report.detected());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use anvil_dram::BankId;
+    use proptest::prelude::*;
+
+    const TS: Cycle = 15_600_000;
+    const PERIOD: Cycle = 166_400_000;
+
+    proptest! {
+        /// The analysis never flags more rows than distinct rows sampled,
+        /// never divides by zero, and every finding satisfies the
+        /// configured floors.
+        #[test]
+        fn findings_respect_floors(
+            samples in prop::collection::vec((0u32..8, 0u32..64), 0..60),
+            misses in 0u64..200_000,
+        ) {
+            let config = AnvilConfig::baseline();
+            let rows: Vec<RowSample> = samples
+                .iter()
+                .map(|&(b, r)| RowSample {
+                    row: anvil_dram::RowId::new(BankId(b), r),
+                    paddr: ((b as u64) << 32) | ((r as u64) << 13),
+                    pid: 9,
+                })
+                .collect();
+            let report = analyze(&config, &rows, misses, TS, PERIOD);
+            let distinct: std::collections::HashSet<_> =
+                rows.iter().map(|s| s.row).collect();
+            prop_assert!(report.aggressors.len() <= distinct.len());
+            for a in &report.aggressors {
+                prop_assert!(a.samples >= config.row_sample_floor);
+                prop_assert!(a.bank_support >= config.bank_support_min);
+                prop_assert!(
+                    a.estimated_rate as f64
+                        >= config.min_hammer_accesses as f64 * config.rate_safety
+                );
+            }
+        }
+
+        /// Adding unrelated samples (other banks) never *creates* a
+        /// detection for a previously clean row set — monotonicity of the
+        /// per-row criteria in the presence of diluting noise.
+        #[test]
+        fn dilution_does_not_create_row_findings(extra in 1u32..30) {
+            let config = AnvilConfig::baseline();
+            // A clean base: uniform rows, nothing suspicious.
+            let base: Vec<RowSample> =
+                (0..20).map(|i| sample_for(i % 4, 100 + i * 7)).collect();
+            let misses = 60_000;
+            let before = analyze(&config, &base, misses, TS, PERIOD);
+            prop_assert!(!before.detected());
+            let mut extended = base.clone();
+            for i in 0..extra {
+                extended.push(sample_for(4 + i % 4, 9_000 + i * 13));
+            }
+            let after = analyze(&config, &extended, misses, TS, PERIOD);
+            // The base rows must still be clean (new rows may of course
+            // appear if the extras themselves concentrate).
+            for a in &after.aggressors {
+                prop_assert!(
+                    a.row.row >= 9_000,
+                    "dilution created a finding on a clean row: {:?}",
+                    a
+                );
+            }
+        }
+    }
+
+    fn sample_for(bank: u32, row: u32) -> RowSample {
+        RowSample {
+            row: anvil_dram::RowId::new(BankId(bank), row),
+            paddr: ((bank as u64) << 32) | ((row as u64) << 13),
+            pid: 7,
+        }
+    }
+}

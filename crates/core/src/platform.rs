@@ -1,0 +1,781 @@
+//! The full-system platform: cores running workloads and attacks against
+//! the shared memory system, the PMU, and (optionally) the ANVIL kernel
+//! module.
+//!
+//! Each program gets its own core with a private logical clock, as on the
+//! paper's multi-core test machine; the runner always advances the core
+//! with the smallest local time, so the shared memory system sees accesses
+//! in (approximately) global time order. Detector work, PMIs, PEBS
+//! assists, and selective-refresh reads are charged to core time — that
+//! accounting is what reproduces the paper's slowdown numbers (Figures 3
+//! and 4).
+
+use crate::config::AnvilConfig;
+use crate::detector::{AnvilDetector, DetectorStats, ServiceOutcome};
+use crate::locality::LocalityReport;
+use anvil_attacks::{Attack, AttackEnv, AttackError, AttackOp};
+use anvil_dram::{Cycle, RowId};
+use anvil_mem::{
+    AccessKind, AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy,
+    Process,
+};
+use anvil_pmu::{Pmu, RetiredOp};
+use anvil_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// What the kernel does with processes ANVIL repeatedly attributes
+/// rowhammering to.
+///
+/// The paper only refreshes victims — attribution-based responses risk
+/// punishing false positives. Suspension therefore requires a *streak* of
+/// consecutive detections naming the same process: benign programs
+/// (Table 4) trip sporadic single detections, while an attacker is flagged
+/// every detection cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ResponsePolicy {
+    /// The paper's behaviour: selectively refresh victim rows, nothing
+    /// else.
+    #[default]
+    RefreshOnly,
+    /// Refresh, and suspend any process named in this many *consecutive*
+    /// detections (a non-detection stage-2 window resets all streaks).
+    RefreshAndSuspend {
+        /// Consecutive detections naming a pid before it is suspended.
+        consecutive_detections: u32,
+    },
+}
+
+/// Platform-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Memory system (caches, DRAM, core model, clock).
+    pub memory: MemoryConfig,
+    /// ANVIL configuration; `None` runs unprotected.
+    pub anvil: Option<AnvilConfig>,
+    /// Physical frame allocation policy.
+    pub allocation: AllocationPolicy,
+    /// Pagemap exposure policy.
+    pub pagemap: PagemapPolicy,
+    /// Response to attributed rowhammering.
+    pub response: ResponsePolicy,
+}
+
+impl PlatformConfig {
+    /// The paper's platform, unprotected.
+    pub fn unprotected() -> Self {
+        PlatformConfig {
+            memory: MemoryConfig::paper_platform(),
+            anvil: None,
+            allocation: AllocationPolicy::Contiguous,
+            pagemap: PagemapPolicy::Open,
+            response: ResponsePolicy::RefreshOnly,
+        }
+    }
+
+    /// The paper's platform with ANVIL loaded in the given configuration.
+    pub fn with_anvil(anvil: AnvilConfig) -> Self {
+        let mut c = Self::unprotected();
+        c.anvil = Some(anvil);
+        c
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self::unprotected()
+    }
+}
+
+/// One rowhammer detection, as recorded by the platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionEvent {
+    /// When the stage-2 analysis flagged the attack.
+    pub cycle: Cycle,
+    /// The analysis result.
+    pub report: LocalityReport,
+    /// Victim rows selectively refreshed in response.
+    pub refreshed: Vec<RowId>,
+}
+
+/// Public per-core counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Process id of the program on this core.
+    pub pid: u32,
+    /// Program name.
+    pub name: String,
+    /// Operations executed.
+    pub ops: u64,
+    /// Core-local time (cycles), including detector charges.
+    pub cycles: Cycle,
+}
+
+enum Program {
+    Workload(Box<dyn Workload>),
+    Attack(Box<dyn Attack>),
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Program::Workload(w) => write!(f, "Workload({})", w.name()),
+            Program::Attack(a) => write!(f, "Attack({})", a.name()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Core {
+    process: Process,
+    program: Program,
+    base_va: u64,
+    local: Cycle,
+    ops: u64,
+    suspended: bool,
+}
+
+/// The platform runner.
+///
+/// # Examples
+///
+/// ```
+/// use anvil_core::{AnvilConfig, Platform, PlatformConfig};
+/// use anvil_workloads::SpecBenchmark;
+///
+/// let mut platform = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+/// let pid = platform.add_workload(SpecBenchmark::Mcf.build(1));
+/// platform.run_ms(1.0);
+/// assert!(platform.core_stats(pid).unwrap().ops > 0);
+/// ```
+#[derive(Debug)]
+pub struct Platform {
+    config: PlatformConfig,
+    sys: MemorySystem,
+    pmu: Pmu,
+    detector: Option<AnvilDetector>,
+    frames: FrameAllocator,
+    cores: Vec<Core>,
+    next_pid: u32,
+    detections: Vec<DetectionEvent>,
+    refresh_log: Vec<(Cycle, RowId)>,
+    suspect_streaks: std::collections::HashMap<u32, u32>,
+    started: Cycle,
+    last_compact: Cycle,
+}
+
+impl Platform {
+    /// Boots the platform.
+    pub fn new(config: PlatformConfig) -> Self {
+        let sys = MemorySystem::new(config.memory);
+        let mut pmu = Pmu::new(
+            config
+                .anvil
+                .map(|a| a.sampling)
+                .unwrap_or_else(anvil_pmu::SamplerConfig::anvil_default),
+        );
+        let detector = config.anvil.map(|a| {
+            AnvilDetector::new(
+                a,
+                &config.memory.clock,
+                config.memory.dram.timing.refresh_period,
+                0,
+                &mut pmu,
+            )
+        });
+        let frames = FrameAllocator::new(sys.phys().capacity(), config.allocation);
+        Platform {
+            sys,
+            pmu,
+            detector,
+            frames,
+            cores: Vec::new(),
+            next_pid: 100,
+            detections: Vec::new(),
+            refresh_log: Vec::new(),
+            suspect_streaks: std::collections::HashMap::new(),
+            started: 0,
+            last_compact: 0,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The shared memory system.
+    pub fn sys(&self) -> &MemorySystem {
+        &self.sys
+    }
+
+    /// Mutable access to the memory system, for experiment setup (staging
+    /// victim data, direct inspection). Not used by programs themselves.
+    pub fn sys_mut(&mut self) -> &mut MemorySystem {
+        &mut self.sys
+    }
+
+    /// The PMU (for inspection).
+    pub fn pmu(&self) -> &Pmu {
+        &self.pmu
+    }
+
+    /// Detector counters, if ANVIL is loaded.
+    pub fn detector_stats(&self) -> Option<&DetectorStats> {
+        self.detector.as_ref().map(|d| d.stats())
+    }
+
+    /// Detections so far.
+    pub fn detections(&self) -> &[DetectionEvent] {
+        &self.detections
+    }
+
+    /// Every selective refresh performed: (cycle, victim row).
+    pub fn refresh_log(&self) -> &[(Cycle, RowId)] {
+        &self.refresh_log
+    }
+
+    /// Bit flips the DRAM has produced so far.
+    pub fn total_flips(&self) -> u64 {
+        self.sys.total_flips()
+    }
+
+    /// Global time: the minimum core-local clock (all cores have reached
+    /// it), or the memory-system clock when no cores exist.
+    pub fn now(&self) -> Cycle {
+        self.cores
+            .iter()
+            .filter(|c| !c.suspended)
+            .map(|c| c.local)
+            .min()
+            .or_else(|| self.cores.iter().map(|c| c.local).min())
+            .unwrap_or_else(|| self.sys.now())
+    }
+
+    /// Adds a workload on its own core; returns the pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is exhausted mapping the arena.
+    pub fn add_workload(&mut self, workload: Box<dyn Workload>) -> u32 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let mut process = Process::new(pid, workload.name());
+        let base_va = process
+            .mmap(workload.arena_bytes(), &mut self.frames)
+            .expect("physical memory exhausted mapping workload arena");
+        let start = self.now();
+        self.cores.push(Core {
+            process,
+            program: Program::Workload(workload),
+            base_va,
+            local: start,
+            ops: 0,
+            suspended: false,
+        });
+        pid
+    }
+
+    /// Adds (and prepares) an attack on its own core; returns the pid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the attack's preparation failure (e.g. pagemap denied).
+    pub fn add_attack(&mut self, mut attack: Box<dyn Attack>) -> Result<u32, AttackError> {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let mut process = Process::new(pid, attack.name());
+        attack.prepare(&mut AttackEnv {
+            sys: &mut self.sys,
+            process: &mut process,
+            frames: &mut self.frames,
+            pagemap: self.config.pagemap,
+        })?;
+        let start = self.now();
+        self.cores.push(Core {
+            process,
+            program: Program::Attack(attack),
+            base_va: 0,
+            local: start,
+            ops: 0,
+            suspended: false,
+        });
+        Ok(pid)
+    }
+
+    /// Per-core counters for `pid`.
+    pub fn core_stats(&self, pid: u32) -> Option<CoreStats> {
+        self.cores.iter().find(|c| c.process.pid() == pid).map(|c| CoreStats {
+            pid,
+            name: format!("{:?}", c.program),
+            ops: c.ops,
+            cycles: c.local,
+        })
+    }
+
+    /// Aggressor/victim ground truth of the attack running as `pid`
+    /// (empty for workloads).
+    pub fn attack_truth(&self, pid: u32) -> (Vec<u64>, Vec<u64>) {
+        match self.cores.iter().find(|c| c.process.pid() == pid) {
+            Some(Core { program: Program::Attack(a), .. }) => {
+                (a.aggressor_paddrs(), a.victim_paddrs())
+            }
+            _ => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Runs for `ms` of simulated time.
+    pub fn run_ms(&mut self, ms: f64) {
+        let end = self.now() + self.config.memory.clock.ms_to_cycles(ms);
+        self.run_until(end);
+    }
+
+    /// Runs until every core's local clock reaches `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no programs have been added.
+    pub fn run_until(&mut self, end: Cycle) {
+        assert!(!self.cores.is_empty(), "add a workload or attack first");
+        loop {
+            let Some(idx) = self.min_core() else {
+                return; // every core suspended
+            };
+            if self.cores[idx].local >= end {
+                break;
+            }
+            self.step(idx);
+        }
+    }
+
+    /// Runs until core `pid` has executed `ops` more operations (other
+    /// cores keep pace in time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unknown.
+    pub fn run_core_ops(&mut self, pid: u32, ops: u64) {
+        let target_idx = self
+            .cores
+            .iter()
+            .position(|c| c.process.pid() == pid)
+            .expect("unknown pid");
+        let goal = self.cores[target_idx].ops + ops;
+        while self.cores[target_idx].ops < goal {
+            let Some(idx) = self.min_core() else {
+                return; // every core suspended
+            };
+            if self.cores[target_idx].suspended {
+                return; // the target itself was suspended
+            }
+            self.step(idx);
+        }
+    }
+
+    fn min_core(&self) -> Option<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.suspended)
+            .min_by_key(|(_, c)| c.local)
+            .map(|(i, _)| i)
+    }
+
+    /// Pids currently suspended by the response policy.
+    pub fn suspended_pids(&self) -> Vec<u32> {
+        self.cores
+            .iter()
+            .filter(|c| c.suspended)
+            .map(|c| c.process.pid())
+            .collect()
+    }
+
+    /// Executes one operation on core `idx`.
+    fn step(&mut self, idx: usize) {
+        let core = &mut self.cores[idx];
+        let pid = core.process.pid();
+        let (vaddr, outcome) = match &mut core.program {
+            Program::Workload(w) => {
+                let op = w.next_op();
+                let vaddr = core.base_va + op.offset;
+                let t = core.local + op.compute_cycles;
+                let paddr = core
+                    .process
+                    .translate(vaddr)
+                    .expect("workload arena fully mapped");
+                let o = self.sys.access_at(paddr, op.kind, t);
+                core.local = t + o.advance;
+                (vaddr, Some(o))
+            }
+            Program::Attack(a) => match a.next_op() {
+                AttackOp::Access { vaddr, kind } => {
+                    let paddr = core
+                        .process
+                        .translate(vaddr)
+                        .expect("attack accessed unmapped va");
+                    let o = self.sys.access_at(paddr, kind, core.local);
+                    core.local += o.advance;
+                    (vaddr, Some(o))
+                }
+                AttackOp::Clflush { vaddr } => {
+                    let paddr = core
+                        .process
+                        .translate(vaddr)
+                        .expect("attack flushed unmapped va");
+                    self.sys.clflush_at(paddr, core.local);
+                    core.local += self.config.memory.core.clflush_cost;
+                    (vaddr, None)
+                }
+                AttackOp::Compute { cycles } => {
+                    core.local += cycles;
+                    (0, None)
+                }
+            },
+        };
+        core.ops += 1;
+
+        if let Some(o) = outcome {
+            let t = core.local;
+            let effect = self.pmu.observe_at(&RetiredOp { vaddr, pid, outcome: o }, t);
+            if let Some(det) = &self.detector {
+                let costs = det.config().costs;
+                if effect.sampled {
+                    self.cores[idx].local += costs.sample;
+                }
+                if effect.interrupt.is_some() {
+                    self.cores[idx].local += costs.pmi;
+                }
+            }
+        }
+
+        self.service_detector();
+        self.maybe_compact();
+    }
+
+    /// Runs detector windows whose deadlines every core has passed.
+    fn service_detector(&mut self) {
+        if self.detector.is_none() {
+            return;
+        }
+        let min_local = self
+            .cores
+            .iter()
+            .filter(|c| !c.suspended)
+            .map(|c| c.local)
+            .min()
+            .expect("a runnable core exists");
+        loop {
+            let Some(det) = self.detector.as_mut() else { return };
+            if det.deadline() > min_local {
+                return;
+            }
+            let now = det.deadline();
+            let mapping = *self.sys.dram().mapping();
+            let cores = &self.cores;
+            let mut translate = |pid: u32, va: u64| {
+                cores
+                    .iter()
+                    .find(|c| c.process.pid() == pid)
+                    .and_then(|c| c.process.translate(va))
+            };
+            let outcome = det.service(now, &mut self.pmu, &mapping, &mut translate);
+            let costs = det.config().costs;
+
+            // The detector runs in kernel context on whichever core the
+            // timer interrupted; charge the laggard (it is the next to
+            // run).
+            let victim_core = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.suspended)
+                .min_by_key(|(_, c)| c.local)
+                .map(|(i, _)| i)
+                .expect("a runnable core exists");
+
+            match outcome {
+                ServiceOutcome::Quiet { cost, .. } | ServiceOutcome::Armed { cost, .. } => {
+                    self.cores[victim_core].local += cost;
+                }
+                ServiceOutcome::Analyzed { report, refreshes, cost } => {
+                    self.cores[victim_core].local += cost;
+                    if report.detected() {
+                        let mut refreshed = Vec::new();
+                        for &(row, paddr) in &refreshes {
+                            // Flush then read so the read reaches DRAM and
+                            // actually restores the victim row's charge.
+                            self.sys.clflush_at(paddr, now);
+                            self.sys.access_at(paddr, AccessKind::Read, now);
+                            self.cores[victim_core].local += costs.refresh_read;
+                            self.refresh_log.push((now, row));
+                            refreshed.push(row);
+                        }
+                        self.apply_response(&report);
+                        self.detections.push(DetectionEvent {
+                            cycle: now,
+                            report,
+                            refreshed,
+                        });
+                    } else {
+                        // A clean stage-2 window breaks every suspect's
+                        // streak: sporadic false positives never accumulate
+                        // to a suspension.
+                        self.suspect_streaks.clear();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the configured response policy to a detection's suspects.
+    fn apply_response(&mut self, report: &LocalityReport) {
+        let ResponsePolicy::RefreshAndSuspend { consecutive_detections } = self.config.response
+        else {
+            return;
+        };
+        let mut suspects: Vec<u32> =
+            report.aggressors.iter().flat_map(|a| a.pids.iter().copied()).collect();
+        suspects.sort_unstable();
+        suspects.dedup();
+        // Streaks only persist for pids named again this detection.
+        self.suspect_streaks.retain(|pid, _| suspects.contains(pid));
+        for pid in suspects {
+            let streak = self.suspect_streaks.entry(pid).or_insert(0);
+            *streak += 1;
+            if *streak >= consecutive_detections {
+                if let Some(core) =
+                    self.cores.iter_mut().find(|c| c.process.pid() == pid)
+                {
+                    core.suspended = true;
+                }
+            }
+        }
+    }
+
+    /// Bounds simulator memory on long runs.
+    fn maybe_compact(&mut self) {
+        let period = self.config.memory.dram.timing.refresh_period;
+        let now = self.sys.now();
+        if now.saturating_sub(self.last_compact) >= period {
+            self.sys.compact();
+            self.last_compact = now;
+        }
+    }
+
+    /// Time (ms since the platform started) of the first detection, if
+    /// any.
+    pub fn first_detection_ms(&self) -> Option<f64> {
+        self.detections
+            .first()
+            .map(|d| self.config.memory.clock.cycles_to_ms(d.cycle - self.started))
+    }
+
+    /// Selective refreshes per 64 ms refresh window, averaged over the run
+    /// so far.
+    pub fn refreshes_per_window(&self) -> f64 {
+        let period = self.config.memory.dram.timing.refresh_period;
+        let elapsed = self.now().saturating_sub(self.started).max(1);
+        self.refresh_log.len() as f64 * period as f64 / elapsed as f64
+    }
+
+    /// Selective refreshes per second, averaged over the run so far (the
+    /// paper's false-positive metric in Tables 4 and 5).
+    pub fn refreshes_per_second(&self) -> f64 {
+        let elapsed_s = self
+            .config
+            .memory
+            .clock
+            .cycles_to_s(self.now().saturating_sub(self.started))
+            .max(1e-12);
+        self.refresh_log.len() as f64 / elapsed_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_attacks::{ClflushFreeDoubleSided, DoubleSidedClflush};
+    use anvil_workloads::SpecBenchmark;
+
+    #[test]
+    fn unprotected_attack_flips_bits() {
+        let mut p = Platform::new(PlatformConfig::unprotected());
+        // Scan pair indices for a vulnerable victim like a real attacker.
+        let mut added = false;
+        for i in 0..16 {
+            let mut probe = Platform::new(PlatformConfig::unprotected());
+            let pid = probe
+                .add_attack(Box::new(DoubleSidedClflush::new().with_pair_index(i)))
+                .unwrap();
+            let (_, victims) = probe.attack_truth(pid);
+            let row = probe.sys().dram().mapping().location_of(victims[0]).row_id();
+            if probe.sys().dram().is_vulnerable_row(row) {
+                p.add_attack(Box::new(DoubleSidedClflush::new().with_pair_index(i)))
+                    .unwrap();
+                added = true;
+                break;
+            }
+        }
+        assert!(added, "no vulnerable pair in 16 candidates");
+        p.run_ms(40.0);
+        assert!(p.total_flips() > 0, "unprotected hammer must flip");
+    }
+
+    #[test]
+    fn anvil_stops_the_clflush_attack_and_detects_quickly() {
+        let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+        p.add_attack(Box::new(DoubleSidedClflush::new())).unwrap();
+        p.run_ms(80.0);
+        assert_eq!(p.total_flips(), 0, "ANVIL must prevent all flips");
+        let t = p.first_detection_ms().expect("attack must be detected");
+        assert!(
+            (10.0..20.0).contains(&t),
+            "Table 3 says ~12.3 ms under light load; got {t:.1} ms"
+        );
+        assert!(p.refreshes_per_window() > 1.0, "victims refreshed repeatedly");
+    }
+
+    #[test]
+    fn anvil_stops_the_clflush_free_attack() {
+        let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+        p.add_attack(Box::new(ClflushFreeDoubleSided::new())).unwrap();
+        p.run_ms(100.0);
+        assert_eq!(p.total_flips(), 0);
+        let t = p.first_detection_ms().expect("CLFLUSH-free attack must be detected");
+        assert!(t < 64.0, "detected within one refresh window; got {t:.1} ms");
+    }
+
+    #[test]
+    fn refreshed_rows_include_the_true_victim() {
+        let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+        let pid = p.add_attack(Box::new(DoubleSidedClflush::new())).unwrap();
+        let (_, victims) = p.attack_truth(pid);
+        let victim_row = p.sys().dram().mapping().location_of(victims[0]).row_id();
+        p.run_ms(30.0);
+        assert!(
+            p.refresh_log().iter().any(|(_, r)| *r == victim_row),
+            "the sandwiched victim row must be among the refreshes"
+        );
+    }
+
+    #[test]
+    fn benign_workload_runs_without_detections() {
+        let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+        let pid = p.add_workload(SpecBenchmark::Libquantum.build(3));
+        p.run_ms(60.0);
+        assert_eq!(p.total_flips(), 0);
+        // Streaming traffic crosses stage 1 but must (almost) never lead
+        // to detections.
+        let stats = p.detector_stats().unwrap();
+        assert!(stats.threshold_crossings > 0, "libquantum is memory-bound");
+        assert!(
+            p.refreshes_per_second() < 5.0,
+            "false positives too frequent: {}/s",
+            p.refreshes_per_second()
+        );
+        assert!(p.core_stats(pid).unwrap().ops > 100_000);
+    }
+
+    #[test]
+    fn compute_bound_workload_never_arms_stage2() {
+        let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+        p.add_workload(SpecBenchmark::H264ref.build(3));
+        p.run_ms(30.0);
+        let stats = p.detector_stats().unwrap();
+        assert_eq!(
+            stats.threshold_crossings, 0,
+            "h264ref must stay below the stage-1 threshold"
+        );
+        assert_eq!(stats.stage2_windows, 0);
+    }
+
+    #[test]
+    fn anvil_overhead_is_small_for_benign_programs() {
+        let ops = 300_000;
+        let mut base = Platform::new(PlatformConfig::unprotected());
+        let pid_b = base.add_workload(SpecBenchmark::Mcf.build(7));
+        base.run_core_ops(pid_b, ops);
+        let t_base = base.core_stats(pid_b).unwrap().cycles;
+
+        let mut anvil = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+        let pid_a = anvil.add_workload(SpecBenchmark::Mcf.build(7));
+        anvil.run_core_ops(pid_a, ops);
+        let t_anvil = anvil.core_stats(pid_a).unwrap().cycles;
+
+        let slowdown = t_anvil as f64 / t_base as f64;
+        assert!(
+            (1.0..1.06).contains(&slowdown),
+            "mcf slowdown should be a few percent at most: {slowdown:.4}"
+        );
+        assert!(slowdown > 1.0005, "memory-bound mcf must pay something");
+    }
+
+    #[test]
+    fn heavy_load_slows_detection_but_not_protection() {
+        let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+        for b in SpecBenchmark::memory_intensive() {
+            p.add_workload(b.build(11));
+        }
+        p.add_attack(Box::new(ClflushFreeDoubleSided::new())).unwrap();
+        p.run_ms(150.0);
+        assert_eq!(p.total_flips(), 0, "no flips even under heavy load");
+        assert!(p.first_detection_ms().is_some(), "still detected");
+    }
+}
+
+#[cfg(test)]
+mod response_tests {
+    use super::*;
+    use anvil_workloads::SpecBenchmark;
+
+    #[test]
+    fn refresh_only_never_suspends() {
+        let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+        p.add_attack(Box::new(anvil_attacks::DoubleSidedClflush::new())).unwrap();
+        p.run_ms(60.0);
+        assert!(!p.detections().is_empty());
+        assert!(p.suspended_pids().is_empty(), "default policy must not suspend");
+    }
+
+    #[test]
+    fn run_terminates_when_every_core_is_suspended() {
+        let mut pc = PlatformConfig::with_anvil(AnvilConfig::baseline());
+        pc.response = ResponsePolicy::RefreshAndSuspend { consecutive_detections: 1 };
+        let mut p = Platform::new(pc);
+        let pid = p.add_attack(Box::new(anvil_attacks::DoubleSidedClflush::new())).unwrap();
+        // The attacker is the only program; once suspended the run must
+        // return rather than spin.
+        p.run_ms(200.0);
+        assert_eq!(p.suspended_pids(), vec![pid]);
+        // And run_core_ops on the suspended target returns immediately.
+        let ops = p.core_stats(pid).unwrap().ops;
+        p.run_core_ops(pid, 1_000);
+        assert_eq!(p.core_stats(pid).unwrap().ops, ops);
+    }
+
+    #[test]
+    fn single_detection_does_not_suspend_with_streak_of_three() {
+        let mut pc = PlatformConfig::with_anvil(AnvilConfig::baseline());
+        pc.response = ResponsePolicy::RefreshAndSuspend { consecutive_detections: 3 };
+        let mut p = Platform::new(pc);
+        p.add_workload(SpecBenchmark::Bzip2.build(17));
+        // bzip2's false positives are sporadic; even over a long run it
+        // must never accumulate three consecutive detections.
+        p.run_ms(400.0);
+        assert!(
+            p.suspended_pids().is_empty(),
+            "benign bzip2 suspended after {} detections",
+            p.detections().len()
+        );
+    }
+
+    #[test]
+    fn core_stats_reports_program_names() {
+        let mut p = Platform::new(PlatformConfig::unprotected());
+        let pid = p.add_workload(SpecBenchmark::Mcf.build(1));
+        let s = p.core_stats(pid).unwrap();
+        assert!(s.name.contains("mcf"));
+        assert_eq!(s.ops, 0);
+        assert!(p.core_stats(9999).is_none());
+    }
+}

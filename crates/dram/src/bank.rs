@@ -1,0 +1,162 @@
+//! Per-bank row-buffer state.
+//!
+//! Each DRAM bank has a single row buffer holding the most recently opened
+//! row; an access to the open row is served from the buffer without
+//! activating the array. This is why rowhammering "involves repeatedly
+//! accessing at least two rows within the same bank — otherwise the row
+//! buffer would prevent the rowhammering" (Section 3.1), the property
+//! ANVIL's bank-locality check relies on.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer management policy of the memory controller.
+///
+/// Under the default open-page policy an aggressor row stays open between
+/// accesses, so hammering needs a same-bank conflict address (or a second
+/// aggressor) to force re-activation. A *closed-page* controller
+/// precharges after every access — better for irregular server workloads,
+/// but it makes every access an activation, so even a single-address
+/// hammer disturbs its neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RowBufferPolicy {
+    /// Keep the row open until a conflicting access (desktop default).
+    #[default]
+    OpenPage,
+    /// Precharge immediately after every access.
+    ClosedPage,
+}
+
+/// Outcome of routing an access through a bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowBufferOutcome {
+    /// The requested row was already open: no activation.
+    Hit,
+    /// The bank was idle: the row was activated (opened).
+    Opened,
+    /// A different row was open: precharge then activate.
+    Conflict,
+}
+
+impl RowBufferOutcome {
+    /// Whether this outcome activated (opened) the row — the event that
+    /// disturbs neighbors.
+    pub fn activated(&self) -> bool {
+        !matches!(self, RowBufferOutcome::Hit)
+    }
+}
+
+/// Row-buffer state of every bank in the module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowBuffers {
+    policy: RowBufferPolicy,
+    open: Vec<Option<u32>>,
+}
+
+impl RowBuffers {
+    /// Creates the state for `banks` banks, all initially idle
+    /// (precharged), under the open-page policy.
+    pub fn new(banks: u32) -> Self {
+        Self::with_policy(banks, RowBufferPolicy::OpenPage)
+    }
+
+    /// Creates the state with an explicit row-buffer policy.
+    pub fn with_policy(banks: u32, policy: RowBufferPolicy) -> Self {
+        RowBuffers {
+            policy,
+            open: vec![None; banks as usize],
+        }
+    }
+
+    /// Routes an access to `row` of `bank`, updating the open row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn access(&mut self, bank: u32, row: u32) -> RowBufferOutcome {
+        let slot = &mut self.open[bank as usize];
+        let outcome = match *slot {
+            Some(open) if open == row => RowBufferOutcome::Hit,
+            Some(_) => {
+                *slot = Some(row);
+                RowBufferOutcome::Conflict
+            }
+            None => {
+                *slot = Some(row);
+                RowBufferOutcome::Opened
+            }
+        };
+        if matches!(self.policy, RowBufferPolicy::ClosedPage) {
+            // Auto-precharge: the bank is idle again after the access, so
+            // the next access to any row — including the same one — will
+            // activate.
+            *slot = None;
+        }
+        outcome
+    }
+
+    /// The row currently open in `bank`, if any.
+    pub fn open_row(&self, bank: u32) -> Option<u32> {
+        self.open[bank as usize]
+    }
+
+    /// Precharges (closes) every bank, as a refresh command does.
+    pub fn precharge_all(&mut self) {
+        self.open.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_page_sequence() {
+        let mut rb = RowBuffers::new(2);
+        assert_eq!(rb.access(0, 5), RowBufferOutcome::Opened);
+        assert_eq!(rb.access(0, 5), RowBufferOutcome::Hit);
+        assert_eq!(rb.access(0, 9), RowBufferOutcome::Conflict);
+        assert_eq!(rb.open_row(0), Some(9));
+        // Other banks are independent.
+        assert_eq!(rb.access(1, 5), RowBufferOutcome::Opened);
+    }
+
+    #[test]
+    fn same_row_repeated_access_never_activates() {
+        let mut rb = RowBuffers::new(1);
+        rb.access(0, 3);
+        for _ in 0..100 {
+            assert!(!rb.access(0, 3).activated());
+        }
+    }
+
+    #[test]
+    fn alternating_rows_always_activate() {
+        // The double-sided hammer pattern: every access is a conflict.
+        let mut rb = RowBuffers::new(1);
+        rb.access(0, 10);
+        for i in 0..100 {
+            let row = if i % 2 == 0 { 12 } else { 10 };
+            assert!(rb.access(0, row).activated());
+        }
+    }
+
+    #[test]
+    fn closed_page_always_activates() {
+        let mut rb = RowBuffers::with_policy(1, RowBufferPolicy::ClosedPage);
+        assert_eq!(rb.access(0, 3), RowBufferOutcome::Opened);
+        // Even re-accessing the same row re-activates: the hammer needs
+        // no conflict address on a closed-page controller.
+        assert_eq!(rb.access(0, 3), RowBufferOutcome::Opened);
+        assert!(rb.access(0, 3).activated());
+        assert_eq!(rb.open_row(0), None);
+    }
+
+    #[test]
+    fn precharge_closes_everything() {
+        let mut rb = RowBuffers::new(3);
+        rb.access(2, 7);
+        rb.precharge_all();
+        assert_eq!(rb.open_row(2), None);
+        assert_eq!(rb.access(2, 7), RowBufferOutcome::Opened);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # anvil-dram
+//!
+//! Cycle-level DRAM model for the ANVIL (ASPLOS 2016) reproduction:
+//! address mapping, per-bank row buffers, round-robin auto-refresh, a
+//! calibrated rowhammer disturbance model, and the PARA/TRR hardware
+//! mitigation baselines.
+//!
+//! The paper demonstrates rowhammer attacks and the ANVIL defense on a real
+//! 4 GB DDR3 module; this crate is the substitute substrate (see DESIGN.md
+//! §1). The disturbance model is calibrated so that the module flips bits
+//! at the paper's measured minimums — 400K single-sided and 220K
+//! double-sided activations within one 64 ms refresh window (Table 1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use anvil_dram::{DramConfig, DramModule, DramLocation, BankId};
+//!
+//! let mut dram = DramModule::new(DramConfig::paper_ddr3());
+//!
+//! // Hammer the two rows adjacent to a victim row.
+//! let above = dram.mapping().address_of(DramLocation { bank: BankId(0), row: 101, col: 0 });
+//! let below = dram.mapping().address_of(DramLocation { bank: BankId(0), row: 99, col: 0 });
+//! let mut now = 0;
+//! for _ in 0..150_000 {
+//!     now += dram.access(above, now).latency;
+//!     now += dram.access(below, now).latency;
+//! }
+//! // Depending on the victim's weak cells, bits may have flipped:
+//! let _flips = dram.drain_flips();
+//! ```
+
+mod bank;
+mod disturb;
+mod energy;
+mod geometry;
+mod mapping;
+mod mitigation;
+mod module;
+mod refresh;
+mod stats;
+mod time;
+mod timing;
+
+pub use bank::{RowBufferOutcome, RowBufferPolicy, RowBuffers};
+pub use disturb::{is_vulnerable_row, BitFlip, DisturbanceConfig, DisturbanceTracker};
+pub use energy::{energy_report, EnergyModel, EnergyReport};
+pub use geometry::{BankId, DramGeometry, DramLocation, RowId};
+pub use mapping::{AddressMapping, BankPermutation};
+pub use mitigation::MitigationKind;
+pub use module::{DramAccess, DramConfig, DramFlip, DramModule};
+pub use refresh::RefreshSchedule;
+pub use stats::DramStats;
+pub use time::{CpuClock, Cycle};
+pub use timing::DramTiming;

@@ -1,0 +1,274 @@
+//! Physical-address to DRAM-location mapping.
+//!
+//! Real memory controllers map physical addresses onto
+//! (channel, rank, bank, row, column) with undocumented bit shuffles; the
+//! paper's attack reverse-engineers enough of the Sandy Bridge mapping to
+//! find same-bank adjacent rows, and ANVIL is "pre-configured using a
+//! reverse engineered physical address to DRAM row and bank mapping scheme"
+//! (Section 3.3). This module implements the mapping used throughout the
+//! simulation, plus an optional rank/bank XOR permutation that mimics the
+//! bank-interleaving found on real parts.
+
+use crate::geometry::{BankId, DramGeometry, DramLocation};
+use serde::{Deserialize, Serialize};
+
+/// Maps physical addresses to DRAM locations and back.
+///
+/// Bit layout (low to high): column bits, bank bits, rank bits, channel
+/// bits, row bits. With [`BankPermutation::XorRowLow`] the bank index is
+/// XOR-ed with the low row bits, as on Intel controllers, so that
+/// consecutive rows of one bank are not contiguous in physical memory.
+///
+/// # Examples
+///
+/// ```
+/// use anvil_dram::{AddressMapping, DramGeometry};
+///
+/// let map = AddressMapping::new(DramGeometry::ddr3_4gb());
+/// let loc = map.location_of(0x1234_5678);
+/// let pa = map.address_of(loc);
+/// assert_eq!(map.location_of(pa), loc);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMapping {
+    geometry: DramGeometry,
+    permutation: BankPermutation,
+    col_bits: u32,
+    bank_bits: u32,
+    rank_bits: u32,
+    channel_bits: u32,
+    row_bits: u32,
+}
+
+/// How the bank index is permuted by row bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BankPermutation {
+    /// Bank index taken directly from the address bits.
+    #[default]
+    Identity,
+    /// Bank index XOR-ed with the low bits of the row index, as on Intel
+    /// Sandy Bridge-era controllers.
+    XorRowLow,
+}
+
+impl AddressMapping {
+    /// Creates the mapping for `geometry` with the default (Intel-style
+    /// XOR) bank permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`DramGeometry::validate`].
+    pub fn new(geometry: DramGeometry) -> Self {
+        Self::with_permutation(geometry, BankPermutation::XorRowLow)
+    }
+
+    /// Creates the mapping with an explicit bank permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`DramGeometry::validate`].
+    pub fn with_permutation(geometry: DramGeometry, permutation: BankPermutation) -> Self {
+        geometry
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid DRAM geometry: {e}"));
+        AddressMapping {
+            geometry,
+            permutation,
+            col_bits: geometry.row_bytes.trailing_zeros(),
+            bank_bits: geometry.banks_per_rank.trailing_zeros(),
+            rank_bits: geometry.ranks_per_channel.trailing_zeros(),
+            channel_bits: geometry.channels.trailing_zeros(),
+            row_bits: geometry.rows_per_bank.trailing_zeros(),
+        }
+    }
+
+    /// The geometry this mapping is defined over.
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    /// Number of address bits this mapping covers.
+    pub fn address_bits(&self) -> u32 {
+        self.col_bits + self.bank_bits + self.rank_bits + self.channel_bits + self.row_bits
+    }
+
+    fn bank_xor(&self, row: u64) -> u64 {
+        match self.permutation {
+            BankPermutation::Identity => 0,
+            BankPermutation::XorRowLow => row & mask(self.bank_bits),
+        }
+    }
+
+    /// Decodes a physical address into its DRAM location.
+    ///
+    /// Addresses beyond the module capacity wrap (the high bits are
+    /// ignored), which keeps the hot path branch-free; callers that care
+    /// should bounds-check against [`DramGeometry::total_bytes`].
+    pub fn location_of(&self, paddr: u64) -> DramLocation {
+        let mut a = paddr;
+        let col = a & mask(self.col_bits);
+        a >>= self.col_bits;
+        let raw_bank = a & mask(self.bank_bits);
+        a >>= self.bank_bits;
+        let rank = a & mask(self.rank_bits);
+        a >>= self.rank_bits;
+        let channel = a & mask(self.channel_bits);
+        a >>= self.channel_bits;
+        let row = a & mask(self.row_bits);
+
+        let bank_in_rank = raw_bank ^ self.bank_xor(row);
+        let global_bank = ((channel * self.geometry.ranks_per_channel as u64 + rank)
+            * self.geometry.banks_per_rank as u64)
+            + bank_in_rank;
+        DramLocation {
+            bank: BankId(global_bank as u32),
+            row: row as u32,
+            col: col as u32,
+        }
+    }
+
+    /// Encodes a DRAM location back into a physical address.
+    ///
+    /// Inverse of [`location_of`](Self::location_of).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is outside the module geometry.
+    pub fn address_of(&self, loc: DramLocation) -> u64 {
+        let banks_per_rank = self.geometry.banks_per_rank as u64;
+        let ranks = self.geometry.ranks_per_channel as u64;
+        let global = loc.bank.0 as u64;
+        assert!(
+            global < self.geometry.total_banks() as u64,
+            "bank {global} out of range"
+        );
+        assert!(
+            loc.row < self.geometry.rows_per_bank,
+            "row {} out of range",
+            loc.row
+        );
+        assert!(
+            loc.col < self.geometry.row_bytes,
+            "column {} out of range",
+            loc.col
+        );
+        let bank_in_rank = global % banks_per_rank;
+        let rank = (global / banks_per_rank) % ranks;
+        let channel = global / (banks_per_rank * ranks);
+        let row = loc.row as u64;
+        let raw_bank = bank_in_rank ^ self.bank_xor(row);
+
+        let mut a = row;
+        a = (a << self.channel_bits) | channel;
+        a = (a << self.rank_bits) | rank;
+        a = (a << self.bank_bits) | raw_bank;
+        a = (a << self.col_bits) | loc.col as u64;
+        a
+    }
+
+    /// Returns a physical address in the row physically adjacent to the one
+    /// containing `paddr` (offset `delta` rows), in the same bank, at the
+    /// same column — the address an attacker hammers, or ANVIL reads to
+    /// refresh a victim. Returns `None` at bank boundaries.
+    pub fn same_bank_row_offset(&self, paddr: u64, delta: i64) -> Option<u64> {
+        let loc = self.location_of(paddr);
+        let new_row = loc.row as i64 + delta;
+        if new_row < 0 || new_row >= self.geometry.rows_per_bank as i64 {
+            return None;
+        }
+        Some(self.address_of(DramLocation {
+            bank: loc.bank,
+            row: new_row as u32,
+            col: loc.col,
+        }))
+    }
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits == 0 {
+        0
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mappings() -> Vec<AddressMapping> {
+        vec![
+            AddressMapping::new(DramGeometry::ddr3_4gb()),
+            AddressMapping::with_permutation(DramGeometry::ddr3_4gb(), BankPermutation::Identity),
+            AddressMapping::new(DramGeometry::tiny_16mb()),
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        for map in mappings() {
+            for pa in [0u64, 64, 4096, 0xdead_beef & !0x7, 0xffff_fff8, 123_456_789] {
+                let pa = pa % map.geometry().total_bytes();
+                let loc = map.location_of(pa);
+                assert_eq!(map.address_of(loc), pa, "round trip failed for {pa:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn address_bits_cover_capacity() {
+        let map = AddressMapping::new(DramGeometry::ddr3_4gb());
+        assert_eq!(1u64 << map.address_bits(), map.geometry().total_bytes());
+    }
+
+    #[test]
+    fn same_bank_row_offset_changes_only_row() {
+        let map = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let pa = 0x0123_4560;
+        let loc = map.location_of(pa);
+        let up = map.same_bank_row_offset(pa, 1).unwrap();
+        let up_loc = map.location_of(up);
+        assert_eq!(up_loc.bank, loc.bank);
+        assert_eq!(up_loc.col, loc.col);
+        assert_eq!(up_loc.row, loc.row + 1);
+    }
+
+    #[test]
+    fn row_offset_none_at_boundary() {
+        let map = AddressMapping::new(DramGeometry::tiny_16mb());
+        let first_row = map.address_of(DramLocation {
+            bank: BankId(0),
+            row: 0,
+            col: 0,
+        });
+        assert_eq!(map.same_bank_row_offset(first_row, -1), None);
+        let last_row = map.address_of(DramLocation {
+            bank: BankId(0),
+            row: map.geometry().rows_per_bank - 1,
+            col: 0,
+        });
+        assert_eq!(map.same_bank_row_offset(last_row, 1), None);
+    }
+
+    #[test]
+    fn xor_permutation_spreads_consecutive_rows() {
+        // With the XOR permutation, walking the same physical-address bank
+        // bits while incrementing the row flips the actual bank; the
+        // inverse mapping must still round-trip.
+        let map = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let a = map.location_of(0);
+        let b = map.location_of(map.geometry().row_bytes as u64 * 8 * 2); // +1 row, same raw bank bits
+        assert_eq!(a.col, b.col);
+        assert_ne!(a.bank, b.bank, "XOR permutation should flip the bank");
+    }
+
+    #[test]
+    fn all_banks_reachable() {
+        let map = AddressMapping::new(DramGeometry::tiny_16mb());
+        let mut seen = std::collections::HashSet::new();
+        for pa in (0..map.geometry().total_bytes()).step_by(8192) {
+            seen.insert(map.location_of(pa).bank);
+        }
+        assert_eq!(seen.len(), map.geometry().total_banks() as usize);
+    }
+}

@@ -1,0 +1,135 @@
+//! Time base shared by the whole simulation.
+//!
+//! Everything in the ANVIL reproduction is measured in CPU cycles of a
+//! fixed-frequency core (the paper's test machine is an Intel i5-2540M at a
+//! nominal 2.6 GHz). DRAM timing parameters (tREFI, tRFC, the 64 ms refresh
+//! period) are converted into CPU cycles once, at configuration time, so the
+//! hot simulation paths only ever do integer cycle arithmetic.
+
+/// A point in time or a duration, in CPU cycles.
+///
+/// A plain alias rather than a newtype: cycle arithmetic saturates the hot
+/// path of the simulator and the ergonomic cost of wrapping every addition
+/// outweighs the type-safety benefit inside this workspace. Public APIs that
+/// accept wall-clock quantities take explicit `*_ms`/`*_ns` parameters and
+/// convert through [`CpuClock`].
+pub type Cycle = u64;
+
+/// Converts between wall-clock time and CPU cycles for a fixed-frequency core.
+///
+/// # Examples
+///
+/// ```
+/// use anvil_dram::CpuClock;
+///
+/// let clock = CpuClock::new(2_600_000_000);
+/// assert_eq!(clock.ms_to_cycles(64.0), 166_400_000);
+/// assert!((clock.cycles_to_ms(166_400_000) - 64.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CpuClock {
+    freq_hz: u64,
+}
+
+impl CpuClock {
+    /// The paper's test machine: Intel Core i5-2540M at a nominal 2.6 GHz.
+    pub const SANDY_BRIDGE_2_6GHZ: CpuClock = CpuClock {
+        freq_hz: 2_600_000_000,
+    };
+
+    /// Creates a clock for a core running at `freq_hz` Hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is zero.
+    pub fn new(freq_hz: u64) -> Self {
+        assert!(freq_hz > 0, "CPU frequency must be non-zero");
+        CpuClock { freq_hz }
+    }
+
+    /// The core frequency in Hertz.
+    pub fn freq_hz(&self) -> u64 {
+        self.freq_hz
+    }
+
+    /// Converts milliseconds to cycles (rounded to nearest).
+    pub fn ms_to_cycles(&self, ms: f64) -> Cycle {
+        (ms * self.freq_hz as f64 / 1e3).round() as Cycle
+    }
+
+    /// Converts microseconds to cycles (rounded to nearest).
+    pub fn us_to_cycles(&self, us: f64) -> Cycle {
+        (us * self.freq_hz as f64 / 1e6).round() as Cycle
+    }
+
+    /// Converts nanoseconds to cycles (rounded to nearest).
+    pub fn ns_to_cycles(&self, ns: f64) -> Cycle {
+        (ns * self.freq_hz as f64 / 1e9).round() as Cycle
+    }
+
+    /// Converts cycles to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: Cycle) -> f64 {
+        cycles as f64 * 1e3 / self.freq_hz as f64
+    }
+
+    /// Converts cycles to microseconds.
+    pub fn cycles_to_us(&self, cycles: Cycle) -> f64 {
+        cycles as f64 * 1e6 / self.freq_hz as f64
+    }
+
+    /// Converts cycles to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: Cycle) -> f64 {
+        cycles as f64 * 1e9 / self.freq_hz as f64
+    }
+
+    /// Converts cycles to seconds.
+    pub fn cycles_to_s(&self, cycles: Cycle) -> f64 {
+        cycles as f64 / self.freq_hz as f64
+    }
+}
+
+impl Default for CpuClock {
+    fn default() -> Self {
+        Self::SANDY_BRIDGE_2_6GHZ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sandy_bridge() {
+        assert_eq!(CpuClock::default().freq_hz(), 2_600_000_000);
+    }
+
+    #[test]
+    fn ms_round_trip() {
+        let c = CpuClock::default();
+        for ms in [0.5, 1.0, 6.0, 32.0, 64.0] {
+            let cycles = c.ms_to_cycles(ms);
+            assert!((c.cycles_to_ms(cycles) - ms).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn us_and_ns_conversions() {
+        let c = CpuClock::new(1_000_000_000); // 1 GHz: 1 cycle == 1 ns
+        assert_eq!(c.ns_to_cycles(338.0), 338);
+        assert_eq!(c.us_to_cycles(7.8), 7800);
+        assert_eq!(c.cycles_to_us(7800), 7.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        CpuClock::new(0);
+    }
+
+    #[test]
+    fn refresh_interval_at_2_6ghz() {
+        // The DDR3 refresh command interval of 7.8 us from the paper.
+        let c = CpuClock::SANDY_BRIDGE_2_6GHZ;
+        assert_eq!(c.us_to_cycles(7.8), 20_280);
+    }
+}

@@ -1,0 +1,150 @@
+//! DRAM timing parameters, expressed in CPU cycles.
+
+use crate::time::{CpuClock, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Timing of the DRAM module as seen by the core, in CPU cycles.
+///
+/// The defaults match the paper's cost model for the 2.6 GHz Sandy Bridge
+/// test machine: a DRAM access costs on the order of 150 cycles
+/// (Section 2.2), a refresh command is issued every tREFI = 7.8 us
+/// (Section 1.1), and every row is refreshed once per 64 ms retention
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Latency of an access that hits the open row in the row buffer.
+    pub row_hit: Cycle,
+    /// Latency of an access to a closed bank (activate + read).
+    pub row_open: Cycle,
+    /// Latency of an access that conflicts with a different open row
+    /// (precharge + activate + read).
+    pub row_conflict: Cycle,
+    /// Interval between refresh commands (tREFI).
+    pub t_refi: Cycle,
+    /// Duration a rank is unavailable while executing a refresh command
+    /// (tRFC).
+    pub t_rfc: Cycle,
+    /// Retention window: every row is refreshed once per this period.
+    pub refresh_period: Cycle,
+}
+
+impl DramTiming {
+    /// DDR3 timing at the given core clock with the standard 64 ms
+    /// retention window.
+    pub fn ddr3(clock: CpuClock) -> Self {
+        Self::ddr3_with_refresh_ms(clock, 64.0)
+    }
+
+    /// DDR3 timing with a custom retention window, used to model the
+    /// vendors' doubled (32 ms) and quadrupled (16 ms) refresh-rate
+    /// mitigations. tREFI scales proportionally, as it does in the BIOS
+    /// updates the paper studies (more frequent refresh commands, same
+    /// number of rows per command).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refresh_ms` is not strictly positive.
+    pub fn ddr3_with_refresh_ms(clock: CpuClock, refresh_ms: f64) -> Self {
+        assert!(refresh_ms > 0.0, "refresh period must be positive");
+        let scale = refresh_ms / 64.0;
+        DramTiming {
+            row_hit: clock.ns_to_cycles(38.0),
+            row_open: clock.ns_to_cycles(58.0),
+            row_conflict: clock.ns_to_cycles(69.0),
+            t_refi: clock.us_to_cycles(7.8 * scale),
+            t_rfc: clock.ns_to_cycles(260.0),
+            refresh_period: clock.ms_to_cycles(refresh_ms),
+        }
+    }
+
+    /// Halves the retention window (the "double refresh rate" mitigation).
+    pub fn with_doubled_refresh(mut self) -> Self {
+        self.refresh_period /= 2;
+        self.t_refi /= 2;
+        self
+    }
+
+    /// Number of refresh commands per retention window.
+    pub fn commands_per_period(&self) -> u64 {
+        (self.refresh_period / self.t_refi).max(1)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.t_refi == 0 || self.refresh_period == 0 {
+            return Err("refresh intervals must be non-zero".to_owned());
+        }
+        if self.t_rfc >= self.t_refi {
+            return Err(format!(
+                "tRFC ({}) must be smaller than tREFI ({})",
+                self.t_rfc, self.t_refi
+            ));
+        }
+        if self.refresh_period < self.t_refi {
+            return Err("refresh period must cover at least one command".to_owned());
+        }
+        if !(self.row_hit <= self.row_open && self.row_open <= self.row_conflict) {
+            return Err("expected row_hit <= row_open <= row_conflict".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::ddr3(CpuClock::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        DramTiming::default().validate().unwrap();
+    }
+
+    #[test]
+    fn refresh_command_count_matches_ddr3() {
+        // 64 ms / 7.8 us = 8205 refresh commands per retention window.
+        let t = DramTiming::default();
+        let n = t.commands_per_period();
+        assert!((8190..=8210).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn doubled_refresh_halves_both_intervals() {
+        let t = DramTiming::default();
+        let d = t.with_doubled_refresh();
+        assert_eq!(d.refresh_period, t.refresh_period / 2);
+        assert_eq!(d.t_refi, t.t_refi / 2);
+        assert_eq!(d.commands_per_period(), t.commands_per_period());
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn custom_refresh_window() {
+        let clock = CpuClock::default();
+        let t = DramTiming::ddr3_with_refresh_ms(clock, 16.0);
+        assert_eq!(t.refresh_period, clock.ms_to_cycles(16.0));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn conflict_latency_near_paper_estimate() {
+        // Section 2.2 uses ~150 cycles for a DRAM access at 2.6 GHz.
+        let t = DramTiming::default();
+        assert!((140..=190).contains(&t.row_conflict), "{}", t.row_conflict);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_refresh_panics() {
+        DramTiming::ddr3_with_refresh_ms(CpuClock::default(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # anvil-mem
+//!
+//! Memory-system substrate for the ANVIL (ASPLOS 2016) reproduction. It
+//! ties the `anvil-cache` hierarchy and the `anvil-dram` module together
+//! behind a cycle-accounted access engine, and provides the virtual-memory
+//! pieces both sides of the arms race need:
+//!
+//! * [`MemorySystem`] — caches + DRAM + a global cycle clock; rowhammer
+//!   flips land in a sparse [`PhysicalMemory`] backing store so corruption
+//!   is observable end-to-end.
+//! * [`Process`], [`PageTable`], [`FrameAllocator`] — 4 KB paging with
+//!   contiguous or randomized frame allocation.
+//! * [`PagemapPolicy`] — the `/proc/pagemap` interface the CLFLUSH-free
+//!   attack uses for virtual-to-physical translation, including the
+//!   hardened (restricted) mode Linux later deployed.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use anvil_mem::{AccessKind, AllocationPolicy, FrameAllocator, MemoryConfig,
+//!                 MemorySystem, Process};
+//!
+//! let mut sys = MemorySystem::new(MemoryConfig::tiny());
+//! let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+//! let mut proc_ = Process::new(1, "demo");
+//! let va = proc_.mmap(4096, &mut frames)?;
+//! let pa = proc_.translate(va).expect("just mapped");
+//! let outcome = sys.access(pa, AccessKind::Read);
+//! assert!(outcome.llc_miss()); // cold miss goes to DRAM
+//! # Ok::<(), anvil_mem::OutOfMemory>(())
+//! ```
+
+mod paging;
+mod phys;
+mod process;
+mod system;
+
+pub use paging::{AllocationPolicy, FrameAllocator, OutOfMemory, PageTable, PAGE_SHIFT, PAGE_SIZE};
+pub use phys::PhysicalMemory;
+pub use process::{PagemapDenied, PagemapPolicy, Process};
+pub use system::{AccessKind, AccessOutcome, CoreModel, MemStats, MemoryConfig, MemorySystem};

@@ -1,0 +1,187 @@
+//! Sparse physical memory backing store.
+//!
+//! The simulator tracks data values so that rowhammer bit-flips are
+//! observable end-to-end: a flip reported by the DRAM model is XOR-ed into
+//! the byte here, and a victim process reading its data back sees the
+//! corruption, exactly as the paper's attack demonstrations do.
+//!
+//! Storage is allocated page-by-page on first write (or first flip), so a
+//! 4 GB module costs nothing until touched.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Byte-addressable sparse physical memory. Untouched bytes read as zero.
+///
+/// # Examples
+///
+/// ```
+/// use anvil_mem::PhysicalMemory;
+///
+/// let mut mem = PhysicalMemory::new(1 << 30);
+/// mem.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x2000), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct PhysicalMemory {
+    capacity: u64,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl PhysicalMemory {
+    /// Creates a memory of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        PhysicalMemory {
+            capacity,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// The capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of pages currently materialized (diagnostic).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check(&self, paddr: u64, len: u64) {
+        assert!(
+            paddr + len <= self.capacity,
+            "physical access {paddr:#x}+{len} beyond capacity {:#x}",
+            self.capacity
+        );
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paddr` is beyond capacity.
+    pub fn read_u8(&self, paddr: u64) -> u8 {
+        self.check(paddr, 1);
+        self.pages
+            .get(&(paddr >> PAGE_SHIFT))
+            .map_or(0, |p| p[(paddr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paddr` is beyond capacity.
+    pub fn write_u8(&mut self, paddr: u64, value: u8) {
+        self.check(paddr, 1);
+        let page = self
+            .pages
+            .entry(paddr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(paddr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian u64 (need not be aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is beyond capacity.
+    pub fn read_u64(&self, paddr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(paddr + i as u64);
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian u64 (need not be aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is beyond capacity.
+    pub fn write_u64(&mut self, paddr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(paddr + i as u64, *b);
+        }
+    }
+
+    /// Fills `[paddr, paddr+len)` with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is beyond capacity.
+    pub fn fill(&mut self, paddr: u64, len: u64, value: u8) {
+        self.check(paddr, len);
+        for a in paddr..paddr + len {
+            self.write_u8(a, value);
+        }
+    }
+
+    /// XORs one bit — how a rowhammer flip lands in memory. Returns the
+    /// new byte value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paddr` is beyond capacity or `bit >= 8`.
+    pub fn flip_bit(&mut self, paddr: u64, bit: u8) -> u8 {
+        assert!(bit < 8, "bit index out of range");
+        let v = self.read_u8(paddr) ^ (1 << bit);
+        self.write_u8(paddr, v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_by_default() {
+        let mem = PhysicalMemory::new(1 << 20);
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u64(4096), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut mem = PhysicalMemory::new(1 << 20);
+        mem.write_u64(100, 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u64(100), 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u8(100), 0xef); // little endian
+    }
+
+    #[test]
+    fn unaligned_u64_spans_pages() {
+        let mut mem = PhysicalMemory::new(1 << 20);
+        mem.write_u64(4093, u64::MAX);
+        assert_eq!(mem.read_u64(4093), u64::MAX);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn flip_bit_xors() {
+        let mut mem = PhysicalMemory::new(1 << 20);
+        mem.write_u8(7, 0b0000_1000);
+        assert_eq!(mem.flip_bit(7, 3), 0);
+        assert_eq!(mem.flip_bit(7, 0), 1);
+    }
+
+    #[test]
+    fn fill_region() {
+        let mut mem = PhysicalMemory::new(1 << 20);
+        mem.fill(10, 20, 0x55);
+        assert_eq!(mem.read_u8(10), 0x55);
+        assert_eq!(mem.read_u8(29), 0x55);
+        assert_eq!(mem.read_u8(30), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn out_of_bounds_panics() {
+        PhysicalMemory::new(4096).read_u8(4096);
+    }
+}

@@ -1,0 +1,209 @@
+//! The performance monitoring unit: counters + sampling behind one
+//! `observe` call per retired memory operation.
+
+use crate::counter::Counter;
+use crate::events::{DataSource, EventKind};
+use crate::sampling::{SampleFilter, SampleRecord, Sampler, SamplerConfig};
+use anvil_dram::Cycle;
+use anvil_mem::{AccessKind, AccessOutcome};
+
+/// A retired memory operation as seen by the PMU: the architectural
+/// outcome plus the software context (virtual address and pid) that PEBS
+/// records capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredOp {
+    /// Virtual address the instruction accessed.
+    pub vaddr: u64,
+    /// Issuing process.
+    pub pid: u32,
+    /// The memory system's view of the access.
+    pub outcome: AccessOutcome,
+}
+
+/// The PMU of the simulated core.
+///
+/// # Examples
+///
+/// ```
+/// use anvil_pmu::{EventKind, Pmu, SamplerConfig};
+///
+/// let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+/// pmu.counter_mut(EventKind::LongestLatCacheMiss).arm(20_000);
+/// assert_eq!(pmu.counter(EventKind::LongestLatCacheMiss).read(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Pmu {
+    llc_miss: Counter,
+    llc_miss_loads: Counter,
+    sampler: Sampler,
+    interrupts: u64,
+}
+
+impl Pmu {
+    /// Creates a PMU with the given sampling configuration; counters
+    /// free-run, sampling starts disabled.
+    pub fn new(sampling: SamplerConfig) -> Self {
+        Pmu {
+            llc_miss: Counter::new(),
+            llc_miss_loads: Counter::new(),
+            sampler: Sampler::new(sampling),
+            interrupts: 0,
+        }
+    }
+
+    /// Read-only access to a counter.
+    pub fn counter(&self, event: EventKind) -> &Counter {
+        match event {
+            EventKind::LongestLatCacheMiss => &self.llc_miss,
+            EventKind::MemLoadUopsRetiredLlcMiss => &self.llc_miss_loads,
+        }
+    }
+
+    /// Mutable access to a counter (to arm/clear it).
+    pub fn counter_mut(&mut self, event: EventKind) -> &mut Counter {
+        match event {
+            EventKind::LongestLatCacheMiss => &mut self.llc_miss,
+            EventKind::MemLoadUopsRetiredLlcMiss => &mut self.llc_miss_loads,
+        }
+    }
+
+    /// The sampling engine.
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// Arms PEBS sampling with `filter`, starting at `now`.
+    pub fn enable_sampling(&mut self, filter: SampleFilter, now: Cycle) {
+        self.sampler.enable(filter, now);
+    }
+
+    /// Disarms PEBS sampling.
+    pub fn disable_sampling(&mut self) {
+        self.sampler.disable();
+    }
+
+    /// Drains the PEBS buffer.
+    pub fn drain_samples(&mut self) -> Vec<SampleRecord> {
+        self.sampler.drain()
+    }
+
+    /// Total counter-overflow interrupts raised (for overhead accounting).
+    pub fn interrupts_raised(&self) -> u64 {
+        self.interrupts
+    }
+
+    /// Total PEBS samples taken (each costs a microcode assist).
+    pub fn samples_taken(&self) -> u64 {
+        self.sampler.samples_taken()
+    }
+
+    /// Feeds one retired memory operation completing at `now`. Returns
+    /// what the hardware did (interrupt raised? sample taken?) so the
+    /// platform can charge the corresponding costs.
+    pub fn observe_at(&mut self, op: &RetiredOp, now: Cycle) -> PmuEffect {
+        let mut effect = PmuEffect::default();
+        if op.outcome.llc_miss() {
+            if self.llc_miss.add(1, now) {
+                effect.interrupt = Some(EventKind::LongestLatCacheMiss);
+                self.interrupts += 1;
+            }
+            if matches!(op.outcome.kind, AccessKind::Read)
+                && self.llc_miss_loads.add(1, now)
+            {
+                effect.interrupt = Some(EventKind::MemLoadUopsRetiredLlcMiss);
+                self.interrupts += 1;
+            }
+        }
+        effect.sampled = self.sampler.observe(
+            op.vaddr,
+            op.pid,
+            op.outcome.kind,
+            DataSource::from(op.outcome.level),
+            op.outcome.advance,
+            now,
+        );
+        effect
+    }
+}
+
+/// What the PMU did in response to one retired operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmuEffect {
+    /// A counter crossed its armed threshold.
+    pub interrupt: Option<EventKind>,
+    /// A PEBS sample was recorded (costs a microcode assist).
+    pub sampled: bool,
+}
+
+impl PmuEffect {
+    /// Whether anything happened that costs CPU time.
+    pub fn any(&self) -> bool {
+        self.interrupt.is_some() || self.sampled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_cache::HitLevel;
+
+    fn op(level: HitLevel, kind: AccessKind, advance: u64) -> RetiredOp {
+        RetiredOp {
+            vaddr: 0x1000,
+            pid: 7,
+            outcome: AccessOutcome {
+                paddr: 0x2000,
+                kind,
+                level,
+                advance,
+                dram: None,
+            },
+        }
+    }
+
+    #[test]
+    fn miss_counter_counts_only_llc_misses() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        pmu.observe_at(&op(HitLevel::L1, AccessKind::Read, 2), 0);
+        pmu.observe_at(&op(HitLevel::L3, AccessKind::Read, 9), 10);
+        pmu.observe_at(&op(HitLevel::Memory, AccessKind::Read, 180), 20);
+        pmu.observe_at(&op(HitLevel::Memory, AccessKind::Write, 180), 30);
+        assert_eq!(pmu.counter(EventKind::LongestLatCacheMiss).read(), 2);
+        assert_eq!(pmu.counter(EventKind::MemLoadUopsRetiredLlcMiss).read(), 1);
+    }
+
+    #[test]
+    fn armed_counter_raises_interrupt() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        pmu.counter_mut(EventKind::LongestLatCacheMiss).arm(3);
+        let mut fired = 0;
+        for t in 0..5u64 {
+            let e = pmu.observe_at(&op(HitLevel::Memory, AccessKind::Read, 180), t);
+            if e.interrupt == Some(EventKind::LongestLatCacheMiss) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "interrupt exactly once per arm");
+        assert_eq!(pmu.interrupts_raised(), 1);
+    }
+
+    #[test]
+    fn sampling_records_dram_loads() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        pmu.enable_sampling(SampleFilter::LoadsOnly, 0);
+        let e = pmu.observe_at(&op(HitLevel::Memory, AccessKind::Read, 180), 0);
+        assert!(e.sampled);
+        let records = pmu.drain_samples();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].source.is_dram());
+        assert_eq!(records[0].pid, 7);
+    }
+
+    #[test]
+    fn l1_hits_never_sampled_as_loads() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        pmu.enable_sampling(SampleFilter::LoadsOnly, 0);
+        let e = pmu.observe_at(&op(HitLevel::L1, AccessKind::Read, 2), 0);
+        assert!(!e.sampled);
+    }
+}

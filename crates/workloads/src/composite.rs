@@ -1,0 +1,190 @@
+//! Phase-structured workloads built from pattern primitives.
+
+use crate::op::{Workload, WorkloadOp};
+use crate::pattern::{Pattern, PatternState};
+use anvil_mem::AccessKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One phase of a composite workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Operations before moving to the next phase.
+    pub ops: u64,
+    /// Address pattern.
+    pub pattern: Pattern,
+    /// Region of the arena the pattern runs over: (base, bytes).
+    pub region: (u64, u64),
+    /// Store fraction in per-mille.
+    pub store_per_mille: u32,
+    /// Compute cycles between memory operations.
+    pub compute_cycles: u64,
+}
+
+/// A benchmark model: a named arena and a cyclic sequence of phases,
+/// mirroring how real programs alternate between kernels with different
+/// memory behaviour.
+#[derive(Debug)]
+pub struct CompositeWorkload {
+    name: String,
+    arena_bytes: u64,
+    phases: Vec<Phase>,
+    rng: SmallRng,
+    current: usize,
+    remaining: u64,
+    state: PatternState,
+}
+
+impl CompositeWorkload {
+    /// Creates a workload cycling through `phases` over an arena of
+    /// `arena_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, any phase has zero ops, or a phase
+    /// region exceeds the arena.
+    pub fn new(
+        name: impl Into<String>,
+        arena_bytes: u64,
+        phases: Vec<Phase>,
+        seed: u64,
+    ) -> Self {
+        assert!(!phases.is_empty(), "workload needs at least one phase");
+        for p in &phases {
+            assert!(p.ops > 0, "phase must run at least one op");
+            assert!(p.store_per_mille <= 1000, "store fraction out of range");
+            let (base, bytes) = p.region;
+            assert!(
+                base + bytes <= arena_bytes,
+                "phase region {base}+{bytes} beyond arena {arena_bytes}"
+            );
+        }
+        let first = phases[0];
+        CompositeWorkload {
+            name: name.into(),
+            arena_bytes,
+            rng: SmallRng::seed_from_u64(seed),
+            current: 0,
+            remaining: first.ops,
+            state: PatternState::new(first.pattern, first.region.0, first.region.1),
+            phases,
+        }
+    }
+
+    fn advance_phase(&mut self) {
+        self.current = (self.current + 1) % self.phases.len();
+        let p = self.phases[self.current];
+        self.remaining = p.ops;
+        self.state = PatternState::new(p.pattern, p.region.0, p.region.1);
+    }
+
+    /// Index of the phase currently executing (diagnostic).
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+}
+
+impl Workload for CompositeWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn arena_bytes(&self) -> u64 {
+        self.arena_bytes
+    }
+
+    fn next_op(&mut self) -> WorkloadOp {
+        if self.remaining == 0 {
+            self.advance_phase();
+        }
+        self.remaining -= 1;
+        let p = self.phases[self.current];
+        let offset = self.state.next_offset(&mut self.rng);
+        let kind = if self.rng.gen_range(0..1000) < p.store_per_mille {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        WorkloadOp {
+            offset,
+            kind,
+            compute_cycles: p.compute_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase() -> CompositeWorkload {
+        CompositeWorkload::new(
+            "t",
+            1 << 20,
+            vec![
+                Phase {
+                    ops: 3,
+                    pattern: Pattern::Stream { step: 8 },
+                    region: (0, 1024),
+                    store_per_mille: 0,
+                    compute_cycles: 5,
+                },
+                Phase {
+                    ops: 2,
+                    pattern: Pattern::Loop { step: 64 },
+                    region: (4096, 256),
+                    store_per_mille: 1000,
+                    compute_cycles: 1,
+                },
+            ],
+            42,
+        )
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let mut w = two_phase();
+        for _ in 0..3 {
+            assert_eq!(w.current_phase(), 0);
+            let op = w.next_op();
+            assert!(op.offset < 1024);
+            assert_eq!(op.kind, AccessKind::Read);
+            assert_eq!(op.compute_cycles, 5);
+        }
+        for _ in 0..2 {
+            let op = w.next_op();
+            assert_eq!(w.current_phase(), 1);
+            assert!((4096..4096 + 256).contains(&op.offset));
+            assert_eq!(op.kind, AccessKind::Write);
+        }
+        w.next_op();
+        assert_eq!(w.current_phase(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = two_phase();
+        let mut b = two_phase();
+        for _ in 0..50 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond arena")]
+    fn oversized_region_panics() {
+        CompositeWorkload::new(
+            "bad",
+            100,
+            vec![Phase {
+                ops: 1,
+                pattern: Pattern::Chase,
+                region: (0, 200),
+                store_per_mille: 0,
+                compute_cycles: 0,
+            }],
+            1,
+        );
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # anvil-workloads
+//!
+//! SPEC CPU2006-integer-like synthetic workload models for the ANVIL
+//! (ASPLOS 2016) reproduction. The paper evaluates ANVIL's slowdown
+//! (Figure 3/4) and false-positive rate (Tables 4/5) on the SPEC2006
+//! integer suite; these models reproduce each benchmark's last-level-cache
+//! miss behaviour, DRAM locality, and load/store mix — the only properties
+//! those experiments depend on. See `DESIGN.md` §1 for the substitution
+//! rationale.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use anvil_workloads::SpecBenchmark;
+//!
+//! let mut mcf = SpecBenchmark::Mcf.build(42);
+//! let op = mcf.next_op();
+//! assert!(op.offset < mcf.arena_bytes());
+//! ```
+
+mod composite;
+mod op;
+mod pattern;
+mod spec;
+mod trace;
+
+pub use composite::{CompositeWorkload, Phase};
+pub use op::{Workload, WorkloadOp};
+pub use pattern::{Pattern, PatternState};
+pub use spec::SpecBenchmark;
+pub use trace::{record_trace, TraceParseError, TraceWorkload};

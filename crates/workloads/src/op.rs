@@ -1,0 +1,32 @@
+//! The workload abstraction: a deterministic stream of memory operations.
+
+use anvil_mem::AccessKind;
+
+/// One operation a workload wants to execute next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadOp {
+    /// Byte offset within the workload's arena (the platform maps the
+    /// arena and adds the base virtual address).
+    pub offset: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Non-memory work preceding the access, in cycles.
+    pub compute_cycles: u64,
+}
+
+/// A synthetic program: a named arena size plus an endless, deterministic
+/// stream of [`WorkloadOp`]s.
+///
+/// Implementations model the memory behaviour of the SPEC CPU2006 integer
+/// benchmarks the paper evaluates with (Section 4.1); the platform runner
+/// in `anvil-core` executes them against the simulated memory system.
+pub trait Workload: std::fmt::Debug + Send {
+    /// Benchmark name (e.g. `"mcf"`).
+    fn name(&self) -> &str;
+
+    /// Bytes of memory the workload needs mapped.
+    fn arena_bytes(&self) -> u64;
+
+    /// Produces the next operation. Streams are endless; generators wrap.
+    fn next_op(&mut self) -> WorkloadOp;
+}

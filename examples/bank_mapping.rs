@@ -1,0 +1,92 @@
+//! Reverse-engineering the DRAM bank function from timing alone.
+//!
+//! ANVIL "was pre-configured using a reverse engineered physical address
+//! to DRAM row and bank mapping scheme" (Section 3.3) — and attackers
+//! derive the same knowledge from row-conflict timing (the DRAMA
+//! technique). This example plays that game against the simulated
+//! controller: for each candidate physical-address bit, it asks whether
+//! flipping the bit changes the bank (conflict timing disappears) and
+//! reconstructs the bank function, then checks the answer against the
+//! simulator's ground truth.
+//!
+//! ```bash
+//! cargo run --release --example bank_mapping
+//! ```
+
+use anvil::attacks::{build_eviction_set_by_timing, same_bank_by_timing};
+use anvil::mem::{AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, Process};
+
+fn main() {
+    let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+    let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+    let mut p = Process::new(1, "mapper");
+    let len = 32 << 20;
+    let arena = p.mmap(len, &mut frames).expect("memory");
+
+    // Probe base and its row buddy.
+    let a = arena + 64;
+    let buddy = a + 64;
+    let set_a = build_eviction_set_by_timing(&mut sys, &p, arena, len, a)
+        .expect("eviction set for the probe");
+    let set_buddy = build_eviction_set_by_timing(&mut sys, &p, arena, len, buddy)
+        .expect("eviction set for the buddy");
+
+    println!("probing which PA bits participate in bank selection...\n");
+    println!("{:<8} {:>18} {:>14}", "PA bit", "same bank as base?", "ground truth");
+
+    let mapping = *sys.dram().mapping();
+    let truth_bank = |va: u64| mapping.location_of(p.translate(va).unwrap()).bank;
+    let base_bank = truth_bank(a);
+
+    let mut recovered_bank_bits = Vec::new();
+    let mut correct = 0;
+    let mut total = 0;
+    // Bits 13..21 cover the bank, rank, and low row bits of the DDR3
+    // mapping; flipping a bank-relevant bit moves the line to another
+    // bank, which the row-conflict channel observes directly.
+    for bit in 13..21u32 {
+        let b = a ^ (1u64 << bit);
+        if b < arena || b + 64 > arena + len {
+            continue;
+        }
+        let Ok(set_b) = build_eviction_set_by_timing(&mut sys, &p, arena, len, b) else {
+            continue;
+        };
+        let measured_same =
+            same_bank_by_timing(&mut sys, &p, (a, &set_a), (buddy, &set_buddy), (b, &set_b), 8);
+        let truth_same = truth_bank(b) == base_bank && {
+            let la = mapping.location_of(p.translate(a).unwrap());
+            let lb = mapping.location_of(p.translate(b).unwrap());
+            la.row != lb.row
+        };
+        // Same row => the channel cannot answer; skip those bits.
+        let la = mapping.location_of(p.translate(a).unwrap());
+        let lb = mapping.location_of(p.translate(b).unwrap());
+        if la.row == lb.row && la.bank == lb.bank {
+            println!("{bit:<8} {:>18} {:>14}", "same row", "-");
+            continue;
+        }
+        total += 1;
+        if measured_same == truth_same {
+            correct += 1;
+        }
+        if !measured_same {
+            recovered_bank_bits.push(bit);
+        }
+        println!(
+            "{bit:<8} {:>18} {:>14}",
+            if measured_same { "yes" } else { "NO (bank bit)" },
+            if truth_same { "yes" } else { "no" },
+        );
+    }
+
+    println!(
+        "\nrecovered bank-affecting PA bits: {recovered_bank_bits:?} ({correct}/{total} probes agree with ground truth)"
+    );
+    assert_eq!(correct, total, "the timing channel must agree with the mapping");
+    println!(
+        "With these bits (and the row XOR they imply), an attacker assembles the\n\
+         same mapping table ANVIL itself was configured with — from user space,\n\
+         with loads alone."
+    );
+}

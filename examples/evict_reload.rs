@@ -1,0 +1,99 @@
+//! Evict+Reload: the CLFLUSH-free cache side channel (paper Section 2.2).
+//!
+//! "In addition to rowhammering, the technique used in the CLFLUSH-free
+//! rowhammering attack can be used in other attacks that need to flush the
+//! cache at specific addresses. For example the Flush+Reload cache
+//! side-channel attack relies on the CLFLUSH instruction. Our CLFLUSH-free
+//! cache flushing method can extend this attack to situations where the
+//! CLFLUSH instruction is not available (e.g., JavaScript)."
+//!
+//! A spy and a victim share a read-only page (as with a shared library).
+//! The spy transmits nothing and writes nothing: it *evicts* the probe
+//! line through an eviction set, lets the victim run, then reloads the
+//! probe and times it. A fast reload means the victim touched the secret-
+//! dependent line. Here the victim leaks an 8-bit secret, one bit per
+//! round.
+//!
+//! ```bash
+//! cargo run --release --example evict_reload
+//! ```
+
+use anvil::attacks::build_eviction_set;
+use anvil::mem::{
+    AccessKind, AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy,
+    Process, PAGE_SIZE,
+};
+
+fn main() {
+    let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+    let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+
+    // A shared read-only page (think: one function of a crypto library).
+    let mut victim = Process::new(1, "victim");
+    let shared_va_victim = victim.mmap(PAGE_SIZE, &mut frames).expect("memory");
+    let shared_pfn = victim.translate(shared_va_victim).unwrap() >> 12;
+
+    // The spy maps the same physical page and a private arena for
+    // eviction sets.
+    let mut spy = Process::new(2, "spy");
+    let shared_va_spy = spy.mmap_shared(&[shared_pfn]);
+    let arena_len = 24 << 20;
+    let arena = spy.mmap(arena_len, &mut frames).expect("memory");
+
+    // The probe: the line the victim touches iff the current secret bit
+    // is 1.
+    let probe_spy = shared_va_spy + 0x240;
+    let probe_victim = shared_va_victim + 0x240;
+
+    // Build the eviction set for the probe line — same machinery as the
+    // rowhammer attack, no CLFLUSH anywhere.
+    let eviction = build_eviction_set(
+        &spy,
+        PagemapPolicy::Open,
+        sys.hierarchy(),
+        arena,
+        arena_len,
+        probe_spy,
+    )
+    .expect("arena large enough");
+    println!(
+        "spy built a {}-address eviction set for the shared probe line",
+        eviction.len()
+    );
+
+    let secret: u8 = 0b1011_0010;
+    println!("victim's secret: {secret:#010b}");
+
+    let hit_threshold = 60; // cycles: L3 hit ~9, DRAM ~190
+    let mut recovered = 0u8;
+    for bit in (0..8).rev() {
+        // 1. Evict: walk the eviction set (loads only). Two passes — a
+        //    single in-order pass does not always displace the probe under
+        //    Bit-PLRU, which is exactly why the rowhammer attack needed a
+        //    tuned pattern (Section 2.2).
+        for _ in 0..2 {
+            for &c in &eviction.conflict_vas {
+                let pa = spy.translate(c).unwrap();
+                sys.access(pa, AccessKind::Read);
+            }
+        }
+        // 2. Victim runs: touches the probe iff its secret bit is 1.
+        if (secret >> bit) & 1 == 1 {
+            let pa = victim.translate(probe_victim).unwrap();
+            sys.access(pa, AccessKind::Read);
+        }
+        // 3. Reload and time.
+        let pa = spy.translate(probe_spy).unwrap();
+        let t = sys.access(pa, AccessKind::Read).advance;
+        let guessed = u8::from(t < hit_threshold);
+        recovered = (recovered << 1) | guessed;
+        println!(
+            "bit {bit}: reload took {t:>3} cycles -> {}",
+            if guessed == 1 { "HIT  (victim touched it): 1" } else { "miss (victim idle):       0" }
+        );
+    }
+
+    println!("\nrecovered secret: {recovered:#010b}");
+    assert_eq!(recovered, secret, "the covert channel must be error-free here");
+    println!("OK: Flush+Reload without CLFLUSH — the paper's Section 2.2 corollary.");
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # anvil
+//!
+//! Facade crate for the reproduction of **"ANVIL: Software-Based
+//! Protection Against Next-Generation Rowhammer Attacks"** (Aweke,
+//! Yitbarek, Qiao, Das, Hicks, Oren, Austin — ASPLOS 2016).
+//!
+//! Everything runs on a simulated Intel Sandy Bridge i5-2540M with a 4 GB
+//! DDR3 module, calibrated to the paper's measurements (see `DESIGN.md`).
+//! The workspace is organized as one crate per subsystem; this crate
+//! re-exports them under stable module names:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`dram`] | DRAM geometry/timing/refresh, the rowhammer disturbance model, PARA & TRR |
+//! | [`cache`] | Three-level hierarchy, Bit-PLRU and friends, policy fingerprinting |
+//! | [`mem`] | Physical memory, paging, pagemap, the cycle-accounted access engine |
+//! | [`pmu`] | Event counters and PEBS-style load-latency / precise-store sampling |
+//! | [`attacks`] | CLFLUSH single/double-sided and the CLFLUSH-free attack |
+//! | [`workloads`] | SPEC CPU2006-integer-like benchmark models |
+//! | [`core`] | The ANVIL detector and the full-system platform runner |
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use anvil::core::{AnvilConfig, Platform, PlatformConfig};
+//! use anvil::attacks::ClflushFreeDoubleSided;
+//!
+//! // An attacker armed with the paper's CLFLUSH-free attack...
+//! let mut machine = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+//! machine.add_attack(Box::new(ClflushFreeDoubleSided::new()))?;
+//! machine.run_ms(64.0); // one DRAM refresh window
+//!
+//! // ...hammers for a full refresh window and flips nothing.
+//! assert_eq!(machine.total_flips(), 0);
+//! assert!(!machine.detections().is_empty());
+//! # Ok::<(), anvil::attacks::AttackError>(())
+//! ```
+
+pub use anvil_attacks as attacks;
+pub use anvil_cache as cache;
+pub use anvil_core as core;
+pub use anvil_dram as dram;
+pub use anvil_mem as mem;
+pub use anvil_pmu as pmu;
+pub use anvil_workloads as workloads;

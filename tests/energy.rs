@@ -1,0 +1,60 @@
+//! Energy accounting across the platform (the paper's §2.1 refresh-power
+//! argument, end to end).
+
+use anvil::core::{Platform, PlatformConfig};
+use anvil::dram::EnergyModel;
+use anvil::mem::MemoryConfig;
+use anvil::workloads::SpecBenchmark;
+
+fn refresh_power_mw(refresh_ms: f64) -> f64 {
+    let clock = MemoryConfig::paper_platform().clock;
+    let mut cfg = MemoryConfig::paper_platform();
+    cfg.dram = cfg.dram.with_refresh_ms(clock, refresh_ms);
+    let mut p = Platform::new(PlatformConfig { memory: cfg, ..PlatformConfig::unprotected() });
+    let pid = p.add_workload(SpecBenchmark::Libquantum.build(3));
+    p.run_core_ops(pid, 200_000);
+    let now = p.sys().now();
+    p.sys().dram().energy(&EnergyModel::ddr3(), now, &clock).refresh_mw()
+}
+
+#[test]
+fn refresh_power_doubles_per_halving() {
+    let p64 = refresh_power_mw(64.0);
+    let p32 = refresh_power_mw(32.0);
+    let p16 = refresh_power_mw(16.0);
+    assert!((1.9..2.1).contains(&(p32 / p64)), "{}", p32 / p64);
+    assert!((3.9..4.1).contains(&(p16 / p64)), "{}", p16 / p64);
+}
+
+#[test]
+fn demand_traffic_energy_tracks_miss_rate() {
+    let clock = MemoryConfig::paper_platform().clock;
+    let energy_for = |bench: SpecBenchmark| {
+        let mut p = Platform::new(PlatformConfig::unprotected());
+        let pid = p.add_workload(bench.build(3));
+        p.run_core_ops(pid, 300_000);
+        let now = p.sys().now();
+        let r = p.sys().dram().energy(&EnergyModel::ddr3(), now, &clock);
+        // Normalize per second so different run lengths compare.
+        (r.activation_nj + r.access_nj) / r.seconds
+    };
+    let mcf = energy_for(SpecBenchmark::Mcf);
+    let h264 = energy_for(SpecBenchmark::H264ref);
+    assert!(
+        mcf > 20.0 * h264,
+        "memory-bound mcf ({mcf:.0} nJ/s) must dwarf cache-resident h264ref ({h264:.0} nJ/s)"
+    );
+}
+
+#[test]
+fn idle_module_energy_is_pure_refresh() {
+    let clock = MemoryConfig::paper_platform().clock;
+    let mut p = Platform::new(PlatformConfig::unprotected());
+    // One nearly idle workload (tiny loop, huge compute per op).
+    let pid = p.add_workload(SpecBenchmark::Hmmer.build(1));
+    // Long enough that the one-time arena warmup is amortized away.
+    p.run_core_ops(pid, 800_000);
+    let now = p.sys().now();
+    let r = p.sys().dram().energy(&EnergyModel::ddr3(), now, &clock);
+    assert!(r.refresh_share() > 0.9, "share {}", r.refresh_share());
+}

@@ -1,0 +1,154 @@
+//! Property-based tests on the core data structures and invariants.
+
+use anvil::cache::{Cache, CacheConfig, CacheHierarchy, HierarchyConfig, PolicyKind};
+use anvil::dram::{
+    AddressMapping, BankId, DramGeometry, DramLocation, DramTiming, RefreshSchedule,
+};
+use anvil::mem::{AccessKind, MemoryConfig, MemorySystem};
+use proptest::prelude::*;
+
+proptest! {
+    /// Address mapping is a bijection over the module.
+    #[test]
+    fn mapping_round_trips(pa in 0u64..(4u64 << 30)) {
+        let map = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let loc = map.location_of(pa);
+        prop_assert_eq!(map.address_of(loc), pa);
+    }
+
+    /// Same-bank row offsets preserve bank and column and shift the row.
+    #[test]
+    fn row_offsets_stay_in_bank(pa in 0u64..(4u64 << 30), delta in -4i64..=4) {
+        let map = AddressMapping::new(DramGeometry::ddr3_4gb());
+        if let Some(pa2) = map.same_bank_row_offset(pa, delta) {
+            let a = map.location_of(pa);
+            let b = map.location_of(pa2);
+            prop_assert_eq!(a.bank, b.bank);
+            prop_assert_eq!(a.col, b.col);
+            prop_assert_eq!(b.row as i64 - a.row as i64, delta);
+        }
+    }
+
+    /// Decoded locations are always within the geometry.
+    #[test]
+    fn locations_in_bounds(pa in 0u64..(4u64 << 30)) {
+        let geom = DramGeometry::ddr3_4gb();
+        let map = AddressMapping::new(geom);
+        let loc = map.location_of(pa);
+        prop_assert!(loc.bank.0 < geom.total_banks());
+        prop_assert!(loc.row < geom.rows_per_bank);
+        prop_assert!(loc.col < geom.row_bytes);
+    }
+
+    /// Every row's auto-refresh period equals the schedule period, for
+    /// arbitrary rows and observation times.
+    #[test]
+    fn refresh_is_periodic(row in 0u32..32_768, t in 0u64..2_000_000_000) {
+        let timing = DramTiming::default();
+        let s = RefreshSchedule::new(&timing, 32_768);
+        if let Some(last) = s.last_refresh(row, t) {
+            prop_assert!(last <= t);
+            prop_assert_eq!(s.last_refresh(row, last), Some(last));
+            prop_assert_eq!(s.next_refresh(row, last), last + s.period());
+        }
+        prop_assert!(s.next_refresh(row, t) > t);
+    }
+
+    /// A cache never holds more lines than its capacity, never reports a
+    /// hit for a line it does not hold, and probing agrees with access.
+    #[test]
+    fn cache_capacity_invariant(
+        addrs in prop::collection::vec(0u64..(1 << 16), 1..200),
+        policy_sel in 0usize..5,
+    ) {
+        let policy = PolicyKind::deterministic_candidates()[policy_sel];
+        let mut c = Cache::new(CacheConfig {
+            capacity_bytes: 2048,
+            ways: 4,
+            line_bytes: 64,
+            policy,
+            latency: 4,
+        });
+        for &a in &addrs {
+            let was_resident = c.probe(a);
+            let r = c.access(a, false);
+            prop_assert_eq!(r.hit, was_resident, "probe/access disagree");
+            prop_assert!(c.resident_lines() <= 32);
+            prop_assert!(c.probe(a), "just-accessed line must be resident");
+        }
+    }
+
+    /// Inclusion: any line in L1 or L2 is also in the LLC.
+    #[test]
+    fn hierarchy_inclusion_invariant(
+        addrs in prop::collection::vec(0u64..(1 << 18), 1..300),
+        writes in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+        for (&a, &w) in addrs.iter().zip(writes.iter().cycle()) {
+            h.access(a, w);
+        }
+        // Check inclusion for every address we touched.
+        for &a in &addrs {
+            if matches!(h.probe(a), Some(anvil::cache::HitLevel::L1 | anvil::cache::HitLevel::L2)) {
+                prop_assert!(h.llc_probe(a), "inclusion violated for {:#x}", a);
+            }
+        }
+    }
+
+    /// The memory system's clock is monotone and every access costs time.
+    #[test]
+    fn clock_monotone(ops in prop::collection::vec((0u64..(1 << 20), any::<bool>()), 1..200)) {
+        let mut sys = MemorySystem::new(MemoryConfig::tiny());
+        let mut last = sys.now();
+        for &(pa, w) in &ops {
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            let o = sys.access(pa, kind);
+            prop_assert!(o.advance > 0);
+            prop_assert!(sys.now() > last);
+            last = sys.now();
+        }
+    }
+
+    /// Stored data reads back, regardless of interleaved traffic.
+    #[test]
+    fn data_integrity_without_hammering(
+        writes in prop::collection::vec((0u64..(1 << 20), any::<u64>()), 1..50),
+    ) {
+        let mut sys = MemorySystem::new(MemoryConfig::tiny());
+        let mut expected = std::collections::HashMap::new();
+        for &(pa, v) in &writes {
+            let pa = pa & !7;
+            sys.store_u64(pa, v);
+            expected.insert(pa, v);
+        }
+        for (&pa, &v) in &expected {
+            let (got, _) = sys.load_u64(pa);
+            prop_assert_eq!(got, v);
+        }
+    }
+
+    /// Bank-aware addressing: two addresses with equal bank+row always
+    /// land in the same row buffer (no aliasing in the decode).
+    #[test]
+    fn no_decode_aliasing(pa1 in 0u64..(4u64 << 30), pa2 in 0u64..(4u64 << 30)) {
+        let map = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let (a, b) = (map.location_of(pa1), map.location_of(pa2));
+        if a == b {
+            prop_assert_eq!(pa1, pa2);
+        }
+    }
+}
+
+#[test]
+fn dram_location_constructor_round_trip() {
+    let map = AddressMapping::new(DramGeometry::ddr3_4gb());
+    for bank in 0..16 {
+        let loc = DramLocation {
+            bank: BankId(bank),
+            row: 1000 + bank,
+            col: 64 * bank,
+        };
+        assert_eq!(map.location_of(map.address_of(loc)), loc);
+    }
+}

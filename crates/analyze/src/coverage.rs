@@ -1,0 +1,207 @@
+//! Static detector-coverage and configuration checks.
+//!
+//! [`check_coverage`] answers: given a pattern the bounds analysis proved
+//! hammer-capable, would an [`AnvilConfig`] detector actually notice it?
+//! Each of the detector's gates — the stage-1 LLC-miss-count trigger, the
+//! stage-2 estimated activation rate, the per-row sample floor and the
+//! bank-locality corroboration — is evaluated against the pattern's
+//! static bounds, and every gate the pattern slips through becomes an
+//! escape reason.
+//!
+//! [`check_config`] flags configurations that are internally inconsistent
+//! or that *no* pattern could trip — dead detectors that
+//! [`AnvilConfig::validate`] alone cannot spot because the problem only
+//! appears next to the platform's timing constants.
+
+use anvil_core::AnvilConfig;
+use anvil_dram::{CpuClock, DisturbanceConfig, DramTiming};
+use serde::Serialize;
+
+use crate::bounds::PatternBounds;
+use crate::verdict::{per_side_requirement, Verdict};
+
+/// Outcome of the static coverage check for one pattern.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum CoverageVerdict {
+    /// Every detector gate is guaranteed to trip on this pattern.
+    Covered,
+    /// At least one gate can miss the pattern; the reasons list each one.
+    Escapes {
+        /// One entry per gate the pattern can slip through.
+        reasons: Vec<String>,
+    },
+    /// The pattern is not proven hammer-capable, so coverage is moot.
+    NotApplicable,
+}
+
+/// Severity of a configuration finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Severity {
+    /// The configuration is unusable or cannot detect anything.
+    Error,
+    /// The configuration works but has a coverage gap or oddity.
+    Warning,
+}
+
+/// One statically detected configuration problem.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConfigFinding {
+    /// How bad it is.
+    pub severity: Severity,
+    /// The configuration field (or field combination) at fault.
+    pub field: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Checks whether `anvil` is guaranteed to detect a pattern with the
+/// given static `bounds` and `verdict`. `refresh_period` is the DRAM
+/// auto-refresh window in CPU cycles (the horizon the bounds use).
+pub fn check_coverage(
+    anvil: &AnvilConfig,
+    clock: &CpuClock,
+    refresh_period: u64,
+    bounds: &PatternBounds,
+    verdict: Verdict,
+) -> CoverageVerdict {
+    if !matches!(verdict, Verdict::HammerCapable { .. }) {
+        return CoverageVerdict::NotApplicable;
+    }
+    let mut reasons = Vec::new();
+
+    // Stage 1: the miss counter must reach the threshold in one tc window.
+    let tc = anvil.tc_cycles(clock) as f64;
+    let guaranteed_misses = bounds.miss_rate.lo * tc;
+    if guaranteed_misses < anvil.llc_miss_threshold as f64 {
+        reasons.push(format!(
+            "stage 1: guaranteed {guaranteed_misses:.0} LLC misses per tc window < \
+             llc_miss_threshold {}",
+            anvil.llc_miss_threshold
+        ));
+    }
+
+    // Stage 2 rate gate: the detector extrapolates per-row activations per
+    // refresh period from the sample share; the true rate (our lower
+    // bound) must clear the suspicion threshold.
+    let required = (anvil.min_hammer_accesses as f64 * anvil.rate_safety).max(1.0);
+    if (bounds.per_side.lo as f64) < required {
+        reasons.push(format!(
+            "stage 2: guaranteed per-row rate {} per refresh period < required {required:.0}",
+            bounds.per_side.lo
+        ));
+    }
+
+    // Stage 2 sample floor: enough samples must land on the aggressor row
+    // within one ts window.
+    let ts = anvil.ts_cycles(clock) as f64;
+    let samples_per_ts = ts / anvil.sampling.interval as f64;
+    let per_row_share = bounds.aggressor_miss_share / f64::from(bounds.sides.max(1));
+    let expected_row_samples = samples_per_ts * per_row_share;
+    if expected_row_samples < f64::from(anvil.row_sample_floor) {
+        reasons.push(format!(
+            "stage 2: expected {expected_row_samples:.1} samples on the aggressor row per ts \
+             window < row_sample_floor {}",
+            anvil.row_sample_floor
+        ));
+    }
+
+    // Stage 2 bank corroboration: other same-bank rows must also be
+    // sampled at least bank_support_min times.
+    let expected_support = expected_row_samples * f64::from(bounds.same_bank_rows);
+    if expected_support < f64::from(anvil.bank_support_min) {
+        reasons.push(format!(
+            "stage 2: expected {expected_support:.1} same-bank corroborating samples < \
+             bank_support_min {}",
+            anvil.bank_support_min
+        ));
+    }
+
+    let _ = refresh_period;
+    if reasons.is_empty() {
+        CoverageVerdict::Covered
+    } else {
+        CoverageVerdict::Escapes { reasons }
+    }
+}
+
+/// Statically validates an [`AnvilConfig`] against the platform timing
+/// and disturbance thresholds, beyond what `AnvilConfig::validate` can
+/// check in isolation.
+pub fn check_config(
+    anvil: &AnvilConfig,
+    clock: &CpuClock,
+    timing: &DramTiming,
+    disturbance: &DisturbanceConfig,
+) -> Vec<ConfigFinding> {
+    let mut findings = Vec::new();
+    if let Err(e) = anvil.validate() {
+        findings.push(ConfigFinding {
+            severity: Severity::Error,
+            field: "validate".into(),
+            message: e,
+        });
+        return findings;
+    }
+
+    // Stage 1 reachability: even a loop of back-to-back row-buffer hits
+    // cannot generate more than tc / row_hit misses.
+    let tc = anvil.tc_cycles(clock);
+    let max_misses_per_tc = tc / timing.row_hit.max(1);
+    if max_misses_per_tc < anvil.llc_miss_threshold {
+        findings.push(ConfigFinding {
+            severity: Severity::Error,
+            field: "llc_miss_threshold/tc_ms".into(),
+            message: format!(
+                "stage 1 can never trip: at most {max_misses_per_tc} LLC misses fit in one \
+                 tc window, threshold is {}",
+                anvil.llc_miss_threshold
+            ),
+        });
+    }
+
+    // Blind spot: flip-capable double-sided patterns whose per-side rate
+    // sits below the suspicion threshold escape stage 2 entirely.
+    let required = (anvil.min_hammer_accesses as f64 * anvil.rate_safety).max(1.0);
+    let flip_floor = per_side_requirement(2, disturbance) as f64;
+    if required > flip_floor {
+        findings.push(ConfigFinding {
+            severity: Severity::Error,
+            field: "min_hammer_accesses/rate_safety".into(),
+            message: format!(
+                "blind spot: stage 2 requires {required:.0} activations per refresh period but \
+                 double-sided flips need only {flip_floor:.0} per side"
+            ),
+        });
+    }
+
+    // Sampling density: the sampler must be able to reach the per-row
+    // floor within one ts window at all.
+    let samples_per_ts = anvil.ts_cycles(clock) / anvil.sampling.interval.max(1);
+    if samples_per_ts < u64::from(anvil.row_sample_floor) {
+        findings.push(ConfigFinding {
+            severity: Severity::Error,
+            field: "ts_ms/sampling.interval".into(),
+            message: format!(
+                "sampler collects at most {samples_per_ts} samples per ts window, below \
+                 row_sample_floor {}",
+                anvil.row_sample_floor
+            ),
+        });
+    }
+
+    // Reaction time: a tc window longer than the refresh period means a
+    // hammer can complete before stage 1 even closes its first window.
+    if tc > timing.refresh_period {
+        findings.push(ConfigFinding {
+            severity: Severity::Warning,
+            field: "tc_ms".into(),
+            message: format!(
+                "tc window ({tc} cycles) exceeds the refresh period \
+                 ({} cycles): flips can land before the first stage-1 decision",
+                timing.refresh_period
+            ),
+        });
+    }
+
+    findings
+}

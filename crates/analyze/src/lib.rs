@@ -1,0 +1,26 @@
+//! Static hammer-capability analysis over the ANVIL attack and workload IR.
+//!
+//! This crate answers "could this access pattern flip bits, and would the
+//! configured detector catch it?" **without running the simulator**: it
+//! abstract-interprets [`anvil_attacks::pattern::PatternTemplate`] eviction
+//! sequences and [`anvil_workloads`] phase descriptions into per-row
+//! activation-count intervals over one auto-refresh window, compares those
+//! intervals against the DRAM disturbance thresholds (Table 1 of the ANVIL
+//! paper), and checks [`anvil_core::AnvilConfig`] coverage against every
+//! pattern the analysis proves hammer-capable.
+
+mod bounds;
+mod coverage;
+mod report;
+mod verdict;
+
+pub use bounds::{
+    eviction_profile, pattern_activation_bounds, workload_activation_bounds, AccessVector,
+    ActivationInterval, AnalysisContext, EvictionProfile, MissRate, PatternBounds, WorkloadBounds,
+};
+pub use coverage::{check_config, check_coverage, ConfigFinding, CoverageVerdict, Severity};
+pub use report::{analyze_all, AnalysisReport, PatternReport, WorkloadReport};
+pub use verdict::{
+    at_risk_victims, benign_floor, classify, classify_interval, per_side_requirement, HammerStyle,
+    Verdict,
+};

@@ -1,0 +1,167 @@
+//! The full static-analysis report: every attack vector the repo's IR can
+//! express, crossed with the candidate replacement policies, plus the
+//! twelve SPEC workload models and the detector-configuration findings.
+
+use anvil_attacks::PatternTemplate;
+use anvil_cache::PolicyKind;
+use anvil_core::AnvilConfig;
+use anvil_dram::{BankId, RowId};
+use anvil_mem::MemoryConfig;
+use anvil_workloads::SpecBenchmark;
+use serde::Serialize;
+
+use crate::bounds::{
+    pattern_activation_bounds, workload_activation_bounds, AccessVector, AnalysisContext,
+    PatternBounds, WorkloadBounds,
+};
+use crate::coverage::{check_config, check_coverage, ConfigFinding, CoverageVerdict};
+use crate::verdict::{at_risk_victims, classify, classify_interval, Verdict};
+
+/// Static analysis of one attack access vector.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PatternReport {
+    /// Human-readable vector name, e.g. `eviction/paper/bit-plru`.
+    pub name: String,
+    /// Number of aggressor rows the vector drives.
+    pub sides: u8,
+    /// The static activation/miss-rate bounds.
+    pub bounds: PatternBounds,
+    /// Hammer-capability verdict.
+    pub verdict: Verdict,
+    /// Whether the supplied detector configuration is guaranteed to
+    /// catch the pattern (for capable patterns).
+    pub coverage: CoverageVerdict,
+    /// At-risk victim rows for a canonical mid-bank aggressor placement
+    /// (empty unless the pattern is proven hammer-capable).
+    pub victims: Vec<RowId>,
+}
+
+/// Static analysis of one SPEC workload model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkloadReport {
+    /// Benchmark name as in the paper's tables.
+    pub name: String,
+    /// Worst-row activation bounds per refresh window.
+    pub bounds: WorkloadBounds,
+    /// Verdict against the (stricter) double-sided per-side requirement.
+    pub verdict: Verdict,
+}
+
+/// The complete report emitted by the `static_analysis` binary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AnalysisReport {
+    /// Auto-refresh window length in CPU cycles (the bounds' horizon).
+    pub window_cycles: u64,
+    /// Per-side activations required to flip, for 1- and 2-sided vectors.
+    pub required_single_sided: u64,
+    /// See `required_single_sided`.
+    pub required_double_sided_per_side: u64,
+    /// Every attack vector analysed.
+    pub patterns: Vec<PatternReport>,
+    /// Every SPEC workload model analysed.
+    pub workloads: Vec<WorkloadReport>,
+    /// Detector-configuration findings.
+    pub config_findings: Vec<ConfigFinding>,
+}
+
+fn template_name(t: PatternTemplate) -> String {
+    match t {
+        PatternTemplate::Paper => "paper".into(),
+        PatternTemplate::Cyclic => "cyclic".into(),
+        PatternTemplate::Shortened { k } => format!("shortened{k}"),
+    }
+}
+
+fn analyze_vector(
+    name: String,
+    vector: &AccessVector,
+    ctx: &AnalysisContext,
+    memory: &MemoryConfig,
+    anvil: &AnvilConfig,
+) -> PatternReport {
+    let bounds = pattern_activation_bounds(vector, ctx);
+    let verdict = classify(&bounds, &ctx.disturbance);
+    let coverage = check_coverage(anvil, &memory.clock, ctx.window, &bounds, verdict);
+    let victims = if matches!(verdict, Verdict::HammerCapable { .. }) {
+        // Canonical placement: aggressors around the middle of bank 0.
+        let mid = memory.dram.geometry.rows_per_bank / 2;
+        let bank = BankId(0);
+        let aggressors: Vec<RowId> = if bounds.sides >= 2 {
+            vec![RowId::new(bank, mid - 1), RowId::new(bank, mid + 1)]
+        } else {
+            vec![RowId::new(bank, mid)]
+        };
+        at_risk_victims(&aggressors, &ctx.disturbance, &memory.dram.geometry)
+    } else {
+        Vec::new()
+    };
+    PatternReport {
+        name,
+        sides: bounds.sides,
+        bounds,
+        verdict,
+        coverage,
+        victims,
+    }
+}
+
+/// Runs the whole static analysis: both CLFLUSH vectors, every
+/// [`PatternTemplate`] crossed with every deterministic [`PolicyKind`]
+/// (all double-sided, as in the repo's CLFLUSH-free attack), the twelve
+/// [`SpecBenchmark`] models, and the configuration findings for `anvil`.
+pub fn analyze_all(memory: &MemoryConfig, anvil: &AnvilConfig) -> AnalysisReport {
+    let ctx = AnalysisContext::from_memory(memory);
+    let mut patterns = Vec::new();
+    for sides in [1u8, 2u8] {
+        patterns.push(analyze_vector(
+            format!(
+                "clflush/{}-sided",
+                if sides == 2 { "double" } else { "single" }
+            ),
+            &AccessVector::Clflush { sides },
+            &ctx,
+            memory,
+            anvil,
+        ));
+    }
+    for template in PatternTemplate::candidates() {
+        for policy in PolicyKind::deterministic_candidates() {
+            patterns.push(analyze_vector(
+                format!("eviction/{}/{policy}", template_name(template)),
+                &AccessVector::Eviction {
+                    template,
+                    policy,
+                    sides: 2,
+                },
+                &ctx,
+                memory,
+                anvil,
+            ));
+        }
+    }
+
+    let workloads = SpecBenchmark::all()
+        .iter()
+        .map(|b| {
+            let model = b.model();
+            let bounds = workload_activation_bounds(&model, &ctx);
+            // Judge workloads against the stricter double-sided per-side
+            // requirement: benign here means benign in any geometry.
+            let verdict = classify_interval(bounds.worst_row, 2, &ctx.disturbance);
+            WorkloadReport {
+                name: model.name.to_string(),
+                bounds,
+                verdict,
+            }
+        })
+        .collect();
+
+    AnalysisReport {
+        window_cycles: ctx.window,
+        required_single_sided: crate::verdict::per_side_requirement(1, &ctx.disturbance),
+        required_double_sided_per_side: crate::verdict::per_side_requirement(2, &ctx.disturbance),
+        patterns,
+        workloads,
+        config_findings: check_config(anvil, &memory.clock, &ctx.timing, &ctx.disturbance),
+    }
+}

@@ -1,0 +1,184 @@
+//! Classifying activation intervals against the disturbance thresholds.
+//!
+//! The DRAM model (Table 1 of the paper) flips bits in a victim row when
+//! its accumulated disturbance within one refresh window reaches the
+//! single-sided threshold, where balanced double-sided hammering is
+//! boosted so that `double_sided_threshold` *total* activations (half per
+//! side) suffice. The verdicts here compare a pattern's per-side
+//! activation interval against the per-side requirement for the most
+//! vulnerable rows — the same rows the dynamic model flips first.
+
+use anvil_dram::{DisturbanceConfig, DramGeometry, RowId};
+use serde::Serialize;
+
+use crate::bounds::{ActivationInterval, PatternBounds};
+
+/// Which hammering geometry a capable pattern realises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum HammerStyle {
+    /// One aggressor row; victims are its direct neighbours.
+    SingleSided,
+    /// Two aggressor rows sandwiching the victim.
+    DoubleSided,
+}
+
+/// The three-valued static verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// The activation lower bound meets the flip threshold: a real run is
+    /// guaranteed to accumulate flip-level disturbance on vulnerable rows.
+    HammerCapable {
+        /// The hammering geometry proven capable.
+        style: HammerStyle,
+    },
+    /// The interval straddles the threshold; the analysis cannot decide.
+    Marginal,
+    /// The activation upper bound stays below the flip threshold: no run
+    /// of this pattern can flip a bit.
+    Benign,
+}
+
+/// Per-side activations required to flip the most vulnerable rows, for a
+/// pattern driving `sides` aggressor rows.
+pub fn per_side_requirement(sides: u8, disturbance: &DisturbanceConfig) -> u64 {
+    if sides >= 2 {
+        // Balanced double-sided: the boost makes `double_sided_threshold`
+        // total (half per side) equivalent to the single-sided threshold.
+        disturbance.double_sided_threshold.div_ceil(2)
+    } else {
+        disturbance.single_sided_threshold
+    }
+}
+
+/// Per-side activation count *strictly below which* no flip is possible —
+/// the Benign decision boundary. For double-sided geometry this also
+/// charges distance-2 coupling when the module disturbs at that reach, so
+/// it can sit below [`per_side_requirement`]; counts between the two are
+/// [`Verdict::Marginal`].
+pub fn benign_floor(sides: u8, disturbance: &DisturbanceConfig) -> u64 {
+    let ss = disturbance.single_sided_threshold as f64;
+    if sides >= 2 {
+        let boost = disturbance.coupling_boost();
+        let far = if disturbance.neighbor_reach >= 2 {
+            disturbance.distance2_coupling
+        } else {
+            0.0
+        };
+        // Worst case for a victim when every row stays below h: both
+        // direct neighbours at h (fully boosted) and both distance-2
+        // rows at h: D <= 2h(1 + boost + far). Safe iff D < ss.
+        (ss / (2.0 * (1.0 + boost + far))).ceil() as u64
+    } else {
+        disturbance.single_sided_threshold
+    }
+}
+
+/// Classifies a per-side activation interval for a `sides`-aggressor
+/// pattern against the disturbance thresholds.
+pub fn classify_interval(
+    per_side: ActivationInterval,
+    sides: u8,
+    disturbance: &DisturbanceConfig,
+) -> Verdict {
+    if per_side.lo >= per_side_requirement(sides, disturbance) {
+        Verdict::HammerCapable {
+            style: if sides >= 2 {
+                HammerStyle::DoubleSided
+            } else {
+                HammerStyle::SingleSided
+            },
+        }
+    } else if per_side.hi < benign_floor(sides, disturbance) {
+        Verdict::Benign
+    } else {
+        Verdict::Marginal
+    }
+}
+
+/// Classifies a pattern's static bounds. See [`classify_interval`].
+pub fn classify(bounds: &PatternBounds, disturbance: &DisturbanceConfig) -> Verdict {
+    classify_interval(bounds.per_side, bounds.sides, disturbance)
+}
+
+/// The rows at risk when `aggressors` are hammered: every row within the
+/// disturbance model's neighbour reach of an aggressor, excluding the
+/// aggressors themselves, deduplicated and sorted.
+pub fn at_risk_victims(
+    aggressors: &[RowId],
+    disturbance: &DisturbanceConfig,
+    geometry: &DramGeometry,
+) -> Vec<RowId> {
+    let mut victims: Vec<RowId> = aggressors
+        .iter()
+        .flat_map(|a| a.neighbors(disturbance.neighbor_reach, geometry))
+        .filter(|r| !aggressors.contains(r))
+        .collect();
+    victims.sort_unstable();
+    victims.dedup();
+    victims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_dram::BankId;
+
+    #[test]
+    fn interval_thresholds() {
+        let d = DisturbanceConfig::paper_ddr3();
+        let req2 = per_side_requirement(2, &d);
+        assert_eq!(req2, d.double_sided_threshold.div_ceil(2));
+        assert_eq!(per_side_requirement(1, &d), d.single_sided_threshold);
+        assert_eq!(
+            classify_interval(
+                ActivationInterval {
+                    lo: req2,
+                    hi: req2 + 1
+                },
+                2,
+                &d
+            ),
+            Verdict::HammerCapable {
+                style: HammerStyle::DoubleSided
+            }
+        );
+        assert_eq!(
+            classify_interval(
+                ActivationInterval {
+                    lo: 0,
+                    hi: req2 - 1
+                },
+                2,
+                &d
+            ),
+            Verdict::Benign
+        );
+        assert_eq!(
+            classify_interval(
+                ActivationInterval {
+                    lo: req2 - 1,
+                    hi: req2
+                },
+                2,
+                &d
+            ),
+            Verdict::Marginal
+        );
+    }
+
+    #[test]
+    fn victims_of_double_sided_pair() {
+        let g = DramGeometry::ddr3_4gb();
+        let d = DisturbanceConfig::paper_ddr3();
+        let bank = BankId(3);
+        let aggs = [RowId::new(bank, 99), RowId::new(bank, 101)];
+        let victims = at_risk_victims(&aggs, &d, &g);
+        assert!(victims.contains(&RowId::new(bank, 100)), "sandwiched row");
+        assert!(victims.contains(&RowId::new(bank, 98)));
+        assert!(victims.contains(&RowId::new(bank, 102)));
+        assert!(
+            !victims.contains(&RowId::new(bank, 99)),
+            "aggressor excluded"
+        );
+    }
+}

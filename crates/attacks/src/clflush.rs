@@ -49,12 +49,14 @@ impl DoubleSidedClflush {
     /// Selects which discovered aggressor pair to hammer (attackers scan
     /// pairs until they find a flippable victim; experiment harnesses use
     /// this to iterate candidates).
+    #[must_use]
     pub fn with_pair_index(mut self, index: usize) -> Self {
         self.pair_index = index;
         self
     }
 
     /// Overrides the arena size.
+    #[must_use]
     pub fn with_arena_bytes(mut self, bytes: u64) -> Self {
         self.arena_bytes = bytes;
         self
@@ -68,7 +70,7 @@ impl Default for DoubleSidedClflush {
 }
 
 impl Attack for DoubleSidedClflush {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "double-sided-clflush"
     }
 
@@ -83,7 +85,9 @@ impl Attack for DoubleSidedClflush {
             self.arena_bytes,
             self.pair_index + 1,
         )?;
-        let pair = *pairs.get(self.pair_index).ok_or(AttackError::NoAggressorPair)?;
+        let pair = *pairs
+            .get(self.pair_index)
+            .ok_or(AttackError::NoAggressorPair)?;
         let victim_pa = mapping.address_of(DramLocation {
             bank: pair.victim.bank,
             row: pair.victim.row,
@@ -91,10 +95,20 @@ impl Attack for DoubleSidedClflush {
         });
         self.prepared = Some(Prepared {
             ops: vec![
-                AttackOp::Access { vaddr: pair.below_va, kind: AccessKind::Read },
-                AttackOp::Clflush { vaddr: pair.below_va },
-                AttackOp::Access { vaddr: pair.above_va, kind: AccessKind::Read },
-                AttackOp::Clflush { vaddr: pair.above_va },
+                AttackOp::Access {
+                    vaddr: pair.below_va,
+                    kind: AccessKind::Read,
+                },
+                AttackOp::Clflush {
+                    vaddr: pair.below_va,
+                },
+                AttackOp::Access {
+                    vaddr: pair.above_va,
+                    kind: AccessKind::Read,
+                },
+                AttackOp::Clflush {
+                    vaddr: pair.above_va,
+                },
             ],
             cursor: 0,
             aggressors: vec![pair.below_pa, pair.above_pa],
@@ -104,15 +118,22 @@ impl Attack for DoubleSidedClflush {
     }
 
     fn next_op(&mut self) -> AttackOp {
-        self.prepared.as_mut().expect("prepare the attack first").next()
+        self.prepared
+            .as_mut()
+            .expect("prepare the attack first")
+            .next()
     }
 
     fn aggressor_paddrs(&self) -> Vec<u64> {
-        self.prepared.as_ref().map_or(Vec::new(), |p| p.aggressors.clone())
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.aggressors.clone())
     }
 
     fn victim_paddrs(&self) -> Vec<u64> {
-        self.prepared.as_ref().map_or(Vec::new(), |p| p.victims.clone())
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.victims.clone())
     }
 }
 
@@ -138,12 +159,14 @@ impl SingleSidedClflush {
 
     /// Selects which discovered aggressor to hammer (see
     /// [`DoubleSidedClflush::with_pair_index`]).
+    #[must_use]
     pub fn with_pair_index(mut self, index: usize) -> Self {
         self.pair_index = index;
         self
     }
 
     /// Overrides the arena size.
+    #[must_use]
     pub fn with_arena_bytes(mut self, bytes: u64) -> Self {
         self.arena_bytes = bytes;
         self
@@ -157,7 +180,7 @@ impl Default for SingleSidedClflush {
 }
 
 impl Attack for SingleSidedClflush {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "single-sided-clflush"
     }
 
@@ -173,7 +196,9 @@ impl Attack for SingleSidedClflush {
             4, // keep the conflict row well away from the victims
             self.pair_index + 1,
         )?;
-        let pair = *pairs.get(self.pair_index).ok_or(AttackError::NoAggressorPair)?;
+        let pair = *pairs
+            .get(self.pair_index)
+            .ok_or(AttackError::NoAggressorPair)?;
         // Victims: the rows adjacent to the aggressor.
         let victims = [-1i64, 1]
             .iter()
@@ -181,10 +206,20 @@ impl Attack for SingleSidedClflush {
             .collect();
         self.prepared = Some(Prepared {
             ops: vec![
-                AttackOp::Access { vaddr: pair.aggressor_va, kind: AccessKind::Read },
-                AttackOp::Clflush { vaddr: pair.aggressor_va },
-                AttackOp::Access { vaddr: pair.conflict_va, kind: AccessKind::Read },
-                AttackOp::Clflush { vaddr: pair.conflict_va },
+                AttackOp::Access {
+                    vaddr: pair.aggressor_va,
+                    kind: AccessKind::Read,
+                },
+                AttackOp::Clflush {
+                    vaddr: pair.aggressor_va,
+                },
+                AttackOp::Access {
+                    vaddr: pair.conflict_va,
+                    kind: AccessKind::Read,
+                },
+                AttackOp::Clflush {
+                    vaddr: pair.conflict_va,
+                },
             ],
             cursor: 0,
             aggressors: vec![pair.aggressor_pa],
@@ -194,22 +229,31 @@ impl Attack for SingleSidedClflush {
     }
 
     fn next_op(&mut self) -> AttackOp {
-        self.prepared.as_mut().expect("prepare the attack first").next()
+        self.prepared
+            .as_mut()
+            .expect("prepare the attack first")
+            .next()
     }
 
     fn aggressor_paddrs(&self) -> Vec<u64> {
-        self.prepared.as_ref().map_or(Vec::new(), |p| p.aggressors.clone())
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.aggressors.clone())
     }
 
     fn victim_paddrs(&self) -> Vec<u64> {
-        self.prepared.as_ref().map_or(Vec::new(), |p| p.victims.clone())
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.victims.clone())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anvil_mem::{AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy, Process};
+    use anvil_mem::{
+        AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy, Process,
+    };
 
     fn env(sys: &mut MemorySystem) -> (Process, FrameAllocator) {
         let frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);

@@ -46,12 +46,14 @@ impl ClflushFreeDoubleSided {
     }
 
     /// Selects which discovered aggressor pair to hammer.
+    #[must_use]
     pub fn with_pair_index(mut self, index: usize) -> Self {
         self.pair_index = index;
         self
     }
 
     /// Overrides the arena size.
+    #[must_use]
     pub fn with_arena_bytes(mut self, bytes: u64) -> Self {
         self.arena_bytes = bytes;
         self
@@ -61,7 +63,9 @@ impl ClflushFreeDoubleSided {
     /// aggressor. Used by the experiment harness to report the pattern's
     /// cost, mirroring the paper's 880-cycle estimate.
     pub fn patterns(&self) -> Option<(&HammerPattern, &HammerPattern)> {
-        self.prepared.as_ref().map(|p| (&p.patterns.0, &p.patterns.1))
+        self.prepared
+            .as_ref()
+            .map(|p| (&p.patterns.0, &p.patterns.1))
     }
 }
 
@@ -72,7 +76,7 @@ impl Default for ClflushFreeDoubleSided {
 }
 
 impl Attack for ClflushFreeDoubleSided {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "clflush-free-double-sided"
     }
 
@@ -87,7 +91,9 @@ impl Attack for ClflushFreeDoubleSided {
             self.arena_bytes,
             self.pair_index + 1,
         )?;
-        let pair = *pairs.get(self.pair_index).ok_or(AttackError::NoAggressorPair)?;
+        let pair = *pairs
+            .get(self.pair_index)
+            .ok_or(AttackError::NoAggressorPair)?;
 
         // Build one eviction set per aggressor and tune the access order
         // against a private simulation of the hierarchy.
@@ -103,7 +109,10 @@ impl Attack for ClflushFreeDoubleSided {
                 self.arena_bytes,
                 target_va,
             )?;
-            let target_pa = env.process.pagemap(target_va, env.pagemap)?.expect("mapped");
+            let target_pa = env
+                .process
+                .pagemap(target_va, env.pagemap)?
+                .expect("mapped");
             let conflicts: Vec<(u64, u64)> = set
                 .conflict_vas
                 .iter()
@@ -159,11 +168,15 @@ impl Attack for ClflushFreeDoubleSided {
     }
 
     fn aggressor_paddrs(&self) -> Vec<u64> {
-        self.prepared.as_ref().map_or(Vec::new(), |p| p.aggressors.clone())
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.aggressors.clone())
     }
 
     fn victim_paddrs(&self) -> Vec<u64> {
-        self.prepared.as_ref().map_or(Vec::new(), |p| p.victims.clone())
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.victims.clone())
     }
 }
 
@@ -176,8 +189,7 @@ mod tests {
 
     fn prepared_attack() -> (MemorySystem, Process, ClflushFreeDoubleSided) {
         let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
-        let mut frames =
-            FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
         let mut process = Process::new(100, "attacker");
         let mut attack = ClflushFreeDoubleSided::new();
         attack
@@ -252,8 +264,7 @@ mod tests {
     #[test]
     fn needs_pagemap() {
         let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
-        let mut frames =
-            FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
         let mut process = Process::new(100, "attacker");
         let mut attack = ClflushFreeDoubleSided::new();
         let err = attack

@@ -63,7 +63,10 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(AttackError::PagemapDenied.to_string().contains("pagemap"));
-        let e = AttackError::EvictionSetTooSmall { found: 5, needed: 12 };
+        let e = AttackError::EvictionSetTooSmall {
+            found: 5,
+            needed: 12,
+        };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains("12"));
     }

@@ -141,8 +141,7 @@ mod tests {
     #[test]
     fn restricted_pagemap_denies() {
         let (p, h, va, len) = setup();
-        let err =
-            build_eviction_set(&p, PagemapPolicy::Restricted, &h, va, len, va).unwrap_err();
+        let err = build_eviction_set(&p, PagemapPolicy::Restricted, &h, va, len, va).unwrap_err();
         assert_eq!(err, AttackError::PagemapDenied);
     }
 

@@ -53,10 +53,12 @@ pub use env::{exec_op, Attack, AttackEnv, AttackOp};
 pub use error::AttackError;
 pub use eviction::{build_eviction_set, EvictionSet};
 pub use pattern::{discover_pattern, HammerPattern, PatternTemplate};
-pub use rowfind::{find_aggressor_pairs, find_same_bank_pair, find_same_bank_pairs, AggressorPair, SameBankPair};
+pub use rowfind::{
+    find_aggressor_pairs, find_same_bank_pair, find_same_bank_pairs, AggressorPair, SameBankPair,
+};
 pub use runner::{
-    hammer_for_ops, hammer_until_flip, measure_hammer_rate, probe_op, uses_clflush,
-    HammerResult, StandaloneHarness,
+    hammer_for_ops, hammer_until_flip, measure_hammer_rate, probe_op, uses_clflush, HammerResult,
+    StandaloneHarness,
 };
 pub use timing::{build_eviction_set_by_timing, same_bank_by_timing, MISS_LATENCY_THRESHOLD};
 pub use timing_attack::TimingClflushFree;

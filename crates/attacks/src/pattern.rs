@@ -238,7 +238,13 @@ mod tests {
         let addrs = same_set_addresses(&config, 13);
         let core = CoreModel::sandy_bridge();
         let best = discover_pattern(&config, &core, addrs[0], &addrs[1..]);
-        let cyclic = measure(PatternTemplate::Cyclic, &config, &core, addrs[0], &addrs[1..]);
+        let cyclic = measure(
+            PatternTemplate::Cyclic,
+            &config,
+            &core,
+            addrs[0],
+            &addrs[1..],
+        );
         assert!(best.aggressor_miss_rate >= 0.95);
         assert!(
             best.est_cycles_per_iteration < cyclic.est_cycles_per_iteration,
@@ -260,16 +266,8 @@ mod tests {
     fn discovered_sequence_contains_aggressor_once() {
         let config = HierarchyConfig::sandy_bridge_i5_2540m();
         let addrs = same_set_addresses(&config, 13);
-        let best = discover_pattern(
-            &config,
-            &CoreModel::sandy_bridge(),
-            addrs[0],
-            &addrs[1..],
-        );
+        let best = discover_pattern(&config, &CoreModel::sandy_bridge(), addrs[0], &addrs[1..]);
         let target_va = addrs[0].0;
-        assert_eq!(
-            best.sequence.iter().filter(|&&v| v == target_va).count(),
-            1
-        );
+        assert_eq!(best.sequence.iter().filter(|&&v| v == target_va).count(), 1);
     }
 }

@@ -120,8 +120,16 @@ pub fn find_same_bank_pair(
     arena_len: u64,
     min_distance: u32,
 ) -> Result<SameBankPair, AttackError> {
-    find_same_bank_pairs(process, pagemap, mapping, arena_va, arena_len, min_distance, 1)
-        .map(|mut v| v.remove(0))
+    find_same_bank_pairs(
+        process,
+        pagemap,
+        mapping,
+        arena_va,
+        arena_len,
+        min_distance,
+        1,
+    )
+    .map(|mut v| v.remove(0))
 }
 
 /// Finds up to `max` same-bank pairs with distinct aggressor rows (see
@@ -185,8 +193,7 @@ mod tests {
     #[test]
     fn finds_pairs_with_contiguous_allocation() {
         let (p, _f, mapping, va, len) = setup(AllocationPolicy::Contiguous);
-        let pairs =
-            find_aggressor_pairs(&p, PagemapPolicy::Open, &mapping, va, len, 8).unwrap();
+        let pairs = find_aggressor_pairs(&p, PagemapPolicy::Open, &mapping, va, len, 8).unwrap();
         assert!(!pairs.is_empty());
         for pair in &pairs {
             let below = mapping.location_of(pair.below_pa);
@@ -210,8 +217,7 @@ mod tests {
     #[test]
     fn same_bank_pair_for_single_sided() {
         let (p, _f, mapping, va, len) = setup(AllocationPolicy::Contiguous);
-        let pair =
-            find_same_bank_pair(&p, PagemapPolicy::Open, &mapping, va, len, 4).unwrap();
+        let pair = find_same_bank_pair(&p, PagemapPolicy::Open, &mapping, va, len, 4).unwrap();
         let a = mapping.location_of(pair.aggressor_pa);
         let b = mapping.location_of(p.translate(pair.conflict_va).unwrap());
         assert_eq!(a.bank, b.bank);

@@ -222,9 +222,7 @@ mod tests {
 
     #[test]
     fn double_sided_clflush_flips_at_the_paper_minimum() {
-        let idx = vulnerable_pair_index(|i| {
-            Box::new(DoubleSidedClflush::new().with_pair_index(i))
-        });
+        let idx = vulnerable_pair_index(|i| Box::new(DoubleSidedClflush::new().with_pair_index(i)));
         let mut h = harness();
         let mut attack = DoubleSidedClflush::new().with_pair_index(idx);
         h.prepare(&mut attack).unwrap();
@@ -235,7 +233,9 @@ mod tests {
             "Table 1 says 220K accesses; got {}",
             r.aggressor_accesses
         );
-        let ms = r.time_to_first_flip_ms(&CpuClock::SANDY_BRIDGE_2_6GHZ).unwrap();
+        let ms = r
+            .time_to_first_flip_ms(&CpuClock::SANDY_BRIDGE_2_6GHZ)
+            .unwrap();
         assert!(
             (10.0..25.0).contains(&ms),
             "Table 1 says ~15 ms; got {ms:.1} ms"
@@ -261,15 +261,16 @@ mod tests {
 
     #[test]
     fn clflush_free_flips_within_one_refresh_window() {
-        let idx = vulnerable_pair_index(|i| {
-            Box::new(ClflushFreeDoubleSided::new().with_pair_index(i))
-        });
+        let idx =
+            vulnerable_pair_index(|i| Box::new(ClflushFreeDoubleSided::new().with_pair_index(i)));
         let mut h = harness();
         let mut attack = ClflushFreeDoubleSided::new().with_pair_index(idx);
         h.prepare(&mut attack).unwrap();
         let r = hammer_until_flip(&mut attack, &mut h, 250_000);
         assert!(r.flipped, "CLFLUSH-free attack must flip");
-        let ms = r.time_to_first_flip_ms(&CpuClock::SANDY_BRIDGE_2_6GHZ).unwrap();
+        let ms = r
+            .time_to_first_flip_ms(&CpuClock::SANDY_BRIDGE_2_6GHZ)
+            .unwrap();
         assert!(
             ms < 64.0,
             "flip must land inside one 64 ms refresh window; took {ms:.1} ms"

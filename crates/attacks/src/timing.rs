@@ -30,7 +30,9 @@ use anvil_mem::{AccessKind, MemorySystem, Process};
 pub const MISS_LATENCY_THRESHOLD: Cycle = 60;
 
 fn access(sys: &mut MemorySystem, process: &Process, va: u64) -> Cycle {
-    let pa = process.translate(va).expect("attacker accesses its own mapping");
+    let pa = process
+        .translate(va)
+        .expect("attacker accesses its own mapping");
     sys.access(pa, AccessKind::Read).advance
 }
 
@@ -94,8 +96,7 @@ pub fn build_eviction_set_by_timing(
     target_va: u64,
 ) -> Result<EvictionSet, AttackError> {
     let ways = sys.hierarchy().llc_ways();
-    let sets_per_slice =
-        sys.hierarchy().config().l3.sets() / sys.hierarchy().config().l3_slices;
+    let sets_per_slice = sys.hierarchy().config().l3.sets() / sys.hierarchy().config().l3_slices;
     let stride = (sets_per_slice * sys.hierarchy().config().l3.line_bytes) as u64;
 
     // Candidate pool: same set-index stride across the arena; the tail of
@@ -201,8 +202,7 @@ mod tests {
 
     fn setup() -> (MemorySystem, Process, u64, u64) {
         let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
-        let mut frames =
-            FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
         let mut p = Process::new(9, "timing-attacker");
         let len = 24 << 20;
         let va = p.mmap(len, &mut frames).unwrap();

@@ -58,6 +58,7 @@ impl TimingClflushFree {
     }
 
     /// Overrides the arena size.
+    #[must_use]
     pub fn with_arena_bytes(mut self, bytes: u64) -> Self {
         self.arena_bytes = bytes;
         self
@@ -89,7 +90,7 @@ fn synthetic_same_set(hierarchy_config: &anvil_cache::HierarchyConfig, n: usize)
 }
 
 impl Attack for TimingClflushFree {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "timing-clflush-free"
     }
 
@@ -104,36 +105,25 @@ impl Attack for TimingClflushFree {
         'search: for base_step in 0..12u64 {
             let below = arena + 64 + base_step * BANK_STRIDE;
             let buddy = below + 64; // second line in the same DRAM row
-            let set_below =
-                match build_eviction_set_by_timing(env.sys, env.process, arena, arena_len, below)
-                {
-                    Ok(s) => s,
-                    Err(_) => continue,
-                };
-            let set_buddy = match build_eviction_set_by_timing(
-                env.sys,
-                env.process,
-                arena,
-                arena_len,
-                buddy,
-            ) {
-                Ok(s) => s,
-                Err(_) => continue,
+            let Ok(set_below) =
+                build_eviction_set_by_timing(env.sys, env.process, arena, arena_len, below)
+            else {
+                continue;
+            };
+            let Ok(set_buddy) =
+                build_eviction_set_by_timing(env.sys, env.process, arena, arena_len, buddy)
+            else {
+                continue;
             };
             for j in 0..16u64 {
                 let above = below + 2 * ROW_STRIDE + j * BANK_STRIDE;
                 if above + 64 > arena + arena_len {
                     break;
                 }
-                let set_above = match build_eviction_set_by_timing(
-                    env.sys,
-                    env.process,
-                    arena,
-                    arena_len,
-                    above,
-                ) {
-                    Ok(s) => s,
-                    Err(_) => continue,
+                let Ok(set_above) =
+                    build_eviction_set_by_timing(env.sys, env.process, arena, arena_len, above)
+                else {
+                    continue;
                 };
                 if same_bank_by_timing(
                     env.sys,
@@ -164,7 +154,12 @@ impl Attack for TimingClflushFree {
                 .zip(&synth[1..])
                 .map(|(&va, &pa)| (va, pa))
                 .collect();
-            patterns.push(discover_pattern(&hierarchy_config, &core, target, &conflicts));
+            patterns.push(discover_pattern(
+                &hierarchy_config,
+                &core,
+                target,
+                &conflicts,
+            ));
         }
 
         // The timing probes left the two cache sets in an arbitrary
@@ -173,8 +168,7 @@ impl Attack for TimingClflushFree {
         // hammer loop with a one-time cleaning preamble that evicts both
         // sets completely, reproducing the cold start the pattern was
         // tuned for.
-        let sets_per_slice =
-            hierarchy_config.l3.sets() / hierarchy_config.l3_slices;
+        let sets_per_slice = hierarchy_config.l3.sets() / hierarchy_config.l3_slices;
         let stride = (sets_per_slice * hierarchy_config.l3.line_bytes) as u64;
         let ways = set_below.len();
         let mut preamble = Vec::new();
@@ -184,7 +178,10 @@ impl Attack for TimingClflushFree {
                 for k in (6 * ways as u64)..(10 * ways as u64) {
                     let va = arena + phase + k * stride;
                     if va + 64 <= arena + arena_len {
-                        preamble.push(AttackOp::Access { vaddr: va, kind: AccessKind::Read });
+                        preamble.push(AttackOp::Access {
+                            vaddr: va,
+                            kind: AccessKind::Read,
+                        });
                     }
                 }
             }
@@ -249,11 +246,15 @@ impl Attack for TimingClflushFree {
     }
 
     fn aggressor_paddrs(&self) -> Vec<u64> {
-        self.prepared.as_ref().map_or(Vec::new(), |p| p.aggressors.clone())
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.aggressors.clone())
     }
 
     fn victim_paddrs(&self) -> Vec<u64> {
-        self.prepared.as_ref().map_or(Vec::new(), |p| p.victims.clone())
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.victims.clone())
     }
 }
 
@@ -265,13 +266,13 @@ mod tests {
 
     #[test]
     fn prepares_without_pagemap_on_contiguous_memory() {
-        let mut harness = StandaloneHarness::new(
-            MemoryConfig::paper_platform(),
-            AllocationPolicy::Contiguous,
-        );
+        let mut harness =
+            StandaloneHarness::new(MemoryConfig::paper_platform(), AllocationPolicy::Contiguous);
         harness.pagemap = PagemapPolicy::Restricted; // the Linux hardening
         let mut attack = TimingClflushFree::new();
-        harness.prepare(&mut attack).expect("timing attack needs no pagemap");
+        harness
+            .prepare(&mut attack)
+            .expect("timing attack needs no pagemap");
 
         // Ground truth: the timing-derived aggressors really share a bank.
         let map = harness.sys.dram().mapping();
@@ -284,19 +285,23 @@ mod tests {
 
     #[test]
     fn hammers_both_aggressor_rows() {
-        let mut harness = StandaloneHarness::new(
-            MemoryConfig::paper_platform(),
-            AllocationPolicy::Contiguous,
-        );
+        let mut harness =
+            StandaloneHarness::new(MemoryConfig::paper_platform(), AllocationPolicy::Contiguous);
         harness.pagemap = PagemapPolicy::Restricted;
         let mut attack = TimingClflushFree::new();
         harness.prepare(&mut attack).unwrap();
         let (accesses, cycles) =
             crate::runner::measure_hammer_rate(&mut attack, &mut harness, 44 * 2_000);
-        assert!(accesses > 3_000, "aggressor rows barely touched: {accesses}");
+        assert!(
+            accesses > 3_000,
+            "aggressor rows barely touched: {accesses}"
+        );
         // Fast enough to matter: > 110K aggressor-row accesses per 64 ms.
         let per_64ms = accesses as f64 * 166_400_000.0 / cycles as f64;
-        assert!(per_64ms > 110_000.0, "too slow: {per_64ms:.0} accesses/64ms");
+        assert!(
+            per_64ms > 110_000.0,
+            "too slow: {per_64ms:.0} accesses/64ms"
+        );
     }
 
     #[test]

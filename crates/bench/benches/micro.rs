@@ -78,7 +78,11 @@ fn bench_attack_iteration(c: &mut Criterion) {
     c.bench_function("attack_op_execute", |b| {
         b.iter(|| {
             let op = attack.next_op();
-            black_box(anvil_attacks::exec_op(op, &harness.process, &mut harness.sys))
+            black_box(anvil_attacks::exec_op(
+                op,
+                &harness.process,
+                &mut harness.sys,
+            ))
         })
     });
 }

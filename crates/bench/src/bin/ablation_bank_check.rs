@@ -43,14 +43,30 @@ fn main() {
             "with_check": with_rate,
             "without_check": without_rate,
         }));
-        eprintln!("  [{}] with {:.2}, without {:.2}", bench.name(), with_rate, without_rate);
+        eprintln!(
+            "  [{}] with {:.2}, without {:.2}",
+            bench.name(),
+            with_rate,
+            without_rate
+        );
     }
     table.print();
 
     // Detection must be unaffected: the attack has inherent bank locality.
-    let with_det = detection_run(AttackKind::DoubleSided, with_check, false, scale.ms(100.0).max(60.0), 1);
-    let without_det =
-        detection_run(AttackKind::DoubleSided, without_check, false, scale.ms(100.0).max(60.0), 1);
+    let with_det = detection_run(
+        AttackKind::DoubleSided,
+        with_check,
+        false,
+        scale.ms(100.0).max(60.0),
+        1,
+    );
+    let without_det = detection_run(
+        AttackKind::DoubleSided,
+        without_check,
+        false,
+        scale.ms(100.0).max(60.0),
+        1,
+    );
     println!(
         "Attack detection: with check {:.1} ms, without {:.1} ms (flips {}/{}).",
         with_det.detect_ms.unwrap_or(f64::NAN),

@@ -24,8 +24,12 @@ fn main() {
         let mut cfg = AnvilConfig::baseline();
         cfg.sampling.interval = 2_600_000_000 / rate;
         let det = detection_run(AttackKind::ClflushFree, cfg, true, det_ms, 7);
-        let slowdown =
-            normalized_time_target(SpecBenchmark::Mcf, PlatformConfig::with_anvil(cfg), target_ms, 7);
+        let slowdown = normalized_time_target(
+            SpecBenchmark::Mcf,
+            PlatformConfig::with_anvil(cfg),
+            target_ms,
+            7,
+        );
         table.row(&[
             rate.to_string(),
             det.detect_ms.map_or("miss".into(), |d| format!("{d:.1}")),
@@ -46,5 +50,8 @@ fn main() {
         "The paper's 5000/s sits at the knee: enough samples for one-window detection\n\
          in the common case, at ~1% overhead for memory-bound programs."
     );
-    write_json("ablation_sampling", &json!({ "experiment": "ablation_sampling", "rows": records }));
+    write_json(
+        "ablation_sampling",
+        &json!({ "experiment": "ablation_sampling", "rows": records }),
+    );
 }

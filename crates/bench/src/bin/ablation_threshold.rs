@@ -32,7 +32,12 @@ fn main() {
     let thresholds = [5_000u64, 10_000, 20_000, 40_000, 80_000];
     let mut table = Table::new(
         "Ablation: stage-1 miss threshold (mcf: crossings & slowdown; sjeng: crossings)",
-        &["Threshold", "mcf windows crossed", "mcf slowdown", "sjeng windows crossed"],
+        &[
+            "Threshold",
+            "mcf windows crossed",
+            "mcf slowdown",
+            "sjeng windows crossed",
+        ],
     );
     let mut records = Vec::new();
     for t in thresholds {
@@ -40,8 +45,12 @@ fn main() {
         cfg.llc_miss_threshold = t;
         let mcf_cross = crossing_fraction(SpecBenchmark::Mcf, cfg, ms);
         let sjeng_cross = crossing_fraction(SpecBenchmark::Sjeng, cfg, ms);
-        let slowdown =
-            normalized_time_target(SpecBenchmark::Mcf, PlatformConfig::with_anvil(cfg), target_ms, 13);
+        let slowdown = normalized_time_target(
+            SpecBenchmark::Mcf,
+            PlatformConfig::with_anvil(cfg),
+            target_ms,
+            13,
+        );
         table.row(&[
             format!("{}K", t / 1000),
             format!("{:.0}%", mcf_cross * 100.0),
@@ -62,5 +71,8 @@ fn main() {
         "Paper (Section 4.3): memory-intensive benchmarks cross the 20K threshold in\n\
          95-99% of windows; compute-bound ones in <10% — sampling cost tracks that."
     );
-    write_json("ablation_threshold", &json!({ "experiment": "ablation_threshold", "rows": records }));
+    write_json(
+        "ablation_threshold",
+        &json!({ "experiment": "ablation_threshold", "rows": records }),
+    );
 }

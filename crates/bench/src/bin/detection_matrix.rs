@@ -43,7 +43,12 @@ fn main() {
                 let s = detection_run(kind, cfg, heavy, run_ms, 3);
                 let scoped = in_scope(label, kind);
                 let detected = s.detect_ms.map_or(
-                    if scoped { "NOT DETECTED" } else { "below heavy's threshold (by design)" }.into(),
+                    if scoped {
+                        "NOT DETECTED"
+                    } else {
+                        "below heavy's threshold (by design)"
+                    }
+                    .into(),
                     |d| format!("{d:.1} ms"),
                 );
                 if scoped && (s.detect_ms.is_none() || s.flips > 0) {

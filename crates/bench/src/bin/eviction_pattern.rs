@@ -28,7 +28,14 @@ fn main() {
 
     let mut table = Table::new(
         "Section 2.2: Discovered eviction patterns (per aggressor set)",
-        &["Set", "Template", "Accesses/iter", "LLC misses/iter", "Aggressor miss rate", "Est. cycles/iter"],
+        &[
+            "Set",
+            "Template",
+            "Accesses/iter",
+            "LLC misses/iter",
+            "Aggressor miss rate",
+            "Est. cycles/iter",
+        ],
     );
     for (name, p) in [("X (below)", &pat_a), ("Y (above)", &pat_b)] {
         table.row(&[
@@ -56,9 +63,21 @@ fn main() {
         "Section 2.2: End-to-end hammer rate (both sets interleaved)",
         &["Metric", "Measured", "Paper"],
     );
-    t2.row(&["cycles per double-sided hammer".into(), format!("{cycles_per_hammer:.0}"), "~880 x 2 sets (estimate)".into()]);
-    t2.row(&["ns per double-sided hammer".into(), format!("{ns_per_hammer:.0}"), "~338 per set".into()]);
-    t2.row(&["max double-sided hammers / 64 ms".into(), format!("{}K", hammers_per_64ms / 1000), "up to 190K".into()]);
+    t2.row(&[
+        "cycles per double-sided hammer".into(),
+        format!("{cycles_per_hammer:.0}"),
+        "~880 x 2 sets (estimate)".into(),
+    ]);
+    t2.row(&[
+        "ns per double-sided hammer".into(),
+        format!("{ns_per_hammer:.0}"),
+        "~338 per set".into(),
+    ]);
+    t2.row(&[
+        "max double-sided hammers / 64 ms".into(),
+        format!("{}K", hammers_per_64ms / 1000),
+        "up to 190K".into(),
+    ]);
     t2.row(&["needed for a flip".into(), "110K".into(), "110K".into()]);
     t2.print();
 
@@ -72,7 +91,11 @@ fn main() {
     );
     println!(
         "Verdict: {} — the CLFLUSH-free pattern sustains enough hammers per refresh window.",
-        if hammers_per_64ms > 110_000 { "ATTACK FEASIBLE" } else { "attack infeasible" }
+        if hammers_per_64ms > 110_000 {
+            "ATTACK FEASIBLE"
+        } else {
+            "attack infeasible"
+        }
     );
 
     write_json(

@@ -47,7 +47,12 @@ fn main() {
             "double_refresh": dbl,
             "target_ms": target_ms,
         }));
-        eprintln!("  [{}] anvil {:.4}, double-refresh {:.4}", bench.name(), anvil, dbl);
+        eprintln!(
+            "  [{}] anvil {:.4}, double-refresh {:.4}",
+            bench.name(),
+            anvil,
+            dbl
+        );
     }
 
     let n = SpecBenchmark::all().len() as f64;

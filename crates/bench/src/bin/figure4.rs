@@ -46,5 +46,8 @@ fn main() {
         "Paper: overheads grow only slightly for the nimbler configurations, with the\n\
          2 ms sampling period (ANVIL-heavy) having the larger impact."
     );
-    write_json("figure4", &json!({ "experiment": "figure4", "rows": records, "target_ms": target_ms }));
+    write_json(
+        "figure4",
+        &json!({ "experiment": "figure4", "rows": records, "target_ms": target_ms }),
+    );
 }

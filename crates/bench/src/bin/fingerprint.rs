@@ -70,5 +70,8 @@ fn main() {
         correct,
         oracles.len()
     );
-    write_json("fingerprint", &json!({ "experiment": "fingerprint", "rows": records }));
+    write_json(
+        "fingerprint",
+        &json!({ "experiment": "fingerprint", "rows": records }),
+    );
 }

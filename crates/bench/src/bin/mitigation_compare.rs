@@ -35,10 +35,19 @@ fn main() {
 
     let mut table = Table::new(
         "Section 5.2: Double-sided CLFLUSH attack vs. the mitigation landscape",
-        &["Defense", "Deployable on existing HW?", "Bits flip?", "Notes"],
+        &[
+            "Defense",
+            "Deployable on existing HW?",
+            "Bits flip?",
+            "Notes",
+        ],
     );
     let mut records = Vec::new();
-    let mut push = |table: &mut Table, name: &str, deployable: &str, flipped: bool, notes: String| {
+    let mut push = |table: &mut Table,
+                    name: &str,
+                    deployable: &str,
+                    flipped: bool,
+                    notes: String| {
         table.row(&[
             name.to_string(),
             deployable.to_string(),
@@ -49,7 +58,13 @@ fn main() {
     };
 
     let (flipped, _) = hammer_against(MitigationKind::None, None, pair);
-    push(&mut table, "None (64 ms refresh)", "-", flipped, "the unprotected baseline".into());
+    push(
+        &mut table,
+        "None (64 ms refresh)",
+        "-",
+        flipped,
+        "the unprotected baseline".into(),
+    );
 
     let (flipped, _) = hammer_against(MitigationKind::None, Some(32.0), pair);
     push(
@@ -70,7 +85,10 @@ fn main() {
     );
 
     let (flipped, refreshes) = hammer_against(
-        MitigationKind::Trr { table_size: 32, threshold: 50_000 },
+        MitigationKind::Trr {
+            table_size: 32,
+            threshold: 50_000,
+        },
         None,
         pair,
     );

@@ -19,7 +19,14 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: ANVIL overhead decomposition (cycles per second of execution)",
-        &["Benchmark", "samples", "PMIs+arming", "analysis", "refreshes", "total %"],
+        &[
+            "Benchmark",
+            "samples",
+            "PMIs+arming",
+            "analysis",
+            "refreshes",
+            "total %",
+        ],
     );
     let mut records = Vec::new();
 
@@ -68,5 +75,8 @@ fn main() {
         "Sampling dominates for memory-bound benchmarks (the paper's Section 4.3\n\
          finding); compute-bound ones pay only the 6 ms stage-1 heartbeat."
     );
-    write_json("overhead_breakdown", &json!({ "experiment": "overhead_breakdown", "rows": records }));
+    write_json(
+        "overhead_breakdown",
+        &json!({ "experiment": "overhead_breakdown", "rows": records }),
+    );
 }

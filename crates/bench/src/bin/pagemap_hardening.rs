@@ -9,7 +9,9 @@
 //! attack (no pagemap, no CLFLUSH) against both frame-allocation regimes,
 //! and finally ANVIL against everything that still works.
 
-use anvil_attacks::{hammer_until_flip, Attack, ClflushFreeDoubleSided, StandaloneHarness, TimingClflushFree};
+use anvil_attacks::{
+    hammer_until_flip, Attack, ClflushFreeDoubleSided, StandaloneHarness, TimingClflushFree,
+};
 use anvil_bench::{write_json, Scale, Table};
 use anvil_core::{AnvilConfig, Platform, PlatformConfig};
 use anvil_mem::{AllocationPolicy, MemoryConfig, PagemapPolicy};
@@ -35,10 +37,21 @@ fn main() {
     let scale = Scale::from_args();
     let mut table = Table::new(
         "Section 5.2.1: The pagemap-hardening escalation ladder",
-        &["Attack", "Pagemap", "Frame allocation", "Prepares?", "Bits flip?"],
+        &[
+            "Attack",
+            "Pagemap",
+            "Frame allocation",
+            "Prepares?",
+            "Bits flip?",
+        ],
     );
     let mut records = Vec::new();
-    let mut push = |table: &mut Table, name: &str, pagemap: &str, alloc: &str, prepared: bool, flipped: bool| {
+    let mut push = |table: &mut Table,
+                    name: &str,
+                    pagemap: &str,
+                    alloc: &str,
+                    prepared: bool,
+                    flipped: bool| {
         table.row(&[
             name.into(),
             pagemap.into(),
@@ -58,14 +71,28 @@ fn main() {
         PagemapPolicy::Open,
         AllocationPolicy::Contiguous,
     );
-    push(&mut table, "clflush-free (pagemap)", "open", "contiguous", prep, flip.is_some());
+    push(
+        &mut table,
+        "clflush-free (pagemap)",
+        "open",
+        "contiguous",
+        prep,
+        flip.is_some(),
+    );
 
     let (prep, flip) = try_attack(
         Box::new(ClflushFreeDoubleSided::new()),
         PagemapPolicy::Restricted,
         AllocationPolicy::Contiguous,
     );
-    push(&mut table, "clflush-free (pagemap)", "RESTRICTED", "contiguous", prep, flip.is_some());
+    push(
+        &mut table,
+        "clflush-free (pagemap)",
+        "RESTRICTED",
+        "contiguous",
+        prep,
+        flip.is_some(),
+    );
 
     // Rung 2: the timing-only attack — pagemap restriction is irrelevant.
     let (prep, flip) = try_attack(
@@ -73,7 +100,14 @@ fn main() {
         PagemapPolicy::Restricted,
         AllocationPolicy::Contiguous,
     );
-    push(&mut table, "timing-clflush-free", "RESTRICTED", "contiguous", prep, flip.is_some());
+    push(
+        &mut table,
+        "timing-clflush-free",
+        "RESTRICTED",
+        "contiguous",
+        prep,
+        flip.is_some(),
+    );
 
     // ...until physical contiguity is gone too.
     let (prep, flip) = try_attack(
@@ -81,7 +115,14 @@ fn main() {
         PagemapPolicy::Restricted,
         AllocationPolicy::Randomized { seed: 23 },
     );
-    push(&mut table, "timing-clflush-free", "RESTRICTED", "randomized", prep, flip.is_some());
+    push(
+        &mut table,
+        "timing-clflush-free",
+        "RESTRICTED",
+        "randomized",
+        prep,
+        flip.is_some(),
+    );
 
     table.print();
 
@@ -89,16 +130,21 @@ fn main() {
     let mut pc = PlatformConfig::with_anvil(AnvilConfig::baseline());
     pc.pagemap = PagemapPolicy::Restricted;
     let mut p = Platform::new(pc);
-    p.add_attack(Box::new(TimingClflushFree::new())).expect("prepares");
+    p.add_attack(Box::new(TimingClflushFree::new()))
+        .expect("prepares");
     p.run_ms(scale.ms(150.0).max(80.0));
     println!(
         "ANVIL vs the timing attack: detected at {} ms, {} bit flips.",
-        p.first_detection_ms().map_or("-".into(), |t| format!("{t:.1}")),
+        p.first_detection_ms()
+            .map_or("-".into(), |t| format!("{t:.1}")),
         p.total_flips()
     );
     println!(
         "Conclusion (paper Section 5.2.1): interface hardening narrows but does not\n\
          close the attack surface; a behavioural detector like ANVIL does."
     );
-    write_json("pagemap_hardening", &json!({ "experiment": "pagemap_hardening", "rows": records }));
+    write_json(
+        "pagemap_hardening",
+        &json!({ "experiment": "pagemap_hardening", "rows": records }),
+    );
 }

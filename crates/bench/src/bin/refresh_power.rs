@@ -22,7 +22,13 @@ fn main() {
 
     let mut table = Table::new(
         "Section 2.1: Cost of raising the refresh rate (vs. protection achieved)",
-        &["Refresh", "Refresh power", "vs 64 ms", "mcf slowdown", "Attack flips?"],
+        &[
+            "Refresh",
+            "Refresh power",
+            "vs 64 ms",
+            "mcf slowdown",
+            "Attack flips?",
+        ],
     );
     let mut records = Vec::new();
     let mut base_power = None;
@@ -34,7 +40,10 @@ fn main() {
         cfg.dram = cfg.dram.with_refresh_ms(clock, refresh_ms);
 
         // Refresh power (independent of traffic) + mcf throughput.
-        let mut p = Platform::new(PlatformConfig { memory: cfg, ..PlatformConfig::unprotected() });
+        let mut p = Platform::new(PlatformConfig {
+            memory: cfg,
+            ..PlatformConfig::unprotected()
+        });
         let pid = p.add_workload(SpecBenchmark::Mcf.build(3));
         p.run_core_ops(pid, 400_000);
         let now = p.sys().now();
@@ -72,5 +81,8 @@ fn main() {
          actually stops the attack costs >4x the refresh power (plus throughput loss),\n\
          while ANVIL achieves protection at ~1% CPU overhead (Figure 3)."
     );
-    write_json("refresh_power", &json!({ "experiment": "refresh_power", "rows": records }));
+    write_json(
+        "refresh_power",
+        &json!({ "experiment": "refresh_power", "rows": records }),
+    );
 }

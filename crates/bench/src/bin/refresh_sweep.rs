@@ -8,7 +8,7 @@
 //! attack still lands.
 
 use anvil_attacks::{hammer_until_flip, StandaloneHarness};
-use anvil_bench::{AttackKind, Scale, Table, write_json};
+use anvil_bench::{write_json, AttackKind, Scale, Table};
 use anvil_mem::{AllocationPolicy, MemoryConfig};
 use serde_json::json;
 
@@ -17,7 +17,12 @@ fn main() {
     let candidates = scale.ops(12).max(4) as usize;
     let mut table = Table::new(
         "Section 2.1: Double-sided CLFLUSH hammering vs. refresh period",
-        &["Refresh Period", "Bit Flip?", "Time to First Flip", "Aggressor Accesses"],
+        &[
+            "Refresh Period",
+            "Bit Flip?",
+            "Time to First Flip",
+            "Aggressor Accesses",
+        ],
     );
     let mut records = Vec::new();
 
@@ -75,5 +80,8 @@ fn main() {
         "Paper: flips at 32 ms (attack lands in 15 ms) and even at 16 ms; only far\n\
          faster refresh stops the attack, at >4x the refresh power (Section 2.1)."
     );
-    write_json("refresh_sweep", &json!({ "experiment": "refresh_sweep", "rows": records }));
+    write_json(
+        "refresh_sweep",
+        &json!({ "experiment": "refresh_sweep", "rows": records }),
+    );
 }

@@ -9,7 +9,7 @@
 //! experiment measures both sides and checks ANVIL still detects the
 //! degenerate attack (its row-locality signal is even stronger).
 
-use anvil_attacks::{Attack, AttackEnv, AttackOp, hammer_until_flip, StandaloneHarness};
+use anvil_attacks::{hammer_until_flip, Attack, AttackEnv, AttackOp, StandaloneHarness};
 use anvil_bench::{write_json, Table};
 use anvil_core::{AnvilConfig, Platform, PlatformConfig};
 use anvil_dram::RowBufferPolicy;
@@ -39,7 +39,10 @@ impl Attack for SingleAddressHammer {
         let va = self.va.expect("prepared");
         self.flush_next = !self.flush_next;
         if self.flush_next {
-            AttackOp::Access { vaddr: va, kind: AccessKind::Read }
+            AttackOp::Access {
+                vaddr: va,
+                kind: AccessKind::Read,
+            }
         } else {
             AttackOp::Clflush { vaddr: va }
         }
@@ -65,17 +68,29 @@ fn main() {
             cfg.dram = cfg.dram.with_row_buffer(policy);
             let mut h = StandaloneHarness::new(cfg, AllocationPolicy::Contiguous);
             let (mut attack, label): (Box<dyn Attack>, &str) = if single {
-                (Box::new(SingleAddressHammer { va: None, pa: None, flush_next: false }),
-                 "single-address")
+                (
+                    Box::new(SingleAddressHammer {
+                        va: None,
+                        pa: None,
+                        flush_next: false,
+                    }),
+                    "single-address",
+                )
             } else {
                 // Scan for a flippable victim as usual.
                 let mut best: Option<Box<dyn Attack>> = None;
                 for i in 0..16 {
                     let mut probe = StandaloneHarness::new(cfg, AllocationPolicy::Contiguous);
-                    let mut a = Box::new(anvil_attacks::DoubleSidedClflush::new().with_pair_index(i));
-                    if probe.prepare(a.as_mut()).is_err() { continue; }
+                    let mut a =
+                        Box::new(anvil_attacks::DoubleSidedClflush::new().with_pair_index(i));
+                    if probe.prepare(a.as_mut()).is_err() {
+                        continue;
+                    }
                     let d = probe.sys.dram();
-                    if a.victim_paddrs().iter().any(|&v| d.is_vulnerable_row(d.mapping().location_of(v).row_id())) {
+                    if a.victim_paddrs()
+                        .iter()
+                        .any(|&v| d.is_vulnerable_row(d.mapping().location_of(v).row_id()))
+                    {
                         best = Some(a);
                         break;
                     }
@@ -111,8 +126,12 @@ fn main() {
         let mut pc = PlatformConfig::with_anvil(anvil);
         pc.memory.dram = pc.memory.dram.with_row_buffer(RowBufferPolicy::ClosedPage);
         let mut p = Platform::new(pc);
-        p.add_attack(Box::new(SingleAddressHammer { va: None, pa: None, flush_next: false }))
-            .expect("prepares");
+        p.add_attack(Box::new(SingleAddressHammer {
+            va: None,
+            pa: None,
+            flush_next: false,
+        }))
+        .expect("prepares");
         p.run_ms(100.0);
         (p.first_detection_ms(), p.total_flips())
     };
@@ -137,5 +156,8 @@ fn main() {
          filter; a policy-aware deployment must relax bank_support_min there — at the\n\
          false-positive cost the bank-check ablation quantifies."
     );
-    write_json("row_buffer_policy", &json!({ "experiment": "row_buffer_policy", "rows": records }));
+    write_json(
+        "row_buffer_policy",
+        &json!({ "experiment": "row_buffer_policy", "rows": records }),
+    );
 }

@@ -1,0 +1,23 @@
+//! Static hammer-capability report: every attack vector in the IR crossed
+//! with the candidate LLC replacement policies, plus the twelve SPEC
+//! workload models, analysed without running the simulator.
+//!
+//! Prints the full `anvil-analyze` report as JSON on stdout and records it
+//! under `results/static_analysis.json`.
+
+use anvil_analyze::analyze_all;
+use anvil_bench::write_json;
+use anvil_core::AnvilConfig;
+use anvil_mem::MemoryConfig;
+
+fn main() {
+    let memory = MemoryConfig::paper_platform();
+    let anvil = AnvilConfig::baseline();
+    let report = analyze_all(&memory, &anvil);
+    let value = serde_json::to_value(&report);
+    match serde_json::to_string_pretty(&value) {
+        Ok(s) => println!("{s}"),
+        Err(e) => eprintln!("serialization failed: {e}"),
+    }
+    write_json("static_analysis", &value);
+}

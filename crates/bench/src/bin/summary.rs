@@ -33,7 +33,8 @@ fn main() {
         "Table 1",
         load("table1").map(|v| {
             v["rows"].as_array().is_some_and(|rows| {
-                rows.iter().all(|r| r["min_row_accesses"].as_u64().is_some())
+                rows.iter()
+                    .all(|r| r["min_row_accesses"].as_u64().is_some())
             })
         }),
     );
@@ -51,7 +52,10 @@ fn main() {
         "2-miss eviction pattern, >110K hammers/64 ms",
         "eviction_pattern",
         load("eviction_pattern").map(|v| {
-            v["pattern_below"]["misses_per_iter"].as_f64().unwrap_or(99.0) <= 2.5
+            v["pattern_below"]["misses_per_iter"]
+                .as_f64()
+                .unwrap_or(99.0)
+                <= 2.5
                 && v["hammers_per_64ms"].as_u64().unwrap_or(0) > 110_000
         }),
     );
@@ -70,9 +74,8 @@ fn main() {
         "table4",
         load("table4").map(|v| {
             v["rows"].as_array().is_some_and(|rows| {
-                rows.iter().all(|r| {
-                    r["measured_refreshes_per_sec"].as_f64().unwrap_or(99.0) < 3.0
-                })
+                rows.iter()
+                    .all(|r| r["measured_refreshes_per_sec"].as_f64().unwrap_or(99.0) < 3.0)
             })
         }),
     );
@@ -94,7 +97,8 @@ fn main() {
         "mitigation_compare",
         load("mitigation_compare").map(|v| {
             v["rows"].as_array().is_some_and(|rows| {
-                rows.iter().any(|r| r["defense"] == "ANVIL (software)" && r["flipped"] == false)
+                rows.iter()
+                    .any(|r| r["defense"] == "ANVIL (software)" && r["flipped"] == false)
                     && rows
                         .iter()
                         .any(|r| r["defense"] == "Doubled refresh (32 ms)" && r["flipped"] == true)

@@ -13,7 +13,7 @@
 //! flip, and report the minimum access count and the wall-clock time.
 
 use anvil_attacks::{hammer_until_flip, StandaloneHarness};
-use anvil_bench::{AttackKind, Scale, Table, write_json};
+use anvil_bench::{write_json, AttackKind, Scale, Table};
 use anvil_mem::{AllocationPolicy, MemoryConfig};
 use serde_json::json;
 
@@ -25,7 +25,11 @@ fn main() {
 
     let mut table = Table::new(
         "Table 1: Rowhammer Attack Characteristics",
-        &["Hammer Technique", "Min DRAM Row Accesses", "Time to First Bit Flip"],
+        &[
+            "Hammer Technique",
+            "Min DRAM Row Accesses",
+            "Time to First Bit Flip",
+        ],
     );
     let mut records = Vec::new();
 
@@ -78,5 +82,8 @@ fn main() {
     println!(
         "Paper: 400K/58ms (single-sided), 220K/15ms (double-sided), 220K/45ms (CLFLUSH-free)."
     );
-    write_json("table1", &json!({ "experiment": "table1", "rows": records }));
+    write_json(
+        "table1",
+        &json!({ "experiment": "table1", "rows": records }),
+    );
 }

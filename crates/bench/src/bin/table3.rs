@@ -23,7 +23,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table 3: Rowhammer Detection Results (under ANVIL-baseline)",
-        &["Benchmark", "Avg Time to Detect", "Refreshes per 64ms", "Total Bit Flips"],
+        &[
+            "Benchmark",
+            "Avg Time to Detect",
+            "Refreshes per 64ms",
+            "Total Bit Flips",
+        ],
     );
     let mut records = Vec::new();
 
@@ -73,5 +78,8 @@ fn main() {
         "Paper: 12.8/12.3 ms (CLFLUSH heavy/light), 35.3/22.85 ms (CLFLUSH-free),\n\
          refresh rates 12.35/10.3/4.53/5.10 per 64 ms, zero flips everywhere."
     );
-    write_json("table3", &json!({ "experiment": "table3", "rows": records }));
+    write_json(
+        "table3",
+        &json!({ "experiment": "table3", "rows": records }),
+    );
 }

@@ -32,7 +32,11 @@ fn main() {
 
     let mut table = Table::new(
         "Table 4: Rate of False Positive Refreshes (ANVIL-baseline)",
-        &["Benchmark", "Refreshes/sec (measured)", "Refreshes/sec (paper)"],
+        &[
+            "Benchmark",
+            "Refreshes/sec (measured)",
+            "Refreshes/sec (paper)",
+        ],
     );
     let mut records = Vec::new();
     for bench in SpecBenchmark::all() {
@@ -58,5 +62,8 @@ fn main() {
 
     table.print();
     println!("All rates should be ~1/s or below; bzip2 and gcc the highest (paper).");
-    write_json("table4", &json!({ "experiment": "table4", "rows": records }));
+    write_json(
+        "table4",
+        &json!({ "experiment": "table4", "rows": records }),
+    );
 }

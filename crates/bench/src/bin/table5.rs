@@ -33,7 +33,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table 5: False Positive Refreshes for ANVIL-light / ANVIL-heavy (per second)",
-        &["Benchmark", "light (measured)", "heavy (measured)", "light (paper)", "heavy (paper)"],
+        &[
+            "Benchmark",
+            "light (measured)",
+            "heavy (measured)",
+            "light (paper)",
+            "heavy (paper)",
+        ],
     );
     let mut records = Vec::new();
     for bench in SpecBenchmark::figure4_subset() {
@@ -54,10 +60,18 @@ fn main() {
             "paper_light": pl,
             "paper_heavy": ph,
         }));
-        eprintln!("  [{}] light {:.2}/s, heavy {:.2}/s", bench.name(), light, heavy);
+        eprintln!(
+            "  [{}] light {:.2}/s, heavy {:.2}/s",
+            bench.name(),
+            light,
+            heavy
+        );
     }
 
     table.print();
     println!("Paper: both configurations stay innocuous (a handful of extra reads/sec).");
-    write_json("table5", &json!({ "experiment": "table5", "rows": records }));
+    write_json(
+        "table5",
+        &json!({ "experiment": "table5", "rows": records }),
+    );
 }

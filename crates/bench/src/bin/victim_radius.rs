@@ -37,7 +37,9 @@ fn main() {
             let mut pc = PlatformConfig::unprotected();
             pc.memory.dram.disturbance = disturbance;
             let mut probe = Platform::new(pc);
-            let Ok(pid) = probe.add_attack(AttackKind::SingleSided.build(i)) else { continue };
+            let Ok(pid) = probe.add_attack(AttackKind::SingleSided.build(i)) else {
+                continue;
+            };
             let (aggs, _) = probe.attack_truth(pid);
             let dram = probe.sys().dram();
             let vulnerable_at_2 = [-2i64, 2].iter().any(|&d| {
@@ -60,7 +62,8 @@ fn main() {
             let mut pc = PlatformConfig::with_anvil(anvil);
             pc.memory.dram.disturbance = disturbance;
             let mut p = Platform::new(pc);
-            p.add_attack(AttackKind::SingleSided.build(chosen)).expect("prepares");
+            p.add_attack(AttackKind::SingleSided.build(chosen))
+                .expect("prepares");
             p.run_ms(run_ms);
             table.row(&[
                 reach_label.into(),
@@ -75,7 +78,10 @@ fn main() {
                 "detect_ms": p.first_detection_ms(),
                 "flips": p.total_flips(),
             }));
-            eprintln!("  [{reach_label} / radius {radius}] flips {}", p.total_flips());
+            eprintln!(
+                "  [{reach_label} / radius {radius}] flips {}",
+                p.total_flips()
+            );
         }
     }
 
@@ -85,5 +91,8 @@ fn main() {
          +/-2 rows keep charging between refreshes unless the radius widens to 2 —\n\
          the knob the paper's parenthetical promises."
     );
-    write_json("victim_radius", &json!({ "experiment": "victim_radius", "rows": records }));
+    write_json(
+        "victim_radius",
+        &json!({ "experiment": "victim_radius", "rows": records }),
+    );
 }

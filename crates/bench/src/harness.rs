@@ -52,7 +52,11 @@ pub enum AttackKind {
 impl AttackKind {
     /// All three, in Table 1 order.
     pub fn all() -> [AttackKind; 3] {
-        [AttackKind::SingleSided, AttackKind::DoubleSided, AttackKind::ClflushFree]
+        [
+            AttackKind::SingleSided,
+            AttackKind::DoubleSided,
+            AttackKind::ClflushFree,
+        ]
     }
 
     /// Display name matching Table 1's rows.
@@ -133,7 +137,8 @@ pub fn detection_run(
         }
     }
     let pair = vulnerable_pair_index(kind, MemoryConfig::paper_platform(), 24).unwrap_or(0);
-    p.add_attack(kind.build(pair)).expect("attack prepares on open platform");
+    p.add_attack(kind.build(pair))
+        .expect("attack prepares on open platform");
     p.run_ms(ms);
     DetectionSummary {
         attack: kind.label().to_string(),
@@ -218,7 +223,10 @@ mod tests {
     fn vulnerable_pair_search_finds_one() {
         let idx =
             vulnerable_pair_index(AttackKind::DoubleSided, MemoryConfig::paper_platform(), 24);
-        assert!(idx.is_some(), "1-in-4 rows vulnerable: 24 candidates suffice");
+        assert!(
+            idx.is_some(),
+            "1-in-4 rows vulnerable: 24 candidates suffice"
+        );
     }
 
     #[test]

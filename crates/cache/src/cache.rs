@@ -154,9 +154,10 @@ impl Cache {
         }
 
         // Miss: prefer an invalid way, otherwise ask the policy.
-        let (way, evicted) = match (0..self.ways).find(|&w| !self.entries[base + w].valid) {
-            Some(w) => (w, None),
-            None => {
+        let (way, evicted) =
+            if let Some(w) = (0..self.ways).find(|&w| !self.entries[base + w].valid) {
+                (w, None)
+            } else {
                 let w = self.policy.victim(set);
                 debug_assert!(w < self.ways, "policy returned way out of range");
                 let old = self.entries[base + w];
@@ -171,8 +172,7 @@ impl Cache {
                         dirty: old.dirty,
                     }),
                 )
-            }
-        };
+            };
         self.entries[base + way] = Entry {
             line,
             valid: true,
@@ -261,7 +261,13 @@ mod tests {
         }
         let r = c.access(4 * 512, false);
         assert!(!r.hit);
-        assert_eq!(r.evicted, Some(Evicted { paddr: 0, dirty: false }));
+        assert_eq!(
+            r.evicted,
+            Some(Evicted {
+                paddr: 0,
+                dirty: false
+            })
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ impl FingerprintReport {
 
     /// Whether the best candidate matched the oracle on every access.
     pub fn exact_match(&self) -> bool {
-        self.scores[0].1 == 1.0
+        // Scores are exact ratios of integer match counts; 1.0 means every
+        // probe agreed, with no accumulated float error to absorb.
+        (self.scores[0].1 - 1.0).abs() < f64::EPSILON
     }
 }
 
@@ -63,7 +65,11 @@ fn probe_patterns(n: usize) -> Vec<Vec<usize>> {
     // 3. Hot/cold: hammer a few addresses while streaming the rest.
     let mut hotcold = Vec::new();
     for i in 0..n * 6 {
-        hotcold.push(if i % 3 == 0 { i / 3 % 2 } else { 2 + (i % (n - 2)) });
+        hotcold.push(if i % 3 == 0 {
+            i / 3 % 2
+        } else {
+            2 + (i % (n - 2))
+        });
     }
     patterns.push(hotcold);
 
@@ -71,7 +77,9 @@ fn probe_patterns(n: usize) -> Vec<Vec<usize>> {
     let mut x = 0x9e37_79b9u64;
     let mut rnd = Vec::new();
     for _ in 0..n * 8 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         rnd.push(((x >> 33) as usize) % n);
     }
     patterns.push(rnd);
@@ -183,14 +191,20 @@ mod tests {
     fn bit_plru_oracle_prefers_bit_plru_over_nru() {
         let cfg = geometry(PolicyKind::BitPlru);
         let mut oracle = Cache::new(cfg);
-        let report = fingerprint(
-            &mut oracle,
-            cfg,
-            &[PolicyKind::BitPlru, PolicyKind::Nru],
-        );
+        let report = fingerprint(&mut oracle, cfg, &[PolicyKind::BitPlru, PolicyKind::Nru]);
         assert_eq!(report.best(), PolicyKind::BitPlru);
-        let bit = report.scores.iter().find(|(k, _)| *k == PolicyKind::BitPlru).unwrap().1;
-        let nru = report.scores.iter().find(|(k, _)| *k == PolicyKind::Nru).unwrap().1;
+        let bit = report
+            .scores
+            .iter()
+            .find(|(k, _)| *k == PolicyKind::BitPlru)
+            .unwrap()
+            .1;
+        let nru = report
+            .scores
+            .iter()
+            .find(|(k, _)| *k == PolicyKind::Nru)
+            .unwrap()
+            .1;
         assert!(bit > nru, "Bit-PLRU {bit} must beat NRU {nru}");
     }
 

@@ -81,7 +81,9 @@ impl CacheHierarchy {
             .unwrap_or_else(|e| panic!("invalid hierarchy config: {e}"));
         let mut slice_cfg = config.l3;
         slice_cfg.capacity_bytes /= config.l3_slices as u64;
-        let slices = (0..config.l3_slices).map(|_| Cache::new(slice_cfg)).collect();
+        let slices = (0..config.l3_slices)
+            .map(|_| Cache::new(slice_cfg))
+            .collect();
         let per_slice_sets = slice_cfg.sets();
         CacheHierarchy {
             l1: Cache::new(config.l1),
@@ -168,10 +170,17 @@ impl CacheHierarchy {
         if let Some(ev) = r3.evicted {
             self.back_invalidate(ev.paddr, ev.dirty, &mut writebacks);
         }
-        let level = if r3.hit { HitLevel::L3 } else { HitLevel::Memory };
+        let level = if r3.hit {
+            HitLevel::L3
+        } else {
+            HitLevel::Memory
+        };
 
         if level == HitLevel::Memory
-            && matches!(self.config.prefetch, crate::config::PrefetchPolicy::NextLine)
+            && matches!(
+                self.config.prefetch,
+                crate::config::PrefetchPolicy::NextLine
+            )
         {
             let next = (paddr & !(self.config.l3.line_bytes as u64 - 1))
                 + self.config.l3.line_bytes as u64;
@@ -422,7 +431,11 @@ mod prefetch_tests {
         let mut h = CacheHierarchy::new(cfg);
         let r = h.access(0x8000, false);
         assert_eq!(r.level, HitLevel::Memory);
-        assert_eq!(r.prefetch_fills, vec![0x8040], "next line fetched from DRAM");
+        assert_eq!(
+            r.prefetch_fills,
+            vec![0x8040],
+            "next line fetched from DRAM"
+        );
         // The neighbor now hits in L2/L3 without its own memory trip.
         let r2 = h.access(0x8040, false);
         assert_ne!(r2.level, HitLevel::Memory);

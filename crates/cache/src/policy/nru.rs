@@ -102,7 +102,9 @@ mod tests {
         let mut x = 12345u64;
         let mut diverged = false;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = ((x >> 33) % 4) as usize;
             nru.on_hit(0, w);
             bp.on_hit(0, w);

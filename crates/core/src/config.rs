@@ -128,11 +128,26 @@ impl AnvilConfig {
     ///
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
+        if !self.tc_ms.is_finite() || !self.ts_ms.is_finite() {
+            return Err("window durations must be finite".into());
+        }
         if self.tc_ms <= 0.0 || self.ts_ms <= 0.0 {
             return Err("window durations must be positive".into());
         }
+        if self.ts_ms > self.tc_ms {
+            return Err("stage-2 window ts must not exceed the stage-1 window tc".into());
+        }
         if self.llc_miss_threshold == 0 {
             return Err("miss threshold must be non-zero".into());
+        }
+        if !self.rate_safety.is_finite()
+            || !self.load_fraction_lo.is_finite()
+            || !self.load_fraction_hi.is_finite()
+        {
+            return Err("fractional parameters must be finite".into());
+        }
+        if self.min_hammer_accesses == 0 {
+            return Err("min_hammer_accesses must be non-zero".into());
         }
         if !(0.0..=1.0).contains(&self.rate_safety) {
             return Err("rate_safety must be in [0, 1]".into());
@@ -202,5 +217,50 @@ mod tests {
         let mut c3 = AnvilConfig::baseline();
         c3.load_fraction_lo = 0.95;
         assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_windows() {
+        for (tc, ts) in [(0.0, 6.0), (-1.0, 6.0), (6.0, 0.0), (6.0, -2.5)] {
+            let mut c = AnvilConfig::baseline();
+            c.tc_ms = tc;
+            c.ts_ms = ts;
+            assert!(c.validate().is_err(), "tc={tc} ts={ts} should be rejected");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_windows() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut c = AnvilConfig::baseline();
+            c.tc_ms = bad;
+            assert!(c.validate().is_err(), "tc={bad} should be rejected");
+            let mut c = AnvilConfig::baseline();
+            c.ts_ms = bad;
+            assert!(c.validate().is_err(), "ts={bad} should be rejected");
+            let mut c = AnvilConfig::baseline();
+            c.rate_safety = bad;
+            assert!(
+                c.validate().is_err(),
+                "rate_safety={bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_sampling_window_longer_than_counting_window() {
+        let mut c = AnvilConfig::baseline();
+        c.ts_ms = c.tc_ms * 2.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_thresholds() {
+        let mut c = AnvilConfig::baseline();
+        c.llc_miss_threshold = 0;
+        assert!(c.validate().is_err());
+        let mut c = AnvilConfig::baseline();
+        c.min_hammer_accesses = 0;
+        assert!(c.validate().is_err());
     }
 }

@@ -103,7 +103,8 @@ impl AnvilDetector {
             .validate()
             .unwrap_or_else(|e| panic!("invalid ANVIL config: {e}"));
         pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
-        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss).clear();
+        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
+            .clear();
         let tc = config.tc_cycles(clock);
         let ts = config.ts_cycles(clock);
         AnvilDetector {
@@ -183,7 +184,8 @@ impl AnvilDetector {
             SampleFilter::LoadsAndStores
         };
         pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
-        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss).clear();
+        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
+            .clear();
         pmu.enable_sampling(filter, now);
         self.stage = DetectorStage::Sampling;
         self.deadline = now + self.ts;
@@ -231,7 +233,9 @@ impl AnvilDetector {
             self.stats.detections += 1;
             let aggressor_rows: Vec<RowId> = report.aggressors.iter().map(|a| a.row).collect();
             for finding in &report.aggressors {
-                for victim in finding.row.neighbors(self.config.victim_radius, mapping.geometry())
+                for victim in finding
+                    .row
+                    .neighbors(self.config.victim_radius, mapping.geometry())
                 {
                     if aggressor_rows.contains(&victim)
                         || refreshes.iter().any(|(r, _)| *r == victim)
@@ -259,7 +263,8 @@ impl AnvilDetector {
 
     fn restart_stage1(&mut self, now: Cycle, pmu: &mut Pmu) {
         pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
-        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss).clear();
+        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
+            .clear();
         self.stage = DetectorStage::MissCount;
         self.deadline = now + self.tc;
     }
@@ -319,9 +324,12 @@ mod tests {
             pmu.observe_at(&miss_op(i * 64, 1), i * 400);
         }
         let d1 = det.deadline();
-        let out = det.service(d1, &mut pmu, &AddressMapping::new(DramGeometry::ddr3_4gb()), &mut |_, v| {
-            Some(v)
-        });
+        let out = det.service(
+            d1,
+            &mut pmu,
+            &AddressMapping::new(DramGeometry::ddr3_4gb()),
+            &mut |_, v| Some(v),
+        );
         match out {
             ServiceOutcome::Armed { misses, filter, .. } => {
                 assert_eq!(misses, 25_000);
@@ -365,7 +373,9 @@ mod tests {
         }
         let out = det.service(end, &mut pmu, &mapping, &mut |_, v| Some(v));
         match out {
-            ServiceOutcome::Analyzed { report, refreshes, .. } => {
+            ServiceOutcome::Analyzed {
+                report, refreshes, ..
+            } => {
                 assert!(report.detected(), "attack must be flagged: {report:?}");
                 // The victim row between the aggressors must be refreshed.
                 let victim = mapping.location_of(base).row + 1;
@@ -411,7 +421,9 @@ mod tests {
             t += 400;
         }
         match det.service(end, &mut pmu, &mapping, &mut |_, v| Some(v)) {
-            ServiceOutcome::Analyzed { report, refreshes, .. } => {
+            ServiceOutcome::Analyzed {
+                report, refreshes, ..
+            } => {
                 assert!(!report.detected(), "streaming flagged: {report:?}");
                 assert!(refreshes.is_empty());
             }

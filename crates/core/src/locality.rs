@@ -22,7 +22,7 @@ pub struct RowSample {
     /// Physical address sampled (a representative address in that row).
     pub paddr: u64,
     /// Process that issued the sampled access (from the PEBS record's
-    /// interrupted context) — the paper's task_struct sampling gives
+    /// interrupted context) — the paper's `task_struct` sampling gives
     /// ANVIL this attribution for free.
     pub pid: u32,
 }
@@ -179,8 +179,7 @@ mod tests {
     fn no_detection_on_uniform_traffic() {
         // Streaming-like: every sample a different row/bank.
         let config = AnvilConfig::baseline();
-        let samples: Vec<RowSample> =
-            (0..30).map(|i| sample(i % 16, 1000 + i * 31)).collect();
+        let samples: Vec<RowSample> = (0..30).map(|i| sample(i % 16, 1000 + i * 31)).collect();
         let report = analyze(&config, &samples, 80_000, TS, PERIOD);
         assert!(!report.detected());
     }

@@ -170,8 +170,7 @@ impl Platform {
         let mut pmu = Pmu::new(
             config
                 .anvil
-                .map(|a| a.sampling)
-                .unwrap_or_else(anvil_pmu::SamplerConfig::anvil_default),
+                .map_or_else(anvil_pmu::SamplerConfig::anvil_default, |a| a.sampling),
         );
         let detector = config.anvil.map(|a| {
             AnvilDetector::new(
@@ -222,7 +221,7 @@ impl Platform {
 
     /// Detector counters, if ANVIL is loaded.
     pub fn detector_stats(&self) -> Option<&DetectorStats> {
-        self.detector.as_ref().map(|d| d.stats())
+        self.detector.as_ref().map(AnvilDetector::stats)
     }
 
     /// Detections so far.
@@ -305,21 +304,25 @@ impl Platform {
 
     /// Per-core counters for `pid`.
     pub fn core_stats(&self, pid: u32) -> Option<CoreStats> {
-        self.cores.iter().find(|c| c.process.pid() == pid).map(|c| CoreStats {
-            pid,
-            name: format!("{:?}", c.program),
-            ops: c.ops,
-            cycles: c.local,
-        })
+        self.cores
+            .iter()
+            .find(|c| c.process.pid() == pid)
+            .map(|c| CoreStats {
+                pid,
+                name: format!("{:?}", c.program),
+                ops: c.ops,
+                cycles: c.local,
+            })
     }
 
     /// Aggressor/victim ground truth of the attack running as `pid`
     /// (empty for workloads).
     pub fn attack_truth(&self, pid: u32) -> (Vec<u64>, Vec<u64>) {
         match self.cores.iter().find(|c| c.process.pid() == pid) {
-            Some(Core { program: Program::Attack(a), .. }) => {
-                (a.aggressor_paddrs(), a.victim_paddrs())
-            }
+            Some(Core {
+                program: Program::Attack(a),
+                ..
+            }) => (a.aggressor_paddrs(), a.victim_paddrs()),
             _ => (Vec::new(), Vec::new()),
         }
     }
@@ -436,7 +439,14 @@ impl Platform {
 
         if let Some(o) = outcome {
             let t = core.local;
-            let effect = self.pmu.observe_at(&RetiredOp { vaddr, pid, outcome: o }, t);
+            let effect = self.pmu.observe_at(
+                &RetiredOp {
+                    vaddr,
+                    pid,
+                    outcome: o,
+                },
+                t,
+            );
             if let Some(det) = &self.detector {
                 let costs = det.config().costs;
                 if effect.sampled {
@@ -465,7 +475,9 @@ impl Platform {
             .min()
             .expect("a runnable core exists");
         loop {
-            let Some(det) = self.detector.as_mut() else { return };
+            let Some(det) = self.detector.as_mut() else {
+                return;
+            };
             if det.deadline() > min_local {
                 return;
             }
@@ -497,7 +509,11 @@ impl Platform {
                 ServiceOutcome::Quiet { cost, .. } | ServiceOutcome::Armed { cost, .. } => {
                     self.cores[victim_core].local += cost;
                 }
-                ServiceOutcome::Analyzed { report, refreshes, cost } => {
+                ServiceOutcome::Analyzed {
+                    report,
+                    refreshes,
+                    cost,
+                } => {
                     self.cores[victim_core].local += cost;
                     if report.detected() {
                         let mut refreshed = Vec::new();
@@ -529,12 +545,17 @@ impl Platform {
 
     /// Applies the configured response policy to a detection's suspects.
     fn apply_response(&mut self, report: &LocalityReport) {
-        let ResponsePolicy::RefreshAndSuspend { consecutive_detections } = self.config.response
+        let ResponsePolicy::RefreshAndSuspend {
+            consecutive_detections,
+        } = self.config.response
         else {
             return;
         };
-        let mut suspects: Vec<u32> =
-            report.aggressors.iter().flat_map(|a| a.pids.iter().copied()).collect();
+        let mut suspects: Vec<u32> = report
+            .aggressors
+            .iter()
+            .flat_map(|a| a.pids.iter().copied())
+            .collect();
         suspects.sort_unstable();
         suspects.dedup();
         // Streaks only persist for pids named again this detection.
@@ -543,9 +564,7 @@ impl Platform {
             let streak = self.suspect_streaks.entry(pid).or_insert(0);
             *streak += 1;
             if *streak >= consecutive_detections {
-                if let Some(core) =
-                    self.cores.iter_mut().find(|c| c.process.pid() == pid)
-                {
+                if let Some(core) = self.cores.iter_mut().find(|c| c.process.pid() == pid) {
                     core.suspended = true;
                 }
             }
@@ -565,9 +584,12 @@ impl Platform {
     /// Time (ms since the platform started) of the first detection, if
     /// any.
     pub fn first_detection_ms(&self) -> Option<f64> {
-        self.detections
-            .first()
-            .map(|d| self.config.memory.clock.cycles_to_ms(d.cycle - self.started))
+        self.detections.first().map(|d| {
+            self.config
+                .memory
+                .clock
+                .cycles_to_ms(d.cycle - self.started)
+        })
     }
 
     /// Selective refreshes per 64 ms refresh window, averaged over the run
@@ -608,7 +630,12 @@ mod tests {
                 .add_attack(Box::new(DoubleSidedClflush::new().with_pair_index(i)))
                 .unwrap();
             let (_, victims) = probe.attack_truth(pid);
-            let row = probe.sys().dram().mapping().location_of(victims[0]).row_id();
+            let row = probe
+                .sys()
+                .dram()
+                .mapping()
+                .location_of(victims[0])
+                .row_id();
             if probe.sys().dram().is_vulnerable_row(row) {
                 p.add_attack(Box::new(DoubleSidedClflush::new().with_pair_index(i)))
                     .unwrap();
@@ -632,17 +659,26 @@ mod tests {
             (10.0..20.0).contains(&t),
             "Table 3 says ~12.3 ms under light load; got {t:.1} ms"
         );
-        assert!(p.refreshes_per_window() > 1.0, "victims refreshed repeatedly");
+        assert!(
+            p.refreshes_per_window() > 1.0,
+            "victims refreshed repeatedly"
+        );
     }
 
     #[test]
     fn anvil_stops_the_clflush_free_attack() {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-        p.add_attack(Box::new(ClflushFreeDoubleSided::new())).unwrap();
+        p.add_attack(Box::new(ClflushFreeDoubleSided::new()))
+            .unwrap();
         p.run_ms(100.0);
         assert_eq!(p.total_flips(), 0);
-        let t = p.first_detection_ms().expect("CLFLUSH-free attack must be detected");
-        assert!(t < 64.0, "detected within one refresh window; got {t:.1} ms");
+        let t = p
+            .first_detection_ms()
+            .expect("CLFLUSH-free attack must be detected");
+        assert!(
+            t < 64.0,
+            "detected within one refresh window; got {t:.1} ms"
+        );
     }
 
     #[test]
@@ -716,7 +752,8 @@ mod tests {
         for b in SpecBenchmark::memory_intensive() {
             p.add_workload(b.build(11));
         }
-        p.add_attack(Box::new(ClflushFreeDoubleSided::new())).unwrap();
+        p.add_attack(Box::new(ClflushFreeDoubleSided::new()))
+            .unwrap();
         p.run_ms(150.0);
         assert_eq!(p.total_flips(), 0, "no flips even under heavy load");
         assert!(p.first_detection_ms().is_some(), "still detected");
@@ -731,18 +768,26 @@ mod response_tests {
     #[test]
     fn refresh_only_never_suspends() {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-        p.add_attack(Box::new(anvil_attacks::DoubleSidedClflush::new())).unwrap();
+        p.add_attack(Box::new(anvil_attacks::DoubleSidedClflush::new()))
+            .unwrap();
         p.run_ms(60.0);
         assert!(!p.detections().is_empty());
-        assert!(p.suspended_pids().is_empty(), "default policy must not suspend");
+        assert!(
+            p.suspended_pids().is_empty(),
+            "default policy must not suspend"
+        );
     }
 
     #[test]
     fn run_terminates_when_every_core_is_suspended() {
         let mut pc = PlatformConfig::with_anvil(AnvilConfig::baseline());
-        pc.response = ResponsePolicy::RefreshAndSuspend { consecutive_detections: 1 };
+        pc.response = ResponsePolicy::RefreshAndSuspend {
+            consecutive_detections: 1,
+        };
         let mut p = Platform::new(pc);
-        let pid = p.add_attack(Box::new(anvil_attacks::DoubleSidedClflush::new())).unwrap();
+        let pid = p
+            .add_attack(Box::new(anvil_attacks::DoubleSidedClflush::new()))
+            .unwrap();
         // The attacker is the only program; once suspended the run must
         // return rather than spin.
         p.run_ms(200.0);
@@ -756,7 +801,9 @@ mod response_tests {
     #[test]
     fn single_detection_does_not_suspend_with_streak_of_three() {
         let mut pc = PlatformConfig::with_anvil(AnvilConfig::baseline());
-        pc.response = ResponsePolicy::RefreshAndSuspend { consecutive_detections: 3 };
+        pc.response = ResponsePolicy::RefreshAndSuspend {
+            consecutive_detections: 3,
+        };
         let mut p = Platform::new(pc);
         p.add_workload(SpecBenchmark::Bzip2.build(17));
         // bzip2's false positives are sporadic; even over a long run it

@@ -249,10 +249,20 @@ impl DisturbanceTracker {
         // Opening a row restores its charge: reset its own victim state.
         self.reset_row(row, now);
         if row.row > 0 {
-            self.disturb(RowId::new(row.bank, row.row - 1), Some(Side::Above), now, schedule);
+            self.disturb(
+                RowId::new(row.bank, row.row - 1),
+                Some(Side::Above),
+                now,
+                schedule,
+            );
         }
         if row.row + 1 < self.rows_per_bank {
-            self.disturb(RowId::new(row.bank, row.row + 1), Some(Side::Below), now, schedule);
+            self.disturb(
+                RowId::new(row.bank, row.row + 1),
+                Some(Side::Below),
+                now,
+                schedule,
+            );
         }
         if self.config.neighbor_reach >= 2 {
             if row.row > 1 {
@@ -292,7 +302,11 @@ impl DisturbanceTracker {
     /// Accumulated effective disturbance of `row` (diagnostic).
     pub fn disturbance_of(&self, row: RowId) -> u64 {
         self.states.get(&row).map_or(0, |s| {
-            effective(s, self.config.coupling_boost(), self.config.distance2_coupling)
+            effective(
+                s,
+                self.config.coupling_boost(),
+                self.config.distance2_coupling,
+            )
         })
     }
 
@@ -400,7 +414,7 @@ fn row_hash(config: &DisturbanceConfig, row: RowId) -> u64 {
 }
 
 fn row_is_vulnerable(config: &DisturbanceConfig, row: RowId) -> bool {
-    row_hash(config, row) % config.vulnerable_row_period as u64 == 0
+    row_hash(config, row).is_multiple_of(config.vulnerable_row_period as u64)
 }
 
 fn min_threshold_for(config: &DisturbanceConfig, row: RowId) -> u64 {
@@ -443,7 +457,7 @@ fn sample_cells(config: &DisturbanceConfig, row: RowId, row_bytes: u32) -> Vec<W
     // word", which SECDED ECC cannot correct.
     for i in 1..cells.len() {
         let hc = hash64(h ^ (0x900 + i as u64));
-        if hc % 4 == 0 {
+        if hc.is_multiple_of(4) {
             let anchor_word = cells[0].col & !7;
             cells[i].col = anchor_word + ((hc >> 8) % 8) as u32;
             cells[i].bit = ((hc >> 16) % 8) as u8;
@@ -474,8 +488,7 @@ mod tests {
 
     fn harness() -> (DisturbanceTracker, RefreshSchedule) {
         let timing = DramTiming::default();
-        let tracker =
-            DisturbanceTracker::new(DisturbanceConfig::paper_ddr3(), 8192, 32_768);
+        let tracker = DisturbanceTracker::new(DisturbanceConfig::paper_ddr3(), 8192, 32_768);
         let sched = RefreshSchedule::new(&timing, 32_768);
         (tracker, sched)
     }

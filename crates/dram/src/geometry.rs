@@ -218,7 +218,10 @@ mod tests {
 
         let last = RowId::new(BankId(0), g.rows_per_bank - 1);
         assert_eq!(last.above(&g), None);
-        assert_eq!(last.below(), Some(RowId::new(BankId(0), g.rows_per_bank - 2)));
+        assert_eq!(
+            last.below(),
+            Some(RowId::new(BankId(0), g.rows_per_bank - 2))
+        );
 
         let mid = RowId::new(BankId(2), 10);
         let n = mid.neighbors(2, &g);

@@ -53,10 +53,20 @@ pub(crate) struct MitigationState {
 impl MitigationState {
     pub(crate) fn new(kind: MitigationKind, refresh_period: Cycle, seed: u64) -> Self {
         if let MitigationKind::Para { p } = kind {
-            assert!((0.0..=1.0).contains(&p), "PARA probability must be in [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "PARA probability must be in [0,1]"
+            );
         }
-        if let MitigationKind::Trr { table_size, threshold } = kind {
-            assert!(table_size > 0 && threshold > 0, "TRR parameters must be non-zero");
+        if let MitigationKind::Trr {
+            table_size,
+            threshold,
+        } = kind
+        {
+            assert!(
+                table_size > 0 && threshold > 0,
+                "TRR parameters must be non-zero"
+            );
         }
         MitigationState {
             kind,
@@ -96,7 +106,10 @@ impl MitigationState {
                 }
                 v
             }
-            MitigationKind::Trr { table_size, threshold } => {
+            MitigationKind::Trr {
+                table_size,
+                threshold,
+            } => {
                 let bank = row.bank.0;
                 let start = self.window_start.entry(bank).or_insert(now);
                 let table = self.tables.entry(bank).or_default();
@@ -140,7 +153,9 @@ mod tests {
     fn none_never_refreshes() {
         let mut m = MitigationState::new(MitigationKind::None, 1_000_000, 1);
         for i in 0..10_000 {
-            assert!(m.on_activation(RowId::new(BankId(0), 10), i, &geom()).is_empty());
+            assert!(m
+                .on_activation(RowId::new(BankId(0), 10), i, &geom())
+                .is_empty());
         }
         assert_eq!(m.neighbor_refreshes(), 0);
     }
@@ -176,7 +191,10 @@ mod tests {
     #[test]
     fn trr_fires_at_threshold() {
         let mut m = MitigationState::new(
-            MitigationKind::Trr { table_size: 16, threshold: 1000 },
+            MitigationKind::Trr {
+                table_size: 16,
+                threshold: 1000,
+            },
             u64::MAX / 2,
             1,
         );
@@ -196,7 +214,10 @@ mod tests {
         // A heavy hitter must still be caught even when the attacker
         // sprays accesses over many other rows to evict its counter.
         let mut m = MitigationState::new(
-            MitigationKind::Trr { table_size: 8, threshold: 500 },
+            MitigationKind::Trr {
+                table_size: 8,
+                threshold: 500,
+            },
             u64::MAX / 2,
             1,
         );
@@ -217,7 +238,10 @@ mod tests {
     #[test]
     fn trr_window_reset_clears_counts() {
         let mut m = MitigationState::new(
-            MitigationKind::Trr { table_size: 16, threshold: 1000 },
+            MitigationKind::Trr {
+                table_size: 16,
+                threshold: 1000,
+            },
             1_000, // tiny window
             1,
         );

@@ -50,24 +50,28 @@ impl DramConfig {
     }
 
     /// Returns the config with the vendors' doubled refresh rate applied.
+    #[must_use]
     pub fn with_doubled_refresh(mut self) -> Self {
         self.timing = self.timing.with_doubled_refresh();
         self
     }
 
     /// Returns the config with an arbitrary refresh period in ms.
+    #[must_use]
     pub fn with_refresh_ms(mut self, clock: crate::time::CpuClock, ms: f64) -> Self {
         self.timing = crate::timing::DramTiming::ddr3_with_refresh_ms(clock, ms);
         self
     }
 
     /// Returns the config with the given hardware mitigation.
+    #[must_use]
     pub fn with_mitigation(mut self, mitigation: MitigationKind) -> Self {
         self.mitigation = mitigation;
         self
     }
 
     /// Returns the config with the given row-buffer policy.
+    #[must_use]
     pub fn with_row_buffer(mut self, policy: RowBufferPolicy) -> Self {
         self.row_buffer = policy;
         self
@@ -144,7 +148,11 @@ impl DramModule {
             buffers: RowBuffers::with_policy(config.geometry.total_banks(), config.row_buffer),
             schedule,
             disturb,
-            mitigation: MitigationState::new(config.mitigation, config.timing.refresh_period, config.seed),
+            mitigation: MitigationState::new(
+                config.mitigation,
+                config.timing.refresh_period,
+                config.seed,
+            ),
             stats: DramStats::default(),
             flips: Vec::new(),
             last_refresh_cmd: 0,
@@ -206,7 +214,10 @@ impl DramModule {
             self.stats.activations += 1;
             let row = location.row_id();
             self.disturb.on_activation(row, now, &self.schedule);
-            for victim in self.mitigation.on_activation(row, now, &self.config.geometry) {
+            for victim in self
+                .mitigation
+                .on_activation(row, now, &self.config.geometry)
+            {
                 self.disturb.reset_row(victim, now);
             }
             self.stats.mitigation_refreshes = self.mitigation.neighbor_refreshes();
@@ -255,7 +266,8 @@ impl DramModule {
     /// Accumulated effective disturbance of the row containing `paddr`
     /// (diagnostic, used by tests and the experiment harness).
     pub fn disturbance_at(&self, paddr: u64) -> u64 {
-        self.disturb.disturbance_of(self.mapping.location_of(paddr).row_id())
+        self.disturb
+            .disturbance_of(self.mapping.location_of(paddr).row_id())
     }
 
     /// Whether `row` contains a minimum-threshold cell (see
@@ -356,8 +368,16 @@ mod tests {
     #[test]
     fn row_buffer_stats_accumulate() {
         let mut dram = DramModule::new(DramConfig::tiny());
-        let a = dram.mapping.address_of(DramLocation { bank: BankId(0), row: 1, col: 0 });
-        let b = dram.mapping.address_of(DramLocation { bank: BankId(0), row: 2, col: 0 });
+        let a = dram.mapping.address_of(DramLocation {
+            bank: BankId(0),
+            row: 1,
+            col: 0,
+        });
+        let b = dram.mapping.address_of(DramLocation {
+            bank: BankId(0),
+            row: 2,
+            col: 0,
+        });
         dram.access(a, 100);
         dram.access(a, 200);
         dram.access(b, 300);
@@ -372,7 +392,11 @@ mod tests {
     #[test]
     fn refresh_commands_precharge_banks() {
         let mut dram = DramModule::new(DramConfig::tiny());
-        let a = dram.mapping.address_of(DramLocation { bank: BankId(0), row: 1, col: 0 });
+        let a = dram.mapping.address_of(DramLocation {
+            bank: BankId(0),
+            row: 1,
+            col: 0,
+        });
         let t_refi = dram.config().timing.t_refi;
         dram.access(a, t_refi + 10);
         // Next access to the same row after a refresh command reopens it.
@@ -475,7 +499,12 @@ impl DramModule {
     /// Energy consumed from boot until `now` under `model` (demand
     /// traffic from the module's counters plus the periodic auto-refresh
     /// of every row). See [`crate::energy_report`].
-    pub fn energy(&self, model: &crate::EnergyModel, now: Cycle, clock: &crate::CpuClock) -> crate::EnergyReport {
+    pub fn energy(
+        &self,
+        model: &crate::EnergyModel,
+        now: Cycle,
+        clock: &crate::CpuClock,
+    ) -> crate::EnergyReport {
         crate::energy_report(
             model,
             &self.stats,

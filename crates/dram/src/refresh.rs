@@ -103,11 +103,7 @@ impl RefreshSchedule {
     /// beyond the command cadence.
     pub fn blocking_delay(&self, now: Cycle, t_rfc: Cycle) -> Cycle {
         let into = now % self.t_refi;
-        if into < t_rfc {
-            t_rfc - into
-        } else {
-            0
-        }
+        t_rfc.saturating_sub(into)
     }
 }
 

@@ -58,6 +58,7 @@ impl DramTiming {
     }
 
     /// Halves the retention window (the "double refresh rate" mitigation).
+    #[must_use]
     pub fn with_doubled_refresh(mut self) -> Self {
         self.refresh_period /= 2;
         self.t_refi /= 2;

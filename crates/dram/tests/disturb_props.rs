@@ -1,8 +1,8 @@
 //! Property-based tests of the disturbance model's physical invariants.
 
 use anvil_dram::{
-    is_vulnerable_row, BankId, DisturbanceConfig, DisturbanceTracker, DramTiming,
-    RefreshSchedule, RowId,
+    is_vulnerable_row, BankId, DisturbanceConfig, DisturbanceTracker, DramTiming, RefreshSchedule,
+    RowId,
 };
 use proptest::prelude::*;
 
@@ -123,7 +123,8 @@ fn clustered_weak_cells_produce_multi_bit_words() {
     // than one flipped bit. Hammer many rows far past threshold and check
     // the clustering materializes.
     let (mut t, s) = harness();
-    let mut per_word: std::collections::HashMap<(RowId, u32), u32> = std::collections::HashMap::new();
+    let mut per_word: std::collections::HashMap<(RowId, u32), u32> =
+        std::collections::HashMap::new();
     for base in (100..8_000u32).step_by(100) {
         let above = RowId::new(BankId(0), base + 1);
         let below = RowId::new(BankId(0), base - 1);

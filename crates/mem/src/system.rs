@@ -402,8 +402,16 @@ mod tests {
             .unwrap();
         let mut sys = MemorySystem::new(config);
         let map = *sys.dram().mapping();
-        let above = map.address_of(DramLocation { bank: victim.bank, row: victim.row + 1, col: 0 });
-        let below = map.address_of(DramLocation { bank: victim.bank, row: victim.row - 1, col: 0 });
+        let above = map.address_of(DramLocation {
+            bank: victim.bank,
+            row: victim.row + 1,
+            col: 0,
+        });
+        let below = map.address_of(DramLocation {
+            bank: victim.bank,
+            row: victim.row - 1,
+            col: 0,
+        });
         for _ in 0..120_000 {
             sys.access(above, AccessKind::Read);
             sys.clflush(above);

@@ -72,6 +72,9 @@ mod tests {
 
     #[test]
     fn event_names_match_intel_manual() {
-        assert_eq!(EventKind::LongestLatCacheMiss.to_string(), "LONGEST_LAT_CACHE.MISS");
+        assert_eq!(
+            EventKind::LongestLatCacheMiss.to_string(),
+            "LONGEST_LAT_CACHE.MISS"
+        );
     }
 }

@@ -107,9 +107,7 @@ impl Pmu {
                 effect.interrupt = Some(EventKind::LongestLatCacheMiss);
                 self.interrupts += 1;
             }
-            if matches!(op.outcome.kind, AccessKind::Read)
-                && self.llc_miss_loads.add(1, now)
-            {
+            if matches!(op.outcome.kind, AccessKind::Read) && self.llc_miss_loads.add(1, now) {
                 effect.interrupt = Some(EventKind::MemLoadUopsRetiredLlcMiss);
                 self.interrupts += 1;
             }

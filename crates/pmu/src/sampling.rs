@@ -74,13 +74,13 @@ pub enum SampleFilter {
 }
 
 impl SampleFilter {
-    fn accepts(&self, kind: AccessKind) -> bool {
-        match (self, kind) {
-            (SampleFilter::LoadsOnly, AccessKind::Read) => true,
-            (SampleFilter::StoresOnly, AccessKind::Write) => true,
-            (SampleFilter::LoadsAndStores, _) => true,
-            _ => false,
-        }
+    fn accepts(self, kind: AccessKind) -> bool {
+        matches!(
+            (self, kind),
+            (SampleFilter::LoadsOnly, AccessKind::Read)
+                | (SampleFilter::StoresOnly, AccessKind::Write)
+                | (SampleFilter::LoadsAndStores, _)
+        )
     }
 }
 

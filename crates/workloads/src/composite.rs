@@ -44,12 +44,7 @@ impl CompositeWorkload {
     ///
     /// Panics if `phases` is empty, any phase has zero ops, or a phase
     /// region exceeds the arena.
-    pub fn new(
-        name: impl Into<String>,
-        arena_bytes: u64,
-        phases: Vec<Phase>,
-        seed: u64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, arena_bytes: u64, phases: Vec<Phase>, seed: u64) -> Self {
         assert!(!phases.is_empty(), "workload needs at least one phase");
         for p in &phases {
             assert!(p.ops > 0, "phase must run at least one op");
@@ -101,7 +96,7 @@ impl Workload for CompositeWorkload {
         self.remaining -= 1;
         let p = self.phases[self.current];
         let offset = self.state.next_offset(&mut self.rng);
-        let kind = if self.rng.gen_range(0..1000) < p.store_per_mille {
+        let kind = if self.rng.gen_range(0..1000u32) < p.store_per_mille {
             AccessKind::Write
         } else {
             AccessKind::Read

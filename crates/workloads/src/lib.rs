@@ -29,5 +29,5 @@ mod trace;
 pub use composite::{CompositeWorkload, Phase};
 pub use op::{Workload, WorkloadOp};
 pub use pattern::{Pattern, PatternState};
-pub use spec::SpecBenchmark;
+pub use spec::{SpecBenchmark, WorkloadModel};
 pub use trace::{record_trace, TraceParseError, TraceWorkload};

@@ -64,9 +64,16 @@ impl PatternState {
             Pattern::Stream { step } | Pattern::Loop { step } => {
                 assert!(step > 0, "step must be non-zero");
             }
-            Pattern::HotScan { step, hot_bytes, hot_per_mille } => {
+            Pattern::HotScan {
+                step,
+                hot_bytes,
+                hot_per_mille,
+            } => {
                 assert!(step > 0, "step must be non-zero");
-                assert!(hot_bytes > 0 && hot_bytes <= bytes, "hot region out of range");
+                assert!(
+                    hot_bytes > 0 && hot_bytes <= bytes,
+                    "hot region out of range"
+                );
                 assert!(hot_per_mille <= 1000, "fraction out of range");
             }
             Pattern::Chase => {}
@@ -87,13 +94,17 @@ impl PatternState {
                 self.cursor = (self.cursor + step) % self.bytes;
                 self.base + off
             }
-            Pattern::Chase => self.base + (rng.gen::<u64>() % self.bytes) & !7,
-            Pattern::HotScan { step, hot_bytes, hot_per_mille } => {
-                if rng.gen_range(0..1000) < hot_per_mille {
+            Pattern::Chase => (self.base + rng.gen::<u64>() % self.bytes) & !7,
+            Pattern::HotScan {
+                step,
+                hot_bytes,
+                hot_per_mille,
+            } => {
+                if rng.gen_range(0..1000u32) < hot_per_mille {
                     // Hot accesses land in the last `hot_bytes` of the
                     // region, at a random aligned word.
                     let hot_base = self.base + self.bytes - hot_bytes;
-                    hot_base + (rng.gen::<u64>() % hot_bytes) & !7
+                    (hot_base + rng.gen::<u64>() % hot_bytes) & !7
                 } else {
                     let off = self.cursor;
                     self.cursor = (self.cursor + step) % (self.bytes - hot_bytes);
@@ -136,7 +147,11 @@ mod tests {
         let bytes = 1 << 20;
         let hot = 8192;
         let mut p = PatternState::new(
-            Pattern::HotScan { step: 64, hot_bytes: hot, hot_per_mille: 300 },
+            Pattern::HotScan {
+                step: 64,
+                hot_bytes: hot,
+                hot_per_mille: 300,
+            },
             0,
             bytes,
         );

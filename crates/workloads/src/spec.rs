@@ -17,6 +17,10 @@
 //! * `h264ref`, `gobmk`, `sjeng`, `hmmer` cross it in <10% of windows;
 //! * residual false-positive rates are ≤ ~1 refresh/s, highest for
 //!   `bzip2` and `gcc` (Table 4).
+//!
+//! Each benchmark's phase list is available without instantiating the
+//! generator via [`SpecBenchmark::model`]; the static analyzer in
+//! `anvil-analyze` derives per-row activation bounds from it.
 
 use crate::composite::{CompositeWorkload, Phase};
 use crate::op::Workload;
@@ -44,13 +48,44 @@ pub enum SpecBenchmark {
     Xalancbmk,
 }
 
+/// The static description of one benchmark model: everything
+/// [`SpecBenchmark::build`] feeds the generator, minus the seed.
+///
+/// This is the workload side of the analysis IR — phase lists are plain
+/// data, so per-row activation bounds can be derived from them without
+/// running a single simulated access.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkloadModel {
+    /// Benchmark name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// Bytes of memory the workload maps.
+    pub arena_bytes: u64,
+    /// The cyclic phase sequence.
+    pub phases: Vec<Phase>,
+}
+
+impl WorkloadModel {
+    /// Lower bound on the cycles one full rotation through the phase list
+    /// takes, charging every operation only its compute cycles plus
+    /// `min_op_cycles` (e.g. an L1 hit). Saturates instead of overflowing
+    /// for the effectively-infinite single-phase models.
+    pub fn rotation_cycles_floor(&self, min_op_cycles: u64) -> u64 {
+        self.phases.iter().fold(0u64, |acc, p| {
+            acc.saturating_add(p.ops.saturating_mul(p.compute_cycles + min_op_cycles))
+        })
+    }
+}
+
 impl SpecBenchmark {
     /// All twelve benchmarks, in alphabetical order (as in Table 4).
     pub fn all() -> [SpecBenchmark; 12] {
-        use SpecBenchmark::*;
+        use SpecBenchmark::{
+            Astar, Bzip2, Gcc, Gobmk, H264ref, Hmmer, Libquantum, Mcf, Omnetpp, Perlbench, Sjeng,
+            Xalancbmk,
+        };
         [
-            Astar, Bzip2, Gcc, Gobmk, H264ref, Hmmer, Libquantum, Mcf, Omnetpp, Perlbench,
-            Sjeng, Xalancbmk,
+            Astar, Bzip2, Gcc, Gobmk, H264ref, Hmmer, Libquantum, Mcf, Omnetpp, Perlbench, Sjeng,
+            Xalancbmk,
         ]
     }
 
@@ -58,7 +93,11 @@ impl SpecBenchmark {
     /// "heavy load" detection experiments (Section 4.2): mcf, libquantum
     /// and omnetpp.
     pub fn memory_intensive() -> [SpecBenchmark; 3] {
-        [SpecBenchmark::Mcf, SpecBenchmark::Libquantum, SpecBenchmark::Omnetpp]
+        [
+            SpecBenchmark::Mcf,
+            SpecBenchmark::Libquantum,
+            SpecBenchmark::Omnetpp,
+        ]
     }
 
     /// The five-benchmark subset of Figure 4 / Table 5, chosen by the
@@ -75,62 +114,46 @@ impl SpecBenchmark {
 
     /// Benchmark name as it appears in the paper's tables.
     pub fn name(&self) -> &'static str {
-        match self {
-            SpecBenchmark::Astar => "astar",
-            SpecBenchmark::Bzip2 => "bzip2",
-            SpecBenchmark::Gcc => "gcc",
-            SpecBenchmark::Gobmk => "gobmk",
-            SpecBenchmark::H264ref => "h264ref",
-            SpecBenchmark::Hmmer => "hmmer",
-            SpecBenchmark::Libquantum => "libquantum",
-            SpecBenchmark::Mcf => "mcf",
-            SpecBenchmark::Omnetpp => "omnetpp",
-            SpecBenchmark::Perlbench => "perlbench",
-            SpecBenchmark::Sjeng => "sjeng",
-            SpecBenchmark::Xalancbmk => "xalancbmk",
-        }
+        self.model().name
     }
 
-    /// Instantiates the benchmark model.
-    pub fn build(&self, seed: u64) -> Box<dyn Workload> {
-        let seed = seed ^ (*self as u64) << 32;
-        let w = match self {
+    /// The static phase-level description of this benchmark.
+    pub fn model(&self) -> WorkloadModel {
+        match self {
             // Pointer-chasing over a huge sparse graph: misses nearly
             // every access, no row locality at all.
-            SpecBenchmark::Mcf => CompositeWorkload::new(
-                "mcf",
-                64 * MB,
-                vec![Phase {
+            SpecBenchmark::Mcf => WorkloadModel {
+                name: "mcf",
+                arena_bytes: 64 * MB,
+                phases: vec![Phase {
                     ops: u64::MAX / 2,
                     pattern: Pattern::Chase,
                     region: (0, 64 * MB),
                     store_per_mille: 150,
                     compute_cycles: 2,
                 }],
-                seed,
-            ),
+            },
 
             // Streaming sweeps over the quantum-state vector: one miss per
             // cache line, sequential rows, heavy store traffic.
-            SpecBenchmark::Libquantum => CompositeWorkload::new(
-                "libquantum",
-                32 * MB,
-                vec![Phase {
+            SpecBenchmark::Libquantum => WorkloadModel {
+                name: "libquantum",
+                arena_bytes: 32 * MB,
+                phases: vec![Phase {
                     ops: u64::MAX / 2,
                     pattern: Pattern::Stream { step: 8 },
                     region: (0, 32 * MB),
                     store_per_mille: 350,
                     compute_cycles: 2,
                 }],
-                seed,
-            ),
+            },
 
             // Discrete-event simulation: scattered heap traffic with a
             // modest hot event-queue region.
-            SpecBenchmark::Omnetpp => CompositeWorkload::new(
-                "omnetpp",
-                48 * MB,
-                vec![Phase {
+            SpecBenchmark::Omnetpp => WorkloadModel {
+                name: "omnetpp",
+                arena_bytes: 48 * MB,
+                phases: vec![Phase {
                     ops: u64::MAX / 2,
                     pattern: Pattern::HotScan {
                         step: 64,
@@ -141,15 +164,14 @@ impl SpecBenchmark {
                     store_per_mille: 200,
                     compute_cycles: 3,
                 }],
-                seed,
-            ),
+            },
 
             // XML transformation: alternating tree chases and text
             // streaming.
-            SpecBenchmark::Xalancbmk => CompositeWorkload::new(
-                "xalancbmk",
-                40 * MB,
-                vec![
+            SpecBenchmark::Xalancbmk => WorkloadModel {
+                name: "xalancbmk",
+                arena_bytes: 40 * MB,
+                phases: vec![
                     Phase {
                         ops: 60_000,
                         pattern: Pattern::Chase,
@@ -165,14 +187,13 @@ impl SpecBenchmark {
                         compute_cycles: 3,
                     },
                 ],
-                seed,
-            ),
+            },
 
             // Path-finding: a map scan with a hot open-list.
-            SpecBenchmark::Astar => CompositeWorkload::new(
-                "astar",
-                16 * MB,
-                vec![Phase {
+            SpecBenchmark::Astar => WorkloadModel {
+                name: "astar",
+                arena_bytes: 16 * MB,
+                phases: vec![Phase {
                     ops: u64::MAX / 2,
                     pattern: Pattern::HotScan {
                         step: 64,
@@ -183,16 +204,15 @@ impl SpecBenchmark {
                     store_per_mille: 100,
                     compute_cycles: 6,
                 }],
-                seed,
-            ),
+            },
 
             // Compiler: cache-resident passes punctuated by whole-IR walks
             // and a symbol-table-heavy phase with a strongly hot region —
             // the source of gcc's comparatively high false-positive rate.
-            SpecBenchmark::Gcc => CompositeWorkload::new(
-                "gcc",
-                24 * MB,
-                vec![
+            SpecBenchmark::Gcc => WorkloadModel {
+                name: "gcc",
+                arena_bytes: 24 * MB,
+                phases: vec![
                     Phase {
                         ops: 250_000,
                         pattern: Pattern::Loop { step: 64 },
@@ -218,15 +238,14 @@ impl SpecBenchmark {
                         compute_cycles: 3,
                     },
                 ],
-                seed,
-            ),
+            },
 
             // Block compression: streaming input plus sort phases that
             // hammer a small hot table — the suite's highest FP rate.
-            SpecBenchmark::Bzip2 => CompositeWorkload::new(
-                "bzip2",
-                8 * MB,
-                vec![
+            SpecBenchmark::Bzip2 => WorkloadModel {
+                name: "bzip2",
+                arena_bytes: 8 * MB,
+                phases: vec![
                     Phase {
                         ops: 150_000,
                         pattern: Pattern::Stream { step: 8 },
@@ -247,15 +266,14 @@ impl SpecBenchmark {
                         compute_cycles: 4,
                     },
                 ],
-                seed,
-            ),
+            },
 
             // Go engine: board evaluation is cache-resident; occasional
             // pattern-library bursts miss.
-            SpecBenchmark::Gobmk => CompositeWorkload::new(
-                "gobmk",
-                8 * MB,
-                vec![
+            SpecBenchmark::Gobmk => WorkloadModel {
+                name: "gobmk",
+                arena_bytes: 8 * MB,
+                phases: vec![
                     Phase {
                         ops: 300_000,
                         pattern: Pattern::Loop { step: 64 },
@@ -274,56 +292,52 @@ impl SpecBenchmark {
                         compute_cycles: 4,
                     },
                 ],
-                seed,
-            ),
+            },
 
             // Video encoder: blocked, cache-resident.
-            SpecBenchmark::H264ref => CompositeWorkload::new(
-                "h264ref",
-                4 * MB,
-                vec![Phase {
+            SpecBenchmark::H264ref => WorkloadModel {
+                name: "h264ref",
+                arena_bytes: 4 * MB,
+                phases: vec![Phase {
                     ops: u64::MAX / 2,
                     pattern: Pattern::Loop { step: 64 },
                     region: (0, 256 * KB),
                     store_per_mille: 200,
                     compute_cycles: 30,
                 }],
-                seed,
-            ),
+            },
 
             // Profile HMM search: small tables, compute-bound.
-            SpecBenchmark::Hmmer => CompositeWorkload::new(
-                "hmmer",
-                4 * MB,
-                vec![Phase {
+            SpecBenchmark::Hmmer => WorkloadModel {
+                name: "hmmer",
+                arena_bytes: 4 * MB,
+                phases: vec![Phase {
                     ops: u64::MAX / 2,
                     pattern: Pattern::Loop { step: 8 },
                     region: (0, 128 * KB),
                     store_per_mille: 100,
                     compute_cycles: 25,
                 }],
-                seed,
-            ),
+            },
 
             // Chess engine: hash table fits the LLC.
-            SpecBenchmark::Sjeng => CompositeWorkload::new(
-                "sjeng",
-                4 * MB,
-                vec![Phase {
+            SpecBenchmark::Sjeng => WorkloadModel {
+                name: "sjeng",
+                arena_bytes: 4 * MB,
+                phases: vec![Phase {
                     ops: u64::MAX / 2,
                     pattern: Pattern::Loop { step: 64 },
                     region: (0, 1536 * KB),
                     store_per_mille: 150,
                     compute_cycles: 30,
                 }],
-                seed,
-            ),
+            },
 
             // Interpreter: mostly cache-resident with rare heap walks.
-            SpecBenchmark::Perlbench => CompositeWorkload::new(
-                "perlbench",
-                8 * MB,
-                vec![
+            SpecBenchmark::Perlbench => WorkloadModel {
+                name: "perlbench",
+                arena_bytes: 8 * MB,
+                phases: vec![
                     Phase {
                         ops: 800_000,
                         pattern: Pattern::Loop { step: 64 },
@@ -339,10 +353,20 @@ impl SpecBenchmark {
                         compute_cycles: 5,
                     },
                 ],
-                seed,
-            ),
-        };
-        Box::new(w)
+            },
+        }
+    }
+
+    /// Instantiates the benchmark model.
+    pub fn build(&self, seed: u64) -> Box<dyn Workload> {
+        let seed = seed ^ (*self as u64) << 32;
+        let m = self.model();
+        Box::new(CompositeWorkload::new(
+            m.name,
+            m.arena_bytes,
+            m.phases,
+            seed,
+        ))
     }
 }
 
@@ -396,8 +420,14 @@ mod tests {
 
     #[test]
     fn figure4_subset_matches_paper() {
-        let names: Vec<&str> = SpecBenchmark::figure4_subset().iter().map(|b| b.name()).collect();
-        assert_eq!(names, vec!["bzip2", "gcc", "gobmk", "libquantum", "perlbench"]);
+        let names: Vec<&str> = SpecBenchmark::figure4_subset()
+            .iter()
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["bzip2", "gcc", "gobmk", "libquantum", "perlbench"]
+        );
     }
 
     #[test]
@@ -412,5 +442,29 @@ mod tests {
             let w = b.build(1);
             assert!(w.arena_bytes() <= 4 * MB);
         }
+    }
+
+    #[test]
+    fn model_matches_built_workload() {
+        for b in SpecBenchmark::all() {
+            let m = b.model();
+            let w = b.build(3);
+            assert_eq!(m.name, w.name());
+            assert_eq!(m.arena_bytes, w.arena_bytes());
+            assert!(!m.phases.is_empty());
+            for p in &m.phases {
+                let (base, bytes) = p.region;
+                assert!(base + bytes <= m.arena_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_floor_saturates_for_endless_models() {
+        let m = SpecBenchmark::Mcf.model();
+        assert_eq!(m.rotation_cycles_floor(2), u64::MAX);
+        let g = SpecBenchmark::Gcc.model();
+        // 350K ops at >= 5 cycles each.
+        assert!(g.rotation_cycles_floor(2) >= 350_000 * 5);
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::op::{Workload, WorkloadOp};
 use anvil_mem::AccessKind;
+use std::fmt::Write as _;
 
 /// A workload that replays a fixed operation sequence, looping at the end.
 #[derive(Debug, Clone)]
@@ -70,8 +71,8 @@ impl TraceWorkload {
                 message: what.to_string(),
             };
             let kind = match fields.next() {
-                Some("R") | Some("r") => AccessKind::Read,
-                Some("W") | Some("w") => AccessKind::Write,
+                Some("R" | "r") => AccessKind::Read,
+                Some("W" | "w") => AccessKind::Write,
                 other => return Err(err(&format!("expected R or W, got {other:?}"))),
             };
             let offset = fields
@@ -112,9 +113,9 @@ impl TraceWorkload {
                 AccessKind::Write => 'W',
             };
             if op.compute_cycles == 0 {
-                out.push_str(&format!("{k} {:x}\n", op.offset));
+                let _ = writeln!(out, "{k} {:x}", op.offset);
             } else {
-                out.push_str(&format!("{k} {:x} {}\n", op.offset, op.compute_cycles));
+                let _ = writeln!(out, "{k} {:x} {}", op.offset, op.compute_cycles);
             }
         }
         out

@@ -46,7 +46,11 @@ fn memory_intensive_benchmarks_cross_the_stage1_threshold() {
 #[test]
 fn compute_bound_benchmarks_stay_below_the_threshold() {
     // Section 4.3: h264ref, sjeng, hmmer cross in <10% of windows.
-    for b in [SpecBenchmark::H264ref, SpecBenchmark::Sjeng, SpecBenchmark::Hmmer] {
+    for b in [
+        SpecBenchmark::H264ref,
+        SpecBenchmark::Sjeng,
+        SpecBenchmark::Hmmer,
+    ] {
         let (misses_per_window, _) = profile(b, 48.0);
         assert!(
             misses_per_window < 10_000.0,
@@ -112,6 +116,12 @@ fn miss_rate_ordering_matches_spec_characterization() {
     let (mcf, _) = profile(SpecBenchmark::Mcf, 24.0);
     let (bzip2, _) = profile(SpecBenchmark::Bzip2, 24.0);
     let (h264, _) = profile(SpecBenchmark::H264ref, 24.0);
-    assert!(mcf > bzip2, "mcf ({mcf:.0}) must out-miss bzip2 ({bzip2:.0})");
-    assert!(bzip2 > h264.max(1.0), "bzip2 ({bzip2:.0}) must out-miss h264ref ({h264:.0})");
+    assert!(
+        mcf > bzip2,
+        "mcf ({mcf:.0}) must out-miss bzip2 ({bzip2:.0})"
+    );
+    assert!(
+        bzip2 > h264.max(1.0),
+        "bzip2 ({bzip2:.0}) must out-miss h264ref ({h264:.0})"
+    );
 }

@@ -32,7 +32,10 @@ fn main() {
         .expect("eviction set for the buddy");
 
     println!("probing which PA bits participate in bank selection...\n");
-    println!("{:<8} {:>18} {:>14}", "PA bit", "same bank as base?", "ground truth");
+    println!(
+        "{:<8} {:>18} {:>14}",
+        "PA bit", "same bank as base?", "ground truth"
+    );
 
     let mapping = *sys.dram().mapping();
     let truth_bank = |va: u64| mapping.location_of(p.translate(va).unwrap()).bank;
@@ -52,8 +55,14 @@ fn main() {
         let Ok(set_b) = build_eviction_set_by_timing(&mut sys, &p, arena, len, b) else {
             continue;
         };
-        let measured_same =
-            same_bank_by_timing(&mut sys, &p, (a, &set_a), (buddy, &set_buddy), (b, &set_b), 8);
+        let measured_same = same_bank_by_timing(
+            &mut sys,
+            &p,
+            (a, &set_a),
+            (buddy, &set_buddy),
+            (b, &set_b),
+            8,
+        );
         let truth_same = truth_bank(b) == base_bank && {
             let la = mapping.location_of(p.translate(a).unwrap());
             let lb = mapping.location_of(p.translate(b).unwrap());
@@ -75,7 +84,11 @@ fn main() {
         }
         println!(
             "{bit:<8} {:>18} {:>14}",
-            if measured_same { "yes" } else { "NO (bank bit)" },
+            if measured_same {
+                "yes"
+            } else {
+                "NO (bank bit)"
+            },
             if truth_same { "yes" } else { "no" },
         );
     }
@@ -83,7 +96,10 @@ fn main() {
     println!(
         "\nrecovered bank-affecting PA bits: {recovered_bank_bits:?} ({correct}/{total} probes agree with ground truth)"
     );
-    assert_eq!(correct, total, "the timing channel must agree with the mapping");
+    assert_eq!(
+        correct, total,
+        "the timing channel must agree with the mapping"
+    );
     println!(
         "With these bits (and the row XOR they imply), an attacker assembles the\n\
          same mapping table ANVIL itself was configured with — from user space,\n\

@@ -24,13 +24,25 @@ struct Candidate {
 
 fn candidates() -> Vec<Candidate> {
     let mut v = Vec::new();
-    v.push(Candidate { label: "baseline (6ms/6ms/20K)", config: AnvilConfig::baseline() });
-    v.push(Candidate { label: "light    (6ms/6ms/10K)", config: AnvilConfig::light() });
-    v.push(Candidate { label: "heavy    (2ms/2ms/20K)", config: AnvilConfig::heavy() });
+    v.push(Candidate {
+        label: "baseline (6ms/6ms/20K)",
+        config: AnvilConfig::baseline(),
+    });
+    v.push(Candidate {
+        label: "light    (6ms/6ms/10K)",
+        config: AnvilConfig::light(),
+    });
+    v.push(Candidate {
+        label: "heavy    (2ms/2ms/20K)",
+        config: AnvilConfig::heavy(),
+    });
     let mut paranoid = AnvilConfig::heavy();
     paranoid.llc_miss_threshold = 7_000;
     paranoid.min_hammer_accesses = 55_000;
-    v.push(Candidate { label: "paranoid (2ms/2ms/7K) ", config: paranoid });
+    v.push(Candidate {
+        label: "paranoid (2ms/2ms/7K) ",
+        config: paranoid,
+    });
     v
 }
 
@@ -40,7 +52,8 @@ fn detect_ms(anvil: AnvilConfig, disturbance: DisturbanceConfig) -> (Option<f64>
     let mut pc = PlatformConfig::with_anvil(anvil);
     pc.memory.dram.disturbance = disturbance;
     let mut p = Platform::new(pc);
-    p.add_attack(Box::new(DoubleSidedClflush::new())).expect("prepares");
+    p.add_attack(Box::new(DoubleSidedClflush::new()))
+        .expect("prepares");
     p.run_ms(100.0);
     (p.first_detection_ms(), p.total_flips())
 }

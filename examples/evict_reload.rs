@@ -89,11 +89,18 @@ fn main() {
         recovered = (recovered << 1) | guessed;
         println!(
             "bit {bit}: reload took {t:>3} cycles -> {}",
-            if guessed == 1 { "HIT  (victim touched it): 1" } else { "miss (victim idle):       0" }
+            if guessed == 1 {
+                "HIT  (victim touched it): 1"
+            } else {
+                "miss (victim idle):       0"
+            }
         );
     }
 
     println!("\nrecovered secret: {recovered:#010b}");
-    assert_eq!(recovered, secret, "the covert channel must be error-free here");
+    assert_eq!(
+        recovered, secret,
+        "the covert channel must be error-free here"
+    );
     println!("OK: Flush+Reload without CLFLUSH — the paper's Section 2.2 corollary.");
 }

@@ -30,13 +30,17 @@ fn main() {
         let r = hammer_until_flip(&mut attack, &mut h, 150_000);
         if r.flipped {
             let ms = r.time_to_first_flip_ms(&future.clock).unwrap();
-            if best.map_or(true, |(a, _)| r.aggressor_accesses < a) {
+            if best.is_none_or(|(a, _)| r.aggressor_accesses < a) {
                 best = Some((r.aggressor_accesses, ms));
             }
         }
     }
     let (accesses, ms) = best.expect("future module flips easily");
-    println!("future module: first flip after {}K accesses, {:.1} ms", accesses / 1000, ms);
+    println!(
+        "future module: first flip after {}K accesses, {:.1} ms",
+        accesses / 1000,
+        ms
+    );
     println!("(today's module: 220K accesses, ~16 ms — the attacker got ~2x faster)\n");
 
     // --- 2. Do the reconfigured detectors still win? ---------------------
@@ -48,11 +52,13 @@ fn main() {
         let mut pc = PlatformConfig::with_anvil(anvil);
         pc.memory.dram.disturbance = DisturbanceConfig::future_half_threshold();
         let mut p = Platform::new(pc);
-        p.add_attack(Box::new(DoubleSidedClflush::new())).expect("prepares");
+        p.add_attack(Box::new(DoubleSidedClflush::new()))
+            .expect("prepares");
         p.run_ms(100.0);
         println!(
             "{label}: detected at {} ms, {} bit flips, {:.1} refreshes/64 ms",
-            p.first_detection_ms().map_or("-".into(), |t| format!("{t:.1}")),
+            p.first_detection_ms()
+                .map_or("-".into(), |t| format!("{t:.1}")),
             p.total_flips(),
             p.refreshes_per_window(),
         );

@@ -26,8 +26,15 @@ fn main() {
     };
     let mut hardware = Cache::new(geometry);
 
-    println!("probing a {}-way LLC slice with unknown replacement policy...\n", geometry.ways);
-    let report = fingerprint(&mut hardware, geometry, &PolicyKind::deterministic_candidates());
+    println!(
+        "probing a {}-way LLC slice with unknown replacement policy...\n",
+        geometry.ways
+    );
+    let report = fingerprint(
+        &mut hardware,
+        geometry,
+        &PolicyKind::deterministic_candidates(),
+    );
 
     println!("{:<12} {:>10}", "candidate", "agreement");
     for (kind, score) in &report.scores {
@@ -35,7 +42,11 @@ fn main() {
             "{:<12} {:>9.1}% {}",
             kind.to_string(),
             score * 100.0,
-            if *kind == report.best() { "  <-- best match" } else { "" }
+            if *kind == report.best() {
+                "  <-- best match"
+            } else {
+                ""
+            }
         );
     }
     println!("\nprobes replayed: {}", report.probes);

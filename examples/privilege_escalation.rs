@@ -20,7 +20,7 @@ use anvil::core::{AnvilConfig, Platform, PlatformConfig};
 /// A toy PTE: frame number in the low bits, permission bits up top.
 const VICTIM_PTE: u64 = (0x00_1234 << 12) | 0b101; // frame 0x1234, present+user
 
-fn stage_attack(config: PlatformConfig) -> (Platform, u64) {
+fn stage_attack(config: &PlatformConfig) -> (Platform, u64) {
     // A real exploit hammers candidate rows until one flips; here we use
     // the profiling scan once and then stage the drama on that victim.
     let pair = (0..24)
@@ -35,10 +35,12 @@ fn stage_attack(config: PlatformConfig) -> (Platform, u64) {
         })
         .expect("some victim row is flippable");
 
-    let mut machine = Platform::new(config);
+    let mut machine = Platform::new(*config);
     // The CLFLUSH-free variant: works from plain loads, as from a sandbox.
     let pid = machine
-        .add_attack(Box::new(ClflushFreeDoubleSided::new().with_pair_index(pair)))
+        .add_attack(Box::new(
+            ClflushFreeDoubleSided::new().with_pair_index(pair),
+        ))
         .expect("attack prepares");
     let (_, victims) = machine.attack_truth(pid);
 
@@ -66,7 +68,7 @@ fn audit_ptes(machine: &Platform, victim_paddr: u64) -> Vec<(u64, u64, u64)> {
 
 fn main() {
     // --- Unprotected: the exploit lands --------------------------------
-    let (mut machine, victim_paddr) = stage_attack(PlatformConfig::unprotected());
+    let (mut machine, victim_paddr) = stage_attack(&PlatformConfig::unprotected());
     println!("page-table page staged in victim row at paddr {victim_paddr:#x}");
     machine.run_ms(64.0);
 
@@ -79,19 +81,19 @@ fn main() {
         let frame_before = (expected >> 12) & 0xf_ffff;
         let frame_after = (got >> 12) & 0xf_ffff;
         println!("PTE at {addr:#x} corrupted: {expected:#x} -> {got:#x}");
-        if frame_before != frame_after {
+        if frame_before == frame_after {
+            println!("  permission/flag bits flipped");
+        } else {
             println!(
                 "  frame {frame_before:#x} -> {frame_after:#x}: the mapping now points at a \
                  different physical page — write access escalated!"
             );
-        } else {
-            println!("  permission/flag bits flipped");
         }
     }
 
     // --- Protected: same spray, same hammer, nothing happens ------------
     let (mut protected, victim_paddr) =
-        stage_attack(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+        stage_attack(&PlatformConfig::with_anvil(AnvilConfig::baseline()));
     protected.run_ms(64.0);
     let corrupted = audit_ptes(&protected, victim_paddr);
     println!("\n-- ANVIL-protected machine, same attack --");

@@ -15,8 +15,14 @@ fn main() {
         .add_attack(Box::new(DoubleSidedClflush::new()))
         .expect("attack prepares on an open platform");
     let (aggressors, victims) = machine.attack_truth(pid);
-    println!("attacker hammers rows around victim paddr {:#x}", victims[0]);
-    println!("aggressor paddrs: {:#x}, {:#x}", aggressors[0], aggressors[1]);
+    println!(
+        "attacker hammers rows around victim paddr {:#x}",
+        victims[0]
+    );
+    println!(
+        "aggressor paddrs: {:#x}, {:#x}",
+        aggressors[0], aggressors[1]
+    );
 
     machine.run_ms(64.0); // one full DRAM refresh window
     println!(

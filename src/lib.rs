@@ -20,6 +20,7 @@
 //! | [`attacks`] | CLFLUSH single/double-sided and the CLFLUSH-free attack |
 //! | [`workloads`] | SPEC CPU2006-integer-like benchmark models |
 //! | [`core`] | The ANVIL detector and the full-system platform runner |
+//! | [`analyze`] | Static hammer-capability analysis over the attack/workload IR |
 //!
 //! ## Thirty-second tour
 //!
@@ -38,6 +39,7 @@
 //! # Ok::<(), anvil::attacks::AttackError>(())
 //! ```
 
+pub use anvil_analyze as analyze;
 pub use anvil_attacks as attacks;
 pub use anvil_cache as cache;
 pub use anvil_core as core;

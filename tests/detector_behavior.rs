@@ -27,7 +27,7 @@ impl StoreHammer {
 }
 
 impl Attack for StoreHammer {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "store-hammer"
     }
 
@@ -85,7 +85,7 @@ fn slow_attacker_evades_baseline_but_not_light() {
         i: u32,
     }
     impl Attack for Throttled {
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "throttled-hammer"
         }
         fn prepare(&mut self, env: &mut AttackEnv<'_>) -> Result<(), anvil::attacks::AttackError> {
@@ -96,7 +96,7 @@ fn slow_attacker_evades_baseline_but_not_light() {
             // Pad each hammer pair with compute so the miss rate lands
             // between the light (10K/6ms) and baseline (20K/6ms)
             // thresholds: ~2900 accesses/ms = 17.4K per 6ms.
-            if self.i % 5 == 0 {
+            if self.i.is_multiple_of(5) {
                 AttackOp::Compute { cycles: 1000 }
             } else {
                 self.inner.next_op()
@@ -120,7 +120,10 @@ fn slow_attacker_evades_baseline_but_not_light() {
         }))
         .unwrap();
         p.run_ms(70.0);
-        (p.first_detection_ms(), p.detector_stats().unwrap().threshold_crossings)
+        (
+            p.first_detection_ms(),
+            p.detector_stats().unwrap().threshold_crossings,
+        )
     };
 
     let (_, baseline_crossings) = run(AnvilConfig::baseline());
@@ -152,7 +155,9 @@ fn fast_attacker_on_future_dram_beats_baseline_but_not_heavy() {
         for i in 0..24 {
             let mut probe = Platform::new(PlatformConfig::unprotected());
             let pid = probe
-                .add_attack(Box::new(anvil::attacks::DoubleSidedClflush::new().with_pair_index(i)))
+                .add_attack(Box::new(
+                    anvil::attacks::DoubleSidedClflush::new().with_pair_index(i),
+                ))
                 .unwrap();
             let (_, victims) = probe.attack_truth(pid);
             let dram = probe.sys().dram();
@@ -179,7 +184,8 @@ fn fast_attacker_on_future_dram_beats_baseline_but_not_heavy() {
 #[test]
 fn detector_stats_are_consistent() {
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-    p.add_attack(Box::new(anvil::attacks::DoubleSidedClflush::new())).unwrap();
+    p.add_attack(Box::new(anvil::attacks::DoubleSidedClflush::new()))
+        .unwrap();
     p.run_ms(50.0);
     let s = *p.detector_stats().unwrap();
     assert!(s.stage1_windows >= s.threshold_crossings);
@@ -194,7 +200,9 @@ fn suspend_policy_stops_the_attacker_and_spares_workloads() {
     use anvil::core::ResponsePolicy;
     use anvil::workloads::SpecBenchmark;
     let mut pc = PlatformConfig::with_anvil(AnvilConfig::baseline());
-    pc.response = ResponsePolicy::RefreshAndSuspend { consecutive_detections: 3 };
+    pc.response = ResponsePolicy::RefreshAndSuspend {
+        consecutive_detections: 3,
+    };
     let mut p = Platform::new(pc);
     let workload_pid = p.add_workload(SpecBenchmark::Mcf.build(9));
     let attack_pid = p

@@ -12,10 +12,8 @@ use anvil::workloads::SpecBenchmark;
 /// Finds a pair index whose victim is minimum-threshold for this attack.
 fn vulnerable_pair(build: impl Fn(usize) -> Box<dyn anvil::attacks::Attack>) -> usize {
     for i in 0..24 {
-        let mut h = StandaloneHarness::new(
-            MemoryConfig::paper_platform(),
-            AllocationPolicy::Contiguous,
-        );
+        let mut h =
+            StandaloneHarness::new(MemoryConfig::paper_platform(), AllocationPolicy::Contiguous);
         let mut a = build(i);
         if h.prepare(a.as_mut()).is_err() {
             continue;
@@ -49,7 +47,10 @@ fn the_full_arms_race() {
     let mut attack = DoubleSidedClflush::new().with_pair_index(pair);
     h.prepare(&mut attack).unwrap();
     let r = hammer_until_flip(&mut attack, &mut h, 240_000);
-    assert!(r.flipped, "doubled refresh must still lose (the paper's point)");
+    assert!(
+        r.flipped,
+        "doubled refresh must still lose (the paper's point)"
+    );
 
     // 3. Restricting CLFLUSH does not stop the CLFLUSH-free attack
     //    (Section 2.2): the attack uses loads only by construction, so run
@@ -65,8 +66,14 @@ fn the_full_arms_race() {
 
     // 4. ANVIL wins against both.
     for make in [
-        |i| Box::new(DoubleSidedClflush::new().with_pair_index(i)) as Box<dyn anvil::attacks::Attack>,
-        |i| Box::new(ClflushFreeDoubleSided::new().with_pair_index(i)) as Box<dyn anvil::attacks::Attack>,
+        |i| {
+            Box::new(DoubleSidedClflush::new().with_pair_index(i))
+                as Box<dyn anvil::attacks::Attack>
+        },
+        |i| {
+            Box::new(ClflushFreeDoubleSided::new().with_pair_index(i))
+                as Box<dyn anvil::attacks::Attack>
+        },
     ] {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
         p.add_attack(make(0)).unwrap();
@@ -81,7 +88,9 @@ fn pagemap_hardening_blocks_preparation_but_anvil_not_needed_then() {
     let mut pc = PlatformConfig::unprotected();
     pc.pagemap = PagemapPolicy::Restricted;
     let mut p = Platform::new(pc);
-    let err = p.add_attack(Box::new(ClflushFreeDoubleSided::new())).unwrap_err();
+    let err = p
+        .add_attack(Box::new(ClflushFreeDoubleSided::new()))
+        .unwrap_err();
     assert_eq!(err, anvil::attacks::AttackError::PagemapDenied);
 }
 
@@ -89,7 +98,10 @@ fn pagemap_hardening_blocks_preparation_but_anvil_not_needed_then() {
 fn hardware_mitigations_also_win_but_need_new_hardware() {
     for mitigation in [
         MitigationKind::Para { p: 0.001 },
-        MitigationKind::Trr { table_size: 32, threshold: 50_000 },
+        MitigationKind::Trr {
+            table_size: 32,
+            threshold: 50_000,
+        },
     ] {
         let mut cfg = MemoryConfig::paper_platform();
         cfg.dram = cfg.dram.with_mitigation(mitigation);
@@ -108,7 +120,10 @@ fn single_sided_attack_detected_too() {
     p.add_attack(Box::new(SingleSidedClflush::new())).unwrap();
     p.run_ms(40.0);
     assert_eq!(p.total_flips(), 0);
-    assert!(p.first_detection_ms().is_some(), "single-sided must be detected");
+    assert!(
+        p.first_detection_ms().is_some(),
+        "single-sided must be detected"
+    );
 }
 
 #[test]
@@ -122,7 +137,10 @@ fn anvil_and_workload_coexist_with_attack() {
     p.run_ms(60.0);
     assert_eq!(p.total_flips(), 0);
     assert!(p.first_detection_ms().is_some());
-    assert!(p.core_stats(wl).unwrap().ops > 100_000, "workload kept running");
+    assert!(
+        p.core_stats(wl).unwrap().ops > 100_000,
+        "workload kept running"
+    );
 }
 
 #[test]
@@ -136,7 +154,9 @@ fn flips_corrupt_and_rewrite_repairs() {
     h.prepare(&mut attack).unwrap();
     let victim = attack.victim_paddrs()[0];
     for i in 0..1024u64 {
-        h.sys.phys_mut().write_u64(victim + i * 8, 0xAAAA_AAAA_AAAA_AAAA);
+        h.sys
+            .phys_mut()
+            .write_u64(victim + i * 8, 0xAAAA_AAAA_AAAA_AAAA);
     }
     let r = hammer_until_flip(&mut attack, &mut h, 240_000);
     assert!(r.flipped);
@@ -166,7 +186,8 @@ fn attack_still_works_with_a_prefetcher() {
     let mut pc = PlatformConfig::with_anvil(AnvilConfig::baseline());
     pc.memory.hierarchy.prefetch = PrefetchPolicy::NextLine;
     let mut p = Platform::new(pc);
-    p.add_attack(Box::new(DoubleSidedClflush::new().with_pair_index(pair))).unwrap();
+    p.add_attack(Box::new(DoubleSidedClflush::new().with_pair_index(pair)))
+        .unwrap();
     p.run_ms(50.0);
     assert_eq!(p.total_flips(), 0, "ANVIL holds with the prefetcher on");
     assert!(p.first_detection_ms().is_some());

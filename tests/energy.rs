@@ -10,11 +10,17 @@ fn refresh_power_mw(refresh_ms: f64) -> f64 {
     let clock = MemoryConfig::paper_platform().clock;
     let mut cfg = MemoryConfig::paper_platform();
     cfg.dram = cfg.dram.with_refresh_ms(clock, refresh_ms);
-    let mut p = Platform::new(PlatformConfig { memory: cfg, ..PlatformConfig::unprotected() });
+    let mut p = Platform::new(PlatformConfig {
+        memory: cfg,
+        ..PlatformConfig::unprotected()
+    });
     let pid = p.add_workload(SpecBenchmark::Libquantum.build(3));
     p.run_core_ops(pid, 200_000);
     let now = p.sys().now();
-    p.sys().dram().energy(&EnergyModel::ddr3(), now, &clock).refresh_mw()
+    p.sys()
+        .dram()
+        .energy(&EnergyModel::ddr3(), now, &clock)
+        .refresh_mw()
 }
 
 #[test]

@@ -3,6 +3,7 @@
 
 use anvil::core::{AnvilConfig, Platform, PlatformConfig};
 use anvil::workloads::{record_trace, SpecBenchmark, TraceWorkload, Workload};
+use std::fmt::Write as _;
 
 #[test]
 fn recorded_trace_reproduces_the_original_miss_profile() {
@@ -47,8 +48,8 @@ fn hand_written_trace_runs_under_anvil() {
     // end-to-end under the detector without tripping anything.
     let mut text = String::from("# synthetic trace\n");
     for i in 0..512u64 {
-        text.push_str(&format!("R {:x} 2\n", (i * 64) % 16384));
-        text.push_str(&format!("W {:x}\n", 16384 + (i * 8) % 4096));
+        let _ = writeln!(text, "R {:x} 2", (i * 64) % 16384);
+        let _ = writeln!(text, "W {:x}", 16384 + (i * 8) % 4096);
     }
     let trace = TraceWorkload::parse("synthetic", &text).unwrap();
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));

@@ -1,0 +1,116 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Implements the surface `benches/micro.rs` uses: [`Criterion`] with
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark
+//! runs a short calibration pass, then a fixed measurement pass timed
+//! with [`std::time::Instant`], and prints the mean time per iteration.
+//! There is no warm-up analysis, outlier rejection, or HTML report.
+
+// Vendored stand-in: keep the code close to the real crate's shape rather
+// than chasing pedantic lints.
+#![allow(clippy::pedantic)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(500);
+
+/// Collects and runs benchmarks.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a benchmark named `id` and prints the mean iteration
+    /// time.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibrate: grow the iteration count until one batch is long
+        // enough to time reliably.
+        loop {
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(5) || bencher.iters >= 1 << 30 {
+                break;
+            }
+            bencher.iters *= 8;
+        }
+        let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters);
+        let batches =
+            (MEASUREMENT_BUDGET.as_nanos() / bencher.elapsed.as_nanos().max(1)).clamp(1, 64);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..batches {
+            f(&mut bencher);
+            total += bencher.elapsed;
+            iters += bencher.iters;
+        }
+        let mean_ns = total.as_nanos() / u128::from(iters.max(1));
+        println!("{id:<40} mean {mean_ns} ns/iter (calibration {per_iter} ns/iter)");
+        self
+    }
+
+    /// Runs the registered benchmark groups (no-op configuration hook).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it the currently calibrated number of times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group: a function per listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("sum_0_to_99", |b| b.iter(|| (0u64..100).sum::<u64>()));
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+    }
+}

@@ -1,0 +1,75 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: a fixed size or a range of sizes.
+#[derive(Debug, Clone)]
+pub enum SizeRange {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// A half-open range of lengths.
+    Range(Range<usize>),
+    /// An inclusive range of lengths.
+    Inclusive(RangeInclusive<usize>),
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        match self {
+            SizeRange::Fixed(n) => *n,
+            SizeRange::Range(r) => {
+                assert!(r.start < r.end, "empty length range");
+                r.start + (rng.next_u64() as usize) % (r.end - r.start)
+            }
+            SizeRange::Inclusive(r) => {
+                let (start, end) = (*r.start(), *r.end());
+                assert!(start <= end, "empty length range");
+                start + (rng.next_u64() as usize) % (end - start + 1)
+            }
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange::Fixed(n)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange::Range(r)
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange::Inclusive(r)
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// comes from `size` (a `usize`, `Range<usize>`, or `RangeInclusive<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

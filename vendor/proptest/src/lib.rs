@@ -1,0 +1,346 @@
+//! Offline stand-in for [proptest](https://docs.rs/proptest).
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * strategies: integer ranges (`0u64..100`, `2usize..=16`), tuples of
+//!   strategies, `any::<T>()`, and `prop::collection::vec`.
+//!
+//! Differences from the real crate: failing cases are **not shrunk** (the
+//! panic message reports the failing inputs as generated), and the value
+//! stream is this crate's own deterministic generator, seeded per test
+//! from the test's name so failures reproduce across runs.
+
+// Vendored stand-in: keep the code close to the real crate's shape rather
+// than chasing pedantic lints.
+#![allow(clippy::pedantic)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Deterministic generator backing every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Run-time configuration for [`proptest!`] blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: enough to exercise the simulator's properties while
+    /// keeping the suite fast on one core (the real crate defaults to
+    /// 256, with shrinking amortizing the cost of failures).
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. The stand-in strategy produces values directly
+/// (no shrink tree).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = ((self.end as i128) - (self.start as i128)) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    ((self.start as i128) + (offset as i128)) as $t
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = ((end as i128) - (start as i128)) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    ((start as i128) + (offset as i128)) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the whole domain of `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from the test's name so runs
+/// are reproducible without global state.
+#[must_use]
+pub fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+pub mod prelude {
+    //! Everything a property test needs, mirroring
+    //! `proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::{any, Any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); ) => {};
+    (@fns ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::fnv1a(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                let inputs = format!(
+                    concat!("case {}/{}:", $(" ", stringify!($arg), " = {:?}",)*),
+                    case + 1, config.cases, $(&$arg),*
+                );
+                // Like the real proptest, the body runs as a fallible
+                // function: `return Ok(())` is an early accept and an
+                // explicit `Err` rejects the case.
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    },
+                ));
+                match result {
+                    Err(panic) => {
+                        eprintln!("proptest failure ({inputs}); inputs are not shrunk");
+                        ::std::panic::resume_unwind(panic);
+                    }
+                    Ok(Err(message)) => {
+                        panic!("proptest failure ({inputs}): {message}");
+                    }
+                    Ok(Ok(())) => {}
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside [`proptest!`], reporting the generated
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..100, y in 2usize..=16, z in -4i64..=4) {
+            prop_assert!(x < 100);
+            prop_assert!((2..=16).contains(&y));
+            prop_assert!((-4..=4).contains(&z), "z = {z}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_header_is_honored(pair in (0u32..8, any::<bool>())) {
+            prop_assert!(pair.0 < 8);
+        }
+
+        /// Doc comments and multiple functions per block parse.
+        #[test]
+        fn vec_strategy_len_and_bounds(
+            xs in prop::collection::vec(0u64..50, 1..20),
+            fixed in prop::collection::vec(any::<bool>(), 8),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert_eq!(fixed.len(), 8);
+            for &x in &xs {
+                prop_assert!(x < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::new(crate::fnv1a("x"));
+        let mut b = crate::TestRng::new(crate::fnv1a("x"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

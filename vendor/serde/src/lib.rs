@@ -1,0 +1,313 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the *subset* of serde's API it actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` for plain (non-generic) structs
+//!   and enums without `#[serde(...)]` attributes;
+//! * the [`Serialize`] / [`Deserialize`] traits, defined directly over the
+//!   JSON-shaped [`value::Value`] tree rather than serde's
+//!   `Serializer`/`Deserializer` visitors (the only backend in this
+//!   workspace is `serde_json`, which re-exports that same tree);
+//! * implementations for the primitive, tuple, and container types the
+//!   simulator's configuration and report types are built from.
+//!
+//! Swapping the real crates back in requires no source changes outside
+//! `[workspace.dependencies]` — the public names used by the workspace
+//! (`serde::Serialize`, `serde::Deserialize`, `serde_json::Value`,
+//! `serde_json::json!`, …) keep their meaning.
+
+// Vendored stand-in: keep the code close to the real crate's shape rather
+// than chasing pedantic lints.
+#![allow(clippy::pedantic)]
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use crate::value::{Number, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// A type that can be converted into the JSON-shaped [`Value`] tree.
+///
+/// The stand-in equivalent of `serde::Serialize`; derive it with
+/// `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the JSON-shaped [`Value`] tree.
+///
+/// The stand-in equivalent of `serde::Deserialize`; derive it with
+/// `#[derive(Deserialize)]`. Returns `None` when the value's shape does
+/// not match.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`], or `None` on shape mismatch.
+    fn from_value(v: &Value) -> Option<Self>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_bool()
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Option<Self> {
+                v.as_u64().and_then(|n| <$t>::try_from(n).ok())
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if let Ok(u) = u64::try_from(n) {
+                    Value::Number(Number::PosInt(u))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Option<Self> {
+                v.as_i64().and_then(|n| <$t>::try_from(n).ok())
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_i64().and_then(|n| isize::try_from(n).ok())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Option<Self> {
+        #[allow(clippy::cast_possible_truncation)]
+        v.as_f64().map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        if v.is_null() {
+            Some(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Option<Self> {
+                let items = v.as_array()?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return None;
+                }
+                Some(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Some(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Some(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Some(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Some(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Some("hi".into()));
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Some(None));
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&xs.to_value()), Some(xs));
+    }
+
+    #[test]
+    fn tuple_round_trips_as_array() {
+        let t = (1u64, 2u64);
+        assert_eq!(
+            t.to_value(),
+            Value::Array(vec![1u64.to_value(), 2u64.to_value()])
+        );
+        assert_eq!(<(u64, u64)>::from_value(&t.to_value()), Some(t));
+    }
+}

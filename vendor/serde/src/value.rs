@@ -1,0 +1,360 @@
+//! The JSON-shaped value tree shared by the `serde` and `serde_json`
+//! stand-ins.
+//!
+//! Lives here (rather than in `serde_json`) so that the [`Serialize`]
+//! trait in this crate can be defined over it without a dependency cycle;
+//! `serde_json` re-exports it as `serde_json::Value`.
+//!
+//! [`Serialize`]: crate::Serialize
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON number: non-negative integer, negative integer, or float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer (serialized without a decimal point).
+    PosInt(u64),
+    /// A negative integer (serialized without a decimal point).
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(x) => {
+                if x.is_finite() {
+                    // Match serde_json: floats always carry a fractional
+                    // part or exponent so they parse back as floats.
+                    if x == x.trunc() && x.abs() < 1e16 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    // JSON has no NaN/inf; serde_json emits null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value tree, the stand-in for `serde_json::Value`.
+///
+/// Objects preserve insertion order (like serde_json's `preserve_order`
+/// feature); key lookup is linear, which is fine at report sizes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object: ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Shared `null` for `Index` lookups that miss.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `true` if this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::NegInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any kind of number.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object; `None` for misses and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Objects index by key; missing keys and non-objects yield `Null`
+    /// (matching serde_json's forgiving read path).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Inserts `Null` under `key` first if absent. Panics when `self` is
+    /// neither an object nor `Null` (a `Null` is promoted to an object),
+    /// matching serde_json.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Vec::new());
+        }
+        let Value::Object(entries) = self else {
+            panic!("cannot index non-object value with a string key");
+        };
+        if let Some(i) = entries.iter().position(|(k, _)| k == key) {
+            return &mut entries[i].1;
+        }
+        entries.push((key.to_owned(), Value::Null));
+        &mut entries.last_mut().expect("just pushed").1
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Arrays index by position; out-of-range and non-arrays yield `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal with escapes.
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON encoding (no added whitespace).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+// Literal comparisons (`v["flips"] == 0`, `v["attack"] == "x"`, ...), as
+// supported by serde_json.
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for bool {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for f64 {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+macro_rules! impl_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match i64::try_from(*other) {
+                    Ok(n) => self.as_i64() == Some(n),
+                    Err(_) => {
+                        // Only u64 values beyond i64::MAX land here.
+                        match u64::try_from(*other) {
+                            Ok(u) => self.as_u64() == Some(u),
+                            Err(_) => false,
+                        }
+                    }
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::PosInt(1))),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[null,true]}"#);
+    }
+
+    #[test]
+    fn float_display_keeps_fraction() {
+        assert_eq!(Value::Number(Number::Float(32.0)).to_string(), "32.0");
+        assert_eq!(Value::Number(Number::Float(1.25)).to_string(), "1.25");
+    }
+
+    #[test]
+    fn index_misses_yield_null() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert!(v["missing"].is_null());
+        assert!(v["a"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn index_mut_inserts() {
+        let mut v = Value::Object(Vec::new());
+        v["x"] = Value::Bool(false);
+        assert_eq!(v["x"], false);
+    }
+
+    #[test]
+    fn literal_comparisons() {
+        let v = Value::Number(Number::PosInt(32));
+        assert!(v == 32);
+        assert!(v == 32u64);
+        assert!(Value::Number(Number::Float(32.0)) == 32.0);
+        assert!(Value::String("x".into()) == "x");
+        assert!(Value::Bool(true) == true);
+    }
+
+    #[test]
+    fn escaped_strings() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+    }
+}

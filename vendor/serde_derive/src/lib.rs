@@ -1,0 +1,366 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually defines — non-generic structs and enums
+//! without `#[serde(...)]` attributes — by walking the raw
+//! [`proc_macro::TokenStream`] directly (the real crate's `syn`/`quote`
+//! dependencies are unavailable offline).
+//!
+//! Encoding, chosen to match `serde_json`'s externally-tagged default:
+//!
+//! * named-field struct → object `{ field: value, ... }`
+//! * tuple struct       → array `[v0, v1, ...]` (newtypes unwrap to `v0`)
+//! * unit enum variant  → string `"Variant"`
+//! * data enum variant  → object `{ "Variant": <fields as above> }`
+
+// String-assembled codegen is the whole point of this stand-in; the
+// `write!` form clippy prefers buys nothing at macro-expansion time.
+#![allow(clippy::format_push_string, clippy::format_collect)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the workspace's `serde::Serialize` for a struct or enum.
+///
+/// # Panics
+///
+/// Panics at compile time on shapes the stand-in does not support
+/// (generic types, unions).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => serialize_named_fields(fields, "self."),
+        ItemKind::TupleStruct(arity) => serialize_tuple_fields(*arity, "self."),
+        ItemKind::UnitStruct => "::serde::value::Value::Object(::std::vec::Vec::new())".into(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let name = &item.name;
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()),"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let inner = serialize_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::value::Value::Object(\
+                             vec![(\"{vn}\".to_string(), {inner})]),"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::Value::Object(vec![(\
+                             \"{vn}\".to_string(), ::serde::value::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {} {{\
+         fn to_value(&self) -> ::serde::value::Value {{ {body} }} }}",
+        item.name
+    )
+    .parse()
+    .expect("derived Serialize impl must parse")
+}
+
+/// Derives the workspace's `serde::Deserialize` for a struct or enum.
+///
+/// # Panics
+///
+/// Panics at compile time on shapes the stand-in does not support
+/// (generic types, unions).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits = deserialize_named_fields(fields);
+            format!("Some({name} {{ {inits} }})")
+        }
+        ItemKind::TupleStruct(arity) => {
+            let gets = deserialize_tuple_fields(*arity);
+            format!(
+                "let items = v.as_array()?; if items.len() != {arity} {{ return None; }} \
+                 Some({name}({gets}))"
+            )
+        }
+        ItemKind::UnitStruct => format!("Some({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Some({name}::{vn}),"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits = deserialize_named_fields(fields);
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let v = inner; Some({name}::{vn} {{ {inits} }}) }}"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let gets = deserialize_tuple_fields(*arity);
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let items = inner.as_array()?; \
+                             if items.len() != {arity} {{ return None; }} \
+                             Some({name}::{vn}({gets})) }}"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                 ::serde::value::Value::String(s) => match s.as_str() {{ \
+                     {unit_arms} _ => None }}, \
+                 ::serde::value::Value::Object(entries) if entries.len() == 1 => {{ \
+                     let (tag, inner) = &entries[0]; \
+                     #[allow(unused_variables)] let inner = inner; \
+                     match tag.as_str() {{ {data_arms} _ => None }} }}, \
+                 _ => None }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{\
+         fn from_value(v: &::serde::value::Value) -> ::std::option::Option<Self> {{ \
+         let _ = v; {body} }} }}"
+    )
+    .parse()
+    .expect("derived Deserialize impl must parse")
+}
+
+fn serialize_named_fields(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!(
+        "::serde::value::Value::Object(vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn serialize_tuple_fields(arity: usize, prefix: &str) -> String {
+    let items: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Serialize::to_value(&{prefix}{i})"))
+        .collect();
+    format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+}
+
+fn deserialize_named_fields(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")?)?,"))
+        .collect()
+}
+
+fn deserialize_tuple_fields(arity: usize) -> String {
+    (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+        .collect()
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Parses a struct/enum definition out of the derive input tokens.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde_derive does not support generic types ({name})");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: ItemKind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                kind: ItemKind::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                kind: ItemKind::UnitStruct,
+            },
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body: `attrs vis name : Type, ...`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("expected field name, found {tt:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field, found {other:?}"),
+        }
+        skip_type(&mut tokens);
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body: `attrs vis Type, ...`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut tokens);
+    }
+    count
+}
+
+/// Consumes a type, i.e. tokens up to a top-level `,` (angle-bracket
+/// aware, since `,` also separates generic arguments).
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+/// Parses enum variants: `attrs Name`, `attrs Name { .. }`,
+/// `attrs Name( .. )`, optionally `= discriminant`, comma-separated.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("expected variant name, found {tt:?}");
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+            tokens.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}

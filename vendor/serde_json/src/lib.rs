@@ -1,0 +1,237 @@
+//! Offline stand-in for [serde_json](https://docs.rs/serde_json).
+//!
+//! Re-exports the [`Value`] tree from the vendored `serde` and provides
+//! the entry points this workspace uses: the [`json!`] macro,
+//! [`to_string`] / [`to_string_pretty`], [`to_value`], and [`from_str`].
+//! See the vendored `serde` crate's docs for why these stand-ins exist.
+
+// Vendored stand-in: keep the code close to the real crate's shape rather
+// than chasing pedantic lints.
+#![allow(clippy::pedantic)]
+
+pub use serde::value::{Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+mod parse;
+
+/// Error type for serialization and parsing.
+///
+/// Serializing a [`Value`] cannot fail here (the tree is already
+/// JSON-shaped), so only [`from_str`] produces errors in practice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any [`Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors serde_json's
+/// signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes to human-readable JSON, indented with two spaces.
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors serde_json's
+/// signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                out.push_str(&Value::String(k.clone()).to_string());
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Parses JSON text into any [`Deserialize`] type (in this workspace,
+/// almost always [`Value`] itself).
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax problem, or a shape
+/// mismatch between the parsed tree and `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::from_value(&value).ok_or_else(|| Error::new("JSON shape does not match target type"))
+}
+
+/// Builds a [`Value`] from JSON-like syntax, mirroring `serde_json::json!`.
+///
+/// Supports literals (`null`, `true`, numbers, strings), arrays, objects
+/// with string-literal or parenthesized-expression keys, and arbitrary
+/// Rust expressions (serialized via [`Serialize`]) in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_internal!(@array [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_internal!(@object [] () $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // --- arrays: accumulate parsed elements in [ ... ] ---
+    (@array [$($elems:expr),*]) => {
+        $crate::Value::Array(vec![$($elems),*])
+    };
+    (@array [$($elems:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(@array [] $($inner)*)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(@object [] () $($inner)*)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$next)] $($($rest)*)?)
+    };
+
+    // --- objects: accumulate (key, value) pairs; () holds the pending key ---
+    (@object [$($entries:expr),*] ()) => {
+        $crate::Value::Object(vec![$($entries),*])
+    };
+    (@object [$($entries:expr),*] () $key:literal : $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($entries),*] ($key) $($rest)*)
+    };
+    (@object [$($entries:expr),*] () ( $key:expr ) : $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($entries),*] ($key) $($rest)*)
+    };
+    (@object [$($entries:expr),*] ($key:expr) null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($entries,)* (::std::string::String::from($key), $crate::Value::Null)]
+            () $($($rest)*)?)
+    };
+    (@object [$($entries:expr),*] ($key:expr) [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($entries,)* (::std::string::String::from($key), $crate::json_internal!(@array [] $($inner)*))]
+            () $($($rest)*)?)
+    };
+    (@object [$($entries:expr),*] ($key:expr) { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($entries,)* (::std::string::String::from($key), $crate::json_internal!(@object [] () $($inner)*))]
+            () $($($rest)*)?)
+    };
+    (@object [$($entries:expr),*] ($key:expr) $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@object
+            [$($entries,)* (::std::string::String::from($key), $crate::to_value(&$value))]
+            () $($($rest)*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_literals() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(3u64), Value::Number(Number::PosInt(3)));
+        assert_eq!(json!("x"), Value::String("x".into()));
+    }
+
+    #[test]
+    fn json_macro_objects_and_arrays() {
+        let label = "row";
+        let v = json!({
+            "experiment": "t",
+            "n": 1u32 + 1,
+            "rows": [ { "a": label }, null, [1, 2] ],
+            "missing": null,
+        });
+        assert_eq!(v["experiment"], "t");
+        assert_eq!(v["n"], 2);
+        assert_eq!(v["rows"][0]["a"], "row");
+        assert!(v["rows"][1].is_null());
+        assert_eq!(v["rows"][2][1], 2);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn json_macro_expression_values() {
+        let records = vec![json!({"k": 1}), json!({"k": 2})];
+        let v = json!({ "rows": records, "label": format!("{}-{}", "a", 1) });
+        assert_eq!(v["rows"].as_array().map(Vec::len), Some(2));
+        assert_eq!(v["label"], "a-1");
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = json!({ "a": [1, 2], "b": { "c": null }, "d": 1.5 });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": [\n"));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn compact_round_trips() {
+        let v = json!({ "s": "quote\"inside", "neg": -5, "f": 0.25 });
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+}

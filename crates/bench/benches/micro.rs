@@ -89,9 +89,9 @@ fn bench_attack_iteration(c: &mut Criterion) {
 
 fn bench_platform_step(c: &mut Criterion) {
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-    let pid = p.add_workload(SpecBenchmark::Mcf.build(1));
+    let pid = p.add_workload(SpecBenchmark::Mcf.build(1)).unwrap();
     c.bench_function("platform_step_mcf_under_anvil", |b| {
-        b.iter(|| p.run_core_ops(black_box(pid), 1))
+        b.iter(|| p.run_core_ops(black_box(pid), 1).unwrap())
     });
 }
 

@@ -14,8 +14,8 @@ use serde_json::json;
 /// Fraction of stage-1 windows that crossed the threshold for `bench`.
 fn crossing_fraction(bench: SpecBenchmark, anvil: AnvilConfig, ms: f64) -> f64 {
     let mut p = Platform::new(PlatformConfig::with_anvil(anvil));
-    p.add_workload(bench.build(13));
-    p.run_ms(ms);
+    p.add_workload(bench.build(13)).unwrap();
+    p.run_ms(ms).unwrap();
     let s = p.detector_stats().expect("anvil loaded");
     if s.stage1_windows == 0 {
         0.0

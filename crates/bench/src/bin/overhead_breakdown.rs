@@ -39,8 +39,8 @@ fn main() {
     ] {
         let anvil = AnvilConfig::baseline();
         let mut p = Platform::new(PlatformConfig::with_anvil(anvil));
-        let pid = p.add_workload(bench.build(31));
-        p.run_ms(ms);
+        let pid = p.add_workload(bench.build(31)).unwrap();
+        p.run_ms(ms).unwrap();
         let stats = *p.detector_stats().expect("anvil loaded");
         let costs = anvil.costs;
         let samples_cy = p.pmu().samples_taken() * costs.sample;

@@ -132,7 +132,7 @@ fn main() {
     let mut p = Platform::new(pc);
     p.add_attack(Box::new(TimingClflushFree::new()))
         .expect("prepares");
-    p.run_ms(scale.ms(150.0).max(80.0));
+    p.run_ms(scale.ms(150.0).max(80.0)).unwrap();
     println!(
         "ANVIL vs the timing attack: detected at {} ms, {} bit flips.",
         p.first_detection_ms()

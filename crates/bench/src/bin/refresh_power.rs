@@ -44,8 +44,8 @@ fn main() {
             memory: cfg,
             ..PlatformConfig::unprotected()
         });
-        let pid = p.add_workload(SpecBenchmark::Mcf.build(3));
-        p.run_core_ops(pid, 400_000);
+        let pid = p.add_workload(SpecBenchmark::Mcf.build(3)).unwrap();
+        p.run_core_ops(pid, 400_000).unwrap();
         let now = p.sys().now();
         let energy = p.sys().dram().energy(&model, now, &clock);
         let power = energy.refresh_mw();

@@ -1,0 +1,129 @@
+//! **Fault campaign** — detector resilience under a degraded substrate.
+//!
+//! ANVIL's no-flip guarantee rests on a measurement pipeline that real
+//! hardware degrades in well-documented ways: PEBS debug-store buffers
+//! overflow, PMIs are held off by interrupt-masked sections, pagemap
+//! walks race with migration, the kernel thread is preempted, and DDR3
+//! controllers legally postpone refresh. This bench sweeps every built-in
+//! [`FaultScenario`] across the attack matrix and fault intensities and
+//! reports, per cell: detection latency, bit flips, and degraded-mode
+//! engagement. A cell counts as *protected* when no bit flipped and
+//! either a detection fired or the degraded fallback visibly engaged.
+//!
+//! The campaign seed is recorded in `results/resilience.json`, so any
+//! failing cell reproduces byte-for-byte with the same binary:
+//!
+//! ```bash
+//! cargo run --release -p anvil-bench --bin resilience            # full sweep
+//! cargo run --release -p anvil-bench --bin resilience -- --smoke # CI subset
+//! cargo run --release -p anvil-bench --bin resilience -- --seed 7
+//! ```
+
+use anvil_bench::{resilience_run, write_json, AttackKind, Scale, Table};
+use anvil_core::AnvilConfig;
+use anvil_faults::FaultScenario;
+use serde_json::json;
+
+/// Default campaign seed; override with `--seed N`.
+const DEFAULT_SEED: u64 = 0xA_11CE;
+
+fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = Scale::from_args();
+    let seed = seed_from_args();
+    // Long enough for the slowest in-matrix detection (CLFLUSH-free needs
+    // most of a refresh window) plus slack for fault-delayed windows.
+    let run_ms = if smoke {
+        70.0
+    } else {
+        scale.ms(120.0).max(70.0)
+    };
+    let intensities: &[f64] = if smoke { &[1.0] } else { &[0.5, 1.0] };
+    let attacks: Vec<AttackKind> = if smoke {
+        vec![AttackKind::DoubleSided]
+    } else {
+        AttackKind::all().to_vec()
+    };
+
+    let mut table = Table::new(
+        "Fault campaign: protection under a degraded substrate",
+        &[
+            "Scenario",
+            "Attack",
+            "Intensity",
+            "Detected at",
+            "Degraded",
+            "Flips",
+            "Protected",
+        ],
+    );
+    let mut cells = Vec::new();
+    let mut unprotected = 0u32;
+
+    for scenario in FaultScenario::ALL {
+        for &intensity in intensities {
+            for &kind in &attacks {
+                let s = resilience_run(
+                    scenario,
+                    intensity,
+                    kind,
+                    AnvilConfig::baseline(),
+                    run_ms,
+                    seed,
+                );
+                if !s.protected {
+                    unprotected += 1;
+                }
+                table.row(&[
+                    s.scenario.clone(),
+                    s.attack.clone(),
+                    format!("{intensity:.1}"),
+                    s.detect_ms.map_or("never".into(), |d| format!("{d:.1} ms")),
+                    s.degraded_windows.to_string(),
+                    s.flips.to_string(),
+                    if s.protected { "yes" } else { "NO" }.to_string(),
+                ]);
+                eprintln!(
+                    "  [{} / {} / {intensity:.1}] detect {:?}, degraded {}, flips {}",
+                    s.scenario, s.attack, s.detect_ms, s.degraded_windows, s.flips
+                );
+                cells.push(serde_json::to_value(&s));
+            }
+        }
+    }
+
+    table.print();
+    println!(
+        "{}",
+        if unprotected == 0 {
+            "ZERO FLIPS in every cell — the no-flip guarantee holds under every\n\
+             built-in fault scenario (degraded-mode engagements count as\n\
+             protection and are visible in the Degraded column)."
+        } else {
+            "WARNING: some cells flipped bits or showed no protection signal."
+        }
+    );
+    write_json(
+        "resilience",
+        &json!({
+            "experiment": "resilience",
+            "seed": seed,
+            "run_ms": run_ms,
+            "smoke": smoke,
+            "unprotected": unprotected,
+            "cells": cells,
+        }),
+    );
+    if unprotected > 0 {
+        std::process::exit(1);
+    }
+}

@@ -132,7 +132,7 @@ fn main() {
             flush_next: false,
         }))
         .expect("prepares");
-        p.run_ms(100.0);
+        p.run_ms(100.0).unwrap();
         (p.first_detection_ms(), p.total_flips())
     };
     let (det_paper, flips_paper) = run_anvil(AnvilConfig::baseline());

@@ -64,7 +64,7 @@ fn main() {
             let mut p = Platform::new(pc);
             p.add_attack(AttackKind::SingleSided.build(chosen))
                 .expect("prepares");
-            p.run_ms(run_ms);
+            p.run_ms(run_ms).unwrap();
             table.row(&[
                 reach_label.into(),
                 radius.to_string(),

@@ -2,6 +2,7 @@
 
 use anvil_attacks::{Attack, ClflushFreeDoubleSided, DoubleSidedClflush, SingleSidedClflush};
 use anvil_core::{AnvilConfig, Platform, PlatformConfig};
+use anvil_faults::FaultScenario;
 use anvil_mem::MemoryConfig;
 use anvil_workloads::SpecBenchmark;
 use serde::Serialize;
@@ -133,13 +134,13 @@ pub fn detection_run(
     let mut p = Platform::new(PlatformConfig::with_anvil(anvil));
     if heavy_load {
         for b in SpecBenchmark::memory_intensive() {
-            p.add_workload(b.build(seed));
+            p.add_workload(b.build(seed)).expect("arena fits");
         }
     }
     let pair = vulnerable_pair_index(kind, MemoryConfig::paper_platform(), 24).unwrap_or(0);
     p.add_attack(kind.build(pair))
         .expect("attack prepares on open platform");
-    p.run_ms(ms);
+    p.run_ms(ms).expect("run completes");
     DetectionSummary {
         attack: kind.label().to_string(),
         heavy_load,
@@ -154,8 +155,8 @@ pub fn detection_run(
 pub fn normalized_time(bench: SpecBenchmark, config: PlatformConfig, ops: u64, seed: u64) -> f64 {
     let run = |cfg: PlatformConfig| {
         let mut p = Platform::new(cfg);
-        let pid = p.add_workload(bench.build(seed));
-        p.run_core_ops(pid, ops);
+        let pid = p.add_workload(bench.build(seed)).expect("arena fits");
+        p.run_core_ops(pid, ops).expect("run completes");
         p.core_stats(pid).expect("just added").cycles as f64
     };
     let base = run(PlatformConfig {
@@ -178,8 +179,8 @@ pub fn normalized_time_target(
 ) -> f64 {
     // Calibrate ops/ms on a short unprotected run.
     let mut probe = Platform::new(PlatformConfig::unprotected());
-    let pid = probe.add_workload(bench.build(seed));
-    probe.run_core_ops(pid, 50_000);
+    let pid = probe.add_workload(bench.build(seed)).expect("arena fits");
+    probe.run_core_ops(pid, 50_000).expect("run completes");
     let per_op = probe.core_stats(pid).expect("just added").cycles as f64 / 50_000.0;
     let clock = probe.config().memory.clock;
     let ops = ((clock.ms_to_cycles(target_ms) as f64) / per_op) as u64;
@@ -190,8 +191,8 @@ pub fn normalized_time_target(
 /// under ANVIL for `ms` (a Table 4/5 cell).
 pub fn false_positive_rate(bench: SpecBenchmark, anvil: AnvilConfig, ms: f64, seed: u64) -> f64 {
     let mut p = Platform::new(PlatformConfig::with_anvil(anvil));
-    p.add_workload(bench.build(seed));
-    p.run_ms(ms);
+    p.add_workload(bench.build(seed)).expect("arena fits");
+    p.run_ms(ms).expect("run completes");
     p.refreshes_per_second()
 }
 
@@ -200,6 +201,68 @@ pub fn double_refresh_platform() -> PlatformConfig {
     let mut c = PlatformConfig::unprotected();
     c.memory.dram = c.memory.dram.with_doubled_refresh();
     c
+}
+
+/// Result of one fault-campaign cell (the resilience bench).
+#[derive(Debug, Clone, Serialize)]
+pub struct ResilienceSummary {
+    /// Fault scenario name.
+    pub scenario: String,
+    /// Attack label.
+    pub attack: String,
+    /// Fault intensity the scenario was scaled by.
+    pub intensity: f64,
+    /// Time to the first detection, ms (None: never detected).
+    pub detect_ms: Option<f64>,
+    /// Bit flips observed (must be 0 for the cell to count as protected).
+    pub flips: u64,
+    /// Stage-2 windows the degraded-protection fallback handled.
+    pub degraded_windows: u64,
+    /// Whole banks blanket-refreshed by degraded mode.
+    pub bank_refreshes: u64,
+    /// Detector services that ran past their deadline.
+    pub missed_deadlines: u64,
+    /// Stage-2 samples lost to the injected substrate.
+    pub samples_lost: u64,
+    /// Stage-2 samples whose translation failed.
+    pub samples_unresolved: u64,
+    /// Whether ANVIL protected the run: no flips, and either a detection
+    /// or a visible degraded-mode engagement stood in for one.
+    pub protected: bool,
+}
+
+/// Runs one attack under ANVIL with `scenario` injected at `intensity`,
+/// and summarizes protection and degraded-mode engagement.
+pub fn resilience_run(
+    scenario: FaultScenario,
+    intensity: f64,
+    kind: AttackKind,
+    anvil: AnvilConfig,
+    ms: f64,
+    seed: u64,
+) -> ResilienceSummary {
+    let plan = scenario.plan(intensity, seed);
+    let mut p = Platform::new(PlatformConfig::with_anvil(anvil).with_faults(plan));
+    let pair = vulnerable_pair_index(kind, MemoryConfig::paper_platform(), 24).unwrap_or(0);
+    p.add_attack(kind.build(pair))
+        .expect("attack prepares on open platform");
+    p.run_ms(ms).expect("run completes");
+    let stats = *p.detector_stats().expect("anvil loaded");
+    let detect_ms = p.first_detection_ms();
+    let flips = p.total_flips();
+    ResilienceSummary {
+        scenario: scenario.name().to_string(),
+        attack: kind.label().to_string(),
+        intensity,
+        detect_ms,
+        flips,
+        degraded_windows: stats.degraded_windows,
+        bank_refreshes: stats.bank_refreshes,
+        missed_deadlines: stats.missed_deadlines,
+        samples_lost: stats.samples_lost,
+        samples_unresolved: stats.samples_unresolved,
+        protected: flips == 0 && (detect_ms.is_some() || stats.degraded_windows > 0),
+    }
 }
 
 #[cfg(test)]

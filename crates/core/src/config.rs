@@ -23,6 +23,9 @@ pub struct DetectorCosts {
     pub analysis: Cycle,
     /// Cost of one selective-refresh read (flush + uncached read).
     pub refresh_read: Cycle,
+    /// Cost of blanket-refreshing one bank in degraded mode (a sweep of
+    /// uncached reads across the bank's hot region).
+    pub bank_refresh: Cycle,
 }
 
 impl Default for DetectorCosts {
@@ -33,6 +36,40 @@ impl Default for DetectorCosts {
             stage2_arm: 30_000,
             analysis: 20_000,
             refresh_read: 2_000,
+            bank_refresh: 100_000,
+        }
+    }
+}
+
+/// Degraded-protection policy: what the detector does when a stage-2
+/// window's evidence is too damaged to trust.
+///
+/// A stage-2 window only exists because stage 1 saw hammer-capable miss
+/// traffic. If most of that window's samples were then lost (debug-store
+/// overflow, failed translations) or the analysis ran far past its
+/// deadline, a clean "no aggressors found" verdict is meaningless — the
+/// attack may simply have been invisible. Rather than silently skip the
+/// window, the detector falls back to conservatively refreshing whole
+/// banks: the banks the surviving samples point at, or every bank when
+/// nothing survived.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradedMode {
+    /// Whether the fallback is armed at all.
+    pub enabled: bool,
+    /// Minimum fraction of a stage-2 window's samples that must survive
+    /// (buffered and translated) for its analysis to be trusted.
+    pub min_sample_survival: f64,
+    /// Maximum service-deadline slip, as a fraction of the stage-2
+    /// window `ts`, before the window is considered compromised.
+    pub max_deadline_slip_frac: f64,
+}
+
+impl Default for DegradedMode {
+    fn default() -> Self {
+        DegradedMode {
+            enabled: true,
+            min_sample_survival: 0.5,
+            max_deadline_slip_frac: 0.25,
         }
     }
 }
@@ -72,6 +109,8 @@ pub struct AnvilConfig {
     pub load_fraction_lo: f64,
     /// Detector self-cost model.
     pub costs: DetectorCosts,
+    /// Degraded-protection fallback policy.
+    pub degraded: DegradedMode,
 }
 
 impl AnvilConfig {
@@ -91,6 +130,7 @@ impl AnvilConfig {
             load_fraction_hi: 0.9,
             load_fraction_lo: 0.1,
             costs: DetectorCosts::default(),
+            degraded: DegradedMode::default(),
         }
     }
 
@@ -160,6 +200,14 @@ impl AnvilConfig {
             || self.load_fraction_lo > self.load_fraction_hi
         {
             return Err("load fractions must satisfy 0 <= lo <= hi <= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.degraded.min_sample_survival) {
+            return Err("degraded.min_sample_survival must be in [0, 1]".into());
+        }
+        if !self.degraded.max_deadline_slip_frac.is_finite()
+            || self.degraded.max_deadline_slip_frac < 0.0
+        {
+            return Err("degraded.max_deadline_slip_frac must be finite and non-negative".into());
         }
         Ok(())
     }
@@ -252,6 +300,30 @@ mod tests {
         let mut c = AnvilConfig::baseline();
         c.ts_ms = c.tc_ms * 2.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_degraded_mode() {
+        let mut c = AnvilConfig::baseline();
+        c.degraded.min_sample_survival = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = AnvilConfig::baseline();
+        c.degraded.min_sample_survival = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = AnvilConfig::baseline();
+        c.degraded.max_deadline_slip_frac = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = AnvilConfig::baseline();
+        c.degraded.max_deadline_slip_frac = 4.0; // lenient but legal
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn degraded_mode_defaults_are_armed() {
+        let d = AnvilConfig::baseline().degraded;
+        assert!(d.enabled);
+        assert_eq!(d.min_sample_survival, 0.5);
+        assert_eq!(d.max_deadline_slip_frac, 0.25);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::config::AnvilConfig;
 use crate::locality::{analyze, LocalityReport, RowSample};
-use anvil_dram::{AddressMapping, CpuClock, Cycle, DramLocation, RowId};
+use anvil_dram::{AddressMapping, BankId, CpuClock, Cycle, DramLocation, RowId};
 use anvil_pmu::{DataSource, EventKind, Pmu, SampleFilter};
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +37,20 @@ pub struct DetectorStats {
     pub selective_refreshes: u64,
     /// Samples fed into locality analysis.
     pub samples_analyzed: u64,
+    /// Service calls that ran after their deadline (the watchdog).
+    pub missed_deadlines: u64,
+    /// Largest single deadline overrun observed, in cycles.
+    pub worst_deadline_slip: Cycle,
+    /// Stage-2 windows whose evidence was too damaged to trust, handled
+    /// by the degraded-protection fallback.
+    pub degraded_windows: u64,
+    /// Whole banks blanket-refreshed by degraded mode.
+    pub bank_refreshes: u64,
+    /// Stage-2 samples lost before reaching the buffer (debug-store
+    /// overflow and injected drops).
+    pub samples_lost: u64,
+    /// DRAM-sourced stage-2 samples whose translation failed.
+    pub samples_unresolved: u64,
 }
 
 /// What a detector service call decided.
@@ -68,6 +82,19 @@ pub enum ServiceOutcome {
         /// Kernel time consumed (excluding the per-refresh reads).
         cost: Cycle,
     },
+    /// Stage-2 window ended with evidence too damaged to trust; the
+    /// degraded-protection fallback engaged.
+    Degraded {
+        /// The (untrusted) locality analysis of the surviving samples.
+        report: LocalityReport,
+        /// Victim rows from whatever the analysis still found.
+        refreshes: Vec<(RowId, u64)>,
+        /// Banks to blanket-refresh: those the surviving samples point
+        /// at, or every bank when nothing survived.
+        banks: Vec<BankId>,
+        /// Kernel time consumed (excluding refreshes).
+        cost: Cycle,
+    },
 }
 
 /// The ANVIL detector.
@@ -84,6 +111,7 @@ pub struct AnvilDetector {
     stage: DetectorStage,
     deadline: Cycle,
     stats: DetectorStats,
+    dropped_at_arm: u64,
 }
 
 impl AnvilDetector {
@@ -115,6 +143,7 @@ impl AnvilDetector {
             stage: DetectorStage::MissCount,
             deadline: now + tc,
             stats: DetectorStats::default(),
+            dropped_at_arm: 0,
         }
     }
 
@@ -149,9 +178,16 @@ impl AnvilDetector {
         translate: &mut dyn FnMut(u32, u64) -> Option<u64>,
     ) -> ServiceOutcome {
         debug_assert!(now >= self.deadline, "serviced before the deadline");
+        // Watchdog: record every late service. On real hardware this is
+        // the kernel thread running after its timer expired.
+        let slip = now.saturating_sub(self.deadline);
+        if slip > 0 {
+            self.stats.missed_deadlines += 1;
+            self.stats.worst_deadline_slip = self.stats.worst_deadline_slip.max(slip);
+        }
         match self.stage {
             DetectorStage::MissCount => self.end_stage1(now, pmu),
-            DetectorStage::Sampling => self.end_stage2(now, pmu, mapping, translate),
+            DetectorStage::Sampling => self.end_stage2(now, slip, pmu, mapping, translate),
         }
     }
 
@@ -187,6 +223,9 @@ impl AnvilDetector {
         pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
             .clear();
         pmu.enable_sampling(filter, now);
+        // Snapshot the drop counter so end_stage2 can attribute losses to
+        // this window alone.
+        self.dropped_at_arm = pmu.sampler().samples_dropped();
         self.stage = DetectorStage::Sampling;
         self.deadline = now + self.ts;
         ServiceOutcome::Armed {
@@ -199,6 +238,7 @@ impl AnvilDetector {
     fn end_stage2(
         &mut self,
         now: Cycle,
+        slip: Cycle,
         pmu: &mut Pmu,
         mapping: &AddressMapping,
         translate: &mut dyn FnMut(u32, u64) -> Option<u64>,
@@ -206,14 +246,22 @@ impl AnvilDetector {
         self.stats.stage2_windows += 1;
         let misses = pmu.counter(EventKind::LongestLatCacheMiss).read();
         pmu.disable_sampling();
+        let lost = pmu
+            .sampler()
+            .samples_dropped()
+            .saturating_sub(self.dropped_at_arm);
         let records = pmu.drain_samples();
 
         // Keep DRAM-sourced samples and translate them to rows.
+        let mut unresolved = 0u64;
         let samples: Vec<RowSample> = records
             .iter()
             .filter(|r| r.source == DataSource::Dram)
             .filter_map(|r| {
-                let paddr = translate(r.pid, r.vaddr)?;
+                let Some(paddr) = translate(r.pid, r.vaddr) else {
+                    unresolved += 1;
+                    return None;
+                };
                 Some(RowSample {
                     row: mapping.location_of(paddr).row_id(),
                     paddr,
@@ -222,6 +270,8 @@ impl AnvilDetector {
             })
             .collect();
         self.stats.samples_analyzed += samples.len() as u64;
+        self.stats.samples_lost += lost;
+        self.stats.samples_unresolved += unresolved;
 
         let report = analyze(&self.config, &samples, misses, self.ts, self.refresh_period);
 
@@ -254,10 +304,45 @@ impl AnvilDetector {
         }
 
         self.restart_stage1(now, pmu);
+        let cost = self.config.costs.pmi + self.config.costs.analysis;
+
+        // Degraded-protection decision: this window only existed because
+        // stage 1 saw hammer-capable miss traffic, so a verdict built on
+        // mostly-lost evidence (or delivered far too late) cannot clear
+        // it. Fall back to blanket bank refresh rather than skip.
+        let usable = samples.len() as u64;
+        let evidence = usable + lost + unresolved;
+        let survival = if evidence == 0 {
+            1.0
+        } else {
+            usable as f64 / evidence as f64
+        };
+        let slip_limit = self.config.degraded.max_deadline_slip_frac * self.ts as f64;
+        let compromised =
+            survival < self.config.degraded.min_sample_survival || slip as f64 > slip_limit;
+        if self.config.degraded.enabled && compromised {
+            self.stats.degraded_windows += 1;
+            let banks = if samples.is_empty() {
+                // Nothing survived: every bank is suspect.
+                (0..mapping.geometry().total_banks()).map(BankId).collect()
+            } else {
+                let mut banks: Vec<BankId> = samples.iter().map(|s| s.row.bank).collect();
+                banks.sort_unstable_by_key(|b| b.0);
+                banks.dedup();
+                banks
+            };
+            self.stats.bank_refreshes += banks.len() as u64;
+            return ServiceOutcome::Degraded {
+                report,
+                refreshes,
+                banks,
+                cost,
+            };
+        }
         ServiceOutcome::Analyzed {
             report,
             refreshes,
-            cost: self.config.costs.pmi + self.config.costs.analysis,
+            cost,
         }
     }
 
@@ -352,7 +437,12 @@ mod tests {
             row: 500,
             col: 0,
         });
-        let above = mapping.same_bank_row_offset(base, 2).unwrap();
+        // Fall back to the row below if the base ever sits at the top of
+        // its bank — `same_bank_row_offset` returns None past the edge.
+        let above = mapping
+            .same_bank_row_offset(base, 2)
+            .or_else(|| mapping.same_bank_row_offset(base, -2))
+            .expect("row 500 cannot be at both ends of its bank");
 
         // Stage 1: hammer-level miss traffic on the two aggressors.
         let mut t = 0u64;
@@ -397,6 +487,71 @@ mod tests {
     }
 
     #[test]
+    fn boundary_row_attack_stays_in_bounds() {
+        // Aggressors at the very top of a bank: victim refreshes must be
+        // clamped to the bank, never panic or run past the last row.
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = detector(&mut pmu);
+
+        let last = mapping.geometry().rows_per_bank - 1;
+        let base = mapping.address_of(DramLocation {
+            bank: anvil_dram::BankId(1),
+            row: last,
+            col: 0,
+        });
+        let below = mapping
+            .same_bank_row_offset(base, 2)
+            .or_else(|| mapping.same_bank_row_offset(base, -2))
+            .expect("bank has more than two rows");
+
+        let mut t = 0u64;
+        while t < det.deadline() {
+            pmu.observe_at(&miss_op(base, 7), t);
+            pmu.observe_at(&miss_op(below, 7), t + 200);
+            t += 400;
+        }
+        assert!(matches!(
+            det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v)),
+            ServiceOutcome::Armed { .. }
+        ));
+        let end = det.deadline();
+        while t < end {
+            pmu.observe_at(&miss_op(base, 7), t);
+            pmu.observe_at(&miss_op(below, 7), t + 200);
+            t += 400;
+        }
+        match det.service(end, &mut pmu, &mapping, &mut |_, v| Some(v)) {
+            ServiceOutcome::Analyzed {
+                report, refreshes, ..
+            } => {
+                assert!(report.detected(), "boundary attack must be flagged");
+                assert!(!refreshes.is_empty());
+                for (r, _) in &refreshes {
+                    assert!(r.row < mapping.geometry().rows_per_bank);
+                }
+                // The sandwiched victim (one below the top row) is there.
+                assert!(refreshes.iter().any(|(r, _)| r.row == last - 1));
+            }
+            other => panic!("expected Analyzed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn late_service_trips_the_watchdog() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = detector(&mut pmu);
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let d1 = det.deadline();
+        det.service(d1 + 5_000, &mut pmu, &mapping, &mut |_, v| Some(v));
+        assert_eq!(det.stats().missed_deadlines, 1);
+        assert_eq!(det.stats().worst_deadline_slip, 5_000);
+        // An on-time service leaves the watchdog untouched.
+        det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v));
+        assert_eq!(det.stats().missed_deadlines, 1);
+    }
+
+    #[test]
     fn benign_stage2_produces_no_refreshes() {
         let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
         let mut pmu = Pmu::new(SamplerConfig::anvil_default());
@@ -432,7 +587,7 @@ mod tests {
     }
 
     #[test]
-    fn untranslatable_samples_are_dropped() {
+    fn untranslatable_samples_trigger_degraded_mode() {
         let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
         let mut pmu = Pmu::new(SamplerConfig::anvil_default());
         let mut det = detector(&mut pmu);
@@ -448,13 +603,48 @@ mod tests {
             pmu.observe_at(&miss_op(64, 9), t);
             t += 400;
         }
-        // Translation always fails: nothing to analyze, no detection.
+        // Translation always fails: no usable evidence survives the
+        // window, so the fallback blankets every bank.
         match det.service(end, &mut pmu, &mapping, &mut |_, _| None) {
-            ServiceOutcome::Analyzed { report, .. } => {
+            ServiceOutcome::Degraded { report, banks, .. } => {
                 assert_eq!(report.total_samples, 0);
                 assert!(!report.detected());
+                assert_eq!(banks.len() as u32, mapping.geometry().total_banks());
             }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert_eq!(det.stats().degraded_windows, 1);
+        assert!(det.stats().samples_unresolved > 0);
+        assert_eq!(
+            det.stats().bank_refreshes,
+            u64::from(mapping.geometry().total_banks())
+        );
+    }
+
+    #[test]
+    fn disabled_fallback_restores_the_silent_skip() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut cfg = AnvilConfig::baseline();
+        cfg.degraded.enabled = false;
+        let mut det = AnvilDetector::new(cfg, &CLOCK, PERIOD, 0, &mut pmu);
+        let mut t = 0u64;
+        while t < det.deadline() {
+            pmu.observe_at(&miss_op(64, 9), t);
+            t += 200;
+        }
+        det.service(det.deadline(), &mut pmu, &mapping, &mut |_, _| None);
+        let end = det.deadline();
+        while t < end {
+            pmu.observe_at(&miss_op(64, 9), t);
+            t += 400;
+        }
+        // With the fallback off, a fully-lost window is still just an
+        // Analyzed-and-empty verdict (the pre-fault-model behaviour).
+        match det.service(end, &mut pmu, &mapping, &mut |_, _| None) {
+            ServiceOutcome::Analyzed { report, .. } => assert!(!report.detected()),
             other => panic!("expected Analyzed, got {other:?}"),
         }
+        assert_eq!(det.stats().degraded_windows, 0);
     }
 }

@@ -1,0 +1,97 @@
+//! Typed platform errors.
+//!
+//! The runner used to panic on these conditions; under fault injection
+//! (stale translations, exhausted memory) they become reachable in
+//! otherwise-correct campaigns, so they are surfaced as values the
+//! caller can report instead of aborting the whole simulation.
+
+use anvil_attacks::AttackError;
+
+/// An error surfaced by the [`Platform`](crate::Platform) runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// Physical memory was exhausted while mapping a program arena.
+    OutOfMemory {
+        /// Pid of the program whose mapping failed.
+        pid: u32,
+        /// Bytes the mapping requested.
+        requested: u64,
+    },
+    /// A program accessed a virtual address with no mapping.
+    UnmappedAccess {
+        /// Pid of the faulting program.
+        pid: u32,
+        /// The unmapped virtual address.
+        vaddr: u64,
+    },
+    /// A program flushed a virtual address with no mapping.
+    UnmappedFlush {
+        /// Pid of the faulting program.
+        pid: u32,
+        /// The unmapped virtual address.
+        vaddr: u64,
+    },
+    /// An attack failed to prepare (e.g. pagemap access denied).
+    Attack(AttackError),
+    /// A run was requested before any program was added.
+    NoPrograms,
+    /// A per-pid operation named a pid no core is running.
+    UnknownPid(u32),
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::OutOfMemory { pid, requested } => write!(
+                f,
+                "physical memory exhausted mapping {requested} bytes for pid {pid}"
+            ),
+            PlatformError::UnmappedAccess { pid, vaddr } => {
+                write!(f, "pid {pid} accessed unmapped va {vaddr:#x}")
+            }
+            PlatformError::UnmappedFlush { pid, vaddr } => {
+                write!(f, "pid {pid} flushed unmapped va {vaddr:#x}")
+            }
+            PlatformError::Attack(e) => write!(f, "attack preparation failed: {e}"),
+            PlatformError::NoPrograms => write!(f, "add a workload or attack first"),
+            PlatformError::UnknownPid(pid) => write!(f, "no core runs pid {pid}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Attack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AttackError> for PlatformError {
+    fn from(e: AttackError) -> Self {
+        PlatformError::Attack(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_pid_and_address() {
+        let e = PlatformError::UnmappedAccess {
+            pid: 101,
+            vaddr: 0x4000,
+        };
+        assert_eq!(e.to_string(), "pid 101 accessed unmapped va 0x4000");
+        assert!(PlatformError::NoPrograms.to_string().contains("add a"));
+    }
+
+    #[test]
+    fn attack_errors_convert_and_chain() {
+        let e: PlatformError = AttackError::PagemapDenied.into();
+        assert!(matches!(e, PlatformError::Attack(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -50,18 +50,20 @@
 //!
 //! let mut platform = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
 //! platform.add_attack(Box::new(DoubleSidedClflush::new()))?;
-//! platform.run_ms(40.0);
+//! platform.run_ms(40.0)?;
 //! assert_eq!(platform.total_flips(), 0, "ANVIL must prevent all flips");
 //! assert!(!platform.detections().is_empty(), "and it must notice the attack");
-//! # Ok::<(), anvil_attacks::AttackError>(())
+//! # Ok::<(), anvil_core::PlatformError>(())
 //! ```
 
 mod config;
 mod detector;
+mod error;
 mod locality;
 mod platform;
 
-pub use config::{AnvilConfig, DetectorCosts};
+pub use config::{AnvilConfig, DegradedMode, DetectorCosts};
 pub use detector::{AnvilDetector, DetectorStage, DetectorStats, ServiceOutcome};
+pub use error::PlatformError;
 pub use locality::{analyze, AggressorFinding, LocalityReport, RowSample};
 pub use platform::{CoreStats, DetectionEvent, Platform, PlatformConfig, ResponsePolicy};

@@ -12,9 +12,11 @@
 
 use crate::config::AnvilConfig;
 use crate::detector::{AnvilDetector, DetectorStats, ServiceOutcome};
+use crate::error::PlatformError;
 use crate::locality::LocalityReport;
-use anvil_attacks::{Attack, AttackEnv, AttackError, AttackOp};
+use anvil_attacks::{Attack, AttackEnv, AttackOp};
 use anvil_dram::{Cycle, RowId};
+use anvil_faults::{DelayInjector, FaultPlan, FaultRng, TranslationInjector};
 use anvil_mem::{
     AccessKind, AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy,
     Process,
@@ -58,6 +60,9 @@ pub struct PlatformConfig {
     pub pagemap: PagemapPolicy,
     /// Response to attributed rowhammering.
     pub response: ResponsePolicy,
+    /// Substrate fault injection; [`FaultPlan::none`] (the default) runs
+    /// a perfect substrate.
+    pub faults: FaultPlan,
 }
 
 impl PlatformConfig {
@@ -69,6 +74,7 @@ impl PlatformConfig {
             allocation: AllocationPolicy::Contiguous,
             pagemap: PagemapPolicy::Open,
             response: ResponsePolicy::RefreshOnly,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -77,6 +83,13 @@ impl PlatformConfig {
         let mut c = Self::unprotected();
         c.anvil = Some(anvil);
         c
+    }
+
+    /// The same platform with the given fault plan injected.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -143,9 +156,10 @@ struct Core {
 /// use anvil_workloads::SpecBenchmark;
 ///
 /// let mut platform = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-/// let pid = platform.add_workload(SpecBenchmark::Mcf.build(1));
-/// platform.run_ms(1.0);
+/// let pid = platform.add_workload(SpecBenchmark::Mcf.build(1))?;
+/// platform.run_ms(1.0)?;
 /// assert!(platform.core_stats(pid).unwrap().ops > 0);
+/// # Ok::<(), anvil_core::PlatformError>(())
 /// ```
 #[derive(Debug)]
 pub struct Platform {
@@ -159,6 +173,9 @@ pub struct Platform {
     detections: Vec<DetectionEvent>,
     refresh_log: Vec<(Cycle, RowId)>,
     suspect_streaks: std::collections::HashMap<u32, u32>,
+    translation_faults: Option<TranslationInjector>,
+    interrupt_jitter: Option<DelayInjector>,
+    service_delay: Option<DelayInjector>,
     started: Cycle,
     last_compact: Cycle,
 }
@@ -166,12 +183,22 @@ pub struct Platform {
 impl Platform {
     /// Boots the platform.
     pub fn new(config: PlatformConfig) -> Self {
-        let sys = MemorySystem::new(config.memory);
+        let mut sys = MemorySystem::new(config.memory);
         let mut pmu = Pmu::new(
             config
                 .anvil
                 .map_or_else(anvil_pmu::SamplerConfig::anvil_default, |a| a.sampling),
         );
+        // Each fault site forks its own stream from the campaign seed, so
+        // enabling one source never perturbs another's sequence.
+        let plan = config.faults;
+        let root = FaultRng::new(plan.seed);
+        pmu.set_fault_injector(plan.pebs_injector(root.fork(1)));
+        pmu.set_counter_saturation(plan.counter.saturate_at);
+        let translation_faults = plan.translation_injector(root.fork(2));
+        let interrupt_jitter = plan.interrupt_delay(root.fork(3));
+        let service_delay = plan.service_delay(root.fork(4));
+        sys.set_refresh_postpone(plan.refresh_postpone());
         let detector = config.anvil.map(|a| {
             AnvilDetector::new(
                 a,
@@ -192,6 +219,9 @@ impl Platform {
             detections: Vec::new(),
             refresh_log: Vec::new(),
             suspect_streaks: std::collections::HashMap::new(),
+            translation_faults,
+            interrupt_jitter,
+            service_delay,
             started: 0,
             last_compact: 0,
             config,
@@ -253,16 +283,18 @@ impl Platform {
 
     /// Adds a workload on its own core; returns the pid.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if physical memory is exhausted mapping the arena.
-    pub fn add_workload(&mut self, workload: Box<dyn Workload>) -> u32 {
+    /// [`PlatformError::OutOfMemory`] if physical memory is exhausted
+    /// mapping the arena.
+    pub fn add_workload(&mut self, workload: Box<dyn Workload>) -> Result<u32, PlatformError> {
         let pid = self.next_pid;
         self.next_pid += 1;
         let mut process = Process::new(pid, workload.name());
+        let requested = workload.arena_bytes();
         let base_va = process
-            .mmap(workload.arena_bytes(), &mut self.frames)
-            .expect("physical memory exhausted mapping workload arena");
+            .mmap(requested, &mut self.frames)
+            .map_err(|_| PlatformError::OutOfMemory { pid, requested })?;
         let start = self.now();
         self.cores.push(Core {
             process,
@@ -272,15 +304,16 @@ impl Platform {
             ops: 0,
             suspended: false,
         });
-        pid
+        Ok(pid)
     }
 
     /// Adds (and prepares) an attack on its own core; returns the pid.
     ///
     /// # Errors
     ///
-    /// Propagates the attack's preparation failure (e.g. pagemap denied).
-    pub fn add_attack(&mut self, mut attack: Box<dyn Attack>) -> Result<u32, AttackError> {
+    /// [`PlatformError::Attack`] wrapping the attack's preparation
+    /// failure (e.g. pagemap denied).
+    pub fn add_attack(&mut self, mut attack: Box<dyn Attack>) -> Result<u32, PlatformError> {
         let pid = self.next_pid;
         self.next_pid += 1;
         let mut process = Process::new(pid, attack.name());
@@ -328,51 +361,61 @@ impl Platform {
     }
 
     /// Runs for `ms` of simulated time.
-    pub fn run_ms(&mut self, ms: f64) {
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::run_until`].
+    pub fn run_ms(&mut self, ms: f64) -> Result<(), PlatformError> {
         let end = self.now() + self.config.memory.clock.ms_to_cycles(ms);
-        self.run_until(end);
+        self.run_until(end)
     }
 
     /// Runs until every core's local clock reaches `end`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no programs have been added.
-    pub fn run_until(&mut self, end: Cycle) {
-        assert!(!self.cores.is_empty(), "add a workload or attack first");
+    /// [`PlatformError::NoPrograms`] if nothing was added, or any fault
+    /// a program trips while running (unmapped accesses).
+    pub fn run_until(&mut self, end: Cycle) -> Result<(), PlatformError> {
+        if self.cores.is_empty() {
+            return Err(PlatformError::NoPrograms);
+        }
         loop {
             let Some(idx) = self.min_core() else {
-                return; // every core suspended
+                return Ok(()); // every core suspended
             };
             if self.cores[idx].local >= end {
                 break;
             }
-            self.step(idx);
+            self.step(idx)?;
         }
+        Ok(())
     }
 
     /// Runs until core `pid` has executed `ops` more operations (other
     /// cores keep pace in time).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `pid` is unknown.
-    pub fn run_core_ops(&mut self, pid: u32, ops: u64) {
+    /// [`PlatformError::UnknownPid`] if no core runs `pid`, or any fault
+    /// a program trips while running.
+    pub fn run_core_ops(&mut self, pid: u32, ops: u64) -> Result<(), PlatformError> {
         let target_idx = self
             .cores
             .iter()
             .position(|c| c.process.pid() == pid)
-            .expect("unknown pid");
+            .ok_or(PlatformError::UnknownPid(pid))?;
         let goal = self.cores[target_idx].ops + ops;
         while self.cores[target_idx].ops < goal {
             let Some(idx) = self.min_core() else {
-                return; // every core suspended
+                return Ok(()); // every core suspended
             };
             if self.cores[target_idx].suspended {
-                return; // the target itself was suspended
+                return Ok(()); // the target itself was suspended
             }
-            self.step(idx);
+            self.step(idx)?;
         }
+        Ok(())
     }
 
     fn min_core(&self) -> Option<usize> {
@@ -394,7 +437,7 @@ impl Platform {
     }
 
     /// Executes one operation on core `idx`.
-    fn step(&mut self, idx: usize) {
+    fn step(&mut self, idx: usize) -> Result<(), PlatformError> {
         let core = &mut self.cores[idx];
         let pid = core.process.pid();
         let (vaddr, outcome) = match &mut core.program {
@@ -405,7 +448,7 @@ impl Platform {
                 let paddr = core
                     .process
                     .translate(vaddr)
-                    .expect("workload arena fully mapped");
+                    .ok_or(PlatformError::UnmappedAccess { pid, vaddr })?;
                 let o = self.sys.access_at(paddr, op.kind, t);
                 core.local = t + o.advance;
                 (vaddr, Some(o))
@@ -415,7 +458,7 @@ impl Platform {
                     let paddr = core
                         .process
                         .translate(vaddr)
-                        .expect("attack accessed unmapped va");
+                        .ok_or(PlatformError::UnmappedAccess { pid, vaddr })?;
                     let o = self.sys.access_at(paddr, kind, core.local);
                     core.local += o.advance;
                     (vaddr, Some(o))
@@ -424,7 +467,7 @@ impl Platform {
                     let paddr = core
                         .process
                         .translate(vaddr)
-                        .expect("attack flushed unmapped va");
+                        .ok_or(PlatformError::UnmappedFlush { pid, vaddr })?;
                     self.sys.clflush_at(paddr, core.local);
                     core.local += self.config.memory.core.clflush_cost;
                     (vaddr, None)
@@ -460,6 +503,7 @@ impl Platform {
 
         self.service_detector();
         self.maybe_compact();
+        Ok(())
     }
 
     /// Runs detector windows whose deadlines every core has passed.
@@ -481,14 +525,26 @@ impl Platform {
             if det.deadline() > min_local {
                 return;
             }
-            let now = det.deadline();
+            // Injected faults slip the service past its deadline: PMI
+            // delivery jitter plus kernel-thread preemption.
+            let slip = self
+                .interrupt_jitter
+                .as_mut()
+                .map_or(0, DelayInjector::draw)
+                + self.service_delay.as_mut().map_or(0, DelayInjector::draw);
+            let now = det.deadline() + slip;
             let mapping = *self.sys.dram().mapping();
             let cores = &self.cores;
+            let faults = &mut self.translation_faults;
             let mut translate = |pid: u32, va: u64| {
-                cores
+                let process = cores
                     .iter()
                     .find(|c| c.process.pid() == pid)
-                    .and_then(|c| c.process.translate(va))
+                    .map(|c| &c.process)?;
+                match faults.as_mut() {
+                    Some(inj) => process.translate_with_faults(va, inj),
+                    None => process.translate(va),
+                }
             };
             let outcome = det.service(now, &mut self.pmu, &mapping, &mut translate);
             let costs = det.config().costs;
@@ -516,22 +572,13 @@ impl Platform {
                 } => {
                     self.cores[victim_core].local += cost;
                     if report.detected() {
-                        let mut refreshed = Vec::new();
-                        for &(row, paddr) in &refreshes {
-                            // Flush then read so the read reaches DRAM and
-                            // actually restores the victim row's charge.
-                            self.sys.clflush_at(paddr, now);
-                            self.sys.access_at(paddr, AccessKind::Read, now);
-                            self.cores[victim_core].local += costs.refresh_read;
-                            self.refresh_log.push((now, row));
-                            refreshed.push(row);
-                        }
-                        self.apply_response(&report);
-                        self.detections.push(DetectionEvent {
-                            cycle: now,
+                        self.commit_detection(
+                            now,
+                            victim_core,
+                            costs.refresh_read,
                             report,
-                            refreshed,
-                        });
+                            &refreshes,
+                        );
                     } else {
                         // A clean stage-2 window breaks every suspect's
                         // streak: sporadic false positives never accumulate
@@ -539,8 +586,60 @@ impl Platform {
                         self.suspect_streaks.clear();
                     }
                 }
+                ServiceOutcome::Degraded {
+                    report,
+                    refreshes,
+                    banks,
+                    cost,
+                } => {
+                    self.cores[victim_core].local += cost;
+                    if report.detected() {
+                        self.commit_detection(
+                            now,
+                            victim_core,
+                            costs.refresh_read,
+                            report,
+                            &refreshes,
+                        );
+                    }
+                    // Conservative fallback: blanket-refresh the suspect
+                    // banks. A degraded window is not clean evidence, so
+                    // suspect streaks are left untouched either way.
+                    for &bank in &banks {
+                        self.sys.refresh_bank(bank, now);
+                        self.cores[victim_core].local += costs.bank_refresh;
+                    }
+                }
             }
         }
+    }
+
+    /// Performs the selective refreshes for a detection, applies the
+    /// response policy, and records the event.
+    fn commit_detection(
+        &mut self,
+        now: Cycle,
+        victim_core: usize,
+        refresh_read: Cycle,
+        report: LocalityReport,
+        refreshes: &[(RowId, u64)],
+    ) {
+        let mut refreshed = Vec::new();
+        for &(row, paddr) in refreshes {
+            // Flush then read so the read reaches DRAM and actually
+            // restores the victim row's charge.
+            self.sys.clflush_at(paddr, now);
+            self.sys.access_at(paddr, AccessKind::Read, now);
+            self.cores[victim_core].local += refresh_read;
+            self.refresh_log.push((now, row));
+            refreshed.push(row);
+        }
+        self.apply_response(&report);
+        self.detections.push(DetectionEvent {
+            cycle: now,
+            report,
+            refreshed,
+        });
     }
 
     /// Applies the configured response policy to a detection's suspects.
@@ -644,7 +743,7 @@ mod tests {
             }
         }
         assert!(added, "no vulnerable pair in 16 candidates");
-        p.run_ms(40.0);
+        p.run_ms(40.0).unwrap();
         assert!(p.total_flips() > 0, "unprotected hammer must flip");
     }
 
@@ -652,7 +751,7 @@ mod tests {
     fn anvil_stops_the_clflush_attack_and_detects_quickly() {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
         p.add_attack(Box::new(DoubleSidedClflush::new())).unwrap();
-        p.run_ms(80.0);
+        p.run_ms(80.0).unwrap();
         assert_eq!(p.total_flips(), 0, "ANVIL must prevent all flips");
         let t = p.first_detection_ms().expect("attack must be detected");
         assert!(
@@ -670,7 +769,7 @@ mod tests {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
         p.add_attack(Box::new(ClflushFreeDoubleSided::new()))
             .unwrap();
-        p.run_ms(100.0);
+        p.run_ms(100.0).unwrap();
         assert_eq!(p.total_flips(), 0);
         let t = p
             .first_detection_ms()
@@ -687,7 +786,7 @@ mod tests {
         let pid = p.add_attack(Box::new(DoubleSidedClflush::new())).unwrap();
         let (_, victims) = p.attack_truth(pid);
         let victim_row = p.sys().dram().mapping().location_of(victims[0]).row_id();
-        p.run_ms(30.0);
+        p.run_ms(30.0).unwrap();
         assert!(
             p.refresh_log().iter().any(|(_, r)| *r == victim_row),
             "the sandwiched victim row must be among the refreshes"
@@ -697,8 +796,8 @@ mod tests {
     #[test]
     fn benign_workload_runs_without_detections() {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-        let pid = p.add_workload(SpecBenchmark::Libquantum.build(3));
-        p.run_ms(60.0);
+        let pid = p.add_workload(SpecBenchmark::Libquantum.build(3)).unwrap();
+        p.run_ms(60.0).unwrap();
         assert_eq!(p.total_flips(), 0);
         // Streaming traffic crosses stage 1 but must (almost) never lead
         // to detections.
@@ -715,8 +814,8 @@ mod tests {
     #[test]
     fn compute_bound_workload_never_arms_stage2() {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-        p.add_workload(SpecBenchmark::H264ref.build(3));
-        p.run_ms(30.0);
+        p.add_workload(SpecBenchmark::H264ref.build(3)).unwrap();
+        p.run_ms(30.0).unwrap();
         let stats = p.detector_stats().unwrap();
         assert_eq!(
             stats.threshold_crossings, 0,
@@ -729,13 +828,13 @@ mod tests {
     fn anvil_overhead_is_small_for_benign_programs() {
         let ops = 300_000;
         let mut base = Platform::new(PlatformConfig::unprotected());
-        let pid_b = base.add_workload(SpecBenchmark::Mcf.build(7));
-        base.run_core_ops(pid_b, ops);
+        let pid_b = base.add_workload(SpecBenchmark::Mcf.build(7)).unwrap();
+        base.run_core_ops(pid_b, ops).unwrap();
         let t_base = base.core_stats(pid_b).unwrap().cycles;
 
         let mut anvil = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-        let pid_a = anvil.add_workload(SpecBenchmark::Mcf.build(7));
-        anvil.run_core_ops(pid_a, ops);
+        let pid_a = anvil.add_workload(SpecBenchmark::Mcf.build(7)).unwrap();
+        anvil.run_core_ops(pid_a, ops).unwrap();
         let t_anvil = anvil.core_stats(pid_a).unwrap().cycles;
 
         let slowdown = t_anvil as f64 / t_base as f64;
@@ -750,11 +849,11 @@ mod tests {
     fn heavy_load_slows_detection_but_not_protection() {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
         for b in SpecBenchmark::memory_intensive() {
-            p.add_workload(b.build(11));
+            p.add_workload(b.build(11)).unwrap();
         }
         p.add_attack(Box::new(ClflushFreeDoubleSided::new()))
             .unwrap();
-        p.run_ms(150.0);
+        p.run_ms(150.0).unwrap();
         assert_eq!(p.total_flips(), 0, "no flips even under heavy load");
         assert!(p.first_detection_ms().is_some(), "still detected");
     }
@@ -770,7 +869,7 @@ mod response_tests {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
         p.add_attack(Box::new(anvil_attacks::DoubleSidedClflush::new()))
             .unwrap();
-        p.run_ms(60.0);
+        p.run_ms(60.0).unwrap();
         assert!(!p.detections().is_empty());
         assert!(
             p.suspended_pids().is_empty(),
@@ -790,11 +889,11 @@ mod response_tests {
             .unwrap();
         // The attacker is the only program; once suspended the run must
         // return rather than spin.
-        p.run_ms(200.0);
+        p.run_ms(200.0).unwrap();
         assert_eq!(p.suspended_pids(), vec![pid]);
         // And run_core_ops on the suspended target returns immediately.
         let ops = p.core_stats(pid).unwrap().ops;
-        p.run_core_ops(pid, 1_000);
+        p.run_core_ops(pid, 1_000).unwrap();
         assert_eq!(p.core_stats(pid).unwrap().ops, ops);
     }
 
@@ -805,10 +904,10 @@ mod response_tests {
             consecutive_detections: 3,
         };
         let mut p = Platform::new(pc);
-        p.add_workload(SpecBenchmark::Bzip2.build(17));
+        p.add_workload(SpecBenchmark::Bzip2.build(17)).unwrap();
         // bzip2's false positives are sporadic; even over a long run it
         // must never accumulate three consecutive detections.
-        p.run_ms(400.0);
+        p.run_ms(400.0).unwrap();
         assert!(
             p.suspended_pids().is_empty(),
             "benign bzip2 suspended after {} detections",
@@ -819,7 +918,7 @@ mod response_tests {
     #[test]
     fn core_stats_reports_program_names() {
         let mut p = Platform::new(PlatformConfig::unprotected());
-        let pid = p.add_workload(SpecBenchmark::Mcf.build(1));
+        let pid = p.add_workload(SpecBenchmark::Mcf.build(1)).unwrap();
         let s = p.core_stats(pid).unwrap();
         assert!(s.name.contains("mcf"));
         assert_eq!(s.ops, 0);

@@ -27,7 +27,7 @@
 //! are reproducible and no per-row state is allocated until a row is
 //! actually disturbed.
 
-use crate::geometry::RowId;
+use crate::geometry::{BankId, RowId};
 use crate::refresh::RefreshSchedule;
 use crate::time::Cycle;
 use serde::{Deserialize, Serialize};
@@ -283,6 +283,24 @@ impl DisturbanceTracker {
             s.c_far = 0;
             s.last_reset = now;
         }
+    }
+
+    /// Refreshes every disturbed row of `bank` at once (ANVIL's
+    /// degraded-mode blanket refresh). Rows with no tracked state carry
+    /// zero disturbance, so resetting only tracked rows is complete.
+    /// Returns the number of rows whose counters were cleared.
+    pub fn reset_bank(&mut self, bank: BankId, now: Cycle) -> usize {
+        let mut reset = 0;
+        for (row, s) in &mut self.states {
+            if row.bank == bank && (s.c_hi > 0 || s.c_lo > 0 || s.c_far > 0) {
+                s.c_hi = 0;
+                s.c_lo = 0;
+                s.c_far = 0;
+                s.last_reset = now;
+                reset += 1;
+            }
+        }
+        reset
     }
 
     /// Repairs a flipped cell (software rewrote the byte). Returns whether

@@ -3,12 +3,13 @@
 
 use crate::bank::{RowBufferOutcome, RowBufferPolicy, RowBuffers};
 use crate::disturb::{BitFlip, DisturbanceConfig, DisturbanceTracker};
-use crate::geometry::{DramGeometry, DramLocation, RowId};
+use crate::geometry::{BankId, DramGeometry, DramLocation, RowId};
 use crate::mapping::AddressMapping;
 use crate::mitigation::{MitigationKind, MitigationState};
 use crate::refresh::RefreshSchedule;
 use crate::stats::DramStats;
 use crate::time::Cycle;
+use anvil_faults::RefreshPostpone;
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of a [`DramModule`].
@@ -175,6 +176,28 @@ impl DramModule {
         &self.schedule
     }
 
+    /// Installs (or clears) refresh postponement (see
+    /// [`RefreshSchedule::set_postpone`]). The maximum delay is clamped
+    /// to half the retention period — far beyond anything a real
+    /// controller does, but enough to keep the schedule arithmetic sound
+    /// under aggressive fault-intensity sweeps.
+    pub fn set_refresh_postpone(&mut self, postpone: Option<RefreshPostpone>) {
+        let cap = self.schedule.period() / 2;
+        self.schedule.set_postpone(postpone.map(|mut pp| {
+            pp.max_postpone = pp.max_postpone.min(cap);
+            pp
+        }));
+    }
+
+    /// Immediately restores the charge of every disturbed row in `bank`
+    /// — the blanket refresh ANVIL's degraded mode falls back to when it
+    /// cannot resolve victim rows. Charge restoration only: open row
+    /// buffers are not disturbed. Returns the number of rows reset.
+    pub fn refresh_bank(&mut self, bank: BankId, now: Cycle) -> usize {
+        self.stats.forced_bank_refreshes += 1;
+        self.disturb.reset_bank(bank, now)
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> &DramStats {
         &self.stats
@@ -186,8 +209,14 @@ impl DramModule {
     /// and disturbance bookkeeping depends on it.
     pub fn access(&mut self, paddr: u64, now: Cycle) -> DramAccess {
         // Refresh commands precharge all banks; apply any that elapsed
-        // since the previous access.
-        let cmd = now / self.config.timing.t_refi;
+        // since the previous access. A postponed command precharges late:
+        // until it completes, the cadence counts the previous command.
+        let mut cmd = now / self.config.timing.t_refi;
+        if let Some(pp) = self.schedule.postpone() {
+            if cmd > 0 && now < cmd * self.config.timing.t_refi + pp.delay_for(cmd) {
+                cmd -= 1;
+            }
+        }
         if cmd > self.last_refresh_cmd {
             self.buffers.precharge_all();
             self.last_refresh_cmd = cmd;
@@ -363,6 +392,39 @@ mod tests {
         let mut dram = DramModule::new(config);
         assert_eq!(double_side_hammer(&mut dram, victim, 140_000), None);
         assert!(dram.stats().mitigation_refreshes > 0);
+    }
+
+    #[test]
+    fn bank_refresh_resets_disturbance_mid_hammer() {
+        let config = DramConfig::paper_ddr3();
+        let victim = vulnerable_victim(&config);
+        let mut dram = DramModule::new(config);
+        // Hammer to just below the flip threshold, blanket-refresh the
+        // bank, then hammer the same amount again: still no flip.
+        assert_eq!(double_side_hammer(&mut dram, victim, 60_000), None);
+        let now = 60_000 * 300; // comfortably after the hammer loop
+        assert!(dram.refresh_bank(victim.bank, now) > 0);
+        assert_eq!(dram.stats().forced_bank_refreshes, 1);
+        assert_eq!(double_side_hammer(&mut dram, victim, 60_000), None);
+        // Control: without the blanket refresh the same 120K iterations
+        // do flip (see double_sided_hammer_flips_within_one_window).
+    }
+
+    #[test]
+    fn refresh_postponement_stretches_the_window() {
+        use anvil_faults::RefreshPostpone;
+        let mut dram = DramModule::new(DramConfig::paper_ddr3());
+        let period = dram.schedule().period();
+        dram.set_refresh_postpone(Some(RefreshPostpone {
+            permille: 1000,
+            max_postpone: period, // clamped to period / 2
+            seed: 5,
+        }));
+        let pp = dram.schedule().postpone().unwrap();
+        assert_eq!(pp.max_postpone, period / 2);
+        // The delayed schedule still answers lazily and deterministically.
+        let lr = dram.schedule().last_refresh(0, 3 * period);
+        assert_eq!(lr, dram.schedule().last_refresh(0, 3 * period));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::time::Cycle;
 use crate::timing::DramTiming;
+use anvil_faults::RefreshPostpone;
 use serde::{Deserialize, Serialize};
 
 /// The deterministic round-robin auto-refresh schedule of one bank.
@@ -33,6 +34,7 @@ pub struct RefreshSchedule {
     t_refi: Cycle,
     slots: u64,
     rows_per_slot: u32,
+    postpone: Option<RefreshPostpone>,
 }
 
 impl RefreshSchedule {
@@ -58,7 +60,27 @@ impl RefreshSchedule {
             t_refi: timing.refresh_period / slots,
             slots,
             rows_per_slot,
+            postpone: None,
         }
+    }
+
+    /// Installs (or clears) deterministic refresh postponement — the
+    /// fault model for a controller that legally delays auto-refresh
+    /// commands under load (DDR3 permits up to 8 tREFI). Delays are
+    /// clamped below one retention period so the lazy last-refresh
+    /// arithmetic stays well-defined.
+    pub fn set_postpone(&mut self, postpone: Option<RefreshPostpone>) {
+        self.postpone = postpone;
+    }
+
+    /// The active postponement parameters, if any.
+    pub fn postpone(&self) -> Option<RefreshPostpone> {
+        self.postpone
+    }
+
+    fn postpone_delay(&self, cmd: u64) -> Cycle {
+        self.postpone
+            .map_or(0, |pp| pp.delay_for(cmd).min(self.period() - 1))
     }
 
     /// Number of rows refreshed by each refresh command.
@@ -85,7 +107,23 @@ impl RefreshSchedule {
         if now < phase {
             return None;
         }
-        Some((now - phase) / period * period + phase)
+        let nominal = (now - phase) / period * period + phase;
+        if self.postpone.is_none() {
+            return Some(nominal);
+        }
+        // The command nominally at `nominal` may have been postponed past
+        // `now`; in that case the row was last refreshed by the previous
+        // period's (possibly also postponed) command. Delays are clamped
+        // below one period, so the previous command always completed.
+        let actual = nominal + self.postpone_delay(nominal / self.t_refi);
+        if actual <= now {
+            Some(actual)
+        } else if nominal >= period {
+            let prev = nominal - period;
+            Some(prev + self.postpone_delay(prev / self.t_refi))
+        } else {
+            None
+        }
     }
 
     /// The next time strictly after `now` at which `row` will be
@@ -178,6 +216,47 @@ mod tests {
             let lr = s.last_refresh(row, s.period() * 2).unwrap();
             assert!(lr > s.period());
         }
+    }
+
+    #[test]
+    fn postponement_delays_last_refresh_within_bounds() {
+        let (_, mut s) = sched();
+        let row = 1234;
+        let period = s.period();
+        let phase = s.phase_of(row);
+        let baseline = s.last_refresh(row, phase + 2 * period + 5).unwrap();
+        s.set_postpone(Some(RefreshPostpone {
+            permille: 1000, // every command postponed
+            max_postpone: 10_000,
+            seed: 42,
+        }));
+        // Query far enough past the nominal time that the delayed command
+        // has certainly completed.
+        let now = phase + 2 * period + 10_000;
+        let delayed = s.last_refresh(row, now).unwrap();
+        assert!(delayed >= baseline, "{delayed} < {baseline}");
+        assert!(delayed <= baseline + 10_000);
+        assert!(delayed <= now);
+        // Deterministic.
+        assert_eq!(delayed, s.last_refresh(row, now).unwrap());
+    }
+
+    #[test]
+    fn postponement_falls_back_to_previous_command() {
+        let (_, mut s) = sched();
+        let row = 0; // phase 0
+        let period = s.period();
+        s.set_postpone(Some(RefreshPostpone {
+            permille: 1000,
+            max_postpone: 10_000,
+            seed: 42,
+        }));
+        // Immediately after the second nominal refresh, its delayed
+        // command may not have executed yet; the answer must then be the
+        // first period's (delayed) command, which is strictly earlier.
+        let lr = s.last_refresh(row, 2 * period).unwrap();
+        assert!(lr <= 2 * period);
+        assert!(lr >= period, "must not skip back more than one period");
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub struct DramStats {
     pub mitigation_refreshes: u64,
     /// Bit flips produced by the disturbance model.
     pub bit_flips: u64,
+    /// Whole-bank charge restorations forced by software (ANVIL's
+    /// degraded-mode blanket refresh).
+    pub forced_bank_refreshes: u64,
 }
 
 impl DramStats {

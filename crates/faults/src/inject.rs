@@ -1,0 +1,295 @@
+//! Stateful injectors: the objects substrates consult at fault sites.
+//!
+//! Each injector owns a forked [`FaultRng`] stream and mutable episode
+//! state (e.g. how many samples remain in a drop burst). Substrates call
+//! them at the relevant point — the sampler per PEBS record, the pagemap
+//! walk per translation, the platform per service deadline — and the
+//! injector answers deterministically for its stream.
+
+use crate::plan::{PebsFaults, TranslationFaults};
+use crate::rng::FaultRng;
+
+/// What happens to one PEBS sample record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleFate {
+    /// The sample survives intact.
+    Keep,
+    /// The sample is lost (debug-store overflow).
+    Drop,
+    /// The sample survives but its linear address is replaced.
+    Corrupt(u64),
+}
+
+/// PEBS debug-store fault injector: bursty drops and address corruption.
+#[derive(Debug, Clone)]
+pub struct PebsInjector {
+    cfg: PebsFaults,
+    rng: FaultRng,
+    burst_left: u32,
+    dropped: u64,
+    corrupted: u64,
+}
+
+impl PebsInjector {
+    /// Creates an injector over its own forked stream.
+    #[must_use]
+    pub fn new(cfg: PebsFaults, rng: FaultRng) -> Self {
+        PebsInjector {
+            cfg,
+            rng,
+            burst_left: 0,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Decides the fate of a sample carrying virtual address `vaddr`.
+    ///
+    /// Drops arrive in bursts: once a burst starts, the next
+    /// `burst_len` samples are all lost, modeling a wrapped debug-store
+    /// buffer rather than independent per-record loss. Corruption flips
+    /// the page of a surviving sample to a nearby page (latency skid).
+    pub fn on_sample(&mut self, vaddr: u64) -> SampleFate {
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            self.dropped += 1;
+            return SampleFate::Drop;
+        }
+        if self.cfg.burst_len > 0 && self.rng.chance(self.cfg.drop_rate) {
+            self.burst_left = self.cfg.burst_len - 1;
+            self.dropped += 1;
+            return SampleFate::Drop;
+        }
+        if self.rng.chance(self.cfg.corrupt_rate) {
+            self.corrupted += 1;
+            // Shift the address by 1..=8 pages, wrapping at zero.
+            let pages = 1 + self.rng.below(8);
+            let skewed = vaddr.wrapping_add(pages << 12);
+            return SampleFate::Corrupt(skewed);
+        }
+        SampleFate::Keep
+    }
+
+    /// Samples dropped so far.
+    #[must_use]
+    pub fn drops(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Samples corrupted so far.
+    #[must_use]
+    pub fn corruptions(&self) -> u64 {
+        self.corrupted
+    }
+}
+
+/// Pagemap translation fault injector: failed or stale walks.
+#[derive(Debug, Clone)]
+pub struct TranslationInjector {
+    cfg: TranslationFaults,
+    rng: FaultRng,
+    failed: u64,
+    stale: u64,
+}
+
+impl TranslationInjector {
+    /// Creates an injector over its own forked stream.
+    #[must_use]
+    pub fn new(cfg: TranslationFaults, rng: FaultRng) -> Self {
+        TranslationInjector {
+            cfg,
+            rng,
+            failed: 0,
+            stale: 0,
+        }
+    }
+
+    /// Applies translation faults to a successful walk result.
+    ///
+    /// Returns `None` when the walk fails (the caller should discard the
+    /// sample as unresolvable), or a possibly-stale physical address.
+    /// A stale result points at a neighbouring frame — the page was
+    /// migrated after the walk read the old entry.
+    pub fn apply(&mut self, paddr: u64) -> Option<u64> {
+        if self.rng.chance(self.cfg.fail_rate) {
+            self.failed += 1;
+            return None;
+        }
+        if self.rng.chance(self.cfg.stale_rate) {
+            self.stale += 1;
+            return Some(paddr ^ (1 << 12));
+        }
+        Some(paddr)
+    }
+
+    /// Walks that failed so far.
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.failed
+    }
+
+    /// Walks that returned a stale frame so far.
+    #[must_use]
+    pub fn stale(&self) -> u64 {
+        self.stale
+    }
+}
+
+/// A bounded random delay source, used for both sampling-interrupt
+/// jitter and detector-service preemption.
+#[derive(Debug, Clone)]
+pub struct DelayInjector {
+    rate: f64,
+    max: u64,
+    rng: FaultRng,
+    events: u64,
+    total: u64,
+    worst: u64,
+}
+
+impl DelayInjector {
+    /// Creates a delay source firing with probability `rate`, drawing
+    /// delays uniformly in `[1, max]` cycles.
+    #[must_use]
+    pub fn new(rate: f64, max: u64, rng: FaultRng) -> Self {
+        DelayInjector {
+            rate,
+            max,
+            rng,
+            events: 0,
+            total: 0,
+            worst: 0,
+        }
+    }
+
+    /// Draws the delay for the next event: zero when the fault does not
+    /// fire, otherwise `1..=max` cycles.
+    pub fn draw(&mut self) -> u64 {
+        if self.max == 0 || !self.rng.chance(self.rate) {
+            return 0;
+        }
+        let d = 1 + self.rng.below(self.max);
+        self.events += 1;
+        self.total += d;
+        self.worst = self.worst.max(d);
+        d
+    }
+
+    /// Events that actually incurred a delay.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Sum of all delays drawn, in cycles.
+    #[must_use]
+    pub fn total_delay(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest single delay drawn, in cycles.
+    #[must_use]
+    pub fn worst_delay(&self) -> u64 {
+        self.worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pebs(drop_rate: f64, burst_len: u32, corrupt_rate: f64) -> PebsFaults {
+        PebsFaults {
+            drop_rate,
+            burst_len,
+            corrupt_rate,
+        }
+    }
+
+    #[test]
+    fn drops_arrive_in_full_bursts() {
+        let mut inj = PebsInjector::new(pebs(0.01, 16, 0.0), FaultRng::new(4));
+        let fates: Vec<_> = (0..5_000).map(|i| inj.on_sample(i * 64)).collect();
+        assert!(inj.drops() > 0);
+        // Every drop run (except possibly one truncated by the end of
+        // the sequence) is a multiple of the burst length.
+        let mut run = 0u32;
+        let mut runs = Vec::new();
+        for f in &fates {
+            if matches!(f, SampleFate::Drop) {
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+        }
+        assert!(!runs.is_empty());
+        for r in runs {
+            assert_eq!(r % 16, 0, "partial burst of {r}");
+        }
+    }
+
+    #[test]
+    fn corruption_changes_the_page_only() {
+        let mut inj = PebsInjector::new(pebs(0.0, 0, 1.0), FaultRng::new(8));
+        for i in 0..100u64 {
+            let va = i * 4096 + 123;
+            match inj.on_sample(va) {
+                SampleFate::Corrupt(bad) => {
+                    assert_ne!(bad, va);
+                    assert_eq!(bad & 0xfff, va & 0xfff, "offset must survive skid");
+                }
+                other => panic!("expected corruption, got {other:?}"),
+            }
+        }
+        assert_eq!(inj.corruptions(), 100);
+    }
+
+    #[test]
+    fn translation_faults_partition() {
+        let mut inj = TranslationInjector::new(
+            TranslationFaults {
+                fail_rate: 0.3,
+                stale_rate: 0.3,
+            },
+            FaultRng::new(12),
+        );
+        let mut ok = 0u64;
+        for i in 0..10_000u64 {
+            match inj.apply(i << 12) {
+                Some(p) if p == i << 12 => ok += 1,
+                None | Some(_) => {}
+            }
+        }
+        assert_eq!(inj.failures() + inj.stale() + ok, 10_000);
+        assert!(inj.failures() > 2_000 && inj.failures() < 4_000);
+        assert!(inj.stale() > 1_000, "stale {}", inj.stale());
+    }
+
+    #[test]
+    fn delay_injector_bounds_and_counts() {
+        let mut inj = DelayInjector::new(0.5, 1_000, FaultRng::new(21));
+        let mut fired = 0u64;
+        for _ in 0..10_000 {
+            let d = inj.draw();
+            assert!(d <= 1_000);
+            if d > 0 {
+                fired += 1;
+            }
+        }
+        assert_eq!(inj.events(), fired);
+        assert!(inj.worst_delay() <= 1_000);
+        assert!(inj.total_delay() >= inj.worst_delay());
+        assert!((4_000..=6_000).contains(&fired), "{fired}");
+    }
+
+    #[test]
+    fn injectors_replay_identically() {
+        let cfg = pebs(0.05, 8, 0.2);
+        let mut a = PebsInjector::new(cfg, FaultRng::new(33).fork(1));
+        let mut b = PebsInjector::new(cfg, FaultRng::new(33).fork(1));
+        for i in 0..2_000u64 {
+            assert_eq!(a.on_sample(i * 64), b.on_sample(i * 64));
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Fault plans: serializable descriptions of what to break and how hard.
+//!
+//! A [`FaultPlan`] is pure data — probabilities and magnitudes for each
+//! fault source. The platform turns a plan into live injectors by forking
+//! per-site streams from the campaign seed, so the plan itself can be
+//! embedded verbatim in campaign JSON and replayed byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+
+use crate::inject::{DelayInjector, PebsInjector, TranslationInjector};
+use crate::rng::{hash64, FaultRng};
+
+/// PEBS debug-store faults: dropped and corrupted samples.
+///
+/// Real analogue: the DS area is a fixed-size buffer drained by the PMI
+/// handler; when the handler is starved the buffer wraps and samples are
+/// lost in bursts. Corruption models latency-skid writing a neighbouring
+/// linear address into the record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PebsFaults {
+    /// Probability that a sample starts a drop burst (per sample).
+    pub drop_rate: f64,
+    /// Number of consecutive samples lost once a burst starts.
+    pub burst_len: u32,
+    /// Probability that a surviving sample's address is corrupted.
+    pub corrupt_rate: f64,
+}
+
+/// Performance-counter faults.
+///
+/// Real analogue: fixed-width counters saturating (or being clipped by a
+/// hypervisor) before the overflow interrupt fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterFaults {
+    /// Cap the counter value at this many events per window, if set.
+    pub saturate_at: Option<u64>,
+}
+
+/// VA→PA translation faults in the pagemap walk.
+///
+/// Real analogue: `/proc/pid/pagemap` reads racing with reclaim or
+/// migration — the walk fails outright, or returns a frame the page no
+/// longer occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TranslationFaults {
+    /// Probability a translation fails (sample discarded).
+    pub fail_rate: f64,
+    /// Probability a translation silently returns a stale frame.
+    pub stale_rate: f64,
+}
+
+/// Sampling-interrupt delivery jitter.
+///
+/// Real analogue: PMIs held off by interrupt-masked kernel sections, so
+/// the stage boundary lands late by a bounded amount.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterruptFaults {
+    /// Probability a given stage boundary is jittered.
+    pub jitter_rate: f64,
+    /// Maximum jitter, in cycles.
+    pub max_jitter: u64,
+}
+
+/// Detector service-deadline faults.
+///
+/// Real analogue: the ANVIL kernel thread preempted or delayed by
+/// higher-priority work, servicing its timer late.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceFaults {
+    /// Probability a service deadline is overrun.
+    pub preempt_rate: f64,
+    /// Maximum service delay, in cycles.
+    pub max_delay: u64,
+}
+
+/// Auto-refresh postponement faults.
+///
+/// Real analogue: DDR3 controllers may legally postpone up to 8 refresh
+/// commands (8 × tREFI) under load, stretching the window in which a row
+/// accumulates disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefreshFaults {
+    /// Fraction of refresh commands that are postponed.
+    pub postpone_rate: f64,
+    /// Maximum postponement, in cycles (DDR3 caps this at 8 tREFI).
+    pub max_postpone: u64,
+}
+
+/// Stateless per-command refresh delay, derived by hashing the command
+/// index with a seed.
+///
+/// Stateless (and `Eq`) so it can live inside the `Copy + Eq` refresh
+/// schedule: the schedule's lazy `last_refresh` arithmetic asks for the
+/// delay of an arbitrary past command without replaying a stream.
+/// The rate is stored in permille to keep the type `Eq`-safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshPostpone {
+    /// Probability a command is postponed, in permille (0..=1000).
+    pub permille: u32,
+    /// Maximum postponement in cycles; actual delays are uniform in
+    /// `[1, max_postpone]`.
+    pub max_postpone: u64,
+    /// Seed mixing into the per-command hash.
+    pub seed: u64,
+}
+
+impl RefreshPostpone {
+    /// The postponement, in cycles, applied to refresh command
+    /// `cmd_index`. Deterministic: the same `(seed, cmd_index)` always
+    /// yields the same delay.
+    #[must_use]
+    pub fn delay_for(&self, cmd_index: u64) -> u64 {
+        if self.permille == 0 || self.max_postpone == 0 {
+            return 0;
+        }
+        let h = hash64(self.seed ^ hash64(cmd_index));
+        if h % 1000 < u64::from(self.permille.min(1000)) {
+            // Second hash decorrelates magnitude from the gate.
+            1 + hash64(h) % self.max_postpone
+        } else {
+            0
+        }
+    }
+}
+
+/// A complete, serializable fault-injection plan.
+///
+/// All rates default to zero via [`FaultPlan::none`]; the platform treats
+/// a zero-rate source as absent and builds no injector for it, so a
+/// faultless run draws nothing from the fault streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Campaign seed; all injector streams are forked from it.
+    pub seed: u64,
+    /// PEBS debug-store faults.
+    pub pebs: PebsFaults,
+    /// Counter saturation.
+    pub counter: CounterFaults,
+    /// Pagemap translation faults.
+    pub translation: TranslationFaults,
+    /// Sampling-interrupt jitter.
+    pub interrupt: InterruptFaults,
+    /// Detector service preemption.
+    pub service: ServiceFaults,
+    /// Auto-refresh postponement.
+    pub refresh: RefreshFaults,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan with every fault source disabled.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            pebs: PebsFaults {
+                drop_rate: 0.0,
+                burst_len: 0,
+                corrupt_rate: 0.0,
+            },
+            counter: CounterFaults { saturate_at: None },
+            translation: TranslationFaults {
+                fail_rate: 0.0,
+                stale_rate: 0.0,
+            },
+            interrupt: InterruptFaults {
+                jitter_rate: 0.0,
+                max_jitter: 0,
+            },
+            service: ServiceFaults {
+                preempt_rate: 0.0,
+                max_delay: 0,
+            },
+            refresh: RefreshFaults {
+                postpone_rate: 0.0,
+                max_postpone: 0,
+            },
+        }
+    }
+
+    /// True when no fault source is active.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.pebs.drop_rate <= 0.0
+            && self.pebs.corrupt_rate <= 0.0
+            && self.counter.saturate_at.is_none()
+            && self.translation.fail_rate <= 0.0
+            && self.translation.stale_rate <= 0.0
+            && (self.interrupt.jitter_rate <= 0.0 || self.interrupt.max_jitter == 0)
+            && (self.service.preempt_rate <= 0.0 || self.service.max_delay == 0)
+            && (self.refresh.postpone_rate <= 0.0 || self.refresh.max_postpone == 0)
+    }
+
+    /// Builds the PEBS injector for this plan, or `None` when PEBS
+    /// faults are disabled.
+    #[must_use]
+    pub fn pebs_injector(&self, rng: FaultRng) -> Option<PebsInjector> {
+        if self.pebs.drop_rate > 0.0 || self.pebs.corrupt_rate > 0.0 {
+            Some(PebsInjector::new(self.pebs, rng))
+        } else {
+            None
+        }
+    }
+
+    /// Builds the translation injector, or `None` when translation
+    /// faults are disabled.
+    #[must_use]
+    pub fn translation_injector(&self, rng: FaultRng) -> Option<TranslationInjector> {
+        if self.translation.fail_rate > 0.0 || self.translation.stale_rate > 0.0 {
+            Some(TranslationInjector::new(self.translation, rng))
+        } else {
+            None
+        }
+    }
+
+    /// Builds the sampling-interrupt jitter source, or `None` when
+    /// disabled.
+    #[must_use]
+    pub fn interrupt_delay(&self, rng: FaultRng) -> Option<DelayInjector> {
+        if self.interrupt.jitter_rate > 0.0 && self.interrupt.max_jitter > 0 {
+            Some(DelayInjector::new(
+                self.interrupt.jitter_rate,
+                self.interrupt.max_jitter,
+                rng,
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Builds the service-preemption delay source, or `None` when
+    /// disabled.
+    #[must_use]
+    pub fn service_delay(&self, rng: FaultRng) -> Option<DelayInjector> {
+        if self.service.preempt_rate > 0.0 && self.service.max_delay > 0 {
+            Some(DelayInjector::new(
+                self.service.preempt_rate,
+                self.service.max_delay,
+                rng,
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// The stateless refresh-postponement parameters for the DRAM
+    /// schedule, or `None` when disabled.
+    #[must_use]
+    pub fn refresh_postpone(&self) -> Option<RefreshPostpone> {
+        if self.refresh.postpone_rate > 0.0 && self.refresh.max_postpone > 0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let permille = (self.refresh.postpone_rate.clamp(0.0, 1.0) * 1000.0).round() as u32;
+            Some(RefreshPostpone {
+                permille,
+                max_postpone: self.refresh.max_postpone,
+                seed: hash64(self.seed ^ 0x5e1f),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// The built-in fault scenarios exercised by the resilience suite.
+///
+/// Each maps to a [`FaultPlan`] via [`FaultScenario::plan`], scaled by an
+/// intensity knob. Default intensities are calibrated so ANVIL (with
+/// degraded mode available) still protects: e.g. preemption delays stay
+/// well under the ~3 ms slack between detection (~12 ms) and the first
+/// CLFLUSH-attack flip (~15 ms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultScenario {
+    /// No faults — the control arm.
+    Baseline,
+    /// Heavy PEBS debug-store overflow: bursts of dropped samples.
+    PebsOverflow,
+    /// Latency-skid corruption of sampled linear addresses.
+    SampleCorruption,
+    /// Delayed sampling interrupts jitter the stage boundaries.
+    InterruptJitter,
+    /// LLC-miss counter saturates above the stage-1 threshold.
+    CounterSaturation,
+    /// Pagemap walks fail or return stale frames.
+    StaleTranslation,
+    /// The detector thread is preempted past its service deadline.
+    KernelPreemption,
+    /// The memory controller postpones auto-refresh commands.
+    RefreshPostponement,
+    /// A mild mixture of all of the above.
+    Combined,
+}
+
+impl FaultScenario {
+    /// Every built-in scenario, in sweep order.
+    pub const ALL: [FaultScenario; 9] = [
+        FaultScenario::Baseline,
+        FaultScenario::PebsOverflow,
+        FaultScenario::SampleCorruption,
+        FaultScenario::InterruptJitter,
+        FaultScenario::CounterSaturation,
+        FaultScenario::StaleTranslation,
+        FaultScenario::KernelPreemption,
+        FaultScenario::RefreshPostponement,
+        FaultScenario::Combined,
+    ];
+
+    /// Stable `snake_case` name used in JSON output and CLI filters.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultScenario::Baseline => "baseline",
+            FaultScenario::PebsOverflow => "pebs_overflow",
+            FaultScenario::SampleCorruption => "sample_corruption",
+            FaultScenario::InterruptJitter => "interrupt_jitter",
+            FaultScenario::CounterSaturation => "counter_saturation",
+            FaultScenario::StaleTranslation => "stale_translation",
+            FaultScenario::KernelPreemption => "kernel_preemption",
+            FaultScenario::RefreshPostponement => "refresh_postponement",
+            FaultScenario::Combined => "combined",
+        }
+    }
+
+    /// Builds the scenario's [`FaultPlan`] at the given intensity
+    /// (1.0 = the calibrated default; rates clamp at 1.0, magnitudes
+    /// scale linearly) with the given campaign seed.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn plan(&self, intensity: f64, seed: u64) -> FaultPlan {
+        let intensity = intensity.max(0.0);
+        let rate = |r: f64| (r * intensity).clamp(0.0, 1.0);
+        let mag = |m: u64| {
+            let scaled = (m as f64 * intensity).round();
+            if scaled <= 0.0 {
+                0
+            } else {
+                scaled as u64
+            }
+        };
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        };
+        match self {
+            FaultScenario::Baseline => {}
+            FaultScenario::PebsOverflow => {
+                plan.pebs.drop_rate = rate(0.02);
+                plan.pebs.burst_len = 64;
+            }
+            FaultScenario::SampleCorruption => {
+                plan.pebs.corrupt_rate = rate(0.35);
+            }
+            FaultScenario::InterruptJitter => {
+                plan.interrupt.jitter_rate = rate(1.0);
+                // ~0.1 ms at 2.6 GHz per jittered boundary.
+                plan.interrupt.max_jitter = mag(260_000);
+            }
+            FaultScenario::CounterSaturation => {
+                // Above the 20K stage-1 threshold so stage 2 still arms,
+                // but far below real hammer-window miss counts.
+                plan.counter.saturate_at = Some(32_768);
+            }
+            FaultScenario::StaleTranslation => {
+                plan.translation.fail_rate = rate(0.25);
+                plan.translation.stale_rate = rate(0.25);
+            }
+            FaultScenario::KernelPreemption => {
+                plan.service.preempt_rate = rate(0.35);
+                // ~0.5 ms at 2.6 GHz — inside the detection slack.
+                plan.service.max_delay = mag(1_300_000);
+            }
+            FaultScenario::RefreshPostponement => {
+                plan.refresh.postpone_rate = rate(0.5);
+                // 8 × tREFI (~62 µs at 2.6 GHz) — DDR3's legal maximum.
+                plan.refresh.max_postpone = mag(162_500);
+            }
+            FaultScenario::Combined => {
+                plan.pebs.drop_rate = rate(0.005);
+                plan.pebs.burst_len = 32;
+                plan.pebs.corrupt_rate = rate(0.1);
+                plan.translation.fail_rate = rate(0.1);
+                plan.translation.stale_rate = rate(0.05);
+                plan.interrupt.jitter_rate = rate(0.5);
+                plan.interrupt.max_jitter = mag(130_000);
+                plan.service.preempt_rate = rate(0.2);
+                plan.service.max_delay = mag(650_000);
+                plan.refresh.postpone_rate = rate(0.25);
+                plan.refresh.max_postpone = mag(81_250);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_none() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert!(plan.pebs_injector(FaultRng::new(0)).is_none());
+        assert!(plan.translation_injector(FaultRng::new(0)).is_none());
+        assert!(plan.interrupt_delay(FaultRng::new(0)).is_none());
+        assert!(plan.service_delay(FaultRng::new(0)).is_none());
+        assert!(plan.refresh_postpone().is_none());
+    }
+
+    #[test]
+    fn baseline_scenario_is_faultless() {
+        assert!(FaultScenario::Baseline.plan(1.0, 7).is_none());
+    }
+
+    #[test]
+    fn every_non_baseline_scenario_activates_something() {
+        for sc in FaultScenario::ALL {
+            if sc == FaultScenario::Baseline {
+                continue;
+            }
+            assert!(!sc.plan(1.0, 7).is_none(), "{} inert", sc.name());
+        }
+    }
+
+    #[test]
+    fn zero_intensity_disables_rates() {
+        for sc in FaultScenario::ALL {
+            let plan = sc.plan(0.0, 7);
+            // Counter saturation is a cap, not a rate; everything else
+            // must vanish at intensity 0.
+            if sc == FaultScenario::CounterSaturation {
+                continue;
+            }
+            assert!(plan.is_none(), "{} active at intensity 0", sc.name());
+        }
+    }
+
+    #[test]
+    fn intensity_scales_rates_with_clamp() {
+        let p = FaultScenario::StaleTranslation.plan(2.0, 7);
+        assert!((p.translation.fail_rate - 0.5).abs() < 1e-12);
+        let p = FaultScenario::InterruptJitter.plan(3.0, 7);
+        assert!((p.interrupt.jitter_rate - 1.0).abs() < 1e-12);
+        assert_eq!(p.interrupt.max_jitter, 780_000);
+    }
+
+    #[test]
+    fn refresh_postpone_is_deterministic_and_bounded() {
+        let plan = FaultScenario::RefreshPostponement.plan(1.0, 99);
+        let pp = plan.refresh_postpone().unwrap();
+        let mut postponed = 0u64;
+        for cmd in 0..10_000u64 {
+            let d = pp.delay_for(cmd);
+            assert_eq!(d, pp.delay_for(cmd));
+            assert!(d <= pp.max_postpone);
+            if d > 0 {
+                postponed += 1;
+            }
+        }
+        // rate 0.5 → roughly half the commands postponed.
+        assert!((4_000..=6_000).contains(&postponed), "{postponed}");
+    }
+
+    #[test]
+    fn plans_serialize_round_trip() {
+        let plan = FaultScenario::Combined.plan(1.0, 1234);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let mut names: Vec<_> = FaultScenario::ALL.iter().map(FaultScenario::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultScenario::ALL.len());
+    }
+}

@@ -1,0 +1,149 @@
+//! The deterministic random stream behind every injected fault.
+//!
+//! splitmix64 (Steele et al., "Fast splittable pseudorandom number
+//! generators"): a counter-based generator whose streams can be *forked*
+//! per fault site. Forking matters for reproducibility under refactoring:
+//! each substrate consumes its own stream, so adding a draw in one
+//! injector never perturbs the fault sequence of another.
+
+/// splitmix64's finalizer: a cheap, well-distributed stateless hash.
+///
+/// Exposed because the stateless [`RefreshPostpone`](crate::RefreshPostpone)
+/// derives per-command delays from it without carrying mutable state.
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A seeded, forkable splitmix64 stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Creates a stream from a seed. Distinct seeds give independent
+    /// streams; the same seed always reproduces the same draws.
+    pub fn new(seed: u64) -> Self {
+        FaultRng {
+            state: hash64(seed ^ 0x5eed_0ffa_u64.rotate_left(17)),
+        }
+    }
+
+    /// Derives an independent stream for the fault site tagged `tag`,
+    /// without consuming from this stream.
+    #[must_use]
+    pub fn fork(&self, tag: u64) -> Self {
+        FaultRng {
+            state: hash64(self.state ^ hash64(tag.wrapping_mul(0x9e37_79b9_7f4a_7c15))),
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// A uniform draw in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    ///
+    /// `p <= 0` consumes nothing and returns `false`, so a disabled fault
+    /// source leaves its stream untouched.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            // Consume a draw anyway so intensity sweeps across 1.0 stay
+            // aligned draw-for-draw.
+            self.next_u64();
+            return true;
+        }
+        // 53-bit mantissa: uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = FaultRng::new(7);
+        let mut b = FaultRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultRng::new(1);
+        let mut b = FaultRng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let root = FaultRng::new(9);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        let mut f1_again = root.fork(1);
+        assert_ne!(f1.next_u64(), f2.next_u64());
+        let _ = f1_again.next_u64();
+        // Forking never consumed from the root.
+        assert_eq!(root, FaultRng::new(9));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = FaultRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = FaultRng::new(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_600..=3_400).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = FaultRng::new(5);
+        assert_eq!(r.below(0), 0);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn hash64_is_stable() {
+        // Pin the function so serialized plans keep meaning the same
+        // fault sequence across versions.
+        assert_eq!(hash64(0), 0xe220a8397b1dcdaf);
+        assert_eq!(hash64(1), 0x910a2dec89025cc1);
+    }
+}

@@ -125,6 +125,18 @@ impl Process {
         self.table.translate(vaddr)
     }
 
+    /// Kernel-side translation subject to injected pagemap faults: the
+    /// walk may fail outright (the sample becomes unresolvable) or return
+    /// a stale frame — the races with reclaim and migration that a real
+    /// software page-table walk is exposed to (see `anvil-faults`).
+    pub fn translate_with_faults(
+        &self,
+        vaddr: u64,
+        faults: &mut anvil_faults::TranslationInjector,
+    ) -> Option<u64> {
+        self.translate(vaddr).and_then(|paddr| faults.apply(paddr))
+    }
+
     /// User-side translation through the pagemap interface; denied under
     /// [`PagemapPolicy::Restricted`].
     ///

@@ -209,6 +209,19 @@ impl MemorySystem {
         &self.dram
     }
 
+    /// Installs (or clears) auto-refresh postponement on the DRAM module
+    /// (fault model; see [`DramModule::set_refresh_postpone`]).
+    pub fn set_refresh_postpone(&mut self, postpone: Option<anvil_faults::RefreshPostpone>) {
+        self.dram.set_refresh_postpone(postpone);
+    }
+
+    /// Blanket-refreshes every disturbed row of `bank` at time `now` —
+    /// ANVIL's degraded-mode fallback. Returns the number of rows reset.
+    pub fn refresh_bank(&mut self, bank: anvil_dram::BankId, now: Cycle) -> usize {
+        self.now = now.max(self.now);
+        self.dram.refresh_bank(bank, self.now)
+    }
+
     /// Memory-system counters.
     pub fn stats(&self) -> &MemStats {
         &self.stats

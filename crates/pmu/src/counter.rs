@@ -14,6 +14,7 @@ pub struct Counter {
     overflow_at: Option<u64>,
     overflowed: bool,
     last_overflow_cycle: Option<Cycle>,
+    saturate_at: Option<u64>,
 }
 
 impl Counter {
@@ -24,7 +25,15 @@ impl Counter {
             overflow_at: None,
             overflowed: false,
             last_overflow_cycle: None,
+            saturate_at: None,
         }
+    }
+
+    /// Caps the counter value at `cap` counts (a fault model: a clipped
+    /// or narrow counter that stops counting before its interrupt fires).
+    /// `None` restores normal unbounded counting.
+    pub fn set_saturation(&mut self, cap: Option<u64>) {
+        self.saturate_at = cap;
     }
 
     /// Programs the counter to raise an interrupt when it reaches
@@ -56,6 +65,9 @@ impl Counter {
     /// armed threshold is crossed.
     pub fn add(&mut self, n: u64, now: Cycle) -> bool {
         self.value += n;
+        if let Some(cap) = self.saturate_at {
+            self.value = self.value.min(cap);
+        }
         if let Some(t) = self.overflow_at {
             if !self.overflowed && self.value >= t {
                 self.overflowed = true;
@@ -109,6 +121,22 @@ mod tests {
         c.arm(10);
         assert_eq!(c.read(), 0);
         assert!(c.add(15, 4));
+    }
+
+    #[test]
+    fn saturation_caps_value_and_blocks_interrupt() {
+        let mut c = Counter::new();
+        c.set_saturation(Some(50));
+        c.arm(100);
+        assert!(!c.add(200, 1), "saturated counter must not overflow");
+        assert_eq!(c.read(), 50);
+        // A threshold at or below the cap still fires.
+        c.arm(50);
+        assert!(c.add(200, 2));
+        // Clearing saturation restores normal behavior.
+        c.set_saturation(None);
+        c.arm(100);
+        assert!(c.add(200, 3));
     }
 
     #[test]

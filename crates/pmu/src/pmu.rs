@@ -5,6 +5,7 @@ use crate::counter::Counter;
 use crate::events::{DataSource, EventKind};
 use crate::sampling::{SampleFilter, SampleRecord, Sampler, SamplerConfig};
 use anvil_dram::Cycle;
+use anvil_faults::PebsInjector;
 use anvil_mem::{AccessKind, AccessOutcome};
 
 /// A retired memory operation as seen by the PMU: the architectural
@@ -70,6 +71,18 @@ impl Pmu {
     /// The sampling engine.
     pub fn sampler(&self) -> &Sampler {
         &self.sampler
+    }
+
+    /// Installs (or clears) a PEBS fault injector on the sampler.
+    pub fn set_fault_injector(&mut self, faults: Option<PebsInjector>) {
+        self.sampler.set_fault_injector(faults);
+    }
+
+    /// Caps every event counter at `cap` counts (counter-saturation
+    /// fault); `None` restores unbounded counting.
+    pub fn set_counter_saturation(&mut self, cap: Option<u64>) {
+        self.llc_miss.set_saturation(cap);
+        self.llc_miss_loads.set_saturation(cap);
     }
 
     /// Arms PEBS sampling with `filter`, starting at `now`.

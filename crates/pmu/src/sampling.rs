@@ -17,6 +17,7 @@
 
 use crate::events::DataSource;
 use anvil_dram::Cycle;
+use anvil_faults::{PebsInjector, SampleFate};
 use anvil_mem::AccessKind;
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +96,7 @@ pub struct Sampler {
     dropped: u64,
     taken: u64,
     jitter_state: u64,
+    faults: Option<PebsInjector>,
 }
 
 impl Sampler {
@@ -109,7 +111,21 @@ impl Sampler {
             dropped: 0,
             taken: 0,
             jitter_state: 0x5eed_1234_abcd_ef01,
+            faults: None,
         }
+    }
+
+    /// Installs (or clears) a PEBS fault injector. Injected drops are
+    /// counted in [`samples_dropped`](Self::samples_dropped) alongside
+    /// buffer-overflow drops, exactly as a wrapped debug-store buffer
+    /// would present to software.
+    pub fn set_fault_injector(&mut self, faults: Option<PebsInjector>) {
+        self.faults = faults;
+    }
+
+    /// The installed fault injector, if any (for fault-campaign stats).
+    pub fn fault_injector(&self) -> Option<&PebsInjector> {
+        self.faults.as_ref()
     }
 
     /// The active configuration.
@@ -182,6 +198,17 @@ impl Sampler {
         let jitter = self.jitter();
         self.next_sample_at = now + self.config.interval / 2 + jitter;
         self.taken += 1;
+        let mut vaddr = vaddr;
+        if let Some(inj) = self.faults.as_mut() {
+            match inj.on_sample(vaddr) {
+                SampleFate::Keep => {}
+                SampleFate::Drop => {
+                    self.dropped += 1;
+                    return true;
+                }
+                SampleFate::Corrupt(skewed) => vaddr = skewed,
+            }
+        }
         if self.buffer.len() >= self.config.buffer_capacity {
             self.dropped += 1;
             return true;
@@ -279,6 +306,49 @@ mod tests {
         }
         let n = s.drain().len();
         assert!((20..=45).contains(&n), "got {n} samples, want ~30");
+    }
+
+    #[test]
+    fn fault_injector_drops_count_as_dropped() {
+        use anvil_faults::{FaultPlan, FaultRng, FaultScenario};
+        let mut s = Sampler::new(SamplerConfig {
+            latency_threshold: 0,
+            interval: 0,
+            buffer_capacity: 1 << 16,
+        });
+        let plan: FaultPlan = FaultScenario::PebsOverflow.plan(1.0, 7);
+        s.set_fault_injector(plan.pebs_injector(FaultRng::new(plan.seed).fork(1)));
+        s.enable(SampleFilter::LoadsOnly, 0);
+        for t in 0..10_000u64 {
+            s.observe(t * 64, 1, AccessKind::Read, DataSource::Dram, 200, t);
+        }
+        let buffered = s.drain().len() as u64;
+        assert!(s.samples_dropped() > 0, "overflow scenario dropped nothing");
+        assert_eq!(s.samples_taken(), buffered + s.samples_dropped());
+    }
+
+    #[test]
+    fn fault_injector_corruption_skews_addresses() {
+        use anvil_faults::{FaultPlan, FaultRng, FaultScenario};
+        let mut s = Sampler::new(SamplerConfig {
+            latency_threshold: 0,
+            interval: 0,
+            buffer_capacity: 1 << 16,
+        });
+        let plan: FaultPlan = FaultScenario::SampleCorruption.plan(1.0, 7);
+        s.set_fault_injector(plan.pebs_injector(FaultRng::new(plan.seed).fork(1)));
+        s.enable(SampleFilter::LoadsOnly, 0);
+        for t in 0..1_000u64 {
+            s.observe(t * 64, 1, AccessKind::Read, DataSource::Dram, 200, t);
+        }
+        let records = s.drain();
+        let skewed = records.iter().filter(|r| r.vaddr != r.cycle * 64).count();
+        assert!(skewed > 0, "corruption scenario corrupted nothing");
+        assert_eq!(
+            s.fault_injector().unwrap().corruptions(),
+            skewed as u64,
+            "corruption counter tracks skewed records"
+        );
     }
 
     #[test]

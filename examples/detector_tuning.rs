@@ -54,7 +54,7 @@ fn detect_ms(anvil: AnvilConfig, disturbance: DisturbanceConfig) -> (Option<f64>
     let mut p = Platform::new(pc);
     p.add_attack(Box::new(DoubleSidedClflush::new()))
         .expect("prepares");
-    p.run_ms(100.0);
+    p.run_ms(100.0).unwrap();
     (p.first_detection_ms(), p.total_flips())
 }
 
@@ -62,8 +62,8 @@ fn detect_ms(anvil: AnvilConfig, disturbance: DisturbanceConfig) -> (Option<f64>
 fn mcf_slowdown(anvil: AnvilConfig) -> f64 {
     let run = |cfg: PlatformConfig| {
         let mut p = Platform::new(cfg);
-        let pid = p.add_workload(SpecBenchmark::Mcf.build(3));
-        p.run_core_ops(pid, 400_000);
+        let pid = p.add_workload(SpecBenchmark::Mcf.build(3)).unwrap();
+        p.run_core_ops(pid, 400_000).unwrap();
         p.core_stats(pid).unwrap().cycles as f64
     };
     run(PlatformConfig::with_anvil(anvil)) / run(PlatformConfig::unprotected())

@@ -54,7 +54,7 @@ fn main() {
         let mut p = Platform::new(pc);
         p.add_attack(Box::new(DoubleSidedClflush::new()))
             .expect("prepares");
-        p.run_ms(100.0);
+        p.run_ms(100.0).unwrap();
         println!(
             "{label}: detected at {} ms, {} bit flips, {:.1} refreshes/64 ms",
             p.first_detection_ms()

@@ -23,14 +23,14 @@ fn main() {
     let mut machine = Platform::new(pc);
 
     // A realistic mixed machine: two benign programs and one attacker.
-    let mcf = machine.add_workload(SpecBenchmark::Mcf.build(2));
-    let bzip2 = machine.add_workload(SpecBenchmark::Bzip2.build(2));
+    let mcf = machine.add_workload(SpecBenchmark::Mcf.build(2)).unwrap();
+    let bzip2 = machine.add_workload(SpecBenchmark::Bzip2.build(2)).unwrap();
     let attacker = machine
         .add_attack(Box::new(ClflushFreeDoubleSided::new()))
         .expect("attack prepares");
     println!("pids: mcf={mcf} bzip2={bzip2} attacker={attacker}");
 
-    machine.run_ms(150.0);
+    machine.run_ms(150.0).unwrap();
 
     println!("\n-- incident log --");
     for (i, det) in machine.detections().iter().enumerate() {

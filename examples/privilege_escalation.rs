@@ -70,7 +70,7 @@ fn main() {
     // --- Unprotected: the exploit lands --------------------------------
     let (mut machine, victim_paddr) = stage_attack(&PlatformConfig::unprotected());
     println!("page-table page staged in victim row at paddr {victim_paddr:#x}");
-    machine.run_ms(64.0);
+    machine.run_ms(64.0).unwrap();
 
     let corrupted = audit_ptes(&machine, victim_paddr);
     println!("\n-- unprotected machine, after one refresh window --");
@@ -94,7 +94,7 @@ fn main() {
     // --- Protected: same spray, same hammer, nothing happens ------------
     let (mut protected, victim_paddr) =
         stage_attack(&PlatformConfig::with_anvil(AnvilConfig::baseline()));
-    protected.run_ms(64.0);
+    protected.run_ms(64.0).unwrap();
     let corrupted = audit_ptes(&protected, victim_paddr);
     println!("\n-- ANVIL-protected machine, same attack --");
     println!(

@@ -24,7 +24,7 @@ fn main() {
         aggressors[0], aggressors[1]
     );
 
-    machine.run_ms(64.0); // one full DRAM refresh window
+    machine.run_ms(64.0).unwrap(); // one full DRAM refresh window
     println!(
         "unprotected machine after 64 ms of hammering: {} bit flip(s)",
         machine.total_flips()
@@ -35,7 +35,7 @@ fn main() {
     protected
         .add_attack(Box::new(DoubleSidedClflush::new()))
         .expect("attack prepares");
-    protected.run_ms(64.0);
+    protected.run_ms(64.0).unwrap();
 
     println!(
         "ANVIL-protected machine after 64 ms:       {} bit flip(s)",

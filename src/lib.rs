@@ -21,6 +21,7 @@
 //! | [`workloads`] | SPEC CPU2006-integer-like benchmark models |
 //! | [`core`] | The ANVIL detector and the full-system platform runner |
 //! | [`analyze`] | Static hammer-capability analysis over the attack/workload IR |
+//! | [`faults`] | Deterministic fault injection: PEBS loss, stale translations, preemption, postponed refresh |
 //!
 //! ## Thirty-second tour
 //!
@@ -31,12 +32,12 @@
 //! // An attacker armed with the paper's CLFLUSH-free attack...
 //! let mut machine = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
 //! machine.add_attack(Box::new(ClflushFreeDoubleSided::new()))?;
-//! machine.run_ms(64.0); // one DRAM refresh window
+//! machine.run_ms(64.0)?; // one DRAM refresh window
 //!
 //! // ...hammers for a full refresh window and flips nothing.
 //! assert_eq!(machine.total_flips(), 0);
 //! assert!(!machine.detections().is_empty());
-//! # Ok::<(), anvil::attacks::AttackError>(())
+//! # Ok::<(), anvil::core::PlatformError>(())
 //! ```
 
 pub use anvil_analyze as analyze;
@@ -44,6 +45,7 @@ pub use anvil_attacks as attacks;
 pub use anvil_cache as cache;
 pub use anvil_core as core;
 pub use anvil_dram as dram;
+pub use anvil_faults as faults;
 pub use anvil_mem as mem;
 pub use anvil_pmu as pmu;
 pub use anvil_workloads as workloads;

@@ -66,7 +66,7 @@ impl Attack for StoreHammer {
 fn store_based_hammer_is_detected_via_precise_store() {
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
     p.add_attack(Box::new(StoreHammer::new())).unwrap();
-    p.run_ms(40.0);
+    p.run_ms(40.0).unwrap();
     assert_eq!(p.total_flips(), 0);
     assert!(
         p.first_detection_ms().is_some(),
@@ -119,7 +119,7 @@ fn slow_attacker_evades_baseline_but_not_light() {
             i: 0,
         }))
         .unwrap();
-        p.run_ms(70.0);
+        p.run_ms(70.0).unwrap();
         (
             p.first_detection_ms(),
             p.detector_stats().unwrap().threshold_crossings,
@@ -168,7 +168,7 @@ fn fast_attacker_on_future_dram_beats_baseline_but_not_heavy() {
         }
         let attack = anvil::attacks::DoubleSidedClflush::new().with_pair_index(chosen);
         p.add_attack(Box::new(attack)).unwrap();
-        p.run_ms(70.0);
+        p.run_ms(70.0).unwrap();
         p.total_flips()
     };
 
@@ -186,7 +186,7 @@ fn detector_stats_are_consistent() {
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
     p.add_attack(Box::new(anvil::attacks::DoubleSidedClflush::new()))
         .unwrap();
-    p.run_ms(50.0);
+    p.run_ms(50.0).unwrap();
     let s = *p.detector_stats().unwrap();
     assert!(s.stage1_windows >= s.threshold_crossings);
     assert_eq!(s.threshold_crossings, s.stage2_windows);
@@ -204,11 +204,11 @@ fn suspend_policy_stops_the_attacker_and_spares_workloads() {
         consecutive_detections: 3,
     };
     let mut p = Platform::new(pc);
-    let workload_pid = p.add_workload(SpecBenchmark::Mcf.build(9));
+    let workload_pid = p.add_workload(SpecBenchmark::Mcf.build(9)).unwrap();
     let attack_pid = p
         .add_attack(Box::new(anvil::attacks::DoubleSidedClflush::new()))
         .unwrap();
-    p.run_ms(120.0);
+    p.run_ms(120.0).unwrap();
     assert_eq!(p.total_flips(), 0);
     let suspended = p.suspended_pids();
     assert!(
@@ -223,7 +223,7 @@ fn suspend_policy_stops_the_attacker_and_spares_workloads() {
     // workload continues.
     let ops_before = p.core_stats(workload_pid).unwrap().ops;
     let attack_ops = p.core_stats(attack_pid).unwrap().ops;
-    p.run_ms(20.0);
+    p.run_ms(20.0).unwrap();
     assert!(p.core_stats(workload_pid).unwrap().ops > ops_before);
     assert_eq!(p.core_stats(attack_pid).unwrap().ops, attack_ops);
 }
@@ -231,11 +231,12 @@ fn suspend_policy_stops_the_attacker_and_spares_workloads() {
 #[test]
 fn detections_attribute_the_attacking_pid() {
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-    p.add_workload(anvil::workloads::SpecBenchmark::Libquantum.build(5));
+    p.add_workload(anvil::workloads::SpecBenchmark::Libquantum.build(5))
+        .unwrap();
     let attack_pid = p
         .add_attack(Box::new(anvil::attacks::DoubleSidedClflush::new()))
         .unwrap();
-    p.run_ms(40.0);
+    p.run_ms(40.0).unwrap();
     let det = p.detections().first().expect("attack detected");
     let suspects: Vec<u32> = det
         .report
@@ -247,4 +248,45 @@ fn detections_attribute_the_attacking_pid() {
         suspects.iter().all(|&pid| pid == attack_pid),
         "only the attacker's pid should be attributed: {suspects:?}"
     );
+}
+
+#[test]
+fn all_samples_dropped_window_engages_degraded_protection() {
+    // Every stage-2 sample lost to debug-store overflow. Before the
+    // degraded-mode fallback this was a silent false negative: stage 2
+    // armed, saw nothing, and cleared the window with no refreshes.
+    use anvil::faults::{FaultPlan, PebsFaults};
+    let mut plan = FaultPlan::none();
+    plan.seed = 17;
+    plan.pebs = PebsFaults {
+        drop_rate: 1.0,
+        burst_len: 1 << 20,
+        corrupt_rate: 0.0,
+    };
+    let mut p =
+        Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()).with_faults(plan));
+    p.add_attack(Box::new(anvil::attacks::DoubleSidedClflush::new()))
+        .unwrap();
+    p.run_ms(80.0).unwrap();
+    let s = *p.detector_stats().unwrap();
+    assert!(s.stage2_windows > 0, "the hammer must still arm stage 2");
+    assert_eq!(
+        s.degraded_windows, s.stage2_windows,
+        "every evidence-free stage-2 window must fall back to degraded mode"
+    );
+    assert!(s.samples_lost > 0);
+    assert!(
+        s.bank_refreshes > 0,
+        "degraded mode must blanket-refresh suspect banks"
+    );
+    assert_eq!(s.detections, 0, "no samples, so no selective detection");
+    assert_eq!(
+        p.total_flips(),
+        0,
+        "blanket refresh must uphold the no-flip guarantee without samples"
+    );
+    // The stats invariants of detector_stats_are_consistent still hold
+    // (at most one stage-2 window is armed but unserviced at run end).
+    assert!(s.threshold_crossings - s.stage2_windows <= 1);
+    assert_eq!(s.selective_refreshes as usize, p.refresh_log().len());
 }

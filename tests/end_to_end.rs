@@ -77,7 +77,7 @@ fn the_full_arms_race() {
     ] {
         let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
         p.add_attack(make(0)).unwrap();
-        p.run_ms(64.0);
+        p.run_ms(64.0).unwrap();
         assert_eq!(p.total_flips(), 0, "ANVIL must stop the attack");
         assert!(p.first_detection_ms().is_some());
     }
@@ -91,7 +91,10 @@ fn pagemap_hardening_blocks_preparation_but_anvil_not_needed_then() {
     let err = p
         .add_attack(Box::new(ClflushFreeDoubleSided::new()))
         .unwrap_err();
-    assert_eq!(err, anvil::attacks::AttackError::PagemapDenied);
+    assert_eq!(
+        err,
+        anvil::core::PlatformError::Attack(anvil::attacks::AttackError::PagemapDenied)
+    );
 }
 
 #[test]
@@ -118,7 +121,7 @@ fn hardware_mitigations_also_win_but_need_new_hardware() {
 fn single_sided_attack_detected_too() {
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
     p.add_attack(Box::new(SingleSidedClflush::new())).unwrap();
-    p.run_ms(40.0);
+    p.run_ms(40.0).unwrap();
     assert_eq!(p.total_flips(), 0);
     assert!(
         p.first_detection_ms().is_some(),
@@ -132,9 +135,9 @@ fn anvil_and_workload_coexist_with_attack() {
     // attacker: ANVIL must stop the attack without visibly harming the
     // workload.
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-    let wl = p.add_workload(SpecBenchmark::Libquantum.build(5));
+    let wl = p.add_workload(SpecBenchmark::Libquantum.build(5)).unwrap();
     p.add_attack(Box::new(DoubleSidedClflush::new())).unwrap();
-    p.run_ms(60.0);
+    p.run_ms(60.0).unwrap();
     assert_eq!(p.total_flips(), 0);
     assert!(p.first_detection_ms().is_some());
     assert!(
@@ -188,7 +191,7 @@ fn attack_still_works_with_a_prefetcher() {
     let mut p = Platform::new(pc);
     p.add_attack(Box::new(DoubleSidedClflush::new().with_pair_index(pair)))
         .unwrap();
-    p.run_ms(50.0);
+    p.run_ms(50.0).unwrap();
     assert_eq!(p.total_flips(), 0, "ANVIL holds with the prefetcher on");
     assert!(p.first_detection_ms().is_some());
 }
@@ -201,7 +204,7 @@ fn timing_attack_detected_by_anvil_end_to_end() {
     pc.pagemap = PagemapPolicy::Restricted;
     let mut p = Platform::new(pc);
     p.add_attack(Box::new(TimingClflushFree::new())).unwrap();
-    p.run_ms(80.0);
+    p.run_ms(80.0).unwrap();
     assert_eq!(p.total_flips(), 0);
     assert!(
         p.first_detection_ms().is_some(),

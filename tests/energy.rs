@@ -14,8 +14,8 @@ fn refresh_power_mw(refresh_ms: f64) -> f64 {
         memory: cfg,
         ..PlatformConfig::unprotected()
     });
-    let pid = p.add_workload(SpecBenchmark::Libquantum.build(3));
-    p.run_core_ops(pid, 200_000);
+    let pid = p.add_workload(SpecBenchmark::Libquantum.build(3)).unwrap();
+    p.run_core_ops(pid, 200_000).unwrap();
     let now = p.sys().now();
     p.sys()
         .dram()
@@ -37,8 +37,8 @@ fn demand_traffic_energy_tracks_miss_rate() {
     let clock = MemoryConfig::paper_platform().clock;
     let energy_for = |bench: SpecBenchmark| {
         let mut p = Platform::new(PlatformConfig::unprotected());
-        let pid = p.add_workload(bench.build(3));
-        p.run_core_ops(pid, 300_000);
+        let pid = p.add_workload(bench.build(3)).unwrap();
+        p.run_core_ops(pid, 300_000).unwrap();
         let now = p.sys().now();
         let r = p.sys().dram().energy(&EnergyModel::ddr3(), now, &clock);
         // Normalize per second so different run lengths compare.
@@ -57,9 +57,9 @@ fn idle_module_energy_is_pure_refresh() {
     let clock = MemoryConfig::paper_platform().clock;
     let mut p = Platform::new(PlatformConfig::unprotected());
     // One nearly idle workload (tiny loop, huge compute per op).
-    let pid = p.add_workload(SpecBenchmark::Hmmer.build(1));
+    let pid = p.add_workload(SpecBenchmark::Hmmer.build(1)).unwrap();
     // Long enough that the one-time arena warmup is amortized away.
-    p.run_core_ops(pid, 800_000);
+    p.run_core_ops(pid, 800_000).unwrap();
     let now = p.sys().now();
     let r = p.sys().dram().energy(&EnergyModel::ddr3(), now, &clock);
     assert!(r.refresh_share() > 0.9, "share {}", r.refresh_share());

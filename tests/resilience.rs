@@ -1,0 +1,104 @@
+//! Resilience guarantees under an injected-fault substrate.
+//!
+//! Every built-in [`FaultScenario`] at default intensity, against each
+//! attack template, must uphold ANVIL's no-flip guarantee: zero bit
+//! flips, with either a detection or a visible degraded-mode engagement
+//! standing in for one. A same-seed campaign cell must also reproduce
+//! byte-for-byte (same stats, detections, and refresh schedule).
+
+use anvil::attacks::{Attack, ClflushFreeDoubleSided, DoubleSidedClflush, SingleSidedClflush};
+use anvil::core::{AnvilConfig, DetectorStats, Platform, PlatformConfig};
+use anvil::faults::{FaultPlan, FaultScenario, PebsFaults, TranslationFaults};
+
+const SEED: u64 = 0xA_11CE;
+
+fn attacks() -> Vec<(&'static str, Box<dyn Attack>)> {
+    vec![
+        (
+            "single-sided",
+            Box::new(SingleSidedClflush::new()) as Box<dyn Attack>,
+        ),
+        ("double-sided", Box::new(DoubleSidedClflush::new())),
+        ("clflush-free", Box::new(ClflushFreeDoubleSided::new())),
+    ]
+}
+
+fn faulted_run(plan: FaultPlan, attack: Box<dyn Attack>, ms: f64) -> (Platform, DetectorStats) {
+    let mut p =
+        Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()).with_faults(plan));
+    p.add_attack(attack)
+        .expect("attack prepares on open platform");
+    p.run_ms(ms).expect("run completes");
+    let stats = *p.detector_stats().expect("anvil loaded");
+    (p, stats)
+}
+
+/// The acceptance gate: every built-in scenario at default intensity,
+/// against the full attack matrix, ends with zero flips and a protection
+/// signal (a detection, or degraded mode visibly engaged).
+#[test]
+fn every_builtin_scenario_protects_every_attack() {
+    for scenario in FaultScenario::ALL {
+        for (label, attack) in attacks() {
+            let plan = scenario.plan(1.0, SEED);
+            let (p, stats) = faulted_run(plan, attack, 70.0);
+            assert_eq!(
+                p.total_flips(),
+                0,
+                "[{} / {label}] bits flipped under faults",
+                scenario.name()
+            );
+            assert!(
+                !p.detections().is_empty() || stats.degraded_windows > 0,
+                "[{} / {label}] no detection and no degraded engagement",
+                scenario.name()
+            );
+        }
+    }
+}
+
+/// Same plan, same seed: the whole run is a pure function of its inputs.
+/// Detector stats, the detection log, and the refresh schedule must all
+/// reproduce exactly.
+#[test]
+fn same_seed_reproduces_the_campaign_cell() {
+    let run = || {
+        let plan = FaultScenario::Combined.plan(1.0, SEED);
+        let (p, stats) = faulted_run(plan, Box::new(DoubleSidedClflush::new()), 70.0);
+        let detections: Vec<_> = p
+            .detections()
+            .iter()
+            .map(|d| (d.cycle, d.report.clone(), d.refreshed.clone()))
+            .collect();
+        (stats, p.total_flips(), detections, p.refresh_log().to_vec())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "detector stats diverged across same-seed runs");
+    assert_eq!(a.1, b.1, "flip counts diverged");
+    assert_eq!(a.2, b.2, "detection log diverged");
+    assert_eq!(a.3, b.3, "refresh schedule diverged");
+}
+
+/// A total-evidence-loss plan (every PEBS sample dropped, every
+/// translation failing) still protects: degraded mode engages on each
+/// stage-2 window and is visible in the stats.
+#[test]
+fn total_evidence_loss_engages_visible_degraded_mode() {
+    let mut plan = FaultPlan::none();
+    plan.seed = SEED;
+    plan.pebs = PebsFaults {
+        drop_rate: 1.0,
+        burst_len: 1 << 20,
+        corrupt_rate: 0.0,
+    };
+    plan.translation = TranslationFaults {
+        fail_rate: 1.0,
+        stale_rate: 0.0,
+    };
+    let (p, stats) = faulted_run(plan, Box::new(DoubleSidedClflush::new()), 70.0);
+    assert!(stats.stage2_windows > 0);
+    assert_eq!(stats.degraded_windows, stats.stage2_windows);
+    assert!(stats.bank_refreshes > 0, "blanket refresh must be visible");
+    assert_eq!(p.total_flips(), 0);
+}

@@ -241,7 +241,7 @@ fn static_verdicts_agree_with_dynamic_outcomes() {
             anvil::analyze::check_coverage(&anvil, &memory.clock, ctx.window, &bounds, verdict);
         let mut p = Platform::new(PlatformConfig::with_anvil(anvil));
         p.add_attack(build()).unwrap();
-        p.run_ms(24.0);
+        p.run_ms(24.0).unwrap();
         let detected = !p.detections().is_empty();
         cases.push(case(
             name,
@@ -259,8 +259,8 @@ fn static_verdicts_agree_with_dynamic_outcomes() {
         let bounds = workload_activation_bounds(&b.model(), &ctx);
         let verdict = classify_interval(bounds.worst_row, 2, &ctx.disturbance);
         let mut p = Platform::new(PlatformConfig::unprotected());
-        p.add_workload(b.build(7));
-        p.run_ms(16.0);
+        p.add_workload(b.build(7)).unwrap();
+        p.run_ms(16.0).unwrap();
         cases.push(case(
             format!("workload/{b}"),
             verdict == Verdict::Benign && p.total_flips() == 0,

@@ -13,8 +13,8 @@ fn recorded_trace_reproduces_the_original_miss_profile() {
 
     let run = |w: Box<dyn Workload>| {
         let mut p = Platform::new(PlatformConfig::unprotected());
-        let pid = p.add_workload(w);
-        p.run_core_ops(pid, ops as u64);
+        let pid = p.add_workload(w).unwrap();
+        p.run_core_ops(pid, ops as u64).unwrap();
         p.sys().stats().llc_misses
     };
     // A fresh copy of the original vs. its recorded trace: identical op
@@ -53,8 +53,8 @@ fn hand_written_trace_runs_under_anvil() {
     }
     let trace = TraceWorkload::parse("synthetic", &text).unwrap();
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
-    let pid = p.add_workload(Box::new(trace));
-    p.run_ms(15.0);
+    let pid = p.add_workload(Box::new(trace)).unwrap();
+    p.run_ms(15.0).unwrap();
     assert!(p.core_stats(pid).unwrap().ops > 100_000);
     assert_eq!(p.total_flips(), 0);
     assert_eq!(

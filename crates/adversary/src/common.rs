@@ -1,0 +1,84 @@
+//! Shared preparation helpers: aggressor-pair selection with victim
+//! templating, and the canonical double-sided iteration.
+
+use anvil_attacks::{find_aggressor_pairs, AggressorPair, AttackEnv, AttackError, AttackOp};
+use anvil_dram::DramLocation;
+use anvil_mem::AccessKind;
+
+/// Megabyte, for arena sizing.
+pub(crate) const MB: u64 = 1 << 20;
+
+/// Cycles of compute per idle op; small enough that the platform's
+/// scheduler never overshoots a detector deadline by a whole idle phase.
+pub(crate) const IDLE_CHUNK_CYCLES: u64 = 5_000;
+
+/// Finds aggressor pairs in the arena and returns them with pairs whose
+/// victim row is actually vulnerable first (stable order otherwise).
+///
+/// Real attackers template the module before hammering (profiling passes
+/// that locate flippable cells); preferring a vulnerable victim models
+/// that reconnaissance without a separate scan harness.
+pub(crate) fn templated_pairs(
+    env: &mut AttackEnv<'_>,
+    arena_va: u64,
+    arena_bytes: u64,
+    max: usize,
+) -> Result<Vec<AggressorPair>, AttackError> {
+    let mapping = *env.sys.dram().mapping();
+    let mut pairs = find_aggressor_pairs(
+        env.process,
+        env.pagemap,
+        &mapping,
+        arena_va,
+        arena_bytes,
+        max,
+    )?;
+    let dram = env.sys.dram();
+    pairs.sort_by_key(|p| !dram.is_vulnerable_row(p.victim));
+    Ok(pairs)
+}
+
+/// Physical address of the victim row of `pair` (column 0).
+pub(crate) fn victim_paddr(env: &AttackEnv<'_>, pair: &AggressorPair) -> u64 {
+    env.sys.dram().mapping().address_of(DramLocation {
+        bank: pair.victim.bank,
+        row: pair.victim.row,
+        col: 0,
+    })
+}
+
+/// One double-sided hammer iteration (2 aggressor activations):
+/// access/flush the row below the victim, then the row above.
+pub(crate) fn pair_iteration(pair: &AggressorPair) -> [AttackOp; 4] {
+    [
+        AttackOp::Access {
+            vaddr: pair.below_va,
+            kind: AccessKind::Read,
+        },
+        AttackOp::Clflush {
+            vaddr: pair.below_va,
+        },
+        AttackOp::Access {
+            vaddr: pair.above_va,
+            kind: AccessKind::Read,
+        },
+        AttackOp::Clflush {
+            vaddr: pair.above_va,
+        },
+    ]
+}
+
+/// Appends `cycles` of idle time as [`IDLE_CHUNK_CYCLES`]-sized compute
+/// ops (plus one remainder op).
+pub(crate) fn push_idle(ops: &mut Vec<AttackOp>, cycles: u64) {
+    let chunks = cycles / IDLE_CHUNK_CYCLES;
+    for _ in 0..chunks {
+        ops.push(AttackOp::Compute {
+            cycles: IDLE_CHUNK_CYCLES,
+        });
+    }
+    let rest = cycles % IDLE_CHUNK_CYCLES;
+    if rest > 0 {
+        ops.push(AttackOp::Compute { cycles: rest });
+    }
+}

@@ -1,0 +1,216 @@
+//! Distributed many-sided hammering: spread activations over enough
+//! aggressor pairs that no row dominates the sample histogram.
+
+use crate::common::{pair_iteration, templated_pairs, victim_paddr, MB};
+use anvil_attacks::{AggressorPair, Attack, AttackEnv, AttackError, AttackOp};
+
+/// Round-robin double-sided hammering of several pairs in distinct
+/// banks.
+///
+/// With `k` pairs the PEBS sample share of each aggressor row is
+/// `1/(2k)`; at the paper's ~30 samples per 6 ms stage-2 window, `k = 6`
+/// already puts the expected per-row count (2.5) under the 3-sample
+/// floor, so the baseline's locality analysis never surfaces a finding
+/// even though stage 1 trips every window. The per-pair activation rate
+/// is the physical ceiling divided by `k` — with the default 7 pairs,
+/// ~127K per refresh interval, enough to flip a future module (110K).
+///
+/// The hardened suspicion ledger accumulates each row's EWMA-decayed
+/// rate evidence across stage-2 windows and convicts rows whose score
+/// stays high for multiple windows, bypassing the per-window floor.
+#[derive(Debug)]
+pub struct DistributedManySided {
+    arena_bytes: u64,
+    pair_target: usize,
+    prepared: Option<Prepared>,
+}
+
+#[derive(Debug)]
+struct Prepared {
+    /// One iteration (4 ops) per pair, visited round-robin.
+    iterations: Vec<[AttackOp; 4]>,
+    pair_idx: usize,
+    op_idx: usize,
+    aggressors: Vec<u64>,
+    victims: Vec<u64>,
+}
+
+impl DistributedManySided {
+    /// Creates the attack targeting 7 pairs in distinct banks over a
+    /// 16 MB arena (a contiguous 16 MB spans all 16 banks of the paper's
+    /// module).
+    pub fn new() -> Self {
+        DistributedManySided {
+            arena_bytes: 16 * MB,
+            pair_target: 7,
+            prepared: None,
+        }
+    }
+
+    /// Overrides how many pairs to hammer (at least 2; fewer may be used
+    /// if the arena does not span enough banks, but preparation fails
+    /// below 4 — a "many-sided" attack needs at least 8 aggressor rows).
+    #[must_use]
+    pub fn with_pair_target(mut self, pairs: usize) -> Self {
+        self.pair_target = pairs.max(2);
+        self
+    }
+
+    /// Number of pairs actually being hammered (after `prepare`).
+    pub fn pair_count(&self) -> usize {
+        self.prepared.as_ref().map_or(0, |p| p.iterations.len())
+    }
+}
+
+impl Default for DistributedManySided {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Picks up to `target` pairs from `candidates`, one per bank, keeping
+/// the templated (vulnerable-victim-first) order within each bank.
+fn distinct_banks(candidates: &[AggressorPair], target: usize) -> Vec<AggressorPair> {
+    let mut chosen: Vec<AggressorPair> = Vec::new();
+    for p in candidates {
+        if chosen.len() >= target {
+            break;
+        }
+        if chosen.iter().all(|c| c.victim.bank != p.victim.bank) {
+            chosen.push(*p);
+        }
+    }
+    chosen
+}
+
+impl Attack for DistributedManySided {
+    fn name(&self) -> &'static str {
+        "distributed-many-sided"
+    }
+
+    fn prepare(&mut self, env: &mut AttackEnv<'_>) -> Result<(), AttackError> {
+        let va = env.process.mmap(self.arena_bytes, env.frames)?;
+        // Scan the whole arena: the templated order puts vulnerable
+        // victims first, and distinct-bank selection needs the full set.
+        let candidates = templated_pairs(env, va, self.arena_bytes, 4096)?;
+        let pairs = distinct_banks(&candidates, self.pair_target);
+        if pairs.len() < 4 {
+            return Err(AttackError::NoAggressorPair);
+        }
+        let mut aggressors = Vec::new();
+        let mut victims = Vec::new();
+        let mut iterations = Vec::new();
+        for pair in &pairs {
+            aggressors.push(pair.below_pa);
+            aggressors.push(pair.above_pa);
+            victims.push(victim_paddr(env, pair));
+            iterations.push(pair_iteration(pair));
+        }
+        self.prepared = Some(Prepared {
+            iterations,
+            pair_idx: 0,
+            op_idx: 0,
+            aggressors,
+            victims,
+        });
+        Ok(())
+    }
+
+    fn next_op(&mut self) -> AttackOp {
+        let p = self.prepared.as_mut().expect("prepare the attack first");
+        let op = p.iterations[p.pair_idx][p.op_idx];
+        p.op_idx += 1;
+        if p.op_idx == 4 {
+            p.op_idx = 0;
+            p.pair_idx = (p.pair_idx + 1) % p.iterations.len();
+        }
+        op
+    }
+
+    fn aggressor_paddrs(&self) -> Vec<u64> {
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.aggressors.clone())
+    }
+
+    fn victim_paddrs(&self) -> Vec<u64> {
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.victims.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_dram::AddressMapping;
+    use anvil_mem::{
+        AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy, Process,
+    };
+    use std::collections::BTreeSet;
+
+    fn prepared() -> (DistributedManySided, AddressMapping) {
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let mapping = *sys.dram().mapping();
+        let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        let mut process = Process::new(11, "adversary");
+        let mut attack = DistributedManySided::new();
+        attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Open,
+            })
+            .unwrap();
+        (attack, mapping)
+    }
+
+    #[test]
+    fn pairs_land_in_distinct_banks() {
+        let (attack, mapping) = prepared();
+        assert_eq!(attack.pair_count(), 7);
+        assert_eq!(attack.aggressor_paddrs().len(), 14);
+        let banks: BTreeSet<_> = attack
+            .victim_paddrs()
+            .iter()
+            .map(|&pa| mapping.location_of(pa).bank)
+            .collect();
+        assert_eq!(banks.len(), 7, "one victim per bank");
+    }
+
+    #[test]
+    fn round_robin_touches_every_pair_before_repeating() {
+        let (mut attack, _) = prepared();
+        let mut first_seen = Vec::new();
+        for _ in 0..7 * 4 {
+            if let AttackOp::Access { vaddr, .. } = attack.next_op() {
+                if !first_seen.contains(&vaddr) {
+                    first_seen.push(vaddr);
+                }
+            }
+        }
+        // 7 pairs x 2 aggressors, no repeats within one full round.
+        assert_eq!(first_seen.len(), 14);
+    }
+
+    #[test]
+    fn too_few_banks_is_an_error() {
+        // A 256 KB arena spans all banks but only 2 rows per bank — row
+        // pairs (r, r+2) need 3 rows, so no pairs exist at all.
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        let mut process = Process::new(12, "adversary");
+        let mut attack = DistributedManySided::new();
+        attack.arena_bytes = 256 << 10;
+        let err = attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Open,
+            })
+            .unwrap_err();
+        assert_eq!(err, AttackError::NoAggressorPair);
+    }
+}

@@ -1,0 +1,190 @@
+//! Paced hammering: a constant miss rate held just under the stage-1
+//! trip point. The threshold-prober harness binary-searches the pace.
+
+use crate::common::{pair_iteration, templated_pairs, victim_paddr, MB};
+use crate::{EST_ATTACK_ACCESS_CYCLES, EST_STAGE1_WINDOW_CYCLES};
+use anvil_attacks::{Attack, AttackEnv, AttackError, AttackOp};
+
+/// Double-sided hammering throttled to a target LLC-miss rate.
+///
+/// Every iteration issues two aggressor activations and then computes
+/// long enough that the window-average miss count stays at the target.
+/// Unlike [`crate::DutyCycleHammer`] the rate is constant, so a window
+/// of *any* phase sees the same count — this is the strategy the
+/// guarantee envelope's `sustained` budget bounds, and the one a
+/// threshold-probing attacker converges to: the highest pace whose
+/// stage-1 crossing count stays at zero.
+///
+/// Against the paper's baseline (20K per 6 ms) the best undetected pace
+/// sustains ~213K activations per refresh interval — under the paper
+/// DDR3's 220K flip threshold (the paper's own sizing rule) but far
+/// above a future module's 110K. The hardened EWMA halves the
+/// sustainable pace, putting even future DRAM back under the envelope.
+#[derive(Debug)]
+pub struct PacedHammer {
+    arena_bytes: u64,
+    misses_per_window: u64,
+    window_cycles: u64,
+    prepared: Option<Prepared>,
+}
+
+#[derive(Debug)]
+struct Prepared {
+    ops: Vec<AttackOp>,
+    cursor: usize,
+    aggressors: Vec<u64>,
+    victims: Vec<u64>,
+}
+
+impl PacedHammer {
+    /// Creates the attack paced at one miss under the paper's 20K
+    /// stage-1 threshold, assuming the baseline 6 ms window.
+    pub fn new() -> Self {
+        PacedHammer {
+            arena_bytes: 8 * MB,
+            misses_per_window: 19_999,
+            window_cycles: EST_STAGE1_WINDOW_CYCLES,
+            prepared: None,
+        }
+    }
+
+    /// Sets the target miss count per assumed stage-1 window.
+    #[must_use]
+    pub fn with_misses_per_window(mut self, misses: u64) -> Self {
+        self.misses_per_window = misses.max(2);
+        self
+    }
+
+    /// Overrides the assumed stage-1 window length (in cycles).
+    #[must_use]
+    pub fn with_window_cycles(mut self, cycles: u64) -> Self {
+        self.window_cycles = cycles.max(1);
+        self
+    }
+
+    /// The target miss count per window.
+    pub fn misses_per_window(&self) -> u64 {
+        self.misses_per_window
+    }
+
+    /// Aggressor-pair activations per 64 ms refresh interval this pace
+    /// sustains (both sides combined), assuming a 6 ms window.
+    pub fn activations_per_refresh(&self) -> u64 {
+        // misses/window * windows/refresh-interval; every miss is an
+        // aggressor activation.
+        self.misses_per_window * 64 / 6
+    }
+}
+
+impl Default for PacedHammer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for PacedHammer {
+    fn name(&self) -> &'static str {
+        "paced-hammer"
+    }
+
+    fn prepare(&mut self, env: &mut AttackEnv<'_>) -> Result<(), AttackError> {
+        let va = env.process.mmap(self.arena_bytes, env.frames)?;
+        let pairs = templated_pairs(env, va, self.arena_bytes, 64)?;
+        let pair = pairs[0];
+        let victim_pa = victim_paddr(env, &pair);
+
+        // Cycles one iteration (2 misses) must occupy to hold the rate.
+        let iteration_cycles = 2 * self.window_cycles / self.misses_per_window.max(1);
+        let pad = iteration_cycles.saturating_sub(2 * EST_ATTACK_ACCESS_CYCLES);
+        let mut ops = pair_iteration(&pair).to_vec();
+        if pad > 0 {
+            ops.push(AttackOp::Compute { cycles: pad });
+        }
+        self.prepared = Some(Prepared {
+            ops,
+            cursor: 0,
+            aggressors: vec![pair.below_pa, pair.above_pa],
+            victims: vec![victim_pa],
+        });
+        Ok(())
+    }
+
+    fn next_op(&mut self) -> AttackOp {
+        let p = self.prepared.as_mut().expect("prepare the attack first");
+        let op = p.ops[p.cursor];
+        p.cursor = (p.cursor + 1) % p.ops.len();
+        op
+    }
+
+    fn aggressor_paddrs(&self) -> Vec<u64> {
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.aggressors.clone())
+    }
+
+    fn victim_paddrs(&self) -> Vec<u64> {
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.victims.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_mem::{
+        AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy, Process,
+    };
+
+    fn prepare(attack: &mut PacedHammer) {
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        let mut process = Process::new(8, "adversary");
+        attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Open,
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn pace_padding_holds_the_window_rate() {
+        let mut attack = PacedHammer::new().with_misses_per_window(10_000);
+        prepare(&mut attack);
+        // 2 misses per iteration over 2 * 15.6M / 10_000 = 3_120 cycles.
+        let ops: Vec<AttackOp> = (0..5).map(|_| attack.next_op()).collect();
+        let pad = ops
+            .iter()
+            .filter_map(|op| match op {
+                AttackOp::Compute { cycles } => Some(*cycles),
+                _ => None,
+            })
+            .sum::<u64>();
+        assert_eq!(pad, 3_120 - 2 * EST_ATTACK_ACCESS_CYCLES);
+        assert_eq!(
+            ops.iter()
+                .filter(|op| matches!(op, AttackOp::Access { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn faster_pace_means_less_padding() {
+        let pad_for = |m: u64| {
+            let mut attack = PacedHammer::new().with_misses_per_window(m);
+            prepare(&mut attack);
+            (0..5)
+                .map(|_| attack.next_op())
+                .filter_map(|op| match op {
+                    AttackOp::Compute { cycles } => Some(cycles),
+                    _ => None,
+                })
+                .sum::<u64>()
+        };
+        assert!(pad_for(5_000) > pad_for(19_999));
+    }
+}

@@ -13,7 +13,7 @@
 //! [`AnvilConfig::validate`] alone cannot spot because the problem only
 //! appears next to the platform's timing constants.
 
-use anvil_core::AnvilConfig;
+use anvil_core::{AnvilConfig, EnvelopeParams, GuaranteeEnvelope};
 use anvil_dram::{CpuClock, DisturbanceConfig, DramTiming};
 use serde::Serialize;
 
@@ -124,6 +124,65 @@ pub fn check_coverage(
     }
 }
 
+/// [`EnvelopeParams`] for the platform the analysis runs against:
+/// refresh horizon and flip threshold straight from the DRAM model, and
+/// the paper's per-access cycle costs on top of its timing constants
+/// (row-conflict access plus miss/flush overhead for the attacker,
+/// row-buffer hit plus load overhead for camouflage filler).
+pub fn envelope_params(timing: &DramTiming, disturbance: &DisturbanceConfig) -> EnvelopeParams {
+    EnvelopeParams {
+        refresh_period: timing.refresh_period,
+        flip_threshold: disturbance.double_sided_threshold,
+        attack_access_cycles: timing.row_conflict + 8,
+        hit_access_cycles: timing.row_hit + 4,
+    }
+}
+
+/// Audits the guarantee envelope and converts any leaking adversary
+/// archetype into [`ConfigFinding`]s. The sustained-pacing budget is an
+/// `Error` (it is the paper's own sizing rule); the adaptive archetypes
+/// (straddle, camouflage, distributed) are `Warning`s on unhardened
+/// configs, since closing them requires [`anvil_core::HardeningConfig`]
+/// rather than a parameter tweak.
+pub fn check_envelope(
+    anvil: &AnvilConfig,
+    clock: &CpuClock,
+    timing: &DramTiming,
+    disturbance: &DisturbanceConfig,
+) -> (GuaranteeEnvelope, Vec<ConfigFinding>) {
+    let env = GuaranteeEnvelope::audit(anvil, clock, &envelope_params(timing, disturbance));
+    let mut findings = Vec::new();
+    let archetypes = [
+        ("envelope.sustained", env.sustained_budget, Severity::Error),
+        ("envelope.straddle", env.straddle_budget, Severity::Warning),
+        (
+            "envelope.camouflage",
+            env.camouflage_budget,
+            Severity::Warning,
+        ),
+        (
+            "envelope.distributed",
+            env.distributed_budget,
+            Severity::Warning,
+        ),
+    ];
+    for (field, budget, severity) in archetypes {
+        if budget >= env.flip_threshold {
+            findings.push(ConfigFinding {
+                severity,
+                field: field.into(),
+                message: format!(
+                    "guarantee envelope leak: the {} adversary can land {budget} \
+                     undetected activations per refresh interval (flips at {})",
+                    field.trim_start_matches("envelope."),
+                    env.flip_threshold
+                ),
+            });
+        }
+    }
+    (env, findings)
+}
+
 /// Statically validates an [`AnvilConfig`] against the platform timing
 /// and disturbance thresholds, beyond what `AnvilConfig::validate` can
 /// check in isolation.
@@ -138,7 +197,7 @@ pub fn check_config(
         findings.push(ConfigFinding {
             severity: Severity::Error,
             field: "validate".into(),
-            message: e,
+            message: e.to_string(),
         });
         return findings;
     }

@@ -18,7 +18,10 @@ pub use bounds::{
     eviction_profile, pattern_activation_bounds, workload_activation_bounds, AccessVector,
     ActivationInterval, AnalysisContext, EvictionProfile, MissRate, PatternBounds, WorkloadBounds,
 };
-pub use coverage::{check_config, check_coverage, ConfigFinding, CoverageVerdict, Severity};
+pub use coverage::{
+    check_config, check_coverage, check_envelope, envelope_params, ConfigFinding, CoverageVerdict,
+    Severity,
+};
 pub use report::{analyze_all, AnalysisReport, PatternReport, WorkloadReport};
 pub use verdict::{
     at_risk_victims, benign_floor, classify, classify_interval, per_side_requirement, HammerStyle,

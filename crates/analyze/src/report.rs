@@ -4,7 +4,7 @@
 
 use anvil_attacks::PatternTemplate;
 use anvil_cache::PolicyKind;
-use anvil_core::AnvilConfig;
+use anvil_core::{AnvilConfig, GuaranteeEnvelope};
 use anvil_dram::{BankId, RowId};
 use anvil_mem::MemoryConfig;
 use anvil_workloads::SpecBenchmark;
@@ -14,7 +14,9 @@ use crate::bounds::{
     pattern_activation_bounds, workload_activation_bounds, AccessVector, AnalysisContext,
     PatternBounds, WorkloadBounds,
 };
-use crate::coverage::{check_config, check_coverage, ConfigFinding, CoverageVerdict};
+use crate::coverage::{
+    check_config, check_coverage, check_envelope, ConfigFinding, CoverageVerdict,
+};
 use crate::verdict::{at_risk_victims, classify, classify_interval, Verdict};
 
 /// Static analysis of one attack access vector.
@@ -62,6 +64,9 @@ pub struct AnalysisReport {
     pub workloads: Vec<WorkloadReport>,
     /// Detector-configuration findings.
     pub config_findings: Vec<ConfigFinding>,
+    /// The audited guarantee envelope: worst-case undetected activations
+    /// per aggressor pair per refresh interval, per adversary archetype.
+    pub envelope: GuaranteeEnvelope,
 }
 
 fn template_name(t: PatternTemplate) -> String {
@@ -156,12 +161,18 @@ pub fn analyze_all(memory: &MemoryConfig, anvil: &AnvilConfig) -> AnalysisReport
         })
         .collect();
 
+    let mut config_findings = check_config(anvil, &memory.clock, &ctx.timing, &ctx.disturbance);
+    let (envelope, envelope_findings) =
+        check_envelope(anvil, &memory.clock, &ctx.timing, &ctx.disturbance);
+    config_findings.extend(envelope_findings);
+
     AnalysisReport {
         window_cycles: ctx.window,
         required_single_sided: crate::verdict::per_side_requirement(1, &ctx.disturbance),
         required_double_sided_per_side: crate::verdict::per_side_requirement(2, &ctx.disturbance),
         patterns,
         workloads,
-        config_findings: check_config(anvil, &memory.clock, &ctx.timing, &ctx.disturbance),
+        config_findings,
+        envelope,
     }
 }

@@ -7,7 +7,7 @@
 
 use anvil_attacks::{Attack, DoubleSidedClflush, StandaloneHarness};
 use anvil_cache::{CacheHierarchy, HierarchyConfig};
-use anvil_core::{analyze, AnvilConfig, Platform, PlatformConfig, RowSample};
+use anvil_core::{analyze, AnvilConfig, Platform, PlatformConfig, RowSample, FULL_WEIGHT};
 use anvil_dram::{BankId, DramConfig, DramModule, RowId};
 use anvil_mem::{AccessKind, AllocationPolicy, MemoryConfig, MemorySystem};
 use anvil_workloads::SpecBenchmark;
@@ -102,6 +102,7 @@ fn bench_locality_analysis(c: &mut Criterion) {
             row: RowId::new(BankId((i % 4) as u32), 100 + (i % 7) as u32),
             paddr: i * 8192,
             pid: 1,
+            weight: FULL_WEIGHT,
         })
         .collect();
     c.bench_function("detector_locality_analysis", |b| {

@@ -43,6 +43,24 @@ fn main() {
     for t in thresholds {
         let mut cfg = AnvilConfig::baseline();
         cfg.llc_miss_threshold = t;
+        // The guarantee-envelope gate rejects permissive thresholds: an
+        // attacker pacing just under them reaches the flip count without
+        // ever arming stage 2. Report the rejection instead of running a
+        // detector that is unsafe by construction.
+        if let Err(e) = cfg.validate() {
+            table.row(&[
+                format!("{}K", t / 1000),
+                "rejected (envelope)".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            records.push(json!({
+                "threshold": t,
+                "rejected": e.to_string(),
+            }));
+            eprintln!("  [threshold {t}] rejected: {e}");
+            continue;
+        }
         let mcf_cross = crossing_fraction(SpecBenchmark::Mcf, cfg, ms);
         let sjeng_cross = crossing_fraction(SpecBenchmark::Sjeng, cfg, ms);
         let slowdown = normalized_time_target(

@@ -10,6 +10,11 @@
 //! engagement. A cell counts as *protected* when no bit flipped and
 //! either a detection fired or the degraded fallback visibly engaged.
 //!
+//! A second, smaller matrix crosses the faults with the *adaptive*
+//! adversaries from `anvil-adversary`: the hardened detector on future
+//! DRAM must keep its no-flip record even when the substrate degrades
+//! while the attacker is actively dodging the measurement pipeline.
+//!
 //! The campaign seed is recorded in `results/resilience.json`, so any
 //! failing cell reproduces byte-for-byte with the same binary:
 //!
@@ -19,7 +24,9 @@
 //! cargo run --release -p anvil-bench --bin resilience -- --seed 7
 //! ```
 
-use anvil_bench::{resilience_run, write_json, AttackKind, Scale, Table};
+use anvil_adversary::{DistributedManySided, DutyCycleHammer};
+use anvil_attacks::Attack;
+use anvil_bench::{evasion_resilience_run, resilience_run, write_json, AttackKind, Scale, Table};
 use anvil_core::AnvilConfig;
 use anvil_faults::FaultScenario;
 use serde_json::json;
@@ -101,7 +108,67 @@ fn main() {
         }
     }
 
+    // Fault × evasion cross-matrix: adaptive adversaries while the
+    // substrate degrades, against the hardened detector on future DRAM.
+    // PEBS overflow starves exactly the stage-2 evidence the hardened
+    // countermeasures (ledger, sticky sampling) feed on; the combined
+    // scenario stacks every fault class at once.
+    let cross_scenarios: &[FaultScenario] = if smoke {
+        &[FaultScenario::PebsOverflow]
+    } else {
+        &[FaultScenario::PebsOverflow, FaultScenario::Combined]
+    };
+    let evaders: &[fn() -> Box<dyn Attack>] = if smoke {
+        &[|| Box::new(DutyCycleHammer::new())]
+    } else {
+        &[
+            || Box::new(DutyCycleHammer::new()),
+            || Box::new(DistributedManySided::new()),
+        ]
+    };
+    let mut cross_table = Table::new(
+        "Fault x evasion: adaptive adversaries on a degraded substrate (hardened, future DRAM)",
+        &[
+            "Scenario",
+            "Adversary",
+            "Detected at",
+            "Degraded",
+            "Flips",
+            "Protected",
+        ],
+    );
+    let mut cross_cells = Vec::new();
+    for &scenario in cross_scenarios {
+        for build in evaders {
+            let s = evasion_resilience_run(
+                scenario,
+                1.0,
+                build(),
+                AnvilConfig::hardened(),
+                run_ms,
+                seed,
+            );
+            if !s.protected {
+                unprotected += 1;
+            }
+            cross_table.row(&[
+                s.scenario.clone(),
+                s.attack.clone(),
+                s.detect_ms.map_or("never".into(), |d| format!("{d:.1} ms")),
+                s.degraded_windows.to_string(),
+                s.flips.to_string(),
+                if s.protected { "yes" } else { "NO" }.to_string(),
+            ]);
+            eprintln!(
+                "  [cross: {} / {}] detect {:?}, degraded {}, flips {}",
+                s.scenario, s.attack, s.detect_ms, s.degraded_windows, s.flips
+            );
+            cross_cells.push(serde_json::to_value(&s));
+        }
+    }
+
     table.print();
+    cross_table.print();
     println!(
         "{}",
         if unprotected == 0 {
@@ -121,6 +188,7 @@ fn main() {
             "smoke": smoke,
             "unprotected": unprotected,
             "cells": cells,
+            "cross_cells": cross_cells,
         }),
     );
     if unprotected > 0 {

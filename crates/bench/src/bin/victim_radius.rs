@@ -57,8 +57,16 @@ fn main() {
         for radius in [1u32, 2] {
             let mut anvil = AnvilConfig::baseline();
             anvil.victim_radius = radius;
-            // Match the detector's rate assumption to the denser device.
+            // Match the detector's rate assumption to the denser device;
+            // a lower flip threshold also forces a proportionally lower
+            // stage-1 trip point or the guarantee-envelope gate rejects
+            // the config (an attacker pacing under the old 20K could
+            // reach the denser device's flip count undetected).
             anvil.min_hammer_accesses = disturbance.double_sided_threshold / 2;
+            anvil.llc_miss_threshold = (anvil.llc_miss_threshold
+                * disturbance.double_sided_threshold
+                / DisturbanceConfig::paper_ddr3().double_sided_threshold)
+                .max(1);
             let mut pc = PlatformConfig::with_anvil(anvil);
             pc.memory.dram.disturbance = disturbance;
             let mut p = Platform::new(pc);

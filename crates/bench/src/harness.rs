@@ -265,6 +265,47 @@ pub fn resilience_run(
     }
 }
 
+/// Runs a prebuilt adaptive adversary (from `anvil-adversary`) under
+/// `anvil` on future DRAM (half the paper's flip threshold) with
+/// `scenario` injected — one fault × evasion cross-matrix cell. Unlike
+/// [`resilience_run`] the attack chooses its own aggressor layout, so no
+/// vulnerable-pair scan happens here; future DRAM makes every fourth row
+/// vulnerable, which the adversaries' templating already exploits.
+pub fn evasion_resilience_run(
+    scenario: FaultScenario,
+    intensity: f64,
+    attack: Box<dyn Attack>,
+    anvil: AnvilConfig,
+    ms: f64,
+    seed: u64,
+) -> ResilienceSummary {
+    let name = attack.name().to_string();
+    let plan = scenario.plan(intensity, seed);
+    let mut pc = PlatformConfig::with_anvil(anvil).with_faults(plan);
+    pc.memory.dram.disturbance = anvil_dram::DisturbanceConfig::future_half_threshold();
+    pc.memory.dram.seed ^= seed;
+    let mut p = Platform::new(pc);
+    p.add_attack(attack)
+        .expect("attack prepares on open platform");
+    p.run_ms(ms).expect("run completes");
+    let stats = *p.detector_stats().expect("anvil loaded");
+    let detect_ms = p.first_detection_ms();
+    let flips = p.total_flips();
+    ResilienceSummary {
+        scenario: scenario.name().to_string(),
+        attack: name,
+        intensity,
+        detect_ms,
+        flips,
+        degraded_windows: stats.degraded_windows,
+        bank_refreshes: stats.bank_refreshes,
+        missed_deadlines: stats.missed_deadlines,
+        samples_lost: stats.samples_lost,
+        samples_unresolved: stats.samples_unresolved,
+        protected: flips == 0 && (detect_ms.is_some() || stats.degraded_windows > 0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,8 +22,8 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    detection_run, double_refresh_platform, false_positive_rate, normalized_time,
-    normalized_time_target, resilience_run, vulnerable_pair_index, AttackKind, DetectionSummary,
-    ResilienceSummary, Scale,
+    detection_run, double_refresh_platform, evasion_resilience_run, false_positive_rate,
+    normalized_time, normalized_time_target, resilience_run, vulnerable_pair_index, AttackKind,
+    DetectionSummary, ResilienceSummary, Scale,
 };
 pub use report::{write_json, Table};

@@ -1,9 +1,15 @@
 //! ANVIL detector configuration (the paper's Table 2 plus the Section 4.5
 //! variants).
 
+use crate::error::ConfigError;
 use anvil_dram::{CpuClock, Cycle};
 use anvil_pmu::SamplerConfig;
 use serde::{Deserialize, Serialize};
+
+/// The DDR3 refresh interval (ms) the guarantee-envelope check in
+/// [`AnvilConfig::validate`] assumes; the full auditor
+/// ([`crate::GuaranteeEnvelope`]) takes the actual period instead.
+pub const PAPER_REFRESH_MS: f64 = 64.0;
 
 /// CPU-time costs charged for the detector's own work (the source of the
 /// slowdowns in Figures 3 and 4). On real hardware these are PMI handler
@@ -74,6 +80,87 @@ impl Default for DegradedMode {
     }
 }
 
+/// Adaptive-adversary hardening knobs (all off in the paper's shipped
+/// configuration; [`AnvilConfig::hardened`] turns them on).
+///
+/// Three independent counter-measures, each closing one evasion channel:
+///
+/// * **Stage-1 carry** (`stage1_carry`): stage 1 trips on an EWMA of the
+///   per-window miss count rather than the raw count, so an attacker who
+///   duty-cycles bursts across window boundaries (each window seeing just
+///   under the threshold) accumulates evidence instead of resetting it.
+/// * **Window-phase jitter** (`phase_jitter`, `phase_seed`): every
+///   stage-1 window length is drawn from `tc × [1 − j, 1 + j]` (with the
+///   threshold scaled in proportion), so bursts synchronized to the
+///   published window schedule straddle boundaries the attacker cannot
+///   predict.
+/// * **Suspicion ledger + sample weighting** (`ledger_*`, `hit_weight`,
+///   `row_miss_latency`): per-row activation evidence decays across
+///   stage-2 windows instead of vanishing with each one, and samples
+///   whose measured latency betrays a row-buffer *hit* (camouflage
+///   filler) are down-weighted against genuine activation evidence.
+/// * **Sticky sampling** (`max_resample_windows`): a stage-2 window
+///   whose miss traffic collapsed far below the stage-1 trigger that
+///   armed it — a burst that went quiet exactly when sampling began —
+///   re-arms sampling instead of conceding, so a duty-cycled attacker's
+///   next burst lands inside a sampled window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardeningConfig {
+    /// Master switch; `false` reproduces the paper's detector exactly.
+    pub enabled: bool,
+    /// Seed for the per-window phase jitter (campaigns thread their
+    /// campaign seed through here for reproducibility).
+    pub phase_seed: u64,
+    /// Half-width of the window-length jitter as a fraction of `tc`
+    /// (0.25 → lengths in `[0.75, 1.25] × tc`). Zero disables jitter.
+    pub phase_jitter: f64,
+    /// EWMA carry factor for stage-1 miss evidence: the next window's
+    /// trip test uses `carry × previous + current`. Zero reproduces the
+    /// memoryless paper behaviour.
+    pub stage1_carry: f64,
+    /// Per-stage-2-window decay of ledger scores (score ← decay × score
+    /// before adding this window's evidence); entries with no fresh
+    /// evidence shrink toward zero and are pruned.
+    pub ledger_decay: f64,
+    /// A ledger row is flagged when its accumulated score reaches
+    /// `min_hammer_accesses × rate_safety × ledger_factor`.
+    pub ledger_factor: f64,
+    /// Minimum distinct stage-2 windows contributing evidence before the
+    /// ledger may flag a row (a single noisy window never convicts).
+    pub ledger_min_windows: u32,
+    /// Weight (0–1) given to a sampled load whose latency indicates a
+    /// row-buffer hit; activation-evidencing (row-miss) samples weigh 1.
+    pub hit_weight: f64,
+    /// Latency (cycles) at or above which a sampled access is treated as
+    /// a row-buffer miss, i.e. real activation evidence.
+    pub row_miss_latency: Cycle,
+    /// Sticky sampling: when a stage-2 window ends with no finding and
+    /// its miss traffic collapsed to less than half the stage-1 trip
+    /// rate — the burst that armed sampling vanished before it could be
+    /// attributed — re-arm sampling immediately instead of returning to
+    /// counting, up to this many consecutive windows. A duty-cycled
+    /// burst must return to sustain its flip rate, and a re-armed window
+    /// eventually contains it. Zero disables the re-arm.
+    pub max_resample_windows: u32,
+}
+
+impl Default for HardeningConfig {
+    fn default() -> Self {
+        HardeningConfig {
+            enabled: false,
+            phase_seed: 0x000A_11CE,
+            phase_jitter: 0.25,
+            stage1_carry: 0.5,
+            ledger_decay: 0.5,
+            ledger_factor: 1.5,
+            ledger_min_windows: 2,
+            hit_weight: 0.2,
+            row_miss_latency: 130,
+            max_resample_windows: 4,
+        }
+    }
+}
+
 /// Full ANVIL configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AnvilConfig {
@@ -111,6 +198,9 @@ pub struct AnvilConfig {
     pub costs: DetectorCosts,
     /// Degraded-protection fallback policy.
     pub degraded: DegradedMode,
+    /// Adaptive-adversary hardening (disabled in the paper's baseline).
+    #[serde(default)]
+    pub hardening: HardeningConfig,
 }
 
 impl AnvilConfig {
@@ -131,15 +221,31 @@ impl AnvilConfig {
             load_fraction_lo: 0.1,
             costs: DetectorCosts::default(),
             degraded: DegradedMode::default(),
+            hardening: HardeningConfig::default(),
         }
     }
 
     /// `ANVIL-heavy` (Section 4.5): tc = ts = 2 ms for attacks that flip
-    /// bits with 110K accesses in 7.5 ms.
+    /// bits with 110K accesses in 7.5 ms. The miss threshold scales with
+    /// the window (20K per 6 ms → 6,666 per 2 ms) so the *rate* stage 1
+    /// arms at is unchanged; keeping the absolute 20K count over a 2 ms
+    /// window would let a paced attacker land 640K undetected activations
+    /// per refresh interval (see [`AnvilConfig::validate`]).
     pub fn heavy() -> Self {
         let mut c = Self::baseline();
         c.tc_ms = 2.0;
         c.ts_ms = 2.0;
+        c.llc_miss_threshold = 6_666;
+        c
+    }
+
+    /// The baseline configuration with every adaptive-adversary
+    /// counter-measure enabled: stage-1 EWMA carry, randomized window
+    /// phase, and the cross-window suspicion ledger with row-buffer-miss
+    /// sample weighting.
+    pub fn hardened() -> Self {
+        let mut c = Self::baseline();
+        c.hardening.enabled = true;
         c
     }
 
@@ -162,12 +268,36 @@ impl AnvilConfig {
         clock.ms_to_cycles(self.ts_ms)
     }
 
-    /// Checks internal consistency.
+    /// Worst-case activations an adversary can land on one aggressor
+    /// pair per refresh interval while *never* arming stage 2: pace at
+    /// one miss under the effective stage-1 trip point, every window, for
+    /// all `PAPER_REFRESH_MS / tc_ms` windows of a refresh interval. With
+    /// hardening enabled the EWMA carry lowers the sustainable per-window
+    /// rate to `(1 − carry) × threshold`.
+    pub fn sustained_stage1_budget(&self) -> u64 {
+        let per_window = (self.llc_miss_threshold.saturating_sub(1)) as f64;
+        let per_window = if self.hardening.enabled {
+            per_window * (1.0 - self.hardening.stage1_carry)
+        } else {
+            per_window
+        };
+        let windows = PAPER_REFRESH_MS / self.tc_ms;
+        (per_window * windows) as u64
+    }
+
+    /// Checks internal consistency, including the guarantee envelope: a
+    /// configuration is rejected when the activation budget of an
+    /// attacker pacing itself under the stage-1 threshold
+    /// ([`Self::sustained_stage1_budget`]) reaches the double-sided flip
+    /// threshold (`2 × min_hammer_accesses`) — such a config cannot keep
+    /// its no-flip promise against a threshold-probing adversary.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint, as a
+    /// [`ConfigError::Invalid`] for structural problems or
+    /// [`ConfigError::GuaranteeEnvelope`] for the budget check.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !self.tc_ms.is_finite() || !self.ts_ms.is_finite() {
             return Err("window durations must be finite".into());
         }
@@ -209,6 +339,33 @@ impl AnvilConfig {
         {
             return Err("degraded.max_deadline_slip_frac must be finite and non-negative".into());
         }
+        let h = &self.hardening;
+        if !h.stage1_carry.is_finite() || !(0.0..1.0).contains(&h.stage1_carry) {
+            return Err("hardening.stage1_carry must be in [0, 1)".into());
+        }
+        if !h.phase_jitter.is_finite() || !(0.0..=0.9).contains(&h.phase_jitter) {
+            return Err("hardening.phase_jitter must be in [0, 0.9]".into());
+        }
+        if !h.ledger_decay.is_finite() || !(0.0..1.0).contains(&h.ledger_decay) {
+            return Err("hardening.ledger_decay must be in [0, 1)".into());
+        }
+        if !h.ledger_factor.is_finite() || h.ledger_factor <= 0.0 {
+            return Err("hardening.ledger_factor must be positive".into());
+        }
+        if h.ledger_min_windows == 0 {
+            return Err("hardening.ledger_min_windows must be at least 1".into());
+        }
+        if !h.hit_weight.is_finite() || !(0.0..=1.0).contains(&h.hit_weight) {
+            return Err("hardening.hit_weight must be in [0, 1]".into());
+        }
+        let budget = self.sustained_stage1_budget();
+        let flip_threshold = 2 * self.min_hammer_accesses;
+        if budget >= flip_threshold {
+            return Err(ConfigError::GuaranteeEnvelope {
+                budget,
+                flip_threshold,
+            });
+        }
         Ok(())
     }
 }
@@ -236,8 +393,90 @@ mod tests {
     fn heavy_shrinks_windows() {
         let c = AnvilConfig::heavy();
         assert_eq!(c.tc_ms, 2.0);
-        assert_eq!(c.llc_miss_threshold, 20_000);
+        // The threshold scales with the window so the arming *rate* is
+        // baseline's (20K per 6 ms); the absolute 20K over 2 ms would
+        // break the guarantee envelope (640K undetectable activations).
+        assert_eq!(c.llc_miss_threshold, 6_666);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn hardened_enables_countermeasures_and_validates() {
+        let c = AnvilConfig::hardened();
+        assert!(c.hardening.enabled);
+        assert!(!AnvilConfig::baseline().hardening.enabled);
+        // Everything else matches the shipped baseline.
+        assert_eq!(c.llc_miss_threshold, 20_000);
+        assert_eq!(c.tc_ms, 6.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn envelope_gate_rejects_leaky_configs() {
+        // The old ANVIL-heavy shape: 20K misses allowed per 2 ms window
+        // is 640K paced activations per refresh interval — far past the
+        // 220K double-sided flip threshold.
+        let mut c = AnvilConfig::baseline();
+        c.tc_ms = 2.0;
+        c.ts_ms = 2.0;
+        c.llc_miss_threshold = 20_000;
+        match c.validate() {
+            Err(crate::error::ConfigError::GuaranteeEnvelope {
+                budget,
+                flip_threshold,
+            }) => {
+                assert_eq!(flip_threshold, 220_000);
+                assert!(budget >= 600_000, "budget {budget}");
+            }
+            other => panic!("expected GuaranteeEnvelope, got {other:?}"),
+        }
+        // A too-permissive threshold on the baseline windows fails too.
+        let mut c = AnvilConfig::baseline();
+        c.llc_miss_threshold = 40_000;
+        assert!(matches!(
+            c.validate(),
+            Err(crate::error::ConfigError::GuaranteeEnvelope { .. })
+        ));
+    }
+
+    #[test]
+    fn every_preset_keeps_an_envelope_margin() {
+        for c in [
+            AnvilConfig::baseline(),
+            AnvilConfig::light(),
+            AnvilConfig::heavy(),
+            AnvilConfig::hardened(),
+        ] {
+            let budget = c.sustained_stage1_budget();
+            assert!(
+                budget < 2 * c.min_hammer_accesses,
+                "budget {budget} vs flip threshold {}",
+                2 * c.min_hammer_accesses
+            );
+            c.validate().unwrap();
+        }
+        // Hardening's EWMA carry halves the sustainable budget.
+        assert!(
+            AnvilConfig::hardened().sustained_stage1_budget()
+                <= AnvilConfig::baseline().sustained_stage1_budget() / 2 + 1
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_hardening() {
+        for mutate in [
+            (|c: &mut AnvilConfig| c.hardening.stage1_carry = 1.0) as fn(&mut AnvilConfig),
+            |c| c.hardening.stage1_carry = f64::NAN,
+            |c| c.hardening.phase_jitter = 0.95,
+            |c| c.hardening.ledger_decay = -0.1,
+            |c| c.hardening.ledger_factor = 0.0,
+            |c| c.hardening.ledger_min_windows = 0,
+            |c| c.hardening.hit_weight = 1.5,
+        ] {
+            let mut c = AnvilConfig::baseline();
+            mutate(&mut c);
+            assert!(c.validate().is_err());
+        }
     }
 
     #[test]

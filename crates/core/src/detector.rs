@@ -8,10 +8,21 @@
 //! each identified aggressor are selectively refreshed with a read.
 
 use crate::config::AnvilConfig;
-use crate::locality::{analyze, LocalityReport, RowSample};
+use crate::locality::{
+    analyze_with_ledger, LocalityReport, RowSample, SuspicionLedger, FULL_WEIGHT,
+};
 use anvil_dram::{AddressMapping, BankId, CpuClock, Cycle, DramLocation, RowId};
 use anvil_pmu::{DataSource, EventKind, Pmu, SampleFilter};
 use serde::{Deserialize, Serialize};
+
+/// One step of the splitmix64 generator (the window-phase jitter stream).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Which window the detector is currently in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +62,18 @@ pub struct DetectorStats {
     pub samples_lost: u64,
     /// DRAM-sourced stage-2 samples whose translation failed.
     pub samples_unresolved: u64,
+    /// Hardened stage-1 trips where the raw window count was *under* the
+    /// threshold but the EWMA-carried evidence crossed it (duty-cycle
+    /// evasion caught by the carry).
+    pub carry_crossings: u64,
+    /// Aggressor findings contributed by the cross-window suspicion
+    /// ledger rather than a single window's samples.
+    pub ledger_flags: u64,
+    /// Stage-2 windows re-armed by sticky sampling: the window's miss
+    /// traffic collapsed below half the stage-1 trip rate with no
+    /// finding, so sampling continued instead of returning to counting
+    /// (duty-cycle evasion denied its quiet phase).
+    pub resample_windows: u64,
 }
 
 /// What a detector service call decided.
@@ -112,6 +135,17 @@ pub struct AnvilDetector {
     deadline: Cycle,
     stats: DetectorStats,
     dropped_at_arm: u64,
+    /// EWMA-carried stage-1 miss evidence (hardening; 0 when disabled).
+    carry: f64,
+    /// Splitmix64 state for the window-phase jitter stream.
+    phase_state: u64,
+    /// Length of the current stage-1 window as a fraction of `tc` (the
+    /// trip threshold scales with it so the armed *rate* is unchanged).
+    window_scale: f64,
+    /// Cross-window per-row suspicion scores (hardening).
+    ledger: SuspicionLedger,
+    /// Consecutive sticky-sampling re-arms in the current stage-2 run.
+    resamples: u32,
 }
 
 impl AnvilDetector {
@@ -135,16 +169,38 @@ impl AnvilDetector {
             .clear();
         let tc = config.tc_cycles(clock);
         let ts = config.ts_cycles(clock);
-        AnvilDetector {
+        let mut det = AnvilDetector {
             config,
             refresh_period,
             tc,
             ts,
             stage: DetectorStage::MissCount,
-            deadline: now + tc,
+            deadline: 0,
             stats: DetectorStats::default(),
             dropped_at_arm: 0,
+            carry: 0.0,
+            phase_state: config.hardening.phase_seed,
+            window_scale: 1.0,
+            ledger: SuspicionLedger::new(),
+            resamples: 0,
+        };
+        det.deadline = now + det.next_stage1_window();
+        det
+    }
+
+    /// Draws the next stage-1 window length: `tc` exactly, or (hardened)
+    /// `tc × [1 − j, 1 + j]` from the seeded jitter stream, so an
+    /// adversary cannot synchronize bursts to window boundaries. Sets
+    /// `window_scale` so the trip threshold scales in proportion.
+    fn next_stage1_window(&mut self) -> Cycle {
+        let h = self.config.hardening;
+        if !h.enabled || h.phase_jitter <= 0.0 {
+            self.window_scale = 1.0;
+            return self.tc;
         }
+        let u = (splitmix64(&mut self.phase_state) >> 11) as f64 / (1u64 << 53) as f64;
+        self.window_scale = 1.0 + h.phase_jitter * (2.0 * u - 1.0);
+        ((self.tc as f64 * self.window_scale) as Cycle).max(1)
     }
 
     /// The active configuration.
@@ -196,7 +252,21 @@ impl AnvilDetector {
         let misses = pmu.counter(EventKind::LongestLatCacheMiss).read();
         let miss_loads = pmu.counter(EventKind::MemLoadUopsRetiredLlcMiss).read();
 
-        if misses < self.config.llc_miss_threshold {
+        // The trip test. Unhardened this is the paper's memoryless
+        // `misses >= threshold`. Hardened, the window's rate-normalized
+        // miss count joins an EWMA of previous windows' evidence, so an
+        // attacker who duty-cycles bursts across window boundaries —
+        // each window just under the threshold — accumulates to a trip
+        // instead of resetting the counter.
+        let h = self.config.hardening;
+        let normalized = misses as f64 / self.window_scale;
+        let evidence = if h.enabled {
+            h.stage1_carry * self.carry + normalized
+        } else {
+            normalized
+        };
+        if evidence < self.config.llc_miss_threshold as f64 {
+            self.carry = evidence;
             self.restart_stage1(now, pmu);
             return ServiceOutcome::Quiet {
                 misses,
@@ -207,6 +277,10 @@ impl AnvilDetector {
         // Threshold crossed: arm stage 2 with the facility matching the
         // window's load/store mix.
         self.stats.threshold_crossings += 1;
+        if normalized < self.config.llc_miss_threshold as f64 {
+            self.stats.carry_crossings += 1;
+        }
+        self.carry = 0.0;
         let load_fraction = if misses == 0 {
             1.0
         } else {
@@ -252,7 +326,13 @@ impl AnvilDetector {
             .saturating_sub(self.dropped_at_arm);
         let records = pmu.drain_samples();
 
-        // Keep DRAM-sourced samples and translate them to rows.
+        // Keep DRAM-sourced samples and translate them to rows. Hardened
+        // detectors weigh each sample by its activation evidence: a
+        // latency under the row-miss cutoff means the load was served by
+        // an already-open row buffer — camouflage filler that cannot be
+        // hammering — and carries only `hit_weight` of a real miss.
+        let h = self.config.hardening;
+        let hit_millis = (h.hit_weight * f64::from(FULL_WEIGHT)) as u32;
         let mut unresolved = 0u64;
         let samples: Vec<RowSample> = records
             .iter()
@@ -262,10 +342,16 @@ impl AnvilDetector {
                     unresolved += 1;
                     return None;
                 };
+                let weight = if h.enabled && r.latency < h.row_miss_latency {
+                    hit_millis
+                } else {
+                    FULL_WEIGHT
+                };
                 Some(RowSample {
                     row: mapping.location_of(paddr).row_id(),
                     paddr,
                     pid: r.pid,
+                    weight,
                 })
             })
             .collect();
@@ -273,7 +359,17 @@ impl AnvilDetector {
         self.stats.samples_lost += lost;
         self.stats.samples_unresolved += unresolved;
 
-        let report = analyze(&self.config, &samples, misses, self.ts, self.refresh_period);
+        let config = self.config;
+        let ledger = h.enabled.then_some(&mut self.ledger);
+        let report = analyze_with_ledger(
+            &config,
+            &samples,
+            misses,
+            self.ts,
+            self.refresh_period,
+            ledger,
+        );
+        self.stats.ledger_flags += report.aggressors.iter().filter(|a| a.via_ledger).count() as u64;
 
         // Victim rows: the neighbors of each aggressor, deduplicated,
         // excluding rows that are themselves aggressors (reading an
@@ -303,7 +399,6 @@ impl AnvilDetector {
             self.stats.selective_refreshes += refreshes.len() as u64;
         }
 
-        self.restart_stage1(now, pmu);
         let cost = self.config.costs.pmi + self.config.costs.analysis;
 
         // Degraded-protection decision: this window only existed because
@@ -321,6 +416,7 @@ impl AnvilDetector {
         let compromised =
             survival < self.config.degraded.min_sample_survival || slip as f64 > slip_limit;
         if self.config.degraded.enabled && compromised {
+            self.restart_stage1(now, pmu);
             self.stats.degraded_windows += 1;
             let banks = if samples.is_empty() {
                 // Nothing survived: every bank is suspect.
@@ -339,6 +435,34 @@ impl AnvilDetector {
                 cost,
             };
         }
+
+        // Sticky sampling (hardened): the miss traffic that armed this
+        // window collapsed to under half the trip rate before sampling
+        // could attribute it — the signature of a burst straddling the
+        // arm boundary. Returning to counting would hand a duty-cycled
+        // attacker its quiet phase back; keep sampling instead (bounded,
+        // so a benign phase change cannot pin the detector in stage 2).
+        if h.enabled
+            && !report.detected()
+            && misses.saturating_mul(2) < self.config.llc_miss_threshold
+            && self.resamples < h.max_resample_windows
+        {
+            self.resamples += 1;
+            self.stats.resample_windows += 1;
+            pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
+            pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
+                .clear();
+            pmu.enable_sampling(SampleFilter::LoadsAndStores, now);
+            self.dropped_at_arm = pmu.sampler().samples_dropped();
+            self.deadline = now + self.ts;
+            return ServiceOutcome::Armed {
+                misses,
+                filter: SampleFilter::LoadsAndStores,
+                cost: self.config.costs.pmi + self.config.costs.stage2_arm,
+            };
+        }
+
+        self.restart_stage1(now, pmu);
         ServiceOutcome::Analyzed {
             report,
             refreshes,
@@ -351,7 +475,15 @@ impl AnvilDetector {
         pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
             .clear();
         self.stage = DetectorStage::MissCount;
-        self.deadline = now + self.tc;
+        self.resamples = 0;
+        let window = self.next_stage1_window();
+        self.deadline = now + window;
+    }
+
+    /// The cross-window suspicion ledger (empty unless hardening is
+    /// enabled).
+    pub fn ledger(&self) -> &SuspicionLedger {
+        &self.ledger
     }
 }
 
@@ -619,6 +751,122 @@ mod tests {
             det.stats().bank_refreshes,
             u64::from(mapping.geometry().total_banks())
         );
+    }
+
+    #[test]
+    fn ewma_carry_trips_on_persistent_subthreshold_windows() {
+        // 15K misses per window: forever-quiet for the paper's detector,
+        // but the hardened EWMA accumulates 15K → 22.5K ≥ 20K and arms
+        // by the second window.
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let run = |cfg: AnvilConfig| {
+            let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+            let mut det = AnvilDetector::new(cfg, &CLOCK, PERIOD, 0, &mut pmu);
+            for _ in 0..4 {
+                if det.stage() == DetectorStage::Sampling {
+                    break;
+                }
+                for i in 0..15_000u64 {
+                    pmu.observe_at(&miss_op(i * 64, 1), det.deadline() - 1);
+                }
+                det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v));
+            }
+            *det.stats()
+        };
+        let baseline = run(AnvilConfig::baseline());
+        assert_eq!(baseline.threshold_crossings, 0);
+        let mut hardened = AnvilConfig::hardened();
+        hardened.hardening.phase_jitter = 0.0; // exact window arithmetic
+        let stats = run(hardened);
+        assert_eq!(stats.threshold_crossings, 1);
+        assert_eq!(
+            stats.carry_crossings, 1,
+            "the trip must be attributed to the carry, not the raw count"
+        );
+    }
+
+    #[test]
+    fn hardened_window_lengths_are_jittered_and_seeded() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let windows = |seed: u64| -> Vec<Cycle> {
+            let mut cfg = AnvilConfig::hardened();
+            cfg.hardening.phase_seed = seed;
+            let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+            let mut det = AnvilDetector::new(cfg, &CLOCK, PERIOD, 0, &mut pmu);
+            let mut lens = Vec::new();
+            let mut last = 0;
+            for _ in 0..8 {
+                lens.push(det.deadline() - last);
+                last = det.deadline();
+                det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v));
+            }
+            lens
+        };
+        let tc = AnvilConfig::baseline().tc_cycles(&CLOCK);
+        let a = windows(1);
+        for &w in &a {
+            assert!(w >= (tc as f64 * 0.74) as Cycle && w <= (tc as f64 * 1.26) as Cycle);
+        }
+        assert!(
+            a.windows(2).any(|p| p[0] != p[1]),
+            "lengths must actually vary: {a:?}"
+        );
+        assert_eq!(a, windows(1), "same seed, same schedule");
+        assert_ne!(a, windows(2), "different seed, different schedule");
+        // Unhardened windows stay exactly tc.
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let det = AnvilDetector::new(AnvilConfig::baseline(), &CLOCK, PERIOD, 0, &mut pmu);
+        assert_eq!(det.deadline(), tc);
+    }
+
+    #[test]
+    fn silent_stage2_after_a_trip_keeps_sampling_when_hardened() {
+        // A burst trips stage 1, then goes quiet: the paper detector
+        // samples 6 ms of silence, concedes, and hands the attacker its
+        // next quiet phase. The hardened detector re-arms sampling up to
+        // `max_resample_windows` consecutive times before giving up.
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut cfg = AnvilConfig::hardened();
+        cfg.hardening.phase_jitter = 0.0;
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = AnvilDetector::new(cfg, &CLOCK, PERIOD, 0, &mut pmu);
+        for i in 0..25_000u64 {
+            pmu.observe_at(&miss_op(i * 64, 1), det.deadline() - 1);
+        }
+        assert!(matches!(
+            det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v)),
+            ServiceOutcome::Armed { .. }
+        ));
+        // Four silent stage-2 windows: each re-arms sampling.
+        for k in 0..4 {
+            let out = det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v));
+            assert!(
+                matches!(out, ServiceOutcome::Armed { misses: 0, .. }),
+                "resample {k}: {out:?}"
+            );
+            assert_eq!(det.stage(), DetectorStage::Sampling);
+        }
+        // Cap reached: the fifth silent window returns to counting.
+        assert!(matches!(
+            det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v)),
+            ServiceOutcome::Analyzed { .. }
+        ));
+        assert_eq!(det.stage(), DetectorStage::MissCount);
+        assert_eq!(det.stats().resample_windows, 4);
+
+        // The paper baseline concedes after one silent window.
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = detector(&mut pmu);
+        for i in 0..25_000u64 {
+            pmu.observe_at(&miss_op(i * 64, 1), det.deadline() - 1);
+        }
+        det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v));
+        assert!(matches!(
+            det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v)),
+            ServiceOutcome::Analyzed { .. }
+        ));
+        assert_eq!(det.stage(), DetectorStage::MissCount);
+        assert_eq!(det.stats().resample_windows, 0);
     }
 
     #[test]

@@ -7,6 +7,58 @@
 
 use anvil_attacks::AttackError;
 
+/// A reason an [`AnvilConfig`](crate::AnvilConfig) was rejected by
+/// [`validate`](crate::AnvilConfig::validate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A parameter violated a structural constraint (non-finite window,
+    /// zero threshold, inverted load fractions, ...).
+    Invalid(String),
+    /// The guarantee envelope is broken: an adversary pacing itself just
+    /// under the stage-1 threshold could land `budget` activations on one
+    /// aggressor pair per refresh interval without ever arming stage 2 —
+    /// at or above the `flip_threshold` the configuration claims to
+    /// protect against (2 × `min_hammer_accesses`, the double-sided flip
+    /// minimum).
+    GuaranteeEnvelope {
+        /// Worst-case undetectable activations per refresh interval.
+        budget: u64,
+        /// The double-sided flip threshold the config must stay under.
+        flip_threshold: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Invalid(msg) => f.write_str(msg),
+            ConfigError::GuaranteeEnvelope {
+                budget,
+                flip_threshold,
+            } => write!(
+                f,
+                "guarantee envelope violated: an attacker staying under the \
+                 stage-1 threshold can land {budget} activations per refresh \
+                 interval, but bits flip at {flip_threshold}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<String> for ConfigError {
+    fn from(msg: String) -> Self {
+        ConfigError::Invalid(msg)
+    }
+}
+
+impl From<&str> for ConfigError {
+    fn from(msg: &str) -> Self {
+        ConfigError::Invalid(msg.to_owned())
+    }
+}
+
 /// An error surfaced by the [`Platform`](crate::Platform) runner.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlatformError {
@@ -93,5 +145,19 @@ mod tests {
         let e: PlatformError = AttackError::PagemapDenied.into();
         assert!(matches!(e, PlatformError::Attack(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn config_errors_display_their_cause() {
+        let e = ConfigError::from("miss threshold must be non-zero");
+        assert_eq!(e.to_string(), "miss threshold must be non-zero");
+        let e = ConfigError::GuaranteeEnvelope {
+            budget: 640_000,
+            flip_threshold: 220_000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("640000"));
+        assert!(msg.contains("220000"));
+        assert!(msg.contains("envelope"));
     }
 }

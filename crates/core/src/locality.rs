@@ -12,7 +12,10 @@
 use crate::config::AnvilConfig;
 use anvil_dram::{Cycle, RowId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// Weight (in millis) of a sample carrying full activation evidence.
+pub const FULL_WEIGHT: u32 = 1000;
 
 /// One sampled DRAM access after translation: the row it touched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +28,12 @@ pub struct RowSample {
     /// interrupted context) — the paper's `task_struct` sampling gives
     /// ANVIL this attribution for free.
     pub pid: u32,
+    /// Activation-evidence weight in millis ([`FULL_WEIGHT`] = 1000 for
+    /// a row-buffer-miss sample). Hardened detectors down-weight samples
+    /// whose latency betrays a row-buffer hit — camouflage filler that
+    /// never re-activates a row — so the rate extrapolation is driven by
+    /// genuine activation evidence rather than raw sample counts.
+    pub weight: u32,
 }
 
 /// A row the analysis flagged as a potential aggressor.
@@ -42,6 +51,12 @@ pub struct AggressorFinding {
     /// Processes whose samples hit this row (sorted, deduplicated) — the
     /// suspects a response policy can act on.
     pub pids: Vec<u32>,
+    /// Whether the suspicion ledger flagged this row from evidence
+    /// accumulated across stage-2 windows (rather than this window's
+    /// samples alone). Ledger findings bypass the per-window sample
+    /// floor and bank-support gates — their corroboration is temporal.
+    #[serde(default)]
+    pub via_ledger: bool,
 }
 
 /// Result of one stage-2 analysis.
@@ -62,6 +77,82 @@ impl LocalityReport {
     }
 }
 
+/// Cross-window suspicion ledger: per-row activation evidence with
+/// exponential decay.
+///
+/// The paper's analysis is memoryless — every stage-2 window starts from
+/// zero, so an attacker who duty-cycles, camouflages, or distributes its
+/// accesses keeps each *individual* window under the flagging criteria
+/// while the *cumulative* activation count still reaches the flip
+/// threshold. The ledger closes that gap: each window's weighted rate
+/// estimate is added to a per-row score that decays by
+/// `hardening.ledger_decay` per window, so persistent sub-threshold
+/// evidence accumulates while benign one-off spikes shrink back to zero
+/// and are pruned.
+#[derive(Debug, Clone, Default)]
+pub struct SuspicionLedger {
+    entries: BTreeMap<RowId, LedgerEntry>,
+}
+
+/// One row's accumulated evidence.
+#[derive(Debug, Clone)]
+struct LedgerEntry {
+    /// Decayed sum of per-window estimated activation rates.
+    score: f64,
+    /// Distinct stage-2 windows that contributed evidence.
+    windows: u32,
+    /// Processes whose samples contributed (sorted, deduplicated).
+    pids: Vec<u32>,
+}
+
+/// Ledger scores below this are pruned (the row has decayed to noise).
+const PRUNE_BELOW: f64 = 1.0;
+
+impl SuspicionLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows currently under suspicion.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The accumulated score for `row` (zero when absent).
+    pub fn score(&self, row: RowId) -> f64 {
+        self.entries.get(&row).map_or(0.0, |e| e.score)
+    }
+
+    /// Decays every entry, folds in one window's per-row evidence, and
+    /// prunes entries that have decayed to noise.
+    fn absorb(&mut self, decay: f64, evidence: &BTreeMap<RowId, (f64, Vec<u32>)>) {
+        for e in self.entries.values_mut() {
+            e.score *= decay;
+        }
+        for (&row, (rate, pids)) in evidence {
+            let e = self.entries.entry(row).or_insert(LedgerEntry {
+                score: 0.0,
+                windows: 0,
+                pids: Vec::new(),
+            });
+            e.score += rate;
+            e.windows += 1;
+            for &pid in pids {
+                if !e.pids.contains(&pid) {
+                    e.pids.push(pid);
+                }
+            }
+        }
+        self.entries.retain(|_, e| e.score >= PRUNE_BELOW);
+    }
+}
+
 /// Analyzes one sampling window.
 ///
 /// `samples` are the translated DRAM-sourced samples, `misses` the LLC
@@ -74,6 +165,26 @@ pub fn analyze(
     ts: Cycle,
     refresh_period: Cycle,
 ) -> LocalityReport {
+    analyze_with_ledger(config, samples, misses, ts, refresh_period, None)
+}
+
+/// [`analyze`], additionally folding this window's evidence into a
+/// cross-window [`SuspicionLedger`] and flagging rows whose accumulated
+/// score crosses the ledger threshold
+/// (`min_hammer_accesses × rate_safety × hardening.ledger_factor`).
+///
+/// Rate estimates weigh samples by their activation evidence
+/// ([`RowSample::weight`]): a window full of row-buffer-hit camouflage
+/// filler contributes almost nothing to the filler rows' estimates while
+/// the aggressors' row-miss samples keep their full share.
+pub fn analyze_with_ledger(
+    config: &AnvilConfig,
+    samples: &[RowSample],
+    misses: u64,
+    ts: Cycle,
+    refresh_period: Cycle,
+    ledger: Option<&mut SuspicionLedger>,
+) -> LocalityReport {
     let total = samples.len() as u32;
     let mut report = LocalityReport {
         aggressors: Vec::new(),
@@ -84,47 +195,89 @@ pub fn analyze(
         return report;
     }
 
-    // Count samples per row (with issuing pids) and per bank.
-    let mut per_row: HashMap<RowId, (u32, Vec<u32>)> = HashMap::new();
+    // Count samples per row (raw count, evidence weight, issuing pids)
+    // and raw samples per bank.
+    let mut per_row: BTreeMap<RowId, (u32, u64, Vec<u32>)> = BTreeMap::new();
     let mut per_bank: HashMap<u32, u32> = HashMap::new();
+    let mut total_weight: u64 = 0;
     for s in samples {
-        let e = per_row.entry(s.row).or_insert((0, Vec::new()));
+        let e = per_row.entry(s.row).or_insert((0, 0, Vec::new()));
         e.0 += 1;
-        if !e.1.contains(&s.pid) {
-            e.1.push(s.pid);
+        e.1 += u64::from(s.weight);
+        if !e.2.contains(&s.pid) {
+            e.2.push(s.pid);
         }
         *per_bank.entry(s.row.bank.0).or_insert(0) += 1;
+        total_weight += u64::from(s.weight);
+    }
+    if total_weight == 0 {
+        return report;
     }
 
     // A row is suspicious when its extrapolated activation rate could
     // reach the flip threshold within one refresh period (with the safety
     // margin), it carries at least the sample floor, and other same-bank
-    // rows corroborate (bank locality).
+    // rows corroborate (bank locality). The share is weight-based, which
+    // reduces to the paper's count-based share when every sample carries
+    // FULL_WEIGHT.
     let windows_per_period = refresh_period as f64 / ts as f64;
     let required = (config.min_hammer_accesses as f64 * config.rate_safety).max(1.0);
-    let mut aggressors: Vec<AggressorFinding> = per_row
-        .iter()
-        .filter_map(|(&row, (n, pids))| {
-            let n = *n;
-            let share = n as f64 / total as f64;
-            let estimated_rate = (share * misses as f64 * windows_per_period) as u64;
-            let bank_support = per_bank[&row.bank.0] - n;
-            let suspicious = n >= config.row_sample_floor
-                && estimated_rate as f64 >= required
-                && bank_support >= config.bank_support_min;
-            suspicious.then(|| {
-                let mut pids = pids.clone();
-                pids.sort_unstable();
-                AggressorFinding {
-                    row,
-                    samples: n,
-                    estimated_rate,
-                    bank_support,
-                    pids,
-                }
-            })
-        })
-        .collect();
+    let mut aggressors: Vec<AggressorFinding> = Vec::new();
+    let mut evidence: BTreeMap<RowId, (f64, Vec<u32>)> = BTreeMap::new();
+    for (&row, (n, w, pids)) in &per_row {
+        let share = *w as f64 / total_weight as f64;
+        let rate = share * misses as f64 * windows_per_period;
+        let estimated_rate = rate as u64;
+        let bank_support = per_bank[&row.bank.0] - n;
+        if ledger.is_some() {
+            evidence.insert(row, (rate, pids.clone()));
+        }
+        let suspicious = *n >= config.row_sample_floor
+            && estimated_rate as f64 >= required
+            && bank_support >= config.bank_support_min;
+        if suspicious {
+            let mut pids = pids.clone();
+            pids.sort_unstable();
+            aggressors.push(AggressorFinding {
+                row,
+                samples: *n,
+                estimated_rate,
+                bank_support,
+                pids,
+                via_ledger: false,
+            });
+        }
+    }
+
+    if let Some(ledger) = ledger {
+        let h = &config.hardening;
+        ledger.absorb(h.ledger_decay, &evidence);
+        let threshold = required * h.ledger_factor;
+        for (&row, entry) in &ledger.entries {
+            if entry.score < threshold
+                || entry.windows < h.ledger_min_windows
+                || aggressors.iter().any(|a| a.row == row)
+            {
+                continue;
+            }
+            // The ledger only convicts rows with fresh evidence this
+            // window — a decaying score alone never fires.
+            let Some((n, _, _)) = per_row.get(&row) else {
+                continue;
+            };
+            let mut pids = entry.pids.clone();
+            pids.sort_unstable();
+            aggressors.push(AggressorFinding {
+                row,
+                samples: *n,
+                estimated_rate: entry.score as u64,
+                bank_support: per_bank[&row.bank.0] - n,
+                pids,
+                via_ledger: true,
+            });
+        }
+    }
+
     aggressors.sort_by(|a, b| b.samples.cmp(&a.samples).then(a.row.cmp(&b.row)));
     report.aggressors = aggressors;
     report
@@ -143,6 +296,7 @@ mod tests {
             row: RowId::new(BankId(bank), row),
             paddr: (bank as u64) << 32 | (row as u64) << 13,
             pid: 42,
+            weight: FULL_WEIGHT,
         }
     }
 
@@ -252,6 +406,113 @@ mod tests {
         let report = analyze(&config, &samples, 1_000_000, TS, PERIOD);
         assert!(!report.detected());
     }
+
+    /// A down-weighted sample (millis weight) with hit-latency evidence.
+    fn hit_sample(bank: u32, row: u32, weight: u32) -> RowSample {
+        RowSample {
+            weight,
+            ..sample(bank, row)
+        }
+    }
+
+    #[test]
+    fn hit_weighting_deflates_camouflage_rows_and_inflates_aggressors() {
+        // Camouflage mix: 2 aggressor-row samples (full weight) drowned
+        // in 26 streaming row-buffer-hit samples (weight 200). By raw
+        // counts the aggressors hold 7% of the window; by evidence they
+        // hold ~42% each.
+        let config = AnvilConfig::hardened();
+        let mut samples = Vec::new();
+        samples.push(sample(3, 100));
+        samples.push(sample(3, 102));
+        for i in 0..26 {
+            samples.push(hit_sample(3, 2000 + i * 7, 200));
+        }
+        let report = analyze(&config, &samples, 130_000, TS, PERIOD);
+        // The floor (3 raw samples) still gates the instantaneous path,
+        // but the weighted rate estimates feed the ledger at full
+        // strength: check them via a ledger pass.
+        let mut ledger = SuspicionLedger::new();
+        let _ = analyze_with_ledger(&config, &samples, 130_000, TS, PERIOD, Some(&mut ledger));
+        let aggressor_score = ledger.score(RowId::new(BankId(3), 100));
+        let filler_score = ledger.score(RowId::new(BankId(3), 2000));
+        // Full weight (1000) vs hit weight (200): the aggressor's score
+        // per sample is 5× the filler's.
+        assert!(
+            aggressor_score > 4.0 * filler_score.max(1.0),
+            "aggressor {aggressor_score} vs filler {filler_score}"
+        );
+        drop(report);
+    }
+
+    #[test]
+    fn ledger_flags_persistent_subfloor_row() {
+        // One aggressor pair at 2 samples per window — under the floor of
+        // 3, invisible to the memoryless analysis — plus scattered
+        // background. After a few windows the ledger must convict.
+        let config = AnvilConfig::hardened();
+        let mut ledger = SuspicionLedger::new();
+        let mut window = vec![
+            sample(3, 100),
+            sample(3, 100),
+            sample(3, 102),
+            sample(3, 102),
+        ];
+        for i in 0..26 {
+            window.push(hit_sample(2 + i % 5, 4000 + i * 11, 200));
+        }
+        let mut convicted_at = None;
+        for w in 0..6 {
+            let report =
+                analyze_with_ledger(&config, &window, 130_000, TS, PERIOD, Some(&mut ledger));
+            let ledger_rows: Vec<u32> = report
+                .aggressors
+                .iter()
+                .filter(|a| a.via_ledger)
+                .map(|a| a.row.row)
+                .collect();
+            if ledger_rows.contains(&100) && convicted_at.is_none() {
+                convicted_at = Some(w);
+            }
+        }
+        let w = convicted_at.expect("the ledger must flag the persistent pair");
+        assert!(w >= 1, "min_windows forbids a first-window conviction");
+        assert!(w <= 3, "conviction too slow: window {w}");
+    }
+
+    #[test]
+    fn ledger_entries_decay_and_prune_for_benign_rows() {
+        let config = AnvilConfig::hardened();
+        let mut ledger = SuspicionLedger::new();
+        // One window with a benign hot-ish row (2 samples), then windows
+        // of unrelated traffic: the entry must decay to zero (pruned).
+        let first = vec![sample(1, 50), sample(1, 50), sample(2, 9), sample(5, 77)];
+        let _ = analyze_with_ledger(&config, &first, 80_000, TS, PERIOD, Some(&mut ledger));
+        let row = RowId::new(BankId(1), 50);
+        let initial = ledger.score(row);
+        assert!(initial > 0.0);
+        for i in 0..40 {
+            let other = vec![sample(6, 300 + i), sample(7, 400 + i)];
+            let report =
+                analyze_with_ledger(&config, &other, 80_000, TS, PERIOD, Some(&mut ledger));
+            assert!(
+                !report.aggressors.iter().any(|a| a.row == row),
+                "a decaying row must never be convicted without fresh evidence"
+            );
+        }
+        assert_eq!(ledger.score(row), 0.0, "entry must be pruned");
+        assert!(ledger.len() <= 80);
+    }
+
+    #[test]
+    fn unweighted_analysis_matches_the_paper_baseline() {
+        // With every sample at FULL_WEIGHT the weighted share reduces to
+        // the count share: the attack signature report is unchanged.
+        let config = AnvilConfig::baseline();
+        let report = analyze(&config, &attack_samples(), 80_000, TS, PERIOD);
+        assert!(report.detected());
+        assert!(report.aggressors.iter().all(|a| !a.via_ledger));
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +540,7 @@ mod proptests {
                     row: anvil_dram::RowId::new(BankId(b), r),
                     paddr: ((b as u64) << 32) | ((r as u64) << 13),
                     pid: 9,
+                    weight: FULL_WEIGHT,
                 })
                 .collect();
             let report = analyze(&config, &rows, misses, TS, PERIOD);
@@ -329,6 +591,7 @@ mod proptests {
             row: anvil_dram::RowId::new(BankId(bank), row),
             paddr: ((bank as u64) << 32) | ((row as u64) << 13),
             pid: 7,
+            weight: FULL_WEIGHT,
         }
     }
 }

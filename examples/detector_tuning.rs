@@ -33,15 +33,23 @@ fn candidates() -> Vec<Candidate> {
         config: AnvilConfig::light(),
     });
     v.push(Candidate {
-        label: "heavy    (2ms/2ms/20K)",
+        label: "heavy    (2ms/2ms/6.7K)",
         config: AnvilConfig::heavy(),
     });
+    // Tighter than heavy and sized for a 110K-flip device: the 3K trip
+    // point keeps the sustained-pacing budget (2,999 x 32 windows/period
+    // = 96K) under the 2 x 55K flip threshold, which the config gate now
+    // enforces — 7K here would be rejected as an envelope violation.
     let mut paranoid = AnvilConfig::heavy();
-    paranoid.llc_miss_threshold = 7_000;
+    paranoid.llc_miss_threshold = 3_000;
     paranoid.min_hammer_accesses = 55_000;
     v.push(Candidate {
-        label: "paranoid (2ms/2ms/7K) ",
+        label: "paranoid (2ms/2ms/3K) ",
         config: paranoid,
+    });
+    v.push(Candidate {
+        label: "hardened (6ms/6ms/20K+)",
+        config: AnvilConfig::hardened(),
     });
     v
 }

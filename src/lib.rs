@@ -18,6 +18,7 @@
 //! | [`mem`] | Physical memory, paging, pagemap, the cycle-accounted access engine |
 //! | [`pmu`] | Event counters and PEBS-style load-latency / precise-store sampling |
 //! | [`attacks`] | CLFLUSH single/double-sided and the CLFLUSH-free attack |
+//! | [`adversary`] | Adaptive detector-evading adversaries: duty-cycled, paced, camouflage, distributed |
 //! | [`workloads`] | SPEC CPU2006-integer-like benchmark models |
 //! | [`core`] | The ANVIL detector and the full-system platform runner |
 //! | [`analyze`] | Static hammer-capability analysis over the attack/workload IR |
@@ -40,6 +41,7 @@
 //! # Ok::<(), anvil::core::PlatformError>(())
 //! ```
 
+pub use anvil_adversary as adversary;
 pub use anvil_analyze as analyze;
 pub use anvil_attacks as attacks;
 pub use anvil_cache as cache;

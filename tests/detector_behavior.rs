@@ -182,6 +182,103 @@ fn fast_attacker_on_future_dram_beats_baseline_but_not_heavy() {
 }
 
 #[test]
+fn duty_cycle_straddler_evades_baseline_but_not_hardened() {
+    // The duty-cycled burst splits 14K misses into each window adjacent
+    // to a stage-1 boundary — under the paper's 20K threshold — yet
+    // sustains enough activations to flip future DRAM. The hardened
+    // detector's EWMA carry, jittered phase, and sticky stage-2 sampling
+    // must close exactly this hole.
+    use anvil::adversary::DutyCycleHammer;
+    let run = |anvil: AnvilConfig| {
+        let mut pc = PlatformConfig::with_anvil(anvil);
+        pc.memory.dram.disturbance = DisturbanceConfig::future_half_threshold();
+        let mut p = Platform::new(pc);
+        p.add_attack(Box::new(DutyCycleHammer::new())).unwrap();
+        p.run_ms(70.0).unwrap();
+        (
+            p.first_detection_ms(),
+            p.total_flips(),
+            p.detector_stats().unwrap().threshold_crossings,
+        )
+    };
+
+    let (base_detect, base_flips, base_crossings) = run(AnvilConfig::baseline());
+    assert_eq!(
+        base_crossings, 0,
+        "each straddled window must stay under the baseline threshold"
+    );
+    assert!(base_detect.is_none(), "the baseline never even samples");
+    assert!(
+        base_flips > 0,
+        "the straddler must flip future DRAM under the paper detector"
+    );
+
+    let (hard_detect, hard_flips, hard_crossings) = run(AnvilConfig::hardened());
+    assert!(
+        hard_crossings > 0,
+        "carry + jitter must trip stage 1 on the same burst train"
+    );
+    assert!(
+        hard_detect.is_some(),
+        "sticky sampling must attribute the burst even across its quiet half"
+    );
+    assert_eq!(hard_flips, 0, "hardened must uphold the no-flip guarantee");
+}
+
+#[test]
+fn ledger_entries_decay_to_zero_for_benign_rows() {
+    // A benign one-off spike lands a row in the suspicion ledger; with no
+    // fresh evidence its score must decay geometrically and the entry be
+    // pruned, so transient workload phases never accumulate into a
+    // conviction.
+    use anvil::core::{analyze_with_ledger, RowSample, SuspicionLedger, FULL_WEIGHT};
+    use anvil::dram::{BankId, RowId};
+
+    let config = AnvilConfig::hardened();
+    let benign = RowId::new(BankId(1), 700);
+    let mut ledger = SuspicionLedger::new();
+    let ts = 15_600_000; // 6 ms
+    let period = 166_400_000; // 64 ms
+    let spike: Vec<RowSample> = (0..8)
+        .map(|i| RowSample {
+            row: benign,
+            paddr: 0x1000 + i * 64,
+            pid: 9,
+            weight: FULL_WEIGHT,
+        })
+        .collect();
+    let report = analyze_with_ledger(&config, &spike, 2_000, ts, period, Some(&mut ledger));
+    assert!(
+        !report.detected(),
+        "a 2K-miss window is nowhere near the hammer rate"
+    );
+    let initial = ledger.score(benign);
+    assert!(initial > 0.0, "the spike must open a ledger entry");
+
+    // Subsequent windows carry evidence only for an unrelated row.
+    let elsewhere = vec![RowSample {
+        row: RowId::new(BankId(2), 40),
+        paddr: 0x9000,
+        pid: 11,
+        weight: FULL_WEIGHT,
+    }];
+    let mut prev = initial;
+    for _ in 0..40 {
+        analyze_with_ledger(&config, &elsewhere, 1_000, ts, period, Some(&mut ledger));
+        let now = ledger.score(benign);
+        assert!(now <= prev, "benign score must never grow without evidence");
+        prev = now;
+        if now <= 0.0 {
+            break;
+        }
+    }
+    assert!(
+        ledger.score(benign) <= 0.0,
+        "the benign row must decay out of the ledger entirely"
+    );
+}
+
+#[test]
 fn detector_stats_are_consistent() {
     let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
     p.add_attack(Box::new(anvil::attacks::DoubleSidedClflush::new()))

@@ -9,7 +9,7 @@
 
 use anvil::analyze::{
     analyze_all, classify, classify_interval, eviction_profile, pattern_activation_bounds,
-    workload_activation_bounds, AccessVector, AnalysisContext, CoverageVerdict, Verdict,
+    workload_activation_bounds, AccessVector, AnalysisContext, CoverageVerdict, Severity, Verdict,
 };
 use anvil::attacks::{
     hammer_until_flip, Attack, ClflushFreeDoubleSided, DoubleSidedClflush, PatternTemplate,
@@ -306,11 +306,26 @@ fn full_report_is_consistent() {
             _ => assert!(p.victims.is_empty(), "{}: victims on non-capable", p.name),
         }
     }
+    // The envelope auditor exposes the baseline's adaptive-adversary
+    // holes (boundary-straddling bursts and camouflaged sample-mix
+    // dilution) as warnings; nothing else may fire, and all warnings
+    // must be envelope findings. Hardening closes them.
     assert!(
-        report.config_findings.is_empty(),
-        "baseline config should be clean: {:?}",
-        report.config_findings
+        !report.config_findings.is_empty(),
+        "the unhardened baseline leaks via adaptive adversaries"
     );
+    for f in &report.config_findings {
+        assert_eq!(f.severity, Severity::Warning, "{f:?}");
+        assert!(f.field.starts_with("envelope."), "{f:?}");
+    }
+    assert!(!report.envelope.holds());
+    let hardened = analyze_all(&memory, &AnvilConfig::hardened());
+    assert!(
+        hardened.config_findings.is_empty(),
+        "hardened config should be clean: {:?}",
+        hardened.config_findings
+    );
+    assert!(hardened.envelope.holds());
     // The paper's headline CLFLUSH-free result: the Paper template on the
     // Sandy Bridge Bit-PLRU LLC is proven hammer-capable and covered.
     let headline = report

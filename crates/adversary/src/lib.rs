@@ -20,6 +20,10 @@
 //! * [`DistributedManySided`] — spreads activations across many
 //!   aggressor pairs in distinct banks so no row dominates the sample
 //!   histogram.
+//! * [`RestartAwareHammer`] — paces politely while the detector is up
+//!   and hammers flat out inside known detector downtime gaps (crash
+//!   recovery windows); the `soak` campaign in `anvil-bench` charges its
+//!   gap bursts against every injected restart.
 //!
 //! All strategies implement [`anvil_attacks::Attack`], so they run under
 //! the platform in `anvil-core` exactly like the paper's attacks. The
@@ -31,11 +35,13 @@ mod common;
 mod distributed;
 mod duty_cycle;
 mod paced;
+mod restart_aware;
 
 pub use camouflage::CamouflageHammer;
 pub use distributed::DistributedManySided;
 pub use duty_cycle::DutyCycleHammer;
 pub use paced::PacedHammer;
+pub use restart_aware::RestartAwareHammer;
 
 /// Estimated core cycles per aggressor access in the hammer loop: a
 /// row-conflict DRAM read (~179 cycles on the simulated platform), the

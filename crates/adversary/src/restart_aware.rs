@@ -1,0 +1,276 @@
+//! Restart-aware hammering: full-rate bursts timed into detector
+//! downtime.
+
+use crate::common::{pair_iteration, push_idle, templated_pairs, victim_paddr, MB};
+use crate::{EST_ATTACK_ACCESS_CYCLES, EST_STAGE1_WINDOW_CYCLES};
+use anvil_attacks::{AggressorPair, Attack, AttackEnv, AttackError, AttackOp};
+
+/// Double-sided hammering that paces politely below the stage-1 trip
+/// rate while the detector is watching, then hammers flat out inside
+/// every known detector downtime gap.
+///
+/// A supervised detector that crashes and restarts is blind between the
+/// crash and the restore — exactly the gap an attacker who can observe
+/// (or provoke) the crash will fill. During a gap of `G` cycles a
+/// double-sided hammer lands `G / 187` activations with nothing
+/// counting them; against the paper platform's 220K-activation flip
+/// threshold that makes any gap beyond ~41M cycles (≈16 ms) sufficient
+/// for a flip from a standing start, and shorter gaps combine with
+/// whatever paced evidence accumulated since the victim's last refresh.
+/// This is why the supervisor's recovery protocol must blanket-refresh
+/// the gap *before* trusting the no-flip guarantee again, and why its
+/// restart backoff must stay under the guarantee envelope's downtime
+/// budget.
+///
+/// The gap schedule is supplied by the harness (which knows when it will
+/// inject crashes): pairs of `(start, duration)` in cycles from attack
+/// start, non-overlapping and sorted.
+#[derive(Debug)]
+pub struct RestartAwareHammer {
+    arena_bytes: u64,
+    window_cycles: u64,
+    paced_misses: u64,
+    gaps: Vec<(u64, u64)>,
+    prepared: Option<Prepared>,
+}
+
+#[derive(Debug)]
+struct Prepared {
+    ops: Vec<AttackOp>,
+    loop_start: usize,
+    cursor: usize,
+    aggressors: Vec<u64>,
+    victims: Vec<u64>,
+}
+
+impl RestartAwareHammer {
+    /// Creates the attack with the paper-baseline window, a paced rate
+    /// of 19.5K misses per window (just under the 20K threshold), and an
+    /// empty gap schedule.
+    pub fn new() -> Self {
+        RestartAwareHammer {
+            arena_bytes: 8 * MB,
+            window_cycles: EST_STAGE1_WINDOW_CYCLES,
+            paced_misses: 19_500,
+            gaps: Vec::new(),
+            prepared: None,
+        }
+    }
+
+    /// Sets the downtime schedule: `(start, duration)` pairs in cycles
+    /// from attack start, sorted and non-overlapping.
+    #[must_use]
+    pub fn with_gaps(mut self, gaps: Vec<(u64, u64)>) -> Self {
+        self.gaps = gaps;
+        self
+    }
+
+    /// Overrides the assumed stage-1 window length (in cycles).
+    #[must_use]
+    pub fn with_window_cycles(mut self, cycles: u64) -> Self {
+        self.window_cycles = cycles.max(1);
+        self
+    }
+
+    /// Overrides the paced per-window miss budget used while the
+    /// detector is up.
+    #[must_use]
+    pub fn with_paced_misses(mut self, misses: u64) -> Self {
+        self.paced_misses = misses.max(2);
+        self
+    }
+
+    /// Aggressor-pair activations a full-rate burst lands inside a
+    /// downtime gap of `gap` cycles: the number the recovery protocol
+    /// must assume accumulated while nobody was counting.
+    pub fn burst_activations(gap: u64) -> u64 {
+        gap / EST_ATTACK_ACCESS_CYCLES
+    }
+
+    /// Emits pair iterations pacing `misses` misses evenly over `span`
+    /// cycles.
+    fn push_paced(&self, ops: &mut Vec<AttackOp>, pair: &AggressorPair, span: u64) {
+        let pairs = (self.paced_misses / 2).max(1);
+        let misses_span = self.window_cycles.max(1);
+        // Scale the window budget to the span being covered.
+        let total_pairs = (pairs.saturating_mul(span) / misses_span).max(1);
+        let slot = span / total_pairs;
+        let idle = slot.saturating_sub(2 * EST_ATTACK_ACCESS_CYCLES);
+        for _ in 0..total_pairs {
+            ops.extend_from_slice(&pair_iteration(pair));
+            if idle > 0 {
+                push_idle(ops, idle);
+            }
+        }
+    }
+}
+
+impl Default for RestartAwareHammer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for RestartAwareHammer {
+    fn name(&self) -> &'static str {
+        "restart-aware-hammer"
+    }
+
+    fn prepare(&mut self, env: &mut AttackEnv<'_>) -> Result<(), AttackError> {
+        let va = env.process.mmap(self.arena_bytes, env.frames)?;
+        let pairs = templated_pairs(env, va, self.arena_bytes, 64)?;
+        let pair = pairs[0];
+        let victim_pa = victim_paddr(env, &pair);
+
+        let mut ops = Vec::new();
+        let mut t = 0u64;
+        // One-time prefix: the scheduled gaps, each preceded by paced
+        // cover traffic up to the gap's start.
+        for &(start, len) in &self.gaps {
+            if start > t {
+                self.push_paced(&mut ops, &pair, start - t);
+            }
+            // Inside the gap: back-to-back hammering, no idle at all.
+            for _ in 0..Self::burst_activations(len) / 2 {
+                ops.extend_from_slice(&pair_iteration(&pair));
+            }
+            t = start + len;
+        }
+        // Steady state after the last gap: one paced window, looped.
+        let loop_start = ops.len();
+        self.push_paced(&mut ops, &pair, self.window_cycles);
+
+        self.prepared = Some(Prepared {
+            ops,
+            loop_start,
+            cursor: 0,
+            aggressors: vec![pair.below_pa, pair.above_pa],
+            victims: vec![victim_pa],
+        });
+        Ok(())
+    }
+
+    fn next_op(&mut self) -> AttackOp {
+        let p = self.prepared.as_mut().expect("prepare the attack first");
+        let op = p.ops[p.cursor];
+        p.cursor += 1;
+        if p.cursor >= p.ops.len() {
+            p.cursor = p.loop_start;
+        }
+        op
+    }
+
+    fn aggressor_paddrs(&self) -> Vec<u64> {
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.aggressors.clone())
+    }
+
+    fn victim_paddrs(&self) -> Vec<u64> {
+        self.prepared
+            .as_ref()
+            .map_or(Vec::new(), |p| p.victims.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_mem::{
+        AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy, Process,
+    };
+
+    fn prepared(attack: &mut RestartAwareHammer) {
+        let mut sys = MemorySystem::new(MemoryConfig::paper_platform());
+        let mut frames = FrameAllocator::new(sys.phys().capacity(), AllocationPolicy::Contiguous);
+        let mut process = Process::new(7, "adversary");
+        attack
+            .prepare(&mut AttackEnv {
+                sys: &mut sys,
+                process: &mut process,
+                frames: &mut frames,
+                pagemap: PagemapPolicy::Open,
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn burst_activations_matches_the_gap_rate() {
+        assert_eq!(RestartAwareHammer::burst_activations(0), 0);
+        assert_eq!(RestartAwareHammer::burst_activations(186), 0);
+        assert_eq!(RestartAwareHammer::burst_activations(187), 1);
+        assert_eq!(
+            RestartAwareHammer::burst_activations(4_000_000),
+            4_000_000 / 187
+        );
+        // ~16 ms of downtime is a flip from a standing start.
+        assert!(RestartAwareHammer::burst_activations(42_000_000) >= 220_000);
+    }
+
+    #[test]
+    fn gap_segment_hammers_without_idling() {
+        let gap_len = 1_000_000u64;
+        let mut attack =
+            RestartAwareHammer::new().with_gaps(vec![(EST_STAGE1_WINDOW_CYCLES, gap_len)]);
+        prepared(&mut attack);
+        // The burst is the longest idle-free run of accesses; the paced
+        // segments around it always interleave Compute ops. Walk enough
+        // ops to cover the whole prefix plus a loop iteration.
+        let mut saw_idle = false;
+        let mut burst_accesses = 0u64;
+        let mut run = 0u64;
+        for _ in 0..200_000 {
+            match attack.next_op() {
+                AttackOp::Access { .. } => run += 1,
+                AttackOp::Clflush { .. } => {}
+                AttackOp::Compute { .. } => {
+                    saw_idle = true;
+                    burst_accesses = burst_accesses.max(run);
+                    run = 0;
+                }
+            }
+        }
+        assert!(saw_idle, "paced cover traffic must idle between pairs");
+        // The post-gap paced segment opens with a pair before its first
+        // idle, so that pair's two accesses extend the measured run.
+        let want = RestartAwareHammer::burst_activations(gap_len) / 2 * 2;
+        assert!(
+            (want..=want + 4).contains(&burst_accesses),
+            "the gap burst must hammer back-to-back for the whole gap: \
+             got {burst_accesses}, want ~{want}"
+        );
+    }
+
+    #[test]
+    fn steady_state_paces_below_the_stage1_threshold() {
+        let mut attack = RestartAwareHammer::new();
+        prepared(&mut attack);
+        // No gaps: the tape is one paced window, looped. Count accesses
+        // and idle across one full loop.
+        let mut misses = 0u64;
+        let mut idle = 0u64;
+        let first = attack.next_op();
+        assert!(matches!(first, AttackOp::Access { .. }));
+        misses += 1;
+        loop {
+            match attack.next_op() {
+                AttackOp::Access { .. } => misses += 1,
+                AttackOp::Clflush { .. } => {}
+                AttackOp::Compute { cycles } => idle += cycles,
+            }
+            // The loop wraps when total time covers one window.
+            let elapsed = misses * EST_ATTACK_ACCESS_CYCLES + idle;
+            if elapsed >= EST_STAGE1_WINDOW_CYCLES {
+                break;
+            }
+        }
+        assert!(misses < 20_000, "paced rate {misses} must stay under 20K");
+        assert!(misses >= 18_000, "paced rate {misses} suspiciously low");
+    }
+
+    #[test]
+    #[should_panic(expected = "prepare the attack first")]
+    fn next_op_before_prepare_panics() {
+        RestartAwareHammer::new().next_op();
+    }
+}

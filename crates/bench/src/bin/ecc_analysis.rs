@@ -20,8 +20,10 @@ fn main() {
 
     // Hammer many different victim rows well past the minimum so that the
     // harder (secondary) weak cells flip too, and histogram flips/word.
-    let mut flips_per_word: HashMap<u64, u32> = HashMap::new();
-    let mut rows_flipped = 0u32;
+    // u64 tallies: a scaled-up campaign hammers enough rows that u32
+    // word counts can wrap.
+    let mut flips_per_word: HashMap<u64, u64> = HashMap::new();
+    let mut rows_flipped = 0u64;
     for pair in 0..victims {
         let mut harness =
             StandaloneHarness::new(MemoryConfig::paper_platform(), AllocationPolicy::Contiguous);
@@ -33,25 +35,27 @@ fn main() {
         // single-sided minimum, enough for the clustered secondary cells.
         let mut r = hammer_until_flip(attack.as_mut(), &mut harness, 440_000);
         if r.flipped {
-            rows_flipped += 1;
+            rows_flipped = rows_flipped.saturating_add(1);
             // Continue after the first flip to trigger the rest.
             let r2 = hammer_until_flip(attack.as_mut(), &mut harness, 440_000);
             r.flips.extend(r2.flips);
         }
         for f in &r.flips {
-            *flips_per_word.entry(f.paddr & !7).or_insert(0) += 1;
+            let w = flips_per_word.entry(f.paddr & !7).or_insert(0);
+            *w = w.saturating_add(1);
         }
     }
 
-    let mut histogram: HashMap<u32, u32> = HashMap::new();
+    let mut histogram: HashMap<u64, u64> = HashMap::new();
     for &n in flips_per_word.values() {
-        *histogram.entry(n).or_insert(0) += 1;
+        let h = histogram.entry(n).or_insert(0);
+        *h = h.saturating_add(1);
     }
     let mut table = Table::new(
         "Section 1.2: Flips per 64-bit word under sustained hammering",
         &["Flips in word", "Words", "SECDED ECC outcome"],
     );
-    let mut keys: Vec<u32> = histogram.keys().copied().collect();
+    let mut keys: Vec<u64> = histogram.keys().copied().collect();
     keys.sort();
     for k in &keys {
         let outcome = match k {
@@ -63,8 +67,8 @@ fn main() {
     }
     table.print();
 
-    let multi: u32 = keys.iter().filter(|&&k| k >= 2).map(|k| histogram[k]).sum();
-    let total: u32 = histogram.values().sum();
+    let multi: u64 = keys.iter().filter(|&&k| k >= 2).map(|k| histogram[k]).sum();
+    let total: u64 = histogram.values().sum();
     println!(
         "{rows_flipped} victim rows flipped; {total} corrupted words, {multi} with multiple flips\n\
          ({:.0}%). The paper's conclusion: ECC turns rowhammer into denial-of-service at\n\

@@ -30,7 +30,7 @@
 
 use anvil_adversary::{CamouflageHammer, DistributedManySided, DutyCycleHammer, PacedHammer};
 use anvil_attacks::Attack;
-use anvil_bench::{write_json, Scale, Table};
+use anvil_bench::{windows_from_args, write_json, Scale, Table};
 use anvil_core::{
     AnvilConfig, DetectorStats, EnvelopeParams, GuaranteeEnvelope, Platform, PlatformConfig,
 };
@@ -184,7 +184,9 @@ fn main() {
     let seed = seed_from_args();
     // Long enough for the slowest flip in the matrix (distributed
     // many-sided reaches 110K per-pair activations at ~56 ms).
-    let run_ms = scale.ms(80.0).max(70.0);
+    // `--windows N` overrides the duration directly (6 ms per stage-1
+    // window).
+    let run_ms = windows_from_args().map_or(scale.ms(80.0).max(70.0), |w| w as f64 * 6.0);
     let strategies: Vec<Strategy> = if smoke {
         // One stage-1 evasion (carry + jitter) and one stage-2 evasion
         // (ledger): covers both hardening layers cheaply.

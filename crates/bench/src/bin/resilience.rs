@@ -26,7 +26,9 @@
 
 use anvil_adversary::{DistributedManySided, DutyCycleHammer};
 use anvil_attacks::Attack;
-use anvil_bench::{evasion_resilience_run, resilience_run, write_json, AttackKind, Scale, Table};
+use anvil_bench::{
+    evasion_resilience_run, resilience_run, windows_from_args, write_json, AttackKind, Scale, Table,
+};
 use anvil_core::AnvilConfig;
 use anvil_faults::FaultScenario;
 use serde_json::json;
@@ -49,11 +51,16 @@ fn main() {
     let seed = seed_from_args();
     // Long enough for the slowest in-matrix detection (CLFLUSH-free needs
     // most of a refresh window) plus slack for fault-delayed windows.
-    let run_ms = if smoke {
-        70.0
-    } else {
-        scale.ms(120.0).max(70.0)
-    };
+    // `--windows N` overrides the duration directly (6 ms per stage-1
+    // window).
+    let run_ms = windows_from_args().map_or(
+        if smoke {
+            70.0
+        } else {
+            scale.ms(120.0).max(70.0)
+        },
+        |w| w as f64 * 6.0,
+    );
     let intensities: &[f64] = if smoke { &[1.0] } else { &[0.5, 1.0] };
     let attacks: Vec<AttackKind> = if smoke {
         vec![AttackKind::DoubleSided]

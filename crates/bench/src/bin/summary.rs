@@ -106,6 +106,17 @@ fn main() {
         }),
     );
     add(
+        "lifecycle soak: zero flips, recovery inside downtime budget",
+        "soak",
+        load("soak").map(|v| {
+            v["holds"] == true
+                && v["summary"]["worst_recovery_gap"]
+                    .as_u64()
+                    .unwrap_or(u64::MAX)
+                    <= v["summary"]["downtime_budget"].as_u64().unwrap_or(0)
+        }),
+    );
+    add(
         "pagemap hardening bypassed by timing attack",
         "pagemap_hardening",
         load("pagemap_hardening").map(|v| {

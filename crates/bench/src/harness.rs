@@ -39,6 +39,18 @@ impl Scale {
     }
 }
 
+/// Parses a `--windows N` override from the process arguments: the
+/// number of detector windows a campaign should run, shared by every
+/// campaign binary (`resilience`, `evasion`, `soak`). Returns `None`
+/// when absent so each campaign applies its own default; a present flag
+/// with a malformed or zero value also returns `None` rather than
+/// aborting the campaign.
+pub fn windows_from_args() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--windows")?;
+    args.get(i + 1)?.parse::<u64>().ok().filter(|&n| n > 0)
+}
+
 /// The three attacks of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum AttackKind {

@@ -23,7 +23,7 @@ pub mod report;
 
 pub use harness::{
     detection_run, double_refresh_platform, evasion_resilience_run, false_positive_rate,
-    normalized_time, normalized_time_target, resilience_run, vulnerable_pair_index, AttackKind,
-    DetectionSummary, ResilienceSummary, Scale,
+    normalized_time, normalized_time_target, resilience_run, vulnerable_pair_index,
+    windows_from_args, AttackKind, DetectionSummary, ResilienceSummary, Scale,
 };
 pub use report::{write_json, Table};

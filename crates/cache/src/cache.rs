@@ -139,10 +139,10 @@ impl Cache {
         let line = self.line_of(paddr);
         let set = self.set_of(paddr);
         let base = set * self.ways;
-        self.stats.accesses += 1;
+        self.stats.accesses = self.stats.accesses.saturating_add(1);
 
         if let Some(way) = self.find(set, line) {
-            self.stats.hits += 1;
+            self.stats.hits = self.stats.hits.saturating_add(1);
             self.policy.on_hit(set, way);
             if write {
                 self.entries[base + way].dirty = true;
@@ -161,9 +161,9 @@ impl Cache {
                 let w = self.policy.victim(set);
                 debug_assert!(w < self.ways, "policy returned way out of range");
                 let old = self.entries[base + w];
-                self.stats.evictions += 1;
+                self.stats.evictions = self.stats.evictions.saturating_add(1);
                 if old.dirty {
-                    self.stats.dirty_evictions += 1;
+                    self.stats.dirty_evictions = self.stats.dirty_evictions.saturating_add(1);
                 }
                 (
                     w,
@@ -198,7 +198,7 @@ impl Cache {
         let e = &mut self.entries[set * self.ways + way];
         let dirty = e.dirty;
         *e = INVALID;
-        self.stats.invalidations += 1;
+        self.stats.invalidations = self.stats.invalidations.saturating_add(1);
         self.policy.on_invalidate(set, way);
         Some(dirty)
     }
@@ -214,7 +214,7 @@ impl Cache {
                         dirty.push(e.line << self.line_shift);
                     }
                     *e = INVALID;
-                    self.stats.invalidations += 1;
+                    self.stats.invalidations = self.stats.invalidations.saturating_add(1);
                     self.policy.on_invalidate(set, way);
                 }
             }

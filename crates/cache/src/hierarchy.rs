@@ -280,11 +280,11 @@ impl CacheHierarchy {
         let mut l3 = CacheStats::default();
         for s in &self.slices {
             let st = s.stats();
-            l3.accesses += st.accesses;
-            l3.hits += st.hits;
-            l3.evictions += st.evictions;
-            l3.dirty_evictions += st.dirty_evictions;
-            l3.invalidations += st.invalidations;
+            l3.accesses = l3.accesses.saturating_add(st.accesses);
+            l3.hits = l3.hits.saturating_add(st.hits);
+            l3.evictions = l3.evictions.saturating_add(st.evictions);
+            l3.dirty_evictions = l3.dirty_evictions.saturating_add(st.dirty_evictions);
+            l3.invalidations = l3.invalidations.saturating_add(st.invalidations);
         }
         (*self.l1.stats(), *self.l2.stats(), l3)
     }

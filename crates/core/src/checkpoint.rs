@@ -1,0 +1,235 @@
+//! Versioned, checksummed detector checkpoints.
+//!
+//! The real ANVIL ships as a loadable kernel module, so the detector has
+//! a lifecycle: it can crash, be reloaded, and be reconfigured while the
+//! machine keeps running. A restart that forgets the detector's state
+//! hands an adaptive adversary exactly what the hardening took away — a
+//! fresh EWMA, an empty suspicion ledger, a predictable window phase. The
+//! checkpoint carries all of it:
+//!
+//! * the stage machine (counting vs sampling, the armed PEBS filter, the
+//!   next deadline, the sticky-resample depth),
+//! * the hardening state (EWMA carry, jitter stream position, current
+//!   window scale, the full [`SuspicionLedger`](crate::SuspicionLedger)
+//!   as serializable rows),
+//! * the activity counters ([`DetectorStats`]), and
+//! * a hash of the [`AnvilConfig`] it was taken under, so a resume never
+//!   mixes one config's thresholds with another's carried evidence.
+//!
+//! The wire format is a single FNV-1a-64 checksum line followed by the
+//! JSON payload (`"{checksum:016x}\n{json}"`). Any byte flipped at rest —
+//! including by the injected checkpoint-corruption fault — changes the
+//! recomputed checksum and is rejected as a typed
+//! [`RuntimeError::CheckpointCorrupt`] before decoding is attempted, which
+//! is what lets the supervisor fall back to a cold start plus full refresh
+//! instead of resuming from poisoned state.
+//!
+//! What a checkpoint deliberately does **not** carry: the PEBS debug-store
+//! buffer and the PMU counter contents. Both are volatile hardware state
+//! that a crash destroys on the real platform; restore re-arms sampling
+//! from an empty buffer and cleared counters, and the recovery protocol's
+//! blanket refresh covers whatever evidence the lost window held.
+
+use crate::detector::DetectorStats;
+use crate::error::RuntimeError;
+use crate::locality::LedgerRow;
+use anvil_dram::Cycle;
+use anvil_pmu::SampleFilter;
+use serde::{Deserialize, Serialize};
+
+/// The checkpoint format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash (the checkpoint checksum and config fingerprint).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of an [`AnvilConfig`](crate::AnvilConfig): the FNV-1a hash
+/// of its canonical JSON encoding. Two configs hash equal exactly when
+/// every parameter (including hardening and degraded-mode settings) is
+/// equal, so a checkpoint can refuse to resume under a different config.
+pub fn config_hash(config: &crate::AnvilConfig) -> u64 {
+    let json = serde_json::to_string(config).expect("config serialization is infallible");
+    fnv1a64(json.as_bytes())
+}
+
+/// A full snapshot of [`AnvilDetector`](crate::AnvilDetector) state.
+///
+/// Produced by [`AnvilDetector::checkpoint`](crate::AnvilDetector::checkpoint),
+/// consumed by [`AnvilDetector::restore`](crate::AnvilDetector::restore).
+/// A checkpoint taken immediately after a service call restores to a
+/// detector that is observationally identical to one that never stopped
+/// (the round-trip invariant the proptest pins down).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`] when written by this build).
+    pub version: u32,
+    /// [`config_hash`] of the config the checkpoint was taken under.
+    pub config_hash: u64,
+    /// Whether the detector was in stage 2 (sampling) when snapshotted.
+    pub sampling: bool,
+    /// The PEBS filter armed for the in-flight stage-2 window (meaningful
+    /// only when `sampling`; restore re-arms it).
+    pub armed_filter: SampleFilter,
+    /// The next service deadline, in absolute cycles.
+    pub deadline: Cycle,
+    /// Activity counters.
+    pub stats: DetectorStats,
+    /// EWMA-carried stage-1 miss evidence.
+    pub carry: f64,
+    /// Splitmix64 state of the window-phase jitter stream.
+    pub phase_state: u64,
+    /// Length of the current stage-1 window as a fraction of `tc`.
+    pub window_scale: f64,
+    /// The PEBS sample-spacing jitter stream's position — programmed
+    /// sampler state, carried so a restored run draws the same spacing
+    /// sequence an uninterrupted one would.
+    pub pebs_jitter: u64,
+    /// The suspicion ledger, row by row.
+    pub ledger: Vec<LedgerRow>,
+    /// Consecutive sticky-sampling re-arms in the current stage-2 run.
+    pub resamples: u32,
+}
+
+impl DetectorCheckpoint {
+    /// Encodes the checkpoint as `"{checksum:016x}\n{json}"` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let json = serde_json::to_string(self).expect("checkpoint serialization is infallible");
+        format!("{:016x}\n{json}", fnv1a64(json.as_bytes())).into_bytes()
+    }
+
+    /// Decodes and validates checkpoint bytes.
+    ///
+    /// Rejects, in order: a mangled container or checksum mismatch
+    /// ([`RuntimeError::CheckpointCorrupt`]), an incompatible format
+    /// version ([`RuntimeError::VersionMismatch`]), and a payload that
+    /// fails to decode despite a valid checksum
+    /// ([`RuntimeError::CheckpointUndecodable`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RuntimeError> {
+        let corrupt = |expected: u64| RuntimeError::CheckpointCorrupt {
+            expected,
+            found: fnv1a64(bytes),
+        };
+        let text = std::str::from_utf8(bytes).map_err(|_| corrupt(0))?;
+        let (header, json) = text.split_once('\n').ok_or_else(|| corrupt(0))?;
+        let expected = u64::from_str_radix(header, 16).map_err(|_| corrupt(0))?;
+        let found = fnv1a64(json.as_bytes());
+        if found != expected {
+            return Err(RuntimeError::CheckpointCorrupt { expected, found });
+        }
+        let value: serde_json::Value =
+            serde_json::from_str(json).map_err(|_| RuntimeError::CheckpointUndecodable)?;
+        let version = value["version"]
+            .as_u64()
+            .ok_or(RuntimeError::CheckpointUndecodable)?;
+        if version != u64::from(CHECKPOINT_VERSION) {
+            return Err(RuntimeError::VersionMismatch {
+                expected: CHECKPOINT_VERSION,
+                found: u32::try_from(version).unwrap_or(u32::MAX),
+            });
+        }
+        Deserialize::from_value(&value).ok_or(RuntimeError::CheckpointUndecodable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnvilConfig;
+
+    fn sample_checkpoint() -> DetectorCheckpoint {
+        DetectorCheckpoint {
+            version: CHECKPOINT_VERSION,
+            config_hash: config_hash(&AnvilConfig::hardened()),
+            sampling: true,
+            armed_filter: SampleFilter::LoadsOnly,
+            deadline: 31_200_000,
+            stats: DetectorStats {
+                stage1_windows: 12,
+                threshold_crossings: 3,
+                ..DetectorStats::default()
+            },
+            carry: 1234.5,
+            phase_state: 0xA11CE,
+            window_scale: 1.07,
+            pebs_jitter: 0x5eed_1234_abcd_ef01,
+            ledger: vec![LedgerRow {
+                row: anvil_dram::RowId::new(anvil_dram::BankId(3), 100),
+                score: 40_000.5,
+                windows: 7,
+                pids: vec![9, 11],
+            }],
+            resamples: 2,
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let ckpt = sample_checkpoint();
+        let restored = DetectorCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(restored, ckpt);
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let bytes = sample_checkpoint().to_bytes();
+        // Flip one byte at a spread of positions (header, middle, tail).
+        for pos in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            let err = DetectorCheckpoint::from_bytes(&bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RuntimeError::CheckpointCorrupt { .. } | RuntimeError::CheckpointUndecodable
+                ),
+                "byte {pos}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_corrupt() {
+        let bytes = sample_checkpoint().to_bytes();
+        assert!(DetectorCheckpoint::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+        assert!(DetectorCheckpoint::from_bytes(b"").is_err());
+        assert!(DetectorCheckpoint::from_bytes(b"not a checkpoint").is_err());
+        assert!(DetectorCheckpoint::from_bytes(&[0xFF, 0xFE, 0x0A, 0x7B]).is_err());
+    }
+
+    #[test]
+    fn future_versions_are_rejected_with_a_typed_error() {
+        let mut ckpt = sample_checkpoint();
+        ckpt.version = CHECKPOINT_VERSION + 1;
+        let err = DetectorCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::VersionMismatch {
+                expected: CHECKPOINT_VERSION,
+                found: CHECKPOINT_VERSION + 1,
+            }
+        );
+    }
+
+    #[test]
+    fn config_hash_distinguishes_presets() {
+        let baseline = config_hash(&AnvilConfig::baseline());
+        let hardened = config_hash(&AnvilConfig::hardened());
+        assert_ne!(baseline, hardened);
+        assert_eq!(baseline, config_hash(&AnvilConfig::baseline()));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

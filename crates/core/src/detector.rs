@@ -7,7 +7,9 @@
 //! run the row/bank locality analysis. On detection, the rows adjacent to
 //! each identified aggressor are selectively refreshed with a read.
 
+use crate::checkpoint::{config_hash, DetectorCheckpoint, CHECKPOINT_VERSION};
 use crate::config::AnvilConfig;
+use crate::error::{ConfigError, RuntimeError};
 use crate::locality::{
     analyze_with_ledger, LocalityReport, RowSample, SuspicionLedger, FULL_WEIGHT,
 };
@@ -146,6 +148,9 @@ pub struct AnvilDetector {
     ledger: SuspicionLedger,
     /// Consecutive sticky-sampling re-arms in the current stage-2 run.
     resamples: u32,
+    /// The PEBS filter armed for the in-flight stage-2 window (carried by
+    /// checkpoints so restore can re-arm the same facility).
+    armed_filter: SampleFilter,
 }
 
 impl AnvilDetector {
@@ -183,6 +188,7 @@ impl AnvilDetector {
             window_scale: 1.0,
             ledger: SuspicionLedger::new(),
             resamples: 0,
+            armed_filter: SampleFilter::LoadsAndStores,
         };
         det.deadline = now + det.next_stage1_window();
         det
@@ -238,7 +244,7 @@ impl AnvilDetector {
         // the kernel thread running after its timer expired.
         let slip = now.saturating_sub(self.deadline);
         if slip > 0 {
-            self.stats.missed_deadlines += 1;
+            self.stats.missed_deadlines = self.stats.missed_deadlines.saturating_add(1);
             self.stats.worst_deadline_slip = self.stats.worst_deadline_slip.max(slip);
         }
         match self.stage {
@@ -248,7 +254,7 @@ impl AnvilDetector {
     }
 
     fn end_stage1(&mut self, now: Cycle, pmu: &mut Pmu) -> ServiceOutcome {
-        self.stats.stage1_windows += 1;
+        self.stats.stage1_windows = self.stats.stage1_windows.saturating_add(1);
         let misses = pmu.counter(EventKind::LongestLatCacheMiss).read();
         let miss_loads = pmu.counter(EventKind::MemLoadUopsRetiredLlcMiss).read();
 
@@ -276,9 +282,9 @@ impl AnvilDetector {
 
         // Threshold crossed: arm stage 2 with the facility matching the
         // window's load/store mix.
-        self.stats.threshold_crossings += 1;
+        self.stats.threshold_crossings = self.stats.threshold_crossings.saturating_add(1);
         if normalized < self.config.llc_miss_threshold as f64 {
-            self.stats.carry_crossings += 1;
+            self.stats.carry_crossings = self.stats.carry_crossings.saturating_add(1);
         }
         self.carry = 0.0;
         let load_fraction = if misses == 0 {
@@ -300,6 +306,7 @@ impl AnvilDetector {
         // Snapshot the drop counter so end_stage2 can attribute losses to
         // this window alone.
         self.dropped_at_arm = pmu.sampler().samples_dropped();
+        self.armed_filter = filter;
         self.stage = DetectorStage::Sampling;
         self.deadline = now + self.ts;
         ServiceOutcome::Armed {
@@ -317,7 +324,7 @@ impl AnvilDetector {
         mapping: &AddressMapping,
         translate: &mut dyn FnMut(u32, u64) -> Option<u64>,
     ) -> ServiceOutcome {
-        self.stats.stage2_windows += 1;
+        self.stats.stage2_windows = self.stats.stage2_windows.saturating_add(1);
         let misses = pmu.counter(EventKind::LongestLatCacheMiss).read();
         pmu.disable_sampling();
         let lost = pmu
@@ -355,9 +362,12 @@ impl AnvilDetector {
                 })
             })
             .collect();
-        self.stats.samples_analyzed += samples.len() as u64;
-        self.stats.samples_lost += lost;
-        self.stats.samples_unresolved += unresolved;
+        self.stats.samples_analyzed = self
+            .stats
+            .samples_analyzed
+            .saturating_add(samples.len() as u64);
+        self.stats.samples_lost = self.stats.samples_lost.saturating_add(lost);
+        self.stats.samples_unresolved = self.stats.samples_unresolved.saturating_add(unresolved);
 
         let config = self.config;
         let ledger = h.enabled.then_some(&mut self.ledger);
@@ -369,14 +379,17 @@ impl AnvilDetector {
             self.refresh_period,
             ledger,
         );
-        self.stats.ledger_flags += report.aggressors.iter().filter(|a| a.via_ledger).count() as u64;
+        self.stats.ledger_flags = self
+            .stats
+            .ledger_flags
+            .saturating_add(report.aggressors.iter().filter(|a| a.via_ledger).count() as u64);
 
         // Victim rows: the neighbors of each aggressor, deduplicated,
         // excluding rows that are themselves aggressors (reading an
         // aggressor would be wasted work — it is being activated anyway).
         let mut refreshes: Vec<(RowId, u64)> = Vec::new();
         if report.detected() {
-            self.stats.detections += 1;
+            self.stats.detections = self.stats.detections.saturating_add(1);
             let aggressor_rows: Vec<RowId> = report.aggressors.iter().map(|a| a.row).collect();
             for finding in &report.aggressors {
                 for victim in finding
@@ -396,7 +409,10 @@ impl AnvilDetector {
                     refreshes.push((victim, paddr));
                 }
             }
-            self.stats.selective_refreshes += refreshes.len() as u64;
+            self.stats.selective_refreshes = self
+                .stats
+                .selective_refreshes
+                .saturating_add(refreshes.len() as u64);
         }
 
         let cost = self.config.costs.pmi + self.config.costs.analysis;
@@ -417,7 +433,7 @@ impl AnvilDetector {
             survival < self.config.degraded.min_sample_survival || slip as f64 > slip_limit;
         if self.config.degraded.enabled && compromised {
             self.restart_stage1(now, pmu);
-            self.stats.degraded_windows += 1;
+            self.stats.degraded_windows = self.stats.degraded_windows.saturating_add(1);
             let banks = if samples.is_empty() {
                 // Nothing survived: every bank is suspect.
                 (0..mapping.geometry().total_banks()).map(BankId).collect()
@@ -427,7 +443,8 @@ impl AnvilDetector {
                 banks.dedup();
                 banks
             };
-            self.stats.bank_refreshes += banks.len() as u64;
+            self.stats.bank_refreshes =
+                self.stats.bank_refreshes.saturating_add(banks.len() as u64);
             return ServiceOutcome::Degraded {
                 report,
                 refreshes,
@@ -448,12 +465,13 @@ impl AnvilDetector {
             && self.resamples < h.max_resample_windows
         {
             self.resamples += 1;
-            self.stats.resample_windows += 1;
+            self.stats.resample_windows = self.stats.resample_windows.saturating_add(1);
             pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
             pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
                 .clear();
             pmu.enable_sampling(SampleFilter::LoadsAndStores, now);
             self.dropped_at_arm = pmu.sampler().samples_dropped();
+            self.armed_filter = SampleFilter::LoadsAndStores;
             self.deadline = now + self.ts;
             return ServiceOutcome::Armed {
                 misses,
@@ -484,6 +502,137 @@ impl AnvilDetector {
     /// enabled).
     pub fn ledger(&self) -> &SuspicionLedger {
         &self.ledger
+    }
+
+    /// Snapshots the full detector state.
+    ///
+    /// A checkpoint taken immediately after a [`service`](Self::service)
+    /// call (i.e. at a window boundary, when the PMU counters hold no
+    /// partial-window evidence) restores to a detector observationally
+    /// identical to one that never stopped. PMU counter contents and the
+    /// PEBS buffer are volatile hardware state and are deliberately not
+    /// captured; the sampler's *programmed* jitter-stream position is.
+    pub fn checkpoint(&self, pmu: &Pmu) -> DetectorCheckpoint {
+        DetectorCheckpoint {
+            version: CHECKPOINT_VERSION,
+            config_hash: config_hash(&self.config),
+            sampling: self.stage == DetectorStage::Sampling,
+            armed_filter: self.armed_filter,
+            deadline: self.deadline,
+            stats: self.stats,
+            carry: self.carry,
+            phase_state: self.phase_state,
+            window_scale: self.window_scale,
+            pebs_jitter: pmu.sampler().jitter_state(),
+            ledger: self.ledger.to_rows(),
+            resamples: self.resamples,
+        }
+    }
+
+    /// Rebuilds a detector from a checkpoint, resuming at time `now`.
+    ///
+    /// Refuses a checkpoint whose format version or config hash does not
+    /// match ([`RuntimeError::VersionMismatch`] /
+    /// [`RuntimeError::ConfigMismatch`]); the caller falls back to a cold
+    /// start. PMU counters are cleared (their pre-crash contents are
+    /// gone on real hardware too). If the checkpointed deadline is still
+    /// in the future the interrupted window resumes — re-arming the saved
+    /// PEBS filter when stage 2 was in flight — otherwise the downtime
+    /// swallowed the window and stage 1 restarts fresh at `now` (the
+    /// recovery protocol's blanket refresh covers what the lost window
+    /// might have seen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`AnvilConfig::validate`] (same contract
+    /// as [`new`](Self::new)).
+    pub fn restore(
+        config: AnvilConfig,
+        clock: &CpuClock,
+        refresh_period: Cycle,
+        now: Cycle,
+        pmu: &mut Pmu,
+        ckpt: &DetectorCheckpoint,
+    ) -> Result<Self, RuntimeError> {
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(RuntimeError::VersionMismatch {
+                expected: CHECKPOINT_VERSION,
+                found: ckpt.version,
+            });
+        }
+        let expected = config_hash(&config);
+        if ckpt.config_hash != expected {
+            return Err(RuntimeError::ConfigMismatch {
+                expected,
+                found: ckpt.config_hash,
+            });
+        }
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid ANVIL config: {e}"));
+        pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
+        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
+            .clear();
+        pmu.sampler_mut().set_jitter_state(ckpt.pebs_jitter);
+        let mut det = AnvilDetector {
+            config,
+            refresh_period,
+            tc: config.tc_cycles(clock),
+            ts: config.ts_cycles(clock),
+            stage: if ckpt.sampling {
+                DetectorStage::Sampling
+            } else {
+                DetectorStage::MissCount
+            },
+            deadline: ckpt.deadline,
+            stats: ckpt.stats,
+            dropped_at_arm: 0,
+            carry: ckpt.carry,
+            phase_state: ckpt.phase_state,
+            window_scale: ckpt.window_scale,
+            ledger: SuspicionLedger::from_rows(&ckpt.ledger),
+            resamples: ckpt.resamples,
+            armed_filter: ckpt.armed_filter,
+        };
+        if det.deadline <= now {
+            // The downtime gap swallowed the in-flight window.
+            det.restart_stage1(now, pmu);
+        } else if det.stage == DetectorStage::Sampling {
+            pmu.enable_sampling(det.armed_filter, now);
+            det.dropped_at_arm = pmu.sampler().samples_dropped();
+        }
+        Ok(det)
+    }
+
+    /// Atomically swaps in a validated configuration at a stage-1 window
+    /// boundary, preserving the suspicion ledger, EWMA carry, jitter
+    /// stream position, and activity counters — a hot reload loses no
+    /// accumulated evidence.
+    ///
+    /// Must be called between windows (stage 1, immediately after a
+    /// service call); a reload while stage 2 is in flight is rejected so
+    /// an armed sampling window is never torn down mid-observation.
+    pub fn reconfigure(
+        &mut self,
+        config: AnvilConfig,
+        clock: &CpuClock,
+        now: Cycle,
+        pmu: &mut Pmu,
+    ) -> Result<(), ConfigError> {
+        if self.stage == DetectorStage::Sampling {
+            return Err(ConfigError::Invalid(
+                "hot reload must wait for the stage-2 window to end".to_owned(),
+            ));
+        }
+        config.validate()?;
+        self.config = config;
+        self.tc = config.tc_cycles(clock);
+        self.ts = config.ts_cycles(clock);
+        // Carry is rate-normalized evidence in misses; it remains
+        // meaningful across a threshold change, so keep it (conservative:
+        // accumulated pressure is never forgotten by a reload).
+        self.restart_stage1(now, pmu);
+        Ok(())
     }
 }
 
@@ -869,6 +1018,173 @@ mod tests {
         assert_eq!(det.stats().resample_windows, 0);
     }
 
+    /// Feeds `misses` identity-mapped LLC misses before the deadline and
+    /// services the window.
+    fn feed_and_service(det: &mut AnvilDetector, pmu: &mut Pmu, misses: u64) -> ServiceOutcome {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let deadline = det.deadline();
+        for i in 0..misses {
+            pmu.observe_at(&miss_op((i % 512) * 64, 1), deadline.saturating_sub(1));
+        }
+        det.service(deadline, pmu, &mapping, &mut |_, v| Some(v))
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_at_a_window_boundary() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = AnvilDetector::new(AnvilConfig::hardened(), &CLOCK, PERIOD, 0, &mut pmu);
+        // Accumulate some state: a quiet window (carry), a trip, a silent
+        // stage-2 window.
+        feed_and_service(&mut det, &mut pmu, 15_000);
+        feed_and_service(&mut det, &mut pmu, 25_000);
+        let ckpt = det.checkpoint(&pmu);
+
+        let mut pmu2 = Pmu::new(SamplerConfig::anvil_default());
+        let restored = AnvilDetector::restore(
+            AnvilConfig::hardened(),
+            &CLOCK,
+            PERIOD,
+            ckpt.deadline.saturating_sub(1),
+            &mut pmu2,
+            &ckpt,
+        )
+        .unwrap();
+        assert_eq!(restored.stage(), det.stage());
+        assert_eq!(restored.deadline(), det.deadline());
+        assert_eq!(restored.stats(), det.stats());
+        assert_eq!(restored.ledger(), det.ledger());
+        assert_eq!(restored.carry, det.carry);
+        assert_eq!(restored.phase_state, det.phase_state);
+        assert_eq!(restored.resamples, det.resamples);
+        // And the encoded form round-trips byte-for-byte.
+        let decoded = DetectorCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn restore_rejects_a_different_config() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let det = AnvilDetector::new(AnvilConfig::hardened(), &CLOCK, PERIOD, 0, &mut pmu);
+        let ckpt = det.checkpoint(&pmu);
+        let err =
+            AnvilDetector::restore(AnvilConfig::baseline(), &CLOCK, PERIOD, 0, &mut pmu, &ckpt)
+                .unwrap_err();
+        assert!(matches!(err, RuntimeError::ConfigMismatch { .. }));
+    }
+
+    #[test]
+    fn restore_past_the_deadline_restarts_stage1_and_keeps_evidence() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = AnvilDetector::new(AnvilConfig::hardened(), &CLOCK, PERIOD, 0, &mut pmu);
+        feed_and_service(&mut det, &mut pmu, 15_000); // quiet, carry > 0
+        let ckpt = det.checkpoint(&pmu);
+        let gap_end = ckpt.deadline + 50_000_000; // downtime ate the window
+        let mut pmu2 = Pmu::new(SamplerConfig::anvil_default());
+        let restored = AnvilDetector::restore(
+            AnvilConfig::hardened(),
+            &CLOCK,
+            PERIOD,
+            gap_end,
+            &mut pmu2,
+            &restored_ckpt(&ckpt),
+        )
+        .unwrap();
+        assert_eq!(restored.stage(), DetectorStage::MissCount);
+        assert!(restored.deadline() > gap_end);
+        assert_eq!(restored.carry, det.carry, "EWMA evidence survives");
+        assert_eq!(restored.stats().stage1_windows, 1);
+    }
+
+    /// Round-trips a checkpoint through its byte encoding (exercises the
+    /// wire format on every restore-path test).
+    fn restored_ckpt(ckpt: &DetectorCheckpoint) -> DetectorCheckpoint {
+        DetectorCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap()
+    }
+
+    #[test]
+    fn mid_sampling_restore_rearms_the_saved_filter() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = AnvilDetector::new(AnvilConfig::baseline(), &CLOCK, PERIOD, 0, &mut pmu);
+        let out = feed_and_service(&mut det, &mut pmu, 25_000);
+        let ServiceOutcome::Armed { filter, .. } = out else {
+            panic!("expected Armed, got {out:?}");
+        };
+        assert_eq!(det.stage(), DetectorStage::Sampling);
+        let ckpt = det.checkpoint(&pmu);
+        assert!(ckpt.sampling);
+        assert_eq!(ckpt.armed_filter, filter);
+        let mut pmu2 = Pmu::new(SamplerConfig::anvil_default());
+        let restored = AnvilDetector::restore(
+            AnvilConfig::baseline(),
+            &CLOCK,
+            PERIOD,
+            ckpt.deadline - det.config().ts_cycles(&CLOCK) / 2,
+            &mut pmu2,
+            &ckpt,
+        )
+        .unwrap();
+        assert_eq!(restored.stage(), DetectorStage::Sampling);
+        assert!(pmu2.sampler().enabled(), "sampling must be re-armed");
+    }
+
+    #[test]
+    fn reconfigure_swaps_config_and_keeps_the_ledger() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = AnvilDetector::new(AnvilConfig::hardened(), &CLOCK, PERIOD, 0, &mut pmu);
+        // Build ledger evidence with a full attack cycle.
+        let base = mapping.address_of(DramLocation {
+            bank: anvil_dram::BankId(2),
+            row: 500,
+            col: 0,
+        });
+        let above = mapping.same_bank_row_offset(base, 2).unwrap();
+        let mut t = 0u64;
+        while t < det.deadline() {
+            pmu.observe_at(&miss_op(base, 7), t);
+            pmu.observe_at(&miss_op(above, 7), t + 200);
+            t += 400;
+        }
+        det.service(det.deadline(), &mut pmu, &mapping, &mut |_, v| Some(v));
+        let end = det.deadline();
+        while t < end {
+            pmu.observe_at(&miss_op(base, 7), t);
+            pmu.observe_at(&miss_op(above, 7), t + 200);
+            t += 400;
+        }
+        det.service(end, &mut pmu, &mapping, &mut |_, v| Some(v));
+        assert_eq!(det.stage(), DetectorStage::MissCount);
+        let ledger_before = det.ledger().clone();
+        let stats_before = *det.stats();
+        assert!(!ledger_before.is_empty(), "attack must leave evidence");
+
+        let mut hot = AnvilConfig::hardened();
+        hot.llc_miss_threshold = 15_000;
+        det.reconfigure(hot, &CLOCK, end, &mut pmu).unwrap();
+        assert_eq!(det.config().llc_miss_threshold, 15_000);
+        assert_eq!(det.ledger(), &ledger_before, "reload keeps the ledger");
+        assert_eq!(det.stats(), &stats_before);
+        assert!(det.deadline() > end);
+
+        // An invalid config is rejected and nothing changes.
+        let mut bad = AnvilConfig::hardened();
+        bad.llc_miss_threshold = 0;
+        assert!(det.reconfigure(bad, &CLOCK, end, &mut pmu).is_err());
+        assert_eq!(det.config().llc_miss_threshold, 15_000);
+    }
+
+    #[test]
+    fn reconfigure_refuses_mid_sampling() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut det = AnvilDetector::new(AnvilConfig::baseline(), &CLOCK, PERIOD, 0, &mut pmu);
+        feed_and_service(&mut det, &mut pmu, 25_000);
+        assert_eq!(det.stage(), DetectorStage::Sampling);
+        let err = det
+            .reconfigure(AnvilConfig::hardened(), &CLOCK, det.deadline(), &mut pmu)
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Invalid(_)));
+    }
+
     #[test]
     fn disabled_fallback_restores_the_silent_skip() {
         let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
@@ -894,5 +1210,107 @@ mod tests {
             other => panic!("expected Analyzed, got {other:?}"),
         }
         assert_eq!(det.stats().degraded_windows, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use anvil_dram::DramGeometry;
+    use anvil_pmu::SamplerConfig;
+    use proptest::prelude::*;
+
+    const CLOCK: CpuClock = CpuClock::SANDY_BRIDGE_2_6GHZ;
+    const PERIOD: Cycle = 166_400_000;
+
+    fn miss_op(vaddr: u64, pid: u32) -> anvil_pmu::RetiredOp {
+        anvil_pmu::RetiredOp {
+            vaddr,
+            pid,
+            outcome: anvil_mem::AccessOutcome {
+                paddr: vaddr,
+                kind: anvil_mem::AccessKind::Read,
+                level: anvil_cache::HitLevel::Memory,
+                advance: 184,
+                dram: None,
+            },
+        }
+    }
+
+    /// Feeds one window of `misses` LLC misses spread over the window and
+    /// services it at the deadline. Addresses concentrate on a small row
+    /// set so some windows detect and exercise the ledger.
+    fn drive_window(det: &mut AnvilDetector, pmu: &mut Pmu, misses: u64, start: Cycle) -> Cycle {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let deadline = det.deadline();
+        let span = deadline.saturating_sub(start).max(1);
+        let step = (span / misses.max(1)).max(1);
+        for i in 0..misses {
+            let t = (start + i * step).min(deadline - 1);
+            let vaddr = (i % 4) * (1 << 16);
+            pmu.observe_at(&miss_op(vaddr, 5), t);
+        }
+        det.service(deadline, pmu, &mapping, &mut |_, v| Some(v));
+        deadline
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `checkpoint → to_bytes → from_bytes → restore → run` is
+        /// bit-identical to an uninterrupted run over the same trace: a
+        /// crash-restart at any window boundary loses nothing the
+        /// checkpoint carries.
+        #[test]
+        fn restart_is_observationally_identical(
+            menu_picks in prop::collection::vec(0usize..5, 2..7),
+            cut in 0usize..5,
+            hardened in any::<bool>(),
+        ) {
+            // Window miss counts spanning quiet, carry-building, and
+            // arming traffic.
+            let menu = [0u64, 700, 15_000, 19_500, 26_000];
+            let windows: Vec<u64> = menu_picks.iter().map(|&i| menu[i]).collect();
+            let config = if hardened {
+                AnvilConfig::hardened()
+            } else {
+                AnvilConfig::baseline()
+            };
+            let cut = cut.min(windows.len() - 1);
+
+            // Uninterrupted run.
+            let mut pmu_a = Pmu::new(SamplerConfig::anvil_default());
+            let mut a = AnvilDetector::new(config, &CLOCK, PERIOD, 0, &mut pmu_a);
+            let mut start = 0;
+            for &m in &windows {
+                start = drive_window(&mut a, &mut pmu_a, m, start);
+            }
+
+            // Interrupted run: crash after window `cut`, restore from the
+            // serialized checkpoint into a fresh PMU, continue.
+            let mut pmu_b = Pmu::new(SamplerConfig::anvil_default());
+            let mut b = AnvilDetector::new(config, &CLOCK, PERIOD, 0, &mut pmu_b);
+            let mut start_b = 0;
+            for &m in &windows[..=cut] {
+                start_b = drive_window(&mut b, &mut pmu_b, m, start_b);
+            }
+            let bytes = b.checkpoint(&pmu_b).to_bytes();
+            let ckpt = DetectorCheckpoint::from_bytes(&bytes).unwrap();
+            let mut pmu_b = Pmu::new(SamplerConfig::anvil_default());
+            let mut b =
+                AnvilDetector::restore(config, &CLOCK, PERIOD, start_b, &mut pmu_b, &ckpt)
+                    .unwrap();
+            for &m in &windows[cut + 1..] {
+                start_b = drive_window(&mut b, &mut pmu_b, m, start_b);
+            }
+
+            prop_assert_eq!(start, start_b, "service times must line up");
+            prop_assert_eq!(a.stage(), b.stage());
+            prop_assert_eq!(a.deadline(), b.deadline());
+            prop_assert_eq!(a.stats(), b.stats());
+            prop_assert_eq!(a.ledger(), b.ledger());
+            // The full serialized states agree byte for byte.
+            prop_assert_eq!(a.checkpoint(&pmu_a).to_bytes(), b.checkpoint(&pmu_b).to_bytes());
+        }
     }
 }

@@ -175,6 +175,31 @@ impl GuaranteeEnvelope {
     pub fn holds(&self) -> bool {
         self.margin > 0
     }
+
+    /// The longest detector outage, in cycles, the envelope can absorb
+    /// without surrendering the no-flip guarantee.
+    ///
+    /// While the detector is down an attacker hammers unobserved at the
+    /// physical ceiling — one activation per `attack_access_cycles` — on
+    /// top of the `worst_case_budget` activations it can always land
+    /// undetected within a refresh interval. The recovery protocol's
+    /// blanket refresh wipes the accumulated disturbance the moment the
+    /// supervisor restarts, so flips are only possible *during* the gap;
+    /// they stay impossible as long as the gap's activations fit in the
+    /// envelope margin:
+    ///
+    /// ```text
+    /// worst_case_budget + gap / attack_access_cycles < flip_threshold
+    ///   ⟺  gap < margin × attack_access_cycles
+    /// ```
+    ///
+    /// A non-positive margin (the envelope does not hold even without
+    /// crashes) yields a zero budget.
+    pub fn downtime_budget(&self, attack_access_cycles: Cycle) -> Cycle {
+        u64::try_from(self.margin)
+            .unwrap_or(0)
+            .saturating_mul(attack_access_cycles.max(1))
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +264,22 @@ mod tests {
             assert!(b <= env.physical_cap);
         }
         assert!(!env.holds());
+    }
+
+    #[test]
+    fn downtime_budget_scales_with_margin() {
+        let params = EnvelopeParams::paper_platform();
+        let env = GuaranteeEnvelope::audit(&AnvilConfig::hardened(), &CLOCK, &params);
+        assert!(env.holds());
+        let budget = env.downtime_budget(params.attack_access_cycles);
+        assert_eq!(budget, env.margin as u64 * params.attack_access_cycles);
+        // The hardened margin buys multiple milliseconds of outage — the
+        // supervisor's restart latency must stay under this.
+        assert!(budget > 10_000_000, "budget {budget} too tight");
+        // A broken envelope has no downtime budget at all.
+        let broken = GuaranteeEnvelope::audit(&AnvilConfig::baseline(), &CLOCK, &params);
+        assert!(!broken.holds());
+        assert_eq!(broken.downtime_budget(params.attack_access_cycles), 0);
     }
 
     #[test]

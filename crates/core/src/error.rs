@@ -126,6 +126,82 @@ impl From<AttackError> for PlatformError {
     }
 }
 
+/// A lifecycle failure surfaced by the supervised runtime
+/// (`anvil-runtime`): checkpoint handling and restart-budget exhaustion.
+///
+/// These are *recoverable* conditions — the supervisor's recovery
+/// protocol answers a corrupt or mismatched checkpoint with the
+/// cold-start-plus-full-refresh fallback — but they must be typed so the
+/// caller can distinguish "resumed from checkpoint" from "started cold"
+/// and report why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The checkpoint's checksum did not match its payload: the bytes
+    /// were corrupted at rest (or by an injected corruption fault).
+    CheckpointCorrupt {
+        /// Checksum recorded in the checkpoint header.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        found: u64,
+    },
+    /// The checkpoint was written by an incompatible format version.
+    VersionMismatch {
+        /// The version this build reads and writes.
+        expected: u32,
+        /// The version found in the checkpoint.
+        found: u32,
+    },
+    /// The checkpoint's payload failed to decode even though its
+    /// checksum and version matched (truncated or hand-edited state).
+    CheckpointUndecodable,
+    /// The checkpoint was taken under a different [`AnvilConfig`]
+    /// (config hashes differ); resuming would mix incompatible
+    /// thresholds with carried counters.
+    ConfigMismatch {
+        /// Hash of the config the supervisor is running.
+        expected: u64,
+        /// Hash recorded in the checkpoint.
+        found: u64,
+    },
+    /// The supervisor exhausted its restart budget: the detector crashed
+    /// more times than the configured ceiling allows.
+    RestartBudgetExhausted {
+        /// Crashes observed.
+        restarts: u32,
+        /// The configured ceiling.
+        budget: u32,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::CheckpointCorrupt { expected, found } => write!(
+                f,
+                "checkpoint corrupt: checksum {expected:#018x} recorded, {found:#018x} recomputed"
+            ),
+            RuntimeError::VersionMismatch { expected, found } => write!(
+                f,
+                "checkpoint version {found} incompatible with this build (expects {expected})"
+            ),
+            RuntimeError::CheckpointUndecodable => {
+                write!(f, "checkpoint payload undecodable despite valid checksum")
+            }
+            RuntimeError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint config hash {found:#018x} does not match the \
+                 running config {expected:#018x}"
+            ),
+            RuntimeError::RestartBudgetExhausted { restarts, budget } => write!(
+                f,
+                "restart budget exhausted: {restarts} crashes exceed the ceiling of {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +235,31 @@ mod tests {
         assert!(msg.contains("640000"));
         assert!(msg.contains("220000"));
         assert!(msg.contains("envelope"));
+    }
+
+    #[test]
+    fn runtime_errors_display_their_cause() {
+        let e = RuntimeError::CheckpointCorrupt {
+            expected: 0xdead,
+            found: 0xbeef,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("corrupt"));
+        assert!(msg.contains("0x000000000000dead"));
+        assert!(msg.contains("0x000000000000beef"));
+
+        let e = RuntimeError::VersionMismatch {
+            expected: 1,
+            found: 9,
+        };
+        assert!(e.to_string().contains("version 9"));
+
+        let e = RuntimeError::RestartBudgetExhausted {
+            restarts: 12,
+            budget: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("12"));
+        assert!(msg.contains("ceiling of 8"));
     }
 }

@@ -63,6 +63,7 @@
 //! # Ok::<(), anvil_core::PlatformError>(())
 //! ```
 
+mod checkpoint;
 mod config;
 mod detector;
 mod envelope;
@@ -70,12 +71,13 @@ mod error;
 mod locality;
 mod platform;
 
+pub use checkpoint::{config_hash, fnv1a64, DetectorCheckpoint, CHECKPOINT_VERSION};
 pub use config::{AnvilConfig, DegradedMode, DetectorCosts, HardeningConfig, PAPER_REFRESH_MS};
 pub use detector::{AnvilDetector, DetectorStage, DetectorStats, ServiceOutcome};
 pub use envelope::{EnvelopeParams, GuaranteeEnvelope};
-pub use error::{ConfigError, PlatformError};
+pub use error::{ConfigError, PlatformError, RuntimeError};
 pub use locality::{
-    analyze, analyze_with_ledger, AggressorFinding, LocalityReport, RowSample, SuspicionLedger,
-    FULL_WEIGHT,
+    analyze, analyze_with_ledger, AggressorFinding, LedgerRow, LocalityReport, RowSample,
+    SuspicionLedger, FULL_WEIGHT,
 };
 pub use platform::{CoreStats, DetectionEvent, Platform, PlatformConfig, ResponsePolicy};

@@ -89,20 +89,41 @@ impl LocalityReport {
 /// `hardening.ledger_decay` per window, so persistent sub-threshold
 /// evidence accumulates while benign one-off spikes shrink back to zero
 /// and are pruned.
-#[derive(Debug, Clone, Default)]
+///
+/// The ledger is part of the detector state a checkpoint must carry —
+/// losing it across a restart would hand a distributed adversary a
+/// fresh start — so it converts losslessly to and from the serializable
+/// [`LedgerRow`] form ([`to_rows`](SuspicionLedger::to_rows) /
+/// [`from_rows`](SuspicionLedger::from_rows)). `windows` is a `u64` with
+/// saturating accumulation because a long-horizon service can absorb
+/// evidence for millions of windows.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SuspicionLedger {
     entries: BTreeMap<RowId, LedgerEntry>,
 }
 
 /// One row's accumulated evidence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct LedgerEntry {
     /// Decayed sum of per-window estimated activation rates.
     score: f64,
     /// Distinct stage-2 windows that contributed evidence.
-    windows: u32,
+    windows: u64,
     /// Processes whose samples contributed (sorted, deduplicated).
     pids: Vec<u32>,
+}
+
+/// One ledger entry in serializable form (detector checkpoints).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerRow {
+    /// The row under suspicion.
+    pub row: RowId,
+    /// Decayed sum of per-window estimated activation rates.
+    pub score: f64,
+    /// Distinct stage-2 windows that contributed evidence.
+    pub windows: u64,
+    /// Processes whose samples contributed.
+    pub pids: Vec<u32>,
 }
 
 /// Ledger scores below this are pruned (the row has decayed to noise).
@@ -142,7 +163,7 @@ impl SuspicionLedger {
                 pids: Vec::new(),
             });
             e.score += rate;
-            e.windows += 1;
+            e.windows = e.windows.saturating_add(1);
             for &pid in pids {
                 if !e.pids.contains(&pid) {
                     e.pids.push(pid);
@@ -150,6 +171,39 @@ impl SuspicionLedger {
             }
         }
         self.entries.retain(|_, e| e.score >= PRUNE_BELOW);
+    }
+
+    /// Snapshots the ledger as serializable rows (checkpointing).
+    pub fn to_rows(&self) -> Vec<LedgerRow> {
+        self.entries
+            .iter()
+            .map(|(&row, e)| LedgerRow {
+                row,
+                score: e.score,
+                windows: e.windows,
+                pids: e.pids.clone(),
+            })
+            .collect()
+    }
+
+    /// Rebuilds a ledger from checkpointed rows (inverse of
+    /// [`to_rows`](SuspicionLedger::to_rows)).
+    pub fn from_rows(rows: &[LedgerRow]) -> Self {
+        SuspicionLedger {
+            entries: rows
+                .iter()
+                .map(|r| {
+                    (
+                        r.row,
+                        LedgerEntry {
+                            score: r.score,
+                            windows: r.windows,
+                            pids: r.pids.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
     }
 }
 
@@ -255,7 +309,7 @@ pub fn analyze_with_ledger(
         let threshold = required * h.ledger_factor;
         for (&row, entry) in &ledger.entries {
             if entry.score < threshold
-                || entry.windows < h.ledger_min_windows
+                || entry.windows < u64::from(h.ledger_min_windows)
                 || aggressors.iter().any(|a| a.row == row)
             {
                 continue;
@@ -502,6 +556,44 @@ mod tests {
         }
         assert_eq!(ledger.score(row), 0.0, "entry must be pruned");
         assert!(ledger.len() <= 80);
+    }
+
+    #[test]
+    fn ledger_window_count_saturates_instead_of_wrapping() {
+        // A long-horizon service absorbs evidence for millions of windows;
+        // the per-row window count must saturate rather than wrap.
+        let mut ledger = SuspicionLedger::new();
+        ledger.entries.insert(
+            RowId::new(BankId(1), 7),
+            LedgerEntry {
+                score: 1e9,
+                windows: u64::MAX,
+                pids: vec![3],
+            },
+        );
+        let mut evidence = BTreeMap::new();
+        evidence.insert(RowId::new(BankId(1), 7), (5_000.0, vec![3]));
+        ledger.absorb(0.99, &evidence);
+        let entry = &ledger.entries[&RowId::new(BankId(1), 7)];
+        assert_eq!(entry.windows, u64::MAX, "must saturate, not wrap");
+    }
+
+    #[test]
+    fn ledger_round_trips_through_serializable_rows() {
+        let config = AnvilConfig::hardened();
+        let mut ledger = SuspicionLedger::new();
+        let _ = analyze_with_ledger(
+            &config,
+            &attack_samples(),
+            130_000,
+            TS,
+            PERIOD,
+            Some(&mut ledger),
+        );
+        assert!(!ledger.is_empty());
+        let rows = ledger.to_rows();
+        let restored = SuspicionLedger::from_rows(&rows);
+        assert_eq!(restored, ledger);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! walk per translation, the platform per service deadline — and the
 //! injector answers deterministically for its stream.
 
-use crate::plan::{PebsFaults, TranslationFaults};
+use crate::plan::{LifecycleFaults, PebsFaults, TranslationFaults};
 use crate::rng::FaultRng;
 
 /// What happens to one PEBS sample record.
@@ -194,6 +194,109 @@ impl DelayInjector {
     }
 }
 
+/// Detector-lifecycle fault injector: crashes, stalls, and checkpoint
+/// corruption at rest.
+///
+/// The supervisor consults it at three sites: once per detector service
+/// for a crash decision ([`crash_now`](Self::crash_now)), once per
+/// service for a stall ([`stall_cycles`](Self::stall_cycles)), and once
+/// per checkpoint write for at-rest corruption
+/// ([`corrupt`](Self::corrupt)). Each site draws from the same forked
+/// stream in a fixed order, so a given seed replays the exact same
+/// crash/stall/corruption schedule.
+#[derive(Debug, Clone)]
+pub struct LifecycleInjector {
+    cfg: LifecycleFaults,
+    rng: FaultRng,
+    crashes: u64,
+    stalls: u64,
+    total_stall: u64,
+    worst_stall: u64,
+    corrupted: u64,
+}
+
+impl LifecycleInjector {
+    /// Creates an injector over its own forked stream.
+    #[must_use]
+    pub fn new(cfg: LifecycleFaults, rng: FaultRng) -> Self {
+        LifecycleInjector {
+            cfg,
+            rng,
+            crashes: 0,
+            stalls: 0,
+            total_stall: 0,
+            worst_stall: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Decides whether the detector panics at this service.
+    pub fn crash_now(&mut self) -> bool {
+        if self.rng.chance(self.cfg.crash_rate) {
+            self.crashes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws the stall for this service: zero when the fault does not
+    /// fire, otherwise `1..=max_stall` cycles of scheduler starvation.
+    pub fn stall_cycles(&mut self) -> u64 {
+        if self.cfg.max_stall == 0 || !self.rng.chance(self.cfg.stall_rate) {
+            return 0;
+        }
+        let d = 1 + self.rng.below(self.cfg.max_stall);
+        self.stalls += 1;
+        self.total_stall += d;
+        self.worst_stall = self.worst_stall.max(d);
+        d
+    }
+
+    /// Possibly corrupts checkpoint bytes at rest by flipping one bit of
+    /// one byte. Returns `true` when corruption fired.
+    pub fn corrupt(&mut self, bytes: &mut [u8]) -> bool {
+        if bytes.is_empty() || !self.rng.chance(self.cfg.corrupt_rate) {
+            return false;
+        }
+        let idx = self.rng.below(bytes.len() as u64) as usize;
+        let bit = self.rng.below(8) as u8;
+        bytes[idx] ^= 1 << bit;
+        self.corrupted += 1;
+        true
+    }
+
+    /// Crashes injected so far.
+    #[must_use]
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Services stalled so far.
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Sum of all stalls drawn, in cycles.
+    #[must_use]
+    pub fn total_stall(&self) -> u64 {
+        self.total_stall
+    }
+
+    /// Largest single stall drawn, in cycles.
+    #[must_use]
+    pub fn worst_stall(&self) -> u64 {
+        self.worst_stall
+    }
+
+    /// Checkpoint writes corrupted so far.
+    #[must_use]
+    pub fn corruptions(&self) -> u64 {
+        self.corrupted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +394,85 @@ mod tests {
         for i in 0..2_000u64 {
             assert_eq!(a.on_sample(i * 64), b.on_sample(i * 64));
         }
+    }
+
+    #[test]
+    fn lifecycle_injector_counts_and_bounds() {
+        let cfg = LifecycleFaults {
+            crash_rate: 0.1,
+            stall_rate: 0.3,
+            max_stall: 50_000,
+            corrupt_rate: 0.5,
+        };
+        let mut inj = LifecycleInjector::new(cfg, FaultRng::new(7).fork(5));
+        let mut crashes = 0u64;
+        let mut stalls = 0u64;
+        let mut corruptions = 0u64;
+        let pristine = vec![0u8; 64];
+        for _ in 0..5_000 {
+            if inj.crash_now() {
+                crashes += 1;
+            }
+            let d = inj.stall_cycles();
+            assert!(d <= 50_000);
+            if d > 0 {
+                stalls += 1;
+            }
+            let mut bytes = pristine.clone();
+            if inj.corrupt(&mut bytes) {
+                corruptions += 1;
+                // Exactly one bit of one byte flipped.
+                let flipped: u32 = bytes
+                    .iter()
+                    .zip(&pristine)
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(flipped, 1);
+            } else {
+                assert_eq!(bytes, pristine);
+            }
+        }
+        assert_eq!(inj.crashes(), crashes);
+        assert_eq!(inj.stalls(), stalls);
+        assert_eq!(inj.corruptions(), corruptions);
+        assert!((300..=700).contains(&crashes), "{crashes}");
+        assert!((1_000..=2_000).contains(&stalls), "{stalls}");
+        assert!((2_000..=3_000).contains(&corruptions), "{corruptions}");
+        assert!(inj.worst_stall() <= 50_000);
+        assert!(inj.total_stall() >= inj.worst_stall());
+    }
+
+    #[test]
+    fn lifecycle_injector_replays_identically() {
+        let cfg = LifecycleFaults {
+            crash_rate: 0.05,
+            stall_rate: 0.2,
+            max_stall: 10_000,
+            corrupt_rate: 0.1,
+        };
+        let mut a = LifecycleInjector::new(cfg, FaultRng::new(99).fork(5));
+        let mut b = LifecycleInjector::new(cfg, FaultRng::new(99).fork(5));
+        for _ in 0..2_000 {
+            assert_eq!(a.crash_now(), b.crash_now());
+            assert_eq!(a.stall_cycles(), b.stall_cycles());
+            let mut ba = [0xAAu8; 16];
+            let mut bb = [0xAAu8; 16];
+            assert_eq!(a.corrupt(&mut ba), b.corrupt(&mut bb));
+            assert_eq!(ba, bb);
+        }
+    }
+
+    #[test]
+    fn empty_checkpoint_is_never_corrupted() {
+        let cfg = LifecycleFaults {
+            crash_rate: 0.0,
+            stall_rate: 0.0,
+            max_stall: 0,
+            corrupt_rate: 1.0,
+        };
+        let mut inj = LifecycleInjector::new(cfg, FaultRng::new(1).fork(5));
+        let mut empty: [u8; 0] = [];
+        assert!(!inj.corrupt(&mut empty));
+        assert_eq!(inj.corruptions(), 0);
     }
 }

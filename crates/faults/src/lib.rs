@@ -51,9 +51,9 @@ mod inject;
 mod plan;
 mod rng;
 
-pub use inject::{DelayInjector, PebsInjector, SampleFate, TranslationInjector};
+pub use inject::{DelayInjector, LifecycleInjector, PebsInjector, SampleFate, TranslationInjector};
 pub use plan::{
-    CounterFaults, FaultPlan, FaultScenario, InterruptFaults, PebsFaults, RefreshFaults,
-    RefreshPostpone, ServiceFaults, TranslationFaults,
+    CounterFaults, FaultPlan, FaultScenario, InterruptFaults, LifecycleFaults, PebsFaults,
+    RefreshFaults, RefreshPostpone, ServiceFaults, TranslationFaults,
 };
 pub use rng::{hash64, FaultRng};

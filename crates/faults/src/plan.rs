@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::inject::{DelayInjector, PebsInjector, TranslationInjector};
+use crate::inject::{DelayInjector, LifecycleInjector, PebsInjector, TranslationInjector};
 use crate::rng::{hash64, FaultRng};
 
 /// PEBS debug-store faults: dropped and corrupted samples.
@@ -71,6 +71,39 @@ pub struct ServiceFaults {
     pub preempt_rate: f64,
     /// Maximum service delay, in cycles.
     pub max_delay: u64,
+}
+
+/// Detector-lifecycle faults: crashes, stalls, and checkpoint corruption.
+///
+/// Real analogue: the ANVIL kernel module is software with a lifecycle —
+/// a bug or resource exhaustion panics the detector thread, scheduler
+/// starvation stalls it for whole windows, and the checkpoint it left on
+/// disk can rot. These fire at the *supervisor's* fault sites (one
+/// crash/stall decision per detector service, one corruption decision per
+/// checkpoint write), unlike the substrate faults above which fire inside
+/// the measurement pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleFaults {
+    /// Probability the detector panics at a given service (per service).
+    pub crash_rate: f64,
+    /// Probability a service is stalled (per service).
+    pub stall_rate: f64,
+    /// Maximum stall, in cycles; actual stalls are uniform in
+    /// `[1, max_stall]`.
+    pub max_stall: u64,
+    /// Probability a checkpoint write is corrupted at rest (per write).
+    pub corrupt_rate: f64,
+}
+
+impl Default for LifecycleFaults {
+    fn default() -> Self {
+        LifecycleFaults {
+            crash_rate: 0.0,
+            stall_rate: 0.0,
+            max_stall: 0,
+            corrupt_rate: 0.0,
+        }
+    }
 }
 
 /// Auto-refresh postponement faults.
@@ -144,6 +177,11 @@ pub struct FaultPlan {
     pub service: ServiceFaults,
     /// Auto-refresh postponement.
     pub refresh: RefreshFaults,
+    /// Detector-lifecycle faults (crash / stall / checkpoint corruption).
+    /// Defaults to disabled so plans serialized before this site existed
+    /// still deserialize.
+    #[serde(default)]
+    pub lifecycle: LifecycleFaults,
 }
 
 impl Default for FaultPlan {
@@ -180,6 +218,7 @@ impl FaultPlan {
                 postpone_rate: 0.0,
                 max_postpone: 0,
             },
+            lifecycle: LifecycleFaults::default(),
         }
     }
 
@@ -194,6 +233,9 @@ impl FaultPlan {
             && (self.interrupt.jitter_rate <= 0.0 || self.interrupt.max_jitter == 0)
             && (self.service.preempt_rate <= 0.0 || self.service.max_delay == 0)
             && (self.refresh.postpone_rate <= 0.0 || self.refresh.max_postpone == 0)
+            && self.lifecycle.crash_rate <= 0.0
+            && (self.lifecycle.stall_rate <= 0.0 || self.lifecycle.max_stall == 0)
+            && self.lifecycle.corrupt_rate <= 0.0
     }
 
     /// Builds the PEBS injector for this plan, or `None` when PEBS
@@ -243,6 +285,20 @@ impl FaultPlan {
                 self.service.max_delay,
                 rng,
             ))
+        } else {
+            None
+        }
+    }
+
+    /// Builds the detector-lifecycle injector, or `None` when lifecycle
+    /// faults are disabled.
+    #[must_use]
+    pub fn lifecycle_injector(&self, rng: FaultRng) -> Option<LifecycleInjector> {
+        if self.lifecycle.crash_rate > 0.0
+            || (self.lifecycle.stall_rate > 0.0 && self.lifecycle.max_stall > 0)
+            || self.lifecycle.corrupt_rate > 0.0
+        {
+            Some(LifecycleInjector::new(self.lifecycle, rng))
         } else {
             None
         }
@@ -479,5 +535,45 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), FaultScenario::ALL.len());
+    }
+
+    #[test]
+    fn lifecycle_site_gates_its_injector_and_is_none() {
+        let mut plan = FaultPlan::none();
+        assert!(plan.lifecycle_injector(FaultRng::new(1).fork(5)).is_none());
+
+        plan.lifecycle.crash_rate = 0.01;
+        assert!(!plan.is_none());
+        assert!(plan.lifecycle_injector(FaultRng::new(1).fork(5)).is_some());
+
+        // A stall rate with a zero bound is inert, like the other sites.
+        let mut stalled = FaultPlan::none();
+        stalled.lifecycle.stall_rate = 0.5;
+        assert!(stalled.is_none());
+        assert!(stalled
+            .lifecycle_injector(FaultRng::new(1).fork(5))
+            .is_none());
+        stalled.lifecycle.max_stall = 1_000;
+        assert!(!stalled.is_none());
+        assert!(stalled
+            .lifecycle_injector(FaultRng::new(1).fork(5))
+            .is_some());
+    }
+
+    #[test]
+    fn plans_without_a_lifecycle_site_still_deserialize() {
+        // A plan serialized before the lifecycle site existed carries no
+        // `lifecycle` key; it must decode to the disabled default.
+        let plan = FaultScenario::Combined.plan(1.0, 1234);
+        let json = serde_json::to_string(&plan).unwrap();
+        let legacy = json.replacen(
+            ",\"lifecycle\":{\"crash_rate\":0.0,\"stall_rate\":0.0,\"max_stall\":0,\"corrupt_rate\":0.0}",
+            "",
+            1,
+        );
+        assert_ne!(legacy, json, "lifecycle key not found in encoding");
+        let back: FaultPlan = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.lifecycle, LifecycleFaults::default());
+        assert_eq!(back.pebs, plan.pebs);
     }
 }

@@ -247,10 +247,10 @@ impl MemorySystem {
         let write = matches!(kind, AccessKind::Write);
         let h = self.hierarchy.access(paddr, write);
 
-        self.stats.accesses += 1;
+        self.stats.accesses = self.stats.accesses.saturating_add(1);
         match kind {
-            AccessKind::Read => self.stats.reads += 1,
-            AccessKind::Write => self.stats.writes += 1,
+            AccessKind::Read => self.stats.reads = self.stats.reads.saturating_add(1),
+            AccessKind::Write => self.stats.writes = self.stats.writes.saturating_add(1),
         }
 
         let (advance, dram_loc) = match h.level {
@@ -258,9 +258,9 @@ impl MemorySystem {
             HitLevel::L2 => (self.config.core.l2_hit_cost, None),
             HitLevel::L3 => (self.config.core.l3_hit_cost, None),
             HitLevel::Memory => {
-                self.stats.llc_misses += 1;
+                self.stats.llc_misses = self.stats.llc_misses.saturating_add(1);
                 if matches!(kind, AccessKind::Read) {
-                    self.stats.llc_miss_loads += 1;
+                    self.stats.llc_miss_loads = self.stats.llc_miss_loads.saturating_add(1);
                 }
                 let d = self.dram.access(paddr, self.now);
                 (d.latency + self.config.core.miss_overhead, Some(d.location))
@@ -299,7 +299,7 @@ impl MemorySystem {
     /// point; see [`access_at`](Self::access_at)).
     pub fn clflush_at(&mut self, paddr: u64, now: Cycle) {
         self.now = now.max(self.now);
-        self.stats.clflushes += 1;
+        self.stats.clflushes = self.stats.clflushes.saturating_add(1);
         if let Some(dirty_line) = self.hierarchy.clflush(paddr) {
             self.dram.access(dirty_line, self.now);
             self.apply_new_flips();

@@ -64,7 +64,7 @@ impl Counter {
     /// Adds `n` events at time `now`; returns `true` the first time the
     /// armed threshold is crossed.
     pub fn add(&mut self, n: u64, now: Cycle) -> bool {
-        self.value += n;
+        self.value = self.value.saturating_add(n);
         if let Some(cap) = self.saturate_at {
             self.value = self.value.min(cap);
         }
@@ -137,6 +137,23 @@ mod tests {
         c.set_saturation(None);
         c.arm(100);
         assert!(c.add(200, 3));
+    }
+
+    #[test]
+    fn long_horizon_counts_saturate_instead_of_wrapping() {
+        // A free-running counter fed bulk increments for millions of
+        // windows must never wrap (a wrap would panic in debug builds
+        // and silently reset the count in release).
+        let mut c = Counter::new();
+        c.add(u64::MAX - 10, 1);
+        assert!(!c.add(u64::MAX, 2));
+        assert_eq!(c.read(), u64::MAX);
+        // Saturated counts still trip an armed threshold.
+        let mut armed = Counter::new();
+        armed.add(u64::MAX - 1, 1);
+        armed.disarm();
+        armed.overflow_at = Some(u64::MAX);
+        assert!(armed.add(u64::MAX, 2));
     }
 
     #[test]

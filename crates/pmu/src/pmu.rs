@@ -73,6 +73,12 @@ impl Pmu {
         &self.sampler
     }
 
+    /// Mutable access to the sampling engine (checkpoint restore needs to
+    /// re-seed the sample-spacing jitter stream).
+    pub fn sampler_mut(&mut self) -> &mut Sampler {
+        &mut self.sampler
+    }
+
     /// Installs (or clears) a PEBS fault injector on the sampler.
     pub fn set_fault_injector(&mut self, faults: Option<PebsInjector>) {
         self.sampler.set_fault_injector(faults);
@@ -118,11 +124,11 @@ impl Pmu {
         if op.outcome.llc_miss() {
             if self.llc_miss.add(1, now) {
                 effect.interrupt = Some(EventKind::LongestLatCacheMiss);
-                self.interrupts += 1;
+                self.interrupts = self.interrupts.saturating_add(1);
             }
             if matches!(op.outcome.kind, AccessKind::Read) && self.llc_miss_loads.add(1, now) {
                 effect.interrupt = Some(EventKind::MemLoadUopsRetiredLlcMiss);
-                self.interrupts += 1;
+                self.interrupts = self.interrupts.saturating_add(1);
             }
         }
         effect.sampled = self.sampler.observe(

@@ -161,6 +161,20 @@ impl Sampler {
         self.dropped
     }
 
+    /// The sample-spacing jitter stream's current state. Unlike the
+    /// debug-store buffer (volatile), the stream position is part of the
+    /// sampler's *programmed* state: a detector checkpoint carries it so
+    /// a restored run draws the same sample-spacing sequence an
+    /// uninterrupted one would.
+    pub fn jitter_state(&self) -> u64 {
+        self.jitter_state
+    }
+
+    /// Restores the sample-spacing jitter stream (checkpoint restore).
+    pub fn set_jitter_state(&mut self, state: u64) {
+        self.jitter_state = state;
+    }
+
     fn jitter(&mut self) -> Cycle {
         let mut x = self.jitter_state;
         x ^= x >> 12;
@@ -197,20 +211,20 @@ impl Sampler {
         }
         let jitter = self.jitter();
         self.next_sample_at = now + self.config.interval / 2 + jitter;
-        self.taken += 1;
+        self.taken = self.taken.saturating_add(1);
         let mut vaddr = vaddr;
         if let Some(inj) = self.faults.as_mut() {
             match inj.on_sample(vaddr) {
                 SampleFate::Keep => {}
                 SampleFate::Drop => {
-                    self.dropped += 1;
+                    self.dropped = self.dropped.saturating_add(1);
                     return true;
                 }
                 SampleFate::Corrupt(skewed) => vaddr = skewed,
             }
         }
         if self.buffer.len() >= self.config.buffer_capacity {
-            self.dropped += 1;
+            self.dropped = self.dropped.saturating_add(1);
             return true;
         }
         self.buffer.push(SampleRecord {

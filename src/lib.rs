@@ -23,6 +23,7 @@
 //! | [`core`] | The ANVIL detector and the full-system platform runner |
 //! | [`analyze`] | Static hammer-capability analysis over the attack/workload IR |
 //! | [`faults`] | Deterministic fault injection: PEBS loss, stale translations, preemption, postponed refresh |
+//! | [`runtime`] | Detector lifecycle supervision: checkpoint/restore, crash-restart recovery, hot reload, soak engine |
 //!
 //! ## Thirty-second tour
 //!
@@ -50,4 +51,5 @@ pub use anvil_dram as dram;
 pub use anvil_faults as faults;
 pub use anvil_mem as mem;
 pub use anvil_pmu as pmu;
+pub use anvil_runtime as runtime;
 pub use anvil_workloads as workloads;

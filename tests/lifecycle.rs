@@ -1,0 +1,189 @@
+//! Integration tests of the supervised detector runtime across the
+//! facade: checkpoint integrity, crash-restart recovery, hot reload, and
+//! soak-campaign reproducibility.
+
+use anvil::core::{AnvilConfig, DetectorCheckpoint, RuntimeError, ServiceOutcome};
+use anvil::dram::{AddressMapping, CpuClock, Cycle, DramGeometry};
+use anvil::faults::{FaultRng, LifecycleInjector};
+use anvil::pmu::{Pmu, SamplerConfig};
+use anvil::runtime::{
+    soak, LifecycleFaults, RuntimeConfig, SoakConfig, SupervisedOutcome, Supervisor,
+};
+
+const CLOCK: CpuClock = CpuClock::SANDY_BRIDGE_2_6GHZ;
+const PERIOD: Cycle = 166_400_000;
+
+fn boot(config: AnvilConfig, runtime: RuntimeConfig, pmu: &mut Pmu) -> Supervisor {
+    Supervisor::new(config, runtime, CLOCK, PERIOD, 0, pmu)
+}
+
+#[allow(clippy::unnecessary_wraps)] // matches the translate callback signature
+fn identity(_pid: u32, vaddr: u64) -> Option<u64> {
+    Some(vaddr)
+}
+
+/// Flipping one byte of the serialized checkpoint is caught by the
+/// checksum with the typed corruption error, not a decode error.
+#[test]
+fn a_flipped_byte_is_a_typed_corruption_error() {
+    let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+    let mut sup = boot(AnvilConfig::hardened(), RuntimeConfig::default(), &mut pmu);
+    let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+    let d = sup.deadline();
+    sup.service(d, &mut pmu, &mapping, &mut identity).unwrap();
+
+    let mut bytes = sup.detector().checkpoint(&pmu).to_bytes();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    match DetectorCheckpoint::from_bytes(&bytes) {
+        Err(RuntimeError::CheckpointCorrupt { expected, found }) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected CheckpointCorrupt, got {other:?}"),
+    }
+}
+
+/// A crash with an unusable checkpoint recovers by cold start — the
+/// supervisor keeps protecting rather than dying with the bad snapshot.
+#[test]
+fn corrupted_checkpoints_recover_via_cold_start() {
+    let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+    let mut sup = boot(AnvilConfig::hardened(), RuntimeConfig::default(), &mut pmu);
+    let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+    sup.set_faults(Some(LifecycleInjector::new(
+        LifecycleFaults {
+            crash_rate: 1.0,
+            stall_rate: 0.0,
+            max_stall: 0,
+            corrupt_rate: 1.0,
+        },
+        FaultRng::new(3).fork(5),
+    )));
+    // First crash restores from the pristine boot checkpoint; the
+    // checkpoint written after that recovery is corrupted at rest, so the
+    // second crash must reject it and cold-start.
+    for want_cold in [false, true] {
+        let d = sup.deadline();
+        let out = sup.service(d, &mut pmu, &mapping, &mut identity).unwrap();
+        let SupervisedOutcome::Restarted(r) = out else {
+            panic!("expected Restarted, got {out:?}");
+        };
+        assert_eq!(r.cold_start, want_cold);
+        assert!(r.gap > 0);
+    }
+    assert_eq!(sup.stats().cold_starts, 1);
+    assert!(sup.stats().checkpoint_rejections >= 1);
+    // The supervisor is still serviceable after the cold start.
+    sup.set_faults(None);
+    let d = sup.deadline();
+    let out = sup.service(d, &mut pmu, &mapping, &mut identity).unwrap();
+    assert!(matches!(out, SupervisedOutcome::Serviced { .. }));
+}
+
+/// Exceeding the restart budget surfaces the typed error instead of
+/// looping forever.
+#[test]
+fn restart_budget_exhaustion_is_typed() {
+    let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+    let mut sup = boot(
+        AnvilConfig::hardened(),
+        RuntimeConfig {
+            restart_budget: 2,
+            ..RuntimeConfig::default()
+        },
+        &mut pmu,
+    );
+    let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+    sup.set_faults(Some(LifecycleInjector::new(
+        LifecycleFaults {
+            crash_rate: 1.0,
+            stall_rate: 0.0,
+            max_stall: 0,
+            corrupt_rate: 0.0,
+        },
+        FaultRng::new(7).fork(5),
+    )));
+    for _ in 0..2 {
+        let d = sup.deadline();
+        let out = sup.service(d, &mut pmu, &mapping, &mut identity).unwrap();
+        assert!(matches!(out, SupervisedOutcome::Restarted(_)));
+    }
+    let d = sup.deadline();
+    let err = sup
+        .service(d, &mut pmu, &mapping, &mut identity)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        RuntimeError::RestartBudgetExhausted {
+            restarts: 3,
+            budget: 2
+        }
+    );
+}
+
+/// A hot reload at a window boundary swaps the config without losing the
+/// detector's accumulated window history.
+#[test]
+fn hot_reload_preserves_window_history() {
+    let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+    let mut sup = boot(AnvilConfig::hardened(), RuntimeConfig::default(), &mut pmu);
+    let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+    for _ in 0..3 {
+        let d = sup.deadline();
+        sup.service(d, &mut pmu, &mapping, &mut identity).unwrap();
+    }
+    let windows_before = sup.detector().stats().stage1_windows;
+
+    let mut hot = AnvilConfig::hardened();
+    hot.llc_miss_threshold = 19_000;
+    sup.request_reload(hot).unwrap();
+    let d = sup.deadline();
+    let out = sup.service(d, &mut pmu, &mapping, &mut identity).unwrap();
+    assert!(matches!(
+        out,
+        SupervisedOutcome::Serviced {
+            outcome: ServiceOutcome::Quiet { .. },
+            ..
+        }
+    ));
+    assert_eq!(sup.config().llc_miss_threshold, 19_000);
+    assert_eq!(sup.stats().reloads, 1);
+    assert_eq!(
+        sup.detector().stats().stage1_windows,
+        windows_before + 1,
+        "the swap must not reset window history"
+    );
+}
+
+/// The soak campaign is deterministic: the same seed reproduces the
+/// identical summary (and serialized JSON) bit for bit, and the gate
+/// holds at a scale that still injects crashes, stalls, and reloads.
+#[test]
+fn soak_campaign_is_reproducible_and_holds() {
+    let mut cfg = SoakConfig::standard(2_000, 0x1F3);
+    // Crank the fault rates so even this short horizon exercises the
+    // whole lifecycle.
+    cfg.lifecycle.crash_rate = 0.02;
+    cfg.lifecycle.stall_rate = 0.05;
+    cfg.lifecycle.corrupt_rate = 0.25;
+    cfg.reload_every = 500;
+
+    let a = soak::run(&cfg);
+    let b = soak::run(&cfg);
+    assert_eq!(a, b, "same seed must reproduce the identical summary");
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+
+    assert!(a.crashes > 0, "the schedule must inject crashes");
+    assert_eq!(a.restarts, a.crashes);
+    assert!(a.reloads > 0);
+    assert!(a.holds(), "zero flips and in-budget recovery: {a:?}");
+    assert!(a.worst_recovery_gap <= a.downtime_budget);
+
+    let mut other = cfg;
+    other.seed = 0x1F4;
+    let c = soak::run(&other);
+    assert_ne!(a, c, "a different seed must diverge");
+}

@@ -1,8 +1,9 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
-//! shapes this workspace actually defines — non-generic structs and enums
-//! without `#[serde(...)]` attributes — by walking the raw
+//! shapes this workspace actually defines — non-generic structs and enums,
+//! with `#[serde(default)]` honored on named fields (any other
+//! `#[serde(...)]` attribute is ignored) — by walking the raw
 //! [`proc_macro::TokenStream`] directly (the real crate's `syn`/`quote`
 //! dependencies are unavailable offline).
 //!
@@ -44,7 +45,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantKind::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds = binds.join(", ");
                         let inner = serialize_named_fields(fields, "");
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {binds} }} => ::serde::value::Value::Object(\
@@ -147,10 +149,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     .expect("derived Deserialize impl must parse")
 }
 
-fn serialize_named_fields(fields: &[String], prefix: &str) -> String {
+fn serialize_named_fields(fields: &[Field], prefix: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
-        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .map(|f| {
+            format!(
+                "(\"{0}\".to_string(), ::serde::Serialize::to_value(&{prefix}{0}))",
+                f.name
+            )
+        })
         .collect();
     format!(
         "::serde::value::Value::Object(vec![{}])",
@@ -165,10 +172,26 @@ fn serialize_tuple_fields(arity: usize, prefix: &str) -> String {
     format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
 }
 
-fn deserialize_named_fields(fields: &[String]) -> String {
+fn deserialize_named_fields(fields: &[Field]) -> String {
     fields
         .iter()
-        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")?)?,"))
+        .map(|f| {
+            if f.default {
+                // `#[serde(default)]`: an absent key takes the type's
+                // Default; a present-but-invalid value still fails.
+                format!(
+                    "{0}: match v.get(\"{0}\") {{ \
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, \
+                     ::std::option::Option::None => ::std::default::Default::default() }},",
+                    f.name
+                )
+            } else {
+                format!(
+                    "{0}: ::serde::Deserialize::from_value(v.get(\"{0}\")?)?,",
+                    f.name
+                )
+            }
+        })
         .collect()
 }
 
@@ -184,10 +207,16 @@ struct Item {
 }
 
 enum ItemKind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// Whether the field carried `#[serde(default)]`.
+    default: bool,
 }
 
 struct Variant {
@@ -197,7 +226,7 @@ struct Variant {
 
 enum VariantKind {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -245,12 +274,21 @@ fn parse_item(input: TokenStream) -> Item {
 
 /// Skips `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
 fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    eat_attrs_and_vis(tokens);
+}
+
+/// Like [`skip_attrs_and_vis`], but reports whether a `#[serde(default)]`
+/// attribute was among the skipped tokens.
+fn eat_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut has_default = false;
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
                 // The bracketed attribute body.
-                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    has_default |= attr_is_serde_default(g.stream());
+                }
             }
             Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
                 tokens.next();
@@ -261,22 +299,41 @@ fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = Toke
                     tokens.next();
                 }
             }
-            _ => return,
+            _ => return has_default,
         }
     }
 }
 
-/// Field names of a named-field body: `attrs vis name : Type, ...`.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Whether an attribute body (the tokens inside `#[...]`) is
+/// `serde(... default ...)`.
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|tt| matches!(tt, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Fields of a named-field body: `attrs vis name : Type, ...`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut tokens = stream.into_iter().peekable();
     loop {
-        skip_attrs_and_vis(&mut tokens);
+        let default = eat_attrs_and_vis(&mut tokens);
         let Some(tt) = tokens.next() else { break };
         let TokenTree::Ident(field) = tt else {
             panic!("expected field name, found {tt:?}");
         };
-        fields.push(field.to_string());
+        fields.push(Field {
+            name: field.to_string(),
+            default,
+        });
         match tokens.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("expected `:` after field, found {other:?}"),

@@ -1,0 +1,113 @@
+//! Criterion benchmarks of the layers optimized by the hot-path pass:
+//! cache access through the reusable scratch buffers, DRAM activates
+//! driving the dense disturbance arena, a full detector window, and an
+//! end-to-end supervised soak slice (windows/sec).
+//!
+//! `cargo bench --bench hotpath` prints ns/iter per layer; the committed
+//! trajectory record lives in `results/BENCH_hotpath.json` (regenerate
+//! with `cargo run --release -p anvil-bench --bin perfbench`).
+
+use anvil_cache::{CacheHierarchy, HierarchyConfig};
+use anvil_core::{AnvilConfig, Platform, PlatformConfig};
+use anvil_dram::{DramConfig, DramModule};
+use anvil_runtime::{install_quiet_panic_hook, soak, SoakConfig};
+use anvil_workloads::SpecBenchmark;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_cache_access(c: &mut Criterion) {
+    // L1-resident loop: the last-level fast paths and the reusable
+    // writeback/prefetch scratch buffers (no per-access allocation).
+    let mut h = CacheHierarchy::new(HierarchyConfig::sandy_bridge_i5_2540m());
+    let (mut wb, mut pf) = (Vec::new(), Vec::new());
+    let mut addr = 0u64;
+    c.bench_function("hotpath_cache_access_hot_loop", |b| {
+        b.iter(|| {
+            addr = (addr + 64) & 0x3fff;
+            wb.clear();
+            pf.clear();
+            black_box(h.access_into(black_box(addr), false, &mut wb, &mut pf))
+        });
+    });
+
+    // Streaming misses: every access walks all three levels, evicts, and
+    // appends writebacks into the caller-owned buffers.
+    let mut h = CacheHierarchy::new(HierarchyConfig::sandy_bridge_i5_2540m());
+    let (mut wb, mut pf) = (Vec::new(), Vec::new());
+    let mut addr = 0u64;
+    c.bench_function("hotpath_cache_access_streaming", |b| {
+        b.iter(|| {
+            addr = (addr + 64) & ((1 << 30) - 1);
+            wb.clear();
+            pf.clear();
+            black_box(h.access_into(black_box(addr), false, &mut wb, &mut pf))
+        });
+    });
+}
+
+fn bench_dram_activate_disturb(c: &mut Criterion) {
+    // Double-sided hammer: alternating activations in one bank — the
+    // row-buffer last-row fast path misses every time and each activate
+    // charges disturbance into the dense per-bank arena.
+    let mut dram = DramModule::new(DramConfig::paper_ddr3());
+    let mut now = 0u64;
+    let mut i = 0u64;
+    c.bench_function("hotpath_dram_activate_disturb_hammer", |b| {
+        b.iter(|| {
+            i += 1;
+            now += 200;
+            let addr = if i.is_multiple_of(2) {
+                0x22000
+            } else {
+                0x66000
+            };
+            black_box(dram.access(black_box(addr), now))
+        });
+    });
+
+    // Wide sweep across many rows: exercises the arena's lazy row
+    // initialization and slot index instead of a hot pair.
+    let mut dram = DramModule::new(DramConfig::paper_ddr3());
+    let mut now = 0u64;
+    let mut addr = 0u64;
+    c.bench_function("hotpath_dram_activate_disturb_sweep", |b| {
+        b.iter(|| {
+            addr = (addr + 8192) & ((4 << 30) - 1);
+            now += 200;
+            black_box(dram.access(black_box(addr), now))
+        });
+    });
+}
+
+fn bench_detector_window(c: &mut Criterion) {
+    // One full 6 ms stage-1 window of an mcf workload under the baseline
+    // detector: batched core stepping + window bookkeeping + (rarely)
+    // stage-2 sampling.
+    let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+    p.add_workload(SpecBenchmark::Mcf.build(1))
+        .expect("workload loads on fresh platform");
+    c.bench_function("hotpath_detector_window_6ms", |b| {
+        b.iter(|| p.run_ms(black_box(6.0)).expect("window completes"));
+    });
+}
+
+fn bench_soak_windows(c: &mut Criterion) {
+    // End-to-end windows/sec: a 2000-window supervised soak slice with
+    // the standard crash/stall/corruption schedule. ns/iter / 2000 is
+    // the per-window cost the perfbench floor gates on.
+    install_quiet_panic_hook();
+    c.bench_function("hotpath_soak_2000_windows", |b| {
+        b.iter(|| {
+            let cfg = SoakConfig::standard(black_box(2000), 0x50AC);
+            black_box(soak::run(&cfg))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_access,
+    bench_dram_activate_disturb,
+    bench_detector_window,
+    bench_soak_windows
+);
+criterion_main!(benches);

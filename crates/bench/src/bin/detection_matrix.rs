@@ -5,84 +5,49 @@
 //! paper's claim that ANVIL "successfully thwarts all of the known
 //! rowhammer attacks on commodity systems", including the adaptive
 //! attacker scenarios of Section 4.5 (faster flips, spread-out accesses)
-//! that the light/heavy configurations target.
+//! that the light/heavy configurations target. The cells are independent
+//! detection runs, so `--threads N` fans them across cores without
+//! changing the record.
 
-use anvil_bench::{detection_run, write_json, AttackKind, Scale, Table};
-use anvil_core::AnvilConfig;
-use serde_json::json;
-
-/// Whether `config` is designed to catch this attack. ANVIL-heavy shrinks
-/// its windows for *fast* future attacks but keeps the 20K threshold, so a
-/// slow CLFLUSH-free hammer (~19K misses / 2 ms) can legitimately stay
-/// below its stage-1 trigger — the paper's Section 4.5 frames heavy and
-/// light as complements to the baseline, not replacements.
-fn in_scope(config: &str, kind: AttackKind) -> bool {
-    !(config == "heavy" && matches!(kind, AttackKind::ClflushFree))
-}
+use anvil_bench::{campaigns, write_json, CampaignArgs, Table};
 
 fn main() {
-    let scale = Scale::from_args();
-    let run_ms = scale.ms(200.0).max(100.0);
-
-    let configs: [(&str, AnvilConfig); 3] = [
-        ("baseline", AnvilConfig::baseline()),
-        ("light", AnvilConfig::light()),
-        ("heavy", AnvilConfig::heavy()),
-    ];
+    let args = CampaignArgs::from_env();
+    let run_ms = args.scale().ms(200.0).max(100.0);
+    let out = campaigns::detection_matrix(run_ms, args.threads);
 
     let mut table = Table::new(
         "Section 4.2/4.5: Detection matrix (attack x config x load)",
         &["Attack", "Config", "Load", "Detected at", "Flips"],
     );
-    let mut records = Vec::new();
-    let mut misses = 0u32;
-
-    for kind in AttackKind::all() {
-        for (label, cfg) in configs {
-            for heavy in [false, true] {
-                let s = detection_run(kind, cfg, heavy, run_ms, 3);
-                let scoped = in_scope(label, kind);
-                let detected = s.detect_ms.map_or(
-                    if scoped {
-                        "NOT DETECTED"
-                    } else {
-                        "below heavy's threshold (by design)"
-                    }
-                    .into(),
-                    |d| format!("{d:.1} ms"),
-                );
-                if scoped && (s.detect_ms.is_none() || s.flips > 0) {
-                    misses += 1;
-                }
-                table.row(&[
-                    kind.label().to_string(),
-                    label.to_string(),
-                    if heavy { "heavy" } else { "light" }.to_string(),
-                    detected,
-                    s.flips.to_string(),
-                ]);
-                records.push(json!({
-                    "attack": kind.label(),
-                    "config": label,
-                    "heavy_load": heavy,
-                    "detect_ms": s.detect_ms,
-                    "flips": s.flips,
-                }));
-                eprintln!(
-                    "  [{} / {label} / {}] {:?}, flips {}",
-                    kind.label(),
-                    if heavy { "heavy" } else { "light" },
-                    s.detect_ms,
-                    s.flips
-                );
+    for c in &out.cells {
+        let detected = c.summary.detect_ms.map_or(
+            if c.in_scope {
+                "NOT DETECTED"
+            } else {
+                "below heavy's threshold (by design)"
             }
-        }
+            .into(),
+            |d| format!("{d:.1} ms"),
+        );
+        table.row(&[
+            c.summary.attack.clone(),
+            c.config.to_string(),
+            if c.summary.heavy_load {
+                "heavy"
+            } else {
+                "light"
+            }
+            .to_string(),
+            detected,
+            c.summary.flips.to_string(),
+        ]);
     }
 
     table.print();
     println!(
         "{}",
-        if misses == 0 {
+        if out.misses == 0 {
             "ZERO FALSE NEGATIVES, ZERO FLIPS in every in-scope cell — matches Section 4.2.\n\
              (ANVIL-heavy intentionally trades the slow-attack corner for 3x faster\n\
              response; deploy it alongside, not instead of, the baseline — Section 4.5.)"
@@ -90,8 +55,5 @@ fn main() {
             "WARNING: some in-scope attacks were missed or flipped bits."
         }
     );
-    write_json(
-        "detection_matrix",
-        &json!({ "experiment": "detection_matrix", "rows": records, "misses": misses }),
-    );
+    write_json("detection_matrix", &out.json);
 }

@@ -8,8 +8,9 @@
 //! camouflage dilutes the PEBS sample mix with row-buffer-hit filler, and
 //! distributed many-sided hammering spreads activations so no row
 //! dominates the histogram. The matrix runs every strategy against
-//! [`AnvilConfig::baseline`] and [`AnvilConfig::hardened`] on the paper's
-//! "future DRAM" (Section 4.5: flips at 110K double-sided activations).
+//! [`anvil_core::AnvilConfig::baseline`] and
+//! [`anvil_core::AnvilConfig::hardened`] on the paper's "future DRAM"
+//! (Section 4.5: flips at 110K double-sided activations).
 //!
 //! A cell is *defended* when no bit flipped and either a detection fired
 //! or the guarantee-envelope auditor proves the strategy's undetectable
@@ -20,192 +21,31 @@
 //!
 //! The campaign seed is threaded through the DRAM fault map and the
 //! hardened detector's window-phase schedule, so `results/evasion.json`
-//! reproduces byte-for-byte with the same binary and seed:
+//! reproduces byte-for-byte with the same binary and seed — at any
+//! `--threads` count, since the cells are independent:
 //!
 //! ```bash
 //! cargo run --release -p anvil-bench --bin evasion            # full matrix
 //! cargo run --release -p anvil-bench --bin evasion -- --smoke # CI subset
-//! cargo run --release -p anvil-bench --bin evasion -- --seed 7
+//! cargo run --release -p anvil-bench --bin evasion -- --seed 7 --threads 4
 //! ```
 
-use anvil_adversary::{CamouflageHammer, DistributedManySided, DutyCycleHammer, PacedHammer};
-use anvil_attacks::Attack;
-use anvil_bench::{windows_from_args, write_json, Scale, Table};
-use anvil_core::{
-    AnvilConfig, DetectorStats, EnvelopeParams, GuaranteeEnvelope, Platform, PlatformConfig,
-};
-use anvil_dram::DisturbanceConfig;
-use anvil_mem::MemoryConfig;
-use serde_json::json;
+use anvil_bench::{campaigns, write_json, CampaignArgs, Table};
 
 /// Default campaign seed; override with `--seed N`.
 const DEFAULT_SEED: u64 = 0xE5A51;
 
-/// How long each probe of the threshold-prober's binary search runs.
-const PROBE_MS: f64 = 30.0;
-
-/// The evasive strategies, each mapped to the envelope archetype whose
-/// budget bounds it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Strategy {
-    /// Bursts straddling stage-1 window boundaries.
-    DutyCycle,
-    /// Constant pace binary-searched to the stage-1 trip point.
-    ThresholdProber,
-    /// Aggressor pair hidden in a streaming row-buffer-hit sweep.
-    Camouflage,
-    /// Round-robin over many pairs in distinct banks.
-    Distributed,
-}
-
-impl Strategy {
-    /// Full-matrix order.
-    fn all() -> [Strategy; 4] {
-        [
-            Strategy::DutyCycle,
-            Strategy::ThresholdProber,
-            Strategy::Camouflage,
-            Strategy::Distributed,
-        ]
-    }
-
-    /// Display name (matches the attack's `name()`).
-    fn label(self) -> &'static str {
-        match self {
-            Strategy::DutyCycle => "duty-cycle-hammer",
-            Strategy::ThresholdProber => "threshold-prober",
-            Strategy::Camouflage => "camouflage-hammer",
-            Strategy::Distributed => "distributed-many-sided",
-        }
-    }
-
-    /// Builds the attack; `pace` is the prober's searched pace.
-    fn build(self, pace: Option<u64>) -> Box<dyn Attack> {
-        match self {
-            Strategy::DutyCycle => Box::new(DutyCycleHammer::new()),
-            Strategy::ThresholdProber => {
-                let mut a = PacedHammer::new();
-                if let Some(p) = pace {
-                    a = a.with_misses_per_window(p);
-                }
-                Box::new(a)
-            }
-            Strategy::Camouflage => Box::new(CamouflageHammer::new()),
-            Strategy::Distributed => Box::new(DistributedManySided::new()),
-        }
-    }
-
-    /// The audited budget bounding this strategy.
-    fn budget(self, env: &GuaranteeEnvelope) -> u64 {
-        match self {
-            Strategy::DutyCycle => env.straddle_budget,
-            Strategy::ThresholdProber => env.sustained_budget,
-            Strategy::Camouflage => env.camouflage_budget,
-            Strategy::Distributed => env.distributed_budget,
-        }
-    }
-}
-
-/// Parses `--seed N` (default [`DEFAULT_SEED`]).
-fn seed_from_args() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
-
-/// Threads the campaign seed into the detector (window-phase schedule).
-fn campaign_config(mut cfg: AnvilConfig, seed: u64) -> AnvilConfig {
-    cfg.hardening.phase_seed = seed;
-    cfg
-}
-
-/// A protected platform on future-DRAM (110K flip threshold), with the
-/// campaign seed folded into the DRAM fault map.
-fn future_platform(cfg: &AnvilConfig, seed: u64) -> Platform {
-    let mut pc = PlatformConfig::with_anvil(*cfg);
-    pc.memory.dram.disturbance = DisturbanceConfig::future_half_threshold();
-    pc.memory.dram.seed ^= seed;
-    Platform::new(pc)
-}
-
-/// Binary-searches the highest pace (misses per assumed 6 ms window)
-/// whose stage-1 crossing count stays at zero over a probe run — the
-/// threshold-prober's driver loop, run against the *actual* detector the
-/// adversary faces.
-fn quiet_pace(cfg: &AnvilConfig, seed: u64) -> u64 {
-    let trips = |pace: u64| {
-        let mut p = future_platform(cfg, seed);
-        p.add_attack(Box::new(PacedHammer::new().with_misses_per_window(pace)))
-            .expect("attack prepares on open platform");
-        p.run_ms(PROBE_MS).expect("probe run completes");
-        p.detector_stats()
-            .expect("anvil loaded")
-            .threshold_crossings
-            > 0
-    };
-    let (mut lo, mut hi) = (2_000u64, 40_000u64);
-    if trips(lo) {
-        return lo;
-    }
-    while hi - lo > 250 {
-        let mid = (lo + hi) / 2;
-        if trips(mid) {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-    }
-    lo
-}
-
-/// One campaign cell: run `strategy` under `cfg` for `ms`.
-fn run_cell(
-    strategy: Strategy,
-    pace: Option<u64>,
-    cfg: &AnvilConfig,
-    seed: u64,
-    ms: f64,
-) -> (Option<f64>, u64, DetectorStats) {
-    let mut p = future_platform(cfg, seed);
-    p.add_attack(strategy.build(pace))
-        .expect("attack prepares on open platform");
-    p.run_ms(ms).expect("run completes");
-    let stats = *p.detector_stats().expect("anvil loaded");
-    (p.first_detection_ms(), p.total_flips(), stats)
-}
-
-#[allow(clippy::too_many_lines)]
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = Scale::from_args();
-    let seed = seed_from_args();
+    let args = CampaignArgs::from_env();
+    let seed = args.seed_or(DEFAULT_SEED);
     // Long enough for the slowest flip in the matrix (distributed
     // many-sided reaches 110K per-pair activations at ~56 ms).
     // `--windows N` overrides the duration directly (6 ms per stage-1
     // window).
-    let run_ms = windows_from_args().map_or(scale.ms(80.0).max(70.0), |w| w as f64 * 6.0);
-    let strategies: Vec<Strategy> = if smoke {
-        // One stage-1 evasion (carry + jitter) and one stage-2 evasion
-        // (ledger): covers both hardening layers cheaply.
-        vec![Strategy::DutyCycle, Strategy::Distributed]
-    } else {
-        Strategy::all().to_vec()
-    };
-
-    let params = EnvelopeParams::paper_platform();
-    let clock = MemoryConfig::paper_platform().clock;
-    let future_flip = DisturbanceConfig::future_half_threshold().double_sided_threshold;
-    let detectors = [
-        ("baseline", campaign_config(AnvilConfig::baseline(), seed)),
-        ("hardened", campaign_config(AnvilConfig::hardened(), seed)),
-    ];
-    let envelopes: Vec<GuaranteeEnvelope> = detectors
-        .iter()
-        .map(|(_, cfg)| GuaranteeEnvelope::audit(cfg, &clock, &params))
-        .collect();
+    let run_ms = args
+        .windows
+        .map_or(args.scale().ms(80.0).max(70.0), |w| w as f64 * 6.0);
+    let out = campaigns::evasion(args.smoke, run_ms, seed, args.threads);
 
     let mut table = Table::new(
         "Evasion campaign: adaptive adversaries on future DRAM (110K flips)",
@@ -221,84 +61,29 @@ fn main() {
             "Outcome",
         ],
     );
-    let mut cells = Vec::new();
-    let mut hardened_failures = 0u32;
-    let mut baseline_losses = 0u32;
-    let mut demonstrated = false;
-
-    for &strategy in &strategies {
-        let mut baseline_lost = false;
-        for (i, (det, cfg)) in detectors.iter().enumerate() {
-            let budget = strategy.budget(&envelopes[i]);
-            let proven = budget < params.flip_threshold;
-            let pace = (strategy == Strategy::ThresholdProber).then(|| quiet_pace(cfg, seed));
-            let (detect_ms, flips, stats) = run_cell(strategy, pace, cfg, seed, run_ms);
-            let detected = detect_ms.is_some();
-            let defended = flips == 0 && (detected || proven);
-            let outcome = match (flips, detected, proven) {
-                (0, true, _) => "detected",
-                (0, false, true) => "enveloped",
-                (0, false, false) => "UNPROVEN",
-                (_, true, _) => "FLIPPED (late)",
-                (_, false, _) => "EVADED",
-            };
-            if *det == "hardened" {
-                if !defended {
-                    hardened_failures += 1;
-                } else if baseline_lost {
-                    demonstrated = true;
-                }
-            } else if !defended {
-                baseline_lost = true;
-                baseline_losses += 1;
-            }
-            table.row(&[
-                strategy.label().to_string(),
-                (*det).to_string(),
-                detect_ms.map_or("never".into(), |d| format!("{d:.1} ms")),
-                stats.threshold_crossings.to_string(),
-                stats.carry_crossings.to_string(),
-                stats.ledger_flags.to_string(),
-                flips.to_string(),
-                format!("{budget}"),
-                outcome.to_string(),
-            ]);
-            eprintln!(
-                "  [{} / {det}] detect {detect_ms:?}, flips {flips}, \
-                 crossings {} (carry {}), ledger {}, budget {budget}",
-                strategy.label(),
-                stats.threshold_crossings,
-                stats.carry_crossings,
-                stats.ledger_flags,
-            );
-            cells.push(json!({
-                "strategy": strategy.label(),
-                "detector": det,
-                "pace": pace,
-                "detect_ms": detect_ms,
-                "flips": flips,
-                "threshold_crossings": stats.threshold_crossings,
-                "carry_crossings": stats.carry_crossings,
-                "ledger_flags": stats.ledger_flags,
-                "detections": stats.detections,
-                "selective_refreshes": stats.selective_refreshes,
-                "envelope_budget": budget,
-                "envelope_proven": proven,
-                "defended": defended,
-                "outcome": outcome,
-            }));
-        }
+    for c in &out.cells {
+        table.row(&[
+            c.strategy.to_string(),
+            c.detector.to_string(),
+            c.detect_ms.map_or("never".into(), |d| format!("{d:.1} ms")),
+            c.stats.threshold_crossings.to_string(),
+            c.stats.carry_crossings.to_string(),
+            c.stats.ledger_flags.to_string(),
+            c.flips.to_string(),
+            format!("{}", c.budget),
+            c.outcome.to_string(),
+        ]);
     }
 
     table.print();
     println!(
         "{}",
-        if hardened_failures == 0 && demonstrated {
+        if out.hardened_failures == 0 && out.demonstrated {
             "HARDENED DETECTOR DEFENDS EVERY CELL: each strategy is either\n\
              detected (zero flips) or envelope-proven unable to reach the\n\
              220K design threshold — while the paper baseline loses at\n\
              least one of the same cells."
-        } else if hardened_failures > 0 {
+        } else if out.hardened_failures > 0 {
             "FAILURE: a hardened cell flipped bits or escaped both the\n\
              dynamic detection and the envelope proof."
         } else {
@@ -306,26 +91,8 @@ fn main() {
              defends — the campaign demonstrates nothing."
         }
     );
-    write_json(
-        "evasion",
-        &json!({
-            "experiment": "evasion",
-            "seed": seed,
-            "run_ms": run_ms,
-            "smoke": smoke,
-            "future_flip_threshold": future_flip,
-            "design_flip_threshold": params.flip_threshold,
-            "envelopes": {
-                "baseline": envelopes[0],
-                "hardened": envelopes[1],
-            },
-            "baseline_losses": baseline_losses,
-            "hardened_failures": hardened_failures,
-            "demonstrated": demonstrated,
-            "cells": cells,
-        }),
-    );
-    if hardened_failures > 0 || !demonstrated {
+    write_json("evasion", &out.json);
+    if out.hardened_failures > 0 || !out.demonstrated {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,217 @@
+//! **Perf trajectory** — measured simulator throughput, committed as a
+//! regression baseline.
+//!
+//! Times each optimized hot-path layer (cache access, DRAM
+//! activate+disturb, platform step, full detector window) and the
+//! end-to-end soak workload, serial and fanned through
+//! [`anvil_bench::run_cells`], then writes `results/BENCH_hotpath.json`
+//! so later PRs can compare against this PR's numbers instead of
+//! re-deriving them.
+//!
+//! Unlike the campaign records, this file is a *measurement* — it varies
+//! with the machine and is regenerated, not byte-compared. The binary
+//! exits non-zero when serial soak throughput falls below a generous
+//! floor ([`FLOOR_WINDOWS_PER_SEC`]), which is what the CI `bench-smoke`
+//! job gates on: it catches order-of-magnitude regressions without
+//! flaking on machine noise.
+//!
+//! ```bash
+//! cargo run --release -p anvil-bench --bin perfbench             # full
+//! cargo run --release -p anvil-bench --bin perfbench -- --quick  # CI
+//! ```
+
+use anvil_bench::{run_cells, write_json, CampaignArgs};
+use anvil_cache::{CacheHierarchy, HierarchyConfig};
+use anvil_core::{AnvilConfig, Platform, PlatformConfig};
+use anvil_dram::{DramConfig, DramModule};
+use anvil_runtime::{install_quiet_panic_hook, soak, SoakConfig, SoakSummary};
+use anvil_workloads::SpecBenchmark;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Serial soak throughput floor (windows/sec) below which the binary
+/// exits non-zero. The pre-PR serial baseline was ~63K windows/sec and
+/// the optimized path runs several times faster, so this only trips on
+/// an order-of-magnitude regression, not on a slow CI machine.
+const FLOOR_WINDOWS_PER_SEC: f64 = 10_000.0;
+
+/// The pre-optimization serial baseline this PR was measured against:
+/// the 120K-window soak smoke ran in 1.90 s (~63K windows/sec) on the
+/// same container immediately before the hot-path pass landed.
+const PRE_PR_SERIAL_WINDOWS_PER_SEC: f64 = 63_000.0;
+
+/// Times `op` and returns its mean cost in ns: calibrates the iteration
+/// count until a batch is long enough to time reliably, then measures
+/// for roughly `budget_ms`.
+fn ns_per_op(budget_ms: f64, mut op: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 5 || iters >= 1 << 30 {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            let need = ((budget_ms * 1e6 / per).max(1.0)) as u64;
+            let start = Instant::now();
+            for _ in 0..need {
+                op();
+            }
+            return start.elapsed().as_nanos() as f64 / need as f64;
+        }
+        iters *= 8;
+    }
+}
+
+/// Rounds to one decimal for the committed record (keeps diffs small and
+/// avoids implying nanosecond-precision reproducibility).
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// The soak smoke lifecycle (matching the `soak --smoke` campaign: crash
+/// rate scaled up so the absolute crash count stays meaningful at small
+/// window counts).
+fn soak_cfg(windows: u64, seed: u64) -> SoakConfig {
+    let mut cfg = SoakConfig::standard(windows, seed);
+    cfg.lifecycle.crash_rate = 5e-3;
+    cfg.reload_every = 20_000;
+    cfg
+}
+
+/// Runs `cells` soak cells of `windows` each across `threads` workers
+/// and returns aggregate windows/sec.
+fn soak_windows_per_sec(cells: usize, windows: u64, threads: usize) -> f64 {
+    let jobs: Vec<Box<dyn FnOnce() -> SoakSummary + Send>> = (0..cells)
+        .map(|i| {
+            let seed = 0x50AC + i as u64;
+            Box::new(move || soak::run(&soak_cfg(windows, seed))) as _
+        })
+        .collect();
+    let start = Instant::now();
+    let results = run_cells(threads, jobs);
+    let elapsed = start.elapsed().as_secs_f64();
+    let total: u64 = results.iter().map(|s| s.windows).sum();
+    total as f64 / elapsed
+}
+
+fn main() {
+    install_quiet_panic_hook();
+    let args = CampaignArgs::from_env();
+    let budget_ms = if args.quick { 60.0 } else { 300.0 };
+
+    eprintln!("perfbench: per-layer timings ({budget_ms:.0} ms budget per layer)");
+
+    // Cache: L1-resident loop through the scratch-buffer entry point.
+    let mut h = CacheHierarchy::new(HierarchyConfig::sandy_bridge_i5_2540m());
+    let (mut wb, mut pf) = (Vec::new(), Vec::new());
+    let mut addr = 0u64;
+    let cache_hot = ns_per_op(budget_ms, || {
+        addr = (addr + 64) & 0x3fff;
+        wb.clear();
+        pf.clear();
+        black_box(h.access_into(black_box(addr), false, &mut wb, &mut pf));
+    });
+
+    let mut h = CacheHierarchy::new(HierarchyConfig::sandy_bridge_i5_2540m());
+    let (mut wb, mut pf) = (Vec::new(), Vec::new());
+    let mut addr = 0u64;
+    let cache_streaming = ns_per_op(budget_ms, || {
+        addr = (addr + 64) & ((1 << 30) - 1);
+        wb.clear();
+        pf.clear();
+        black_box(h.access_into(black_box(addr), false, &mut wb, &mut pf));
+    });
+
+    // DRAM: double-sided hammer (dense-arena disturbance on every
+    // activate) and a wide sweep (lazy row initialization).
+    let mut dram = DramModule::new(DramConfig::paper_ddr3());
+    let (mut now, mut i) = (0u64, 0u64);
+    let dram_hammer = ns_per_op(budget_ms, || {
+        i += 1;
+        now += 200;
+        let a = if i % 2 == 0 { 0x22000 } else { 0x66000 };
+        black_box(dram.access(black_box(a), now));
+    });
+
+    let mut dram = DramModule::new(DramConfig::paper_ddr3());
+    let (mut now, mut addr) = (0u64, 0u64);
+    let dram_sweep = ns_per_op(budget_ms, || {
+        addr = (addr + 8192) & ((4 << 30) - 1);
+        now += 200;
+        black_box(dram.access(black_box(addr), now));
+    });
+
+    // Platform: one batched core op under the baseline detector, and a
+    // full 6 ms stage-1 window.
+    let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+    let pid = p
+        .add_workload(SpecBenchmark::Mcf.build(1))
+        .expect("workload loads on fresh platform");
+    let step = ns_per_op(budget_ms, || {
+        p.run_core_ops(black_box(pid), 1).expect("step completes");
+    });
+
+    let mut p = Platform::new(PlatformConfig::with_anvil(AnvilConfig::baseline()));
+    p.add_workload(SpecBenchmark::Mcf.build(1))
+        .expect("workload loads on fresh platform");
+    let window = ns_per_op(budget_ms.max(200.0), || {
+        p.run_ms(black_box(6.0)).expect("window completes");
+    });
+
+    eprintln!(
+        "  cache hot {cache_hot:.1} ns, streaming {cache_streaming:.1} ns; \
+         dram hammer {dram_hammer:.1} ns, sweep {dram_sweep:.1} ns; \
+         step {step:.1} ns, window {:.1} us",
+        window / 1e3
+    );
+
+    // End-to-end soak: the acceptance metric. Serial is one cell (the
+    // same protocol the pre-PR baseline was measured with); parallel
+    // fans independent cells through run_cells.
+    let windows = if args.quick { 20_000 } else { 120_000 };
+    let cells = args.threads.max(2);
+    eprintln!("perfbench: soak end-to-end ({windows} windows/cell, {cells} cells parallel)");
+    let serial = soak_windows_per_sec(1, windows, 1);
+    let parallel = soak_windows_per_sec(cells, windows, args.threads);
+    let speedup = serial.max(parallel) / PRE_PR_SERIAL_WINDOWS_PER_SEC;
+    eprintln!(
+        "  serial {serial:.0} windows/s, parallel {parallel:.0} windows/s \
+         ({speedup:.1}x pre-PR serial baseline)"
+    );
+
+    write_json(
+        "BENCH_hotpath",
+        &json!({
+            "experiment": "perf_hotpath",
+            "quick": args.quick,
+            "threads": args.threads,
+            "layers_ns_per_op": {
+                "cache_access_hot": round1(cache_hot),
+                "cache_access_streaming": round1(cache_streaming),
+                "dram_activate_disturb_hammer": round1(dram_hammer),
+                "dram_activate_disturb_sweep": round1(dram_sweep),
+                "platform_step": round1(step),
+                "detector_window_us": round1(window / 1e3),
+            },
+            "end_to_end": {
+                "soak_windows_per_cell": windows,
+                "serial_windows_per_sec": round1(serial),
+                "parallel_cells": cells,
+                "parallel_windows_per_sec": round1(parallel),
+                "pre_pr_serial_windows_per_sec": PRE_PR_SERIAL_WINDOWS_PER_SEC,
+                "speedup_vs_pre_pr": round1(speedup),
+                "floor_windows_per_sec": FLOOR_WINDOWS_PER_SEC,
+            },
+        }),
+    );
+    if serial < FLOOR_WINDOWS_PER_SEC {
+        eprintln!(
+            "perfbench: FAIL — serial soak {serial:.0} windows/s is below the \
+             {FLOOR_WINDOWS_PER_SEC:.0} windows/s floor"
+        );
+        std::process::exit(1);
+    }
+}

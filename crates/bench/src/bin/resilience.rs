@@ -5,10 +5,11 @@
 //! overflow, PMIs are held off by interrupt-masked sections, pagemap
 //! walks race with migration, the kernel thread is preempted, and DDR3
 //! controllers legally postpone refresh. This bench sweeps every built-in
-//! [`FaultScenario`] across the attack matrix and fault intensities and
-//! reports, per cell: detection latency, bit flips, and degraded-mode
-//! engagement. A cell counts as *protected* when no bit flipped and
-//! either a detection fired or the degraded fallback visibly engaged.
+//! [`anvil_faults::FaultScenario`] across the attack matrix and fault
+//! intensities and reports, per cell: detection latency, bit flips, and
+//! degraded-mode engagement. A cell counts as *protected* when no bit
+//! flipped and either a detection fired or the degraded fallback visibly
+//! engaged.
 //!
 //! A second, smaller matrix crosses the faults with the *adaptive*
 //! adversaries from `anvil-adversary`: the hardened detector on future
@@ -16,57 +17,37 @@
 //! while the attacker is actively dodging the measurement pipeline.
 //!
 //! The campaign seed is recorded in `results/resilience.json`, so any
-//! failing cell reproduces byte-for-byte with the same binary:
+//! failing cell reproduces byte-for-byte with the same binary; the cells
+//! are independent, so `--threads N` fans them across cores without
+//! changing a byte of the record:
 //!
 //! ```bash
 //! cargo run --release -p anvil-bench --bin resilience            # full sweep
 //! cargo run --release -p anvil-bench --bin resilience -- --smoke # CI subset
-//! cargo run --release -p anvil-bench --bin resilience -- --seed 7
+//! cargo run --release -p anvil-bench --bin resilience -- --seed 7 --threads 4
 //! ```
 
-use anvil_adversary::{DistributedManySided, DutyCycleHammer};
-use anvil_attacks::Attack;
-use anvil_bench::{
-    evasion_resilience_run, resilience_run, windows_from_args, write_json, AttackKind, Scale, Table,
-};
-use anvil_core::AnvilConfig;
-use anvil_faults::FaultScenario;
-use serde_json::json;
+use anvil_bench::{campaigns, write_json, CampaignArgs, Table};
 
 /// Default campaign seed; override with `--seed N`.
 const DEFAULT_SEED: u64 = 0xA_11CE;
 
-fn seed_from_args() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
-
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = Scale::from_args();
-    let seed = seed_from_args();
+    let args = CampaignArgs::from_env();
+    let seed = args.seed_or(DEFAULT_SEED);
     // Long enough for the slowest in-matrix detection (CLFLUSH-free needs
     // most of a refresh window) plus slack for fault-delayed windows.
     // `--windows N` overrides the duration directly (6 ms per stage-1
     // window).
-    let run_ms = windows_from_args().map_or(
-        if smoke {
+    let run_ms = args.windows.map_or(
+        if args.smoke {
             70.0
         } else {
-            scale.ms(120.0).max(70.0)
+            args.scale().ms(120.0).max(70.0)
         },
         |w| w as f64 * 6.0,
     );
-    let intensities: &[f64] = if smoke { &[1.0] } else { &[0.5, 1.0] };
-    let attacks: Vec<AttackKind> = if smoke {
-        vec![AttackKind::DoubleSided]
-    } else {
-        AttackKind::all().to_vec()
-    };
+    let out = campaigns::resilience(args.smoke, run_ms, seed, args.threads);
 
     let mut table = Table::new(
         "Fault campaign: protection under a degraded substrate",
@@ -80,59 +61,17 @@ fn main() {
             "Protected",
         ],
     );
-    let mut cells = Vec::new();
-    let mut unprotected = 0u32;
-
-    for scenario in FaultScenario::ALL {
-        for &intensity in intensities {
-            for &kind in &attacks {
-                let s = resilience_run(
-                    scenario,
-                    intensity,
-                    kind,
-                    AnvilConfig::baseline(),
-                    run_ms,
-                    seed,
-                );
-                if !s.protected {
-                    unprotected += 1;
-                }
-                table.row(&[
-                    s.scenario.clone(),
-                    s.attack.clone(),
-                    format!("{intensity:.1}"),
-                    s.detect_ms.map_or("never".into(), |d| format!("{d:.1} ms")),
-                    s.degraded_windows.to_string(),
-                    s.flips.to_string(),
-                    if s.protected { "yes" } else { "NO" }.to_string(),
-                ]);
-                eprintln!(
-                    "  [{} / {} / {intensity:.1}] detect {:?}, degraded {}, flips {}",
-                    s.scenario, s.attack, s.detect_ms, s.degraded_windows, s.flips
-                );
-                cells.push(serde_json::to_value(&s));
-            }
-        }
+    for s in &out.cells {
+        table.row(&[
+            s.scenario.clone(),
+            s.attack.clone(),
+            format!("{:.1}", s.intensity),
+            s.detect_ms.map_or("never".into(), |d| format!("{d:.1} ms")),
+            s.degraded_windows.to_string(),
+            s.flips.to_string(),
+            if s.protected { "yes" } else { "NO" }.to_string(),
+        ]);
     }
-
-    // Fault × evasion cross-matrix: adaptive adversaries while the
-    // substrate degrades, against the hardened detector on future DRAM.
-    // PEBS overflow starves exactly the stage-2 evidence the hardened
-    // countermeasures (ledger, sticky sampling) feed on; the combined
-    // scenario stacks every fault class at once.
-    let cross_scenarios: &[FaultScenario] = if smoke {
-        &[FaultScenario::PebsOverflow]
-    } else {
-        &[FaultScenario::PebsOverflow, FaultScenario::Combined]
-    };
-    let evaders: &[fn() -> Box<dyn Attack>] = if smoke {
-        &[|| Box::new(DutyCycleHammer::new())]
-    } else {
-        &[
-            || Box::new(DutyCycleHammer::new()),
-            || Box::new(DistributedManySided::new()),
-        ]
-    };
     let mut cross_table = Table::new(
         "Fault x evasion: adaptive adversaries on a degraded substrate (hardened, future DRAM)",
         &[
@@ -144,41 +83,22 @@ fn main() {
             "Protected",
         ],
     );
-    let mut cross_cells = Vec::new();
-    for &scenario in cross_scenarios {
-        for build in evaders {
-            let s = evasion_resilience_run(
-                scenario,
-                1.0,
-                build(),
-                AnvilConfig::hardened(),
-                run_ms,
-                seed,
-            );
-            if !s.protected {
-                unprotected += 1;
-            }
-            cross_table.row(&[
-                s.scenario.clone(),
-                s.attack.clone(),
-                s.detect_ms.map_or("never".into(), |d| format!("{d:.1} ms")),
-                s.degraded_windows.to_string(),
-                s.flips.to_string(),
-                if s.protected { "yes" } else { "NO" }.to_string(),
-            ]);
-            eprintln!(
-                "  [cross: {} / {}] detect {:?}, degraded {}, flips {}",
-                s.scenario, s.attack, s.detect_ms, s.degraded_windows, s.flips
-            );
-            cross_cells.push(serde_json::to_value(&s));
-        }
+    for s in &out.cross_cells {
+        cross_table.row(&[
+            s.scenario.clone(),
+            s.attack.clone(),
+            s.detect_ms.map_or("never".into(), |d| format!("{d:.1} ms")),
+            s.degraded_windows.to_string(),
+            s.flips.to_string(),
+            if s.protected { "yes" } else { "NO" }.to_string(),
+        ]);
     }
 
     table.print();
     cross_table.print();
     println!(
         "{}",
-        if unprotected == 0 {
+        if out.unprotected == 0 {
             "ZERO FLIPS in every cell — the no-flip guarantee holds under every\n\
              built-in fault scenario (degraded-mode engagements count as\n\
              protection and are visible in the Degraded column)."
@@ -186,19 +106,8 @@ fn main() {
             "WARNING: some cells flipped bits or showed no protection signal."
         }
     );
-    write_json(
-        "resilience",
-        &json!({
-            "experiment": "resilience",
-            "seed": seed,
-            "run_ms": run_ms,
-            "smoke": smoke,
-            "unprotected": unprotected,
-            "cells": cells,
-            "cross_cells": cross_cells,
-        }),
-    );
-    if unprotected > 0 {
+    write_json("resilience", &out.json);
+    if out.unprotected > 0 {
         std::process::exit(1);
     }
 }

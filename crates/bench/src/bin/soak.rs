@@ -27,9 +27,8 @@
 //! cargo run --release -p anvil-bench --bin soak -- --windows 500000 --seed 7
 //! ```
 
-use anvil_bench::{windows_from_args, write_json, Table};
-use anvil_runtime::{install_quiet_panic_hook, soak, SoakConfig};
-use serde_json::json;
+use anvil_bench::{campaigns, write_json, CampaignArgs, Table};
+use anvil_runtime::{install_quiet_panic_hook, SoakConfig};
 
 /// Default campaign seed; override with `--seed N`.
 const DEFAULT_SEED: u64 = 0x50AC;
@@ -41,24 +40,19 @@ const FULL_WINDOWS: u64 = 2_000_000;
 /// still injecting hundreds of crashes and several reloads.
 const SMOKE_WINDOWS: u64 = 120_000;
 
-fn seed_from_args() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
-
 fn main() {
     // Thousands of injected detector crashes would otherwise each print
     // a panic report.
     install_quiet_panic_hook();
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let seed = seed_from_args();
-    let windows = windows_from_args().unwrap_or(if smoke { SMOKE_WINDOWS } else { FULL_WINDOWS });
+    let args = CampaignArgs::from_env();
+    let seed = args.seed_or(DEFAULT_SEED);
+    let windows = args.windows.unwrap_or(if args.smoke {
+        SMOKE_WINDOWS
+    } else {
+        FULL_WINDOWS
+    });
     let mut cfg = SoakConfig::standard(windows, seed);
-    if smoke {
+    if args.smoke {
         // Keep the absolute crash/reload counts meaningful at the
         // smaller scale.
         cfg.lifecycle.crash_rate = 5e-3;
@@ -69,7 +63,8 @@ fn main() {
         "soak: {windows} windows, seed {seed:#x}, crash rate {}, reload every {}",
         cfg.lifecycle.crash_rate, cfg.reload_every
     );
-    let s = soak::run(&cfg);
+    let out = campaigns::soak(&cfg, seed, args.smoke, args.threads);
+    let s = &out.summary;
 
     let mut table = Table::new(
         "Soak campaign: supervised lifetime under crash/stall/corruption faults",
@@ -128,28 +123,7 @@ fn main() {
         }
     );
 
-    write_json(
-        "soak",
-        &json!({
-            "experiment": "soak",
-            "seed": seed,
-            "smoke": smoke,
-            "config": {
-                "windows": cfg.windows,
-                "crash_rate": cfg.lifecycle.crash_rate,
-                "stall_rate": cfg.lifecycle.stall_rate,
-                "max_stall": cfg.lifecycle.max_stall,
-                "corrupt_rate": cfg.lifecycle.corrupt_rate,
-                "reload_every": cfg.reload_every,
-                "checkpoint_every": cfg.runtime.checkpoint_every,
-                "restart_budget": cfg.runtime.restart_budget,
-                "backoff_base": cfg.runtime.backoff_base,
-                "backoff_cap": cfg.runtime.backoff_cap,
-            },
-            "summary": serde_json::to_value(&s),
-            "holds": s.holds(),
-        }),
-    );
+    write_json("soak", &out.json);
     if !s.holds() {
         std::process::exit(1);
     }

@@ -1,0 +1,576 @@
+//! Campaign bodies shared by the `soak`, `resilience`, `evasion`, and
+//! `detection_matrix` binaries.
+//!
+//! Each campaign is a matrix of *independent* scenario cells: every cell
+//! builds its own `Platform` from the campaign seed and shares no mutable
+//! state, so the cells fan out across worker threads via
+//! [`run_cells`](crate::harness::run_cells) while the collected results —
+//! and therefore the JSON record — stay byte-for-byte identical to a
+//! serial run. The binaries keep only argument parsing, table rendering,
+//! and exit codes; tests call these functions directly to prove
+//! thread-count independence.
+
+use crate::harness::{
+    detection_run, evasion_resilience_run, resilience_run, run_cells, AttackKind, DetectionSummary,
+    ResilienceSummary,
+};
+use anvil_adversary::{CamouflageHammer, DistributedManySided, DutyCycleHammer, PacedHammer};
+use anvil_attacks::Attack;
+use anvil_core::{
+    AnvilConfig, DetectorStats, EnvelopeParams, GuaranteeEnvelope, Platform, PlatformConfig,
+};
+use anvil_dram::DisturbanceConfig;
+use anvil_faults::FaultScenario;
+use anvil_mem::MemoryConfig;
+use anvil_runtime::{soak as soak_engine, SoakConfig, SoakSummary};
+use serde_json::{json, Value};
+
+// ---------------------------------------------------------------------------
+// Resilience
+// ---------------------------------------------------------------------------
+
+/// Everything the `resilience` binary needs: typed cells for the tables
+/// and the exact JSON record for `results/resilience.json`.
+#[derive(Debug)]
+pub struct ResilienceOutcome {
+    /// Main fault-matrix cells, in scenario × intensity × attack order.
+    pub cells: Vec<ResilienceSummary>,
+    /// Fault × evasion cross-matrix cells.
+    pub cross_cells: Vec<ResilienceSummary>,
+    /// Cells that flipped bits or showed no protection signal.
+    pub unprotected: u32,
+    /// The machine-readable record.
+    pub json: Value,
+}
+
+/// Runs the fault-resilience campaign; see the `resilience` binary docs.
+pub fn resilience(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> ResilienceOutcome {
+    let intensities: &[f64] = if smoke { &[1.0] } else { &[0.5, 1.0] };
+    let attacks: Vec<AttackKind> = if smoke {
+        vec![AttackKind::DoubleSided]
+    } else {
+        AttackKind::all().to_vec()
+    };
+
+    let mut main_cells: Vec<Box<dyn FnOnce() -> ResilienceSummary + Send>> = Vec::new();
+    for scenario in FaultScenario::ALL {
+        for &intensity in intensities {
+            for &kind in &attacks {
+                main_cells.push(Box::new(move || {
+                    let s = resilience_run(
+                        scenario,
+                        intensity,
+                        kind,
+                        AnvilConfig::baseline(),
+                        run_ms,
+                        seed,
+                    );
+                    eprintln!(
+                        "  [{} / {} / {intensity:.1}] detect {:?}, degraded {}, flips {}",
+                        s.scenario, s.attack, s.detect_ms, s.degraded_windows, s.flips
+                    );
+                    s
+                }));
+            }
+        }
+    }
+    let cells = run_cells(threads, main_cells);
+
+    // Fault × evasion cross-matrix: adaptive adversaries while the
+    // substrate degrades, against the hardened detector on future DRAM.
+    // PEBS overflow starves exactly the stage-2 evidence the hardened
+    // countermeasures (ledger, sticky sampling) feed on; the combined
+    // scenario stacks every fault class at once.
+    let cross_scenarios: &[FaultScenario] = if smoke {
+        &[FaultScenario::PebsOverflow]
+    } else {
+        &[FaultScenario::PebsOverflow, FaultScenario::Combined]
+    };
+    let evaders: &[fn() -> Box<dyn Attack>] = if smoke {
+        &[|| Box::new(DutyCycleHammer::new())]
+    } else {
+        &[
+            || Box::new(DutyCycleHammer::new()),
+            || Box::new(DistributedManySided::new()),
+        ]
+    };
+    let mut cross_jobs: Vec<Box<dyn FnOnce() -> ResilienceSummary + Send>> = Vec::new();
+    for &scenario in cross_scenarios {
+        for build in evaders {
+            cross_jobs.push(Box::new(move || {
+                let s = evasion_resilience_run(
+                    scenario,
+                    1.0,
+                    build(),
+                    AnvilConfig::hardened(),
+                    run_ms,
+                    seed,
+                );
+                eprintln!(
+                    "  [cross: {} / {}] detect {:?}, degraded {}, flips {}",
+                    s.scenario, s.attack, s.detect_ms, s.degraded_windows, s.flips
+                );
+                s
+            }));
+        }
+    }
+    let cross_cells = run_cells(threads, cross_jobs);
+
+    let mut unprotected = 0u32;
+    for s in cells.iter().chain(&cross_cells) {
+        if !s.protected {
+            unprotected += 1;
+        }
+    }
+    let cell_values: Vec<Value> = cells.iter().map(serde_json::to_value).collect();
+    let cross_values: Vec<Value> = cross_cells.iter().map(serde_json::to_value).collect();
+    let json = json!({
+        "experiment": "resilience",
+        "seed": seed,
+        "run_ms": run_ms,
+        "smoke": smoke,
+        "unprotected": unprotected,
+        "cells": cell_values,
+        "cross_cells": cross_values,
+    });
+    ResilienceOutcome {
+        cells,
+        cross_cells,
+        unprotected,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evasion
+// ---------------------------------------------------------------------------
+
+/// The evasive strategies, each mapped to the envelope archetype whose
+/// budget bounds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    /// Bursts straddling stage-1 window boundaries.
+    DutyCycle,
+    /// Constant pace binary-searched to the stage-1 trip point.
+    ThresholdProber,
+    /// Aggressor pair hidden in a streaming row-buffer-hit sweep.
+    Camouflage,
+    /// Round-robin over many pairs in distinct banks.
+    Distributed,
+}
+
+impl Strategy {
+    /// Full-matrix order.
+    fn all() -> [Strategy; 4] {
+        [
+            Strategy::DutyCycle,
+            Strategy::ThresholdProber,
+            Strategy::Camouflage,
+            Strategy::Distributed,
+        ]
+    }
+
+    /// Display name (matches the attack's `name()`).
+    fn label(self) -> &'static str {
+        match self {
+            Strategy::DutyCycle => "duty-cycle-hammer",
+            Strategy::ThresholdProber => "threshold-prober",
+            Strategy::Camouflage => "camouflage-hammer",
+            Strategy::Distributed => "distributed-many-sided",
+        }
+    }
+
+    /// Builds the attack; `pace` is the prober's searched pace.
+    fn build(self, pace: Option<u64>) -> Box<dyn Attack> {
+        match self {
+            Strategy::DutyCycle => Box::new(DutyCycleHammer::new()),
+            Strategy::ThresholdProber => {
+                let mut a = PacedHammer::new();
+                if let Some(p) = pace {
+                    a = a.with_misses_per_window(p);
+                }
+                Box::new(a)
+            }
+            Strategy::Camouflage => Box::new(CamouflageHammer::new()),
+            Strategy::Distributed => Box::new(DistributedManySided::new()),
+        }
+    }
+
+    /// The audited budget bounding this strategy.
+    fn budget(self, env: &GuaranteeEnvelope) -> u64 {
+        match self {
+            Strategy::DutyCycle => env.straddle_budget,
+            Strategy::ThresholdProber => env.sustained_budget,
+            Strategy::Camouflage => env.camouflage_budget,
+            Strategy::Distributed => env.distributed_budget,
+        }
+    }
+}
+
+/// How long each probe of the threshold-prober's binary search runs.
+const PROBE_MS: f64 = 30.0;
+
+/// Threads the campaign seed into the detector (window-phase schedule).
+fn campaign_config(mut cfg: AnvilConfig, seed: u64) -> AnvilConfig {
+    cfg.hardening.phase_seed = seed;
+    cfg
+}
+
+/// A protected platform on future-DRAM (110K flip threshold), with the
+/// campaign seed folded into the DRAM fault map.
+fn future_platform(cfg: &AnvilConfig, seed: u64) -> Platform {
+    let mut pc = PlatformConfig::with_anvil(*cfg);
+    pc.memory.dram.disturbance = DisturbanceConfig::future_half_threshold();
+    pc.memory.dram.seed ^= seed;
+    Platform::new(pc)
+}
+
+/// Binary-searches the highest pace (misses per assumed 6 ms window)
+/// whose stage-1 crossing count stays at zero over a probe run — the
+/// threshold-prober's driver loop, run against the *actual* detector the
+/// adversary faces.
+fn quiet_pace(cfg: &AnvilConfig, seed: u64) -> u64 {
+    let trips = |pace: u64| {
+        let mut p = future_platform(cfg, seed);
+        p.add_attack(Box::new(PacedHammer::new().with_misses_per_window(pace)))
+            .expect("attack prepares on open platform");
+        p.run_ms(PROBE_MS).expect("probe run completes");
+        p.detector_stats()
+            .expect("anvil loaded")
+            .threshold_crossings
+            > 0
+    };
+    let (mut lo, mut hi) = (2_000u64, 40_000u64);
+    if trips(lo) {
+        return lo;
+    }
+    while hi - lo > 250 {
+        let mid = u64::midpoint(lo, hi);
+        if trips(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+/// One evasion cell: a strategy run against one detector configuration.
+#[derive(Debug, Clone)]
+pub struct EvasionCell {
+    /// Strategy display name.
+    pub strategy: &'static str,
+    /// `"baseline"` or `"hardened"`.
+    pub detector: &'static str,
+    /// The threshold-prober's searched pace (its cells only).
+    pub pace: Option<u64>,
+    /// Time to the first detection, ms.
+    pub detect_ms: Option<f64>,
+    /// Bit flips observed.
+    pub flips: u64,
+    /// Detector counters at the end of the run.
+    pub stats: DetectorStats,
+    /// The strategy's audited undetectable-activation budget.
+    pub budget: u64,
+    /// Whether that budget proves the 220K design threshold unreachable.
+    pub proven: bool,
+    /// No flips, and detected or proven.
+    pub defended: bool,
+    /// Table outcome label.
+    pub outcome: &'static str,
+}
+
+/// Everything the `evasion` binary needs: typed cells plus the exact
+/// JSON record for `results/evasion.json`.
+#[derive(Debug)]
+pub struct EvasionOutcome {
+    /// Cells in strategy-major, (baseline, hardened)-minor order.
+    pub cells: Vec<EvasionCell>,
+    /// Baseline cells that flipped or escaped both proofs.
+    pub baseline_losses: u32,
+    /// Hardened cells that flipped or escaped both proofs.
+    pub hardened_failures: u32,
+    /// Whether the hardened detector defended a cell the baseline lost.
+    pub demonstrated: bool,
+    /// The machine-readable record.
+    pub json: Value,
+}
+
+/// Runs the adaptive-adversary campaign; see the `evasion` binary docs.
+#[allow(clippy::too_many_lines)]
+pub fn evasion(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> EvasionOutcome {
+    let strategies: Vec<Strategy> = if smoke {
+        // One stage-1 evasion (carry + jitter) and one stage-2 evasion
+        // (ledger): covers both hardening layers cheaply.
+        vec![Strategy::DutyCycle, Strategy::Distributed]
+    } else {
+        Strategy::all().to_vec()
+    };
+
+    let params = EnvelopeParams::paper_platform();
+    let clock = MemoryConfig::paper_platform().clock;
+    let future_flip = DisturbanceConfig::future_half_threshold().double_sided_threshold;
+    let detectors = [
+        ("baseline", campaign_config(AnvilConfig::baseline(), seed)),
+        ("hardened", campaign_config(AnvilConfig::hardened(), seed)),
+    ];
+    let envelopes: Vec<GuaranteeEnvelope> = detectors
+        .iter()
+        .map(|(_, cfg)| GuaranteeEnvelope::audit(cfg, &clock, &params))
+        .collect();
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> EvasionCell + Send>> = Vec::new();
+    for &strategy in &strategies {
+        for (i, (det, cfg)) in detectors.iter().enumerate() {
+            let det = *det;
+            let cfg = *cfg;
+            let budget = strategy.budget(&envelopes[i]);
+            let proven = budget < params.flip_threshold;
+            jobs.push(Box::new(move || {
+                let pace = (strategy == Strategy::ThresholdProber).then(|| quiet_pace(&cfg, seed));
+                let mut p = future_platform(&cfg, seed);
+                p.add_attack(strategy.build(pace))
+                    .expect("attack prepares on open platform");
+                p.run_ms(run_ms).expect("run completes");
+                let stats = *p.detector_stats().expect("anvil loaded");
+                let detect_ms = p.first_detection_ms();
+                let flips = p.total_flips();
+                let detected = detect_ms.is_some();
+                let defended = flips == 0 && (detected || proven);
+                let outcome = match (flips, detected, proven) {
+                    (0, true, _) => "detected",
+                    (0, false, true) => "enveloped",
+                    (0, false, false) => "UNPROVEN",
+                    (_, true, _) => "FLIPPED (late)",
+                    (_, false, _) => "EVADED",
+                };
+                eprintln!(
+                    "  [{} / {det}] detect {detect_ms:?}, flips {flips}, \
+                     crossings {} (carry {}), ledger {}, budget {budget}",
+                    strategy.label(),
+                    stats.threshold_crossings,
+                    stats.carry_crossings,
+                    stats.ledger_flags,
+                );
+                EvasionCell {
+                    strategy: strategy.label(),
+                    detector: det,
+                    pace,
+                    detect_ms,
+                    flips,
+                    stats,
+                    budget,
+                    proven,
+                    defended,
+                    outcome,
+                }
+            }));
+        }
+    }
+    let cells = run_cells(threads, jobs);
+
+    // The defended/lost bookkeeping folds over the collected cells in
+    // matrix order — (baseline, hardened) per strategy — exactly as the
+    // serial loop used to update it in place.
+    let mut hardened_failures = 0u32;
+    let mut baseline_losses = 0u32;
+    let mut demonstrated = false;
+    for pair in cells.chunks(detectors.len()) {
+        let mut baseline_lost = false;
+        for cell in pair {
+            if cell.detector == "hardened" {
+                if !cell.defended {
+                    hardened_failures += 1;
+                } else if baseline_lost {
+                    demonstrated = true;
+                }
+            } else if !cell.defended {
+                baseline_lost = true;
+                baseline_losses += 1;
+            }
+        }
+    }
+
+    let cell_values: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            json!({
+                "strategy": c.strategy,
+                "detector": c.detector,
+                "pace": c.pace,
+                "detect_ms": c.detect_ms,
+                "flips": c.flips,
+                "threshold_crossings": c.stats.threshold_crossings,
+                "carry_crossings": c.stats.carry_crossings,
+                "ledger_flags": c.stats.ledger_flags,
+                "detections": c.stats.detections,
+                "selective_refreshes": c.stats.selective_refreshes,
+                "envelope_budget": c.budget,
+                "envelope_proven": c.proven,
+                "defended": c.defended,
+                "outcome": c.outcome,
+            })
+        })
+        .collect();
+    let json = json!({
+        "experiment": "evasion",
+        "seed": seed,
+        "run_ms": run_ms,
+        "smoke": smoke,
+        "future_flip_threshold": future_flip,
+        "design_flip_threshold": params.flip_threshold,
+        "envelopes": {
+            "baseline": envelopes[0],
+            "hardened": envelopes[1],
+        },
+        "baseline_losses": baseline_losses,
+        "hardened_failures": hardened_failures,
+        "demonstrated": demonstrated,
+        "cells": cell_values,
+    });
+    EvasionOutcome {
+        cells,
+        baseline_losses,
+        hardened_failures,
+        demonstrated,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Detection matrix
+// ---------------------------------------------------------------------------
+
+/// Whether `config` is designed to catch this attack. ANVIL-heavy shrinks
+/// its windows for *fast* future attacks but keeps the 20K threshold, so a
+/// slow CLFLUSH-free hammer (~19K misses / 2 ms) can legitimately stay
+/// below its stage-1 trigger — the paper's Section 4.5 frames heavy and
+/// light as complements to the baseline, not replacements.
+fn in_scope(config: &str, kind: AttackKind) -> bool {
+    !(config == "heavy" && matches!(kind, AttackKind::ClflushFree))
+}
+
+/// One detection-matrix cell.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// The detection run's result.
+    pub summary: DetectionSummary,
+    /// ANVIL configuration label (`baseline` / `light` / `heavy`).
+    pub config: &'static str,
+    /// Whether this configuration is expected to catch this attack.
+    pub in_scope: bool,
+}
+
+/// Everything the `detection_matrix` binary needs.
+#[derive(Debug)]
+pub struct DetectionMatrixOutcome {
+    /// Cells in attack × config × load order.
+    pub cells: Vec<MatrixCell>,
+    /// In-scope cells that missed the attack or flipped bits.
+    pub misses: u32,
+    /// The machine-readable record.
+    pub json: Value,
+}
+
+/// Runs the Section 4.2/4.5 detection matrix; see the `detection_matrix`
+/// binary docs.
+pub fn detection_matrix(run_ms: f64, threads: usize) -> DetectionMatrixOutcome {
+    let configs: [(&'static str, AnvilConfig); 3] = [
+        ("baseline", AnvilConfig::baseline()),
+        ("light", AnvilConfig::light()),
+        ("heavy", AnvilConfig::heavy()),
+    ];
+    let mut jobs: Vec<Box<dyn FnOnce() -> MatrixCell + Send>> = Vec::new();
+    for kind in AttackKind::all() {
+        for (label, cfg) in configs {
+            for heavy in [false, true] {
+                jobs.push(Box::new(move || {
+                    let s = detection_run(kind, cfg, heavy, run_ms, 3);
+                    eprintln!(
+                        "  [{} / {label} / {}] {:?}, flips {}",
+                        kind.label(),
+                        if heavy { "heavy" } else { "light" },
+                        s.detect_ms,
+                        s.flips
+                    );
+                    MatrixCell {
+                        summary: s,
+                        config: label,
+                        in_scope: in_scope(label, kind),
+                    }
+                }));
+            }
+        }
+    }
+    let cells = run_cells(threads, jobs);
+    let mut misses = 0u32;
+    for c in &cells {
+        if c.in_scope && (c.summary.detect_ms.is_none() || c.summary.flips > 0) {
+            misses += 1;
+        }
+    }
+    let records: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            json!({
+                "attack": c.summary.attack,
+                "config": c.config,
+                "heavy_load": c.summary.heavy_load,
+                "detect_ms": c.summary.detect_ms,
+                "flips": c.summary.flips,
+            })
+        })
+        .collect();
+    let json = json!({ "experiment": "detection_matrix", "rows": records, "misses": misses });
+    DetectionMatrixOutcome {
+        cells,
+        misses,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Soak
+// ---------------------------------------------------------------------------
+
+/// Everything the `soak` binary needs.
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// The campaign summary.
+    pub summary: SoakSummary,
+    /// The machine-readable record.
+    pub json: Value,
+}
+
+/// Runs the supervised-lifetime soak campaign; see the `soak` binary
+/// docs.
+///
+/// The soak is one continuous supervised detector lifetime — its windows
+/// are causally chained (checkpoints, crash recovery, hot reloads), so
+/// unlike the matrix campaigns it is a *single* cell: `threads` is
+/// accepted for interface uniformity (and so the thread-count determinism
+/// tests cover it) but cannot subdivide the run.
+pub fn soak(cfg: &SoakConfig, seed: u64, smoke: bool, threads: usize) -> SoakOutcome {
+    let mut results = run_cells(threads, vec![|| soak_engine::run(cfg)]);
+    let s = results.remove(0);
+    let json = json!({
+        "experiment": "soak",
+        "seed": seed,
+        "smoke": smoke,
+        "config": {
+            "windows": cfg.windows,
+            "crash_rate": cfg.lifecycle.crash_rate,
+            "stall_rate": cfg.lifecycle.stall_rate,
+            "max_stall": cfg.lifecycle.max_stall,
+            "corrupt_rate": cfg.lifecycle.corrupt_rate,
+            "reload_every": cfg.reload_every,
+            "checkpoint_every": cfg.runtime.checkpoint_every,
+            "restart_budget": cfg.runtime.restart_budget,
+            "backoff_base": cfg.runtime.backoff_base,
+            "backoff_cap": cfg.runtime.backoff_cap,
+        },
+        "summary": serde_json::to_value(&s),
+        "holds": s.holds(),
+    });
+    SoakOutcome { summary: s, json }
+}

@@ -43,12 +43,165 @@ impl Scale {
 /// number of detector windows a campaign should run, shared by every
 /// campaign binary (`resilience`, `evasion`, `soak`). Returns `None`
 /// when absent so each campaign applies its own default; a present flag
-/// with a malformed or zero value also returns `None` rather than
-/// aborting the campaign.
+/// with a malformed or zero value warns on stderr (naming the bad value)
+/// and also returns `None` rather than aborting the campaign.
 pub fn windows_from_args() -> Option<u64> {
-    let args: Vec<String> = std::env::args().collect();
-    let i = args.iter().position(|a| a == "--windows")?;
-    args.get(i + 1)?.parse::<u64>().ok().filter(|&n| n > 0)
+    CampaignArgs::from_env().windows
+}
+
+/// The command-line arguments shared by the campaign binaries (`soak`,
+/// `resilience`, `evasion`, `detection_matrix`), parsed once instead of
+/// each binary re-scanning `std::env::args()` ad hoc.
+///
+/// Recognized flags: `--quick`, `--smoke`, `--windows N`, `--seed N`,
+/// `--threads N`. Unknown arguments are ignored (forward compatibility
+/// with binary-specific flags). Malformed or out-of-range values warn on
+/// stderr, naming the bad value, and fall back to the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignArgs {
+    /// `--quick`: trade precision for speed (see [`Scale`]).
+    pub quick: bool,
+    /// `--smoke`: the reduced CI subset of the campaign.
+    pub smoke: bool,
+    /// `--windows N`: detector-window count override (`None`: campaign
+    /// default).
+    pub windows: Option<u64>,
+    /// `--seed N`: campaign seed override (`None`: campaign default).
+    pub seed: Option<u64>,
+    /// `--threads N`: worker threads for [`run_cells`]. Defaults to the
+    /// machine's available parallelism — campaign output is byte-for-byte
+    /// independent of this value, so there is no reproducibility reason to
+    /// pin it.
+    pub threads: usize,
+}
+
+impl CampaignArgs {
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (exposed for tests).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+        };
+        let windows = value_of("--windows").and_then(|raw| match raw.parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!(
+                    "warning: ignoring `--windows {raw}`: expected a positive integer, \
+                     using the campaign default"
+                );
+                None
+            }
+        });
+        let seed = value_of("--seed").and_then(|raw| {
+            raw.parse::<u64>().map_or_else(
+                |_| {
+                    eprintln!(
+                        "warning: ignoring `--seed {raw}`: expected an unsigned integer, \
+                         using the campaign default"
+                    );
+                    None
+                },
+                Some,
+            )
+        });
+        let threads =
+            value_of("--threads").map_or_else(default_threads, |raw| match raw.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!(
+                        "warning: ignoring `--threads {raw}`: expected a positive integer, \
+                         using available parallelism"
+                    );
+                    default_threads()
+                }
+            });
+        CampaignArgs {
+            quick: args.iter().any(|a| a == "--quick"),
+            smoke: args.iter().any(|a| a == "--smoke"),
+            windows,
+            seed,
+            threads,
+        }
+    }
+
+    /// The campaign seed: the `--seed` override or `default`.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The time scale implied by `--quick`.
+    pub fn scale(&self) -> Scale {
+        Scale::fixed(if self.quick { 0.35 } else { 1.0 })
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs independent campaign cells on up to `threads` worker threads and
+/// returns their results **in cell order** — the output is byte-for-byte
+/// identical to running the cells serially, regardless of thread count or
+/// scheduling.
+///
+/// Determinism contract: each cell must be a pure function of its
+/// captured inputs (every campaign cell builds its own `Platform` from
+/// the campaign seed and shares no mutable state), so the only
+/// thread-sensitive effect is *when* a cell runs, never *what* it
+/// computes. Cells are handed out from an atomic counter in index order
+/// and each result lands in its own slot.
+///
+/// Uses `std::thread::scope` — no thread-pool dependency, nothing
+/// outlives the call.
+pub fn run_cells<T, F>(threads: usize, cells: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = cells.len();
+    if threads.max(1) == 1 || n <= 1 {
+        return cells.into_iter().map(|f| f()).collect();
+    }
+    let workers = threads.min(n);
+    let jobs: Vec<std::sync::Mutex<Option<F>>> = cells
+        .into_iter()
+        .map(|f| std::sync::Mutex::new(Some(f)))
+        .collect();
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i]
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("each job is taken exactly once");
+                let result = job();
+                *slots[i].lock().expect("slot mutex poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("every job ran to completion")
+        })
+        .collect()
 }
 
 /// The three attacks of Table 1.

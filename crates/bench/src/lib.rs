@@ -18,12 +18,13 @@
 //! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
 //! paper-vs-measured numbers.
 
+pub mod campaigns;
 pub mod harness;
 pub mod report;
 
 pub use harness::{
     detection_run, double_refresh_platform, evasion_resilience_run, false_positive_rate,
-    normalized_time, normalized_time_target, resilience_run, vulnerable_pair_index,
-    windows_from_args, AttackKind, DetectionSummary, ResilienceSummary, Scale,
+    normalized_time, normalized_time_target, resilience_run, run_cells, vulnerable_pair_index,
+    windows_from_args, AttackKind, CampaignArgs, DetectionSummary, ResilienceSummary, Scale,
 };
 pub use report::{write_json, Table};

@@ -134,41 +134,51 @@ impl CacheHierarchy {
     pub fn access(&mut self, paddr: u64, write: bool) -> HierarchyAccess {
         let mut writebacks = Vec::new();
         let mut prefetch_fills = Vec::new();
+        let (level, latency) = self.access_into(paddr, write, &mut writebacks, &mut prefetch_fills);
+        HierarchyAccess {
+            level,
+            latency,
+            writebacks,
+            prefetch_fills,
+        }
+    }
 
+    /// Allocation-free variant of [`access`](Self::access): displaced
+    /// dirty lines and prefetch fills are *appended* to caller-owned
+    /// buffers (not cleared first), so a hot loop can reuse one pair of
+    /// buffers across millions of accesses. Returns (served level,
+    /// cache-side latency).
+    pub fn access_into(
+        &mut self,
+        paddr: u64,
+        write: bool,
+        writebacks: &mut Vec<u64>,
+        prefetch_fills: &mut Vec<u64>,
+    ) -> (HitLevel, u64) {
         let r1 = self.l1.access(paddr, write);
         if r1.hit {
-            return HierarchyAccess {
-                level: HitLevel::L1,
-                latency: self.config.l1.latency,
-                writebacks,
-                prefetch_fills,
-            };
+            return (HitLevel::L1, self.config.l1.latency);
         }
         if let Some(ev) = r1.evicted {
             if ev.dirty {
-                self.writeback_to_l2(ev.paddr, &mut writebacks);
+                self.writeback_to_l2(ev.paddr, writebacks);
             }
         }
 
         let r2 = self.l2.access(paddr, false);
         if let Some(ev) = r2.evicted {
             if ev.dirty {
-                self.writeback_to_l3(ev.paddr, &mut writebacks);
+                self.writeback_to_l3(ev.paddr, writebacks);
             }
         }
         if r2.hit {
-            return HierarchyAccess {
-                level: HitLevel::L2,
-                latency: self.config.l2.latency,
-                writebacks,
-                prefetch_fills,
-            };
+            return (HitLevel::L2, self.config.l2.latency);
         }
 
         let slice = self.slice_of(paddr);
         let r3 = self.slices[slice].access(paddr, false);
         if let Some(ev) = r3.evicted {
-            self.back_invalidate(ev.paddr, ev.dirty, &mut writebacks);
+            self.back_invalidate(ev.paddr, ev.dirty, writebacks);
         }
         let level = if r3.hit {
             HitLevel::L3
@@ -184,15 +194,10 @@ impl CacheHierarchy {
         {
             let next = (paddr & !(self.config.l3.line_bytes as u64 - 1))
                 + self.config.l3.line_bytes as u64;
-            self.prefetch_into_l2_l3(next, &mut writebacks, &mut prefetch_fills);
+            self.prefetch_into_l2_l3(next, writebacks, prefetch_fills);
         }
 
-        HierarchyAccess {
-            level,
-            latency: self.config.l3.latency,
-            writebacks,
-            prefetch_fills,
-        }
+        (level, self.config.l3.latency)
     }
 
     /// Brings `line_paddr` into L2 + L3 without touching L1 (the usual

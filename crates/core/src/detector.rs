@@ -14,7 +14,7 @@ use crate::locality::{
     analyze_with_ledger, LocalityReport, RowSample, SuspicionLedger, FULL_WEIGHT,
 };
 use anvil_dram::{AddressMapping, BankId, CpuClock, Cycle, DramLocation, RowId};
-use anvil_pmu::{DataSource, EventKind, Pmu, SampleFilter};
+use anvil_pmu::{DataSource, EventKind, Pmu, SampleFilter, SampleRecord};
 use serde::{Deserialize, Serialize};
 
 /// One step of the splitmix64 generator (the window-phase jitter stream).
@@ -151,6 +151,14 @@ pub struct AnvilDetector {
     /// The PEBS filter armed for the in-flight stage-2 window (carried by
     /// checkpoints so restore can re-arm the same facility).
     armed_filter: SampleFilter,
+    /// [`config_hash`] of `config`, computed once per config change —
+    /// checkpoints are written far too often to re-serialize the config
+    /// each time.
+    config_fingerprint: u64,
+    /// Reusable receive buffer for PEBS drains, so every stage-2 window
+    /// reuses one allocation instead of regrowing a fresh `Vec`. Not part
+    /// of the detector's logical state (never checkpointed).
+    records_scratch: Vec<SampleRecord>,
 }
 
 impl AnvilDetector {
@@ -189,6 +197,8 @@ impl AnvilDetector {
             ledger: SuspicionLedger::new(),
             resamples: 0,
             armed_filter: SampleFilter::LoadsAndStores,
+            config_fingerprint: config_hash(&config),
+            records_scratch: Vec::new(),
         };
         det.deadline = now + det.next_stage1_window();
         det
@@ -331,7 +341,8 @@ impl AnvilDetector {
             .sampler()
             .samples_dropped()
             .saturating_sub(self.dropped_at_arm);
-        let records = pmu.drain_samples();
+        let mut records = std::mem::take(&mut self.records_scratch);
+        pmu.drain_samples_into(&mut records);
 
         // Keep DRAM-sourced samples and translate them to rows. Hardened
         // detectors weigh each sample by its activation evidence: a
@@ -362,6 +373,8 @@ impl AnvilDetector {
                 })
             })
             .collect();
+        records.clear();
+        self.records_scratch = records;
         self.stats.samples_analyzed = self
             .stats
             .samples_analyzed
@@ -515,7 +528,7 @@ impl AnvilDetector {
     pub fn checkpoint(&self, pmu: &Pmu) -> DetectorCheckpoint {
         DetectorCheckpoint {
             version: CHECKPOINT_VERSION,
-            config_hash: config_hash(&self.config),
+            config_hash: self.config_fingerprint,
             sampling: self.stage == DetectorStage::Sampling,
             armed_filter: self.armed_filter,
             deadline: self.deadline,
@@ -593,6 +606,8 @@ impl AnvilDetector {
             ledger: SuspicionLedger::from_rows(&ckpt.ledger),
             resamples: ckpt.resamples,
             armed_filter: ckpt.armed_filter,
+            config_fingerprint: expected,
+            records_scratch: Vec::new(),
         };
         if det.deadline <= now {
             // The downtime gap swallowed the in-flight window.
@@ -626,6 +641,7 @@ impl AnvilDetector {
         }
         config.validate()?;
         self.config = config;
+        self.config_fingerprint = config_hash(&config);
         self.tc = config.tc_cycles(clock);
         self.ts = config.ts_cycles(clock);
         // Carry is rate-normalized evidence in misses; it remains

@@ -123,6 +123,11 @@ pub struct CoreStats {
     pub cycles: Cycle,
 }
 
+/// Upper bound on operations executed per [`Platform::run_batch`] call:
+/// long enough to amortize the per-batch scheduling scan, short enough
+/// that a batch never holds many milliseconds of simulated time.
+const BATCH_OPS: u64 = 1024;
+
 enum Program {
     Workload(Box<dyn Workload>),
     Attack(Box<dyn Attack>),
@@ -387,7 +392,9 @@ impl Platform {
             if self.cores[idx].local >= end {
                 break;
             }
-            self.step(idx)?;
+            self.run_batch(idx, BATCH_OPS, end)?;
+            self.service_detector();
+            self.maybe_compact();
         }
         Ok(())
     }
@@ -413,9 +420,66 @@ impl Platform {
             if self.cores[target_idx].suspended {
                 return Ok(()); // the target itself was suspended
             }
-            self.step(idx)?;
+            let cap = if idx == target_idx {
+                BATCH_OPS.min(goal - self.cores[target_idx].ops)
+            } else {
+                BATCH_OPS
+            };
+            self.run_batch(idx, cap, Cycle::MAX)?;
+            self.service_detector();
+            self.maybe_compact();
         }
         Ok(())
+    }
+
+    /// Executes up to `max_ops` operations on core `idx` — the scheduler's
+    /// current pick — stopping as soon as any condition the serial
+    /// one-op-at-a-time loop checks per operation could fire: `idx` stops
+    /// being the first-minimum core, a detector deadline or compaction
+    /// boundary arrives, or its clock reaches `limit`. Everything the
+    /// per-op loop used to recompute (scheduler scan, detector deadline
+    /// test, compaction test) is hoisted here and amortized over the
+    /// batch; the observable schedule is identical.
+    fn run_batch(&mut self, idx: usize, max_ops: u64, limit: Cycle) -> Result<(), PlatformError> {
+        // Only core `idx` advances inside the batch, so the other cores'
+        // clocks — and thus these scheduling bounds — are invariant. The
+        // scheduler breaks ties by lowest index: `idx` stays the pick
+        // while it is strictly below every earlier core and no later core
+        // is strictly below it.
+        let mut lo = Cycle::MAX;
+        let mut hi = Cycle::MAX;
+        for (j, c) in self.cores.iter().enumerate() {
+            if c.suspended || j == idx {
+                continue;
+            }
+            if j < idx {
+                lo = lo.min(c.local);
+            } else {
+                hi = hi.min(c.local);
+            }
+        }
+        let deadline = self
+            .detector
+            .as_ref()
+            .map_or(Cycle::MAX, AnvilDetector::deadline);
+        let compact_at = self
+            .last_compact
+            .saturating_add(self.config.memory.dram.timing.refresh_period);
+        let mut ops = 0u64;
+        loop {
+            self.step_op(idx)?;
+            ops += 1;
+            let local = self.cores[idx].local;
+            if ops >= max_ops
+                || local >= lo
+                || local > hi
+                || local >= deadline
+                || local >= limit
+                || self.sys.now() >= compact_at
+            {
+                return Ok(());
+            }
+        }
     }
 
     fn min_core(&self) -> Option<usize> {
@@ -436,8 +500,10 @@ impl Platform {
             .collect()
     }
 
-    /// Executes one operation on core `idx`.
-    fn step(&mut self, idx: usize) -> Result<(), PlatformError> {
+    /// Executes one operation on core `idx` (no scheduler or detector
+    /// bookkeeping — that lives in [`run_batch`](Self::run_batch) and the
+    /// outer run loops).
+    fn step_op(&mut self, idx: usize) -> Result<(), PlatformError> {
         let core = &mut self.cores[idx];
         let pid = core.process.pid();
         let (vaddr, outcome) = match &mut core.program {
@@ -500,9 +566,6 @@ impl Platform {
                 }
             }
         }
-
-        self.service_detector();
-        self.maybe_compact();
         Ok(())
     }
 

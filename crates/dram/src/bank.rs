@@ -45,11 +45,21 @@ impl RowBufferOutcome {
     }
 }
 
+/// Sentinel for [`RowBuffers::last`]: no cached hit target.
+const NO_LAST: u64 = u64::MAX;
+
 /// Row-buffer state of every bank in the module.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowBuffers {
     policy: RowBufferPolicy,
     open: Vec<Option<u32>>,
+    /// `(bank << 32) | row` of the most recent open-page access — the
+    /// last-row fast path. Streaming and hammering traffic alike hit the
+    /// same (bank, row) many times in a row, so the common case returns
+    /// [`RowBufferOutcome::Hit`] on a single integer compare without
+    /// touching the per-bank table. Invariant: when not [`NO_LAST`], the
+    /// encoded row is open in the encoded bank.
+    last: u64,
 }
 
 impl RowBuffers {
@@ -64,6 +74,7 @@ impl RowBuffers {
         RowBuffers {
             policy,
             open: vec![None; banks as usize],
+            last: NO_LAST,
         }
     }
 
@@ -73,6 +84,13 @@ impl RowBuffers {
     ///
     /// Panics if `bank` is out of range.
     pub fn access(&mut self, bank: u32, row: u32) -> RowBufferOutcome {
+        let key = (u64::from(bank) << 32) | u64::from(row);
+        if key == self.last {
+            // Same bank and row as the previous open-page access: the row
+            // is still open (only a conflicting access or a precharge
+            // closes it, and both invalidate `last`).
+            return RowBufferOutcome::Hit;
+        }
         let slot = &mut self.open[bank as usize];
         let outcome = match *slot {
             Some(open) if open == row => RowBufferOutcome::Hit,
@@ -90,6 +108,8 @@ impl RowBuffers {
             // the next access to any row — including the same one — will
             // activate.
             *slot = None;
+        } else {
+            self.last = key;
         }
         outcome
     }
@@ -102,6 +122,7 @@ impl RowBuffers {
     /// Precharges (closes) every bank, as a refresh command does.
     pub fn precharge_all(&mut self) {
         self.open.iter_mut().for_each(|s| *s = None);
+        self.last = NO_LAST;
     }
 }
 

@@ -31,7 +31,6 @@ use crate::geometry::{BankId, RowId};
 use crate::refresh::RefreshSchedule;
 use crate::time::Cycle;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Configuration of the disturbance (bit-flip) physics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -199,6 +198,40 @@ enum Side {
     Below,
 }
 
+/// Dense per-bank storage of [`RowState`]s.
+///
+/// The disturbance model sits on the per-activation hot path — every DRAM
+/// activation updates two to four victim rows — so row state lives in a
+/// flat arena indexed by row number instead of a `HashMap<RowId, _>`:
+/// `index[row]` holds `slot + 1` into the `slots` arena (0 = no state
+/// yet), turning each lookup into two array indexes with no hashing. Both
+/// the bank list and each bank's index vector materialize lazily, so an
+/// untouched module costs nothing.
+#[derive(Debug, Default)]
+struct BankSlab {
+    /// `row -> slot + 1` (0 = untracked); allocated on the bank's first
+    /// disturbance, sized `rows_per_bank`.
+    index: Vec<u32>,
+    /// Live row states of this bank, in insertion order.
+    slots: Vec<RowState>,
+    /// `slot -> row` (parallel to `slots`), for bank-wide sweeps.
+    rows: Vec<u32>,
+}
+
+impl BankSlab {
+    /// The state slot for `row`, if tracked.
+    fn get(&self, row: u32) -> Option<&RowState> {
+        let e = *self.index.get(row as usize)?;
+        (e != 0).then(|| &self.slots[(e - 1) as usize])
+    }
+
+    /// Mutable variant of [`get`](Self::get).
+    fn get_mut(&mut self, row: u32) -> Option<&mut RowState> {
+        let e = *self.index.get(row as usize)?;
+        (e != 0).then(|| &mut self.slots[(e - 1) as usize])
+    }
+}
+
 /// Tracks per-row disturbance and produces [`BitFlip`]s.
 ///
 /// Owned by the DRAM module; not meant to be driven directly except in
@@ -210,7 +243,7 @@ pub struct DisturbanceTracker {
     config: DisturbanceConfig,
     row_bytes: u32,
     rows_per_bank: u32,
-    states: HashMap<RowId, RowState>,
+    banks: Vec<BankSlab>,
     flips: Vec<BitFlip>,
     total_flips: u64,
 }
@@ -229,7 +262,7 @@ impl DisturbanceTracker {
             config,
             row_bytes,
             rows_per_bank,
-            states: HashMap::new(),
+            banks: Vec::new(),
             flips: Vec::new(),
             total_flips: 0,
         }
@@ -277,7 +310,11 @@ impl DisturbanceTracker {
     /// Explicitly refreshes `row` (a selective-refresh read, a TRR/PARA
     /// neighbor refresh, or a scrub), resetting its disturbance counters.
     pub fn reset_row(&mut self, row: RowId, now: Cycle) {
-        if let Some(s) = self.states.get_mut(&row) {
+        if let Some(s) = self
+            .banks
+            .get_mut(row.bank.0 as usize)
+            .and_then(|slab| slab.get_mut(row.row))
+        {
             s.c_hi = 0;
             s.c_lo = 0;
             s.c_far = 0;
@@ -290,9 +327,12 @@ impl DisturbanceTracker {
     /// zero disturbance, so resetting only tracked rows is complete.
     /// Returns the number of rows whose counters were cleared.
     pub fn reset_bank(&mut self, bank: BankId, now: Cycle) -> usize {
+        let Some(slab) = self.banks.get_mut(bank.0 as usize) else {
+            return 0;
+        };
         let mut reset = 0;
-        for (row, s) in &mut self.states {
-            if row.bank == bank && (s.c_hi > 0 || s.c_lo > 0 || s.c_far > 0) {
+        for s in &mut slab.slots {
+            if s.c_hi > 0 || s.c_lo > 0 || s.c_far > 0 {
                 s.c_hi = 0;
                 s.c_lo = 0;
                 s.c_far = 0;
@@ -306,7 +346,12 @@ impl DisturbanceTracker {
     /// Repairs a flipped cell (software rewrote the byte). Returns whether
     /// a flipped cell existed at that position.
     pub fn repair(&mut self, row: RowId, col: u32, bit: u8) -> bool {
-        if let Some(cells) = self.states.get_mut(&row).and_then(|s| s.cells.as_mut()) {
+        if let Some(cells) = self
+            .banks
+            .get_mut(row.bank.0 as usize)
+            .and_then(|slab| slab.get_mut(row.row))
+            .and_then(|s| s.cells.as_mut())
+        {
             for c in cells.iter_mut() {
                 if c.col == col && c.bit == bit && c.flipped {
                     c.flipped = false;
@@ -319,13 +364,16 @@ impl DisturbanceTracker {
 
     /// Accumulated effective disturbance of `row` (diagnostic).
     pub fn disturbance_of(&self, row: RowId) -> u64 {
-        self.states.get(&row).map_or(0, |s| {
-            effective(
-                s,
-                self.config.coupling_boost(),
-                self.config.distance2_coupling,
-            )
-        })
+        self.banks
+            .get(row.bank.0 as usize)
+            .and_then(|slab| slab.get(row.row))
+            .map_or(0, |s| {
+                effective(
+                    s,
+                    self.config.coupling_boost(),
+                    self.config.distance2_coupling,
+                )
+            })
     }
 
     /// Drains bit flips recorded since the last call.
@@ -340,18 +388,36 @@ impl DisturbanceTracker {
 
     /// Number of rows currently carrying disturbance state (diagnostic).
     pub fn tracked_rows(&self) -> usize {
-        self.states.len()
+        self.banks.iter().map(|slab| slab.slots.len()).sum()
     }
 
     /// Drops rows whose disturbance cannot flip anything and whose cells
     /// are pristine, bounding memory on long runs.
     pub fn compact(&mut self) {
-        self.states.retain(|_, s| {
-            s.c_hi + s.c_lo > 0
-                || s.cells
-                    .as_ref()
-                    .is_some_and(|cells| cells.iter().any(|c| c.flipped))
-        });
+        for slab in &mut self.banks {
+            if slab.slots.is_empty() {
+                continue;
+            }
+            let slots = std::mem::take(&mut slab.slots);
+            let rows = std::mem::take(&mut slab.rows);
+            for (s, row) in slots.into_iter().zip(rows) {
+                // c_far counts too: on a reach-2 device a row disturbed
+                // only at distance 2 still carries real charge loss.
+                let keep = s.c_hi > 0
+                    || s.c_lo > 0
+                    || s.c_far > 0
+                    || s.cells
+                        .as_ref()
+                        .is_some_and(|cells| cells.iter().any(|c| c.flipped));
+                if keep {
+                    slab.slots.push(s);
+                    slab.rows.push(row);
+                    slab.index[row as usize] = slab.slots.len() as u32;
+                } else {
+                    slab.index[row as usize] = 0;
+                }
+            }
+        }
     }
 
     fn disturb(
@@ -363,14 +429,31 @@ impl DisturbanceTracker {
     ) {
         let boost = self.config.coupling_boost();
         let far_coupling = self.config.distance2_coupling;
-        let state = self.states.entry(victim).or_insert_with(|| RowState {
-            c_hi: 0,
-            c_lo: 0,
-            c_far: 0,
-            last_reset: 0,
-            min_threshold: min_threshold_for(&self.config, victim),
-            cells: None,
-        });
+        let bank = victim.bank.0 as usize;
+        if bank >= self.banks.len() {
+            self.banks.resize_with(bank + 1, BankSlab::default);
+        }
+        let slab = &mut self.banks[bank];
+        if slab.index.is_empty() {
+            slab.index = vec![0; self.rows_per_bank as usize];
+        }
+        let entry = &mut slab.index[victim.row as usize];
+        let slot = if *entry == 0 {
+            slab.slots.push(RowState {
+                c_hi: 0,
+                c_lo: 0,
+                c_far: 0,
+                last_reset: 0,
+                min_threshold: min_threshold_for(&self.config, victim),
+                cells: None,
+            });
+            slab.rows.push(victim.row);
+            *entry = slab.slots.len() as u32;
+            slab.slots.len() - 1
+        } else {
+            (*entry - 1) as usize
+        };
+        let state = &mut slab.slots[slot];
 
         // Lazy auto-refresh: if the schedule refreshed this row since we
         // last updated it, the charge was restored then.
@@ -712,6 +795,245 @@ mod tests {
         assert_eq!(f.single_sided_threshold, 200_000);
         assert_eq!(f.double_sided_threshold, 110_000);
         f.validate().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod arena_equivalence {
+    //! The dense per-bank arena ([`BankSlab`]) replaced a
+    //! `HashMap<RowId, RowState>` on the activation hot path. This module
+    //! keeps the old storage alive as a reference model and proves the
+    //! two observationally identical under arbitrary interleavings of
+    //! activations, row/bank resets, compactions, and time jumps.
+
+    use super::*;
+    use crate::geometry::BankId;
+    use crate::timing::DramTiming;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    const BANKS: u32 = 3;
+    const ROWS: u32 = 64;
+
+    /// Thresholds small enough that random short sequences actually flip.
+    fn tiny_config(reach: u32) -> DisturbanceConfig {
+        let mut c = DisturbanceConfig::paper_ddr3();
+        c.single_sided_threshold = 40;
+        c.double_sided_threshold = 22;
+        c.neighbor_reach = reach;
+        if reach == 2 {
+            c.distance2_coupling = 0.6;
+        }
+        c
+    }
+
+    /// The pre-arena reference: identical physics over the `HashMap`
+    /// storage the dense arena replaced.
+    struct HashMapModel {
+        config: DisturbanceConfig,
+        row_bytes: u32,
+        rows_per_bank: u32,
+        rows: HashMap<RowId, RowState>,
+        flips: Vec<BitFlip>,
+        total_flips: u64,
+    }
+
+    impl HashMapModel {
+        fn new(config: DisturbanceConfig, row_bytes: u32, rows_per_bank: u32) -> Self {
+            HashMapModel {
+                config,
+                row_bytes,
+                rows_per_bank,
+                rows: HashMap::new(),
+                flips: Vec::new(),
+                total_flips: 0,
+            }
+        }
+
+        fn on_activation(&mut self, row: RowId, now: Cycle, schedule: &RefreshSchedule) {
+            self.reset_row(row, now);
+            if row.row > 0 {
+                self.disturb(
+                    RowId::new(row.bank, row.row - 1),
+                    Some(Side::Above),
+                    now,
+                    schedule,
+                );
+            }
+            if row.row + 1 < self.rows_per_bank {
+                self.disturb(
+                    RowId::new(row.bank, row.row + 1),
+                    Some(Side::Below),
+                    now,
+                    schedule,
+                );
+            }
+            if self.config.neighbor_reach >= 2 {
+                if row.row > 1 {
+                    self.disturb(RowId::new(row.bank, row.row - 2), None, now, schedule);
+                }
+                if row.row + 2 < self.rows_per_bank {
+                    self.disturb(RowId::new(row.bank, row.row + 2), None, now, schedule);
+                }
+            }
+        }
+
+        fn reset_row(&mut self, row: RowId, now: Cycle) {
+            if let Some(s) = self.rows.get_mut(&row) {
+                s.c_hi = 0;
+                s.c_lo = 0;
+                s.c_far = 0;
+                s.last_reset = now;
+            }
+        }
+
+        fn reset_bank(&mut self, bank: BankId, now: Cycle) -> usize {
+            let mut reset = 0;
+            for (row, s) in &mut self.rows {
+                if row.bank == bank && (s.c_hi > 0 || s.c_lo > 0 || s.c_far > 0) {
+                    s.c_hi = 0;
+                    s.c_lo = 0;
+                    s.c_far = 0;
+                    s.last_reset = now;
+                    reset += 1;
+                }
+            }
+            reset
+        }
+
+        fn disturbance_of(&self, row: RowId) -> u64 {
+            self.rows.get(&row).map_or(0, |s| {
+                effective(
+                    s,
+                    self.config.coupling_boost(),
+                    self.config.distance2_coupling,
+                )
+            })
+        }
+
+        fn drain_flips(&mut self) -> Vec<BitFlip> {
+            std::mem::take(&mut self.flips)
+        }
+
+        fn disturb(
+            &mut self,
+            victim: RowId,
+            side: Option<Side>,
+            now: Cycle,
+            schedule: &RefreshSchedule,
+        ) {
+            let boost = self.config.coupling_boost();
+            let far_coupling = self.config.distance2_coupling;
+            let config = self.config;
+            let row_bytes = self.row_bytes;
+            let state = self.rows.entry(victim).or_insert_with(|| RowState {
+                c_hi: 0,
+                c_lo: 0,
+                c_far: 0,
+                last_reset: 0,
+                min_threshold: min_threshold_for(&config, victim),
+                cells: None,
+            });
+            if let Some(last) = schedule.last_refresh(victim.row, now) {
+                if last > state.last_reset {
+                    state.c_hi = 0;
+                    state.c_lo = 0;
+                    state.c_far = 0;
+                    state.last_reset = last;
+                }
+            }
+            match side {
+                Some(Side::Above) => state.c_hi += 1,
+                Some(Side::Below) => state.c_lo += 1,
+                None => state.c_far += 1,
+            }
+            let d = effective(state, boost, far_coupling);
+            if d < state.min_threshold {
+                return;
+            }
+            if state.cells.is_none() {
+                state.cells = Some(sample_cells(&config, victim, row_bytes));
+            }
+            let cells = state.cells.as_mut().expect("just materialized");
+            let mut new_flips = Vec::new();
+            for cell in cells.iter_mut() {
+                if !cell.flipped && d >= cell.threshold {
+                    cell.flipped = true;
+                    new_flips.push(BitFlip {
+                        row: victim,
+                        col: cell.col,
+                        bit: cell.bit,
+                        cycle: now,
+                    });
+                }
+            }
+            self.total_flips += new_flips.len() as u64;
+            self.flips.append(&mut new_flips);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The dense arena and the `HashMap` reference agree on every
+        /// observable — per-row disturbance, the flip log (contents *and*
+        /// order), running totals, and bank-reset counts — for arbitrary
+        /// op sequences; `compact()` (arena-only) must be invisible.
+        ///
+        /// Each op is a `(tag, bank, row, jump)` tuple (the vendored
+        /// proptest has no `prop_oneof`): tags 0-9 activate (hammering
+        /// dominates the mix), 10 resets a row, 11 resets a bank, 12
+        /// compacts the arena, 13 jumps time (crossing auto-refreshes).
+        #[test]
+        fn dense_arena_matches_hashmap_reference(
+            ops in prop::collection::vec(
+                (0u32..14, 0..BANKS, 0..ROWS, 1u64..5_000_000),
+                1..400,
+            ),
+            reach in 1u32..=2,
+        ) {
+            let config = tiny_config(reach);
+            let timing = DramTiming::default();
+            let sched = RefreshSchedule::new(&timing, ROWS);
+            let mut arena = DisturbanceTracker::new(config, 256, ROWS);
+            let mut reference = HashMapModel::new(config, 256, ROWS);
+            let mut now: Cycle = 1;
+            for &(tag, b, r, d) in &ops {
+                let row = RowId::new(BankId(b), r);
+                match tag {
+                    0..=9 => {
+                        now += 1;
+                        arena.on_activation(row, now, &sched);
+                        reference.on_activation(row, now, &sched);
+                    }
+                    10 => {
+                        arena.reset_row(row, now);
+                        reference.reset_row(row, now);
+                    }
+                    11 => {
+                        prop_assert_eq!(
+                            arena.reset_bank(BankId(b), now),
+                            reference.reset_bank(BankId(b), now),
+                            "bank-reset count diverged"
+                        );
+                    }
+                    12 => arena.compact(),
+                    _ => now += d,
+                }
+            }
+            for b in 0..BANKS {
+                for r in 0..ROWS {
+                    let row = RowId::new(BankId(b), r);
+                    prop_assert_eq!(
+                        arena.disturbance_of(row),
+                        reference.disturbance_of(row),
+                        "disturbance diverged at bank {} row {}", b, r
+                    );
+                }
+            }
+            prop_assert_eq!(arena.drain_flips(), reference.drain_flips());
+            prop_assert_eq!(arena.total_flips(), reference.total_flips);
+        }
     }
 }
 

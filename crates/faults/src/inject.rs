@@ -256,14 +256,35 @@ impl LifecycleInjector {
     /// Possibly corrupts checkpoint bytes at rest by flipping one bit of
     /// one byte. Returns `true` when corruption fired.
     pub fn corrupt(&mut self, bytes: &mut [u8]) -> bool {
-        if bytes.is_empty() || !self.rng.chance(self.cfg.corrupt_rate) {
+        if bytes.is_empty() || !self.corrupt_fires() {
             return false;
         }
+        self.corrupt_in_place(bytes);
+        true
+    }
+
+    /// Draws the per-checkpoint-write corruption chance alone (the first
+    /// draw [`corrupt`](Self::corrupt) makes). Callers that keep their
+    /// checkpoints unserialized use this to decide whether bytes must be
+    /// materialized at all; on `true` they follow up with
+    /// [`corrupt_in_place`](Self::corrupt_in_place), reproducing
+    /// `corrupt`'s draw sequence exactly.
+    pub fn corrupt_fires(&mut self) -> bool {
+        self.rng.chance(self.cfg.corrupt_rate)
+    }
+
+    /// Flips one bit of one byte (the position and bit draws `corrupt`
+    /// makes after its chance draw fires) and counts the corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty.
+    pub fn corrupt_in_place(&mut self, bytes: &mut [u8]) {
+        assert!(!bytes.is_empty(), "cannot corrupt an empty checkpoint");
         let idx = self.rng.below(bytes.len() as u64) as usize;
         let bit = self.rng.below(8) as u8;
         bytes[idx] ^= 1 << bit;
         self.corrupted += 1;
-        true
     }
 
     /// Crashes injected so far.

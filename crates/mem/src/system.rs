@@ -158,6 +158,11 @@ pub struct MemorySystem {
     now: Cycle,
     stats: MemStats,
     flip_log: Vec<DramFlip>,
+    /// Reusable buffers for displaced dirty lines / prefetch fills —
+    /// `access_at` runs once per simulated memory access, so these must
+    /// not allocate in steady state.
+    wb_scratch: Vec<u64>,
+    pf_scratch: Vec<u64>,
 }
 
 impl MemorySystem {
@@ -175,6 +180,8 @@ impl MemorySystem {
             now: 0,
             stats: MemStats::default(),
             flip_log: Vec::new(),
+            wb_scratch: Vec::new(),
+            pf_scratch: Vec::new(),
             config,
         }
     }
@@ -245,7 +252,9 @@ impl MemorySystem {
         let now = now.max(self.now);
         self.now = now;
         let write = matches!(kind, AccessKind::Write);
-        let h = self.hierarchy.access(paddr, write);
+        let mut wb = std::mem::take(&mut self.wb_scratch);
+        let mut pf = std::mem::take(&mut self.pf_scratch);
+        let (level, _latency) = self.hierarchy.access_into(paddr, write, &mut wb, &mut pf);
 
         self.stats.accesses = self.stats.accesses.saturating_add(1);
         match kind {
@@ -253,7 +262,7 @@ impl MemorySystem {
             AccessKind::Write => self.stats.writes = self.stats.writes.saturating_add(1),
         }
 
-        let (advance, dram_loc) = match h.level {
+        let (advance, dram_loc) = match level {
             HitLevel::L1 => (self.config.core.l1_hit_cost, None),
             HitLevel::L2 => (self.config.core.l2_hit_cost, None),
             HitLevel::L3 => (self.config.core.l3_hit_cost, None),
@@ -269,20 +278,26 @@ impl MemorySystem {
 
         // Dirty lines displaced out of the hierarchy are written to DRAM
         // off the critical path (no clock advance), but they do open rows.
-        for wb in h.writebacks {
-            self.dram.access(wb, self.now);
+        for &line in &wb {
+            self.dram.access(line, self.now);
         }
         // Prefetch fills are DRAM reads off the critical path too — and
         // therefore real row activations.
-        for pf in h.prefetch_fills {
-            self.dram.access(pf, self.now);
+        for &line in &pf {
+            self.dram.access(line, self.now);
         }
-        self.apply_new_flips();
+        wb.clear();
+        pf.clear();
+        self.wb_scratch = wb;
+        self.pf_scratch = pf;
+        if self.dram.total_flips() > 0 {
+            self.apply_new_flips();
+        }
 
         AccessOutcome {
             paddr,
             kind,
-            level: h.level,
+            level,
             advance,
             dram: dram_loc,
         }

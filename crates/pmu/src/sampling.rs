@@ -242,6 +242,15 @@ impl Sampler {
     pub fn drain(&mut self) -> Vec<SampleRecord> {
         std::mem::take(&mut self.buffer)
     }
+
+    /// Drains the debug-store buffer into `out` (cleared first). Both the
+    /// internal buffer and `out` keep their capacity, so a detector that
+    /// drains every stage-2 window reuses the same two allocations for
+    /// the whole run instead of regrowing a fresh `Vec` each time.
+    pub fn drain_into(&mut self, out: &mut Vec<SampleRecord>) {
+        out.clear();
+        out.append(&mut self.buffer);
+    }
 }
 
 #[cfg(test)]

@@ -36,12 +36,14 @@ mod distributed;
 mod duty_cycle;
 mod paced;
 mod restart_aware;
+mod spec;
 
 pub use camouflage::CamouflageHammer;
 pub use distributed::DistributedManySided;
 pub use duty_cycle::DutyCycleHammer;
 pub use paced::PacedHammer;
 pub use restart_aware::RestartAwareHammer;
+pub use spec::ArchetypeSpec;
 
 /// Estimated core cycles per aggressor access in the hammer loop: a
 /// row-conflict DRAM read (~179 cycles on the simulated platform), the

@@ -1,0 +1,134 @@
+//! A serializable IR for the four evasion archetypes.
+//!
+//! The symbolic verifier in `anvil-analyze` reasons about *families* of
+//! adversaries (parameter boxes); when it refutes a safety claim it must
+//! name one concrete member of the family that actually evades. An
+//! [`ArchetypeSpec`] is that name: a plain-data description of one
+//! adversary instance, serializable into `results/verifier.json`, that
+//! [`build`](ArchetypeSpec::build)s back into the live attack for dynamic
+//! replay.
+
+use crate::{CamouflageHammer, DistributedManySided, DutyCycleHammer, PacedHammer};
+use anvil_attacks::Attack;
+use serde::{Deserialize, Serialize};
+
+/// One concrete adversary instance, as plain data.
+///
+/// Every variant corresponds to one strategy in this crate and carries
+/// exactly the parameters its builder accepts, so a spec read back from a
+/// report reconstructs the identical attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "archetype", rename_all = "kebab-case")]
+pub enum ArchetypeSpec {
+    /// [`DutyCycleHammer`]: bursts of `burst_misses` centered on assumed
+    /// `window_cycles` boundaries.
+    DutyCycle {
+        /// Misses per burst (split across the two straddled windows).
+        burst_misses: u64,
+        /// Assumed stage-1 window length in cycles.
+        window_cycles: u64,
+    },
+    /// [`PacedHammer`]: a constant `misses_per_window` pace.
+    Paced {
+        /// Misses spread evenly over each assumed window.
+        misses_per_window: u64,
+        /// Assumed stage-1 window length in cycles.
+        window_cycles: u64,
+    },
+    /// [`CamouflageHammer`]: `dilution` row-buffer-hit fillers per
+    /// aggressor access.
+    Camouflage {
+        /// Filler loads interleaved per aggressor access.
+        dilution: u64,
+    },
+    /// [`DistributedManySided`]: activations spread over `pairs`
+    /// aggressor pairs in distinct banks.
+    Distributed {
+        /// Aggressor pairs in the spread.
+        pairs: usize,
+    },
+}
+
+impl ArchetypeSpec {
+    /// The default-parameter member of each family, in the order the
+    /// guarantee envelope reports them (sustained, straddle, camouflage,
+    /// distributed).
+    pub fn defaults() -> [ArchetypeSpec; 4] {
+        [
+            ArchetypeSpec::Paced {
+                misses_per_window: 19_999,
+                window_cycles: crate::EST_STAGE1_WINDOW_CYCLES,
+            },
+            ArchetypeSpec::DutyCycle {
+                burst_misses: 28_000,
+                window_cycles: crate::EST_STAGE1_WINDOW_CYCLES,
+            },
+            ArchetypeSpec::Camouflage { dilution: 10 },
+            ArchetypeSpec::Distributed { pairs: 7 },
+        ]
+    }
+
+    /// Reconstructs the live attack this spec describes.
+    pub fn build(self) -> Box<dyn Attack> {
+        match self {
+            ArchetypeSpec::DutyCycle {
+                burst_misses,
+                window_cycles,
+            } => Box::new(
+                DutyCycleHammer::new()
+                    .with_burst_misses(burst_misses)
+                    .with_window_cycles(window_cycles),
+            ),
+            ArchetypeSpec::Paced {
+                misses_per_window,
+                window_cycles,
+            } => Box::new(
+                PacedHammer::new()
+                    .with_misses_per_window(misses_per_window)
+                    .with_window_cycles(window_cycles),
+            ),
+            ArchetypeSpec::Camouflage { dilution } => {
+                Box::new(CamouflageHammer::new().with_dilution(dilution))
+            }
+            ArchetypeSpec::Distributed { pairs } => {
+                Box::new(DistributedManySided::new().with_pair_target(pairs))
+            }
+        }
+    }
+
+    /// The strategy's display label (matches the built attack's name and
+    /// the evasion campaign's row labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArchetypeSpec::DutyCycle { .. } => "duty-cycle-hammer",
+            ArchetypeSpec::Paced { .. } => "threshold-prober",
+            ArchetypeSpec::Camouflage { .. } => "camouflage-hammer",
+            ArchetypeSpec::Distributed { .. } => "distributed-many-sided",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for spec in ArchetypeSpec::defaults() {
+            let text = serde_json::to_string(&spec).unwrap();
+            let back: ArchetypeSpec = serde_json::from_str(&text).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn built_attacks_honor_their_parameters() {
+        let burst = ArchetypeSpec::DutyCycle {
+            burst_misses: 30_000,
+            window_cycles: crate::EST_STAGE1_WINDOW_CYCLES,
+        };
+        assert_eq!(burst.build().name(), "duty-cycle-hammer");
+        let spread = ArchetypeSpec::Distributed { pairs: 9 };
+        assert_eq!(spread.build().name(), "distributed-many-sided");
+    }
+}

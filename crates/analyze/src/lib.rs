@@ -8,12 +8,24 @@
 //! intervals against the DRAM disturbance thresholds (Table 1 of the ANVIL
 //! paper), and checks [`anvil_core::AnvilConfig`] coverage against every
 //! pattern the analysis proves hammer-capable.
+//!
+//! The symbolic guarantee verifier ([`abstract_domain`] → [`transfer`] →
+//! [`witness`]) extends the same idea to the adaptive adversaries: it
+//! abstract-interprets the detector's pure transition functions
+//! (`anvil_core::transition`) over parameter *boxes* of entire attack
+//! families, proving sound per-archetype bounds on undetectable
+//! activations — and when a bound clears the flip threshold, it hunts a
+//! concrete [`Witness`] and confirms the refutation by dynamic replay.
 
+mod abstract_domain;
 mod bounds;
 mod coverage;
 mod report;
+mod transfer;
 mod verdict;
+mod witness;
 
+pub use abstract_domain::{ParamBox, PhaseSet, RealInterval};
 pub use bounds::{
     eviction_profile, pattern_activation_bounds, workload_activation_bounds, AccessVector,
     ActivationInterval, AnalysisContext, EvictionProfile, MissRate, PatternBounds, WorkloadBounds,
@@ -22,8 +34,12 @@ pub use coverage::{
     check_config, check_coverage, check_envelope, envelope_params, ConfigFinding, CoverageVerdict,
     Severity,
 };
-pub use report::{analyze_all, AnalysisReport, PatternReport, WorkloadReport};
+pub use report::{analyze_all, AnalysisReport, PatternReport, SymbolicSection, WorkloadReport};
+pub use transfer::{
+    max_quiet_normalized, verify_archetype, verify_config, Archetype, SymbolicBound,
+};
 pub use verdict::{
     at_risk_victims, benign_floor, classify, classify_interval, per_side_requirement, HammerStyle,
     Verdict,
 };
+pub use witness::{extract_witness, Witness, WitnessOutcome};

@@ -15,8 +15,9 @@ use crate::bounds::{
     PatternBounds, WorkloadBounds,
 };
 use crate::coverage::{
-    check_config, check_coverage, check_envelope, ConfigFinding, CoverageVerdict,
+    check_config, check_coverage, check_envelope, envelope_params, ConfigFinding, CoverageVerdict,
 };
+use crate::transfer::{verify_config, SymbolicBound};
 use crate::verdict::{at_risk_victims, classify, classify_interval, Verdict};
 
 /// Static analysis of one attack access vector.
@@ -67,6 +68,24 @@ pub struct AnalysisReport {
     /// The audited guarantee envelope: worst-case undetected activations
     /// per aggressor pair per refresh interval, per adversary archetype.
     pub envelope: GuaranteeEnvelope,
+    /// The symbolic verifier's per-archetype bounds, cross-checked
+    /// against the envelope's closed-form budgets.
+    pub symbolic: SymbolicSection,
+}
+
+/// The envelope-comparison section: abstract-interpretation bounds next
+/// to the closed-form audit, for the analysed config and for the
+/// hardened profile it is compared against.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SymbolicSection {
+    /// Per-archetype bounds for the analysed configuration.
+    pub bounds: Vec<SymbolicBound>,
+    /// Whether every symbolic bound dominates its audit budget — the
+    /// soundness cross-check between the two derivations.
+    pub sound: bool,
+    /// Whether every symbolic bound stays under the flip threshold (the
+    /// symbolic analogue of `envelope.holds()`).
+    pub proves_safety: bool,
 }
 
 fn template_name(t: PatternTemplate) -> String {
@@ -166,6 +185,14 @@ pub fn analyze_all(memory: &MemoryConfig, anvil: &AnvilConfig) -> AnalysisReport
         check_envelope(anvil, &memory.clock, &ctx.timing, &ctx.disturbance);
     config_findings.extend(envelope_findings);
 
+    let params = envelope_params(&ctx.timing, &ctx.disturbance);
+    let bounds = verify_config(anvil, &memory.clock, &params);
+    let symbolic = SymbolicSection {
+        sound: bounds.iter().all(|b| b.sound_wrt_audit),
+        proves_safety: bounds.iter().all(|b| b.bound < params.flip_threshold),
+        bounds,
+    };
+
     AnalysisReport {
         window_cycles: ctx.window,
         required_single_sided: crate::verdict::per_side_requirement(1, &ctx.disturbance),
@@ -174,5 +201,6 @@ pub fn analyze_all(memory: &MemoryConfig, anvil: &AnvilConfig) -> AnalysisReport
         workloads,
         config_findings,
         envelope,
+        symbolic,
     }
 }

@@ -1,0 +1,505 @@
+//! Abstract transfer functions: the detector's transition semantics
+//! lifted from concrete traces to the parameter boxes of
+//! [`crate::abstract_domain`].
+//!
+//! For each adversary archetype the interpreter computes a **sound upper
+//! bound** on the activations one aggressor pair can land in a refresh
+//! interval without a detection — by running the *same* pure transition
+//! functions the dynamic detector runs (`anvil_core::transition`), but
+//! over interval endpoints and quantified window counts instead of a
+//! seeded trace:
+//!
+//! * **Sustained** — a binary search over constant rates, each candidate
+//!   checked by iterating [`anvil_core::transition::stage1_step`] to its
+//!   fixed point; finite iteration errs on the quiet side, so the
+//!   returned supremum is approached from above.
+//! * **Straddle** — a window-counting loop over the jitter interval
+//!   `[1−j, 1+j]` with the telescoped quiet-sum identity: over `n` quiet
+//!   windows, `Σ xᵢ = k_{n+1} − c·k₁ + (1−c)·Σ_{i=2..n} kᵢ` with every
+//!   evidence value `kᵢ < T`, so the family-wide supremum of normalized
+//!   misses is `T·(1 + (1−c)(n−1))` — attained by the greedy schedule
+//!   that pushes the evidence to `T` every window (exchange argument;
+//!   cross-checked against concrete greedy and randomized schedules in
+//!   the tests below).
+//! * **Camouflage** — the supremum over all real-valued sample mixes
+//!   that stay under the attributable floor fraction (every integer
+//!   dilution in the box is dominated), intersected, when hardened, with
+//!   the suspicion-ledger telescoping: `Σ rateᵢ ≤ S·(1 + (1−d)(K−1))`
+//!   over the `K` stage-2 windows of one interval, plus the
+//!   `ledger_min_windows − 1` unconvictable head windows at the mix
+//!   rate. The hardened hit-weight discount only *shrinks* filler shares
+//!   (raising aggressor visibility), so ignoring it here is sound.
+//! * **Distributed** — the pair-spread box intersected with the minimum
+//!   spread that evades the per-row sample floor; the physical ceiling
+//!   divides across the spread, and the same ledger telescoping applies
+//!   when hardened.
+//!
+//! Every bound ends in [`ceil_guard`]: rounded up plus one activation,
+//! so f64 rounding can never shave a real activation off a bound. The
+//! result is compared archetype-by-archetype against the closed-form
+//! [`GuaranteeEnvelope`] audit — the verifier must never undercut the
+//! budget the dynamic campaigns are gated on.
+
+use crate::abstract_domain::ParamBox;
+use anvil_core::{transition, AnvilConfig, EnvelopeParams, GuaranteeEnvelope};
+use anvil_dram::CpuClock;
+use serde::Serialize;
+
+/// The four adversary families of the guarantee envelope, in its
+/// reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum Archetype {
+    /// Constant-rate pacing under the stage-1 trip point (`PacedHammer`).
+    Sustained,
+    /// Boundary-straddling bursts (`DutyCycleHammer`).
+    Straddle,
+    /// Sample-mix dilution (`CamouflageHammer`).
+    Camouflage,
+    /// Many-sided pair spread (`DistributedManySided`).
+    Distributed,
+}
+
+impl Archetype {
+    /// All four, in envelope order.
+    pub const ALL: [Archetype; 4] = [
+        Archetype::Sustained,
+        Archetype::Straddle,
+        Archetype::Camouflage,
+        Archetype::Distributed,
+    ];
+
+    /// The envelope's field name for this archetype.
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::Sustained => "sustained",
+            Archetype::Straddle => "straddle",
+            Archetype::Camouflage => "camouflage",
+            Archetype::Distributed => "distributed",
+        }
+    }
+
+    /// The family's full parameter box: every value the corresponding
+    /// `anvil-adversary` builder can be asked for, per-window misses
+    /// capped by the physical service rate of the longest jittered
+    /// window.
+    pub fn default_box(
+        self,
+        config: &AnvilConfig,
+        clock: &CpuClock,
+        params: &EnvelopeParams,
+    ) -> ParamBox {
+        let tc = config.tc_cycles(clock).max(1);
+        let (_, s_hi) = transition::jitter_scale_bounds(&config.hardening);
+        let cap = tc as f64 * s_hi / params.attack_access_cycles.max(1) as f64;
+        match self {
+            Archetype::Sustained => ParamBox::sustained(cap),
+            Archetype::Straddle => ParamBox::straddle(cap),
+            Archetype::Camouflage => ParamBox::camouflage(cap),
+            Archetype::Distributed => ParamBox::distributed(cap),
+        }
+    }
+}
+
+/// One archetype's symbolically derived activation bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SymbolicBound {
+    /// Which family the bound covers.
+    pub archetype: Archetype,
+    /// Sound upper bound on undetected activations per aggressor pair
+    /// per refresh interval, over the family's whole parameter box.
+    pub bound: u64,
+    /// The closed-form budget the [`GuaranteeEnvelope`] audit assigns
+    /// the same family.
+    pub audit_budget: u64,
+    /// `bound ≥ audit_budget`: the symbolic bound dominates the audit,
+    /// as a sound over-approximation must. A `false` here means one of
+    /// the two derivations is wrong — the verifier treats it as a
+    /// soundness violation.
+    pub sound_wrt_audit: bool,
+    /// Stage-1 (or stage-2, for the ledger families) windows the
+    /// interpreter quantified over.
+    pub windows_explored: u32,
+    /// The share of `bound` contributed by the parameter box's detector
+    /// downtime interval (zero for the default boxes).
+    pub downtime_activations: u64,
+}
+
+/// Rounds a real bound up and adds one guard activation, so f64 rounding
+/// can never shave a real activation off a sound bound.
+fn ceil_guard(x: f64) -> u64 {
+    (x.max(0.0).ceil() as u64).saturating_add(1)
+}
+
+/// The supremum of constant normalized per-window miss rates that never
+/// trip stage 1, approached from above: each binary-search candidate is
+/// checked by iterating the EWMA to its fixed point with the detector's
+/// own [`transition::stage1_step`]. Closed form: `(1 − carry) × T`.
+pub fn max_quiet_normalized(config: &AnvilConfig) -> f64 {
+    let h = &config.hardening;
+    let t = config.llc_miss_threshold;
+    let quiet = |v: f64| -> bool {
+        let mut carry = 0.0;
+        // The carry sequence under a constant rate increases monotonically
+        // toward v / (1 − c); 128 steps reach the fixed point to within
+        // f64 noise, and finite iteration errs on the quiet (sound) side.
+        for _ in 0..128 {
+            let step = transition::stage1_step(h, t, carry, v);
+            if step.tripped {
+                return false;
+            }
+            carry = step.next_carry;
+        }
+        true
+    };
+    let mut lo = 0.0;
+    let mut hi = t as f64;
+    if quiet(hi) {
+        return hi;
+    }
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if quiet(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // The tripping endpoint: an upper bound on the quiet supremum.
+    hi
+}
+
+struct Horizon {
+    tc: f64,
+    ts: f64,
+    period: f64,
+    physical_cap: u64,
+    attack_cycles: f64,
+}
+
+fn horizon(config: &AnvilConfig, clock: CpuClock, params: &EnvelopeParams) -> Horizon {
+    Horizon {
+        tc: config.tc_cycles(&clock).max(1) as f64,
+        ts: config.ts_cycles(&clock).max(1) as f64,
+        period: params.refresh_period as f64,
+        physical_cap: params.refresh_period / params.attack_access_cycles.max(1),
+        attack_cycles: params.attack_access_cycles.max(1) as f64,
+    }
+}
+
+/// The telescoped supremum of evidence-rate sums over `n` windows of the
+/// recurrence `k' = decay·k + x` with every `k' < limit` and `k₁ = 0`
+/// (see the module docs): `limit × (1 + (1 − decay)(n − 1))`.
+fn telescoped_quiet_sum(limit: f64, decay: f64, n: f64) -> f64 {
+    limit * (1.0 + (1.0 - decay) * (n - 1.0).max(0.0))
+}
+
+/// The camouflage mix supremum: pair activations per refresh interval
+/// over all real-valued sample mixes whose aggressor share stays under
+/// the attributable floor fraction. Every integer dilution in the box is
+/// dominated by this continuous supremum.
+fn mix_supremum(config: &AnvilConfig, hz: &Horizon, params: &EnvelopeParams) -> f64 {
+    let samples = (hz.ts / config.sampling.interval.max(1) as f64).max(1.0);
+    let f_floor = (2.0 * f64::from(config.row_sample_floor) / samples).min(1.0);
+    let mix_cost = f_floor * params.attack_access_cycles as f64
+        + (1.0 - f_floor) * params.hit_access_cycles as f64;
+    f_floor * hz.period / mix_cost.max(1.0)
+}
+
+/// The hardened suspicion-ledger cap for a low-profile pair, including
+/// the transient the closed-form audit's steady-state cap ignores: the
+/// telescoped rate sum over the interval's stage-2 windows, plus the
+/// `ledger_min_windows − 1` unconvictable head windows at the family's
+/// own rate cap (`per_window_pair` activations per stage-2 window).
+fn ledger_pair_cap(config: &AnvilConfig, hz: &Horizon, per_window_pair: f64) -> f64 {
+    let h = &config.hardening;
+    let k_windows = (hz.period / hz.ts).floor() + 2.0;
+    let conviction = transition::ledger_conviction_score(config);
+    let rate_sum = telescoped_quiet_sum(conviction, h.ledger_decay, k_windows);
+    // A window's ledger evidence is the pair's activations extrapolated
+    // to the full period (rate = a × period / ts), so the activation sum
+    // is the rate sum scaled back down; both rows of the pair accumulate.
+    let ledger_total = 2.0 * rate_sum * (hz.ts / hz.period);
+    let head = (f64::from(h.ledger_min_windows) - 1.0).max(0.0) * per_window_pair;
+    ledger_total + head
+}
+
+/// Verifies one archetype over `bx`, returning the sound bound and its
+/// cross-check against the closed-form audit.
+pub fn verify_archetype(
+    archetype: Archetype,
+    config: &AnvilConfig,
+    clock: &CpuClock,
+    params: &EnvelopeParams,
+    bx: &ParamBox,
+) -> SymbolicBound {
+    let hz = horizon(config, *clock, params);
+    let h = &config.hardening;
+    let audit = GuaranteeEnvelope::audit(config, clock, params);
+    let gap_activations = (bx.downtime_cycles.hi.max(0.0) / hz.attack_cycles).ceil();
+
+    let (raw_bound, windows_explored) = match archetype {
+        Archetype::Sustained => {
+            // Rate invariance under jitter: a constant-rate attacker's
+            // normalized count is rate × tc in every window regardless
+            // of the drawn scale, so the quiet supremum divides out.
+            let v = max_quiet_normalized(config).min(bx.window_misses.hi);
+            let windows = hz.period / hz.tc;
+            (v * windows, windows.ceil() as u32)
+        }
+        Archetype::Straddle => {
+            let (s_lo, s_hi) = transition::jitter_scale_bounds(h);
+            let min_window = (hz.tc * s_lo).max(1.0);
+            let n = (hz.period / min_window).floor() + bx.phase.extra_intersecting_windows();
+            let c = if h.enabled { h.stage1_carry } else { 0.0 };
+            let t = config.llc_miss_threshold as f64;
+            // Telescoped supremum of normalized misses over n quiet
+            // windows; each window's raw count is its normalized count
+            // times its drawn scale, bounded by s_hi.
+            let total_norm = telescoped_quiet_sum(t, c, n);
+            let per_window_cap = bx.window_misses.hi;
+            ((total_norm * s_hi).min(per_window_cap * n), n as u32)
+        }
+        Archetype::Camouflage => {
+            let mix = mix_supremum(config, &hz, params);
+            if h.enabled {
+                let per_window_pair = mix * hz.ts / hz.period;
+                let ledger = ledger_pair_cap(config, &hz, per_window_pair);
+                (mix.min(ledger), ((hz.period / hz.ts).floor() + 2.0) as u32)
+            } else {
+                (mix, 1)
+            }
+        }
+        Archetype::Distributed => {
+            let samples = (hz.ts / config.sampling.interval.max(1) as f64).max(1.0);
+            let k_min = (samples / (2.0 * f64::from(config.row_sample_floor))).floor() + 1.0;
+            // The spread must reach floor evasion; if the box can't, the
+            // minimum evading spread is kept anyway (supremum over all
+            // spreads — sound, never under).
+            let k_eff = k_min.max(f64::from(bx.pairs.0)).max(1.0);
+            let raw_pair = hz.physical_cap as f64 / k_eff;
+            if h.enabled {
+                let per_window_pair = raw_pair * hz.ts / hz.period;
+                let ledger = ledger_pair_cap(config, &hz, per_window_pair);
+                (
+                    raw_pair.min(ledger),
+                    ((hz.period / hz.ts).floor() + 2.0) as u32,
+                )
+            } else {
+                (raw_pair, k_eff as u32)
+            }
+        }
+    };
+
+    let downtime_activations = gap_activations as u64;
+    let bound = ceil_guard(raw_bound)
+        .min(hz.physical_cap)
+        .saturating_add(downtime_activations);
+    let audit_budget = match archetype {
+        Archetype::Sustained => audit.sustained_budget,
+        Archetype::Straddle => audit.straddle_budget,
+        Archetype::Camouflage => audit.camouflage_budget,
+        Archetype::Distributed => audit.distributed_budget,
+    };
+    SymbolicBound {
+        archetype,
+        bound,
+        audit_budget,
+        sound_wrt_audit: bound >= audit_budget,
+        windows_explored,
+        downtime_activations,
+    }
+}
+
+/// Verifies all four archetypes over their full default parameter boxes.
+pub fn verify_config(
+    config: &AnvilConfig,
+    clock: &CpuClock,
+    params: &EnvelopeParams,
+) -> Vec<SymbolicBound> {
+    Archetype::ALL
+        .iter()
+        .map(|&a| {
+            verify_archetype(
+                a,
+                config,
+                clock,
+                params,
+                &a.default_box(config, clock, params),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLOCK: CpuClock = CpuClock::SANDY_BRIDGE_2_6GHZ;
+
+    fn params() -> EnvelopeParams {
+        EnvelopeParams::paper_platform()
+    }
+
+    #[test]
+    fn bounds_dominate_the_audit_for_every_config() {
+        for config in [AnvilConfig::baseline(), AnvilConfig::hardened()] {
+            for p in [params(), params().with_flip_threshold(110_000)] {
+                for b in verify_config(&config, &CLOCK, &p) {
+                    assert!(
+                        b.sound_wrt_audit,
+                        "{} bound {} undercuts audit budget {}",
+                        b.archetype.name(),
+                        b.bound,
+                        b.audit_budget
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hardened_bounds_prove_the_design_threshold() {
+        for b in verify_config(&AnvilConfig::hardened(), &CLOCK, &params()) {
+            assert!(
+                b.bound < 220_000,
+                "{} bound {} reaches the design flip threshold",
+                b.archetype.name(),
+                b.bound
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_sustained_is_proved_but_the_envelope_still_leaks() {
+        let bounds = verify_config(&AnvilConfig::baseline(), &CLOCK, &params());
+        let by_name = |n: &str| bounds.iter().find(|b| b.archetype.name() == n).unwrap();
+        // Section 4.2's sizing survives symbolically: 20K per 6 ms paces
+        // just under 220K per refresh interval.
+        assert!(by_name("sustained").bound < 220_000);
+        // But straddling and camouflage clear the threshold, matching
+        // the audit's verdict that the unhardened envelope does not hold.
+        assert!(by_name("straddle").bound >= 220_000);
+        assert!(by_name("camouflage").bound >= 220_000);
+    }
+
+    #[test]
+    fn quiet_rate_supremum_is_tight_from_above() {
+        for config in [AnvilConfig::baseline(), AnvilConfig::hardened()] {
+            let h = &config.hardening;
+            let t = config.llc_miss_threshold;
+            let sup = max_quiet_normalized(&config);
+            // One normalized miss under the supremum stays quiet forever.
+            let mut carry = 0.0;
+            for _ in 0..500 {
+                let step = transition::stage1_step(h, t, carry, sup - 1.0);
+                assert!(!step.tripped, "rate under the supremum must stay quiet");
+                carry = step.next_carry;
+            }
+            // One percent over it trips.
+            let mut carry = 0.0;
+            let mut tripped = false;
+            for _ in 0..500 {
+                let step = transition::stage1_step(h, t, carry, sup * 1.01);
+                if step.tripped {
+                    tripped = true;
+                    break;
+                }
+                carry = step.next_carry;
+            }
+            assert!(tripped, "rate over the supremum must trip");
+        }
+    }
+
+    #[test]
+    fn straddle_bound_dominates_concrete_quiet_schedules() {
+        // The telescoped supremum must dominate (a) the greedy schedule
+        // that pushes the evidence to just under T every window, and (b)
+        // randomized quiet schedules — all replayed through the real
+        // transition function.
+        for config in [AnvilConfig::baseline(), AnvilConfig::hardened()] {
+            let h = &config.hardening;
+            let t = config.llc_miss_threshold;
+            let bx = Archetype::Straddle.default_box(&config, &CLOCK, &params());
+            let b = verify_archetype(Archetype::Straddle, &config, &CLOCK, &params(), &bx);
+            let (_, s_hi) = transition::jitter_scale_bounds(h);
+            let c = if h.enabled { h.stage1_carry } else { 0.0 };
+
+            // (a) greedy: evidence to T − ε every window.
+            let mut carry = 0.0;
+            let mut total = 0.0;
+            for _ in 0..b.windows_explored {
+                let x = (t as f64 - 1e-6 - c * carry).max(0.0);
+                let step = transition::stage1_step(h, t, carry, x);
+                assert!(!step.tripped);
+                total += x * s_hi;
+                carry = step.next_carry;
+            }
+            assert!(
+                total <= b.bound as f64,
+                "greedy schedule {total} exceeds bound {}",
+                b.bound
+            );
+
+            // (b) randomized quiet schedules from a deterministic stream.
+            let mut state = 0x5EED_u64;
+            for _ in 0..200 {
+                let mut carry = 0.0;
+                let mut total = 0.0;
+                for _ in 0..b.windows_explored {
+                    let u = (transition::splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                    let x = u * (t as f64 - 1e-6 - c * carry).max(0.0);
+                    let step = transition::stage1_step(h, t, carry, x);
+                    assert!(!step.tripped);
+                    total += x * s_hi;
+                    carry = step.next_carry;
+                }
+                assert!(total <= b.bound as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_cap_dominates_concrete_quiet_score_runs() {
+        // Any per-window rate schedule whose ledger score never reaches
+        // the conviction threshold lands fewer activations than the
+        // symbolic ledger cap allows.
+        let config = AnvilConfig::hardened();
+        let hz = horizon(&config, CLOCK, &params());
+        let conviction = transition::ledger_conviction_score(&config);
+        let d = config.hardening.ledger_decay;
+        let cap = ledger_pair_cap(&config, &hz, 0.0);
+        let mut state = 0xACC0_u64;
+        for _ in 0..200 {
+            let mut score = 0.0;
+            let mut pair_activations = 0.0;
+            for _ in 0..((hz.period / hz.ts) as u32 + 2) {
+                let u = (transition::splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                let rate = u * (conviction - 1e-6 - d * score).max(0.0);
+                score = transition::ledger_step(d, score, rate);
+                assert!(score < conviction);
+                pair_activations += 2.0 * rate * (hz.ts / hz.period);
+            }
+            assert!(pair_activations <= cap);
+        }
+    }
+
+    #[test]
+    fn downtime_extends_the_bound_by_the_gap_rate() {
+        let config = AnvilConfig::hardened();
+        let p = params();
+        let bx = Archetype::Sustained.default_box(&config, &CLOCK, &p);
+        let base = verify_archetype(Archetype::Sustained, &config, &CLOCK, &p, &bx);
+        let gap_cycles = 1_870_000;
+        let with_gap = verify_archetype(
+            Archetype::Sustained,
+            &config,
+            &CLOCK,
+            &p,
+            &bx.with_downtime(gap_cycles),
+        );
+        assert_eq!(base.downtime_activations, 0);
+        assert_eq!(with_gap.downtime_activations, 10_000);
+        assert_eq!(with_gap.bound, base.bound + 10_000);
+    }
+}

@@ -1,5 +1,5 @@
-//! Campaign bodies shared by the `soak`, `resilience`, `evasion`, and
-//! `detection_matrix` binaries.
+//! Campaign bodies shared by the `soak`, `resilience`, `evasion`,
+//! `verify`, and `detection_matrix` binaries.
 //!
 //! Each campaign is a matrix of *independent* scenario cells: every cell
 //! builds its own `Platform` from the campaign seed and shares no mutable
@@ -15,12 +15,13 @@ use crate::harness::{
     ResilienceSummary,
 };
 use anvil_adversary::{CamouflageHammer, DistributedManySided, DutyCycleHammer, PacedHammer};
+use anvil_analyze::{extract_witness, verify_archetype, Archetype, SymbolicBound, Witness};
 use anvil_attacks::Attack;
 use anvil_core::{
     AnvilConfig, DetectorStats, EnvelopeParams, GuaranteeEnvelope, Platform, PlatformConfig,
 };
 use anvil_dram::DisturbanceConfig;
-use anvil_faults::FaultScenario;
+use anvil_faults::{FaultPlan, FaultScenario};
 use anvil_mem::MemoryConfig;
 use anvil_runtime::{soak as soak_engine, SoakConfig, SoakSummary};
 use serde_json::{json, Value};
@@ -432,6 +433,224 @@ pub fn evasion(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> EvasionOu
         cells,
         baseline_losses,
         hardened_failures,
+        demonstrated,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic verification
+// ---------------------------------------------------------------------------
+
+/// One verifier cell: a safety claim about one adversary family against
+/// one detector at one flip threshold, judged symbolically and — when
+/// the abstract bound clears the threshold — dynamically.
+#[derive(Debug, Clone)]
+pub struct VerifyCell {
+    /// Archetype name, in envelope order.
+    pub archetype: &'static str,
+    /// `"baseline"` or `"hardened"`.
+    pub detector: &'static str,
+    /// The flip threshold the claim is judged against.
+    pub flip_threshold: u64,
+    /// Whether witness replays run on future (half-threshold) DRAM.
+    pub future_dram: bool,
+    /// The abstract interpreter's bound and its audit cross-check.
+    pub bound: SymbolicBound,
+    /// Whether the closed-form envelope holds at this threshold.
+    pub audit_holds: bool,
+    /// `"proved"` (bound under the threshold), `"refuted"` (a witness
+    /// replays to a missed detection), or `"unconfirmed"` (bound too
+    /// loose, no tried family member evades).
+    pub verdict: &'static str,
+    /// Detector downtime (cycles) the proof margin tolerates before the
+    /// family could close the gap at full hammer rate; zero unless
+    /// proved.
+    pub downtime_budget_cycles: u64,
+    /// The confirmed counterexample backing a refutation.
+    pub witness: Option<Witness>,
+    /// Whether the witness re-replayed to its recorded outcome.
+    pub witness_confirmed: bool,
+    /// Merge-gate failure: the bound undercuts the audit, a refutation
+    /// contradicts a holding envelope or lacks a replaying witness, or a
+    /// hardened design-threshold cell escaped its proof obligation.
+    pub violation: bool,
+}
+
+/// Everything the `verify` binary needs: typed cells plus the exact
+/// JSON record for `results/verifier.json`.
+#[derive(Debug)]
+pub struct VerifyOutcome {
+    /// Cells in threshold-major, detector-medial, archetype-minor order.
+    pub cells: Vec<VerifyCell>,
+    /// Cells whose bound stays under their flip threshold.
+    pub proved: u32,
+    /// Cells refuted by a replaying witness.
+    pub refuted: u32,
+    /// Cells with a loose bound but no evading family member found.
+    pub unconfirmed: u32,
+    /// Cells failing the merge gate (see [`VerifyCell::violation`]).
+    pub violations: u32,
+    /// Whether some refutation carried a confirmed witness — the
+    /// counterexample machinery must demonstrably work, not just the
+    /// prover.
+    pub demonstrated: bool,
+    /// The machine-readable record.
+    pub json: Value,
+}
+
+/// Runs the symbolic verification campaign; see the `verify` binary docs.
+#[allow(clippy::too_many_lines)]
+pub fn verify(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> VerifyOutcome {
+    let design = EnvelopeParams::paper_platform();
+    let future_flip = DisturbanceConfig::future_half_threshold().double_sided_threshold;
+    let clock = MemoryConfig::paper_platform().clock;
+    let detectors = [
+        ("baseline", campaign_config(AnvilConfig::baseline(), seed)),
+        ("hardened", campaign_config(AnvilConfig::hardened(), seed)),
+    ];
+    // Claims: the 220K design threshold on the paper's DRAM, then the
+    // future half-threshold generation. Smoke keeps only the future
+    // side — the design-threshold proofs are pure math and already
+    // pinned by the `anvil-analyze` unit tests; the future cells are
+    // the ones that exercise witness extraction and replay.
+    let thresholds: &[(u64, bool)] = if smoke {
+        &[(110_000, true)]
+    } else {
+        &[(220_000, false), (110_000, true)]
+    };
+
+    let mut audits: Vec<(u64, &'static str, GuaranteeEnvelope)> = Vec::new();
+    let mut jobs: Vec<Box<dyn FnOnce() -> VerifyCell + Send>> = Vec::new();
+    for &(flip, future_dram) in thresholds {
+        let params = design.with_flip_threshold(flip);
+        for &(det, cfg) in &detectors {
+            let audit = GuaranteeEnvelope::audit(&cfg, &clock, &params);
+            audits.push((flip, det, audit));
+            let audit_holds = audit.holds();
+            for archetype in Archetype::ALL {
+                jobs.push(Box::new(move || {
+                    let bx = archetype.default_box(&cfg, &clock, &params);
+                    let bound = verify_archetype(archetype, &cfg, &clock, &params, &bx);
+                    let (verdict, witness, witness_confirmed) = if bound.bound < flip {
+                        ("proved", None, false)
+                    } else {
+                        match extract_witness(
+                            archetype,
+                            &cfg,
+                            future_dram,
+                            seed,
+                            run_ms,
+                            FaultPlan::none(),
+                        ) {
+                            Some(w) => ("refuted", Some(w), w.confirms()),
+                            None => ("unconfirmed", None, false),
+                        }
+                    };
+                    let downtime_budget_cycles = if verdict == "proved" {
+                        (flip - bound.bound).saturating_mul(params.attack_access_cycles)
+                    } else {
+                        0
+                    };
+                    let violation = !bound.sound_wrt_audit
+                        || (audit_holds && verdict == "refuted")
+                        || (verdict == "refuted" && !witness_confirmed)
+                        || (det == "hardened" && flip == 220_000 && verdict != "proved");
+                    eprintln!(
+                        "  [{} / {det} @ {flip}] bound {}, audit {}, {verdict}{}",
+                        archetype.name(),
+                        bound.bound,
+                        bound.audit_budget,
+                        if violation { " (VIOLATION)" } else { "" },
+                    );
+                    VerifyCell {
+                        archetype: archetype.name(),
+                        detector: det,
+                        flip_threshold: flip,
+                        future_dram,
+                        bound,
+                        audit_holds,
+                        verdict,
+                        downtime_budget_cycles,
+                        witness,
+                        witness_confirmed,
+                        violation,
+                    }
+                }));
+            }
+        }
+    }
+    let cells = run_cells(threads, jobs);
+
+    let (mut proved, mut refuted, mut unconfirmed, mut violations) = (0u32, 0u32, 0u32, 0u32);
+    let mut demonstrated = false;
+    for c in &cells {
+        match c.verdict {
+            "proved" => proved += 1,
+            "refuted" => refuted += 1,
+            _ => unconfirmed += 1,
+        }
+        if c.violation {
+            violations += 1;
+        }
+        if c.verdict == "refuted" && c.witness_confirmed {
+            demonstrated = true;
+        }
+    }
+
+    let audit_values: Vec<Value> = audits
+        .iter()
+        .map(|(flip, det, env)| {
+            json!({
+                "flip_threshold": flip,
+                "detector": det,
+                "envelope": env,
+            })
+        })
+        .collect();
+    let cell_values: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            json!({
+                "archetype": c.archetype,
+                "detector": c.detector,
+                "flip_threshold": c.flip_threshold,
+                "future_dram": c.future_dram,
+                "bound": c.bound.bound,
+                "audit_budget": c.bound.audit_budget,
+                "sound_wrt_audit": c.bound.sound_wrt_audit,
+                "windows_explored": c.bound.windows_explored,
+                "downtime_activations": c.bound.downtime_activations,
+                "audit_holds": c.audit_holds,
+                "verdict": c.verdict,
+                "downtime_budget_cycles": c.downtime_budget_cycles,
+                "witness": c.witness,
+                "witness_confirmed": c.witness_confirmed,
+                "violation": c.violation,
+            })
+        })
+        .collect();
+    let json = json!({
+        "experiment": "verifier",
+        "seed": seed,
+        "run_ms": run_ms,
+        "smoke": smoke,
+        "design_flip_threshold": design.flip_threshold,
+        "future_flip_threshold": future_flip,
+        "audits": audit_values,
+        "proved": proved,
+        "refuted": refuted,
+        "unconfirmed": unconfirmed,
+        "violations": violations,
+        "demonstrated": demonstrated,
+        "cells": cell_values,
+    });
+    VerifyOutcome {
+        cells,
+        proved,
+        refuted,
+        unconfirmed,
+        violations,
         demonstrated,
         json,
     }

@@ -37,6 +37,18 @@ fn resilience_campaign_is_thread_count_independent() {
 }
 
 #[test]
+fn verify_campaign_is_thread_count_independent() {
+    // Smoke matrix (future threshold only): pure symbolic bounds plus
+    // witness hunts, whose replays are seeded per cell up front.
+    let runs: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| bytes(&campaigns::verify(true, 70.0, 0xE5A51, t).json))
+        .collect();
+    assert_eq!(runs[0], runs[1], "1 vs 2 threads diverged");
+    assert_eq!(runs[0], runs[2], "1 vs 4 threads diverged");
+}
+
+#[test]
 fn soak_campaign_is_thread_count_independent() {
     install_quiet_panic_hook();
     let mut cfg = SoakConfig::standard(4_000, 0x50AC);

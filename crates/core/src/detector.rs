@@ -10,21 +10,11 @@
 use crate::checkpoint::{config_hash, DetectorCheckpoint, CHECKPOINT_VERSION};
 use crate::config::AnvilConfig;
 use crate::error::{ConfigError, RuntimeError};
-use crate::locality::{
-    analyze_with_ledger, LocalityReport, RowSample, SuspicionLedger, FULL_WEIGHT,
-};
+use crate::locality::{analyze_with_ledger, LocalityReport, RowSample, SuspicionLedger};
+use crate::transition;
 use anvil_dram::{AddressMapping, BankId, CpuClock, Cycle, DramLocation, RowId};
 use anvil_pmu::{DataSource, EventKind, Pmu, SampleFilter, SampleRecord};
 use serde::{Deserialize, Serialize};
-
-/// One step of the splitmix64 generator (the window-phase jitter stream).
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Which window the detector is currently in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,8 +204,7 @@ impl AnvilDetector {
             self.window_scale = 1.0;
             return self.tc;
         }
-        let u = (splitmix64(&mut self.phase_state) >> 11) as f64 / (1u64 << 53) as f64;
-        self.window_scale = 1.0 + h.phase_jitter * (2.0 * u - 1.0);
+        self.window_scale = transition::draw_window_scale(&h, &mut self.phase_state);
         ((self.tc as f64 * self.window_scale) as Cycle).max(1)
     }
 
@@ -276,13 +265,10 @@ impl AnvilDetector {
         // instead of resetting the counter.
         let h = self.config.hardening;
         let normalized = misses as f64 / self.window_scale;
-        let evidence = if h.enabled {
-            h.stage1_carry * self.carry + normalized
-        } else {
-            normalized
-        };
-        if evidence < self.config.llc_miss_threshold as f64 {
-            self.carry = evidence;
+        let step =
+            transition::stage1_step(&h, self.config.llc_miss_threshold, self.carry, normalized);
+        self.carry = step.next_carry;
+        if !step.tripped {
             self.restart_stage1(now, pmu);
             return ServiceOutcome::Quiet {
                 misses,
@@ -293,22 +279,10 @@ impl AnvilDetector {
         // Threshold crossed: arm stage 2 with the facility matching the
         // window's load/store mix.
         self.stats.threshold_crossings = self.stats.threshold_crossings.saturating_add(1);
-        if normalized < self.config.llc_miss_threshold as f64 {
+        if step.via_carry {
             self.stats.carry_crossings = self.stats.carry_crossings.saturating_add(1);
         }
-        self.carry = 0.0;
-        let load_fraction = if misses == 0 {
-            1.0
-        } else {
-            miss_loads as f64 / misses as f64
-        };
-        let filter = if load_fraction > self.config.load_fraction_hi {
-            SampleFilter::LoadsOnly
-        } else if load_fraction < self.config.load_fraction_lo {
-            SampleFilter::StoresOnly
-        } else {
-            SampleFilter::LoadsAndStores
-        };
+        let filter = transition::stage2_filter(&self.config, misses, miss_loads);
         pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
         pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
             .clear();
@@ -350,7 +324,6 @@ impl AnvilDetector {
         // an already-open row buffer — camouflage filler that cannot be
         // hammering — and carries only `hit_weight` of a real miss.
         let h = self.config.hardening;
-        let hit_millis = (h.hit_weight * f64::from(FULL_WEIGHT)) as u32;
         let mut unresolved = 0u64;
         let samples: Vec<RowSample> = records
             .iter()
@@ -360,11 +333,7 @@ impl AnvilDetector {
                     unresolved += 1;
                     return None;
                 };
-                let weight = if h.enabled && r.latency < h.row_miss_latency {
-                    hit_millis
-                } else {
-                    FULL_WEIGHT
-                };
+                let weight = transition::sample_weight(&h, r.latency);
                 Some(RowSample {
                     row: mapping.location_of(paddr).row_id(),
                     paddr,
@@ -472,11 +441,13 @@ impl AnvilDetector {
         // arm boundary. Returning to counting would hand a duty-cycled
         // attacker its quiet phase back; keep sampling instead (bounded,
         // so a benign phase change cannot pin the detector in stage 2).
-        if h.enabled
-            && !report.detected()
-            && misses.saturating_mul(2) < self.config.llc_miss_threshold
-            && self.resamples < h.max_resample_windows
-        {
+        if transition::sticky_resample(
+            &h,
+            report.detected(),
+            misses,
+            self.config.llc_miss_threshold,
+            self.resamples,
+        ) {
             self.resamples += 1;
             self.stats.resample_windows = self.stats.resample_windows.saturating_add(1);
             pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();

@@ -139,7 +139,7 @@ impl GuaranteeEnvelope {
         // threshold can accumulate at most required × factor × (1 −
         // decay) activations-worth of evidence per window; a pair gets
         // twice that.
-        let required = (config.min_hammer_accesses as f64 * config.rate_safety).max(1.0);
+        let required = crate::transition::required_rate(config);
         let ledger_pair_cap = 2.0 * required * h.ledger_factor * (1.0 - h.ledger_decay);
 
         let camouflage = if h.enabled {

@@ -70,6 +70,7 @@ mod envelope;
 mod error;
 mod locality;
 mod platform;
+pub mod transition;
 
 pub use checkpoint::{config_hash, fnv1a64, DetectorCheckpoint, CHECKPOINT_VERSION};
 pub use config::{AnvilConfig, DegradedMode, DetectorCosts, HardeningConfig, PAPER_REFRESH_MS};

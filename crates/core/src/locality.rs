@@ -153,8 +153,10 @@ impl SuspicionLedger {
     /// Decays every entry, folds in one window's per-row evidence, and
     /// prunes entries that have decayed to noise.
     fn absorb(&mut self, decay: f64, evidence: &BTreeMap<RowId, (f64, Vec<u32>)>) {
-        for e in self.entries.values_mut() {
-            e.score *= decay;
+        for (row, e) in &mut self.entries {
+            if !evidence.contains_key(row) {
+                e.score = crate::transition::ledger_step(decay, e.score, 0.0);
+            }
         }
         for (&row, (rate, pids)) in evidence {
             let e = self.entries.entry(row).or_insert(LedgerEntry {
@@ -162,7 +164,7 @@ impl SuspicionLedger {
                 windows: 0,
                 pids: Vec::new(),
             });
-            e.score += rate;
+            e.score = crate::transition::ledger_step(decay, e.score, *rate);
             e.windows = e.windows.saturating_add(1);
             for &pid in pids {
                 if !e.pids.contains(&pid) {
@@ -274,13 +276,12 @@ pub fn analyze_with_ledger(
     // rows corroborate (bank locality). The share is weight-based, which
     // reduces to the paper's count-based share when every sample carries
     // FULL_WEIGHT.
-    let windows_per_period = refresh_period as f64 / ts as f64;
-    let required = (config.min_hammer_accesses as f64 * config.rate_safety).max(1.0);
+    let required = crate::transition::required_rate(config);
     let mut aggressors: Vec<AggressorFinding> = Vec::new();
     let mut evidence: BTreeMap<RowId, (f64, Vec<u32>)> = BTreeMap::new();
     for (&row, (n, w, pids)) in &per_row {
-        let share = *w as f64 / total_weight as f64;
-        let rate = share * misses as f64 * windows_per_period;
+        let rate =
+            crate::transition::extrapolated_rate(*w, total_weight, misses, ts, refresh_period);
         let estimated_rate = rate as u64;
         let bank_support = per_bank[&row.bank.0] - n;
         if ledger.is_some() {

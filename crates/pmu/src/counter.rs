@@ -1,4 +1,9 @@
 //! Programmable event counters with overflow interrupts.
+//!
+//! Counters accumulate for the whole soak horizon, so every update in
+//! this module must be saturating — the lint below makes unchecked
+//! integer arithmetic a compile error (see `[workspace.lints]`).
+#![deny(clippy::arithmetic_side_effects)]
 
 use anvil_dram::Cycle;
 

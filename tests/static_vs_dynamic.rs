@@ -7,19 +7,22 @@
 //! detector coverage against the full ANVIL platform. The matrix must
 //! hold at least twenty agreeing cases (ISSUE 1 acceptance criterion).
 
+use anvil::adversary::ArchetypeSpec;
 use anvil::analyze::{
-    analyze_all, classify, classify_interval, eviction_profile, pattern_activation_bounds,
-    workload_activation_bounds, AccessVector, AnalysisContext, CoverageVerdict, Severity, Verdict,
+    analyze_all, classify, classify_interval, eviction_profile, extract_witness,
+    pattern_activation_bounds, verify_archetype, workload_activation_bounds, AccessVector,
+    AnalysisContext, Archetype, CoverageVerdict, Severity, Verdict, Witness, WitnessOutcome,
 };
 use anvil::attacks::{
     hammer_until_flip, Attack, ClflushFreeDoubleSided, DoubleSidedClflush, PatternTemplate,
     SingleSidedClflush, StandaloneHarness,
 };
 use anvil::cache::{CacheHierarchy, HierarchyConfig, PolicyKind};
-use anvil::core::{AnvilConfig, Platform, PlatformConfig};
+use anvil::core::{AnvilConfig, EnvelopeParams, Platform, PlatformConfig};
 use anvil::dram::{
     is_vulnerable_row, DisturbanceConfig, DisturbanceTracker, DramTiming, RefreshSchedule, RowId,
 };
+use anvil::faults::FaultPlan;
 use anvil::mem::{AllocationPolicy, MemoryConfig};
 use anvil::workloads::SpecBenchmark;
 use proptest::prelude::*;
@@ -251,6 +254,71 @@ fn static_verdicts_agree_with_dynamic_outcomes() {
                 p.total_flips()
             ),
         ));
+    }
+
+    // --- Symbolic verifier vs the four adaptive evasion archetypes on
+    // future (half-threshold) DRAM. A *proved* bound must see zero flips
+    // when the family's default member actually runs; a *refuted* bound
+    // must carry a witness that replays to a real missed detection; an
+    // *unconfirmed* bound (too loose to prove, no evader found) must at
+    // least not be contradicted by the default member evading.
+    {
+        const SEED: u64 = 0xE5A51;
+        let params = EnvelopeParams::paper_platform().with_flip_threshold(110_000);
+        let run_spec = |spec: ArchetypeSpec, cfg: &AnvilConfig| -> WitnessOutcome {
+            Witness {
+                spec,
+                config: *cfg,
+                future_dram: true,
+                seed: SEED,
+                run_ms: 70.0,
+                faults: FaultPlan::none(),
+                predicted: WitnessOutcome {
+                    detected: false,
+                    detect_ms: None,
+                    flips: 0,
+                },
+            }
+            .replay()
+        };
+        for (det, base_cfg) in [
+            ("baseline", AnvilConfig::baseline()),
+            ("hardened", AnvilConfig::hardened()),
+        ] {
+            let mut cfg = base_cfg;
+            cfg.hardening.phase_seed = SEED;
+            for (i, archetype) in Archetype::ALL.into_iter().enumerate() {
+                let bx = archetype.default_box(&cfg, &memory.clock, &params);
+                let b = verify_archetype(archetype, &cfg, &memory.clock, &params, &bx);
+                let name = format!("symbolic/{}/{det}", archetype.name());
+                if b.bound < params.flip_threshold {
+                    let o = run_spec(ArchetypeSpec::defaults()[i], &cfg);
+                    cases.push(case(
+                        name,
+                        o.flips == 0,
+                        format!("proved bound {} vs dynamic flips {}", b.bound, o.flips),
+                    ));
+                } else if let Some(w) =
+                    extract_witness(archetype, &cfg, true, SEED, 70.0, FaultPlan::none())
+                {
+                    cases.push(case(
+                        name,
+                        w.confirms(),
+                        format!("refuted bound {} with witness {:?}", b.bound, w.spec),
+                    ));
+                } else {
+                    let o = run_spec(ArchetypeSpec::defaults()[i], &cfg);
+                    cases.push(case(
+                        name,
+                        !o.missed_detection(),
+                        format!(
+                            "unconfirmed bound {} vs dynamic detected={} flips={}",
+                            b.bound, o.detected, o.flips
+                        ),
+                    ));
+                }
+            }
+        }
     }
 
     // --- SPEC workload models: statically Benign, and the simulated

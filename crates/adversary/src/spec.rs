@@ -96,6 +96,77 @@ impl ArchetypeSpec {
         }
     }
 
+    /// Returns a mutated copy of this spec, for the scenario fuzzer.
+    ///
+    /// `draw(n)` must return a uniform value in `[0, n)`; taking the RNG
+    /// as a closure keeps this crate independent of any particular
+    /// generator. One parameter is perturbed per call: the variant's
+    /// intensity knob is scaled by a factor from {½, ¾, 9⁄8, 3⁄2, 2}
+    /// (floored at its smallest meaningful value), or — for the window-
+    /// synchronized strategies — the assumed window length drifts by
+    /// ±25%. Callers clamp the result into their own domain box; this
+    /// method only guarantees the spec stays structurally valid.
+    #[must_use]
+    pub fn mutated(self, draw: &mut dyn FnMut(u64) -> u64) -> ArchetypeSpec {
+        fn scaled(v: u64, lo: u64, pick: u64) -> u64 {
+            let next = match pick {
+                0 => v / 2,
+                1 => v.saturating_mul(3) / 4,
+                2 => v.saturating_mul(9) / 8,
+                3 => v.saturating_mul(3) / 2,
+                _ => v.saturating_mul(2),
+            };
+            next.max(lo)
+        }
+        // ±25% drift of an assumed window length.
+        fn drifted(w: u64, pick: u64) -> u64 {
+            match pick {
+                0 => w.saturating_mul(3) / 4,
+                _ => w.saturating_mul(5) / 4,
+            }
+        }
+        match self {
+            ArchetypeSpec::DutyCycle {
+                burst_misses,
+                window_cycles,
+            } => {
+                if draw(3) == 0 {
+                    ArchetypeSpec::DutyCycle {
+                        burst_misses,
+                        window_cycles: drifted(window_cycles, draw(2)),
+                    }
+                } else {
+                    ArchetypeSpec::DutyCycle {
+                        burst_misses: scaled(burst_misses, 2, draw(5)),
+                        window_cycles,
+                    }
+                }
+            }
+            ArchetypeSpec::Paced {
+                misses_per_window,
+                window_cycles,
+            } => {
+                if draw(3) == 0 {
+                    ArchetypeSpec::Paced {
+                        misses_per_window,
+                        window_cycles: drifted(window_cycles, draw(2)),
+                    }
+                } else {
+                    ArchetypeSpec::Paced {
+                        misses_per_window: scaled(misses_per_window, 2, draw(5)),
+                        window_cycles,
+                    }
+                }
+            }
+            ArchetypeSpec::Camouflage { dilution } => ArchetypeSpec::Camouflage {
+                dilution: scaled(dilution, 1, draw(5)),
+            },
+            ArchetypeSpec::Distributed { pairs } => ArchetypeSpec::Distributed {
+                pairs: scaled(pairs as u64, 2, draw(5)) as usize,
+            },
+        }
+    }
+
     /// The strategy's display label (matches the built attack's name and
     /// the evasion campaign's row labels).
     pub fn label(self) -> &'static str {
@@ -118,6 +189,38 @@ mod tests {
             let text = serde_json::to_string(&spec).unwrap();
             let back: ArchetypeSpec = serde_json::from_str(&text).unwrap();
             assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn mutation_perturbs_exactly_one_parameter_and_stays_valid() {
+        // A deterministic counter-based "RNG" sweeping every branch.
+        let mut tick = 0u64;
+        for spec in ArchetypeSpec::defaults() {
+            for _ in 0..64 {
+                let mut draw = |n: u64| {
+                    tick = tick.wrapping_add(1);
+                    tick % n.max(1)
+                };
+                let m = spec.mutated(&mut draw);
+                // Same variant, structurally valid parameters.
+                assert_eq!(std::mem::discriminant(&m), std::mem::discriminant(&spec));
+                match m {
+                    ArchetypeSpec::DutyCycle {
+                        burst_misses,
+                        window_cycles,
+                    }
+                    | ArchetypeSpec::Paced {
+                        misses_per_window: burst_misses,
+                        window_cycles,
+                    } => {
+                        assert!(burst_misses >= 2);
+                        assert!(window_cycles > 0);
+                    }
+                    ArchetypeSpec::Camouflage { dilution } => assert!(dilution >= 1),
+                    ArchetypeSpec::Distributed { pairs } => assert!(pairs >= 2),
+                }
+            }
         }
     }
 

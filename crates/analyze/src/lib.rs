@@ -36,7 +36,8 @@ pub use coverage::{
 };
 pub use report::{analyze_all, AnalysisReport, PatternReport, SymbolicSection, WorkloadReport};
 pub use transfer::{
-    max_quiet_normalized, verify_archetype, verify_config, Archetype, SymbolicBound,
+    frontier_distance, max_quiet_normalized, verify_archetype, verify_config, Archetype,
+    SymbolicBound,
 };
 pub use verdict::{
     at_risk_victims, benign_floor, classify, classify_interval, per_side_requirement, HammerStyle,

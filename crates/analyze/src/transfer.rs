@@ -311,6 +311,30 @@ pub fn verify_archetype(
     }
 }
 
+/// Signed, normalized distance of `config` from its symbolic guarantee
+/// frontier at `params`:
+///
+/// ```text
+/// (flip_threshold − max over archetypes of the symbolic bound) / flip_threshold
+/// ```
+///
+/// clamped to `[-1, 1]`. Positive means every archetype family's sound
+/// bound sits under the flip threshold (proof margin remains); negative
+/// means some family's bound clears it (the claim is at best
+/// unconfirmed). Magnitudes near zero mean the configuration sits *near
+/// the frontier* — the region where a small parameter change flips the
+/// guarantee — which is exactly where the scenario fuzzer concentrates
+/// its mutation energy.
+pub fn frontier_distance(config: &AnvilConfig, clock: &CpuClock, params: &EnvelopeParams) -> f64 {
+    let worst = verify_config(config, clock, params)
+        .iter()
+        .map(|b| b.bound)
+        .max()
+        .unwrap_or(0);
+    let flip = params.flip_threshold as f64;
+    ((flip - worst as f64) / flip.max(1.0)).clamp(-1.0, 1.0)
+}
+
 /// Verifies all four archetypes over their full default parameter boxes.
 pub fn verify_config(
     config: &AnvilConfig,
@@ -356,6 +380,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn frontier_distance_signs_match_the_verifier() {
+        // Hardened proves every family under 220K: positive margin.
+        let hardened = frontier_distance(&AnvilConfig::hardened(), &CLOCK, &params());
+        assert!(hardened > 0.0, "hardened margin {hardened} not positive");
+        // Baseline leaks (straddle/camouflage clear the threshold):
+        // negative, and clamped into [-1, 1].
+        let baseline = frontier_distance(&AnvilConfig::baseline(), &CLOCK, &params());
+        assert!(baseline < 0.0, "baseline margin {baseline} not negative");
+        assert!((-1.0..=1.0).contains(&hardened) && (-1.0..=1.0).contains(&baseline));
+        // Tightening the flip threshold shrinks the hardened margin.
+        let tight = frontier_distance(
+            &AnvilConfig::hardened(),
+            &CLOCK,
+            &params().with_flip_threshold(110_000),
+        );
+        assert!(tight < hardened);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! thread-count independence.
 
 use crate::harness::{
-    detection_run, evasion_resilience_run, resilience_run, run_cells, AttackKind, DetectionSummary,
-    ResilienceSummary,
+    detection_run, evasion_resilience_run, resilience_run, run_cells, run_cells_checked,
+    AttackKind, DetectionSummary, ResilienceSummary,
 };
 use anvil_adversary::{CamouflageHammer, DistributedManySided, DutyCycleHammer, PacedHammer};
 use anvil_analyze::{extract_witness, verify_archetype, Archetype, SymbolicBound, Witness};
@@ -22,6 +22,7 @@ use anvil_core::{
 };
 use anvil_dram::DisturbanceConfig;
 use anvil_faults::{FaultPlan, FaultScenario};
+use anvil_fuzz::{run_campaign, FuzzOptions, FuzzReport, Scenario, ScenarioOutcome};
 use anvil_mem::MemoryConfig;
 use anvil_runtime::{soak as soak_engine, SoakConfig, SoakSummary};
 use serde_json::{json, Value};
@@ -792,4 +793,103 @@ pub fn soak(cfg: &SoakConfig, seed: u64, smoke: bool, threads: usize) -> SoakOut
         "holds": s.holds(),
     });
     SoakOutcome { summary: s, json }
+}
+
+// ---------------------------------------------------------------------------
+// Coverage-guided guarantee fuzzing
+// ---------------------------------------------------------------------------
+
+/// Everything the `fuzz` binary needs: the standard-domain and
+/// weakened-canary campaign reports, the merge-gate verdicts, and the
+/// exact JSON record for `results/fuzz.json`.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// The standard-domain report: fuzzing around the hardened shipping
+    /// configuration, where the guarantee envelope holds. Gate: zero
+    /// counterexamples.
+    pub standard: FuzzReport,
+    /// The weakened-canary report: the domain plants a conviction blind
+    /// spot (`bank_support_min` + `ledger_min_windows`, both invisible
+    /// to the envelope audit). Gate: the fuzzer *must* find it and
+    /// shrink it to a minimal flipping schedule — the end-to-end proof
+    /// that the whole find-and-shrink pipeline works.
+    pub canary: FuzzReport,
+    /// Merge-gate failures, empty when every gate passed.
+    pub violations: Vec<String>,
+    /// The machine-readable record.
+    pub json: Value,
+}
+
+/// Runs both fuzz campaigns (see the `fuzz` binary docs), evaluating
+/// scenario batches on up to `threads` workers via
+/// [`run_cells_checked`] — a candidate that panics the simulator
+/// surfaces as a recorded cell failure, not a campaign abort. Candidate
+/// generation happens before each batch is dispatched and results fold
+/// back in submission order, so the record is byte-for-byte identical
+/// at any thread count.
+pub fn fuzz(smoke: bool, seed: u64, threads: usize) -> FuzzOutcome {
+    let exec = |batch: Vec<Scenario>| -> Vec<Result<ScenarioOutcome, String>> {
+        let cells: Vec<_> = batch.into_iter().map(|s| move || s.run()).collect();
+        run_cells_checked(threads, cells)
+            .into_iter()
+            .map(|r| r.map_err(|p| p.to_string()))
+            .collect()
+    };
+    let standard_opts = if smoke {
+        FuzzOptions::smoke(seed)
+    } else {
+        FuzzOptions::full(seed)
+    };
+    let standard = run_campaign(&standard_opts, exec);
+    let canary = run_campaign(&FuzzOptions::canary(seed), exec);
+
+    let mut violations = Vec::new();
+    for c in &standard.counterexamples {
+        violations.push(format!(
+            "standard domain: envelope violated by a {}-event schedule flipping {} bit(s) \
+             (seed {:#x})",
+            c.shrunk.schedule.len(),
+            c.flips,
+            c.shrunk.seed
+        ));
+    }
+    if standard.exhausted {
+        violations.push("standard domain: generation exhausted before the budget".into());
+    }
+    if canary.counterexamples.is_empty() {
+        violations.push(
+            "canary domain: the planted conviction blind spot was not found — the \
+             find-and-shrink pipeline demonstrated nothing"
+                .into(),
+        );
+    }
+    for c in &canary.counterexamples {
+        if c.flips == 0 {
+            violations.push("canary domain: a shrunk counterexample no longer flips".into());
+        }
+        if c.shrunk.schedule.len() > 10 {
+            violations.push(format!(
+                "canary domain: counterexample shrunk only to {} events (> 10)",
+                c.shrunk.schedule.len()
+            ));
+        }
+        if !c.minimal {
+            violations.push("canary domain: shrink budget exhausted before 1-minimality".into());
+        }
+    }
+
+    let json = json!({
+        "experiment": "fuzz",
+        "seed": seed,
+        "smoke": smoke,
+        "standard": serde_json::to_value(&standard),
+        "canary": serde_json::to_value(&canary),
+        "violations": violations,
+    });
+    FuzzOutcome {
+        standard,
+        canary,
+        violations,
+        json,
+    }
 }

@@ -146,10 +146,44 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// A campaign cell that panicked instead of returning a result.
+///
+/// [`run_cells_checked`] converts each cell's panic into one of these so
+/// a single bad cell (a fuzzer-generated scenario tripping an internal
+/// assertion, say) surfaces as data in the collected results instead of
+/// aborting the whole campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CellPanic {
+    /// Submission-order index of the cell that panicked.
+    pub index: usize,
+    /// The panic payload, if it was a string (the overwhelmingly common
+    /// case: `panic!`, `assert!`, `expect`).
+    pub message: String,
+}
+
+impl std::fmt::Display for CellPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for CellPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Runs independent campaign cells on up to `threads` worker threads and
 /// returns their results **in cell order** — the output is byte-for-byte
 /// identical to running the cells serially, regardless of thread count or
-/// scheduling.
+/// scheduling. A panicking cell yields `Err(CellPanic)` in its slot;
+/// every other cell still runs and returns normally.
 ///
 /// Determinism contract: each cell must be a pure function of its
 /// captured inputs (every campaign cell builds its own `Platform` from
@@ -160,22 +194,36 @@ fn default_threads() -> usize {
 ///
 /// Uses `std::thread::scope` — no thread-pool dependency, nothing
 /// outlives the call.
-pub fn run_cells<T, F>(threads: usize, cells: Vec<F>) -> Vec<T>
+pub fn run_cells_checked<T, F>(threads: usize, cells: Vec<F>) -> Vec<Result<T, CellPanic>>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    // AssertUnwindSafe: a cell owns everything it touches (the
+    // determinism contract above), so a unwind cannot leave shared state
+    // half-mutated for other cells to observe.
+    let guarded = |i: usize, f: F| {
+        catch_unwind(AssertUnwindSafe(f)).map_err(|payload| CellPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
     let n = cells.len();
     if threads.max(1) == 1 || n <= 1 {
-        return cells.into_iter().map(|f| f()).collect();
+        return cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| guarded(i, f))
+            .collect();
     }
     let workers = threads.min(n);
     let jobs: Vec<std::sync::Mutex<Option<F>>> = cells
         .into_iter()
         .map(|f| std::sync::Mutex::new(Some(f)))
         .collect();
-    let slots: Vec<std::sync::Mutex<Option<T>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    type Slot<T> = std::sync::Mutex<Option<Result<T, CellPanic>>>;
+    let slots: Vec<Slot<T>> = (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -189,7 +237,7 @@ where
                     .expect("job mutex poisoned")
                     .take()
                     .expect("each job is taken exactly once");
-                let result = job();
+                let result = guarded(i, job);
                 *slots[i].lock().expect("slot mutex poisoned") = Some(result);
             });
         }
@@ -200,6 +248,23 @@ where
             m.into_inner()
                 .expect("slot mutex poisoned")
                 .expect("every job ran to completion")
+        })
+        .collect()
+}
+
+/// [`run_cells_checked`] for campaigns whose cells are trusted not to
+/// panic: unwraps each slot, re-raising the first cell panic (with its
+/// index and message) after every other cell has finished.
+pub fn run_cells<T, F>(threads: usize, cells: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_cells_checked(threads, cells)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("{p}"),
         })
         .collect()
 }
@@ -496,6 +561,36 @@ mod tests {
             idx.is_some(),
             "1-in-4 rows vulnerable: 24 candidates suffice"
         );
+    }
+
+    #[test]
+    fn checked_cells_capture_panics_without_aborting_neighbors() {
+        // Silence the default hook's backtrace spam for the expected
+        // panics; restore it afterwards so other tests report normally.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1usize, 4] {
+            let cells: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..6u64)
+                .map(|i| {
+                    Box::new(move || {
+                        assert!(i % 3 != 1, "cell {i} trips its assertion");
+                        i * 10
+                    }) as Box<dyn FnOnce() -> u64 + Send>
+                })
+                .collect();
+            let results = run_cells_checked(threads, cells);
+            assert_eq!(results.len(), 6);
+            for (i, r) in results.iter().enumerate() {
+                if i % 3 == 1 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, i);
+                    assert!(p.message.contains("trips its assertion"), "{p}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u64 * 10);
+                }
+            }
+        }
+        std::panic::set_hook(hook);
     }
 
     #[test]

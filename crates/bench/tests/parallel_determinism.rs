@@ -92,3 +92,17 @@ fn campaign_args_reject_malformed_values() {
     let args = CampaignArgs::parse(to_args("--threads 0"));
     assert!(args.threads >= 1, "zero threads must fall back");
 }
+
+#[test]
+fn fuzz_campaign_is_thread_count_independent() {
+    // Candidate batches are generated before dispatch and results fold
+    // in submission order, so the whole coverage-guided loop — RNG
+    // streams, pool contents, shrink traces — must be identical at any
+    // thread count.
+    let runs: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| bytes(&campaigns::fuzz(true, 0xF0229, t).json))
+        .collect();
+    assert_eq!(runs[0], runs[1], "1 vs 2 threads diverged");
+    assert_eq!(runs[0], runs[2], "1 vs 4 threads diverged");
+}

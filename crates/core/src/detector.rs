@@ -68,6 +68,57 @@ pub struct DetectorStats {
     pub resample_windows: u64,
 }
 
+/// A compact fingerprint of a run's detector behaviour: each headline
+/// [`DetectorStats`] counter is bucketized to its log₂ magnitude (a
+/// nibble, 0–15) and the nibbles are packed into one `u64`. Two runs
+/// that exercised the same detector machinery to the same order of
+/// magnitude — same stages armed, same hardening layers engaged, same
+/// degradation pathways — collide; runs that differ in *which* machinery
+/// fired (or by a power of two in how often) do not. The scenario fuzzer
+/// uses these as coverage-map keys: a novel signature means a candidate
+/// drove the detector somewhere no earlier candidate did.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct StateSignature(pub u64);
+
+/// Log₂ magnitude bucket of a counter, saturated to a nibble: 0 → 0,
+/// otherwise `min(15, bit-length)`.
+fn log2_bucket(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        u64::from(64 - v.leading_zeros()).min(15)
+    }
+}
+
+impl DetectorStats {
+    /// This run's [`StateSignature`]. Twelve counters, one nibble each,
+    /// packed low-to-high in declaration order; the top 16 bits stay
+    /// zero for callers to fold in their own outcome flags.
+    pub fn signature(&self) -> StateSignature {
+        let fields = [
+            self.stage1_windows,
+            self.threshold_crossings,
+            self.stage2_windows,
+            self.detections,
+            self.selective_refreshes,
+            self.carry_crossings,
+            self.ledger_flags,
+            self.resample_windows,
+            self.degraded_windows,
+            self.bank_refreshes,
+            self.missed_deadlines,
+            self.samples_lost,
+        ];
+        let mut packed = 0u64;
+        for (i, f) in fields.iter().enumerate() {
+            packed |= log2_bucket(*f) << (i * 4);
+        }
+        StateSignature(packed)
+    }
+}
+
 /// What a detector service call decided.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceOutcome {
@@ -633,6 +684,36 @@ mod tests {
 
     const CLOCK: CpuClock = CpuClock::SANDY_BRIDGE_2_6GHZ;
     const PERIOD: Cycle = 166_400_000;
+
+    #[test]
+    fn signature_buckets_by_magnitude_and_field() {
+        let zero = DetectorStats::default();
+        assert_eq!(zero.signature(), StateSignature(0));
+
+        // A power-of-two change in one counter moves exactly one nibble.
+        let mut a = DetectorStats::default();
+        a.stage1_windows = 5; // bucket 3
+        let mut b = a;
+        b.stage1_windows = 11; // bucket 4
+        assert_ne!(a.signature(), b.signature());
+        assert_eq!(a.signature().0 & !0xF, b.signature().0 & !0xF);
+
+        // Same magnitudes in *different* fields must not collide.
+        let mut c = DetectorStats::default();
+        c.detections = 5;
+        assert_ne!(a.signature(), c.signature());
+
+        // Within-bucket jitter collides on purpose.
+        let mut d = a;
+        d.stage1_windows = 7; // still bucket 3
+        assert_eq!(a.signature(), d.signature());
+
+        // The top 16 bits stay free for caller flags.
+        let mut all = DetectorStats::default();
+        all.stage1_windows = u64::MAX;
+        all.samples_lost = u64::MAX;
+        assert_eq!(all.signature().0 >> 48, 0);
+    }
 
     fn detector(pmu: &mut Pmu) -> AnvilDetector {
         AnvilDetector::new(AnvilConfig::baseline(), &CLOCK, PERIOD, 0, pmu)

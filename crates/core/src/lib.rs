@@ -74,7 +74,7 @@ pub mod transition;
 
 pub use checkpoint::{config_hash, fnv1a64, DetectorCheckpoint, CHECKPOINT_VERSION};
 pub use config::{AnvilConfig, DegradedMode, DetectorCosts, HardeningConfig, PAPER_REFRESH_MS};
-pub use detector::{AnvilDetector, DetectorStage, DetectorStats, ServiceOutcome};
+pub use detector::{AnvilDetector, DetectorStage, DetectorStats, ServiceOutcome, StateSignature};
 pub use envelope::{EnvelopeParams, GuaranteeEnvelope};
 pub use error::{ConfigError, PlatformError, RuntimeError};
 pub use locality::{

@@ -304,6 +304,148 @@ impl FaultPlan {
         }
     }
 
+    /// Names of the plan's independently clearable fault sites, in the
+    /// index order [`FaultPlan::site_active`] and
+    /// [`FaultPlan::without_site`] use.
+    pub const SITE_NAMES: [&'static str; 7] = [
+        "pebs",
+        "counter",
+        "translation",
+        "interrupt",
+        "service",
+        "refresh",
+        "lifecycle",
+    ];
+
+    /// Whether fault site `idx` (see [`Self::SITE_NAMES`]) injects
+    /// anything. Out-of-range indices are inactive.
+    #[must_use]
+    pub fn site_active(&self, idx: usize) -> bool {
+        match idx {
+            0 => self.pebs.drop_rate > 0.0 || self.pebs.corrupt_rate > 0.0,
+            1 => self.counter.saturate_at.is_some(),
+            2 => self.translation.fail_rate > 0.0 || self.translation.stale_rate > 0.0,
+            3 => self.interrupt.jitter_rate > 0.0 && self.interrupt.max_jitter > 0,
+            4 => self.service.preempt_rate > 0.0 && self.service.max_delay > 0,
+            5 => self.refresh.postpone_rate > 0.0 && self.refresh.max_postpone > 0,
+            6 => {
+                self.lifecycle.crash_rate > 0.0
+                    || (self.lifecycle.stall_rate > 0.0 && self.lifecycle.max_stall > 0)
+                    || self.lifecycle.corrupt_rate > 0.0
+            }
+            _ => false,
+        }
+    }
+
+    /// The indices of every active fault site, in
+    /// [`Self::SITE_NAMES`] order.
+    #[must_use]
+    pub fn active_sites(&self) -> Vec<usize> {
+        (0..Self::SITE_NAMES.len())
+            .filter(|&i| self.site_active(i))
+            .collect()
+    }
+
+    /// A copy of the plan with fault site `idx` disabled — the
+    /// shrinker's "drop one fault site" reduction step. Out-of-range
+    /// indices return the plan unchanged.
+    #[must_use]
+    pub fn without_site(&self, idx: usize) -> FaultPlan {
+        let none = FaultPlan::none();
+        let mut plan = *self;
+        match idx {
+            0 => plan.pebs = none.pebs,
+            1 => plan.counter = none.counter,
+            2 => plan.translation = none.translation,
+            3 => plan.interrupt = none.interrupt,
+            4 => plan.service = none.service,
+            5 => plan.refresh = none.refresh,
+            6 => plan.lifecycle = none.lifecycle,
+            _ => {}
+        }
+        plan
+    }
+
+    /// Returns a mutated copy of the plan, for the scenario fuzzer.
+    ///
+    /// `draw(n)` must return a uniform value in `[0, n)`; the RNG comes
+    /// in as a closure so this crate stays generator-agnostic. One
+    /// active-or-chosen site is perturbed per call: its rate is scaled
+    /// by a factor from {0, ½, ¾, 1¼} (clamped to `[0, 1]`) or its
+    /// magnitude by {½, ¾, 1¼} — mutation never *raises* a magnitude
+    /// cap beyond 1¼× per step, and callers clamp the result into their
+    /// calibrated bounds afterwards.
+    #[must_use]
+    pub fn mutated(mut self, draw: &mut dyn FnMut(u64) -> u64) -> FaultPlan {
+        fn rate(r: f64, pick: u64) -> f64 {
+            let next = match pick {
+                0 => 0.0,
+                1 => r * 0.5,
+                2 => r * 0.75,
+                _ => (r * 1.25).max(0.01),
+            };
+            next.clamp(0.0, 1.0)
+        }
+        fn mag(m: u64, pick: u64) -> u64 {
+            match pick {
+                0 => m / 2,
+                1 => m.saturating_mul(3) / 4,
+                _ => m.saturating_mul(5) / 4,
+            }
+        }
+        match draw(6) {
+            0 => {
+                if draw(2) == 0 {
+                    self.pebs.drop_rate = rate(self.pebs.drop_rate, draw(4));
+                    if self.pebs.drop_rate > 0.0 && self.pebs.burst_len == 0 {
+                        self.pebs.burst_len = 32;
+                    }
+                } else {
+                    self.pebs.corrupt_rate = rate(self.pebs.corrupt_rate, draw(4));
+                }
+            }
+            1 => {
+                self.counter.saturate_at = match (self.counter.saturate_at, draw(3)) {
+                    (_, 0) => None,
+                    (Some(s), p) => Some(mag(s, p)),
+                    (None, _) => Some(32_768),
+                };
+            }
+            2 => {
+                if draw(2) == 0 {
+                    self.translation.fail_rate = rate(self.translation.fail_rate, draw(4));
+                } else {
+                    self.translation.stale_rate = rate(self.translation.stale_rate, draw(4));
+                }
+            }
+            3 => {
+                self.interrupt.jitter_rate = rate(self.interrupt.jitter_rate, draw(4));
+                if self.interrupt.jitter_rate > 0.0 && self.interrupt.max_jitter == 0 {
+                    self.interrupt.max_jitter = 130_000;
+                } else if self.interrupt.max_jitter > 0 {
+                    self.interrupt.max_jitter = mag(self.interrupt.max_jitter, draw(3));
+                }
+            }
+            4 => {
+                self.service.preempt_rate = rate(self.service.preempt_rate, draw(4));
+                if self.service.preempt_rate > 0.0 && self.service.max_delay == 0 {
+                    self.service.max_delay = 650_000;
+                } else if self.service.max_delay > 0 {
+                    self.service.max_delay = mag(self.service.max_delay, draw(3));
+                }
+            }
+            _ => {
+                self.refresh.postpone_rate = rate(self.refresh.postpone_rate, draw(4));
+                if self.refresh.postpone_rate > 0.0 && self.refresh.max_postpone == 0 {
+                    self.refresh.max_postpone = 81_250;
+                } else if self.refresh.max_postpone > 0 {
+                    self.refresh.max_postpone = mag(self.refresh.max_postpone, draw(3));
+                }
+            }
+        }
+        self
+    }
+
     /// The stateless refresh-postponement parameters for the DRAM
     /// schedule, or `None` when disabled.
     #[must_use]
@@ -519,6 +661,64 @@ mod tests {
         }
         // rate 0.5 → roughly half the commands postponed.
         assert!((4_000..=6_000).contains(&postponed), "{postponed}");
+    }
+
+    #[test]
+    fn site_helpers_cover_every_site() {
+        // The combined scenario plus lifecycle and counter faults
+        // activates every site; clearing each one must deactivate
+        // exactly it, and clearing all must yield the none plan.
+        let mut plan = FaultScenario::Combined.plan(1.0, 3);
+        plan.counter.saturate_at = Some(40_000);
+        plan.lifecycle.crash_rate = 0.01;
+        assert_eq!(
+            plan.active_sites(),
+            (0..FaultPlan::SITE_NAMES.len()).collect::<Vec<_>>()
+        );
+        for idx in 0..FaultPlan::SITE_NAMES.len() {
+            let cleared = plan.without_site(idx);
+            assert!(!cleared.site_active(idx), "site {idx} survived clearing");
+            for other in 0..FaultPlan::SITE_NAMES.len() {
+                if other != idx {
+                    assert!(
+                        cleared.site_active(other),
+                        "site {other} collaterally cleared"
+                    );
+                }
+            }
+        }
+        let mut bare = plan;
+        for idx in 0..FaultPlan::SITE_NAMES.len() {
+            bare = bare.without_site(idx);
+        }
+        assert!(bare.is_none());
+        // Out-of-range indices are inert.
+        assert_eq!(plan.without_site(99), plan);
+        assert!(!plan.site_active(99));
+    }
+
+    #[test]
+    fn mutation_keeps_rates_in_unit_range() {
+        let mut tick = 7u64;
+        let mut plan = FaultScenario::Combined.plan(1.0, 3);
+        for _ in 0..512 {
+            let mut draw = |n: u64| {
+                tick = tick.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (tick >> 33) % n.max(1)
+            };
+            plan = plan.mutated(&mut draw);
+            for r in [
+                plan.pebs.drop_rate,
+                plan.pebs.corrupt_rate,
+                plan.translation.fail_rate,
+                plan.translation.stale_rate,
+                plan.interrupt.jitter_rate,
+                plan.service.preempt_rate,
+                plan.refresh.postpone_rate,
+            ] {
+                assert!((0.0..=1.0).contains(&r), "rate {r} escaped [0,1]");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! The fuzz campaign loop: seeded, batched, coverage-guided.
+//!
+//! [`run_campaign`] drives the whole pipeline. Candidates are generated
+//! deterministically — domain seeds first, then energy-weighted pool
+//! picks mutated one edit at a time — and evaluated through a
+//! caller-supplied *executor* (a function from a batch of scenarios to
+//! their outcomes). The serial executor and any deterministic parallel
+//! executor (e.g. `anvil-bench`'s `run_cells_checked`) produce
+//! byte-identical reports, because generation happens before the batch
+//! is dispatched and results fold back in submission order; the batch
+//! size is fixed by the options, never by the worker count.
+//!
+//! Oracle: a scenario that flips bits while [`Scenario::supposedly_safe`]
+//! holds is a counterexample — it is immediately shrunk to a 1-minimal
+//! replayable case. Flips under a non-holding envelope are counted as
+//! expected leaks. Structurally invalid mutants are rejected up front by
+//! `AnvilConfig::validate` and tallied per reason (the rejection-rate
+//! statistic).
+
+use crate::corpus::CorpusEntry;
+use crate::coverage::{CoverageMap, Pool};
+use crate::domain::FuzzDomain;
+use crate::mutate::Mutator;
+use crate::scenario::{Scenario, ScenarioOutcome};
+use crate::shrink::{reproduces_flip, shrink, ShrinkResult};
+use anvil_core::ConfigError;
+use anvil_faults::FaultRng;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Campaign sizing and seeding.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Scenarios to evaluate (seeds included).
+    pub budget: usize,
+    /// Scenarios dispatched per executor call. Fixed by the options —
+    /// never derived from the worker count — so reports are identical
+    /// at any parallelism.
+    pub batch: usize,
+    /// Maximum corpus entries recorded.
+    pub corpus_cap: usize,
+    /// Maximum oracle runs per counterexample shrink.
+    pub max_shrink_runs: usize,
+    /// Campaign seed: drives generation, mutation, and pool picks.
+    pub seed: u64,
+    /// The domain fuzzed over.
+    pub domain: FuzzDomain,
+}
+
+impl FuzzOptions {
+    /// The CI smoke campaign: small budget, standard domain.
+    pub fn smoke(seed: u64) -> Self {
+        FuzzOptions {
+            budget: 24,
+            batch: 8,
+            corpus_cap: 12,
+            max_shrink_runs: 64,
+            seed,
+            domain: FuzzDomain::standard(),
+        }
+    }
+
+    /// The full campaign the `fuzz` binary runs by default.
+    pub fn full(seed: u64) -> Self {
+        FuzzOptions {
+            budget: 160,
+            batch: 16,
+            corpus_cap: 32,
+            max_shrink_runs: 160,
+            seed,
+            domain: FuzzDomain::standard(),
+        }
+    }
+
+    /// The weakened-envelope canary campaign (the domain plants a
+    /// bank-support blind spot the fuzzer must find and shrink).
+    pub fn canary(seed: u64) -> Self {
+        FuzzOptions {
+            budget: 64,
+            batch: 8,
+            corpus_cap: 8,
+            max_shrink_runs: 160,
+            seed,
+            domain: FuzzDomain::weakened_canary(),
+        }
+    }
+}
+
+/// A confirmed envelope violation, shrunk to a minimal replayable case.
+#[derive(Debug, Clone, Serialize)]
+pub struct Counterexample {
+    /// The scenario as the fuzzer first found it.
+    pub original: Scenario,
+    /// The 1-minimal shrunk scenario.
+    pub shrunk: Scenario,
+    /// Flips the shrunk scenario reproduces.
+    pub flips: u64,
+    /// Oracle runs the shrink spent.
+    pub shrink_runs: usize,
+    /// Whether the shrink reached 1-minimality within its budget.
+    pub minimal: bool,
+}
+
+/// Everything one campaign produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct FuzzReport {
+    /// The domain fuzzed.
+    pub domain: &'static str,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Scenarios evaluated.
+    pub executed: usize,
+    /// Mutants rejected up front by `AnvilConfig::validate`.
+    pub rejected: usize,
+    /// Rejection tallies keyed by reason.
+    pub rejection_reasons: BTreeMap<String, usize>,
+    /// Distinct coverage keys observed.
+    pub coverage_points: usize,
+    /// Scenarios that produced novel coverage.
+    pub novel: usize,
+    /// Flips under configurations whose envelope already admits leaks.
+    pub expected_leaks: usize,
+    /// Cells that panicked inside the executor (index + message).
+    pub cell_failures: Vec<String>,
+    /// Shrunk envelope violations (must be empty for the gate to pass).
+    pub counterexamples: Vec<Counterexample>,
+    /// Novel zero-flip cases recorded for the regression corpus.
+    pub corpus: Vec<CorpusEntry>,
+    /// `true` when generation could not fill the budget with valid
+    /// mutants (the domain collapsed); a gate failure.
+    pub exhausted: bool,
+}
+
+fn rejection_reason(err: &ConfigError) -> String {
+    match err {
+        ConfigError::Invalid(msg) => msg.clone(),
+        ConfigError::GuaranteeEnvelope { .. } => "guarantee_envelope".to_string(),
+    }
+}
+
+/// Runs one campaign (see module docs). `exec` evaluates a batch of
+/// scenarios; `Err` entries are executor-level cell failures (e.g. a
+/// caught panic), reported but not fatal.
+pub fn run_campaign<E>(opts: &FuzzOptions, exec: E) -> FuzzReport
+where
+    E: Fn(Vec<Scenario>) -> Vec<Result<ScenarioOutcome, String>>,
+{
+    let mut pick_rng = FaultRng::new(opts.seed ^ 0x9c07_e57a);
+    let mut mutator = Mutator::new(opts.seed ^ 0x5eed_f00d);
+    let mut map = CoverageMap::new();
+    let mut pool = Pool::new(opts.corpus_cap.max(16) * 2);
+    let mut pending: Vec<Scenario> = opts.domain.seeds(opts.seed);
+    pending.reverse(); // popped back-to-front below, seeds run in order
+
+    let mut report = FuzzReport {
+        domain: opts.domain.name,
+        seed: opts.seed,
+        executed: 0,
+        rejected: 0,
+        rejection_reasons: BTreeMap::new(),
+        coverage_points: 0,
+        novel: 0,
+        expected_leaks: 0,
+        cell_failures: Vec::new(),
+        counterexamples: Vec::new(),
+        corpus: Vec::new(),
+        exhausted: false,
+    };
+
+    // Each generation attempt either yields a valid candidate or a
+    // rejection; the attempt cap bounds the campaign when the domain
+    // collapses into an all-invalid region.
+    let max_attempts = opts.budget.saturating_mul(32).max(256);
+    let mut attempts = 0usize;
+
+    'campaign: while report.executed < opts.budget {
+        // Generate the whole batch *before* dispatch: the executor's
+        // parallelism then cannot perturb the RNG streams, so reports
+        // are byte-identical at any thread count.
+        let mut batch: Vec<Scenario> = Vec::with_capacity(opts.batch);
+        while batch.len() < opts.batch && report.executed + batch.len() < opts.budget {
+            if attempts >= max_attempts {
+                report.exhausted = true;
+                break;
+            }
+            let cand = if let Some(seeded) = pending.pop() {
+                seeded
+            } else {
+                let rng = &mut pick_rng;
+                let mut draw = |n: u64| rng.below(n);
+                if let Some(base) = pool.pick(&mut draw) {
+                    let base = base.clone();
+                    mutator.mutate(&base, &opts.domain)
+                } else {
+                    // Nothing interesting survived: restart from the
+                    // domain seeds rather than giving up.
+                    pending = opts.domain.seeds(opts.seed ^ attempts as u64);
+                    pending.reverse();
+                    continue;
+                }
+            };
+            attempts += 1;
+            match cand.config.validate() {
+                Ok(()) => batch.push(cand),
+                Err(e) => {
+                    report.rejected += 1;
+                    *report
+                        .rejection_reasons
+                        .entry(rejection_reason(&e))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        if batch.is_empty() {
+            report.exhausted = true;
+            break;
+        }
+
+        let outcomes = exec(batch.clone());
+        debug_assert_eq!(outcomes.len(), batch.len());
+        for (scenario, result) in batch.into_iter().zip(outcomes) {
+            report.executed += 1;
+            let out = match result {
+                Ok(out) => out,
+                Err(failure) => {
+                    report.cell_failures.push(failure);
+                    continue;
+                }
+            };
+            let novel = map.observe(out.coverage_key());
+            if novel {
+                report.novel += 1;
+                pool.add(scenario.clone());
+            }
+            if out.flips > 0 {
+                if scenario.supposedly_safe() {
+                    let shrunk = shrink(
+                        scenario.clone(),
+                        &opts.domain,
+                        opts.max_shrink_runs,
+                        &mut reproduces_flip,
+                    );
+                    report
+                        .counterexamples
+                        .push(to_counterexample(scenario, shrunk));
+                } else {
+                    report.expected_leaks += 1;
+                }
+            } else if novel && report.corpus.len() < opts.corpus_cap {
+                report.corpus.push(CorpusEntry {
+                    scenario,
+                    signature: out.signature,
+                    detected: out.detected,
+                });
+            }
+        }
+        if report.exhausted {
+            break 'campaign;
+        }
+    }
+    report.coverage_points = map.len();
+    report
+}
+
+fn to_counterexample(original: Scenario, shrunk: ShrinkResult) -> Counterexample {
+    let flips = shrunk.scenario.run().flips;
+    Counterexample {
+        original,
+        shrunk: shrunk.scenario,
+        flips,
+        shrink_runs: shrunk.runs,
+        minimal: shrunk.minimal,
+    }
+}
+
+/// The serial executor: runs each scenario inline on the calling
+/// thread. The reference implementation parallel executors must match
+/// byte-for-byte.
+pub fn serial_exec(batch: Vec<Scenario>) -> Vec<Result<ScenarioOutcome, String>> {
+    batch.into_iter().map(|s| Ok(s.run())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_is_deterministic_and_fills_its_budget() {
+        let opts = FuzzOptions::smoke(11);
+        let a = run_campaign(&opts, serial_exec);
+        let b = run_campaign(&opts, serial_exec);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert_eq!(a.executed, opts.budget);
+        assert!(!a.exhausted);
+        assert!(a.coverage_points > 0);
+        assert!(a.novel > 0);
+        assert!(!a.corpus.is_empty(), "smoke found no corpus-worthy case");
+        assert!(a.corpus.len() <= opts.corpus_cap);
+    }
+
+    #[test]
+    fn standard_domain_yields_no_counterexample() {
+        let report = run_campaign(&FuzzOptions::smoke(3), serial_exec);
+        assert!(
+            report.counterexamples.is_empty(),
+            "hardened envelope violated: {:?}",
+            report.counterexamples
+        );
+        assert!(
+            report.cell_failures.is_empty(),
+            "{:?}",
+            report.cell_failures
+        );
+    }
+
+    #[test]
+    fn executor_errors_are_collected_not_fatal() {
+        let opts = FuzzOptions::smoke(5);
+        let report = run_campaign(&opts, |batch| {
+            batch
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if i == 0 {
+                        Err("cell 0 panicked: injected".to_string())
+                    } else {
+                        Ok(s.run())
+                    }
+                })
+                .collect()
+        });
+        assert!(!report.cell_failures.is_empty());
+        assert_eq!(report.executed, opts.budget);
+    }
+}

@@ -1,0 +1,129 @@
+//! The committed regression corpus: interesting scenarios on disk.
+//!
+//! Each corpus file under `corpus/` holds one [`CorpusEntry`] — a
+//! scenario that produced novel detector-state coverage while keeping
+//! the guarantee (zero flips), plus the outcome fingerprint it had when
+//! recorded. File names are content-addressed
+//! (`case-<fnv1a64-of-scenario-json>.json`), so re-running the fuzzer
+//! never duplicates a case and a changed scenario is a new file. The
+//! `fuzz_corpus` integration test replays every entry and fails the
+//! merge if any now flips bits — the regression gate.
+
+use crate::scenario::Scenario;
+use anvil_core::StateSignature;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One committed corpus case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// The replayable scenario.
+    pub scenario: Scenario,
+    /// The detector-state signature the scenario produced when recorded
+    /// (informational: shows *why* the case was interesting).
+    pub signature: StateSignature,
+    /// Whether the detector fired when the case was recorded.
+    pub detected: bool,
+}
+
+impl CorpusEntry {
+    /// The entry's content-addressed file name.
+    pub fn filename(&self) -> String {
+        format!("case-{:016x}.json", self.scenario.content_key())
+    }
+}
+
+/// Loads every `*.json` corpus entry under `dir`, sorted by file name
+/// for deterministic iteration. A missing directory is an empty corpus,
+/// not an error; an unreadable or undecodable file is.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(PathBuf, CorpusEntry)>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = fs::read_to_string(&p)?;
+        let entry: CorpusEntry = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", p.display()))
+        })?;
+        out.push((p, entry));
+    }
+    Ok(out)
+}
+
+/// Writes each entry to its content-addressed file under `dir`
+/// (creating the directory), skipping files that already exist. Returns
+/// the number of new files written.
+pub fn write_dir(dir: &Path, entries: &[CorpusEntry]) -> io::Result<usize> {
+    fs::create_dir_all(dir)?;
+    let mut written = 0;
+    for entry in entries {
+        let path = dir.join(entry.filename());
+        if path.exists() {
+            continue;
+        }
+        let mut text = serde_json::to_string_pretty(entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        text.push('\n');
+        fs::write(&path, text)?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::FuzzDomain;
+
+    fn sample_entries() -> Vec<CorpusEntry> {
+        FuzzDomain::standard()
+            .seeds(21)
+            .into_iter()
+            .map(|scenario| CorpusEntry {
+                scenario,
+                signature: StateSignature(0x123),
+                detected: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corpus_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("anvil-fuzz-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let entries = sample_entries();
+        let wrote = write_dir(&dir, &entries).unwrap();
+        assert_eq!(wrote, entries.len());
+        // Idempotent: content addressing skips existing files.
+        assert_eq!(write_dir(&dir, &entries).unwrap(), 0);
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), entries.len());
+        let mut expected: Vec<String> = entries.iter().map(CorpusEntry::filename).collect();
+        expected.sort();
+        let names: Vec<String> = loaded
+            .iter()
+            .map(|(p, _)| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, expected);
+        for (_, entry) in &loaded {
+            assert!(entries.contains(entry));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = Path::new("/definitely/not/a/real/anvil/corpus/dir");
+        assert!(load_dir(dir).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! Fuzz domains: the box of scenarios a campaign explores.
+//!
+//! A [`FuzzDomain`] bounds every dimension the mutator can move —
+//! schedule length and durations, adversary intensities, config
+//! parameter ranges, fault magnitudes — and supplies the seed scenarios
+//! the pool starts from. [`FuzzDomain::clamp`] projects an arbitrary
+//! mutated scenario back into the box, so the campaign explores the
+//! *intended* space no matter what sequence of mutations produced a
+//! candidate.
+//!
+//! Two built-in domains:
+//!
+//! * [`FuzzDomain::standard`] fuzzes around the hardened shipping
+//!   configuration on the paper's DRAM generation — the region where
+//!   the guarantee envelope *holds* (hardened does not claim safety at
+//!   future DRAM's halved threshold; flips there are expected leaks,
+//!   not counterexamples). Fault magnitudes are capped at the
+//!   resilience suite's calibrated scenario maxima, so any flip found
+//!   under a holding envelope is a real violation, not a re-discovery
+//!   of a known out-of-model regime.
+//! * [`FuzzDomain::weakened_canary`] deliberately opens the known
+//!   bank-support blind spot (neither `AnvilConfig::validate` nor the
+//!   envelope auditor models `bank_support_min`, but row conviction
+//!   requires it), seeding a paced adversary just under the flip
+//!   threshold. The fuzzer must find the one-mutation flip and shrink
+//!   it — the end-to-end canary test.
+
+use crate::scenario::{Event, Scenario};
+use anvil_adversary::{ArchetypeSpec, EST_STAGE1_WINDOW_CYCLES};
+use anvil_core::AnvilConfig;
+use anvil_dram::Cycle;
+use anvil_faults::FaultPlan;
+use anvil_workloads::SpecBenchmark;
+
+/// Bounds and seeds for one fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzDomain {
+    /// Domain name, recorded in reports.
+    pub name: &'static str,
+    /// The configuration mutations start from and shrinking resets
+    /// toward.
+    pub base: AnvilConfig,
+    /// When `Some`, every scenario is forced onto this DRAM generation;
+    /// when `None` the mutator may toggle it.
+    pub force_future: Option<bool>,
+    /// Maximum schedule length.
+    pub max_events: usize,
+    /// Per-event duration bounds, ms.
+    pub event_ms: (f64, f64),
+    /// Maximum total schedule duration, ms.
+    pub max_total_ms: f64,
+    /// Cap on duty-cycle burst misses.
+    pub max_burst: u64,
+    /// Cap on paced misses per window.
+    pub max_pace: u64,
+    /// Cap on camouflage dilution.
+    pub max_dilution: u64,
+    /// Cap on distributed aggressor pairs.
+    pub max_pairs: usize,
+    /// Stage-1 miss-threshold range.
+    pub llc_range: (u64, u64),
+    /// Bank-support range (the canary domain opens this wide).
+    pub bank_support_range: (u32, u32),
+    /// Ledger window-floor range (the canary domain opens this past the
+    /// number of stage-2 windows a schedule can contain).
+    pub ledger_min_windows_range: (u32, u32),
+    /// PEBS sampling-interval range, cycles.
+    pub sampling_interval_range: (Cycle, Cycle),
+}
+
+/// The canary domain's planted miss threshold: low enough that stage 1
+/// still arms against the seeded pace, leaving conviction — blinded by
+/// the oversized bank-support floor — as the only broken link.
+pub const CANARY_LLC_THRESHOLD: u64 = 12_000;
+
+/// The canary domain's planted bank-support floor: far above the ~30
+/// samples a stage-2 window yields, so direct row conviction can never
+/// gather enough same-bank corroboration. The envelope auditor does not
+/// model this parameter — the planted gap the fuzzer must find
+/// dynamically.
+pub const CANARY_BANK_SUPPORT: u32 = 48;
+
+/// The canary domain's planted ledger patience: the suspicion ledger
+/// only convicts a row it has watched for `ledger_min_windows` stage-2
+/// windows, and a schedule capped at 140 ms never yields 32 of them —
+/// the cross-window pathway that would otherwise catch what bank
+/// support misses is quietly disarmed. The auditor models the ledger's
+/// *score* cap (`required × factor × (1 − decay)`) but not its window
+/// floor, so this plant is invisible to the envelope audit — the second
+/// half of the blind spot.
+pub const CANARY_LEDGER_MIN_WINDOWS: u32 = 32;
+
+/// The canary seed's pace: ~213K activations per refresh interval
+/// (19,999 misses per 6 ms stage-1 window × 10.67 windows per 64 ms),
+/// just under the paper platform's 220K flip threshold. One ×9⁄8
+/// intensity mutation crosses it.
+pub const CANARY_SEED_PACE: u64 = 19_999;
+
+impl FuzzDomain {
+    /// The shipping-configuration domain (see module docs).
+    pub fn standard() -> Self {
+        FuzzDomain {
+            name: "standard",
+            base: AnvilConfig::hardened(),
+            force_future: None,
+            max_events: 6,
+            event_ms: (4.0, 60.0),
+            max_total_ms: 140.0,
+            max_burst: 45_000,
+            max_pace: 40_000,
+            max_dilution: 24,
+            max_pairs: 12,
+            llc_range: (5_000, 30_000),
+            bank_support_range: (1, 4),
+            ledger_min_windows_range: (1, 4),
+            sampling_interval_range: (130_000, 2_080_000),
+        }
+    }
+
+    /// The weakened-envelope canary domain (see module docs).
+    pub fn weakened_canary() -> Self {
+        let mut base = AnvilConfig::hardened();
+        base.llc_miss_threshold = CANARY_LLC_THRESHOLD;
+        base.bank_support_min = CANARY_BANK_SUPPORT;
+        base.hardening.ledger_min_windows = CANARY_LEDGER_MIN_WINDOWS;
+        FuzzDomain {
+            name: "weakened-canary",
+            base,
+            force_future: Some(false),
+            bank_support_range: (1, 64),
+            ledger_min_windows_range: (1, 48),
+            llc_range: (5_000, 14_000),
+            ..Self::standard()
+        }
+    }
+
+    /// The domain's seed scenarios, all inside the box: one per
+    /// archetype family, parked near the guarantee frontier.
+    pub fn seeds(&self, seed: u64) -> Vec<Scenario> {
+        let window = EST_STAGE1_WINDOW_CYCLES;
+        let future = self.force_future.unwrap_or(false);
+        let mk = |schedule: Vec<Event>, salt: u64| Scenario {
+            config: self.base,
+            faults: FaultPlan::none(),
+            future_dram: future,
+            seed: seed ^ salt,
+            schedule,
+        };
+        let specs = [
+            // Threshold prober pacing just under the canary/standard
+            // frontier (quiet EWMA rate ≈ 2 × pace).
+            ArchetypeSpec::Paced {
+                misses_per_window: CANARY_SEED_PACE,
+                window_cycles: window,
+            },
+            ArchetypeSpec::DutyCycle {
+                burst_misses: self.base.llc_miss_threshold.saturating_mul(7) / 5,
+                window_cycles: window,
+            },
+            ArchetypeSpec::Camouflage { dilution: 10 },
+            ArchetypeSpec::Distributed { pairs: 7 },
+        ];
+        let mut out = Vec::new();
+        for (i, spec) in specs.into_iter().enumerate() {
+            out.push(mk(
+                vec![Event::Hammer { spec, ms: 60.0 }],
+                0x5eed ^ ((i as u64) << 8),
+            ));
+        }
+        // One mixed schedule: benign load, then a straddler joins.
+        out.push(mk(
+            vec![
+                Event::Load {
+                    bench: SpecBenchmark::Mcf,
+                    ms: 12.0,
+                },
+                Event::Hammer {
+                    spec: specs_duty(self.base.llc_miss_threshold),
+                    ms: 48.0,
+                },
+            ],
+            0x6d17,
+        ));
+        out.into_iter().map(|s| self.clamp(s)).collect()
+    }
+
+    /// Projects a scenario into the domain box: schedule length and
+    /// durations, adversary intensity caps, config parameter ranges,
+    /// and fault-magnitude calibration limits. Structural validity
+    /// (e.g. `ts ≤ tc`) is *not* repaired here — invalid configs are
+    /// the rejection-rate statistic's job.
+    #[must_use]
+    pub fn clamp(&self, mut s: Scenario) -> Scenario {
+        if let Some(f) = self.force_future {
+            s.future_dram = f;
+        }
+        s.schedule.truncate(self.max_events.max(1));
+        let (lo_ms, hi_ms) = self.event_ms;
+        for ev in &mut s.schedule {
+            *ev = ev.with_ms(ev.ms().clamp(lo_ms, hi_ms));
+        }
+        while s.schedule.len() > 1 && s.total_ms() > self.max_total_ms {
+            s.schedule.pop();
+        }
+        for ev in &mut s.schedule {
+            if let Event::Hammer { spec, .. } = ev {
+                *spec = self.clamp_spec(*spec);
+            }
+        }
+        s.config = self.clamp_config(s.config);
+        s.faults = clamp_faults(s.faults);
+        s
+    }
+
+    fn clamp_spec(&self, spec: ArchetypeSpec) -> ArchetypeSpec {
+        let window_lo = EST_STAGE1_WINDOW_CYCLES / 2;
+        let window_hi = EST_STAGE1_WINDOW_CYCLES * 2;
+        match spec {
+            ArchetypeSpec::DutyCycle {
+                burst_misses,
+                window_cycles,
+            } => ArchetypeSpec::DutyCycle {
+                burst_misses: burst_misses.clamp(2, self.max_burst),
+                window_cycles: window_cycles.clamp(window_lo, window_hi),
+            },
+            ArchetypeSpec::Paced {
+                misses_per_window,
+                window_cycles,
+            } => ArchetypeSpec::Paced {
+                misses_per_window: misses_per_window.clamp(2, self.max_pace),
+                window_cycles: window_cycles.clamp(window_lo, window_hi),
+            },
+            ArchetypeSpec::Camouflage { dilution } => ArchetypeSpec::Camouflage {
+                dilution: dilution.clamp(1, self.max_dilution),
+            },
+            ArchetypeSpec::Distributed { pairs } => ArchetypeSpec::Distributed {
+                pairs: pairs.clamp(2, self.max_pairs),
+            },
+        }
+    }
+
+    fn clamp_config(&self, mut c: AnvilConfig) -> AnvilConfig {
+        c.llc_miss_threshold = c
+            .llc_miss_threshold
+            .clamp(self.llc_range.0, self.llc_range.1);
+        let (blo, bhi) = self.bank_support_range;
+        c.bank_support_min = c.bank_support_min.clamp(blo, bhi);
+        c.victim_radius = c.victim_radius.clamp(1, 3);
+        c.row_sample_floor = c.row_sample_floor.clamp(1, 8);
+        let (slo, shi) = self.sampling_interval_range;
+        c.sampling.interval = c.sampling.interval.clamp(slo, shi);
+        c.rate_safety = c.rate_safety.clamp(0.05, 1.0);
+        let h = &mut c.hardening;
+        h.stage1_carry = h.stage1_carry.clamp(0.0, 0.9);
+        h.phase_jitter = h.phase_jitter.clamp(0.0, 0.9);
+        h.ledger_decay = h.ledger_decay.clamp(0.0, 0.9);
+        h.ledger_factor = h.ledger_factor.clamp(0.1, 4.0);
+        let (llo, lhi) = self.ledger_min_windows_range;
+        h.ledger_min_windows = h.ledger_min_windows.clamp(llo, lhi);
+        h.hit_weight = h.hit_weight.clamp(0.0, 1.0);
+        h.max_resample_windows = h.max_resample_windows.min(6);
+        c
+    }
+}
+
+fn specs_duty(threshold: u64) -> ArchetypeSpec {
+    ArchetypeSpec::DutyCycle {
+        burst_misses: threshold.saturating_mul(7) / 5,
+        window_cycles: EST_STAGE1_WINDOW_CYCLES,
+    }
+}
+
+/// Clamps fault magnitudes at the resilience suite's calibrated scenario
+/// maxima, inside which the guarantee is claimed to hold. The counter
+/// site keeps a *floor* instead of a cap: saturating the miss counter
+/// below the stage-1 threshold silently blinds the detector — the known
+/// out-of-model regime the standard domain must not wander into. The
+/// lifecycle site is zeroed: the platform executor consumes the other
+/// six sites; lifecycle faults belong to the supervisor's runtime.
+fn clamp_faults(mut f: FaultPlan) -> FaultPlan {
+    f.pebs.drop_rate = f.pebs.drop_rate.clamp(0.0, 0.02);
+    f.pebs.burst_len = f.pebs.burst_len.min(64);
+    f.pebs.corrupt_rate = f.pebs.corrupt_rate.clamp(0.0, 0.35);
+    if let Some(s) = f.counter.saturate_at {
+        f.counter.saturate_at = Some(s.max(32_768));
+    }
+    f.translation.fail_rate = f.translation.fail_rate.clamp(0.0, 0.25);
+    f.translation.stale_rate = f.translation.stale_rate.clamp(0.0, 0.25);
+    f.interrupt.jitter_rate = f.interrupt.jitter_rate.clamp(0.0, 1.0);
+    f.interrupt.max_jitter = f.interrupt.max_jitter.min(260_000);
+    f.service.preempt_rate = f.service.preempt_rate.clamp(0.0, 0.35);
+    f.service.max_delay = f.service.max_delay.min(1_300_000);
+    f.refresh.postpone_rate = f.refresh.postpone_rate.clamp(0.0, 0.5);
+    f.refresh.max_postpone = f.refresh.max_postpone.min(162_500);
+    f = f.without_site(6);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_faults::FaultScenario;
+
+    #[test]
+    fn seeds_are_inside_their_domain_and_validate() {
+        for domain in [FuzzDomain::standard(), FuzzDomain::weakened_canary()] {
+            let seeds = domain.seeds(0xF00D);
+            assert!(seeds.len() >= 4, "{}", domain.name);
+            for s in &seeds {
+                assert_eq!(s, &domain.clamp(s.clone()), "seed escaped the box");
+                s.config
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} seed config invalid: {e}", domain.name));
+                assert!(s.total_ms() <= domain.max_total_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn canary_base_is_supposedly_safe_but_blinded() {
+        let domain = FuzzDomain::weakened_canary();
+        let s = &domain.seeds(1)[0];
+        assert!(
+            !s.future_dram,
+            "canary runs on paper DRAM, where the hardened envelope holds"
+        );
+        assert!(
+            s.supposedly_safe(),
+            "the planted config must pass the audit (the audit ignores bank support)"
+        );
+        assert_eq!(s.config.bank_support_min, CANARY_BANK_SUPPORT);
+    }
+
+    #[test]
+    fn clamp_caps_fault_magnitudes_and_drops_lifecycle() {
+        let domain = FuzzDomain::standard();
+        let mut s = domain.seeds(2)[0].clone();
+        s.faults = FaultScenario::Combined.plan(10.0, 3);
+        s.faults.counter.saturate_at = Some(10);
+        s.faults.lifecycle.crash_rate = 0.5;
+        let c = domain.clamp(s);
+        assert!(c.faults.translation.fail_rate <= 0.25);
+        assert!(c.faults.service.max_delay <= 1_300_000);
+        assert_eq!(c.faults.counter.saturate_at, Some(32_768));
+        assert!(!c.faults.site_active(6), "lifecycle site must be cleared");
+    }
+
+    #[test]
+    fn clamp_enforces_schedule_and_config_bounds() {
+        let domain = FuzzDomain::standard();
+        let mut s = domain.seeds(3)[0].clone();
+        s.schedule = vec![Event::Idle { ms: 500.0 }; 20];
+        s.config.llc_miss_threshold = 1_000_000;
+        s.config.victim_radius = 9;
+        let c = domain.clamp(s);
+        assert!(c.schedule.len() <= domain.max_events);
+        assert!(c.total_ms() <= domain.max_total_ms || c.schedule.len() == 1);
+        assert_eq!(c.config.llc_miss_threshold, domain.llc_range.1);
+        assert_eq!(c.config.victim_radius, 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! `anvil-fuzz` — coverage-guided scenario fuzzing for the ANVIL
+//! no-flip guarantee.
+//!
+//! The symbolic verifier (`anvil-analyze`) proves the guarantee for the
+//! archetype families it models; this crate attacks everything the
+//! model *doesn't* cover. A deterministic, seeded campaign mutates whole
+//! [`Scenario`]s — detector configuration, adaptive-adversary schedule,
+//! fault plan, DRAM generation — one structured edit at a time, guided
+//! by two feedback signals:
+//!
+//! * **detector-state coverage** — [`anvil_core::StateSignature`]
+//!   bucketizes every `DetectorStats` counter to its log₂ magnitude;
+//!   a scenario whose signature (plus flip/detect/error outcome flags)
+//!   was never seen joins the mutation pool;
+//! * **frontier energy** — `anvil_analyze::frontier_distance` scores
+//!   how close a configuration sits to its symbolic guarantee frontier;
+//!   pool picks are weighted toward the frontier, where one small edit
+//!   can break the claim.
+//!
+//! The oracle is the guarantee itself: a scenario that flips bits while
+//! [`Scenario::supposedly_safe`] holds is a counterexample. Each one is
+//! automatically [`shrink`]-ed — drop schedule events, clear fault
+//! sites, reset config fields, bisect adversary intensities — to a
+//! 1-minimal replayable case. Novel zero-flip cases are promoted into
+//! the committed regression corpus under `corpus/`, replayed by
+//! `tests/fuzz_corpus.rs` on every CI run.
+//!
+//! Everything is deterministic in the campaign seed: generation happens
+//! before each batch is dispatched and results fold back in submission
+//! order, so the serial executor and `anvil-bench`'s parallel
+//! `run_cells_checked` produce byte-identical reports at any
+//! `--threads`.
+
+pub mod campaign;
+pub mod corpus;
+pub mod coverage;
+pub mod domain;
+pub mod mutate;
+pub mod scenario;
+pub mod shrink;
+
+pub use campaign::{run_campaign, serial_exec, Counterexample, FuzzOptions, FuzzReport};
+pub use corpus::{load_dir, write_dir, CorpusEntry};
+pub use coverage::{energy, CoverageMap, Pool};
+pub use domain::{
+    FuzzDomain, CANARY_BANK_SUPPORT, CANARY_LEDGER_MIN_WINDOWS, CANARY_LLC_THRESHOLD,
+    CANARY_SEED_PACE,
+};
+pub use mutate::Mutator;
+pub use scenario::{Event, Scenario, ScenarioOutcome};
+pub use shrink::{reduction_steps, reproduces_flip, shrink, ShrinkResult};

@@ -1,0 +1,232 @@
+//! Scenario mutation: one structured edit per call.
+//!
+//! The mutator owns a deterministic [`FaultRng`] stream and applies
+//! exactly one edit per [`Mutator::mutate`] call — perturb an adversary
+//! spec, move one detector-config parameter, perturb the fault plan,
+//! grow/shrink/re-time the schedule, toggle the DRAM generation, or
+//! reseed. The per-spec and per-plan edits delegate to the owning
+//! crates' `mutated` hooks (closure-RNG, generator-agnostic); the result
+//! is always projected back into the domain box by the caller via
+//! [`crate::FuzzDomain::clamp`].
+
+use crate::domain::FuzzDomain;
+use crate::scenario::{Event, Scenario};
+use anvil_adversary::ArchetypeSpec;
+use anvil_core::AnvilConfig;
+use anvil_faults::FaultRng;
+use anvil_workloads::SpecBenchmark;
+
+/// Deterministic scenario mutator (see module docs).
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    rng: FaultRng,
+}
+
+impl Mutator {
+    /// A mutator drawing from the given seed.
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            rng: FaultRng::new(seed),
+        }
+    }
+
+    /// Returns a mutated copy of `s`, clamped into `domain`.
+    #[must_use]
+    pub fn mutate(&mut self, s: &Scenario, domain: &FuzzDomain) -> Scenario {
+        let mut next = s.clone();
+        let op = self.rng.below(8);
+        match op {
+            0 => self.mutate_spec(&mut next),
+            1 => self.mutate_config(&mut next.config),
+            2 => {
+                let rng = &mut self.rng;
+                let mut draw = |n: u64| rng.below(n);
+                next.faults.seed = next.seed;
+                next.faults = next.faults.mutated(&mut draw);
+            }
+            3 => self.add_event(&mut next, domain),
+            4 => {
+                if next.schedule.len() > 1 {
+                    let i = self.rng.below(next.schedule.len() as u64) as usize;
+                    next.schedule.remove(i);
+                }
+            }
+            5 => {
+                if !next.schedule.is_empty() {
+                    let i = self.rng.below(next.schedule.len() as u64) as usize;
+                    let factor = if self.rng.below(2) == 0 { 0.75 } else { 1.25 };
+                    let ev = next.schedule[i];
+                    next.schedule[i] = ev.with_ms(ev.ms() * factor);
+                }
+            }
+            6 => {
+                if domain.force_future.is_none() {
+                    next.future_dram = !next.future_dram;
+                } else {
+                    // Forced generation: spend the edit on the spec
+                    // instead of wasting the candidate.
+                    self.mutate_spec(&mut next);
+                }
+            }
+            _ => next.seed = self.rng.next_u64(),
+        }
+        domain.clamp(next)
+    }
+
+    /// Perturbs one hammer event's spec (or converts an idle event into
+    /// a hammer when the schedule has none).
+    fn mutate_spec(&mut self, s: &mut Scenario) {
+        let hammers: Vec<usize> = s
+            .schedule
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ev)| matches!(ev, Event::Hammer { .. }).then_some(i))
+            .collect();
+        if hammers.is_empty() {
+            let spec = self.fresh_spec();
+            if let Some(ev) = s.schedule.first_mut() {
+                *ev = Event::Hammer { spec, ms: ev.ms() };
+            } else {
+                s.schedule.push(Event::Hammer { spec, ms: 40.0 });
+            }
+            return;
+        }
+        let i = hammers[self.rng.below(hammers.len() as u64) as usize];
+        if let Event::Hammer { spec, ms } = s.schedule[i] {
+            let rng = &mut self.rng;
+            let mut draw = |n: u64| rng.below(n);
+            s.schedule[i] = Event::Hammer {
+                spec: spec.mutated(&mut draw),
+                ms,
+            };
+        }
+    }
+
+    fn fresh_spec(&mut self) -> ArchetypeSpec {
+        let defaults = ArchetypeSpec::defaults();
+        defaults[self.rng.below(defaults.len() as u64) as usize]
+    }
+
+    fn add_event(&mut self, s: &mut Scenario, domain: &FuzzDomain) {
+        if s.schedule.len() >= domain.max_events {
+            return;
+        }
+        let ms = 4.0 + self.rng.below(48) as f64;
+        let ev = match self.rng.below(3) {
+            0 => Event::Hammer {
+                spec: self.fresh_spec(),
+                ms,
+            },
+            1 => {
+                let all = SpecBenchmark::all();
+                Event::Load {
+                    bench: all[self.rng.below(all.len() as u64) as usize],
+                    ms,
+                }
+            }
+            _ => Event::Idle { ms },
+        };
+        let at = self.rng.below(s.schedule.len() as u64 + 1) as usize;
+        s.schedule.insert(at, ev);
+    }
+
+    /// Moves exactly one detector-config parameter to a neighbouring
+    /// value. Values are drawn from small legal-looking sets; moves that
+    /// break structural validity (e.g. a window pair whose sustained
+    /// budget clears the envelope) are *meant* to be produced — the
+    /// campaign counts their rejection by `AnvilConfig::validate`.
+    fn mutate_config(&mut self, c: &mut AnvilConfig) {
+        let scale = |v: u64, pick: u64| match pick {
+            0 => v / 2,
+            1 => v.saturating_mul(3) / 4,
+            2 => v.saturating_mul(9) / 8,
+            _ => v.saturating_mul(5) / 4,
+        };
+        match self.rng.below(14) {
+            0 => {
+                let pick = self.rng.below(4);
+                c.llc_miss_threshold = scale(c.llc_miss_threshold, pick).max(1);
+            }
+            1 => {
+                let windows = [2.0, 3.0, 6.0];
+                c.tc_ms = windows[self.rng.below(3) as usize];
+                c.ts_ms = c.ts_ms.min(c.tc_ms);
+            }
+            2 => {
+                let windows = [2.0, 3.0, 6.0];
+                c.ts_ms = windows[self.rng.below(3) as usize];
+            }
+            3 => c.rate_safety = [0.1, 0.3, 0.5, 0.9][self.rng.below(4) as usize],
+            4 => c.row_sample_floor = 1 + self.rng.below(8) as u32,
+            5 => c.bank_support_min = 1 + self.rng.below(64) as u32,
+            6 => c.victim_radius = 1 + self.rng.below(3) as u32,
+            7 => {
+                let pick = self.rng.below(4);
+                c.sampling.interval = scale(c.sampling.interval, pick).max(1);
+            }
+            8 => c.hardening.stage1_carry = [0.0, 0.25, 0.5, 0.75][self.rng.below(4) as usize],
+            9 => c.hardening.phase_jitter = [0.0, 0.1, 0.25, 0.5][self.rng.below(4) as usize],
+            10 => c.hardening.max_resample_windows = self.rng.below(7) as u32,
+            11 => c.hardening.hit_weight = [0.0, 0.2, 0.5, 1.0][self.rng.below(4) as usize],
+            12 => {
+                c.hardening.ledger_decay = [0.0, 0.25, 0.5, 0.75][self.rng.below(4) as usize];
+                c.hardening.ledger_factor = [0.75, 1.0, 1.5, 2.0][self.rng.below(4) as usize];
+            }
+            _ => c.degraded.enabled = !c.degraded.enabled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::FuzzDomain;
+
+    #[test]
+    fn mutation_is_deterministic_in_the_seed() {
+        let domain = FuzzDomain::standard();
+        let seed = domain.seeds(9)[0].clone();
+        let mut a = Mutator::new(41);
+        let mut b = Mutator::new(41);
+        let mut sa = seed.clone();
+        let mut sb = seed;
+        for _ in 0..32 {
+            sa = a.mutate(&sa, &domain);
+            sb = b.mutate(&sb, &domain);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn mutants_stay_inside_the_box() {
+        for domain in [FuzzDomain::standard(), FuzzDomain::weakened_canary()] {
+            let mut m = Mutator::new(4242);
+            let mut s = domain.seeds(4)[1].clone();
+            for _ in 0..256 {
+                s = m.mutate(&s, &domain);
+                assert_eq!(s, domain.clamp(s.clone()), "{} mutant escaped", domain.name);
+                assert!(!s.schedule.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_eventually_produces_invalid_configs() {
+        // The rejection-rate statistic depends on the mutator actually
+        // reaching structurally invalid configurations (e.g. envelope-
+        // breaking window/threshold pairs).
+        let domain = FuzzDomain::standard();
+        let mut m = Mutator::new(7);
+        let mut s = domain.seeds(5)[0].clone();
+        let mut rejected = 0;
+        for _ in 0..400 {
+            let cand = m.mutate(&s, &domain);
+            if cand.config.validate().is_err() {
+                rejected += 1;
+            } else {
+                s = cand;
+            }
+        }
+        assert!(rejected > 0, "no invalid config in 400 mutations");
+    }
+}

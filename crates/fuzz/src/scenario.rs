@@ -1,0 +1,287 @@
+//! The fuzzer's scenario IR: one complete, replayable simulator run.
+//!
+//! A [`Scenario`] bundles everything a run depends on — the detector
+//! configuration, the fault plan, the DRAM generation, the seed, and a
+//! small *schedule* of programs joining the platform over time — into
+//! plain serializable data, the same way `anvil-analyze`'s `Witness`
+//! does for single-attack replays. [`Scenario::run`] is deterministic in
+//! the scenario's fields, so a case written to the corpus replays
+//! byte-for-byte forever.
+
+use anvil_adversary::ArchetypeSpec;
+use anvil_core::{
+    AnvilConfig, DetectorStats, EnvelopeParams, GuaranteeEnvelope, Platform, PlatformConfig,
+    StateSignature,
+};
+use anvil_dram::{CpuClock, DisturbanceConfig};
+use anvil_faults::FaultPlan;
+use anvil_workloads::SpecBenchmark;
+use serde::{Deserialize, Serialize};
+
+/// One entry in a scenario's schedule. Each event adds a program to the
+/// platform (or nothing, for [`Event::Idle`]) and then advances simulated
+/// time by `ms`; programs added by earlier events keep running.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "kebab-case")]
+pub enum Event {
+    /// An adaptive adversary joins and the run advances `ms`.
+    Hammer {
+        /// The concrete adversary instance.
+        spec: ArchetypeSpec,
+        /// Milliseconds simulated after the adversary joins.
+        ms: f64,
+    },
+    /// A benign SPEC workload joins and the run advances `ms`.
+    Load {
+        /// The workload model.
+        bench: SpecBenchmark,
+        /// Milliseconds simulated after the workload joins.
+        ms: f64,
+    },
+    /// No program joins; existing programs run for `ms` more.
+    Idle {
+        /// Milliseconds simulated.
+        ms: f64,
+    },
+}
+
+impl Event {
+    /// The event's simulated duration in milliseconds.
+    pub fn ms(&self) -> f64 {
+        match self {
+            Event::Hammer { ms, .. } | Event::Load { ms, .. } | Event::Idle { ms } => *ms,
+        }
+    }
+
+    /// The same event with its duration replaced.
+    #[must_use]
+    pub fn with_ms(self, new_ms: f64) -> Event {
+        match self {
+            Event::Hammer { spec, .. } => Event::Hammer { spec, ms: new_ms },
+            Event::Load { bench, .. } => Event::Load { bench, ms: new_ms },
+            Event::Idle { .. } => Event::Idle { ms: new_ms },
+        }
+    }
+}
+
+/// A complete fuzz case: config + faults + DRAM generation + seed +
+/// schedule. Serializable, mutable, shrinkable, and replayable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The detector configuration under test.
+    pub config: AnvilConfig,
+    /// The fault plan active during the run ([`FaultPlan::none`] for a
+    /// clean substrate).
+    pub faults: FaultPlan,
+    /// Run on future (half-threshold) DRAM rather than the paper's.
+    pub future_dram: bool,
+    /// Scenario seed: threaded into the hardened phase schedule, the
+    /// DRAM weak-cell map, and workload generators.
+    pub seed: u64,
+    /// Programs joining the platform over time.
+    pub schedule: Vec<Event>,
+}
+
+/// What one scenario run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Bit flips the run accumulated.
+    pub flips: u64,
+    /// Whether the detector flagged any aggressor.
+    pub detected: bool,
+    /// Milliseconds to the first detection, if any.
+    pub detect_ms: Option<f64>,
+    /// The detector's activity counters at the end of the run.
+    pub stats: DetectorStats,
+    /// The bucketed detector-state signature (the coverage map's key).
+    pub signature: StateSignature,
+    /// Per-event platform errors (an attack that failed to prepare, a
+    /// run that aborted); empty on a clean run.
+    pub errors: Vec<String>,
+}
+
+impl ScenarioOutcome {
+    /// The coverage-map key: the detector-state signature's 48 bits of
+    /// bucketed counters, tagged with the outcome bits that matter to
+    /// the oracle (flipped / detected / errored).
+    pub fn coverage_key(&self) -> u64 {
+        let flags = u64::from(self.flips > 0)
+            | (u64::from(self.detected) << 1)
+            | (u64::from(!self.errors.is_empty()) << 2);
+        self.signature.0 | (flags << 48)
+    }
+}
+
+impl Scenario {
+    /// The envelope parameters this scenario's safety claim is audited
+    /// against: the paper platform's constants, with the flip threshold
+    /// lowered to future DRAM's when the scenario runs there.
+    pub fn envelope_params(&self) -> EnvelopeParams {
+        let base = EnvelopeParams::paper_platform();
+        if self.future_dram {
+            base.with_flip_threshold(
+                DisturbanceConfig::future_half_threshold().double_sided_threshold,
+            )
+        } else {
+            base
+        }
+    }
+
+    /// The oracle's safety claim: the configuration is structurally
+    /// valid *and* the guarantee-envelope audit says no adversary inside
+    /// the modeled families can flip a bit. A scenario that flips bits
+    /// while this holds is a counterexample; flips under a non-holding
+    /// envelope are expected leaks.
+    pub fn supposedly_safe(&self) -> bool {
+        self.config.validate().is_ok()
+            && GuaranteeEnvelope::audit(
+                &self.config,
+                &CpuClock::SANDY_BRIDGE_2_6GHZ,
+                &self.envelope_params(),
+            )
+            .holds()
+    }
+
+    /// Sum of the schedule's event durations, in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.schedule.iter().map(Event::ms).sum()
+    }
+
+    /// A stable content hash of the scenario's JSON encoding, used to
+    /// name corpus files and deduplicate cases.
+    pub fn content_key(&self) -> u64 {
+        let text = serde_json::to_string(self).expect("scenario serializes");
+        anvil_core::fnv1a64(text.as_bytes())
+    }
+
+    /// Replays the scenario through the full dynamic simulator.
+    ///
+    /// Platform construction follows the witness-replay convention: the
+    /// scenario seed goes into the hardened phase schedule and the DRAM
+    /// weak-cell map, future DRAM halves the flip threshold, and the
+    /// fault plan attaches only when non-empty. Events then join the
+    /// platform in order; a platform error is recorded (not panicked)
+    /// and ends the schedule early.
+    pub fn run(&self) -> ScenarioOutcome {
+        let mut cfg = self.config;
+        cfg.hardening.phase_seed = self.seed;
+        let mut pc = PlatformConfig::with_anvil(cfg);
+        if self.future_dram {
+            pc.memory.dram.disturbance = DisturbanceConfig::future_half_threshold();
+        }
+        pc.memory.dram.seed ^= self.seed;
+        if self.faults != FaultPlan::none() {
+            pc = pc.with_faults(self.faults);
+        }
+        let mut p = Platform::new(pc);
+        let mut errors = Vec::new();
+        let mut ran_any = false;
+        for (i, ev) in self.schedule.iter().enumerate() {
+            let added = match ev {
+                Event::Hammer { spec, .. } => p.add_attack(spec.build()).map(|_| true),
+                Event::Load { bench, .. } => p
+                    .add_workload(bench.build(self.seed ^ i as u64))
+                    .map(|_| true),
+                // An idle stretch before any program exists would be
+                // rejected by the platform (nothing to run); skip it.
+                Event::Idle { .. } => Ok(ran_any),
+            };
+            match added {
+                Ok(has_programs) => {
+                    if has_programs {
+                        ran_any = true;
+                        if let Err(e) = p.run_ms(ev.ms()) {
+                            errors.push(format!("event {i}: {e:?}"));
+                            break;
+                        }
+                    }
+                }
+                Err(e) => errors.push(format!("event {i}: {e:?}")),
+            }
+        }
+        let stats = p.detector_stats().copied().unwrap_or_default();
+        ScenarioOutcome {
+            flips: p.total_flips(),
+            detected: p.first_detection_ms().is_some(),
+            detect_ms: p.first_detection_ms(),
+            stats,
+            signature: stats.signature(),
+            errors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            config: AnvilConfig::hardened(),
+            faults: FaultPlan::none(),
+            future_dram: false,
+            seed: 7,
+            schedule: vec![Event::Load {
+                bench: SpecBenchmark::Mcf,
+                ms: 8.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_json() {
+        let s = tiny();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&text).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(s.content_key(), back.content_key());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = tiny();
+        let a = s.run();
+        let b = s.run();
+        assert_eq!(a, b);
+        assert_eq!(a.coverage_key(), b.coverage_key());
+        assert!(a.errors.is_empty(), "{:?}", a.errors);
+    }
+
+    #[test]
+    fn idle_before_any_program_is_skipped_not_an_error() {
+        let mut s = tiny();
+        s.schedule.insert(0, Event::Idle { ms: 6.0 });
+        let out = s.run();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+    }
+
+    #[test]
+    fn safety_claim_tracks_config_and_dram_generation() {
+        let mut s = tiny();
+        // Hardened on the paper platform: the envelope holds.
+        assert!(s.supposedly_safe());
+        assert_eq!(s.envelope_params().flip_threshold, 220_000);
+        // Hardened makes no claim at future DRAM's halved threshold
+        // (its straddle budget clears 110K) — flips there are expected
+        // leaks, not counterexamples.
+        s.future_dram = true;
+        assert!(!s.supposedly_safe());
+        assert_eq!(s.envelope_params().flip_threshold, 110_000);
+        // The unhardened envelope leaks on either generation.
+        s.future_dram = false;
+        s.config = AnvilConfig::baseline();
+        assert!(!s.supposedly_safe());
+    }
+
+    #[test]
+    fn coverage_key_separates_outcome_flags() {
+        let s = tiny();
+        let mut out = s.run();
+        let clean = out.coverage_key();
+        out.flips = 3;
+        assert_ne!(out.coverage_key(), clean);
+        out.flips = 0;
+        out.errors.push("event 0: boom".into());
+        assert_ne!(out.coverage_key(), clean);
+    }
+}

@@ -1,0 +1,310 @@
+//! Automatic counterexample shrinking: greedy delta-debugging to a
+//! 1-minimal replayable case.
+//!
+//! [`reduction_steps`] enumerates every single-step simplification of a
+//! scenario — drop one schedule event, clear one fault site, reset one
+//! config field to the domain base, bisect one adversary parameter
+//! toward its floor, halve one event duration, move back to paper DRAM.
+//! [`shrink`] greedily applies the first step whose result still
+//! *reproduces* (the oracle, typically "supposedly safe and still
+//! flips"), restarting from the top after each acceptance. Every
+//! accepted step strictly decreases a well-founded measure (event count,
+//! parameter distance, active sites, differing fields), so the loop
+//! terminates; at exit no single further reduction reproduces — the
+//! result is 1-minimal with respect to the step set (unless the run
+//! budget was exhausted first, which the result records).
+
+use crate::domain::FuzzDomain;
+use crate::scenario::{Event, Scenario};
+use anvil_adversary::{ArchetypeSpec, EST_STAGE1_WINDOW_CYCLES};
+use anvil_core::AnvilConfig;
+use serde::Serialize;
+
+/// The outcome of one shrink run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShrinkResult {
+    /// The smallest reproducing scenario found.
+    pub scenario: Scenario,
+    /// Oracle invocations spent.
+    pub runs: usize,
+    /// `true` when no single further reduction step reproduces; `false`
+    /// when the run budget ended the search early.
+    pub minimal: bool,
+}
+
+/// The default shrink oracle: the scenario still claims safety and the
+/// dynamic run still flips bits — the counterexample survives.
+pub fn reproduces_flip(s: &Scenario) -> bool {
+    s.supposedly_safe() && s.run().flips > 0
+}
+
+fn bisect_down(v: u64, lo: u64) -> Option<u64> {
+    (v > lo).then(|| lo + (v - lo) / 2)
+}
+
+fn bisect_toward(v: u64, target: u64) -> Option<u64> {
+    match v.cmp(&target) {
+        std::cmp::Ordering::Equal => None,
+        std::cmp::Ordering::Greater => Some(target + (v - target) / 2),
+        std::cmp::Ordering::Less => Some(v + (target - v).div_ceil(2)),
+    }
+}
+
+fn spec_reductions(spec: ArchetypeSpec) -> Vec<ArchetypeSpec> {
+    let mut out = Vec::new();
+    match spec {
+        ArchetypeSpec::DutyCycle {
+            burst_misses,
+            window_cycles,
+        } => {
+            if let Some(b) = bisect_down(burst_misses, 2) {
+                out.push(ArchetypeSpec::DutyCycle {
+                    burst_misses: b,
+                    window_cycles,
+                });
+            }
+            if let Some(w) = bisect_toward(window_cycles, EST_STAGE1_WINDOW_CYCLES) {
+                out.push(ArchetypeSpec::DutyCycle {
+                    burst_misses,
+                    window_cycles: w,
+                });
+            }
+        }
+        ArchetypeSpec::Paced {
+            misses_per_window,
+            window_cycles,
+        } => {
+            if let Some(m) = bisect_down(misses_per_window, 2) {
+                out.push(ArchetypeSpec::Paced {
+                    misses_per_window: m,
+                    window_cycles,
+                });
+            }
+            if let Some(w) = bisect_toward(window_cycles, EST_STAGE1_WINDOW_CYCLES) {
+                out.push(ArchetypeSpec::Paced {
+                    misses_per_window,
+                    window_cycles: w,
+                });
+            }
+        }
+        ArchetypeSpec::Camouflage { dilution } => {
+            if let Some(d) = bisect_down(dilution, 1) {
+                out.push(ArchetypeSpec::Camouflage { dilution: d });
+            }
+        }
+        ArchetypeSpec::Distributed { pairs } => {
+            if let Some(p) = bisect_down(pairs as u64, 2) {
+                out.push(ArchetypeSpec::Distributed { pairs: p as usize });
+            }
+        }
+    }
+    out
+}
+
+fn config_resets(s: &Scenario, base: &AnvilConfig) -> Vec<Scenario> {
+    let c = s.config;
+    let fields: Vec<fn(&mut AnvilConfig, &AnvilConfig)> = vec![
+        |f, b| f.llc_miss_threshold = b.llc_miss_threshold,
+        |f, b| {
+            f.tc_ms = b.tc_ms;
+            f.ts_ms = b.ts_ms;
+        },
+        |f, b| f.sampling = b.sampling,
+        |f, b| f.rate_safety = b.rate_safety,
+        |f, b| f.row_sample_floor = b.row_sample_floor,
+        |f, b| f.bank_support_min = b.bank_support_min,
+        |f, b| f.victim_radius = b.victim_radius,
+        |f, b| f.hardening = b.hardening,
+        |f, b| f.degraded = b.degraded,
+    ];
+    let mut out = Vec::new();
+    for reset in fields {
+        let mut cfg = c;
+        reset(&mut cfg, base);
+        if cfg != c {
+            let mut next = s.clone();
+            next.config = cfg;
+            out.push(next);
+        }
+    }
+    out
+}
+
+/// Every single-step simplification of `s`, in application order:
+/// schedule deletions, fault-site clears, config-field resets, adversary
+/// parameter bisections, duration halvings, and the DRAM-generation
+/// downgrade. Steps that would not change the scenario are omitted.
+pub fn reduction_steps(s: &Scenario, domain: &FuzzDomain) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // 1. Drop one schedule event.
+    if s.schedule.len() > 1 {
+        for i in 0..s.schedule.len() {
+            let mut next = s.clone();
+            next.schedule.remove(i);
+            out.push(next);
+        }
+    }
+    // 2. Clear one fault site.
+    for idx in s.faults.active_sites() {
+        let mut next = s.clone();
+        next.faults = next.faults.without_site(idx);
+        out.push(next);
+    }
+    // 3. Reset one config field to the domain base.
+    out.extend(config_resets(s, &domain.base));
+    // 4. Bisect one adversary parameter toward its floor.
+    for (i, ev) in s.schedule.iter().enumerate() {
+        if let Event::Hammer { spec, ms } = ev {
+            for reduced in spec_reductions(*spec) {
+                let mut next = s.clone();
+                next.schedule[i] = Event::Hammer {
+                    spec: reduced,
+                    ms: *ms,
+                };
+                out.push(next);
+            }
+        }
+    }
+    // 5. Halve one event duration toward the domain floor.
+    let floor = domain.event_ms.0;
+    for (i, ev) in s.schedule.iter().enumerate() {
+        let halved = (ev.ms() / 2.0).max(floor);
+        if halved < ev.ms() {
+            let mut next = s.clone();
+            next.schedule[i] = ev.with_ms(halved);
+            out.push(next);
+        }
+    }
+    // 6. Downgrade to paper DRAM (when the domain allows it).
+    if s.future_dram && domain.force_future.is_none() {
+        let mut next = s.clone();
+        next.future_dram = false;
+        out.push(next);
+    }
+    out
+}
+
+/// Greedy first-improvement shrink (see module docs). `reproduces` is
+/// invoked at most `budget` times; each `true` answer commits that
+/// reduction and restarts the scan.
+pub fn shrink(
+    start: Scenario,
+    domain: &FuzzDomain,
+    budget: usize,
+    reproduces: &mut dyn FnMut(&Scenario) -> bool,
+) -> ShrinkResult {
+    let mut current = start;
+    let mut runs = 0;
+    loop {
+        let mut improved = false;
+        for cand in reduction_steps(&current, domain) {
+            if runs >= budget {
+                return ShrinkResult {
+                    scenario: current,
+                    runs,
+                    minimal: false,
+                };
+            }
+            runs += 1;
+            if reproduces(&cand) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return ShrinkResult {
+                scenario: current,
+                runs,
+                minimal: true,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::FuzzDomain;
+    use anvil_faults::FaultScenario;
+    use anvil_workloads::SpecBenchmark;
+
+    fn bulky(domain: &FuzzDomain) -> Scenario {
+        let mut s = domain.seeds(11)[0].clone();
+        s.schedule.push(Event::Load {
+            bench: SpecBenchmark::Gcc,
+            ms: 20.0,
+        });
+        s.schedule.push(Event::Idle { ms: 10.0 });
+        s.faults = FaultScenario::Combined.plan(1.0, 5);
+        s.config.victim_radius = 3;
+        domain.clamp(s)
+    }
+
+    #[test]
+    fn permissive_oracle_shrinks_to_the_floor() {
+        let domain = FuzzDomain::standard();
+        let start = bulky(&domain);
+        let mut always = |_: &Scenario| true;
+        let r = shrink(start, &domain, 10_000, &mut always);
+        assert!(r.minimal);
+        assert_eq!(r.scenario.schedule.len(), 1);
+        assert!(r.scenario.faults.active_sites().is_empty());
+        assert_eq!(r.scenario.config, domain.base);
+        assert!(!r.scenario.future_dram);
+        // 1-minimal under "everything reproduces": no step remains.
+        assert!(reduction_steps(&r.scenario, &domain).is_empty());
+    }
+
+    #[test]
+    fn refusing_oracle_returns_the_original() {
+        let domain = FuzzDomain::standard();
+        let start = bulky(&domain);
+        let mut never = |_: &Scenario| false;
+        let r = shrink(start.clone(), &domain, 10_000, &mut never);
+        assert!(r.minimal);
+        assert_eq!(r.scenario, start);
+        assert_eq!(r.runs, reduction_steps(&start, &domain).len());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let domain = FuzzDomain::standard();
+        let start = bulky(&domain);
+        let mut never = |_: &Scenario| false;
+        let r = shrink(start, &domain, 2, &mut never);
+        assert!(!r.minimal);
+        assert_eq!(r.runs, 2);
+    }
+
+    #[test]
+    fn every_reduction_step_changes_the_scenario() {
+        let domain = FuzzDomain::standard();
+        let start = bulky(&domain);
+        for cand in reduction_steps(&start, &domain) {
+            assert_ne!(cand, start);
+        }
+    }
+
+    #[test]
+    fn bisection_helpers_terminate() {
+        let mut v = 45_000u64;
+        let mut steps = 0;
+        while let Some(next) = bisect_down(v, 2) {
+            assert!(next < v);
+            v = next;
+            steps += 1;
+            assert!(steps < 64);
+        }
+        assert_eq!(v, 2);
+        let mut w = 1_000u64;
+        let mut steps = 0;
+        while let Some(next) = bisect_toward(w, 15_600_000) {
+            assert!(w.abs_diff(15_600_000) > next.abs_diff(15_600_000));
+            w = next;
+            steps += 1;
+            assert!(steps < 64);
+        }
+        assert_eq!(w, 15_600_000);
+    }
+}

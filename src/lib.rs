@@ -23,6 +23,7 @@
 //! | [`core`] | The ANVIL detector and the full-system platform runner |
 //! | [`analyze`] | Static hammer-capability analysis over the attack/workload IR |
 //! | [`faults`] | Deterministic fault injection: PEBS loss, stale translations, preemption, postponed refresh |
+//! | [`fuzz`] | Coverage-guided guarantee fuzzing: scenario mutation, counterexample shrinking, the regression corpus |
 //! | [`runtime`] | Detector lifecycle supervision: checkpoint/restore, crash-restart recovery, hot reload, soak engine |
 //!
 //! ## Thirty-second tour
@@ -49,6 +50,7 @@ pub use anvil_cache as cache;
 pub use anvil_core as core;
 pub use anvil_dram as dram;
 pub use anvil_faults as faults;
+pub use anvil_fuzz as fuzz;
 pub use anvil_mem as mem;
 pub use anvil_pmu as pmu;
 pub use anvil_runtime as runtime;

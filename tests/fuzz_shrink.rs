@@ -1,0 +1,132 @@
+//! Merge gates for the counterexample shrinker and the canary pipeline.
+//!
+//! Two claims are enforced here. First, shrinking is *sound and
+//! 1-minimal*: a shrunk counterexample still reproduces the envelope
+//! violation (supposedly safe, yet flips), and — whenever the shrinker
+//! reports minimality — no single further reduction step still
+//! reproduces (proptest over construction seeds). Second, the planted
+//! weakened-canary blind spot is *actually findable end to end*: a
+//! seeded canary campaign must discover a supposedly-safe flipping
+//! scenario and shrink it to a minimal schedule of at most 10 events.
+//! If detector or audit changes ever close the planted gap (or break
+//! the fuzzer's ability to exploit it), this fails loudly rather than
+//! letting the fuzz gate rot into a tautology.
+
+use anvil::adversary::ArchetypeSpec;
+use anvil::fuzz::{
+    reduction_steps, reproduces_flip, run_campaign, serial_exec, shrink, Event, FuzzDomain,
+    FuzzOptions, Scenario,
+};
+use proptest::prelude::*;
+
+/// A deterministic counterexample in the weakened-canary domain: the
+/// seeded threshold prober with its pace pushed past the flip frontier.
+/// The planted `bank_support_min`/`ledger_min_windows` blind spot keeps
+/// the envelope audit blind, so the scenario claims safety while
+/// flipping bits — exactly what the fuzzer's mutator reaches with one
+/// intensity edit.
+fn planted_counterexample(seed: u64, boost: u64) -> Scenario {
+    let domain = FuzzDomain::weakened_canary();
+    let mut s = domain.seeds(seed)[0].clone();
+    let Event::Hammer { spec, ms } = s.schedule[0] else {
+        panic!("canary seed 0 must open with the paced prober");
+    };
+    let ArchetypeSpec::Paced {
+        misses_per_window,
+        window_cycles,
+    } = spec
+    else {
+        panic!("canary seed 0 must be the paced prober");
+    };
+    s.schedule[0] = Event::Hammer {
+        spec: ArchetypeSpec::Paced {
+            misses_per_window: misses_per_window.saturating_mul(boost) / 2,
+            window_cycles,
+        },
+        ms,
+    };
+    domain.clamp(s)
+}
+
+proptest! {
+    // Each case replays dozens of simulator runs; keep the case count
+    // small enough for CI while still varying seed and overdrive.
+    #![proptest_config(ProptestConfig { cases: 6 })]
+
+    #[test]
+    fn shrunk_counterexamples_are_sound_and_one_minimal(
+        seed in 0u64..1024,
+        boost in 3u64..5,
+    ) {
+        let domain = FuzzDomain::weakened_canary();
+        let start = planted_counterexample(seed, boost);
+        if !reproduces_flip(&start) {
+            // A seed whose weak-cell map dodges this pace is not a
+            // counterexample to begin with; nothing to shrink.
+            return Ok(());
+        }
+
+        let result = shrink(start, &domain, 400, &mut reproduces_flip);
+
+        // Soundness: the shrunk scenario is still a counterexample.
+        prop_assert!(
+            reproduces_flip(&result.scenario),
+            "shrunk scenario no longer reproduces the violation"
+        );
+        prop_assert!(!result.scenario.schedule.is_empty());
+
+        // 1-minimality: no single further reduction step reproduces.
+        if result.minimal {
+            for (i, step) in reduction_steps(&result.scenario, &domain).iter().enumerate() {
+                prop_assert!(
+                    !reproduces_flip(step),
+                    "reduction step {i} still reproduces — the shrinker \
+                     stopped early despite claiming 1-minimality"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn canary_campaign_finds_and_shrinks_the_planted_blind_spot() {
+    // The end-to-end pipeline proof at the seed CI pins: mutate from
+    // the domain seeds, hit the blind spot, shrink what flips.
+    let report = run_campaign(&FuzzOptions::canary(0xF0229), serial_exec);
+    assert!(
+        !report.counterexamples.is_empty(),
+        "the canary campaign found nothing — the planted blind spot is \
+         closed or the fuzzer lost the ability to reach it"
+    );
+    for c in &report.counterexamples {
+        assert!(c.flips > 0, "shrunk counterexample no longer flips");
+        assert!(c.minimal, "shrink budget exhausted before 1-minimality");
+        assert!(
+            c.shrunk.schedule.len() <= 10,
+            "counterexample shrunk only to {} events",
+            c.shrunk.schedule.len()
+        );
+        assert!(
+            c.shrunk.supposedly_safe(),
+            "shrunk counterexample lost its safety claim — it no longer \
+             witnesses an envelope blind spot"
+        );
+        assert!(
+            c.shrunk.schedule.len() <= c.original.schedule.len(),
+            "shrinking grew the schedule"
+        );
+    }
+}
+
+#[test]
+fn standard_domain_seeds_keep_the_guarantee() {
+    // The standard domain's seed scenarios are the fuzzer's starting
+    // points; all of them must be supposedly safe *and actually* safe,
+    // or the campaign would open with spurious counterexamples.
+    let domain = FuzzDomain::standard();
+    for (i, s) in domain.seeds(0xF0229).into_iter().enumerate() {
+        assert!(s.supposedly_safe(), "standard seed {i} claims no safety");
+        let out = s.run();
+        assert_eq!(out.flips, 0, "standard seed {i} flips {} bit(s)", out.flips);
+    }
+}

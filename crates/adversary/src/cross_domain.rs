@@ -1,0 +1,152 @@
+//! Cross-domain hammering: one attacker VM rotating its pressure over
+//! every protection domain on the machine.
+//!
+//! The fleet setting (inter-VM Rowhammer, Kawasaki & Akiyama) differs
+//! from the single-detector campaigns in one crucial way: the attacker
+//! is co-resident with *many* independently protected domains and is
+//! free to pick its target each window — preferring whichever domain is
+//! currently degraded, restarting, or blind. [`CrossDomainHammer`] is
+//! the statistical model of that attacker the fleet campaign drives: it
+//! paces below the stage-1 trip rate against whichever domain it
+//! targets, rotates round-robin over the eligible (non-quarantined)
+//! domains so every DIMM keeps accumulating pressure between its
+//! refreshes, and opportunistically bursts at full rate into any
+//! detector downtime gap or PMU-blind episode the fleet exposes —
+//! reusing [`RestartAwareHammer::burst_activations`] for the gap
+//! arithmetic so both campaigns charge downtime identically.
+
+use crate::{RestartAwareHammer, EST_STAGE1_WINDOW_CYCLES};
+
+/// The fleet campaign's cross-domain attacker model.
+///
+/// Unlike the op-tape attacks, this adversary is evaluated at window
+/// granularity: the fleet engine asks, for each window, which domain the
+/// attacker pressures and with how many aggressor activations, then
+/// charges those activations against the domain's detector evidence and
+/// weak-cell thresholds. Targeting is a pure function of the window
+/// index and the eligibility mask, so a fleet cell replays byte-for-byte
+/// regardless of thread schedule.
+#[derive(Debug, Clone)]
+pub struct CrossDomainHammer {
+    paced_activations: u64,
+    window_cycles: u64,
+}
+
+impl CrossDomainHammer {
+    /// Paces just under the baseline stage-1 trip rate (19.5K misses per
+    /// 6 ms window), the same steady-state rate as
+    /// [`RestartAwareHammer`].
+    #[must_use]
+    pub fn new() -> Self {
+        CrossDomainHammer {
+            paced_activations: 19_500,
+            window_cycles: EST_STAGE1_WINDOW_CYCLES,
+        }
+    }
+
+    /// Overrides the paced per-window activation budget.
+    #[must_use]
+    pub fn with_paced_activations(mut self, activations: u64) -> Self {
+        self.paced_activations = activations.max(1);
+        self
+    }
+
+    /// The paced per-window activation budget against the targeted
+    /// domain.
+    #[must_use]
+    pub fn paced_activations(&self) -> u64 {
+        self.paced_activations
+    }
+
+    /// The domain targeted at `window` given the eligibility mask
+    /// (`eligible[d]` is false for quarantined or outaged domains), or
+    /// `None` when no domain is attackable. Round-robin over the
+    /// eligible set: the `window mod k`-th eligible domain of `k`.
+    #[must_use]
+    pub fn target_at(&self, window: u64, eligible: &[bool]) -> Option<usize> {
+        let k = eligible.iter().filter(|&&e| e).count() as u64;
+        if k == 0 {
+            return None;
+        }
+        let pick = window % k;
+        eligible
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e)
+            .nth(usize::try_from(pick).expect("pick < k <= eligible.len()"))
+            .map(|(d, _)| d)
+    }
+
+    /// Activations landed on the target during one window in which the
+    /// domain's detector is blind (PMU loss before blanket refresh
+    /// engages): a full-rate burst for the whole window, via the same
+    /// gap arithmetic as [`RestartAwareHammer::burst_activations`].
+    #[must_use]
+    pub fn blind_window_activations(&self) -> u64 {
+        RestartAwareHammer::burst_activations(self.window_cycles)
+    }
+
+    /// Activations landed inside a recovery gap of `gap` cycles.
+    #[must_use]
+    pub fn gap_activations(gap: u64) -> u64 {
+        RestartAwareHammer::burst_activations(gap)
+    }
+}
+
+impl Default for CrossDomainHammer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EST_ATTACK_ACCESS_CYCLES;
+
+    #[test]
+    fn rotation_visits_every_eligible_domain_equally() {
+        let h = CrossDomainHammer::new();
+        let eligible = [true, true, true, true];
+        let mut hits = [0u64; 4];
+        for w in 0..4_000 {
+            hits[h.target_at(w, &eligible).unwrap()] += 1;
+        }
+        assert_eq!(hits, [1_000; 4]);
+    }
+
+    #[test]
+    fn rotation_skips_ineligible_domains() {
+        let h = CrossDomainHammer::new();
+        let eligible = [true, false, true, false];
+        for w in 0..100 {
+            let t = h.target_at(w, &eligible).unwrap();
+            assert!(t == 0 || t == 2, "targeted ineligible domain {t}");
+        }
+        assert!(h.target_at(0, &[false, false]).is_none());
+        assert!(h.target_at(0, &[]).is_none());
+    }
+
+    #[test]
+    fn targeting_is_a_pure_function_of_window_and_mask() {
+        let h = CrossDomainHammer::new();
+        let eligible = [true, false, true, true];
+        for w in 0..500 {
+            assert_eq!(h.target_at(w, &eligible), h.target_at(w, &eligible));
+        }
+    }
+
+    #[test]
+    fn blind_windows_burst_at_the_gap_rate() {
+        let h = CrossDomainHammer::new();
+        assert_eq!(
+            h.blind_window_activations(),
+            EST_STAGE1_WINDOW_CYCLES / EST_ATTACK_ACCESS_CYCLES
+        );
+        assert!(h.blind_window_activations() > 4 * h.paced_activations());
+        assert_eq!(
+            CrossDomainHammer::gap_activations(4_000_000),
+            4_000_000 / 187
+        );
+    }
+}

@@ -24,6 +24,10 @@
 //!   and hammers flat out inside known detector downtime gaps (crash
 //!   recovery windows); the `soak` campaign in `anvil-bench` charges its
 //!   gap bursts against every injected restart.
+//! * [`CrossDomainHammer`] — the fleet campaign's window-granular
+//!   attacker model: rotates paced pressure over every non-quarantined
+//!   protection domain on the machine and bursts full-rate into any
+//!   downtime gap or PMU-blind episode a domain exposes.
 //!
 //! All strategies implement [`anvil_attacks::Attack`], so they run under
 //! the platform in `anvil-core` exactly like the paper's attacks. The
@@ -32,6 +36,7 @@
 
 mod camouflage;
 mod common;
+mod cross_domain;
 mod distributed;
 mod duty_cycle;
 mod paced;
@@ -39,6 +44,7 @@ mod restart_aware;
 mod spec;
 
 pub use camouflage::CamouflageHammer;
+pub use cross_domain::CrossDomainHammer;
 pub use distributed::DistributedManySided;
 pub use duty_cycle::DutyCycleHammer;
 pub use paced::PacedHammer;

@@ -91,6 +91,9 @@ fn main() {
              defends — the campaign demonstrates nothing."
         }
     );
+    for p in &out.panics {
+        eprintln!("evasion: {p}");
+    }
     write_json("evasion", &out.json);
     if out.hardened_failures > 0 || !out.demonstrated {
         std::process::exit(1);

@@ -106,6 +106,9 @@ fn main() {
             "WARNING: some cells flipped bits or showed no protection signal."
         }
     );
+    for p in &out.panics {
+        eprintln!("resilience: {p}");
+    }
     write_json("resilience", &out.json);
     if out.unprotected > 0 {
         std::process::exit(1);

@@ -64,7 +64,15 @@ fn main() {
         cfg.lifecycle.crash_rate, cfg.reload_every
     );
     let out = campaigns::soak(&cfg, seed, args.smoke, args.threads);
-    let s = &out.summary;
+    let Some(s) = &out.summary else {
+        // The soak cell itself died: the panic is recorded as typed data
+        // in the JSON record instead of aborting the campaign binary.
+        for p in &out.panics {
+            eprintln!("soak: {p}");
+        }
+        write_json("soak", &out.json);
+        std::process::exit(1);
+    };
 
     let mut table = Table::new(
         "Soak campaign: supervised lifetime under crash/stall/corruption faults",
@@ -124,7 +132,7 @@ fn main() {
     );
 
     write_json("soak", &out.json);
-    if !s.holds() {
+    if !out.holds() {
         std::process::exit(1);
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::harness::{
     detection_run, evasion_resilience_run, resilience_run, run_cells, run_cells_checked,
-    AttackKind, DetectionSummary, ResilienceSummary,
+    AttackKind, CellPanic, DetectionSummary, ResilienceSummary,
 };
 use anvil_adversary::{CamouflageHammer, DistributedManySided, DutyCycleHammer, PacedHammer};
 use anvil_analyze::{extract_witness, verify_archetype, Archetype, SymbolicBound, Witness};
@@ -22,10 +22,31 @@ use anvil_core::{
 };
 use anvil_dram::DisturbanceConfig;
 use anvil_faults::{FaultPlan, FaultScenario};
+use anvil_fleet::{run_machine, FleetConfig, FleetRisk, MachineSummary};
 use anvil_fuzz::{run_campaign, FuzzOptions, FuzzReport, Scenario, ScenarioOutcome};
 use anvil_mem::MemoryConfig;
 use anvil_runtime::{soak as soak_engine, SoakConfig, SoakSummary};
 use serde_json::{json, Value};
+
+/// Splits [`run_cells_checked`] results into the completed cells and the
+/// panicked ones, preserving submission order in both halves. Every
+/// campaign runs its cells through this so a single diverging cell
+/// surfaces as typed data in the record instead of aborting the whole
+/// matrix.
+fn split_cells<T>(results: Vec<Result<T, CellPanic>>) -> (Vec<T>, Vec<CellPanic>) {
+    let mut cells = Vec::with_capacity(results.len());
+    let mut panics = Vec::new();
+    for r in results {
+        match r {
+            Ok(v) => cells.push(v),
+            Err(p) => {
+                eprintln!("  warning: {p}");
+                panics.push(p);
+            }
+        }
+    }
+    (cells, panics)
+}
 
 // ---------------------------------------------------------------------------
 // Resilience
@@ -41,6 +62,9 @@ pub struct ResilienceOutcome {
     pub cross_cells: Vec<ResilienceSummary>,
     /// Cells that flipped bits or showed no protection signal.
     pub unprotected: u32,
+    /// Cells that panicked instead of completing (counted as
+    /// unprotected; always a merge-gate failure).
+    pub panics: Vec<CellPanic>,
     /// The machine-readable record.
     pub json: Value,
 }
@@ -76,7 +100,7 @@ pub fn resilience(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> Resili
             }
         }
     }
-    let cells = run_cells(threads, main_cells);
+    let (cells, mut panics) = split_cells(run_cells_checked(threads, main_cells));
 
     // Fault × evasion cross-matrix: adaptive adversaries while the
     // substrate degrades, against the hardened detector on future DRAM.
@@ -116,9 +140,12 @@ pub fn resilience(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> Resili
             }));
         }
     }
-    let cross_cells = run_cells(threads, cross_jobs);
+    let (cross_cells, cross_panics) = split_cells(run_cells_checked(threads, cross_jobs));
+    panics.extend(cross_panics);
 
-    let mut unprotected = 0u32;
+    // A panicked cell proved nothing about its scenario, so it counts
+    // against the campaign exactly like an unprotected one.
+    let mut unprotected = u32::try_from(panics.len()).unwrap_or(u32::MAX);
     for s in cells.iter().chain(&cross_cells) {
         if !s.protected {
             unprotected += 1;
@@ -126,12 +153,14 @@ pub fn resilience(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> Resili
     }
     let cell_values: Vec<Value> = cells.iter().map(serde_json::to_value).collect();
     let cross_values: Vec<Value> = cross_cells.iter().map(serde_json::to_value).collect();
+    let panic_values: Vec<Value> = panics.iter().map(serde_json::to_value).collect();
     let json = json!({
         "experiment": "resilience",
         "seed": seed,
         "run_ms": run_ms,
         "smoke": smoke,
         "unprotected": unprotected,
+        "cell_panics": panic_values,
         "cells": cell_values,
         "cross_cells": cross_values,
     });
@@ -139,6 +168,7 @@ pub fn resilience(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> Resili
         cells,
         cross_cells,
         unprotected,
+        panics,
         json,
     }
 }
@@ -294,6 +324,9 @@ pub struct EvasionOutcome {
     pub hardened_failures: u32,
     /// Whether the hardened detector defended a cell the baseline lost.
     pub demonstrated: bool,
+    /// Cells that panicked instead of completing (counted against the
+    /// detector they were probing; always a merge-gate failure).
+    pub panics: Vec<CellPanic>,
     /// The machine-readable record.
     pub json: Value,
 }
@@ -369,29 +402,34 @@ pub fn evasion(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> EvasionOu
             }));
         }
     }
-    let cells = run_cells(threads, jobs);
+    let results = run_cells_checked(threads, jobs);
 
     // The defended/lost bookkeeping folds over the collected cells in
     // matrix order — (baseline, hardened) per strategy — exactly as the
-    // serial loop used to update it in place.
+    // serial loop used to update it in place. A panicked cell proved
+    // nothing, so it counts as a loss for the detector it was probing
+    // (known from its position in the pair, even without a result).
     let mut hardened_failures = 0u32;
     let mut baseline_losses = 0u32;
     let mut demonstrated = false;
-    for pair in cells.chunks(detectors.len()) {
+    for pair in results.chunks(detectors.len()) {
         let mut baseline_lost = false;
-        for cell in pair {
-            if cell.detector == "hardened" {
-                if !cell.defended {
+        for (slot, result) in pair.iter().enumerate() {
+            let hardened = detectors[slot].0 == "hardened";
+            let defended = result.as_ref().is_ok_and(|cell| cell.defended);
+            if hardened {
+                if !defended {
                     hardened_failures += 1;
                 } else if baseline_lost {
                     demonstrated = true;
                 }
-            } else if !cell.defended {
+            } else if !defended {
                 baseline_lost = true;
                 baseline_losses += 1;
             }
         }
     }
+    let (cells, panics) = split_cells(results);
 
     let cell_values: Vec<Value> = cells
         .iter()
@@ -428,6 +466,7 @@ pub fn evasion(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> EvasionOu
         "baseline_losses": baseline_losses,
         "hardened_failures": hardened_failures,
         "demonstrated": demonstrated,
+        "cell_panics": panics.iter().map(serde_json::to_value).collect::<Vec<Value>>(),
         "cells": cell_values,
     });
     EvasionOutcome {
@@ -435,6 +474,7 @@ pub fn evasion(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> EvasionOu
         baseline_losses,
         hardened_failures,
         demonstrated,
+        panics,
         json,
     }
 }
@@ -756,10 +796,21 @@ pub fn detection_matrix(run_ms: f64, threads: usize) -> DetectionMatrixOutcome {
 /// Everything the `soak` binary needs.
 #[derive(Debug)]
 pub struct SoakOutcome {
-    /// The campaign summary.
-    pub summary: SoakSummary,
+    /// The campaign summary, or `None` when the soak cell itself
+    /// panicked (recorded in [`SoakOutcome::panics`]).
+    pub summary: Option<SoakSummary>,
+    /// The panic, if the soak cell died instead of completing.
+    pub panics: Vec<CellPanic>,
     /// The machine-readable record.
     pub json: Value,
+}
+
+impl SoakOutcome {
+    /// The campaign gate: the cell completed and its summary holds.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.panics.is_empty() && self.summary.as_ref().is_some_and(SoakSummary::holds)
+    }
 }
 
 /// Runs the supervised-lifetime soak campaign; see the `soak` binary
@@ -771,8 +822,9 @@ pub struct SoakOutcome {
 /// accepted for interface uniformity (and so the thread-count determinism
 /// tests cover it) but cannot subdivide the run.
 pub fn soak(cfg: &SoakConfig, seed: u64, smoke: bool, threads: usize) -> SoakOutcome {
-    let mut results = run_cells(threads, vec![|| soak_engine::run(cfg)]);
-    let s = results.remove(0);
+    let (mut cells, panics) =
+        split_cells(run_cells_checked(threads, vec![|| soak_engine::run(cfg)]));
+    let s = (!cells.is_empty()).then(|| cells.remove(0));
     let json = json!({
         "experiment": "soak",
         "seed": seed,
@@ -790,9 +842,14 @@ pub fn soak(cfg: &SoakConfig, seed: u64, smoke: bool, threads: usize) -> SoakOut
             "backoff_cap": cfg.runtime.backoff_cap,
         },
         "summary": serde_json::to_value(&s),
-        "holds": s.holds(),
+        "cell_panics": panics.iter().map(serde_json::to_value).collect::<Vec<Value>>(),
+        "holds": panics.is_empty() && s.as_ref().is_some_and(SoakSummary::holds),
     });
-    SoakOutcome { summary: s, json }
+    SoakOutcome {
+        summary: s,
+        panics,
+        json,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -890,6 +947,71 @@ pub fn fuzz(smoke: bool, seed: u64, threads: usize) -> FuzzOutcome {
         standard,
         canary,
         violations,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------------
+
+/// Everything the `fleet` binary needs: the Monte Carlo risk fold, the
+/// per-machine summaries, and the exact JSON record for
+/// `results/fleet.json`.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The fleet-wide risk verdict.
+    pub risk: FleetRisk,
+    /// Per-machine summaries, in machine-index order (panicked machines
+    /// are absent here and present in [`FleetOutcome::panics`]).
+    pub machines: Vec<MachineSummary>,
+    /// Machine cells that panicked instead of completing. Counted in
+    /// [`FleetRisk::cell_panics`]; always a merge-gate failure.
+    pub panics: Vec<CellPanic>,
+    /// The machine-readable record.
+    pub json: Value,
+}
+
+/// Runs the fleet-scale Monte Carlo campaign; see the `fleet` binary
+/// docs. One machine is one pure cell of `(cfg, machine_index)`:
+/// [`run_machine`] fans across up to `threads` workers via
+/// [`run_cells_checked`] and the summaries fold into [`FleetRisk`] in
+/// submission order, so the record is byte-for-byte identical at any
+/// thread count.
+pub fn fleet(cfg: &FleetConfig, smoke: bool, threads: usize) -> FleetOutcome {
+    let mut jobs: Vec<Box<dyn FnOnce() -> MachineSummary + Send>> = Vec::new();
+    for machine in 0..cfg.machines {
+        let cfg = *cfg;
+        jobs.push(Box::new(move || {
+            let m = run_machine(&cfg, machine);
+            let exposure: u64 = m.domains.iter().map(|d| d.exposure_flips).sum();
+            let undeclared: u64 = m.domains.iter().map(|d| d.undeclared_flips).sum();
+            eprintln!(
+                "  [machine {machine}] outages {}, pmu episodes {}, blind windows {}, \
+                 exposure flips {exposure}, undeclared flips {undeclared}",
+                m.outages, m.pmu_episodes, m.blind_windows
+            );
+            m
+        }));
+    }
+    let (machines, panics) = split_cells(run_cells_checked(threads, jobs));
+    let risk = FleetRisk::aggregate(cfg, &machines, panics.len() as u64);
+
+    let machine_values: Vec<Value> = machines.iter().map(serde_json::to_value).collect();
+    let json = json!({
+        "experiment": "fleet",
+        "seed": cfg.seed,
+        "smoke": smoke,
+        "config": serde_json::to_value(cfg),
+        "risk": serde_json::to_value(&risk),
+        "cell_panics": panics.iter().map(serde_json::to_value).collect::<Vec<Value>>(),
+        "machines": machine_values,
+        "holds": risk.holds(),
+    });
+    FleetOutcome {
+        risk,
+        machines,
+        panics,
         json,
     }
 }

@@ -54,9 +54,10 @@ pub fn windows_from_args() -> Option<u64> {
 /// each binary re-scanning `std::env::args()` ad hoc.
 ///
 /// Recognized flags: `--quick`, `--smoke`, `--windows N`, `--seed N`,
-/// `--threads N`. Unknown arguments are ignored (forward compatibility
-/// with binary-specific flags). Malformed or out-of-range values warn on
-/// stderr, naming the bad value, and fall back to the default.
+/// `--machines N`, `--domains N`, `--threads N`. Unknown arguments are
+/// ignored (forward compatibility with binary-specific flags). Malformed
+/// or out-of-range values warn on stderr, naming the bad value, and fall
+/// back to the default.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignArgs {
     /// `--quick`: trade precision for speed (see [`Scale`]).
@@ -68,6 +69,13 @@ pub struct CampaignArgs {
     pub windows: Option<u64>,
     /// `--seed N`: campaign seed override (`None`: campaign default).
     pub seed: Option<u64>,
+    /// `--machines N`: fleet machine count override, `1..=4096`
+    /// (`None`: campaign default). Only the `fleet` binary reads it.
+    pub machines: Option<u64>,
+    /// `--domains N`: per-machine protection-domain count override,
+    /// `1..=64` (`None`: campaign default). Only the `fleet` binary
+    /// reads it.
+    pub domains: Option<u64>,
     /// `--threads N`: worker threads for [`run_cells`]. Defaults to the
     /// machine's available parallelism — campaign output is byte-for-byte
     /// independent of this value, so there is no reproducibility reason to
@@ -111,6 +119,23 @@ impl CampaignArgs {
                 Some,
             )
         });
+        // Bounded counts parse with an explicit range so a fat-fingered
+        // `--machines 48000` warns instead of silently launching a
+        // campaign three orders of magnitude larger than intended.
+        let bounded = |flag: &'static str, lo: u64, hi: u64| {
+            value_of(flag).and_then(|raw| match raw.parse::<u64>() {
+                Ok(n) if (lo..=hi).contains(&n) => Some(n),
+                _ => {
+                    eprintln!(
+                        "warning: ignoring `{flag} {raw}`: expected an integer in \
+                         {lo}..={hi}, using the campaign default"
+                    );
+                    None
+                }
+            })
+        };
+        let machines = bounded("--machines", 1, 4_096);
+        let domains = bounded("--domains", 1, 64);
         let threads =
             value_of("--threads").map_or_else(default_threads, |raw| match raw.parse::<usize>() {
                 Ok(n) if n > 0 => n,
@@ -127,6 +152,8 @@ impl CampaignArgs {
             smoke: args.iter().any(|a| a == "--smoke"),
             windows,
             seed,
+            machines,
+            domains,
             threads,
         }
     }

@@ -94,6 +94,49 @@ fn campaign_args_reject_malformed_values() {
 }
 
 #[test]
+fn campaign_args_bound_fleet_machine_and_domain_counts() {
+    let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
+
+    let args = CampaignArgs::parse(to_args("--machines 48 --domains 8"));
+    assert_eq!(args.machines, Some(48));
+    assert_eq!(args.domains, Some(8));
+    assert_eq!(
+        CampaignArgs::parse(to_args("--machines 1")).machines,
+        Some(1)
+    );
+    assert_eq!(
+        CampaignArgs::parse(to_args("--machines 4096")).machines,
+        Some(4096)
+    );
+    assert_eq!(
+        CampaignArgs::parse(to_args("--domains 64")).domains,
+        Some(64)
+    );
+
+    // Out-of-range, zero, negative, malformed, and missing values all
+    // warn (naming the bad value, on stderr) and fall back to None.
+    for bad in [
+        "--machines 0",
+        "--machines 4097",
+        "--machines -3",
+        "--machines lots",
+        "--machines",
+    ] {
+        let args = CampaignArgs::parse(to_args(bad));
+        assert_eq!(args.machines, None, "{bad:?} must fall back to default");
+    }
+    for bad in ["--domains 0", "--domains 65", "--domains four"] {
+        let args = CampaignArgs::parse(to_args(bad));
+        assert_eq!(args.domains, None, "{bad:?} must fall back to default");
+    }
+
+    // Absent flags stay None so campaigns apply their own defaults.
+    let args = CampaignArgs::parse(to_args("--smoke"));
+    assert_eq!(args.machines, None);
+    assert_eq!(args.domains, None);
+}
+
+#[test]
 fn fuzz_campaign_is_thread_count_independent() {
     // Candidate batches are generated before dispatch and results fold
     // in submission order, so the whole coverage-guided loop — RNG

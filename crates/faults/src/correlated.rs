@@ -1,0 +1,273 @@
+//! Correlated fault domains: failures that hit many detectors at once.
+//!
+//! The per-detector lifecycle faults ([`LifecycleFaults`]) model
+//! *independent* crashes, stalls, and checkpoint corruption. Production
+//! fleets also fail in correlated ways: a kernel panic takes down every
+//! detector on the node at the same instant, a PMU driver regression
+//! blinds every domain sharing the machine's performance-monitoring
+//! hardware, and a memory-controller firmware hiccup postpones the
+//! auto-refresh of every DIMM behind one channel. These are the failure
+//! modes that turn "one detector's downtime budget" into a fleet-risk
+//! question, so they get their own injector with per-site forked
+//! [`FaultRng`] streams — adding a draw to one site never perturbs the
+//! schedule of another, and a fleet campaign replays byte-for-byte from
+//! its seed.
+//!
+//! [`LifecycleFaults`]: crate::LifecycleFaults
+
+use crate::rng::FaultRng;
+use serde::{Deserialize, Serialize};
+
+/// Stream tags for the correlated fault sites (distinct from the
+/// per-detector lifecycle site tags so the streams never collide).
+const OUTAGE_SITE: u64 = 0x101;
+const PMU_SITE: u64 = 0x102;
+const REFRESH_SITE_BASE: u64 = 0x180;
+
+/// Intensities and episode lengths of the machine-scoped correlated
+/// faults. All rates are per detector window; `none` disables every
+/// source (and, because disabled draws consume nothing, leaves the
+/// streams of enabled sources untouched).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedFaults {
+    /// Probability per window that the whole machine goes down (kernel
+    /// panic, power event): every detector on the node stops, and so do
+    /// its co-resident tenants — including the attacker VM.
+    pub machine_outage_rate: f64,
+    /// Length of a machine outage, in detector windows.
+    pub outage_windows: u64,
+    /// Probability per window that the machine's PMU hardware disappears
+    /// (driver unload, virtualization fault): every domain's detector is
+    /// blind until the episode ends.
+    pub pmu_loss_rate: f64,
+    /// Length of a PMU-loss episode, in detector windows.
+    pub pmu_loss_windows: u64,
+    /// Probability per refresh epoch, per channel, that the shared
+    /// refresh controller postpones the epoch's auto-refresh for every
+    /// DIMM on that channel (DDR3 legally allows up to 8 tREFI of
+    /// postponement).
+    pub refresh_delay_rate: f64,
+    /// Extra windows a postponed refresh epoch lasts on the affected
+    /// channel.
+    pub refresh_delay_windows: u64,
+    /// Probability per checkpoint write that the write tears: only a
+    /// prefix of the bytes reaches stable storage (power loss mid-write).
+    /// Consumed by [`LifecycleInjector::with_torn_writes`].
+    ///
+    /// [`LifecycleInjector::with_torn_writes`]: crate::LifecycleInjector::with_torn_writes
+    pub torn_write_rate: f64,
+}
+
+impl CorrelatedFaults {
+    /// Every correlated source disabled.
+    #[must_use]
+    pub fn none() -> Self {
+        CorrelatedFaults {
+            machine_outage_rate: 0.0,
+            outage_windows: 0,
+            pmu_loss_rate: 0.0,
+            pmu_loss_windows: 0,
+            refresh_delay_rate: 0.0,
+            refresh_delay_windows: 0,
+            torn_write_rate: 0.0,
+        }
+    }
+
+    /// The fleet campaign's accelerated default intensities: outages and
+    /// PMU losses are drawn orders of magnitude more often than real
+    /// hardware fails, so a seconds-long simulated run still exercises
+    /// every correlated path several times per machine.
+    #[must_use]
+    pub fn standard() -> Self {
+        CorrelatedFaults {
+            machine_outage_rate: 4e-4,
+            outage_windows: 24,
+            pmu_loss_rate: 4e-4,
+            pmu_loss_windows: 12,
+            refresh_delay_rate: 0.05,
+            refresh_delay_windows: 1,
+            torn_write_rate: 0.02,
+        }
+    }
+}
+
+/// Stateful injector for the machine-scoped correlated faults.
+///
+/// One instance serves one simulated machine. Each fault site draws from
+/// its own forked stream in a fixed per-window order (outage, then PMU
+/// loss, then one refresh draw per channel per epoch boundary), so a
+/// machine's correlated schedule is a pure function of its seed.
+#[derive(Debug, Clone)]
+pub struct CorrelatedInjector {
+    cfg: CorrelatedFaults,
+    outage_rng: FaultRng,
+    pmu_rng: FaultRng,
+    refresh_rngs: Vec<FaultRng>,
+    outages: u64,
+    pmu_losses: u64,
+    refresh_delays: u64,
+}
+
+impl CorrelatedInjector {
+    /// Creates the injector for a machine with `channels` memory
+    /// channels, forking one stream per fault site from `rng`.
+    #[must_use]
+    pub fn new(cfg: CorrelatedFaults, rng: &FaultRng, channels: u32) -> Self {
+        CorrelatedInjector {
+            cfg,
+            outage_rng: rng.fork(OUTAGE_SITE),
+            pmu_rng: rng.fork(PMU_SITE),
+            refresh_rngs: (0..channels)
+                .map(|c| rng.fork(REFRESH_SITE_BASE + u64::from(c)))
+                .collect(),
+            outages: 0,
+            pmu_losses: 0,
+            refresh_delays: 0,
+        }
+    }
+
+    /// The configured intensities.
+    #[must_use]
+    pub fn config(&self) -> &CorrelatedFaults {
+        &self.cfg
+    }
+
+    /// Draws whether a machine-wide outage starts this window.
+    pub fn outage_starts(&mut self) -> bool {
+        if self.outage_rng.chance(self.cfg.machine_outage_rate) {
+            self.outages += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws whether a PMU-loss episode starts this window.
+    pub fn pmu_loss_starts(&mut self) -> bool {
+        if self.pmu_rng.chance(self.cfg.pmu_loss_rate) {
+            self.pmu_losses += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws, at a refresh-epoch boundary, whether `channel`'s shared
+    /// refresh controller postpones this epoch for every DIMM behind it.
+    pub fn refresh_delayed(&mut self, channel: usize) -> bool {
+        let Some(rng) = self.refresh_rngs.get_mut(channel) else {
+            return false;
+        };
+        if rng.chance(self.cfg.refresh_delay_rate) {
+            self.refresh_delays += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Machine outages started so far.
+    #[must_use]
+    pub fn outages(&self) -> u64 {
+        self.outages
+    }
+
+    /// PMU-loss episodes started so far.
+    #[must_use]
+    pub fn pmu_losses(&self) -> u64 {
+        self.pmu_losses
+    }
+
+    /// Channel refresh postponements drawn so far.
+    #[must_use]
+    pub fn refresh_delays(&self) -> u64 {
+        self.refresh_delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cranked() -> CorrelatedFaults {
+        CorrelatedFaults {
+            machine_outage_rate: 0.1,
+            outage_windows: 5,
+            pmu_loss_rate: 0.2,
+            pmu_loss_windows: 3,
+            refresh_delay_rate: 0.3,
+            refresh_delay_windows: 1,
+            torn_write_rate: 0.1,
+        }
+    }
+
+    #[test]
+    fn sites_draw_at_their_configured_rates() {
+        let mut inj = CorrelatedInjector::new(cranked(), &FaultRng::new(7), 2);
+        let mut outages = 0u64;
+        let mut losses = 0u64;
+        let mut delays = 0u64;
+        for _ in 0..10_000 {
+            if inj.outage_starts() {
+                outages += 1;
+            }
+            if inj.pmu_loss_starts() {
+                losses += 1;
+            }
+            for c in 0..2 {
+                if inj.refresh_delayed(c) {
+                    delays += 1;
+                }
+            }
+        }
+        assert_eq!(inj.outages(), outages);
+        assert_eq!(inj.pmu_losses(), losses);
+        assert_eq!(inj.refresh_delays(), delays);
+        assert!((700..=1_300).contains(&outages), "{outages}");
+        assert!((1_600..=2_400).contains(&losses), "{losses}");
+        assert!((5_200..=6_800).contains(&delays), "{delays}");
+    }
+
+    #[test]
+    fn disabled_sources_consume_nothing() {
+        // A config with only PMU loss enabled must draw the same PMU
+        // schedule as one with everything enabled: per-site forked
+        // streams plus draw-free disabled sites.
+        let everything = CorrelatedInjector::new(cranked(), &FaultRng::new(9), 1);
+        let mut only_pmu_cfg = CorrelatedFaults::none();
+        only_pmu_cfg.pmu_loss_rate = cranked().pmu_loss_rate;
+        only_pmu_cfg.pmu_loss_windows = cranked().pmu_loss_windows;
+        let only_pmu = CorrelatedInjector::new(only_pmu_cfg, &FaultRng::new(9), 1);
+        let mut a = everything;
+        let mut b = only_pmu;
+        for _ in 0..2_000 {
+            let _ = a.outage_starts();
+            let _ = a.refresh_delayed(0);
+            let _ = b.outage_starts();
+            let _ = b.refresh_delayed(0);
+            assert_eq!(a.pmu_loss_starts(), b.pmu_loss_starts());
+        }
+        assert_eq!(b.outages(), 0);
+        assert_eq!(b.refresh_delays(), 0);
+    }
+
+    #[test]
+    fn replays_identically_from_the_same_seed() {
+        let mut a = CorrelatedInjector::new(cranked(), &FaultRng::new(21), 3);
+        let mut b = CorrelatedInjector::new(cranked(), &FaultRng::new(21), 3);
+        for w in 0..3_000usize {
+            assert_eq!(a.outage_starts(), b.outage_starts(), "window {w}");
+            assert_eq!(a.pmu_loss_starts(), b.pmu_loss_starts());
+            assert_eq!(a.refresh_delayed(w % 3), b.refresh_delayed(w % 3));
+        }
+    }
+
+    #[test]
+    fn out_of_range_channel_never_delays() {
+        let mut inj = CorrelatedInjector::new(cranked(), &FaultRng::new(4), 1);
+        for _ in 0..100 {
+            assert!(!inj.refresh_delayed(7));
+        }
+        assert_eq!(inj.refresh_delays(), 0);
+    }
+}

@@ -207,12 +207,15 @@ impl DelayInjector {
 #[derive(Debug, Clone)]
 pub struct LifecycleInjector {
     cfg: LifecycleFaults,
+    torn_rate: f64,
     rng: FaultRng,
     crashes: u64,
     stalls: u64,
     total_stall: u64,
     worst_stall: u64,
     corrupted: u64,
+    torn: u64,
+    force_crash: bool,
 }
 
 impl LifecycleInjector {
@@ -221,17 +224,45 @@ impl LifecycleInjector {
     pub fn new(cfg: LifecycleFaults, rng: FaultRng) -> Self {
         LifecycleInjector {
             cfg,
+            torn_rate: 0.0,
             rng,
             crashes: 0,
             stalls: 0,
             total_stall: 0,
             worst_stall: 0,
             corrupted: 0,
+            torn: 0,
+            force_crash: false,
         }
+    }
+
+    /// Enables torn checkpoint writes at `rate` per write: a torn write
+    /// persists only a prefix of the checkpoint bytes (power loss
+    /// mid-write). The rate lives outside [`LifecycleFaults`] so the
+    /// serialized plan format — and every committed fault schedule
+    /// derived from it — is unchanged; a zero rate draws nothing.
+    #[must_use]
+    pub fn with_torn_writes(mut self, rate: f64) -> Self {
+        self.torn_rate = rate;
+        self
+    }
+
+    /// Forces the next [`crash_now`](Self::crash_now) to report a crash
+    /// without consuming a draw — the hook fleet engines use to crash
+    /// every detector on a machine at the same instant (the machine-wide
+    /// outage recovery path), while keeping the probabilistic schedule
+    /// aligned.
+    pub fn force_crash(&mut self) {
+        self.force_crash = true;
     }
 
     /// Decides whether the detector panics at this service.
     pub fn crash_now(&mut self) -> bool {
+        if self.force_crash {
+            self.force_crash = false;
+            self.crashes += 1;
+            return true;
+        }
         if self.rng.chance(self.cfg.crash_rate) {
             self.crashes += 1;
             true
@@ -287,6 +318,23 @@ impl LifecycleInjector {
         self.corrupted += 1;
     }
 
+    /// Draws the per-checkpoint-write torn-write chance (see
+    /// [`with_torn_writes`](Self::with_torn_writes)). A zero rate
+    /// consumes nothing, so callers may draw unconditionally without
+    /// perturbing schedules recorded before torn writes existed. On
+    /// `true`, follow up with [`tear_in_place`](Self::tear_in_place).
+    pub fn tear_fires(&mut self) -> bool {
+        self.rng.chance(self.torn_rate)
+    }
+
+    /// Tears the checkpoint write: truncates `bytes` to a drawn prefix
+    /// (possibly empty — the write never started) and counts the tear.
+    pub fn tear_in_place(&mut self, bytes: &mut Vec<u8>) {
+        let keep = self.rng.below(bytes.len() as u64) as usize;
+        bytes.truncate(keep);
+        self.torn += 1;
+    }
+
     /// Crashes injected so far.
     #[must_use]
     pub fn crashes(&self) -> u64 {
@@ -315,6 +363,12 @@ impl LifecycleInjector {
     #[must_use]
     pub fn corruptions(&self) -> u64 {
         self.corrupted
+    }
+
+    /// Checkpoint writes torn so far.
+    #[must_use]
+    pub fn torn_writes(&self) -> u64 {
+        self.torn
     }
 }
 
@@ -480,6 +534,60 @@ mod tests {
             let mut bb = [0xAAu8; 16];
             assert_eq!(a.corrupt(&mut ba), b.corrupt(&mut bb));
             assert_eq!(ba, bb);
+        }
+    }
+
+    #[test]
+    fn forced_crashes_skip_the_draw_and_count() {
+        let cfg = LifecycleFaults {
+            crash_rate: 0.0,
+            stall_rate: 0.0,
+            max_stall: 0,
+            corrupt_rate: 0.0,
+        };
+        let mut inj = LifecycleInjector::new(cfg, FaultRng::new(2).fork(5));
+        assert!(!inj.crash_now());
+        inj.force_crash();
+        assert!(inj.crash_now());
+        assert!(!inj.crash_now(), "the force flag is one-shot");
+        assert_eq!(inj.crashes(), 1);
+    }
+
+    #[test]
+    fn torn_writes_truncate_to_a_prefix() {
+        let cfg = LifecycleFaults {
+            crash_rate: 0.0,
+            stall_rate: 0.0,
+            max_stall: 0,
+            corrupt_rate: 0.0,
+        };
+        let mut inj = LifecycleInjector::new(cfg, FaultRng::new(13).fork(5)).with_torn_writes(1.0);
+        let pristine: Vec<u8> = (0..64).collect();
+        for _ in 0..200 {
+            assert!(inj.tear_fires());
+            let mut bytes = pristine.clone();
+            inj.tear_in_place(&mut bytes);
+            assert!(bytes.len() < pristine.len(), "a tear must lose bytes");
+            assert_eq!(bytes[..], pristine[..bytes.len()], "tears keep a prefix");
+        }
+        assert_eq!(inj.torn_writes(), 200);
+    }
+
+    #[test]
+    fn zero_torn_rate_consumes_no_draws() {
+        let cfg = LifecycleFaults {
+            crash_rate: 0.3,
+            stall_rate: 0.0,
+            max_stall: 0,
+            corrupt_rate: 0.0,
+        };
+        // Interleaving disabled tear draws must not perturb the crash
+        // schedule: committed soak schedules predate torn writes.
+        let mut plain = LifecycleInjector::new(cfg, FaultRng::new(31).fork(5));
+        let mut tearing = LifecycleInjector::new(cfg, FaultRng::new(31).fork(5));
+        for _ in 0..2_000 {
+            assert!(!tearing.tear_fires());
+            assert_eq!(plain.crash_now(), tearing.crash_now());
         }
     }
 

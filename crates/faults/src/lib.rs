@@ -32,6 +32,10 @@
 //!   [`DelayInjector`]) that the substrates consult at the relevant
 //!   points, plus the stateless [`RefreshPostpone`] that the DRAM
 //!   refresh schedule folds into its lazy last-refresh arithmetic.
+//! * [`CorrelatedFaults`] / [`CorrelatedInjector`] — machine-scoped
+//!   fault domains for fleet campaigns: whole-node outages, PMU-loss
+//!   episodes blinding every detector on the machine, and shared
+//!   refresh-controller postponement hitting every DIMM on a channel.
 //!
 //! ## Quick start
 //!
@@ -47,10 +51,12 @@
 //! assert_eq!(fates, (0..1000).map(|i| again.on_sample(i * 64)).collect::<Vec<_>>());
 //! ```
 
+mod correlated;
 mod inject;
 mod plan;
 mod rng;
 
+pub use correlated::{CorrelatedFaults, CorrelatedInjector};
 pub use inject::{DelayInjector, LifecycleInjector, PebsInjector, SampleFate, TranslationInjector};
 pub use plan::{
     CounterFaults, FaultPlan, FaultScenario, InterruptFaults, LifecycleFaults, PebsFaults,

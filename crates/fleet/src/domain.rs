@@ -1,0 +1,619 @@
+//! One protection domain: a supervised detector, its weak-cell
+//! population, its degradation ladder, and its flip accounting.
+
+use anvil_adversary::CrossDomainHammer;
+use anvil_cache::HitLevel;
+use anvil_core::{AnvilConfig, DetectorStage, GuaranteeEnvelope, ServiceOutcome};
+use anvil_dram::{AddressMapping, BankId, CpuClock, Cycle, DramLocation, RowId};
+use anvil_faults::{FaultRng, LifecycleInjector};
+use anvil_mem::{domain_seed, AccessKind, AccessOutcome, DomainId};
+use anvil_pmu::{EventKind, Pmu, RetiredOp};
+use anvil_runtime::{
+    DegradationLadder, LadderCause, ProtectionLevel, SupervisedOutcome, Supervisor,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::machine::FleetConfig;
+use crate::weakcells::DimmPopulation;
+
+/// Ops materialized per stage-2 window (mirrors the soak engine).
+const SAMPLED_OPS: u64 = 120;
+/// Attacker pid in the simulated traffic mix.
+const ATTACKER_PID: u32 = 7;
+/// Benign streaming pid.
+const BENIGN_PID: u32 = 3;
+/// Injector stream tags: supervisor lifecycle faults and benign traffic
+/// (matching the soak engine's site layout), weak-cell sampling, and the
+/// stride between rebuilt supervisors' fault streams.
+const LIFECYCLE_SITE: u64 = 5;
+const TRAFFIC_SITE: u64 = 6;
+const WEAKCELL_SITE: u64 = 7;
+const REBUILD_STRIDE: u64 = 0x20;
+
+/// What one domain reports at the end of a machine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainSummary {
+    /// Flattened domain index on the machine.
+    pub domain: u32,
+    /// Memory channel the domain sits behind.
+    pub channel: u32,
+    /// The drawn weakest-cell flip threshold.
+    pub min_flip_threshold: u64,
+    /// The drawn weak-cell count.
+    pub weak_cells: u64,
+    /// Whether the DIMM is a sub-envelope outlier (pinned to blanket
+    /// refresh from boot).
+    pub sub_envelope: bool,
+    /// The ladder rung the domain ended at (`snake_case` name).
+    pub final_level: String,
+    /// Flips charged outside declared degradation windows. The fleet
+    /// gate: must be zero everywhere.
+    pub undeclared_flips: u64,
+    /// Flips charged inside declared degradation windows (PMU-blind
+    /// exposure before blanket refresh engaged). Feeds the risk model.
+    pub exposure_flips: u64,
+    /// Stage-1 threshold crossings.
+    pub threshold_crossings: u64,
+    /// Stage-2 windows that flagged at least one aggressor.
+    pub detections: u64,
+    /// Victim rows selectively refreshed.
+    pub selective_refreshes: u64,
+    /// Blanket bank refreshes applied by the degraded rungs.
+    pub blanket_refreshes: u64,
+    /// Supervised service calls.
+    pub services: u64,
+    /// Detector crashes captured (injected plus forced by outages).
+    pub crashes: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Restarts that fell back to a cold start.
+    pub cold_starts: u64,
+    /// Checkpoint writes torn mid-write.
+    pub checkpoints_torn: u64,
+    /// Restores that rejected the stored checkpoint.
+    pub checkpoint_rejections: u64,
+    /// Largest crash-to-resume gap, in cycles.
+    pub worst_recovery_gap: Cycle,
+    /// Total downtime across restarts, in cycles.
+    pub total_downtime: Cycle,
+    /// This domain's downtime budget (from its own weakest cell), in
+    /// cycles.
+    pub downtime_budget: Cycle,
+    /// Whether every recovery gap stayed inside the budget. The fleet
+    /// gate: must hold everywhere.
+    pub within_budget: bool,
+    /// Ladder demotions recorded.
+    pub demotions: u64,
+    /// Ladder promotions earned (faults-cleared transitions).
+    pub promotions: u64,
+    /// Windows spent at the hardened rung.
+    pub windows_hardened: u64,
+    /// Windows spent at the sample-survival rung.
+    pub windows_sample_survival: u64,
+    /// Windows spent at the blanket-refresh rung.
+    pub windows_blanket: u64,
+    /// Windows spent quarantined.
+    pub windows_quarantine: u64,
+    /// Whether the domain ever entered quarantine.
+    pub quarantined: bool,
+}
+
+/// Live state of one domain inside a machine run.
+pub(crate) struct DomainRuntime {
+    id: DomainId,
+    channel: u32,
+    seed: u64,
+    population: DimmPopulation,
+    downtime_budget: Cycle,
+    anvil: AnvilConfig,
+    ladder: DegradationLadder,
+    pmu: Pmu,
+    sup: Option<Supervisor>,
+    traffic: FaultRng,
+    aggressors: [u64; 2],
+    victim: RowId,
+    evidence: u64,
+    last_serviced: Cycle,
+    rebuilds: u64,
+    quarantined: bool,
+    undeclared_flips: u64,
+    exposure_flips: u64,
+    threshold_crossings: u64,
+    detections: u64,
+    selective_refreshes: u64,
+    blanket_refreshes: u64,
+    // Supervisor counters folded across rebuilds/teardowns.
+    acc_services: u64,
+    acc_crashes: u64,
+    acc_restarts: u64,
+    acc_cold_starts: u64,
+    acc_torn: u64,
+    acc_rejections: u64,
+    acc_worst_gap: Cycle,
+    acc_downtime: Cycle,
+}
+
+impl DomainRuntime {
+    /// Boots one domain of `machine` from the fleet seed: draws its
+    /// weak-cell population, audits its private guarantee envelope, and
+    /// (unless the DIMM is sub-envelope) starts a supervised detector.
+    pub(crate) fn boot(
+        cfg: &FleetConfig,
+        machine: u64,
+        id: DomainId,
+        channel: u32,
+        clock: CpuClock,
+        mapping: &AddressMapping,
+    ) -> Self {
+        let seed = domain_seed(cfg.seed, machine, id);
+        let population = cfg
+            .weak_cells
+            .sample(&mut FaultRng::new(seed).fork(WEAKCELL_SITE));
+        let mut anvil = cfg.anvil;
+        anvil.hardening.phase_seed = seed;
+        let envelope = GuaranteeEnvelope::audit(
+            &anvil,
+            &clock,
+            &cfg.envelope
+                .with_flip_threshold(population.min_flip_threshold),
+        );
+        let downtime_budget = envelope.downtime_budget(cfg.envelope.attack_access_cycles);
+
+        let victim = RowId::new(BankId(2), 501);
+        let aggressors = [
+            mapping.address_of(DramLocation {
+                bank: victim.bank,
+                row: victim.row - 1,
+                col: 0,
+            }),
+            mapping.address_of(DramLocation {
+                bank: victim.bank,
+                row: victim.row + 1,
+                col: 0,
+            }),
+        ];
+
+        let mut pmu = Pmu::new(anvil.sampling);
+        let sub = population.sub_envelope;
+        let (ladder, sup) = if sub {
+            // The weakest cell flips inside the envelope's undetectable
+            // budget: no detector configuration can promise protection,
+            // so the domain runs unconditional blanket refresh forever.
+            (
+                DegradationLadder::pinned(
+                    ProtectionLevel::BlanketRefresh,
+                    LadderCause::SubEnvelopeDimm,
+                ),
+                None,
+            )
+        } else {
+            let mut sup = Supervisor::new(
+                anvil,
+                cfg.runtime,
+                clock,
+                cfg.envelope.refresh_period,
+                0,
+                &mut pmu,
+            );
+            sup.set_faults(Some(
+                LifecycleInjector::new(cfg.lifecycle, FaultRng::new(seed).fork(LIFECYCLE_SITE))
+                    .with_torn_writes(cfg.correlated.torn_write_rate),
+            ));
+            (
+                DegradationLadder::new(cfg.promote_base, cfg.promote_cap),
+                Some(sup),
+            )
+        };
+
+        DomainRuntime {
+            id,
+            channel,
+            seed,
+            population,
+            downtime_budget,
+            anvil,
+            ladder,
+            pmu,
+            sup,
+            traffic: FaultRng::new(seed).fork(TRAFFIC_SITE),
+            aggressors,
+            victim,
+            evidence: 0,
+            last_serviced: 0,
+            rebuilds: 0,
+            quarantined: false,
+            undeclared_flips: 0,
+            exposure_flips: 0,
+            threshold_crossings: 0,
+            detections: 0,
+            selective_refreshes: 0,
+            blanket_refreshes: 0,
+            acc_services: 0,
+            acc_crashes: 0,
+            acc_restarts: 0,
+            acc_cold_starts: 0,
+            acc_torn: 0,
+            acc_rejections: 0,
+            acc_worst_gap: 0,
+            acc_downtime: 0,
+        }
+    }
+
+    pub(crate) fn level(&self) -> ProtectionLevel {
+        self.ladder.level()
+    }
+
+    pub(crate) fn channel(&self) -> u32 {
+        self.channel
+    }
+
+    /// Charges this window to the current rung's residency counter.
+    pub(crate) fn observe_window(&mut self) {
+        self.ladder.observe_window();
+    }
+
+    /// Auto-refresh of this domain's channel rewrote every row: any
+    /// accumulated disturbance is gone.
+    pub(crate) fn auto_refresh(&mut self) {
+        self.evidence = 0;
+    }
+
+    /// Declares a machine outage starting at `window`.
+    pub(crate) fn outage_starts(&mut self, window: u64) {
+        self.ladder.demote(
+            window,
+            ProtectionLevel::SampleSurvival,
+            LadderCause::MachineOutage,
+        );
+        self.ladder.fault_window();
+    }
+
+    /// The machine came back from an outage: the reboot rewrote DRAM and
+    /// the next service goes through the real crash-recovery path.
+    pub(crate) fn outage_ends(&mut self) {
+        self.evidence = 0;
+        if let Some(sup) = self.sup.as_mut() {
+            sup.force_crash();
+        }
+    }
+
+    /// Declares a PMU-loss episode starting at `window`; with
+    /// `chronic`, the domain is quarantined instead.
+    pub(crate) fn pmu_loss_starts(&mut self, window: u64, chronic: bool) {
+        if chronic {
+            if self
+                .ladder
+                .demote(
+                    window,
+                    ProtectionLevel::Quarantine,
+                    LadderCause::ChronicPmuLoss,
+                )
+                .is_some()
+            {
+                self.enter_quarantine();
+            }
+        } else {
+            self.ladder.demote(
+                window,
+                ProtectionLevel::BlanketRefresh,
+                LadderCause::PmuLoss,
+            );
+        }
+        self.ladder.fault_window();
+    }
+
+    /// Runs one PMU-blind window. The detector cannot be serviced; the
+    /// locked-on attacker hammers at full rate; blanket refresh covers
+    /// the window only once the episode is `engaged` (past the exposure
+    /// windows) or the ladder is pinned (already refreshing every
+    /// window).
+    pub(crate) fn blind_window(
+        &mut self,
+        targeted: bool,
+        engaged: bool,
+        hammer: &CrossDomainHammer,
+    ) {
+        if self.level() == ProtectionLevel::Quarantine {
+            self.ladder.fault_window();
+            return;
+        }
+        if targeted {
+            self.evidence = self
+                .evidence
+                .saturating_add(hammer.blind_window_activations());
+        }
+        self.check_flip(true);
+        if engaged || self.ladder.is_pinned() {
+            self.evidence = 0;
+            self.blanket_refreshes += 1;
+        }
+        self.ladder.fault_window();
+    }
+
+    /// Runs one healthy-machine window: a supervised service at the
+    /// degraded rung's policy, or quarantine idling with clean-streak
+    /// accrual.
+    pub(crate) fn window(
+        &mut self,
+        w: u64,
+        targeted: bool,
+        hammer: &CrossDomainHammer,
+        cfg: &FleetConfig,
+        clock: CpuClock,
+        mapping: &AddressMapping,
+    ) {
+        match self.level() {
+            ProtectionLevel::Quarantine => {
+                if let Some(t) = self.ladder.clean_window(w) {
+                    debug_assert_eq!(t.to, ProtectionLevel::BlanketRefresh);
+                    self.rebuild_supervisor(cfg, clock);
+                }
+                return;
+            }
+            ProtectionLevel::BlanketRefresh if self.sup.is_none() => {
+                // Pinned sub-envelope DIMM: no detector, unconditional
+                // per-window blanket refresh.
+                if targeted {
+                    self.evidence = self.evidence.saturating_add(hammer.paced_activations());
+                }
+                self.check_flip(true);
+                self.evidence = 0;
+                self.blanket_refreshes += 1;
+                return;
+            }
+            _ => {}
+        }
+
+        let paced = if targeted {
+            hammer.paced_activations()
+        } else {
+            0
+        };
+        let benign = 200 + self.traffic.below(2_801);
+        let sup = self.sup.as_mut().expect("active rungs keep a supervisor");
+        let deadline = sup.deadline();
+        let sampled = sup.detector().stage() == DetectorStage::Sampling;
+        if sampled {
+            let span = deadline
+                .saturating_sub(self.last_serviced)
+                .max(SAMPLED_OPS + 1);
+            for i in 0..SAMPLED_OPS {
+                let t = self.last_serviced + span * (i + 1) / (SAMPLED_OPS + 1);
+                let op = if !targeted || i % 16 == 15 {
+                    dram_read(self.traffic.below(1 << 30) & !63, BENIGN_PID)
+                } else {
+                    dram_read(self.aggressors[(i % 2) as usize], ATTACKER_PID)
+                };
+                self.pmu.observe_at(&op, t);
+            }
+            bulk_misses(
+                &mut self.pmu,
+                (paced + benign).saturating_sub(SAMPLED_OPS),
+                deadline.saturating_sub(1),
+            );
+        } else {
+            bulk_misses(&mut self.pmu, paced + benign, deadline.saturating_sub(1));
+        }
+        self.evidence = self.evidence.saturating_add(paced);
+
+        let mut clean = true;
+        match sup.service(deadline, &mut self.pmu, mapping, &mut |_, v| Some(v)) {
+            Ok(SupervisedOutcome::Serviced {
+                outcome,
+                serviced_at,
+            }) => {
+                self.last_serviced = serviced_at;
+                match outcome {
+                    ServiceOutcome::Quiet { .. } => {}
+                    ServiceOutcome::Armed { .. } => self.threshold_crossings += 1,
+                    ServiceOutcome::Analyzed {
+                        report, refreshes, ..
+                    } => {
+                        if report.detected() {
+                            self.detections += 1;
+                        }
+                        self.selective_refreshes += refreshes.len() as u64;
+                        if refreshes.iter().any(|(row, _)| *row == self.victim) {
+                            self.evidence = 0;
+                        }
+                    }
+                    ServiceOutcome::Degraded {
+                        report,
+                        refreshes,
+                        banks,
+                        ..
+                    } => {
+                        if report.detected() {
+                            self.detections += 1;
+                        }
+                        self.selective_refreshes += refreshes.len() as u64;
+                        if refreshes.iter().any(|(row, _)| *row == self.victim)
+                            || banks.contains(&self.victim.bank)
+                        {
+                            self.evidence = 0;
+                        }
+                    }
+                }
+            }
+            Ok(SupervisedOutcome::Restarted(recovery)) => {
+                clean = false;
+                self.last_serviced = recovery.resumed_at;
+                // The attacker bursts into the unobserved gap; the check
+                // runs before the recovery blanket refresh lands.
+                self.evidence = self
+                    .evidence
+                    .saturating_add(CrossDomainHammer::gap_activations(recovery.gap));
+                self.check_flip(self.level() != ProtectionLevel::Hardened);
+                self.evidence = 0;
+            }
+            Err(_) => {
+                // Restart budget exhausted: the supervisor gave up.
+                self.fold_sup_stats();
+                self.sup = None;
+                if self
+                    .ladder
+                    .demote(
+                        w,
+                        ProtectionLevel::Quarantine,
+                        LadderCause::RestartBudgetExhausted,
+                    )
+                    .is_some()
+                {
+                    self.enter_quarantine();
+                }
+                self.ladder.fault_window();
+                return;
+            }
+        }
+
+        match self.level() {
+            ProtectionLevel::SampleSurvival
+                if cfg.survival_refresh_every > 0
+                    && w.is_multiple_of(cfg.survival_refresh_every) =>
+            {
+                self.evidence = 0;
+                self.blanket_refreshes += 1;
+            }
+            ProtectionLevel::BlanketRefresh => {
+                self.evidence = 0;
+                self.blanket_refreshes += 1;
+            }
+            _ => {}
+        }
+        // Post-service safety net: any evidence past the weakest cell is
+        // a flip, undeclared when the domain claimed full protection.
+        self.check_flip(self.level() != ProtectionLevel::Hardened);
+
+        if clean {
+            self.ladder.clean_window(w);
+        } else {
+            self.ladder.fault_window();
+        }
+    }
+
+    /// Charges a flip if the accumulated evidence reaches the weakest
+    /// cell, classifying it by whether the window was declared degraded.
+    fn check_flip(&mut self, declared: bool) {
+        if self.evidence >= self.population.min_flip_threshold {
+            if declared {
+                self.exposure_flips += 1;
+            } else {
+                self.undeclared_flips += 1;
+            }
+            self.evidence = 0;
+        }
+    }
+
+    /// Drops the supervisor into quarantine: its counters fold into the
+    /// domain accumulators and its state is discarded.
+    fn enter_quarantine(&mut self) {
+        self.quarantined = true;
+        self.fold_sup_stats();
+        self.sup = None;
+        self.evidence = 0;
+    }
+
+    /// Cold-boots a fresh supervisor after a promotion out of
+    /// quarantine. The rebuilt instance draws its lifecycle faults from
+    /// a rebuild-indexed stream so the schedule does not replay.
+    fn rebuild_supervisor(&mut self, cfg: &FleetConfig, clock: CpuClock) {
+        self.rebuilds += 1;
+        let mut sup = Supervisor::new(
+            self.anvil,
+            cfg.runtime,
+            clock,
+            cfg.envelope.refresh_period,
+            self.last_serviced,
+            &mut self.pmu,
+        );
+        sup.set_faults(Some(
+            LifecycleInjector::new(
+                cfg.lifecycle,
+                FaultRng::new(self.seed).fork(LIFECYCLE_SITE + REBUILD_STRIDE * self.rebuilds),
+            )
+            .with_torn_writes(cfg.correlated.torn_write_rate),
+        ));
+        self.sup = Some(sup);
+    }
+
+    /// Adds the live supervisor's counters into the domain accumulators.
+    fn fold_sup_stats(&mut self) {
+        if let Some(sup) = self.sup.as_ref() {
+            let s = sup.stats();
+            self.acc_services += s.services;
+            self.acc_crashes += s.crashes;
+            self.acc_restarts += s.restarts;
+            self.acc_cold_starts += s.cold_starts;
+            self.acc_torn += s.checkpoints_torn;
+            self.acc_rejections += s.checkpoint_rejections;
+            self.acc_worst_gap = self.acc_worst_gap.max(s.worst_recovery_gap);
+            self.acc_downtime += s.total_downtime;
+        }
+    }
+
+    /// Finalizes the domain into its serializable summary.
+    pub(crate) fn finish(mut self) -> DomainSummary {
+        self.fold_sup_stats();
+        self.sup = None;
+        DomainSummary {
+            domain: self.id.0,
+            channel: self.channel,
+            min_flip_threshold: self.population.min_flip_threshold,
+            weak_cells: self.population.weak_cells,
+            sub_envelope: self.population.sub_envelope,
+            final_level: self.ladder.level().name().to_string(),
+            undeclared_flips: self.undeclared_flips,
+            exposure_flips: self.exposure_flips,
+            threshold_crossings: self.threshold_crossings,
+            detections: self.detections,
+            selective_refreshes: self.selective_refreshes,
+            blanket_refreshes: self.blanket_refreshes,
+            services: self.acc_services,
+            crashes: self.acc_crashes,
+            restarts: self.acc_restarts,
+            cold_starts: self.acc_cold_starts,
+            checkpoints_torn: self.acc_torn,
+            checkpoint_rejections: self.acc_rejections,
+            worst_recovery_gap: self.acc_worst_gap,
+            total_downtime: self.acc_downtime,
+            downtime_budget: self.downtime_budget,
+            within_budget: self.acc_worst_gap <= self.downtime_budget,
+            demotions: self.ladder.demotions(),
+            promotions: self
+                .ladder
+                .transitions()
+                .iter()
+                .filter(|t| t.cause == LadderCause::FaultsCleared)
+                .count() as u64,
+            windows_hardened: self.ladder.windows_at()[0],
+            windows_sample_survival: self.ladder.windows_at()[1],
+            windows_blanket: self.ladder.windows_at()[2],
+            windows_quarantine: self.ladder.windows_at()[3],
+            quarantined: self.quarantined,
+        }
+    }
+}
+
+/// A DRAM-sourced read the PMU can sample (mirrors the soak engine's
+/// traffic model): identity-mapped, with a latency above the row-miss
+/// cutoff so it counts as activation evidence.
+fn dram_read(paddr: u64, pid: u32) -> RetiredOp {
+    RetiredOp {
+        vaddr: paddr,
+        pid,
+        outcome: AccessOutcome {
+            paddr,
+            kind: AccessKind::Read,
+            level: HitLevel::Memory,
+            advance: 184,
+            dram: None,
+        },
+    }
+}
+
+/// Bulk-charges `n` LLC-missing loads to both stage-1 counters at `t`.
+fn bulk_misses(pmu: &mut Pmu, n: u64, t: Cycle) {
+    pmu.counter_mut(EventKind::LongestLatCacheMiss).add(n, t);
+    pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
+        .add(n, t);
+}

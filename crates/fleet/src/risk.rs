@@ -1,0 +1,221 @@
+//! Fleet-wide Monte Carlo risk aggregation: folds per-machine summaries
+//! into the numbers a deployment decision needs.
+
+use anvil_dram::{CpuClock, Cycle};
+use serde::{Deserialize, Serialize};
+
+use crate::machine::{FleetConfig, MachineSummary};
+
+/// Distribution of per-domain worst recovery gaps across the fleet, in
+/// cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapDistribution {
+    /// Median worst gap.
+    pub p50: Cycle,
+    /// 90th percentile.
+    pub p90: Cycle,
+    /// 99th percentile.
+    pub p99: Cycle,
+    /// The single worst gap anywhere in the fleet.
+    pub max: Cycle,
+}
+
+/// The fleet-wide verdict and risk summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRisk {
+    /// Machines simulated.
+    pub machines: u64,
+    /// Protection domains simulated.
+    pub domains: u64,
+    /// Windows per machine.
+    pub windows: u64,
+    /// Machine-years of operation simulated (wall-clock extrapolation of
+    /// the window count; fault intensities are accelerated, so risk
+    /// rates quote *accelerated* years).
+    pub machine_years: f64,
+    /// Flips outside declared degradation windows. Gate: must be zero.
+    pub undeclared_flips: u64,
+    /// Flips inside declared degradation windows (PMU-blind exposure).
+    pub exposure_flips: u64,
+    /// Expected flips per machine-year at the simulated (accelerated)
+    /// fault intensities.
+    pub flips_per_machine_year: f64,
+    /// The same rate scaled to a million machine-years.
+    pub flips_per_million_machine_years: f64,
+    /// Windows the fleet spent in declared degradation (any rung below
+    /// hardened), summed over domains.
+    pub degraded_domain_windows: u64,
+    /// Windows the fleet spent PMU-blind, summed over machines.
+    pub blind_windows: u64,
+    /// Machine outages injected across the fleet.
+    pub outages: u64,
+    /// PMU-loss episodes injected across the fleet.
+    pub pmu_episodes: u64,
+    /// Channel refresh postponements drawn across the fleet.
+    pub refresh_delays: u64,
+    /// Distribution of per-domain worst recovery gaps.
+    pub recovery_gaps: GapDistribution,
+    /// Domains whose worst gap exceeded their downtime budget. Gate:
+    /// must be zero.
+    pub budget_violations: u64,
+    /// Domains that ended (or ever were) quarantined.
+    pub quarantined_domains: u64,
+    /// Sub-envelope DIMMs drawn (pinned to blanket refresh).
+    pub sub_envelope_domains: u64,
+    /// Ladder demotions recorded fleet-wide.
+    pub demotions: u64,
+    /// Ladder promotions earned fleet-wide.
+    pub promotions: u64,
+    /// Machine cells that panicked instead of completing. Gate: must be
+    /// zero.
+    pub cell_panics: u64,
+}
+
+impl FleetRisk {
+    /// Folds per-machine summaries (in submission order) into the fleet
+    /// verdict. `cell_panics` counts machines whose cell died instead of
+    /// returning a summary.
+    #[must_use]
+    pub fn aggregate(cfg: &FleetConfig, machines: &[MachineSummary], cell_panics: u64) -> Self {
+        let clock = CpuClock::SANDY_BRIDGE_2_6GHZ;
+        let tc = cfg.anvil.tc_cycles(&clock).max(1);
+        let ms_per_machine = clock.cycles_to_ms(cfg.windows.saturating_mul(tc));
+        let ms_per_year = 1000.0 * 3600.0 * 24.0 * 365.25;
+        let machine_years = ms_per_machine * machines.len() as f64 / ms_per_year;
+
+        let mut risk = FleetRisk {
+            machines: machines.len() as u64,
+            domains: 0,
+            windows: cfg.windows,
+            machine_years,
+            undeclared_flips: 0,
+            exposure_flips: 0,
+            flips_per_machine_year: 0.0,
+            flips_per_million_machine_years: 0.0,
+            degraded_domain_windows: 0,
+            blind_windows: 0,
+            outages: 0,
+            pmu_episodes: 0,
+            refresh_delays: 0,
+            recovery_gaps: GapDistribution {
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                max: 0,
+            },
+            budget_violations: 0,
+            quarantined_domains: 0,
+            sub_envelope_domains: 0,
+            demotions: 0,
+            promotions: 0,
+            cell_panics,
+        };
+
+        let mut gaps: Vec<Cycle> = Vec::new();
+        for m in machines {
+            risk.outages += m.outages;
+            risk.pmu_episodes += m.pmu_episodes;
+            risk.refresh_delays += m.refresh_delays;
+            risk.blind_windows += m.blind_windows;
+            for d in &m.domains {
+                risk.domains += 1;
+                risk.undeclared_flips += d.undeclared_flips;
+                risk.exposure_flips += d.exposure_flips;
+                risk.degraded_domain_windows +=
+                    d.windows_sample_survival + d.windows_blanket + d.windows_quarantine;
+                if !d.within_budget {
+                    risk.budget_violations += 1;
+                }
+                if d.quarantined {
+                    risk.quarantined_domains += 1;
+                }
+                if d.sub_envelope {
+                    risk.sub_envelope_domains += 1;
+                }
+                risk.demotions += d.demotions;
+                risk.promotions += d.promotions;
+                gaps.push(d.worst_recovery_gap);
+            }
+        }
+        gaps.sort_unstable();
+        risk.recovery_gaps = GapDistribution {
+            p50: percentile(&gaps, 50),
+            p90: percentile(&gaps, 90),
+            p99: percentile(&gaps, 99),
+            max: gaps.last().copied().unwrap_or(0),
+        };
+        if machine_years > 0.0 {
+            let flips = (risk.undeclared_flips + risk.exposure_flips) as f64;
+            risk.flips_per_machine_year = flips / machine_years;
+            risk.flips_per_million_machine_years = risk.flips_per_machine_year * 1e6;
+        }
+        risk
+    }
+
+    /// The fleet gate: no machine cell died, no flip landed outside a
+    /// declared degradation window, and every domain's recovery gaps
+    /// stayed inside its own downtime budget.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.cell_panics == 0 && self.undeclared_flips == 0 && self.budget_violations == 0
+    }
+}
+
+/// The `p`-th percentile of a sorted slice (nearest-rank).
+fn percentile(sorted: &[Cycle], p: u64) -> Cycle {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p.saturating_mul(sorted.len() as u64)).div_ceil(100);
+    sorted[(rank.max(1) as usize - 1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::run_machine;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<Cycle> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 90), 90);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn aggregation_folds_machines_and_gates() {
+        let mut cfg = FleetConfig::standard(2, 300, 0xBEEF);
+        cfg.correlated.machine_outage_rate = 5e-3;
+        cfg.correlated.pmu_loss_rate = 8e-3;
+        let machines: Vec<_> = (0..2).map(|m| run_machine(&cfg, m)).collect();
+        let risk = FleetRisk::aggregate(&cfg, &machines, 0);
+        assert_eq!(risk.machines, 2);
+        assert_eq!(risk.domains, 2 * u64::from(cfg.topology.domains()));
+        assert!(risk.machine_years > 0.0);
+        assert!(risk.holds(), "fleet gate failed: {risk:?}");
+        // A panicked cell or an undeclared flip breaks the gate.
+        let broken = FleetRisk {
+            cell_panics: 1,
+            ..risk.clone()
+        };
+        assert!(!broken.holds());
+        let broken = FleetRisk {
+            undeclared_flips: 1,
+            ..risk
+        };
+        assert!(!broken.holds());
+    }
+
+    #[test]
+    fn risk_rates_are_flips_over_machine_years() {
+        let cfg = FleetConfig::standard(1, 100, 1);
+        let machines = vec![run_machine(&cfg, 0)];
+        let risk = FleetRisk::aggregate(&cfg, &machines, 0);
+        let want = (risk.undeclared_flips + risk.exposure_flips) as f64 / risk.machine_years;
+        assert!((risk.flips_per_machine_year - want).abs() < 1e-9);
+        assert!((risk.flips_per_million_machine_years - want * 1e6).abs() < 1e-3);
+    }
+}

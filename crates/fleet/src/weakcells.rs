@@ -1,0 +1,129 @@
+//! Seeded per-DIMM weak-cell populations for the Monte Carlo campaign.
+//!
+//! ANVIL's evaluation (Section 6) measures one physical module whose
+//! weakest cell flips at ~220K double-sided activations per refresh
+//! interval. A fleet is not one module: every DIMM carries its own weak
+//! cell population, and the question "how many machines flip per year"
+//! is a question about the *distribution* of weakest cells — including
+//! the rare module whose weakest cell sits below what the detector can
+//! provably protect (the guarantee envelope's worst-case undetectable
+//! budget), which no amount of sampling fidelity rescues and which the
+//! degradation ladder must pin to blanket refresh from boot.
+
+use anvil_faults::FaultRng;
+use serde::{Deserialize, Serialize};
+
+/// The seeded distribution per-DIMM weak-cell populations are drawn
+/// from: weakest-cell flip thresholds uniform over
+/// `[floor, floor + span]`, with a small probability of a sub-envelope
+/// outlier module whose weakest cell is below the detector's provable
+/// protection floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeakCellDistribution {
+    /// Lowest normal weakest-cell flip threshold (activations per
+    /// refresh interval on one aggressor pair).
+    pub floor: u64,
+    /// Width of the uniform normal range above the floor.
+    pub span: u64,
+    /// Probability that a DIMM is a sub-envelope outlier.
+    pub sub_envelope_rate: f64,
+    /// The outlier's weakest-cell flip threshold (below the hardened
+    /// envelope's worst-case undetectable budget).
+    pub sub_envelope_threshold: u64,
+    /// Upper bound on the drawn count of weak cells per DIMM.
+    pub max_weak_cells: u64,
+}
+
+impl WeakCellDistribution {
+    /// The fleet campaign default: normal modules draw their weakest
+    /// cell uniformly in `[160K, 320K]` activations — all above the
+    /// hardened envelope's ~130K worst-case undetectable budget, so the
+    /// detector provably protects them — and 2% of modules are
+    /// sub-envelope outliers at 110K that must be pinned to blanket
+    /// refresh.
+    #[must_use]
+    pub fn standard() -> Self {
+        WeakCellDistribution {
+            floor: 160_000,
+            span: 160_000,
+            sub_envelope_rate: 0.02,
+            sub_envelope_threshold: 110_000,
+            max_weak_cells: 64,
+        }
+    }
+
+    /// Draws one DIMM's population from `rng`. The draw order (threshold
+    /// position, weak-cell count, outlier chance) is fixed so every
+    /// configuration consumes the same stream.
+    pub fn sample(&self, rng: &mut FaultRng) -> DimmPopulation {
+        let offset = rng.below(self.span.saturating_add(1));
+        let weak_cells = 1 + rng.below(self.max_weak_cells.max(1));
+        let sub_envelope = rng.chance(self.sub_envelope_rate);
+        DimmPopulation {
+            min_flip_threshold: if sub_envelope {
+                self.sub_envelope_threshold
+            } else {
+                self.floor.saturating_add(offset)
+            },
+            weak_cells,
+            sub_envelope,
+        }
+    }
+}
+
+/// One DIMM's drawn weak-cell population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimmPopulation {
+    /// The weakest cell's flip threshold: activations on one aggressor
+    /// pair, per refresh interval, that complete a flip.
+    pub min_flip_threshold: u64,
+    /// How many cells on the DIMM are weak (flip within ~2x the weakest
+    /// threshold); scales how many flips a successful exposure yields.
+    pub weak_cells: u64,
+    /// Whether the DIMM is a sub-envelope outlier.
+    pub sub_envelope: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range_and_replay() {
+        let dist = WeakCellDistribution::standard();
+        let mut a = FaultRng::new(77);
+        let mut b = FaultRng::new(77);
+        let mut outliers = 0u64;
+        for _ in 0..10_000 {
+            let pa = dist.sample(&mut a);
+            let pb = dist.sample(&mut b);
+            assert_eq!(pa, pb);
+            assert!(pa.weak_cells >= 1 && pa.weak_cells <= dist.max_weak_cells);
+            if pa.sub_envelope {
+                outliers += 1;
+                assert_eq!(pa.min_flip_threshold, dist.sub_envelope_threshold);
+            } else {
+                assert!(pa.min_flip_threshold >= dist.floor);
+                assert!(pa.min_flip_threshold <= dist.floor + dist.span);
+            }
+        }
+        // ~2% of 10K draws.
+        assert!((100..=350).contains(&outliers), "{outliers}");
+    }
+
+    #[test]
+    fn extreme_outlier_rates_pin_the_outlier_flag() {
+        let mut dist = WeakCellDistribution::standard();
+        dist.sub_envelope_rate = 0.0;
+        let mut rng = FaultRng::new(5);
+        for _ in 0..500 {
+            assert!(!dist.sample(&mut rng).sub_envelope);
+        }
+        dist.sub_envelope_rate = 1.0;
+        for _ in 0..500 {
+            let p = dist.sample(&mut rng);
+            assert!(p.sub_envelope);
+            assert_eq!(p.min_flip_threshold, dist.sub_envelope_threshold);
+        }
+    }
+}

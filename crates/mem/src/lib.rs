@@ -15,6 +15,9 @@
 //! * [`PagemapPolicy`] — the `/proc/pagemap` interface the CLFLUSH-free
 //!   attack uses for virtual-to-physical translation, including the
 //!   hardened (restricted) mode Linux later deployed.
+//! * [`DomainTopology`] — the channel × DIMM protection-domain layout of
+//!   one fleet machine, with stable [`DomainId`]s and per-domain seed
+//!   derivation for the fleet campaign.
 //!
 //! ## Quick start
 //!
@@ -36,8 +39,10 @@ mod paging;
 mod phys;
 mod process;
 mod system;
+mod topology;
 
 pub use paging::{AllocationPolicy, FrameAllocator, OutOfMemory, PageTable, PAGE_SHIFT, PAGE_SIZE};
 pub use phys::PhysicalMemory;
 pub use process::{PagemapDenied, PagemapPolicy, Process};
 pub use system::{AccessKind, AccessOutcome, CoreModel, MemStats, MemoryConfig, MemorySystem};
+pub use topology::{domain_seed, DomainId, DomainTopology};

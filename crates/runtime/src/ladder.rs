@@ -1,0 +1,445 @@
+//! The graceful-degradation ladder: typed protection levels, typed
+//! transitions, and exponential-backoff re-promotion.
+//!
+//! A fleet domain is not simply "protected or dead". When faults hit,
+//! the runtime steps down a ladder of progressively blunter — but
+//! progressively more self-sufficient — protection modes:
+//!
+//! 1. [`ProtectionLevel::Hardened`] — the full two-stage hardened ANVIL
+//!    pipeline under supervision.
+//! 2. [`ProtectionLevel::SampleSurvival`] — stage-1 counting still runs,
+//!    but PEBS sampling is distrusted (it just came back from an
+//!    episode); a periodic blanket bank refresh stands in for selective
+//!    refresh until sampling has proven itself again.
+//! 3. [`ProtectionLevel::BlanketRefresh`] — no PMU at all: every bank is
+//!    blanket-refreshed every window, trading refresh bandwidth for a
+//!    guarantee that needs no measurement.
+//! 4. [`ProtectionLevel::Quarantine`] — the domain is taken out of
+//!    service entirely: no tenant data lives there, so nothing can flip.
+//!
+//! Every demotion records a [`LadderTransition`] with a typed
+//! [`LadderCause`], making "declared degradation windows" auditable: the
+//! fleet gate forgives flips only inside windows whose level the ladder
+//! had already declared degraded.
+//!
+//! Re-promotion is earned, not timed: the ladder climbs one rung after a
+//! streak of consecutive clean windows, and the required streak doubles
+//! with every repeated demotion (bounded by a cap) — a flapping domain
+//! has to stay healthy exponentially longer each time before it is
+//! trusted with a sharper protection mode. A long clean run at the top
+//! rung resets the backoff.
+
+use serde::{Deserialize, Serialize};
+
+/// A rung of the degradation ladder, ordered sharpest-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtectionLevel {
+    /// Full hardened ANVIL under supervision.
+    Hardened,
+    /// Counting trusted, sampling distrusted: periodic blanket refresh.
+    SampleSurvival,
+    /// No PMU: blanket-refresh every bank every window.
+    BlanketRefresh,
+    /// Domain out of service: no tenant data, nothing to flip.
+    Quarantine,
+}
+
+impl ProtectionLevel {
+    /// All rungs, sharpest protection first.
+    pub const ALL: [ProtectionLevel; 4] = [
+        ProtectionLevel::Hardened,
+        ProtectionLevel::SampleSurvival,
+        ProtectionLevel::BlanketRefresh,
+        ProtectionLevel::Quarantine,
+    ];
+
+    /// Ladder depth: 0 for the sharpest rung, 3 for quarantine.
+    #[must_use]
+    pub fn rank(self) -> usize {
+        match self {
+            ProtectionLevel::Hardened => 0,
+            ProtectionLevel::SampleSurvival => 1,
+            ProtectionLevel::BlanketRefresh => 2,
+            ProtectionLevel::Quarantine => 3,
+        }
+    }
+
+    /// Stable `snake_case` name (used in campaign JSON records).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtectionLevel::Hardened => "hardened",
+            ProtectionLevel::SampleSurvival => "sample_survival",
+            ProtectionLevel::BlanketRefresh => "blanket_refresh",
+            ProtectionLevel::Quarantine => "quarantine",
+        }
+    }
+
+    /// The next rung up (sharper), or `None` at the top.
+    #[must_use]
+    pub fn promoted(self) -> Option<ProtectionLevel> {
+        match self {
+            ProtectionLevel::Hardened => None,
+            ProtectionLevel::SampleSurvival => Some(ProtectionLevel::Hardened),
+            ProtectionLevel::BlanketRefresh => Some(ProtectionLevel::SampleSurvival),
+            ProtectionLevel::Quarantine => Some(ProtectionLevel::BlanketRefresh),
+        }
+    }
+}
+
+/// Why a ladder transition happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LadderCause {
+    /// The machine's PMU disappeared: the detector is blind.
+    PmuLoss,
+    /// The whole machine went down and came back.
+    MachineOutage,
+    /// Too many PMU-loss episodes: the hardware is not trusted anymore.
+    ChronicPmuLoss,
+    /// The supervisor exhausted its restart budget.
+    RestartBudgetExhausted,
+    /// The DIMM's weakest cell sits below the guarantee envelope's
+    /// provable floor: the detector cannot promise anything, so the
+    /// domain is pinned to an unconditional mode from boot.
+    SubEnvelopeDimm,
+    /// A clean-window streak earned a promotion.
+    FaultsCleared,
+}
+
+impl LadderCause {
+    /// Stable `snake_case` name (used in campaign JSON records).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderCause::PmuLoss => "pmu_loss",
+            LadderCause::MachineOutage => "machine_outage",
+            LadderCause::ChronicPmuLoss => "chronic_pmu_loss",
+            LadderCause::RestartBudgetExhausted => "restart_budget_exhausted",
+            LadderCause::SubEnvelopeDimm => "sub_envelope_dimm",
+            LadderCause::FaultsCleared => "faults_cleared",
+        }
+    }
+}
+
+/// One recorded rung change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LadderTransition {
+    /// Window index the transition took effect.
+    pub window: u64,
+    /// The rung left.
+    pub from: ProtectionLevel,
+    /// The rung entered.
+    pub to: ProtectionLevel,
+    /// Why.
+    pub cause: LadderCause,
+}
+
+/// The per-domain degradation state machine.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    level: ProtectionLevel,
+    pinned: bool,
+    transitions: Vec<LadderTransition>,
+    clean_streak: u64,
+    /// Clean windows required for the next promotion.
+    promote_after: u64,
+    promote_base: u64,
+    promote_cap: u64,
+    demotions: u64,
+    windows_at: [u64; 4],
+}
+
+impl DegradationLadder {
+    /// A healthy ladder starting at [`ProtectionLevel::Hardened`].
+    /// Promotion requires `promote_base` consecutive clean windows,
+    /// doubling per repeated demotion up to `promote_cap`.
+    #[must_use]
+    pub fn new(promote_base: u64, promote_cap: u64) -> Self {
+        let base = promote_base.max(1);
+        DegradationLadder {
+            level: ProtectionLevel::Hardened,
+            pinned: false,
+            transitions: Vec::new(),
+            clean_streak: 0,
+            promote_after: base,
+            promote_base: base,
+            promote_cap: promote_cap.max(base),
+            demotions: 0,
+            windows_at: [0; 4],
+        }
+    }
+
+    /// A ladder pinned to `level` from boot (e.g. a sub-envelope DIMM
+    /// pinned to blanket refresh): the pin is recorded as a window-0
+    /// transition and the ladder never moves again.
+    #[must_use]
+    pub fn pinned(level: ProtectionLevel, cause: LadderCause) -> Self {
+        let mut ladder = DegradationLadder::new(1, 1);
+        ladder.transitions.push(LadderTransition {
+            window: 0,
+            from: ProtectionLevel::Hardened,
+            to: level,
+            cause,
+        });
+        ladder.level = level;
+        ladder.pinned = true;
+        ladder
+    }
+
+    /// The current rung.
+    #[must_use]
+    pub fn level(&self) -> ProtectionLevel {
+        self.level
+    }
+
+    /// Whether the ladder is pinned (never transitions after boot).
+    #[must_use]
+    pub fn is_pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// Every transition recorded so far, in order.
+    #[must_use]
+    pub fn transitions(&self) -> &[LadderTransition] {
+        &self.transitions
+    }
+
+    /// Demotions recorded so far.
+    #[must_use]
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// The clean-window streak currently required to climb one rung.
+    #[must_use]
+    pub fn promote_after(&self) -> u64 {
+        self.promote_after
+    }
+
+    /// Windows spent at each rung, indexed by [`ProtectionLevel::rank`].
+    #[must_use]
+    pub fn windows_at(&self) -> [u64; 4] {
+        self.windows_at
+    }
+
+    /// Charges the current window to the current rung's residency
+    /// counter. Call exactly once per window, before any transition for
+    /// that window.
+    pub fn observe_window(&mut self) {
+        self.windows_at[self.level.rank()] += 1;
+    }
+
+    /// Steps down to `to` (a strictly blunter rung) at `window`. Returns
+    /// the recorded transition, or `None` when the ladder is pinned or
+    /// `to` is not below the current rung. Every demotion resets the
+    /// clean streak; repeated demotions double the streak the next
+    /// promotion requires, up to the cap.
+    pub fn demote(
+        &mut self,
+        window: u64,
+        to: ProtectionLevel,
+        cause: LadderCause,
+    ) -> Option<LadderTransition> {
+        if self.pinned || to.rank() <= self.level.rank() {
+            return None;
+        }
+        let t = LadderTransition {
+            window,
+            from: self.level,
+            to,
+            cause,
+        };
+        self.transitions.push(t);
+        self.level = to;
+        self.clean_streak = 0;
+        self.demotions += 1;
+        if self.demotions > 1 {
+            self.promote_after = self.promote_after.saturating_mul(2).min(self.promote_cap);
+        }
+        Some(t)
+    }
+
+    /// Records a faulty window that did not demote (e.g. a contained
+    /// crash-restart at an already-degraded rung): the clean streak
+    /// resets, so re-promotion is earned only by *consecutive* health.
+    pub fn fault_window(&mut self) {
+        self.clean_streak = 0;
+    }
+
+    /// Credits one clean (fault-free) window at `window` and climbs one
+    /// rung when the streak earns it. A long clean run at the top rung
+    /// (four times the base streak) resets the promotion backoff.
+    pub fn clean_window(&mut self, window: u64) -> Option<LadderTransition> {
+        self.clean_streak = self.clean_streak.saturating_add(1);
+        if self.pinned {
+            return None;
+        }
+        if self.level == ProtectionLevel::Hardened {
+            if self.clean_streak >= self.promote_base.saturating_mul(4) {
+                self.promote_after = self.promote_base;
+            }
+            return None;
+        }
+        if self.clean_streak < self.promote_after {
+            return None;
+        }
+        let to = self
+            .level
+            .promoted()
+            .expect("only Hardened has no higher rung, and it returned above");
+        let t = LadderTransition {
+            window,
+            from: self.level,
+            to,
+            cause: LadderCause::FaultsCleared,
+        };
+        self.transitions.push(t);
+        self.level = to;
+        self.clean_streak = 0;
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_promotion_order_are_consistent() {
+        for (i, l) in ProtectionLevel::ALL.iter().enumerate() {
+            assert_eq!(l.rank(), i);
+        }
+        assert_eq!(ProtectionLevel::Hardened.promoted(), None);
+        let mut l = ProtectionLevel::Quarantine;
+        let mut climbed = 0;
+        while let Some(up) = l.promoted() {
+            assert_eq!(up.rank() + 1, l.rank());
+            l = up;
+            climbed += 1;
+        }
+        assert_eq!(climbed, 3);
+    }
+
+    #[test]
+    fn demotion_records_and_promotion_is_earned() {
+        let mut ladder = DegradationLadder::new(3, 100);
+        assert!(ladder
+            .demote(10, ProtectionLevel::BlanketRefresh, LadderCause::PmuLoss)
+            .is_some());
+        assert_eq!(ladder.level(), ProtectionLevel::BlanketRefresh);
+        // Two clean windows: not enough.
+        assert!(ladder.clean_window(11).is_none());
+        assert!(ladder.clean_window(12).is_none());
+        // Third climbs one rung only.
+        let t = ladder.clean_window(13).expect("streak earned");
+        assert_eq!(t.to, ProtectionLevel::SampleSurvival);
+        assert_eq!(t.cause, LadderCause::FaultsCleared);
+        // A contained fault resets the streak without a transition.
+        assert!(ladder.clean_window(14).is_none());
+        ladder.fault_window();
+        assert!(ladder.clean_window(15).is_none());
+        assert!(ladder.clean_window(16).is_none());
+        let t = ladder.clean_window(17).expect("streak rebuilt after fault");
+        assert_eq!(t.to, ProtectionLevel::Hardened);
+        assert_eq!(ladder.transitions().len(), 3);
+    }
+
+    #[test]
+    fn second_rung_climb_also_needs_a_full_streak() {
+        let mut ladder = DegradationLadder::new(3, 100);
+        ladder.demote(10, ProtectionLevel::BlanketRefresh, LadderCause::PmuLoss);
+        for w in 11..14 {
+            ladder.clean_window(w);
+        }
+        assert_eq!(ladder.level(), ProtectionLevel::SampleSurvival);
+        // The streak resets between rungs.
+        assert!(ladder.clean_window(14).is_none());
+        assert!(ladder.clean_window(15).is_none());
+        let t = ladder.clean_window(16).expect("second climb");
+        assert_eq!(t.to, ProtectionLevel::Hardened);
+        assert_eq!(ladder.transitions().len(), 3);
+    }
+
+    #[test]
+    fn repeated_demotion_doubles_the_required_streak() {
+        let mut ladder = DegradationLadder::new(2, 16);
+        ladder.demote(1, ProtectionLevel::SampleSurvival, LadderCause::PmuLoss);
+        assert_eq!(ladder.promote_after(), 2, "first demotion keeps the base");
+        ladder.clean_window(2);
+        ladder.clean_window(3);
+        assert_eq!(ladder.level(), ProtectionLevel::Hardened);
+        for (i, want) in [(4u64, 4u64), (20, 8), (40, 16), (60, 16)] {
+            ladder.demote(i, ProtectionLevel::SampleSurvival, LadderCause::PmuLoss);
+            assert_eq!(ladder.promote_after(), want, "demotion at window {i}");
+            let mut w = i;
+            while ladder.level() != ProtectionLevel::Hardened {
+                w += 1;
+                ladder.clean_window(w);
+            }
+        }
+    }
+
+    #[test]
+    fn long_clean_run_at_the_top_resets_the_backoff() {
+        let mut ladder = DegradationLadder::new(2, 64);
+        for i in 0..3 {
+            ladder.demote(i, ProtectionLevel::SampleSurvival, LadderCause::PmuLoss);
+            let mut w = i * 100;
+            while ladder.level() != ProtectionLevel::Hardened {
+                w += 1;
+                ladder.clean_window(w);
+            }
+        }
+        assert_eq!(ladder.promote_after(), 8);
+        for w in 1_000..1_008 {
+            ladder.clean_window(w);
+        }
+        assert_eq!(ladder.promote_after(), 2, "4x base clean windows reset it");
+    }
+
+    #[test]
+    fn demote_rejects_sideways_and_upward_moves() {
+        let mut ladder = DegradationLadder::new(2, 8);
+        ladder.demote(0, ProtectionLevel::Quarantine, LadderCause::ChronicPmuLoss);
+        assert!(ladder
+            .demote(1, ProtectionLevel::Quarantine, LadderCause::PmuLoss)
+            .is_none());
+        assert!(ladder
+            .demote(1, ProtectionLevel::Hardened, LadderCause::PmuLoss)
+            .is_none());
+        assert_eq!(ladder.transitions().len(), 1);
+    }
+
+    #[test]
+    fn pinned_ladders_never_move() {
+        let mut ladder = DegradationLadder::pinned(
+            ProtectionLevel::BlanketRefresh,
+            LadderCause::SubEnvelopeDimm,
+        );
+        assert!(ladder.is_pinned());
+        assert_eq!(ladder.transitions().len(), 1);
+        assert_eq!(ladder.transitions()[0].cause, LadderCause::SubEnvelopeDimm);
+        assert!(ladder
+            .demote(5, ProtectionLevel::Quarantine, LadderCause::PmuLoss)
+            .is_none());
+        for w in 0..100 {
+            assert!(ladder.clean_window(w).is_none());
+        }
+        assert_eq!(ladder.level(), ProtectionLevel::BlanketRefresh);
+    }
+
+    #[test]
+    fn residency_counters_track_the_level() {
+        let mut ladder = DegradationLadder::new(1, 8);
+        for _ in 0..3 {
+            ladder.observe_window();
+        }
+        ladder.demote(3, ProtectionLevel::Quarantine, LadderCause::ChronicPmuLoss);
+        for _ in 0..2 {
+            ladder.observe_window();
+        }
+        let at = ladder.windows_at();
+        assert_eq!(at[ProtectionLevel::Hardened.rank()], 3);
+        assert_eq!(at[ProtectionLevel::Quarantine.rank()], 2);
+    }
+}

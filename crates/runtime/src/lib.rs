@@ -20,6 +20,10 @@
 //!   new [`AnvilConfig`](anvil_core::AnvilConfig) up front and swaps it
 //!   in atomically at the next stage-1 window boundary, preserving the
 //!   suspicion ledger and every activity counter.
+//! * [`DegradationLadder`] — the graceful-degradation state machine for
+//!   fleet domains: full hardened ANVIL → sample-survival → blanket bank
+//!   refresh → quarantine, with typed [`LadderTransition`] records and
+//!   exponential-backoff re-promotion once faults clear.
 //! * [`soak`] — the long-horizon campaign engine: millions of supervised
 //!   windows of mixed benign and adversary traffic under a seeded
 //!   crash / stall / corruption / reload schedule, gated on zero flips
@@ -56,10 +60,12 @@
 //! assert!(matches!(outcome, SupervisedOutcome::Serviced { .. }));
 //! ```
 
+mod ladder;
 pub mod soak;
 mod supervisor;
 
 pub use anvil_faults::LifecycleFaults;
+pub use ladder::{DegradationLadder, LadderCause, LadderTransition, ProtectionLevel};
 pub use soak::{SoakConfig, SoakSummary};
 pub use supervisor::{
     install_quiet_panic_hook, RecoveryReport, RuntimeConfig, RuntimeStats, SupervisedOutcome,

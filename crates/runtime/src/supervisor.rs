@@ -82,6 +82,8 @@ pub struct RuntimeStats {
     pub checkpoints_written: u64,
     /// Checkpoint writes corrupted at rest by the injected fault.
     pub checkpoints_corrupted: u64,
+    /// Checkpoint writes torn mid-write (only a prefix persisted).
+    pub checkpoints_torn: u64,
     /// Restores that rejected the stored checkpoint (corrupt, version or
     /// config mismatch, undecodable).
     pub checkpoint_rejections: u64,
@@ -403,31 +405,53 @@ impl Supervisor {
     }
 
     /// Snapshots the live detector to stored-checkpoint form, applying
-    /// the at-rest corruption fault when it fires.
+    /// the at-rest corruption and torn-write faults when they fire.
     ///
-    /// The corruption chance is drawn on every write (keeping the
-    /// injector's draw schedule identical to the always-serialize
-    /// implementation), but bytes are materialized only when it fires —
-    /// see [`StoredCheckpoint`].
+    /// Both chances are drawn on every write in a fixed order —
+    /// corruption, then tear — keeping the injector's draw schedule
+    /// identical to the always-serialize implementation (a disabled
+    /// source consumes nothing). Bytes are materialized only when a
+    /// fault fires — see [`StoredCheckpoint`].
     fn write_checkpoint(&mut self, pmu: &Pmu) {
         let ckpt = self.detector.checkpoint(pmu);
         self.stats.checkpoints_written = self.stats.checkpoints_written.saturating_add(1);
-        let fired = self
+        let corrupted = self
             .faults
             .as_mut()
             .is_some_and(LifecycleInjector::corrupt_fires);
-        self.checkpoint = Some(if fired {
+        let torn = self
+            .faults
+            .as_mut()
+            .is_some_and(LifecycleInjector::tear_fires);
+        self.checkpoint = Some(if corrupted || torn {
             let mut bytes = ckpt.to_bytes();
-            self.faults
+            let faults = self
+                .faults
                 .as_mut()
-                .expect("corruption fired, so an injector is installed")
-                .corrupt_in_place(&mut bytes);
-            self.stats.checkpoints_corrupted = self.stats.checkpoints_corrupted.saturating_add(1);
+                .expect("a fault fired, so an injector is installed");
+            if corrupted {
+                faults.corrupt_in_place(&mut bytes);
+                self.stats.checkpoints_corrupted =
+                    self.stats.checkpoints_corrupted.saturating_add(1);
+            }
+            if torn {
+                faults.tear_in_place(&mut bytes);
+                self.stats.checkpoints_torn = self.stats.checkpoints_torn.saturating_add(1);
+            }
             StoredCheckpoint::Bytes(bytes)
         } else {
             StoredCheckpoint::Clean(ckpt)
         });
         self.services_since_checkpoint = 0;
+    }
+
+    /// Forces the next service call to crash (consuming no probabilistic
+    /// draw), modelling an external kill such as a machine outage. A
+    /// no-op when no injector is installed.
+    pub fn force_crash(&mut self) {
+        if let Some(faults) = self.faults.as_mut() {
+            faults.force_crash();
+        }
     }
 }
 
@@ -625,6 +649,72 @@ mod tests {
         assert!(sup.stats().checkpoints_corrupted >= 1);
         // The cold-started detector is fresh: no window history.
         assert_eq!(sup.detector().stats().stage1_windows, 0);
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_cold_start() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut sup = boot(&mut pmu);
+        // Tear every checkpoint write and crash every service: recovery
+        // must reject the truncated bytes with a typed error and
+        // cold-start, never panic.
+        sup.set_faults(Some(crashy(1.0).with_torn_writes(1.0)));
+        // First crash recovers from the pristine boot checkpoint, then
+        // rewrites it through the tearing injector.
+        let d = sup.deadline();
+        let out = sup
+            .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+            .unwrap();
+        let SupervisedOutcome::Restarted(r) = out else {
+            panic!("expected Restarted, got {out:?}");
+        };
+        assert!(!r.cold_start, "boot checkpoint was written pristine");
+        // The second crash reads the torn bytes.
+        let d = sup.deadline();
+        let out = sup
+            .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+            .unwrap();
+        let SupervisedOutcome::Restarted(r) = out else {
+            panic!("expected Restarted, got {out:?}");
+        };
+        assert!(r.cold_start);
+        assert!(matches!(
+            r.checkpoint_error,
+            Some(RuntimeError::CheckpointCorrupt { .. })
+                | Some(RuntimeError::CheckpointUndecodable)
+        ));
+        assert!(sup.stats().checkpoints_torn >= 1);
+        assert_eq!(sup.stats().cold_starts, 1);
+    }
+
+    #[test]
+    fn forced_crashes_flow_through_the_normal_recovery_path() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut sup = boot(&mut pmu);
+        // Without an injector the force is a no-op.
+        sup.force_crash();
+        let d = sup.deadline();
+        let out = sup
+            .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+            .unwrap();
+        assert!(matches!(out, SupervisedOutcome::Serviced { .. }));
+        // With a zero-rate injector installed, the forced crash fires
+        // exactly once and recovers from the checkpoint.
+        sup.set_faults(Some(crashy(0.0)));
+        sup.force_crash();
+        let d = sup.deadline();
+        let out = sup
+            .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+            .unwrap();
+        assert!(matches!(out, SupervisedOutcome::Restarted(_)));
+        let d = sup.deadline();
+        let out = sup
+            .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+            .unwrap();
+        assert!(matches!(out, SupervisedOutcome::Serviced { .. }));
+        assert_eq!(sup.stats().crashes, 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`faults`] | Deterministic fault injection: PEBS loss, stale translations, preemption, postponed refresh |
 //! | [`fuzz`] | Coverage-guided guarantee fuzzing: scenario mutation, counterexample shrinking, the regression corpus |
 //! | [`runtime`] | Detector lifecycle supervision: checkpoint/restore, crash-restart recovery, hot reload, soak engine |
+//! | [`fleet`] | Fleet-scale multi-domain runtime: correlated fault domains, the degradation ladder, Monte Carlo fleet risk |
 //!
 //! ## Thirty-second tour
 //!
@@ -50,6 +51,7 @@ pub use anvil_cache as cache;
 pub use anvil_core as core;
 pub use anvil_dram as dram;
 pub use anvil_faults as faults;
+pub use anvil_fleet as fleet;
 pub use anvil_fuzz as fuzz;
 pub use anvil_mem as mem;
 pub use anvil_pmu as pmu;

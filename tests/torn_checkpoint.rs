@@ -1,0 +1,112 @@
+//! Property-based robustness of the checkpoint wire format against torn
+//! and corrupted writes.
+//!
+//! The fleet campaign injects torn checkpoint writes (a crash mid-write
+//! leaves a prefix of the record) and bit rot (a flipped bit at rest).
+//! `DetectorCheckpoint::from_bytes` must convert *every* such mutation
+//! into a typed [`RuntimeError`] — never panic, and never silently
+//! accept a damaged snapshot as a resumable state (which would let a
+//! recovering detector resume with less evidence than it actually had).
+
+use std::sync::OnceLock;
+
+use anvil::core::{AnvilConfig, DetectorCheckpoint, RuntimeError};
+use anvil::dram::{AddressMapping, CpuClock, DramGeometry};
+use anvil::pmu::{Pmu, SamplerConfig};
+use anvil::runtime::{RuntimeConfig, Supervisor};
+use proptest::prelude::*;
+
+/// A real checkpoint from a serviced hardened supervisor — ledger rows,
+/// carry, jitter state and all — so mutations land on representative
+/// bytes, not a toy record. Built once; proptest cases only mutate.
+fn checkpoint_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut sup = Supervisor::new(
+            AnvilConfig::hardened(),
+            RuntimeConfig::default(),
+            CpuClock::SANDY_BRIDGE_2_6GHZ,
+            166_400_000,
+            0,
+            &mut pmu,
+        );
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let deadline = sup.deadline();
+        sup.service(deadline, &mut pmu, &mapping, &mut |_pid, va| Some(va))
+            .expect("fault-free service succeeds");
+        sup.detector().checkpoint(&pmu).to_bytes()
+    })
+}
+
+/// The decode outcomes a damaged checkpoint is allowed to produce.
+fn assert_typed_rejection(result: Result<DetectorCheckpoint, RuntimeError>, what: &str) {
+    match result {
+        Err(
+            RuntimeError::CheckpointCorrupt { .. }
+            | RuntimeError::CheckpointUndecodable
+            | RuntimeError::VersionMismatch { .. },
+        ) => {}
+        Err(other) => panic!("{what}: unexpected error variant {other:?}"),
+        Ok(_) => panic!("{what}: damaged checkpoint decoded successfully"),
+    }
+}
+
+/// Sanity baseline: the undamaged bytes round-trip.
+#[test]
+fn pristine_bytes_round_trip() {
+    let bytes = checkpoint_bytes();
+    let ckpt = DetectorCheckpoint::from_bytes(bytes).expect("pristine checkpoint decodes");
+    assert_eq!(ckpt.to_bytes(), bytes);
+}
+
+proptest! {
+    /// A torn write — any strict prefix, down to the empty file — is a
+    /// typed rejection, forcing the supervisor's cold-start path. The
+    /// drawn offset folds onto the record length, so every prefix length
+    /// is reachable whatever the checkpoint's actual size.
+    #[test]
+    fn any_truncation_is_rejected_with_a_typed_error(offset in 0u64..1 << 20) {
+        let bytes = checkpoint_bytes();
+        let keep = (offset as usize) % bytes.len();
+        assert_typed_rejection(
+            DetectorCheckpoint::from_bytes(&bytes[..keep]),
+            &format!("truncated to {keep} of {} bytes", bytes.len()),
+        );
+    }
+
+    /// A single flipped bit anywhere — header, checksum, payload — is a
+    /// typed rejection: the checksum spans every payload byte and the
+    /// header is validated before it is trusted.
+    #[test]
+    fn any_flipped_bit_is_rejected_with_a_typed_error(offset in 0u64..1 << 20, bit in 0u8..8) {
+        let bytes = checkpoint_bytes();
+        let pos = (offset as usize) % bytes.len();
+        let mut bad = bytes.to_vec();
+        bad[pos] ^= 1 << bit;
+        assert_typed_rejection(
+            DetectorCheckpoint::from_bytes(&bad),
+            &format!("bit {bit} of byte {pos} flipped"),
+        );
+    }
+
+    /// A tear *and* bit rot together (the crash that tore the write also
+    /// scribbled on the surviving prefix) still land on a typed
+    /// rejection.
+    #[test]
+    fn a_torn_then_corrupted_prefix_is_rejected(
+        tear in 0u64..1 << 20,
+        offset in 0u64..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let bytes = checkpoint_bytes();
+        let keep = 1 + (tear as usize) % (bytes.len() - 1);
+        let mut bad = bytes[..keep].to_vec();
+        let pos = (offset as usize) % keep;
+        bad[pos] ^= 1 << bit;
+        assert_typed_rejection(
+            DetectorCheckpoint::from_bytes(&bad),
+            &format!("torn to {keep} bytes, bit {bit} of byte {pos} flipped"),
+        );
+    }
+}

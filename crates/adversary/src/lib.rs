@@ -28,6 +28,11 @@
 //!   attacker model: rotates paced pressure over every non-quarantined
 //!   protection domain on the machine and bursts full-rate into any
 //!   downtime gap or PMU-blind episode a domain exposes.
+//! * [`StateTargetingHammer`] — hammers the *detector's own* DRAM rows
+//!   (carry accumulators, ledger, replicas), locking onto whichever row
+//!   the incremental scrub has neglected longest and bursting full-rate
+//!   into scrub gaps; the `selfdefense` campaign in `anvil-bench` drives
+//!   it against guarded and unguarded state.
 //!
 //! All strategies implement [`anvil_attacks::Attack`], so they run under
 //! the platform in `anvil-core` exactly like the paper's attacks. The
@@ -42,6 +47,7 @@ mod duty_cycle;
 mod paced;
 mod restart_aware;
 mod spec;
+mod state_targeting;
 
 pub use camouflage::CamouflageHammer;
 pub use cross_domain::CrossDomainHammer;
@@ -50,6 +56,7 @@ pub use duty_cycle::DutyCycleHammer;
 pub use paced::PacedHammer;
 pub use restart_aware::RestartAwareHammer;
 pub use spec::ArchetypeSpec;
+pub use state_targeting::StateTargetingHammer;
 
 /// Estimated core cycles per aggressor access in the hammer loop: a
 /// row-conflict DRAM read (~179 cycles on the simulated platform), the

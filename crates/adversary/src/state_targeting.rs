@@ -1,0 +1,176 @@
+//! State-targeting hammering: the adversary aims at the detector itself.
+//!
+//! Every other strategy in this crate attacks *victim data* and shapes
+//! its stream to evade the detector. This one attacks the *detector's
+//! state*: ANVIL's carry accumulators, ledger entries, and replica copies
+//! live in DRAM rows like everything else (`anvil-mem`'s `StateRowMap`
+//! places them), so an attacker who locates those rows can hammer the
+//! defense's own memory. Retrospectives on rowhammer defenses call
+//! unprotected mitigation metadata a standing weakness of software
+//! mitigations — this is that weakness, weaponized.
+//!
+//! [`StateTargetingHammer`] is the window-granular model the
+//! `selfdefense` campaign drives. Each window the engine reports, per
+//! state row, how many windows have passed since the incremental scrub
+//! last verified that row's cells; the hammer locks onto the *stalest*
+//! row — while the scrub does not visit a row its age only grows, so the
+//! hammer stays on target exactly for the length of the scrub gap, and a
+//! detector stall or restart (which pauses scrubbing entirely) invites a
+//! full-rate burst. Targeting is a pure function of the window index and
+//! the age vector, so campaign cells replay byte-for-byte at any thread
+//! count.
+
+use crate::{RestartAwareHammer, EST_STAGE1_WINDOW_CYCLES};
+
+/// The self-defense campaign's detector-state attacker model.
+#[derive(Debug, Clone)]
+pub struct StateTargetingHammer {
+    paced_activations: u64,
+    window_cycles: u64,
+    lock_threshold: u64,
+}
+
+impl StateTargetingHammer {
+    /// Paces just under the baseline stage-1 trip rate while the scrub
+    /// keeps up (ages below the default lock threshold of 4 windows — one
+    /// full scrub rotation), bursting full-rate once a row's scrub gap
+    /// exceeds it.
+    #[must_use]
+    pub fn new() -> Self {
+        StateTargetingHammer {
+            paced_activations: 19_500,
+            window_cycles: EST_STAGE1_WINDOW_CYCLES,
+            lock_threshold: 4,
+        }
+    }
+
+    /// Overrides the paced per-window activation budget.
+    #[must_use]
+    pub fn with_paced_activations(mut self, activations: u64) -> Self {
+        self.paced_activations = activations.max(1);
+        self
+    }
+
+    /// Overrides the scrub-gap age (in windows) at which the hammer
+    /// escalates from paced pressure to a full-rate burst.
+    #[must_use]
+    pub fn with_lock_threshold(mut self, windows: u64) -> Self {
+        self.lock_threshold = windows.max(1);
+        self
+    }
+
+    /// The paced per-window activation budget.
+    #[must_use]
+    pub fn paced_activations(&self) -> u64 {
+        self.paced_activations
+    }
+
+    /// The state row hammered at `window`, given each row's scrub age
+    /// (windows since the incremental scrub last verified it), or `None`
+    /// when no state rows are known. Locks onto the stalest row; ties
+    /// rotate round-robin so equally fresh rows all accumulate pressure.
+    #[must_use]
+    pub fn target_at(&self, window: u64, ages: &[u64]) -> Option<usize> {
+        let stalest = ages.iter().copied().max()?;
+        let k = ages.iter().filter(|&&a| a == stalest).count() as u64;
+        let pick = window % k;
+        ages.iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == stalest)
+            .nth(usize::try_from(pick).expect("pick < k <= ages.len()"))
+            .map(|(i, _)| i)
+    }
+
+    /// Activations landed on the target during one window whose scrub
+    /// age is `age`: paced below the stage-1 trip rate while the scrub
+    /// keeps the gap short (stealth), a full-rate burst once the gap
+    /// exceeds the lock threshold — the scrub is behind, so flips landed
+    /// now survive longest.
+    #[must_use]
+    pub fn window_activations(&self, age: u64) -> u64 {
+        if age >= self.lock_threshold {
+            RestartAwareHammer::burst_activations(self.window_cycles)
+        } else {
+            self.paced_activations
+        }
+    }
+
+    /// Activations landed inside a detector downtime gap of `gap` cycles
+    /// (restart recovery — no scrubbing at all), using the same gap
+    /// arithmetic as [`RestartAwareHammer::burst_activations`].
+    #[must_use]
+    pub fn gap_activations(gap: u64) -> u64 {
+        RestartAwareHammer::burst_activations(gap)
+    }
+}
+
+impl Default for StateTargetingHammer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EST_ATTACK_ACCESS_CYCLES;
+
+    #[test]
+    fn locks_onto_the_stalest_row() {
+        let h = StateTargetingHammer::new();
+        for w in 0..100 {
+            assert_eq!(h.target_at(w, &[0, 3, 1, 2]), Some(1));
+        }
+        // Once the scrub visits row 1 its age resets and the hammer
+        // moves to the new stalest row.
+        assert_eq!(h.target_at(7, &[0, 0, 1, 2]), Some(3));
+    }
+
+    #[test]
+    fn ties_rotate_round_robin() {
+        let h = StateTargetingHammer::new();
+        let ages = [2, 2, 0, 2];
+        let mut hits = [0u64; 4];
+        for w in 0..3_000 {
+            hits[h.target_at(w, &ages).unwrap()] += 1;
+        }
+        assert_eq!(hits, [1_000, 1_000, 0, 1_000]);
+        assert!(h.target_at(0, &[]).is_none());
+    }
+
+    #[test]
+    fn targeting_is_a_pure_function_of_window_and_ages() {
+        let h = StateTargetingHammer::new();
+        let ages = [1, 4, 0, 4, 2];
+        for w in 0..500 {
+            assert_eq!(h.target_at(w, &ages), h.target_at(w, &ages));
+        }
+    }
+
+    #[test]
+    fn scrub_gaps_escalate_to_full_rate_bursts() {
+        let h = StateTargetingHammer::new();
+        // While the incremental scrub keeps up (one rotation = 4
+        // windows), the hammer stays paced below the stage-1 trip rate.
+        for age in 0..4 {
+            assert_eq!(h.window_activations(age), 19_500);
+        }
+        // Past the lock threshold: a full-window burst.
+        assert_eq!(
+            h.window_activations(4),
+            EST_STAGE1_WINDOW_CYCLES / EST_ATTACK_ACCESS_CYCLES
+        );
+        assert!(h.window_activations(4) > 4 * h.paced_activations());
+        assert_eq!(
+            StateTargetingHammer::gap_activations(4_000_000),
+            4_000_000 / 187
+        );
+    }
+
+    #[test]
+    fn lock_threshold_is_tunable() {
+        let h = StateTargetingHammer::new().with_lock_threshold(2);
+        assert_eq!(h.window_activations(1), 19_500);
+        assert!(h.window_activations(2) > 19_500);
+    }
+}

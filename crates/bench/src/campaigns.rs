@@ -11,9 +11,10 @@
 //! thread-count independence.
 
 use crate::harness::{
-    detection_run, evasion_resilience_run, resilience_run, run_cells, run_cells_checked,
-    AttackKind, CellPanic, DetectionSummary, ResilienceSummary,
+    detection_run, evasion_resilience_run, resilience_run, run_cells_checked, AttackKind,
+    CellPanic, DetectionSummary, ResilienceSummary,
 };
+use crate::selfdefense::ArmCell as SelfDefenseCell;
 use anvil_adversary::{CamouflageHammer, DistributedManySided, DutyCycleHammer, PacedHammer};
 use anvil_analyze::{extract_witness, verify_archetype, Archetype, SymbolicBound, Witness};
 use anvil_attacks::Attack;
@@ -621,9 +622,12 @@ pub fn verify(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> VerifyOutc
             }
         }
     }
-    let cells = run_cells(threads, jobs);
+    let (cells, panics) = split_cells(run_cells_checked(threads, jobs));
 
-    let (mut proved, mut refuted, mut unconfirmed, mut violations) = (0u32, 0u32, 0u32, 0u32);
+    // A panicked cell is a proof obligation that never discharged:
+    // count it as a violation so the merge gate fails closed.
+    let (mut proved, mut refuted, mut unconfirmed, mut violations) =
+        (0u32, 0u32, 0u32, panics.len() as u32);
     let mut demonstrated = false;
     for c in &cells {
         match c.verdict {
@@ -684,6 +688,7 @@ pub fn verify(smoke: bool, run_ms: f64, seed: u64, threads: usize) -> VerifyOutc
         "unconfirmed": unconfirmed,
         "violations": violations,
         "demonstrated": demonstrated,
+        "cell_panics": panics.iter().map(|p| serde_json::to_value(p)).collect::<Vec<Value>>(),
         "cells": cell_values,
     });
     VerifyOutcome {
@@ -762,8 +767,10 @@ pub fn detection_matrix(run_ms: f64, threads: usize) -> DetectionMatrixOutcome {
             }
         }
     }
-    let cells = run_cells(threads, jobs);
-    let mut misses = 0u32;
+    let (cells, panics) = split_cells(run_cells_checked(threads, jobs));
+    // A panicked cell proved nothing about its attack × config pair, so
+    // it counts against the campaign exactly like a missed detection.
+    let mut misses = u32::try_from(panics.len()).unwrap_or(u32::MAX);
     for c in &cells {
         if c.in_scope && (c.summary.detect_ms.is_none() || c.summary.flips > 0) {
             misses += 1;
@@ -781,7 +788,13 @@ pub fn detection_matrix(run_ms: f64, threads: usize) -> DetectionMatrixOutcome {
             })
         })
         .collect();
-    let json = json!({ "experiment": "detection_matrix", "rows": records, "misses": misses });
+    let panic_values: Vec<Value> = panics.iter().map(serde_json::to_value).collect();
+    let json = json!({
+        "experiment": "detection_matrix",
+        "rows": records,
+        "misses": misses,
+        "cell_panics": panic_values,
+    });
     DetectionMatrixOutcome {
         cells,
         misses,
@@ -885,11 +898,21 @@ pub struct FuzzOutcome {
 /// back in submission order, so the record is byte-for-byte identical
 /// at any thread count.
 pub fn fuzz(smoke: bool, seed: u64, threads: usize) -> FuzzOutcome {
+    // Panicked candidate cells flow back to the fuzzer as `Err` strings
+    // (its report format), but the typed records are kept too so the
+    // JSON carries them the same way every other campaign does.
+    let panic_log: std::cell::RefCell<Vec<CellPanic>> = std::cell::RefCell::new(Vec::new());
     let exec = |batch: Vec<Scenario>| -> Vec<Result<ScenarioOutcome, String>> {
         let cells: Vec<_> = batch.into_iter().map(|s| move || s.run()).collect();
         run_cells_checked(threads, cells)
             .into_iter()
-            .map(|r| r.map_err(|p| p.to_string()))
+            .map(|r| {
+                r.map_err(|p| {
+                    let rendered = p.to_string();
+                    panic_log.borrow_mut().push(p);
+                    rendered
+                })
+            })
             .collect()
     };
     let standard_opts = if smoke {
@@ -935,6 +958,7 @@ pub fn fuzz(smoke: bool, seed: u64, threads: usize) -> FuzzOutcome {
         }
     }
 
+    let cell_panics = panic_log.into_inner();
     let json = json!({
         "experiment": "fuzz",
         "seed": seed,
@@ -942,6 +966,7 @@ pub fn fuzz(smoke: bool, seed: u64, threads: usize) -> FuzzOutcome {
         "standard": serde_json::to_value(&standard),
         "canary": serde_json::to_value(&canary),
         "violations": violations,
+        "cell_panics": cell_panics.iter().map(|p| serde_json::to_value(p)).collect::<Vec<Value>>(),
     });
     FuzzOutcome {
         standard,
@@ -1012,6 +1037,162 @@ pub fn fleet(cfg: &FleetConfig, smoke: bool, threads: usize) -> FleetOutcome {
         risk,
         machines,
         panics,
+        json,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-defense
+// ---------------------------------------------------------------------------
+
+/// Aggregate verdict of the self-defense campaign: the unguarded
+/// baseline must demonstrably lose detections (and data) to the
+/// state-targeting attack, while the guarded detector must declare every
+/// corruption and protect the co-located data victim.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SelfDefenseVerdict {
+    /// Detections summed over unguarded cells.
+    pub baseline_detections: u64,
+    /// Detections summed over guarded cells.
+    pub guarded_detections: u64,
+    /// Undeclared data-victim flips summed over unguarded cells.
+    pub baseline_undeclared: u64,
+    /// Undeclared data-victim flips summed over guarded cells.
+    pub guarded_undeclared: u64,
+    /// State flips the attacker landed on guarded cells.
+    pub guarded_injected: u64,
+    /// Corruptions the guarded detector repaired in place.
+    pub guarded_repaired: u64,
+    /// Corruptions the guarded detector escalated to a cold restart.
+    pub guarded_escalated: u64,
+    /// Injected sites a guarded cell absorbed without ever declaring.
+    pub guarded_absorbed: u64,
+    /// State flips silently absorbed by the unguarded baseline.
+    pub baseline_absorbed: u64,
+    /// Whether every guarded recovery gap stayed inside the envelope's
+    /// downtime budget.
+    pub within_budget: bool,
+    /// Cells that panicked instead of completing.
+    pub cell_panics: u64,
+}
+
+impl SelfDefenseVerdict {
+    fn aggregate(cells: &[SelfDefenseCell], panics: u64) -> Self {
+        let mut v = Self {
+            baseline_detections: 0,
+            guarded_detections: 0,
+            baseline_undeclared: 0,
+            guarded_undeclared: 0,
+            guarded_injected: 0,
+            guarded_repaired: 0,
+            guarded_escalated: 0,
+            guarded_absorbed: 0,
+            baseline_absorbed: 0,
+            within_budget: true,
+            cell_panics: panics,
+        };
+        for c in cells {
+            if c.arm == "guarded" {
+                v.guarded_detections += c.detections;
+                v.guarded_undeclared += c.undeclared_flips;
+                v.guarded_injected += c.state_flips_injected;
+                v.guarded_repaired += c.declared_repaired;
+                v.guarded_escalated += c.declared_escalated;
+                v.guarded_absorbed += c.silently_absorbed_sites;
+                v.within_budget &= c.within_budget;
+            } else {
+                v.baseline_detections += c.detections;
+                v.baseline_undeclared += c.undeclared_flips;
+                v.baseline_absorbed += c.silently_absorbed_sites;
+            }
+        }
+        v
+    }
+
+    /// The merge gate. Each clause is one claim of DESIGN.md §15: the
+    /// attack works (the baseline goes blind and loses data, absorbing
+    /// every flip silently), the guard defeats it (more detections, no
+    /// undeclared data flips), and the self-integrity contract holds
+    /// (every injected corruption repaired or escalated — never
+    /// silently absorbed — with both policy arms exercised and every
+    /// declared outage inside the downtime budget).
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.guarded_detections > self.baseline_detections
+            && self.baseline_undeclared > 0
+            && self.baseline_absorbed > 0
+            && self.guarded_undeclared == 0
+            && self.guarded_injected > 0
+            && self.guarded_absorbed == 0
+            && self.guarded_repaired > 0
+            && self.guarded_escalated > 0
+            && self.within_budget
+            && self.cell_panics == 0
+    }
+}
+
+/// Everything the `selfdefense` binary needs: per-arm cells, the
+/// aggregate verdict, and the exact JSON record for
+/// `results/selfdefense.json`.
+#[derive(Debug)]
+pub struct SelfDefenseOutcome {
+    /// Per-(trial, arm) cells, unguarded before guarded within a trial.
+    pub cells: Vec<SelfDefenseCell>,
+    /// Cells that panicked instead of completing.
+    pub panics: Vec<CellPanic>,
+    /// The aggregate merge-gate verdict.
+    pub verdict: SelfDefenseVerdict,
+    /// The machine-readable record.
+    pub json: Value,
+}
+
+/// Runs the self-defense campaign: `trials` seeds, each simulated twice
+/// — unguarded baseline and guarded detector — under the identical
+/// state-targeting attack. One `(trial, arm)` pair is one pure cell of
+/// `(seed, windows, guarded, trial)`:
+/// [`run_self_defense_arm`](crate::selfdefense::run_arm) fans across up
+/// to `threads` workers via [`run_cells_checked`] and folds in
+/// submission order, so the record is byte-for-byte identical at any
+/// thread count.
+pub fn selfdefense(smoke: bool, seed: u64, threads: usize) -> SelfDefenseOutcome {
+    let (trials, windows) = if smoke { (2, 160) } else { (3, 420) };
+    let mut jobs: Vec<Box<dyn FnOnce() -> SelfDefenseCell + Send>> = Vec::new();
+    for trial in 0..trials {
+        for guarded in [false, true] {
+            jobs.push(Box::new(move || {
+                let c = crate::selfdefense::run_arm(seed, windows, guarded, trial);
+                eprintln!(
+                    "  [trial {trial} {}] detections {}, state flips {}, repaired {}, \
+                     escalated {}, absorbed {}, undeclared data flips {}",
+                    c.arm,
+                    c.detections,
+                    c.state_flips_injected,
+                    c.declared_repaired,
+                    c.declared_escalated,
+                    c.silently_absorbed_sites,
+                    c.undeclared_flips
+                );
+                c
+            }));
+        }
+    }
+    let (cells, panics) = split_cells(run_cells_checked(threads, jobs));
+    let verdict = SelfDefenseVerdict::aggregate(&cells, panics.len() as u64);
+    let json = json!({
+        "experiment": "selfdefense",
+        "seed": seed,
+        "smoke": smoke,
+        "trials": trials,
+        "windows": windows,
+        "verdict": serde_json::to_value(&verdict),
+        "cell_panics": panics.iter().map(|p| serde_json::to_value(p)).collect::<Vec<Value>>(),
+        "cells": cells.iter().map(|c| serde_json::to_value(c)).collect::<Vec<Value>>(),
+        "holds": verdict.holds(),
+    });
+    SelfDefenseOutcome {
+        cells,
+        panics,
+        verdict,
         json,
     }
 }

@@ -21,6 +21,7 @@
 pub mod campaigns;
 pub mod harness;
 pub mod report;
+pub mod selfdefense;
 
 pub use harness::{
     detection_run, double_refresh_platform, evasion_resilience_run, false_positive_rate,

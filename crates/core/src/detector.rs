@@ -10,6 +10,7 @@
 use crate::checkpoint::{config_hash, DetectorCheckpoint, CHECKPOINT_VERSION};
 use crate::config::AnvilConfig;
 use crate::error::{ConfigError, RuntimeError};
+use crate::guard::{GuardMode, GuardedCell, GuardedValue, StateCorruption, StateSite};
 use crate::locality::{analyze_with_ledger, LocalityReport, RowSample, SuspicionLedger};
 use crate::transition;
 use anvil_dram::{AddressMapping, BankId, CpuClock, Cycle, DramLocation, RowId};
@@ -66,6 +67,15 @@ pub struct DetectorStats {
     /// finding, so sampling continued instead of returning to counting
     /// (duty-cycle evasion denied its quiet phase).
     pub resample_windows: u64,
+    /// Guarded state-cell corruptions the scrubber repaired from a
+    /// checksummed replica majority (the computed value was never wrong).
+    #[serde(default)]
+    pub state_repairs: u64,
+    /// Guarded state-cell corruptions with no trustworthy majority: the
+    /// cell was re-sealed to a deterministic best guess and the policy
+    /// layer must escalate (cold restart from the last good checkpoint).
+    #[serde(default)]
+    pub state_escalations: u64,
 }
 
 /// A compact fingerprint of a run's detector behaviour: each headline
@@ -179,16 +189,29 @@ pub struct AnvilDetector {
     stats: DetectorStats,
     dropped_at_arm: u64,
     /// EWMA-carried stage-1 miss evidence (hardening; 0 when disabled).
-    carry: f64,
-    /// Splitmix64 state for the window-phase jitter stream.
-    phase_state: u64,
+    /// Guarded: this is the cell a state-targeting attacker most wants to
+    /// clear.
+    carry: GuardedCell<f64>,
+    /// Splitmix64 state for the window-phase jitter stream (guarded).
+    phase_state: GuardedCell<u64>,
     /// Length of the current stage-1 window as a fraction of `tc` (the
     /// trip threshold scales with it so the armed *rate* is unchanged).
-    window_scale: f64,
-    /// Cross-window per-row suspicion scores (hardening).
+    /// Guarded.
+    window_scale: GuardedCell<f64>,
+    /// Cross-window per-row suspicion scores (hardening; its entries are
+    /// guarded cells too).
     ledger: SuspicionLedger,
-    /// Consecutive sticky-sampling re-arms in the current stage-2 run.
-    resamples: u32,
+    /// Consecutive sticky-sampling re-arms in the current stage-2 run
+    /// (guarded).
+    resamples: GuardedCell<u32>,
+    /// How guarded cells are read: majority-decode with scrubbing
+    /// ([`GuardMode::Guarded`], the default) or blind replica-0 trust
+    /// (the `selfdefense` campaign's baseline arm). Runtime policy, never
+    /// checkpointed.
+    guard: GuardMode,
+    /// Corruptions found by scrubs and guarded accesses since the last
+    /// [`take_state_corruptions`](Self::take_state_corruptions) drain.
+    corruptions: Vec<StateCorruption>,
     /// The PEBS filter armed for the in-flight stage-2 window (carried by
     /// checkpoints so restore can re-arm the same facility).
     armed_filter: SampleFilter,
@@ -200,6 +223,67 @@ pub struct AnvilDetector {
     /// reuses one allocation instead of regrowing a fresh `Vec`. Not part
     /// of the detector's logical state (never checkpointed).
     records_scratch: Vec<SampleRecord>,
+}
+
+/// Records a corruption finding: counts it in the stats and queues it for
+/// the policy layer to drain.
+fn note_corruption(log: &mut Vec<StateCorruption>, stats: &mut DetectorStats, c: StateCorruption) {
+    if c.repaired {
+        stats.state_repairs = stats.state_repairs.saturating_add(1);
+    } else {
+        stats.state_escalations = stats.state_escalations.saturating_add(1);
+    }
+    log.push(c);
+}
+
+/// Non-mutating mode-aware read: majority-decode (guarded) or blind
+/// replica-0 trust (unguarded). Used by `&self` paths like checkpointing.
+fn read_cell<T: GuardedValue>(guard: GuardMode, cell: &GuardedCell<T>) -> T {
+    match guard {
+        GuardMode::Guarded => cell.peek(),
+        GuardMode::Unguarded => cell.raw(),
+    }
+}
+
+/// Reads a guarded cell under the active mode: scrub-verify then
+/// majority-decode (guarded), or blind replica-0 trust (unguarded
+/// baseline). Free function so callers can borrow disjoint detector
+/// fields.
+fn cell_load<T: GuardedValue>(
+    guard: GuardMode,
+    log: &mut Vec<StateCorruption>,
+    stats: &mut DetectorStats,
+    cell: &mut GuardedCell<T>,
+    site: StateSite,
+) -> T {
+    match guard {
+        GuardMode::Unguarded => cell.raw(),
+        GuardMode::Guarded => {
+            if let Some(c) = cell.scrub(site) {
+                note_corruption(log, stats, c);
+            }
+            cell.peek()
+        }
+    }
+}
+
+/// Writes a guarded cell. In guarded mode the cell is scrubbed *first*,
+/// so pre-existing corruption is reported before the write re-seals every
+/// replica — never silently absorbed.
+fn cell_store<T: GuardedValue>(
+    guard: GuardMode,
+    log: &mut Vec<StateCorruption>,
+    stats: &mut DetectorStats,
+    cell: &mut GuardedCell<T>,
+    site: StateSite,
+    value: T,
+) {
+    if guard == GuardMode::Guarded {
+        if let Some(c) = cell.scrub(site) {
+            note_corruption(log, stats, c);
+        }
+    }
+    cell.store(value);
 }
 
 impl AnvilDetector {
@@ -232,11 +316,13 @@ impl AnvilDetector {
             deadline: 0,
             stats: DetectorStats::default(),
             dropped_at_arm: 0,
-            carry: 0.0,
-            phase_state: config.hardening.phase_seed,
-            window_scale: 1.0,
+            carry: GuardedCell::new(0.0),
+            phase_state: GuardedCell::new(config.hardening.phase_seed),
+            window_scale: GuardedCell::new(1.0),
             ledger: SuspicionLedger::new(),
-            resamples: 0,
+            resamples: GuardedCell::new(0),
+            guard: GuardMode::Guarded,
+            corruptions: Vec::new(),
             armed_filter: SampleFilter::LoadsAndStores,
             config_fingerprint: config_hash(&config),
             records_scratch: Vec::new(),
@@ -252,11 +338,41 @@ impl AnvilDetector {
     fn next_stage1_window(&mut self) -> Cycle {
         let h = self.config.hardening;
         if !h.enabled || h.phase_jitter <= 0.0 {
-            self.window_scale = 1.0;
+            cell_store(
+                self.guard,
+                &mut self.corruptions,
+                &mut self.stats,
+                &mut self.window_scale,
+                StateSite::WindowScale,
+                1.0,
+            );
             return self.tc;
         }
-        self.window_scale = transition::draw_window_scale(&h, &mut self.phase_state);
-        ((self.tc as f64 * self.window_scale) as Cycle).max(1)
+        let mut phase = cell_load(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.phase_state,
+            StateSite::PhaseState,
+        );
+        let scale = transition::draw_window_scale(&h, &mut phase);
+        cell_store(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.phase_state,
+            StateSite::PhaseState,
+            phase,
+        );
+        cell_store(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.window_scale,
+            StateSite::WindowScale,
+            scale,
+        );
+        ((self.tc as f64 * scale) as Cycle).max(1)
     }
 
     /// The active configuration.
@@ -315,10 +431,30 @@ impl AnvilDetector {
         // each window just under the threshold — accumulates to a trip
         // instead of resetting the counter.
         let h = self.config.hardening;
-        let normalized = misses as f64 / self.window_scale;
-        let step =
-            transition::stage1_step(&h, self.config.llc_miss_threshold, self.carry, normalized);
-        self.carry = step.next_carry;
+        let window_scale = cell_load(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.window_scale,
+            StateSite::WindowScale,
+        );
+        let carry = cell_load(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.carry,
+            StateSite::Carry,
+        );
+        let normalized = misses as f64 / window_scale;
+        let step = transition::stage1_step(&h, self.config.llc_miss_threshold, carry, normalized);
+        cell_store(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.carry,
+            StateSite::Carry,
+            step.next_carry,
+        );
         if !step.tripped {
             self.restart_stage1(now, pmu);
             return ServiceOutcome::Quiet {
@@ -416,6 +552,11 @@ impl AnvilDetector {
             .stats
             .ledger_flags
             .saturating_add(report.aggressors.iter().filter(|a| a.via_ledger).count() as u64);
+        // The ledger scrubs its own cells as absorption touches them;
+        // fold what it found into the detector's corruption accounting.
+        for c in self.ledger.take_corruptions() {
+            note_corruption(&mut self.corruptions, &mut self.stats, c);
+        }
 
         // Victim rows: the neighbors of each aggressor, deduplicated,
         // excluding rows that are themselves aggressors (reading an
@@ -492,14 +633,28 @@ impl AnvilDetector {
         // arm boundary. Returning to counting would hand a duty-cycled
         // attacker its quiet phase back; keep sampling instead (bounded,
         // so a benign phase change cannot pin the detector in stage 2).
+        let resamples = cell_load(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.resamples,
+            StateSite::Resamples,
+        );
         if transition::sticky_resample(
             &h,
             report.detected(),
             misses,
             self.config.llc_miss_threshold,
-            self.resamples,
+            resamples,
         ) {
-            self.resamples += 1;
+            cell_store(
+                self.guard,
+                &mut self.corruptions,
+                &mut self.stats,
+                &mut self.resamples,
+                StateSite::Resamples,
+                resamples + 1,
+            );
             self.stats.resample_windows = self.stats.resample_windows.saturating_add(1);
             pmu.counter_mut(EventKind::LongestLatCacheMiss).clear();
             pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
@@ -528,7 +683,14 @@ impl AnvilDetector {
         pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
             .clear();
         self.stage = DetectorStage::MissCount;
-        self.resamples = 0;
+        cell_store(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.resamples,
+            StateSite::Resamples,
+            0,
+        );
         let window = self.next_stage1_window();
         self.deadline = now + window;
     }
@@ -537,6 +699,119 @@ impl AnvilDetector {
     /// enabled).
     pub fn ledger(&self) -> &SuspicionLedger {
         &self.ledger
+    }
+
+    /// Switches between the self-defending guarded mode (default) and
+    /// the blind unguarded baseline the `selfdefense` campaign measures
+    /// against. Applies to every guarded cell including the ledger's.
+    pub fn set_state_guard(&mut self, guarded: bool) {
+        self.guard = if guarded {
+            GuardMode::Guarded
+        } else {
+            GuardMode::Unguarded
+        };
+        self.ledger.set_guarded(guarded);
+    }
+
+    /// Whether guarded-mode reads and scrubbing are active.
+    pub fn state_guarded(&self) -> bool {
+        self.guard == GuardMode::Guarded
+    }
+
+    /// Number of guarded state cells right now: four fixed cells (carry,
+    /// phase state, window scale, resamples) plus two per suspicion-ledger
+    /// entry. Ledger churn changes the count between windows; injectors
+    /// index modulo the current count.
+    pub fn state_cell_count(&self) -> usize {
+        4 + self.ledger.cell_count()
+    }
+
+    /// XORs one bit into the chosen replicas of state cell `index` (see
+    /// [`state_cell_count`](Self::state_cell_count) for the layout and
+    /// [`GuardedCell::corrupt`] for the bit/replica encoding). This is
+    /// the injection surface shared by the software fault injector, the
+    /// physical row map in `anvil-mem`, and the proptests. Returns the
+    /// [`StateSite`] hit, or `None` for an out-of-range index.
+    pub fn corrupt_state_cell(
+        &mut self,
+        index: usize,
+        replica_mask: u8,
+        bit: u8,
+    ) -> Option<StateSite> {
+        match index {
+            0 => {
+                self.carry.corrupt(replica_mask, bit);
+                Some(StateSite::Carry)
+            }
+            1 => {
+                self.phase_state.corrupt(replica_mask, bit);
+                Some(StateSite::PhaseState)
+            }
+            2 => {
+                self.window_scale.corrupt(replica_mask, bit);
+                Some(StateSite::WindowScale)
+            }
+            3 => {
+                self.resamples.corrupt(replica_mask, bit);
+                Some(StateSite::Resamples)
+            }
+            i => self.ledger.corrupt_cell(i - 4, replica_mask, bit),
+        }
+    }
+
+    /// One incremental scrub step: verifies (and repairs or escalates)
+    /// every state cell whose index is congruent to `slice` modulo `of`,
+    /// so a full pass over the detector's state completes every `of`
+    /// windows. No-op in unguarded mode. Corruptions found are counted in
+    /// the stats and queued for
+    /// [`take_state_corruptions`](Self::take_state_corruptions).
+    pub fn scrub_state_slice(&mut self, slice: u64, of: u64) {
+        if self.guard != GuardMode::Guarded {
+            return;
+        }
+        let of = of.max(1);
+        let slice = slice % of;
+        if 0 % of == slice {
+            if let Some(c) = self.carry.scrub(StateSite::Carry) {
+                note_corruption(&mut self.corruptions, &mut self.stats, c);
+            }
+        }
+        if 1 % of == slice {
+            if let Some(c) = self.phase_state.scrub(StateSite::PhaseState) {
+                note_corruption(&mut self.corruptions, &mut self.stats, c);
+            }
+        }
+        if 2 % of == slice {
+            if let Some(c) = self.window_scale.scrub(StateSite::WindowScale) {
+                note_corruption(&mut self.corruptions, &mut self.stats, c);
+            }
+        }
+        if 3 % of == slice {
+            if let Some(c) = self.resamples.scrub(StateSite::Resamples) {
+                note_corruption(&mut self.corruptions, &mut self.stats, c);
+            }
+        }
+        self.ledger.scrub_cells(slice, of, 4);
+        for c in self.ledger.take_corruptions() {
+            note_corruption(&mut self.corruptions, &mut self.stats, c);
+        }
+    }
+
+    /// A full scrub pass over every state cell (campaign teardown and
+    /// tests; the steady state uses
+    /// [`scrub_state_slice`](Self::scrub_state_slice)).
+    pub fn scrub_state_all(&mut self) {
+        for slice in 0..self.state_cell_count().max(1) as u64 {
+            self.scrub_state_slice(slice, self.state_cell_count().max(1) as u64);
+        }
+    }
+
+    /// Drains the corruption reports accumulated since the last drain.
+    /// The policy layer (supervisor / platform) maps `repaired` to a
+    /// repair counter and `!repaired` to an escalation (cold restart from
+    /// the last good checkpoint).
+    pub fn take_state_corruptions(&mut self) -> Vec<StateCorruption> {
+        std::mem::take(&mut self.corruptions)
     }
 
     /// Snapshots the full detector state.
@@ -555,12 +830,12 @@ impl AnvilDetector {
             armed_filter: self.armed_filter,
             deadline: self.deadline,
             stats: self.stats,
-            carry: self.carry,
-            phase_state: self.phase_state,
-            window_scale: self.window_scale,
+            carry: read_cell(self.guard, &self.carry),
+            phase_state: read_cell(self.guard, &self.phase_state),
+            window_scale: read_cell(self.guard, &self.window_scale),
             pebs_jitter: pmu.sampler().jitter_state(),
             ledger: self.ledger.to_rows(),
-            resamples: self.resamples,
+            resamples: read_cell(self.guard, &self.resamples),
         }
     }
 
@@ -622,11 +897,13 @@ impl AnvilDetector {
             deadline: ckpt.deadline,
             stats: ckpt.stats,
             dropped_at_arm: 0,
-            carry: ckpt.carry,
-            phase_state: ckpt.phase_state,
-            window_scale: ckpt.window_scale,
+            carry: GuardedCell::new(ckpt.carry),
+            phase_state: GuardedCell::new(ckpt.phase_state),
+            window_scale: GuardedCell::new(ckpt.window_scale),
             ledger: SuspicionLedger::from_rows(&ckpt.ledger),
-            resamples: ckpt.resamples,
+            resamples: GuardedCell::new(ckpt.resamples),
+            guard: GuardMode::Guarded,
+            corruptions: Vec::new(),
             armed_filter: ckpt.armed_filter,
             config_fingerprint: expected,
             records_scratch: Vec::new(),

@@ -68,11 +68,13 @@ mod config;
 mod detector;
 mod envelope;
 mod error;
+mod guard;
 mod locality;
 mod platform;
 pub mod transition;
 
 pub use checkpoint::{config_hash, fnv1a64, DetectorCheckpoint, CHECKPOINT_VERSION};
+pub use guard::{GuardMode, GuardedCell, GuardedValue, StateCorruption, StateSite, REPLICAS};
 pub use config::{AnvilConfig, DegradedMode, DetectorCosts, HardeningConfig, PAPER_REFRESH_MS};
 pub use detector::{AnvilDetector, DetectorStage, DetectorStats, ServiceOutcome, StateSignature};
 pub use envelope::{EnvelopeParams, GuaranteeEnvelope};
@@ -81,4 +83,6 @@ pub use locality::{
     analyze, analyze_with_ledger, AggressorFinding, LedgerRow, LocalityReport, RowSample,
     SuspicionLedger, FULL_WEIGHT,
 };
-pub use platform::{CoreStats, DetectionEvent, Platform, PlatformConfig, ResponsePolicy};
+pub use platform::{
+    CoreStats, DetectionEvent, Platform, PlatformConfig, ResponsePolicy, SCRUB_SLICES,
+};

@@ -10,6 +10,7 @@
 //! there are other row access samples from the same DRAM bank."
 
 use crate::config::AnvilConfig;
+use crate::guard::{GuardedCell, GuardedValue, StateCorruption, StateSite};
 use anvil_dram::{Cycle, RowId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -97,20 +98,65 @@ impl LocalityReport {
 /// [`from_rows`](SuspicionLedger::from_rows)). `windows` is a `u64` with
 /// saturating accumulation because a long-horizon service can absorb
 /// evidence for millions of windows.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SuspicionLedger {
     entries: BTreeMap<RowId, LedgerEntry>,
+    /// Whether entry cells are read by checksummed majority (`true`, the
+    /// default) or blind replica-0 trust (the `selfdefense` baseline).
+    /// Runtime policy: never serialized, ignored by equality.
+    guarded: bool,
+    /// Corruptions found since the last
+    /// [`take_corruptions`](Self::take_corruptions) drain. Transient:
+    /// never serialized, ignored by equality.
+    pending: Vec<StateCorruption>,
 }
 
-/// One row's accumulated evidence.
+impl Default for SuspicionLedger {
+    fn default() -> Self {
+        SuspicionLedger {
+            entries: BTreeMap::new(),
+            guarded: true,
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// Ledger equality is over the accumulated evidence only — the guard
+/// mode and the transient corruption queue are runtime state, and two
+/// ledgers that carry the same evidence must compare equal across a
+/// checkpoint round-trip.
+impl PartialEq for SuspicionLedger {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+/// One row's accumulated evidence. Score and window count live in
+/// guarded cells: they are exactly the values a state-targeting attacker
+/// wants to clear (a zeroed score un-convicts an aggressor).
 #[derive(Debug, Clone, PartialEq)]
 struct LedgerEntry {
     /// Decayed sum of per-window estimated activation rates.
-    score: f64,
+    score: GuardedCell<f64>,
     /// Distinct stage-2 windows that contributed evidence.
-    windows: u64,
+    windows: GuardedCell<u64>,
     /// Processes whose samples contributed (sorted, deduplicated).
     pids: Vec<u32>,
+}
+
+/// Packs a row id into the stable `u64` key [`StateSite`] uses, so
+/// corruption accounting survives ledger pruning and re-insertion.
+fn site_key(row: RowId) -> u64 {
+    (u64::from(row.bank.0) << 32) | u64::from(row.row)
+}
+
+/// Mode-aware non-mutating cell read.
+fn read_cell<T: GuardedValue>(guarded: bool, cell: &GuardedCell<T>) -> T {
+    if guarded {
+        cell.peek()
+    } else {
+        cell.raw()
+    }
 }
 
 /// One ledger entry in serializable form (detector checkpoints).
@@ -147,32 +193,57 @@ impl SuspicionLedger {
 
     /// The accumulated score for `row` (zero when absent).
     pub fn score(&self, row: RowId) -> f64 {
-        self.entries.get(&row).map_or(0.0, |e| e.score)
+        self.entries
+            .get(&row)
+            .map_or(0.0, |e| read_cell(self.guarded, &e.score))
     }
 
     /// Decays every entry, folds in one window's per-row evidence, and
-    /// prunes entries that have decayed to noise.
+    /// prunes entries that have decayed to noise. Guarded: every cell is
+    /// scrubbed as absorption touches it, so a corrupted score is
+    /// reported (and repaired or escalated) *before* the decayed value is
+    /// recomputed from it — never silently absorbed by the rewrite.
     fn absorb(&mut self, decay: f64, evidence: &BTreeMap<RowId, (f64, Vec<u32>)>) {
-        for (row, e) in &mut self.entries {
-            if !evidence.contains_key(row) {
-                e.score = crate::transition::ledger_step(decay, e.score, 0.0);
+        let guarded = self.guarded;
+        let pending = &mut self.pending;
+        let mut touch = |row: RowId, e: &mut LedgerEntry, rate: f64, bump: bool| {
+            if guarded {
+                if let Some(c) = e.score.scrub(StateSite::LedgerScore(site_key(row))) {
+                    pending.push(c);
+                }
+                if let Some(c) = e.windows.scrub(StateSite::LedgerWindows(site_key(row))) {
+                    pending.push(c);
+                }
+            }
+            let score = read_cell(guarded, &e.score);
+            e.score
+                .store(crate::transition::ledger_step(decay, score, rate));
+            if bump {
+                let windows = read_cell(guarded, &e.windows);
+                e.windows.store(windows.saturating_add(1));
+            }
+        };
+        for (&row, e) in &mut self.entries {
+            if !evidence.contains_key(&row) {
+                touch(row, e, 0.0, false);
             }
         }
         for (&row, (rate, pids)) in evidence {
-            let e = self.entries.entry(row).or_insert(LedgerEntry {
-                score: 0.0,
-                windows: 0,
+            let e = self.entries.entry(row).or_insert_with(|| LedgerEntry {
+                score: GuardedCell::new(0.0),
+                windows: GuardedCell::new(0),
                 pids: Vec::new(),
             });
-            e.score = crate::transition::ledger_step(decay, e.score, *rate);
-            e.windows = e.windows.saturating_add(1);
+            touch(row, e, *rate, true);
             for &pid in pids {
                 if !e.pids.contains(&pid) {
                     e.pids.push(pid);
                 }
             }
         }
-        self.entries.retain(|_, e| e.score >= PRUNE_BELOW);
+        let guarded = self.guarded;
+        self.entries
+            .retain(|_, e| read_cell(guarded, &e.score) >= PRUNE_BELOW);
     }
 
     /// Snapshots the ledger as serializable rows (checkpointing).
@@ -181,8 +252,8 @@ impl SuspicionLedger {
             .iter()
             .map(|(&row, e)| LedgerRow {
                 row,
-                score: e.score,
-                windows: e.windows,
+                score: read_cell(self.guarded, &e.score),
+                windows: read_cell(self.guarded, &e.windows),
                 pids: e.pids.clone(),
             })
             .collect()
@@ -198,14 +269,73 @@ impl SuspicionLedger {
                     (
                         r.row,
                         LedgerEntry {
-                            score: r.score,
-                            windows: r.windows,
+                            score: GuardedCell::new(r.score),
+                            windows: GuardedCell::new(r.windows),
                             pids: r.pids.clone(),
                         },
                     )
                 })
                 .collect(),
+            ..SuspicionLedger::default()
         }
+    }
+
+    /// Switches guarded (majority + scrub) vs unguarded (blind replica-0)
+    /// cell reads. See [`AnvilDetector::set_state_guard`][d].
+    ///
+    /// [d]: crate::AnvilDetector::set_state_guard
+    pub fn set_guarded(&mut self, guarded: bool) {
+        self.guarded = guarded;
+    }
+
+    /// Number of guarded cells the ledger currently holds (two per
+    /// entry: score and window count).
+    pub fn cell_count(&self) -> usize {
+        2 * self.entries.len()
+    }
+
+    /// XORs one bit into the chosen replicas of ledger cell `index`
+    /// (entry order × {score, windows}). Returns the [`StateSite`] hit,
+    /// or `None` when the index is out of range.
+    pub fn corrupt_cell(&mut self, index: usize, replica_mask: u8, bit: u8) -> Option<StateSite> {
+        let (&row, entry) = self.entries.iter_mut().nth(index / 2)?;
+        Some(if index.is_multiple_of(2) {
+            entry.score.corrupt(replica_mask, bit);
+            StateSite::LedgerScore(site_key(row))
+        } else {
+            entry.windows.corrupt(replica_mask, bit);
+            StateSite::LedgerWindows(site_key(row))
+        })
+    }
+
+    /// Scrubs every ledger cell whose global index (`base` + local
+    /// position) is congruent to `slice` modulo `of`, queueing findings
+    /// for [`take_corruptions`](Self::take_corruptions). No-op when
+    /// unguarded.
+    pub fn scrub_cells(&mut self, slice: u64, of: u64, base: u64) {
+        if !self.guarded {
+            return;
+        }
+        let of = of.max(1);
+        for (i, (&row, e)) in self.entries.iter_mut().enumerate() {
+            let score_index = base + 2 * i as u64;
+            if score_index % of == slice % of {
+                if let Some(c) = e.score.scrub(StateSite::LedgerScore(site_key(row))) {
+                    self.pending.push(c);
+                }
+            }
+            if (score_index + 1) % of == slice % of {
+                if let Some(c) = e.windows.scrub(StateSite::LedgerWindows(site_key(row))) {
+                    self.pending.push(c);
+                }
+            }
+        }
+    }
+
+    /// Drains the corruption reports found by scrubs and guarded
+    /// absorption since the last drain.
+    pub fn take_corruptions(&mut self) -> Vec<StateCorruption> {
+        std::mem::take(&mut self.pending)
     }
 }
 
@@ -309,8 +439,10 @@ pub fn analyze_with_ledger(
         ledger.absorb(h.ledger_decay, &evidence);
         let threshold = required * h.ledger_factor;
         for (&row, entry) in &ledger.entries {
-            if entry.score < threshold
-                || entry.windows < u64::from(h.ledger_min_windows)
+            let score = read_cell(ledger.guarded, &entry.score);
+            let windows = read_cell(ledger.guarded, &entry.windows);
+            if score < threshold
+                || windows < u64::from(h.ledger_min_windows)
                 || aggressors.iter().any(|a| a.row == row)
             {
                 continue;
@@ -325,7 +457,7 @@ pub fn analyze_with_ledger(
             aggressors.push(AggressorFinding {
                 row,
                 samples: *n,
-                estimated_rate: entry.score as u64,
+                estimated_rate: score as u64,
                 bank_support: per_bank[&row.bank.0] - n,
                 pids,
                 via_ledger: true,
@@ -567,8 +699,8 @@ mod tests {
         ledger.entries.insert(
             RowId::new(BankId(1), 7),
             LedgerEntry {
-                score: 1e9,
-                windows: u64::MAX,
+                score: GuardedCell::new(1e9),
+                windows: GuardedCell::new(u64::MAX),
                 pids: vec![3],
             },
         );
@@ -576,7 +708,7 @@ mod tests {
         evidence.insert(RowId::new(BankId(1), 7), (5_000.0, vec![3]));
         ledger.absorb(0.99, &evidence);
         let entry = &ledger.entries[&RowId::new(BankId(1), 7)];
-        assert_eq!(entry.windows, u64::MAX, "must saturate, not wrap");
+        assert_eq!(entry.windows.peek(), u64::MAX, "must saturate, not wrap");
     }
 
     #[test]

@@ -13,10 +13,13 @@
 use crate::config::AnvilConfig;
 use crate::detector::{AnvilDetector, DetectorStats, ServiceOutcome};
 use crate::error::PlatformError;
+use crate::guard::{StateCorruption, StateSite};
 use crate::locality::LocalityReport;
 use anvil_attacks::{Attack, AttackEnv, AttackOp};
 use anvil_dram::{Cycle, RowId};
-use anvil_faults::{DelayInjector, FaultPlan, FaultRng, TranslationInjector};
+use anvil_faults::{
+    DelayInjector, FaultPlan, FaultRng, StateCorruptionInjector, TranslationInjector,
+};
 use anvil_mem::{
     AccessKind, AllocationPolicy, FrameAllocator, MemoryConfig, MemorySystem, PagemapPolicy,
     Process,
@@ -128,6 +131,12 @@ pub struct CoreStats {
 /// that a batch never holds many milliseconds of simulated time.
 const BATCH_OPS: u64 = 1024;
 
+/// Number of slices the incremental state scrub divides the detector's
+/// cells into: each serviced window verifies one slice, so every cell is
+/// checked at least once every `SCRUB_SLICES` windows (~24 ms at the
+/// paper's 6 ms `tc`).
+pub const SCRUB_SLICES: u64 = 4;
+
 enum Program {
     Workload(Box<dyn Workload>),
     Attack(Box<dyn Attack>),
@@ -181,6 +190,9 @@ pub struct Platform {
     translation_faults: Option<TranslationInjector>,
     interrupt_jitter: Option<DelayInjector>,
     service_delay: Option<DelayInjector>,
+    state_faults: Option<StateCorruptionInjector>,
+    scrub_slice: u64,
+    state_corruptions: Vec<StateCorruption>,
     started: Cycle,
     last_compact: Cycle,
 }
@@ -203,6 +215,7 @@ impl Platform {
         let translation_faults = plan.translation_injector(root.fork(2));
         let interrupt_jitter = plan.interrupt_delay(root.fork(3));
         let service_delay = plan.service_delay(root.fork(4));
+        let state_faults = plan.state_injector(root.fork(6));
         sys.set_refresh_postpone(plan.refresh_postpone());
         let detector = config.anvil.map(|a| {
             AnvilDetector::new(
@@ -227,6 +240,9 @@ impl Platform {
             translation_faults,
             interrupt_jitter,
             service_delay,
+            state_faults,
+            scrub_slice: 0,
+            state_corruptions: Vec::new(),
             started: 0,
             last_compact: 0,
             config,
@@ -272,6 +288,44 @@ impl Platform {
     /// Bit flips the DRAM has produced so far.
     pub fn total_flips(&self) -> u64 {
         self.sys.total_flips()
+    }
+
+    /// Every detector-state corruption surfaced so far (repaired or
+    /// escalated), in discovery order.
+    pub fn state_corruptions(&self) -> &[StateCorruption] {
+        &self.state_corruptions
+    }
+
+    /// Switches the detector's state cells between guarded (replicated,
+    /// checksummed, scrubbed — the default) and unguarded (blind replica-0
+    /// reads, the ablation baseline). No-op when ANVIL is not loaded.
+    pub fn set_state_guard(&mut self, guarded: bool) {
+        if let Some(det) = self.detector.as_mut() {
+            det.set_state_guard(guarded);
+        }
+    }
+
+    /// Flips `bit` of the replicas in `replica_mask` of detector state
+    /// cell `index` — the hook physical disturbance models use to land
+    /// flips in the detector's own rows. Returns the corrupted site, or
+    /// `None` when ANVIL is not loaded or the index is out of range.
+    pub fn corrupt_state_cell(
+        &mut self,
+        index: usize,
+        replica_mask: u8,
+        bit: u8,
+    ) -> Option<StateSite> {
+        self.detector
+            .as_mut()
+            .and_then(|det| det.corrupt_state_cell(index, replica_mask, bit))
+    }
+
+    /// The number of live detector state cells (fixed scalar cells plus
+    /// two per suspicion-ledger entry); zero when ANVIL is not loaded.
+    pub fn state_cell_count(&self) -> usize {
+        self.detector
+            .as_ref()
+            .map_or(0, AnvilDetector::state_cell_count)
     }
 
     /// Global time: the minimum core-local clock (all cores have reached
@@ -596,6 +650,24 @@ impl Platform {
                 .map_or(0, DelayInjector::draw)
                 + self.service_delay.as_mut().map_or(0, DelayInjector::draw);
             let now = det.deadline() + slip;
+            // Self-integrity: the detector verifies one slice of its own
+            // cells every window. Injected state flips land around the
+            // slice — before it (repairable this window) or after it (a
+            // scrub race that survives until a later pass or a guarded
+            // read catches it).
+            if let Some(inj) = self.state_faults.as_mut() {
+                let flips = inj.window_flips(det.state_cell_count());
+                for f in flips.iter().filter(|f| !f.after_scrub) {
+                    det.corrupt_state_cell(f.cell, f.replica_mask, f.bit);
+                }
+                det.scrub_state_slice(self.scrub_slice, SCRUB_SLICES);
+                for f in flips.iter().filter(|f| f.after_scrub) {
+                    det.corrupt_state_cell(f.cell, f.replica_mask, f.bit);
+                }
+            } else {
+                det.scrub_state_slice(self.scrub_slice, SCRUB_SLICES);
+            }
+            self.scrub_slice = (self.scrub_slice + 1) % SCRUB_SLICES;
             let mapping = *self.sys.dram().mapping();
             let cores = &self.cores;
             let faults = &mut self.translation_faults;
@@ -673,6 +745,12 @@ impl Platform {
                         self.cores[victim_core].local += costs.bank_refresh;
                     }
                 }
+            }
+            // Every corruption the scrub or a guarded read surfaced this
+            // window becomes part of the platform's declared record —
+            // nothing is silently absorbed.
+            if let Some(det) = self.detector.as_mut() {
+                self.state_corruptions.extend(det.take_state_corruptions());
             }
         }
     }

@@ -6,7 +6,7 @@
 //! walk per translation, the platform per service deadline — and the
 //! injector answers deterministically for its stream.
 
-use crate::plan::{LifecycleFaults, PebsFaults, TranslationFaults};
+use crate::plan::{LifecycleFaults, PebsFaults, StateCorruptionFaults, TranslationFaults};
 use crate::rng::FaultRng;
 
 /// What happens to one PEBS sample record.
@@ -372,6 +372,118 @@ impl LifecycleInjector {
     }
 }
 
+/// One injected flip into the detector's own state cells.
+///
+/// `cell` indexes the detector's global state-cell space (the order
+/// `AnvilDetector::corrupt_state_cell` uses); `replica_mask` selects which
+/// of the three replicas receive the flip; `bit` selects the flipped bit —
+/// `0..64` hit the encoded word, `64..128` hit its checksum. `after_scrub`
+/// marks a scrub-window race: the flip lands after the window's scrub
+/// slice ran, so it survives until the next pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateFlip {
+    /// Global state-cell index to corrupt (modulo the live cell count).
+    pub cell: usize,
+    /// Replica mask: bit `i` set ⇒ replica `i` takes the flip.
+    pub replica_mask: u8,
+    /// Bit position: `0..64` word bits, `64..128` checksum bits.
+    pub bit: u8,
+    /// True when the flip races past this window's scrub slice.
+    pub after_scrub: bool,
+}
+
+/// Detector-state corruption injector: deterministic per-window flips
+/// into the detector's own guarded cells.
+///
+/// The platform consults it once per stage-1 window
+/// ([`window_flips`](Self::window_flips)); each firing window yields
+/// `1..=max_flips` flips with drawn cell, replica mask, bit, and
+/// scrub-race timing. All draws come from one forked stream in a fixed
+/// order, so a seed replays the identical corruption schedule.
+#[derive(Debug, Clone)]
+pub struct StateCorruptionInjector {
+    cfg: StateCorruptionFaults,
+    rng: FaultRng,
+    flips: u64,
+    correlated: u64,
+    races: u64,
+}
+
+impl StateCorruptionInjector {
+    /// Creates an injector over its own forked stream.
+    #[must_use]
+    pub fn new(cfg: StateCorruptionFaults, rng: FaultRng) -> Self {
+        StateCorruptionInjector {
+            cfg,
+            rng,
+            flips: 0,
+            correlated: 0,
+            races: 0,
+        }
+    }
+
+    /// Draws this window's flips into a state space of `cell_count`
+    /// cells. Returns an empty schedule when the window does not fire or
+    /// the detector has no cells.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn window_flips(&mut self, cell_count: usize) -> Vec<StateFlip> {
+        if cell_count == 0 || !self.rng.chance(self.cfg.flip_rate) {
+            return Vec::new();
+        }
+        let n = 1 + self.rng.below(u64::from(self.cfg.max_flips));
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let cell = self.rng.below(cell_count as u64) as usize;
+            let correlated = self.rng.chance(self.cfg.correlated_rate);
+            let replica_mask = if correlated {
+                // Same bit in at least two of the three replicas — the
+                // in-DRAM analogue of one aggressor disturbing the rows
+                // holding multiple copies.
+                self.correlated += 1;
+                match self.rng.below(4) {
+                    0 => 0b011,
+                    1 => 0b101,
+                    2 => 0b110,
+                    _ => 0b111,
+                }
+            } else {
+                1u8 << self.rng.below(3)
+            };
+            let bit = self.rng.below(128) as u8;
+            let after_scrub = self.rng.chance(self.cfg.scrub_race_rate);
+            if after_scrub {
+                self.races += 1;
+            }
+            self.flips += 1;
+            out.push(StateFlip {
+                cell,
+                replica_mask,
+                bit,
+                after_scrub,
+            });
+        }
+        out
+    }
+
+    /// Flips injected so far.
+    #[must_use]
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Replica-correlated flips injected so far.
+    #[must_use]
+    pub fn correlated(&self) -> u64 {
+        self.correlated
+    }
+
+    /// Scrub-race flips injected so far.
+    #[must_use]
+    pub fn scrub_races(&self) -> u64 {
+        self.races
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,6 +701,73 @@ mod tests {
             assert!(!tearing.tear_fires());
             assert_eq!(plain.crash_now(), tearing.crash_now());
         }
+    }
+
+    #[test]
+    fn state_injector_bounds_and_counts() {
+        let cfg = StateCorruptionFaults {
+            flip_rate: 0.4,
+            max_flips: 3,
+            correlated_rate: 0.25,
+            scrub_race_rate: 0.5,
+        };
+        let mut inj = StateCorruptionInjector::new(cfg, FaultRng::new(17).fork(6));
+        let mut flips = 0u64;
+        let mut correlated = 0u64;
+        let mut races = 0u64;
+        for _ in 0..5_000 {
+            let schedule = inj.window_flips(24);
+            assert!(schedule.len() <= 3);
+            for f in schedule {
+                assert!(f.cell < 24);
+                assert!(f.bit < 128);
+                assert!(f.replica_mask != 0 && f.replica_mask < 8);
+                flips += 1;
+                if f.replica_mask.count_ones() > 1 {
+                    correlated += 1;
+                }
+                if f.after_scrub {
+                    races += 1;
+                }
+            }
+        }
+        assert_eq!(inj.flips(), flips);
+        assert_eq!(inj.correlated(), correlated);
+        assert_eq!(inj.scrub_races(), races);
+        // rate 0.4 × mean 2 flips → roughly 4000 flips over 5000 windows.
+        assert!((3_000..=5_000).contains(&flips), "{flips}");
+        assert!(correlated > 500, "{correlated}");
+        assert!(races > 1_000, "{races}");
+    }
+
+    #[test]
+    fn state_injector_replays_identically() {
+        let cfg = StateCorruptionFaults {
+            flip_rate: 0.2,
+            max_flips: 2,
+            correlated_rate: 0.3,
+            scrub_race_rate: 0.1,
+        };
+        let mut a = StateCorruptionInjector::new(cfg, FaultRng::new(5).fork(6));
+        let mut b = StateCorruptionInjector::new(cfg, FaultRng::new(5).fork(6));
+        for _ in 0..2_000 {
+            assert_eq!(a.window_flips(10), b.window_flips(10));
+        }
+    }
+
+    #[test]
+    fn zero_cell_count_never_fires() {
+        let cfg = StateCorruptionFaults {
+            flip_rate: 1.0,
+            max_flips: 4,
+            correlated_rate: 0.0,
+            scrub_race_rate: 0.0,
+        };
+        let mut inj = StateCorruptionInjector::new(cfg, FaultRng::new(1).fork(6));
+        for _ in 0..100 {
+            assert!(inj.window_flips(0).is_empty());
+        }
+        assert_eq!(inj.flips(), 0);
     }
 
     #[test]

@@ -57,9 +57,12 @@ mod plan;
 mod rng;
 
 pub use correlated::{CorrelatedFaults, CorrelatedInjector};
-pub use inject::{DelayInjector, LifecycleInjector, PebsInjector, SampleFate, TranslationInjector};
+pub use inject::{
+    DelayInjector, LifecycleInjector, PebsInjector, SampleFate, StateCorruptionInjector, StateFlip,
+    TranslationInjector,
+};
 pub use plan::{
     CounterFaults, FaultPlan, FaultScenario, InterruptFaults, LifecycleFaults, PebsFaults,
-    RefreshFaults, RefreshPostpone, ServiceFaults, TranslationFaults,
+    RefreshFaults, RefreshPostpone, ServiceFaults, StateCorruptionFaults, TranslationFaults,
 };
 pub use rng::{hash64, FaultRng};

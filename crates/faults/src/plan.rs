@@ -7,7 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::inject::{DelayInjector, LifecycleInjector, PebsInjector, TranslationInjector};
+use crate::inject::{
+    DelayInjector, LifecycleInjector, PebsInjector, StateCorruptionInjector, TranslationInjector,
+};
 use crate::rng::{hash64, FaultRng};
 
 /// PEBS debug-store faults: dropped and corrupted samples.
@@ -106,6 +108,41 @@ impl Default for LifecycleFaults {
     }
 }
 
+/// Detector-state corruption faults: bit flips landing in the detector's
+/// own in-memory state cells.
+///
+/// Real analogue: ANVIL's counters, carry accumulators, and suspicion
+/// ledger live in the very DRAM it protects. A disturbance-class attacker
+/// (or plain at-rest rot) can flip bits in that state directly, so the
+/// detector itself becomes a target. These fire once per stage-1 window
+/// at the platform's state-scrub site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateCorruptionFaults {
+    /// Probability a window injects at least one state flip (per window).
+    pub flip_rate: f64,
+    /// Maximum flips per firing window; actual counts are uniform in
+    /// `[1, max_flips]`.
+    pub max_flips: u32,
+    /// Probability a flip hits the same bit across multiple replicas
+    /// (replica-correlated corruption, e.g. adjacent rows of the same
+    /// aggressor).
+    pub correlated_rate: f64,
+    /// Probability a flip lands *after* the window's scrub slice — the
+    /// scrub-window race, where corruption survives until the next pass.
+    pub scrub_race_rate: f64,
+}
+
+impl Default for StateCorruptionFaults {
+    fn default() -> Self {
+        StateCorruptionFaults {
+            flip_rate: 0.0,
+            max_flips: 0,
+            correlated_rate: 0.0,
+            scrub_race_rate: 0.0,
+        }
+    }
+}
+
 /// Auto-refresh postponement faults.
 ///
 /// Real analogue: DDR3 controllers may legally postpone up to 8 refresh
@@ -182,6 +219,11 @@ pub struct FaultPlan {
     /// still deserialize.
     #[serde(default)]
     pub lifecycle: LifecycleFaults,
+    /// Detector-state corruption faults (bit flips in the detector's own
+    /// cells). Defaults to disabled so plans serialized before this site
+    /// existed still deserialize.
+    #[serde(default)]
+    pub state: StateCorruptionFaults,
 }
 
 impl Default for FaultPlan {
@@ -219,6 +261,7 @@ impl FaultPlan {
                 max_postpone: 0,
             },
             lifecycle: LifecycleFaults::default(),
+            state: StateCorruptionFaults::default(),
         }
     }
 
@@ -236,6 +279,7 @@ impl FaultPlan {
             && self.lifecycle.crash_rate <= 0.0
             && (self.lifecycle.stall_rate <= 0.0 || self.lifecycle.max_stall == 0)
             && self.lifecycle.corrupt_rate <= 0.0
+            && (self.state.flip_rate <= 0.0 || self.state.max_flips == 0)
     }
 
     /// Builds the PEBS injector for this plan, or `None` when PEBS
@@ -304,10 +348,21 @@ impl FaultPlan {
         }
     }
 
+    /// Builds the detector-state corruption injector, or `None` when
+    /// state faults are disabled.
+    #[must_use]
+    pub fn state_injector(&self, rng: FaultRng) -> Option<StateCorruptionInjector> {
+        if self.state.flip_rate > 0.0 && self.state.max_flips > 0 {
+            Some(StateCorruptionInjector::new(self.state, rng))
+        } else {
+            None
+        }
+    }
+
     /// Names of the plan's independently clearable fault sites, in the
     /// index order [`FaultPlan::site_active`] and
     /// [`FaultPlan::without_site`] use.
-    pub const SITE_NAMES: [&'static str; 7] = [
+    pub const SITE_NAMES: [&'static str; 8] = [
         "pebs",
         "counter",
         "translation",
@@ -315,6 +370,7 @@ impl FaultPlan {
         "service",
         "refresh",
         "lifecycle",
+        "state",
     ];
 
     /// Whether fault site `idx` (see [`Self::SITE_NAMES`]) injects
@@ -333,6 +389,7 @@ impl FaultPlan {
                     || (self.lifecycle.stall_rate > 0.0 && self.lifecycle.max_stall > 0)
                     || self.lifecycle.corrupt_rate > 0.0
             }
+            7 => self.state.flip_rate > 0.0 && self.state.max_flips > 0,
             _ => false,
         }
     }
@@ -361,6 +418,7 @@ impl FaultPlan {
             4 => plan.service = none.service,
             5 => plan.refresh = none.refresh,
             6 => plan.lifecycle = none.lifecycle,
+            7 => plan.state = none.state,
             _ => {}
         }
         plan
@@ -393,7 +451,7 @@ impl FaultPlan {
                 _ => m.saturating_mul(5) / 4,
             }
         }
-        match draw(6) {
+        match draw(7) {
             0 => {
                 if draw(2) == 0 {
                     self.pebs.drop_rate = rate(self.pebs.drop_rate, draw(4));
@@ -434,12 +492,29 @@ impl FaultPlan {
                     self.service.max_delay = mag(self.service.max_delay, draw(3));
                 }
             }
-            _ => {
+            5 => {
                 self.refresh.postpone_rate = rate(self.refresh.postpone_rate, draw(4));
                 if self.refresh.postpone_rate > 0.0 && self.refresh.max_postpone == 0 {
                     self.refresh.max_postpone = 81_250;
                 } else if self.refresh.max_postpone > 0 {
                     self.refresh.max_postpone = mag(self.refresh.max_postpone, draw(3));
+                }
+            }
+            _ => {
+                if draw(2) == 0 {
+                    self.state.flip_rate = rate(self.state.flip_rate, draw(4));
+                    if self.state.flip_rate > 0.0 && self.state.max_flips == 0 {
+                        self.state.max_flips = 2;
+                    }
+                } else {
+                    match draw(2) {
+                        0 => {
+                            self.state.correlated_rate = rate(self.state.correlated_rate, draw(4));
+                        }
+                        _ => {
+                            self.state.scrub_race_rate = rate(self.state.scrub_race_rate, draw(4));
+                        }
+                    }
                 }
             }
         }
@@ -607,6 +682,7 @@ mod tests {
         assert!(plan.interrupt_delay(FaultRng::new(0)).is_none());
         assert!(plan.service_delay(FaultRng::new(0)).is_none());
         assert!(plan.refresh_postpone().is_none());
+        assert!(plan.state_injector(FaultRng::new(0)).is_none());
     }
 
     #[test]
@@ -671,6 +747,8 @@ mod tests {
         let mut plan = FaultScenario::Combined.plan(1.0, 3);
         plan.counter.saturate_at = Some(40_000);
         plan.lifecycle.crash_rate = 0.01;
+        plan.state.flip_rate = 0.02;
+        plan.state.max_flips = 2;
         assert_eq!(
             plan.active_sites(),
             (0..FaultPlan::SITE_NAMES.len()).collect::<Vec<_>>()
@@ -715,6 +793,9 @@ mod tests {
                 plan.interrupt.jitter_rate,
                 plan.service.preempt_rate,
                 plan.refresh.postpone_rate,
+                plan.state.flip_rate,
+                plan.state.correlated_rate,
+                plan.state.scrub_race_rate,
             ] {
                 assert!((0.0..=1.0).contains(&r), "rate {r} escaped [0,1]");
             }
@@ -758,6 +839,39 @@ mod tests {
         assert!(stalled
             .lifecycle_injector(FaultRng::new(1).fork(5))
             .is_some());
+    }
+
+    #[test]
+    fn state_site_gates_its_injector_and_is_none() {
+        let mut plan = FaultPlan::none();
+        assert!(plan.state_injector(FaultRng::new(1).fork(6)).is_none());
+
+        // A flip rate with a zero flip budget is inert, like the other
+        // rate-plus-magnitude sites.
+        plan.state.flip_rate = 0.5;
+        assert!(plan.is_none());
+        assert!(plan.state_injector(FaultRng::new(1).fork(6)).is_none());
+
+        plan.state.max_flips = 2;
+        assert!(!plan.is_none());
+        assert!(plan.state_injector(FaultRng::new(1).fork(6)).is_some());
+    }
+
+    #[test]
+    fn plans_without_a_state_site_still_deserialize() {
+        // A plan serialized before the state site existed carries no
+        // `state` key; it must decode to the disabled default.
+        let plan = FaultScenario::Combined.plan(1.0, 1234);
+        let json = serde_json::to_string(&plan).unwrap();
+        let legacy = json.replacen(
+            ",\"state\":{\"flip_rate\":0.0,\"max_flips\":0,\"correlated_rate\":0.0,\"scrub_race_rate\":0.0}",
+            "",
+            1,
+        );
+        assert_ne!(legacy, json, "state key not found in encoding");
+        let back: FaultPlan = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.state, StateCorruptionFaults::default());
+        assert_eq!(back.pebs, plan.pebs);
     }
 
     #[test]

@@ -187,9 +187,15 @@ impl DomainRuntime {
                 None,
             )
         } else {
+            // Co-resident domains get distinct backoff-jitter seeds so a
+            // correlated outage never restarts them in lockstep.
+            let runtime = anvil_runtime::RuntimeConfig {
+                jitter_seed: seed,
+                ..cfg.runtime
+            };
             let mut sup = Supervisor::new(
                 anvil,
-                cfg.runtime,
+                runtime,
                 clock,
                 cfg.envelope.refresh_period,
                 0,
@@ -518,9 +524,13 @@ impl DomainRuntime {
     /// a rebuild-indexed stream so the schedule does not replay.
     fn rebuild_supervisor(&mut self, cfg: &FleetConfig, clock: CpuClock) {
         self.rebuilds += 1;
+        let runtime = anvil_runtime::RuntimeConfig {
+            jitter_seed: self.seed,
+            ..cfg.runtime
+        };
         let mut sup = Supervisor::new(
             self.anvil,
-            cfg.runtime,
+            runtime,
             clock,
             cfg.envelope.refresh_period,
             self.last_serviced,
@@ -616,4 +626,50 @@ fn bulk_misses(pmu: &mut Pmu, n: u64, t: Cycle) {
     pmu.counter_mut(EventKind::LongestLatCacheMiss).add(n, t);
     pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
         .add(n, t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anvil_dram::DramGeometry;
+
+    /// The thundering-herd fix: after a correlated outage kills every
+    /// detector on a machine at once, the seeded backoff jitter must
+    /// bring them back at distinct instants.
+    #[test]
+    fn coresident_domains_restart_at_distinct_instants() {
+        let cfg = FleetConfig::standard(1, 100, 0xF1EE7);
+        let clock = CpuClock::SANDY_BRIDGE_2_6GHZ;
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut gaps = Vec::new();
+        for id in cfg.topology.iter() {
+            let mut d = DomainRuntime::boot(
+                &cfg,
+                0,
+                id,
+                cfg.topology.channel_of(id),
+                clock,
+                &mapping,
+            );
+            let Some(sup) = d.sup.as_mut() else {
+                continue;
+            };
+            sup.force_crash();
+            let deadline = sup.deadline();
+            let out = sup
+                .service(deadline, &mut d.pmu, &mapping, &mut |_, v| Some(v))
+                .unwrap();
+            let SupervisedOutcome::Restarted(r) = out else {
+                panic!("forced crash must restart, got {out:?}");
+            };
+            gaps.push(r.gap);
+        }
+        assert!(gaps.len() >= 2, "need co-resident supervised domains");
+        let distinct: std::collections::BTreeSet<_> = gaps.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            gaps.len(),
+            "correlated restart instants: {gaps:?}"
+        );
+    }
 }

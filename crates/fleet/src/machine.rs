@@ -80,6 +80,7 @@ impl FleetConfig {
                 // floor), so gap bursts can never complete a flip.
                 backoff_cap: 2_000_000,
                 checkpoint_every: 4,
+                ..RuntimeConfig::default()
             },
             lifecycle: LifecycleFaults {
                 crash_rate: 1e-3,

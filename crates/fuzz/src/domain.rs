@@ -276,7 +276,13 @@ fn specs_duty(threshold: u64) -> ArchetypeSpec {
 /// below the stage-1 threshold silently blinds the detector — the known
 /// out-of-model regime the standard domain must not wander into. The
 /// lifecycle site is zeroed: the platform executor consumes the other
-/// six sites; lifecycle faults belong to the supervisor's runtime.
+/// seven sites; lifecycle faults belong to the supervisor's runtime.
+/// State-corruption flips are bounded and kept *replica-uncorrelated*
+/// (`correlated_rate = 0`): a single-replica flip is always repaired or
+/// out-voted by the guarded cell, so the no-flip claim still holds,
+/// while replica-correlated damage defeats any majority scheme and is
+/// out of the guarantee's model (the `selfdefense` campaign owns that
+/// regime, with restart escalation as the answer).
 fn clamp_faults(mut f: FaultPlan) -> FaultPlan {
     f.pebs.drop_rate = f.pebs.drop_rate.clamp(0.0, 0.02);
     f.pebs.burst_len = f.pebs.burst_len.min(64);
@@ -292,6 +298,10 @@ fn clamp_faults(mut f: FaultPlan) -> FaultPlan {
     f.service.max_delay = f.service.max_delay.min(1_300_000);
     f.refresh.postpone_rate = f.refresh.postpone_rate.clamp(0.0, 0.5);
     f.refresh.max_postpone = f.refresh.max_postpone.min(162_500);
+    f.state.flip_rate = f.state.flip_rate.clamp(0.0, 0.05);
+    f.state.max_flips = f.state.max_flips.min(4);
+    f.state.correlated_rate = 0.0;
+    f.state.scrub_race_rate = f.state.scrub_race_rate.clamp(0.0, 0.5);
     f = f.without_site(6);
     f
 }
@@ -343,6 +353,27 @@ mod tests {
         assert!(c.faults.service.max_delay <= 1_300_000);
         assert_eq!(c.faults.counter.saturate_at, Some(32_768));
         assert!(!c.faults.site_active(6), "lifecycle site must be cleared");
+    }
+
+    #[test]
+    // The clamp writes a literal 0.0; exact equality is the contract.
+    #[allow(clippy::float_cmp)]
+    fn clamp_bounds_the_state_corruption_dimension() {
+        let domain = FuzzDomain::standard();
+        let mut s = domain.seeds(6)[0].clone();
+        s.faults.state.flip_rate = 0.9;
+        s.faults.state.max_flips = 99;
+        s.faults.state.correlated_rate = 0.8;
+        s.faults.state.scrub_race_rate = 0.9;
+        let c = domain.clamp(s);
+        assert!(c.faults.state.flip_rate <= 0.05);
+        assert!(c.faults.state.max_flips <= 4);
+        assert_eq!(
+            c.faults.state.correlated_rate, 0.0,
+            "correlated replica damage is out of the fuzz guarantee model"
+        );
+        assert!(c.faults.state.scrub_race_rate <= 0.5);
+        assert!(c.faults.site_active(7), "bounded, not dropped");
     }
 
     #[test]

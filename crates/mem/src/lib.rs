@@ -18,6 +18,10 @@
 //! * [`DomainTopology`] — the channel × DIMM protection-domain layout of
 //!   one fleet machine, with stable [`DomainId`]s and per-domain seed
 //!   derivation for the fleet campaign.
+//! * [`StateRowMap`] — where the detector's *own* replicated state cells
+//!   live in DRAM, so disturbance can corrupt the defense itself (naive
+//!   co-located layout vs. the interleaved layout that keeps replicas
+//!   outside any single aggressor's blast radius).
 //!
 //! ## Quick start
 //!
@@ -38,11 +42,15 @@
 mod paging;
 mod phys;
 mod process;
+mod state_map;
 mod system;
 mod topology;
 
 pub use paging::{AllocationPolicy, FrameAllocator, OutOfMemory, PageTable, PAGE_SHIFT, PAGE_SIZE};
 pub use phys::PhysicalMemory;
 pub use process::{PagemapDenied, PagemapPolicy, Process};
+pub use state_map::{
+    StateLayout, StateRowMap, REPLICA_ROW_STRIDE, STATE_CELLS_PER_ROW, STATE_REPLICAS,
+};
 pub use system::{AccessKind, AccessOutcome, CoreModel, MemStats, MemoryConfig, MemorySystem};
 pub use topology::{domain_seed, DomainId, DomainTopology};

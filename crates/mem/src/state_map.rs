@@ -1,0 +1,226 @@
+//! Where the detector's own state lives in DRAM.
+//!
+//! ANVIL is software: its carry accumulators, suspicion ledger, and
+//! replica copies occupy rows of the very DRAM it protects, so a
+//! next-generation attacker can hammer the *detector's* rows. This module
+//! models that exposure: it places every `(cell, replica)` pair of the
+//! guarded state into simulated rows, so disturbance near those rows can
+//! be converted into physical bit flips in specific replicas.
+//!
+//! Two placements matter:
+//!
+//! * [`StateLayout::Naive`] — the obvious struct-of-replicas layout: all
+//!   three copies of a cell sit in the same row (adjacent bytes). One
+//!   aggressor pair disturbs every replica at once, defeating
+//!   majority-vote repair — the layout a hardened deployment must avoid.
+//! * [`StateLayout::Interleaved`] — replicas separated by
+//!   [`REPLICA_ROW_STRIDE`] rows, so any single aggressor's blast radius
+//!   (±2 rows) touches at most one replica of any cell and majority vote
+//!   always has two clean copies to repair from.
+
+use anvil_dram::{BankId, RowId};
+use serde::{Deserialize, Serialize};
+
+/// Guarded cells packed into one DRAM row. A replica is 16 bytes (encoded
+/// word + checksum); 64 cells of one replica fill 1 KB of an 8 KB row,
+/// keeping the whole state inside a handful of rows — a small, findable
+/// target, as it would be for a real kernel module's static arrays.
+pub const STATE_CELLS_PER_ROW: u32 = 64;
+
+/// Row distance between consecutive replicas under
+/// [`StateLayout::Interleaved`]: far beyond any disturbance blast radius,
+/// so correlated physical corruption of two replicas of the same cell
+/// requires two independent aggressor pairs.
+pub const REPLICA_ROW_STRIDE: u32 = 512;
+
+/// Replica copies per guarded cell (mirrors `anvil-core`'s `REPLICAS`;
+/// kept local so `anvil-mem` stays below `anvil-core` in the crate DAG).
+pub const STATE_REPLICAS: u8 = 3;
+
+/// How guarded-cell replicas are placed into DRAM rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateLayout {
+    /// All replicas of a cell share a row (contiguous struct layout).
+    Naive,
+    /// Replicas separated by [`REPLICA_ROW_STRIDE`] rows.
+    Interleaved,
+}
+
+/// The placement of every detector state cell into simulated DRAM rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateRowMap {
+    layout: StateLayout,
+    bank: BankId,
+    base_row: u32,
+    cell_count: u32,
+}
+
+impl StateRowMap {
+    /// Places `cell_count` cells starting at `base_row` of `bank`.
+    #[must_use]
+    pub fn new(layout: StateLayout, bank: BankId, base_row: u32, cell_count: usize) -> Self {
+        StateRowMap {
+            layout,
+            bank,
+            base_row,
+            cell_count: u32::try_from(cell_count).unwrap_or(u32::MAX),
+        }
+    }
+
+    /// The placement policy.
+    #[must_use]
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
+
+    /// Cells this map places.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cell_count as usize
+    }
+
+    /// The row holding replica `replica` of cell `cell`.
+    ///
+    /// Out-of-range cells wrap into the mapped region (the map is a model,
+    /// not an allocator); replicas wrap modulo [`STATE_REPLICAS`].
+    #[must_use]
+    pub fn row_of(&self, cell: usize, replica: u8) -> RowId {
+        let cell = if self.cell_count == 0 {
+            0
+        } else {
+            (cell as u64 % u64::from(self.cell_count)) as u32
+        };
+        let group = cell / STATE_CELLS_PER_ROW;
+        let offset = match self.layout {
+            StateLayout::Naive => group,
+            StateLayout::Interleaved => {
+                group + u32::from(replica % STATE_REPLICAS) * REPLICA_ROW_STRIDE
+            }
+        };
+        RowId::new(self.bank, self.base_row + offset)
+    }
+
+    /// Every distinct row holding state, in ascending row order — the
+    /// target list a state-hunting adversary works from.
+    #[must_use]
+    pub fn state_rows(&self) -> Vec<RowId> {
+        let mut rows = Vec::new();
+        for cell in (0..self.cell_count as usize).step_by(STATE_CELLS_PER_ROW as usize) {
+            for replica in 0..STATE_REPLICAS {
+                rows.push(self.row_of(cell, replica));
+            }
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// The `(cell, replica_mask)` pairs stored in `row`: which replicas of
+    /// which cells take flips when `row` is disturbed. Empty when the row
+    /// holds no state.
+    #[must_use]
+    pub fn cells_in(&self, row: RowId) -> Vec<(usize, u8)> {
+        if row.bank != self.bank || row.row < self.base_row {
+            return Vec::new();
+        }
+        let mut hits = Vec::new();
+        for cell in 0..self.cell_count as usize {
+            let mut mask = 0u8;
+            for replica in 0..STATE_REPLICAS {
+                if self.row_of(cell, replica) == row {
+                    mask |= 1 << replica;
+                }
+            }
+            if mask != 0 {
+                hits.push((cell, mask));
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(layout: StateLayout, cells: usize) -> StateRowMap {
+        StateRowMap::new(layout, BankId(3), 10_000, cells)
+    }
+
+    #[test]
+    fn naive_layout_co_locates_replicas() {
+        let m = map(StateLayout::Naive, 100);
+        for cell in 0..100 {
+            let r0 = m.row_of(cell, 0);
+            assert_eq!(r0, m.row_of(cell, 1));
+            assert_eq!(r0, m.row_of(cell, 2));
+        }
+        // One aggressor next to the state row therefore reaches every
+        // replica: a single (cell, 0b111) entry per cell.
+        let hits = m.cells_in(m.row_of(0, 0));
+        assert_eq!(hits.len(), 64);
+        assert!(hits.iter().all(|&(_, mask)| mask == 0b111));
+    }
+
+    #[test]
+    fn interleaved_layout_separates_replicas_beyond_blast_radius() {
+        let m = map(StateLayout::Interleaved, 100);
+        for cell in 0..100 {
+            let rows = [m.row_of(cell, 0), m.row_of(cell, 1), m.row_of(cell, 2)];
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    let gap = rows[i].row.abs_diff(rows[j].row);
+                    assert!(gap >= REPLICA_ROW_STRIDE - 2, "gap {gap} within blast radius");
+                }
+            }
+        }
+        // Any one state row holds exactly one replica of its cells.
+        for row in m.state_rows() {
+            for (_, mask) in m.cells_in(row) {
+                assert_eq!(mask.count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cells_in_inverts_row_of() {
+        for layout in [StateLayout::Naive, StateLayout::Interleaved] {
+            let m = map(layout, 150);
+            for cell in 0..150usize {
+                for replica in 0..STATE_REPLICAS {
+                    let row = m.row_of(cell, replica);
+                    let hit = m
+                        .cells_in(row)
+                        .into_iter()
+                        .find(|&(c, _)| c == cell)
+                        .expect("cell present in its own row");
+                    assert_ne!(hit.1 & (1 << replica), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_rows_cover_every_replica() {
+        let m = map(StateLayout::Interleaved, 150);
+        let rows = m.state_rows();
+        // 150 cells → 3 row groups × 3 replicas = 9 distinct rows.
+        assert_eq!(rows.len(), 9);
+        for cell in 0..150usize {
+            for replica in 0..STATE_REPLICAS {
+                assert!(rows.contains(&m.row_of(cell, replica)));
+            }
+        }
+        // Foreign rows hold nothing.
+        assert!(m.cells_in(RowId::new(BankId(0), 10_000)).is_empty());
+        assert!(m.cells_in(RowId::new(BankId(3), 0)).is_empty());
+    }
+
+    #[test]
+    fn empty_map_is_inert() {
+        let m = map(StateLayout::Naive, 0);
+        assert!(m.state_rows().is_empty());
+        assert_eq!(m.cell_count(), 0);
+        assert_eq!(m.row_of(5, 1).row, 10_000);
+    }
+}

@@ -102,6 +102,10 @@ pub enum LadderCause {
     /// provable floor: the detector cannot promise anything, so the
     /// domain is pinned to an unconditional mode from boot.
     SubEnvelopeDimm,
+    /// The detector's own in-memory state was corrupted beyond what
+    /// majority-vote repair could fix: its decisions cannot be trusted
+    /// until it cold-restarts from the last good checkpoint.
+    SelfCorruption,
     /// A clean-window streak earned a promotion.
     FaultsCleared,
 }
@@ -116,6 +120,7 @@ impl LadderCause {
             LadderCause::ChronicPmuLoss => "chronic_pmu_loss",
             LadderCause::RestartBudgetExhausted => "restart_budget_exhausted",
             LadderCause::SubEnvelopeDimm => "sub_envelope_dimm",
+            LadderCause::SelfCorruption => "self_corruption",
             LadderCause::FaultsCleared => "faults_cleared",
         }
     }

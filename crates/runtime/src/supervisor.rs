@@ -29,10 +29,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use anvil_core::{
     AnvilConfig, AnvilDetector, ConfigError, DetectorCheckpoint, DetectorStage, RuntimeError,
-    ServiceOutcome,
+    ServiceOutcome, StateCorruption, StateSite,
 };
 use anvil_dram::{AddressMapping, CpuClock, Cycle};
-use anvil_faults::LifecycleInjector;
+use anvil_faults::{hash64, LifecycleInjector};
 use anvil_pmu::Pmu;
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +52,33 @@ pub struct RuntimeConfig {
     pub backoff_cap: Cycle,
     /// Checkpoint every N successful services (window boundaries).
     pub checkpoint_every: u32,
+    /// Slices the incremental self-state scrub divides the detector's
+    /// cells into: each service verifies one slice, so every cell is
+    /// checked at least once per `scrub_slices` windows. Defaults to 4.
+    #[serde(default = "default_scrub_slices")]
+    pub scrub_slices: u64,
+    /// Whether the detector's state cells run guarded (replicated,
+    /// checksummed, scrubbed — the default) or unguarded (blind replica-0
+    /// reads, the ablation baseline). Re-applied after every restart, so
+    /// a restore never silently re-arms the guard on a baseline run.
+    #[serde(default = "default_guard_state")]
+    pub guard_state: bool,
+    /// Seed for deterministic restart-backoff jitter; `0` (the default)
+    /// disables jitter. Co-resident domains on one machine must use
+    /// *distinct* seeds so a correlated outage does not restart every
+    /// detector at the same instant (thundering herd): jitter subtracts
+    /// up to a quarter of the nominal gap, keeping every gap within the
+    /// `backoff_cap`.
+    #[serde(default)]
+    pub jitter_seed: u64,
+}
+
+fn default_scrub_slices() -> u64 {
+    4
+}
+
+fn default_guard_state() -> bool {
+    true
 }
 
 impl Default for RuntimeConfig {
@@ -63,6 +90,9 @@ impl Default for RuntimeConfig {
             // envelope's ~16.8M-cycle downtime budget.
             backoff_cap: 4_000_000,
             checkpoint_every: 1,
+            scrub_slices: default_scrub_slices(),
+            guard_state: default_guard_state(),
+            jitter_seed: 0,
         }
     }
 }
@@ -94,6 +124,14 @@ pub struct RuntimeStats {
     pub reloads_deferred: u64,
     /// Services delayed by an injected stall.
     pub stalled_services: u64,
+    /// Detector state-cell corruptions repaired in place by majority
+    /// vote (scrub pass or guarded read).
+    #[serde(default)]
+    pub state_repairs: u64,
+    /// Unrepairable state-cell corruptions escalated to a cold restart
+    /// from the last good checkpoint.
+    #[serde(default)]
+    pub state_escalations: u64,
     /// Largest single crash-to-resume downtime gap, in cycles.
     pub worst_recovery_gap: Cycle,
     /// Sum of all downtime gaps, in cycles.
@@ -170,6 +208,11 @@ pub struct Supervisor {
     stats: RuntimeStats,
     services_since_checkpoint: u32,
     consecutive_crashes: u32,
+    scrub_cursor: u64,
+    /// Typed corruption reports retained for
+    /// [`drain_state_corruptions`](Self::drain_state_corruptions); empty
+    /// unless something is actually corrupting state cells.
+    corruption_log: Vec<StateCorruption>,
 }
 
 impl Supervisor {
@@ -188,7 +231,8 @@ impl Supervisor {
         now: Cycle,
         pmu: &mut Pmu,
     ) -> Self {
-        let detector = AnvilDetector::new(config, &clock, refresh_period, now, pmu);
+        let mut detector = AnvilDetector::new(config, &clock, refresh_period, now, pmu);
+        detector.set_state_guard(runtime.guard_state);
         let mut sup = Supervisor {
             config,
             runtime,
@@ -201,6 +245,8 @@ impl Supervisor {
             stats: RuntimeStats::default(),
             services_since_checkpoint: 0,
             consecutive_crashes: 0,
+            scrub_cursor: 0,
+            corruption_log: Vec::new(),
         };
         sup.write_checkpoint(pmu);
         sup
@@ -264,6 +310,14 @@ impl Supervisor {
         mapping: &AddressMapping,
         translate: &mut dyn FnMut(u32, u64) -> Option<u64>,
     ) -> Result<SupervisedOutcome, RuntimeError> {
+        // Self-integrity pass first: verify one slice of the detector's
+        // own cells before trusting it with another window. Consumes no
+        // fault draws, so lifecycle schedules are unchanged; unrepairable
+        // state escalates to a cold restart from the last good checkpoint
+        // instead of servicing with untrusted decisions.
+        if let Some(out) = self.scrub_self_state(now, pmu) {
+            return Ok(out);
+        }
         let stall = self
             .faults
             .as_mut()
@@ -316,8 +370,23 @@ impl Supervisor {
             });
         }
         let gap = self.backoff(self.consecutive_crashes);
-        let resumed_at = crashed_at + gap;
+        Ok(SupervisedOutcome::Restarted(
+            self.restart_from_checkpoint(crashed_at, gap, pmu),
+        ))
+    }
 
+    /// Shared restart machinery: restore from the stored checkpoint at
+    /// `crashed_at + gap` (cold start when it is unusable), charge the
+    /// downtime, re-apply the state-guard mode, and write a fresh
+    /// checkpoint. Used by both the crash path and the self-corruption
+    /// escalation path so downtime accounting is identical.
+    fn restart_from_checkpoint(
+        &mut self,
+        crashed_at: Cycle,
+        gap: Cycle,
+        pmu: &mut Pmu,
+    ) -> RecoveryReport {
+        let resumed_at = crashed_at + gap;
         let restore = |ckpt: &DetectorCheckpoint, pmu: &mut Pmu| {
             AnvilDetector::restore(
                 self.config,
@@ -356,6 +425,9 @@ impl Supervisor {
             }
         };
         self.detector = detector;
+        // Restored detectors boot guarded; the baseline arm must stay
+        // unguarded across restarts.
+        self.detector.set_state_guard(self.runtime.guard_state);
         self.stats.restarts = self.stats.restarts.saturating_add(1);
         if cold_start {
             self.stats.cold_starts = self.stats.cold_starts.saturating_add(1);
@@ -365,24 +437,99 @@ impl Supervisor {
         // Replace the (possibly corrupt) stored checkpoint with a fresh
         // snapshot of the recovered state.
         self.write_checkpoint(pmu);
-        Ok(SupervisedOutcome::Restarted(RecoveryReport {
+        RecoveryReport {
             crashed_at,
             resumed_at,
             gap,
             cold_start,
             checkpoint_error,
-        }))
+        }
+    }
+
+    /// Runs this service's slice of the incremental state scrub and
+    /// accounts every surfaced corruption: repaired ones are counted and
+    /// absorbed, an unrepairable one escalates to a cold restart from the
+    /// last good checkpoint (returned as a [`SupervisedOutcome::Restarted`]
+    /// whose gap the caller's recovery protocol must cover, exactly like
+    /// a crash). Returns `None` when the detector state is trusted and
+    /// the window service should proceed.
+    fn scrub_self_state(&mut self, now: Cycle, pmu: &mut Pmu) -> Option<SupervisedOutcome> {
+        if !self.runtime.guard_state {
+            return None;
+        }
+        let slices = self.runtime.scrub_slices.max(1);
+        self.detector.scrub_state_slice(self.scrub_cursor, slices);
+        self.scrub_cursor = (self.scrub_cursor + 1) % slices;
+        let escalate = self.fold_corruptions();
+        if !escalate {
+            return None;
+        }
+        // The live state lied to us once; none of it is trusted. Pay one
+        // base backoff of declared downtime and reload the last good
+        // checkpoint.
+        let gap = self.backoff(1);
+        Some(SupervisedOutcome::Restarted(
+            self.restart_from_checkpoint(now, gap, pmu),
+        ))
+    }
+
+    /// Drains the detector's typed corruption reports into the runtime
+    /// counters and the retained log, returning whether any report was
+    /// unrepairable (the caller escalates).
+    fn fold_corruptions(&mut self) -> bool {
+        let mut escalate = false;
+        for c in self.detector.take_state_corruptions() {
+            if c.repaired {
+                self.stats.state_repairs = self.stats.state_repairs.saturating_add(1);
+            } else {
+                self.stats.state_escalations = self.stats.state_escalations.saturating_add(1);
+                escalate = true;
+            }
+            self.corruption_log.push(c);
+        }
+        escalate
+    }
+
+    /// Drains the typed [`StateCorruption`] reports accumulated by the
+    /// incremental scrub (and by guarded in-service reads) since the
+    /// last drain. Campaigns reconcile these against the corruption they
+    /// injected, so "repaired or escalated, never silently absorbed" is
+    /// checkable per site rather than inferred from counters.
+    pub fn drain_state_corruptions(&mut self) -> Vec<StateCorruption> {
+        std::mem::take(&mut self.corruption_log)
+    }
+
+    /// End-of-run integrity sweep: scrubs every state cell at once,
+    /// folds anything found into the counters (an unrepairable cell at
+    /// teardown is counted as an escalation but no longer restarts —
+    /// the run is over), and returns the full retained corruption log.
+    pub fn scrub_state_final(&mut self) -> Vec<StateCorruption> {
+        if self.runtime.guard_state {
+            self.detector.scrub_state_all();
+            self.fold_corruptions();
+        }
+        self.drain_state_corruptions()
     }
 
     /// Exponential backoff for the `n`-th consecutive crash, clamped to
-    /// `[backoff_base, backoff_cap]`.
+    /// `[backoff_base, backoff_cap]`, minus deterministic seeded jitter
+    /// (up to a quarter of the nominal gap) when `jitter_seed` is set —
+    /// co-resident domains seeded distinctly restart at distinct
+    /// instants after a correlated outage instead of thundering back in
+    /// lockstep.
     fn backoff(&self, n: u32) -> Cycle {
         let doublings = n.saturating_sub(1).min(32);
-        self.runtime
+        let nominal = self
+            .runtime
             .backoff_base
             .saturating_mul(1u64 << doublings)
             .min(self.runtime.backoff_cap)
-            .max(1)
+            .max(1);
+        if self.runtime.jitter_seed == 0 {
+            return nominal;
+        }
+        let jitter = hash64(self.runtime.jitter_seed ^ u64::from(n)) % (nominal / 4 + 1);
+        (nominal - jitter).max(1)
     }
 
     /// Applies the queued reload if the detector sits at a stage-1
@@ -452,6 +599,27 @@ impl Supervisor {
         if let Some(faults) = self.faults.as_mut() {
             faults.force_crash();
         }
+    }
+
+    /// Number of addressable state cells in the live detector (scalar
+    /// accumulators plus two per ledger entry); the index space for
+    /// [`Supervisor::corrupt_state_cell`].
+    pub fn state_cell_count(&self) -> usize {
+        self.detector.state_cell_count()
+    }
+
+    /// Flips `bit` in the replicas selected by `replica_mask` of state
+    /// cell `index` — the hook the self-defense campaign uses to land
+    /// physically modelled disturbance flips on the supervised detector's
+    /// own state. Returns the site hit, or `None` if `index` is out of
+    /// range.
+    pub fn corrupt_state_cell(
+        &mut self,
+        index: usize,
+        replica_mask: u8,
+        bit: u8,
+    ) -> Option<StateSite> {
+        self.detector.corrupt_state_cell(index, replica_mask, bit)
     }
 }
 
@@ -642,8 +810,7 @@ mod tests {
         assert!(r.cold_start);
         assert!(matches!(
             r.checkpoint_error,
-            Some(RuntimeError::CheckpointCorrupt { .. })
-                | Some(RuntimeError::CheckpointUndecodable)
+            Some(RuntimeError::CheckpointCorrupt { .. } | RuntimeError::CheckpointUndecodable)
         ));
         assert_eq!(sup.stats().cold_starts, 1);
         assert!(sup.stats().checkpoints_corrupted >= 1);
@@ -681,8 +848,7 @@ mod tests {
         assert!(r.cold_start);
         assert!(matches!(
             r.checkpoint_error,
-            Some(RuntimeError::CheckpointCorrupt { .. })
-                | Some(RuntimeError::CheckpointUndecodable)
+            Some(RuntimeError::CheckpointCorrupt { .. } | RuntimeError::CheckpointUndecodable)
         ));
         assert!(sup.stats().checkpoints_torn >= 1);
         assert_eq!(sup.stats().cold_starts, 1);
@@ -780,6 +946,140 @@ mod tests {
         assert!(!sup.reload_pending());
         assert_eq!(sup.stats().reloads, 1);
         assert_eq!(sup.config(), &AnvilConfig::heavy());
+    }
+
+    #[test]
+    fn jittered_backoff_desynchronizes_coresident_domains() {
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let base = RuntimeConfig::default().backoff_base;
+        let boot_seeded = |seed: u64, pmu: &mut Pmu| {
+            Supervisor::new(
+                AnvilConfig::hardened(),
+                RuntimeConfig {
+                    jitter_seed: seed,
+                    ..RuntimeConfig::default()
+                },
+                CLOCK,
+                PERIOD,
+                0,
+                pmu,
+            )
+        };
+        // Seed 0 (the default) is exactly the nominal schedule.
+        assert_eq!(boot_seeded(0, &mut pmu).backoff(1), base);
+        // Distinct seeds produce distinct restart instants after a
+        // correlated outage (the thundering-herd fix for co-resident
+        // fleet domains), each within a quarter-gap of nominal.
+        let a = boot_seeded(1, &mut pmu).backoff(1);
+        let b = boot_seeded(2, &mut pmu).backoff(1);
+        assert_ne!(a, b, "distinct seeds, distinct gaps");
+        for gap in [a, b] {
+            assert!(gap <= base && gap >= base - base / 4, "gap {gap}");
+        }
+        // And the jitter is deterministic per (seed, crash count).
+        assert_eq!(a, boot_seeded(1, &mut pmu).backoff(1));
+    }
+
+    #[test]
+    fn a_repairable_state_flip_is_scrubbed_and_counted() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut sup = boot(&mut pmu);
+        assert!(sup.state_cell_count() >= 4);
+        // One replica of the carry cell takes a flip: the majority vote
+        // must repair it within a scrub rotation, without a restart.
+        assert!(sup.corrupt_state_cell(0, 0b001, 62).is_some());
+        for _ in 0..RuntimeConfig::default().scrub_slices {
+            let d = sup.deadline();
+            let out = sup
+                .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+                .unwrap();
+            assert!(matches!(out, SupervisedOutcome::Serviced { .. }));
+        }
+        assert_eq!(sup.stats().state_repairs, 1);
+        assert_eq!(sup.stats().state_escalations, 0);
+        assert_eq!(sup.stats().restarts, 0);
+        // Out-of-range cell indices are a typed miss, not a panic.
+        assert!(sup.corrupt_state_cell(usize::MAX, 0b001, 0).is_none());
+    }
+
+    #[test]
+    fn unrepairable_state_corruption_escalates_to_a_checkpoint_restart() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut sup = boot(&mut pmu);
+        let d = sup.deadline();
+        sup.service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+            .unwrap();
+        let windows_before = sup.detector().stats().stage1_windows;
+        // Replica-correlated damage: the same bit flipped in every copy
+        // of the carry cell leaves no checksummed majority.
+        assert!(sup.corrupt_state_cell(0, 0b111, 5).is_some());
+        let mut restarted = None;
+        for _ in 0..8 {
+            let d = sup.deadline();
+            match sup
+                .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+                .unwrap()
+            {
+                SupervisedOutcome::Restarted(r) => {
+                    restarted = Some(r);
+                    break;
+                }
+                SupervisedOutcome::Serviced { .. } => {}
+            }
+        }
+        let report = restarted.expect("correlated corruption must escalate");
+        assert!(sup.stats().state_escalations >= 1);
+        assert_eq!(report.gap, RuntimeConfig::default().backoff_base);
+        assert!(!report.cold_start, "the boot checkpoint was good");
+        // The restored detector resumed from checkpointed evidence and
+        // is guarded again.
+        assert!(sup.detector().state_guarded());
+        assert!(sup.detector().stats().stage1_windows >= windows_before);
+        // And the next window services normally.
+        let d = sup.deadline();
+        let out = sup
+            .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+            .unwrap();
+        assert!(matches!(out, SupervisedOutcome::Serviced { .. }));
+    }
+
+    #[test]
+    fn unguarded_supervision_never_scrubs_and_survives_restarts() {
+        let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+        let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+        let mut sup = Supervisor::new(
+            AnvilConfig::hardened(),
+            RuntimeConfig {
+                guard_state: false,
+                ..RuntimeConfig::default()
+            },
+            CLOCK,
+            PERIOD,
+            0,
+            &mut pmu,
+        );
+        assert!(!sup.detector().state_guarded());
+        // Correlated damage that would escalate a guarded supervisor is
+        // silently absorbed by the baseline: no scrub, no restart.
+        sup.corrupt_state_cell(0, 0b111, 5);
+        let d = sup.deadline();
+        let out = sup
+            .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+            .unwrap();
+        assert!(matches!(out, SupervisedOutcome::Serviced { .. }));
+        assert_eq!(sup.stats().state_repairs, 0);
+        assert_eq!(sup.stats().state_escalations, 0);
+        // A crash restart must stay unguarded: restore() boots guarded,
+        // so the supervisor re-applies the configured mode.
+        sup.set_faults(Some(crashy(1.0)));
+        let d = sup.deadline();
+        let out = sup
+            .service(d, &mut pmu, &mapping, &mut |_, v| Some(v))
+            .unwrap();
+        assert!(matches!(out, SupervisedOutcome::Restarted(_)));
+        assert!(!sup.detector().state_guarded());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Property-based self-integrity of the detector's guarded state cells.
+//!
+//! The self-defense campaign injects physically modelled disturbance
+//! flips into the supervised detector's own DRAM-resident state. These
+//! properties pin the contract that campaign relies on, for *every*
+//! addressable state site, replica subset, and bit position (word or
+//! checksum): a flip is always surfaced as a typed
+//! [`StateCorruption`](anvil::core::StateCorruption) — repaired in place
+//! when any checksummed replica survives, escalated when none does —
+//! and a repaired detector is byte-for-byte indistinguishable from one
+//! that was never corrupted, so no decision is ever computed from a
+//! corrupted value. Mirrors `torn_checkpoint.rs`, which pins the same
+//! fail-closed discipline for the checkpoint wire format.
+
+use anvil::core::AnvilConfig;
+use anvil::dram::{AddressMapping, CpuClock, DramGeometry};
+use anvil::pmu::{EventKind, Pmu, SamplerConfig};
+use anvil::runtime::{RuntimeConfig, SupervisedOutcome, Supervisor};
+use proptest::prelude::*;
+
+/// A serviced hardened supervisor with guarded state and a populated
+/// carry, plus its PMU — representative words for mutations to land on,
+/// not freshly zeroed cells.
+fn serviced_supervisor() -> (Supervisor, Pmu) {
+    let mut pmu = Pmu::new(SamplerConfig::anvil_default());
+    let mut sup = Supervisor::new(
+        AnvilConfig::hardened(),
+        RuntimeConfig::default(),
+        CpuClock::SANDY_BRIDGE_2_6GHZ,
+        166_400_000,
+        0,
+        &mut pmu,
+    );
+    let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+    // Two quiet windows with sub-threshold miss traffic: the EWMA carry,
+    // window scale, and jitter stream all hold non-trivial values.
+    for _ in 0..2 {
+        let deadline = sup.deadline();
+        pmu.counter_mut(EventKind::LongestLatCacheMiss)
+            .add(12_000, deadline - 1);
+        pmu.counter_mut(EventKind::MemLoadUopsRetiredLlcMiss)
+            .add(12_000, deadline - 1);
+        sup.service(deadline, &mut pmu, &mapping, &mut |_pid, va| Some(va))
+            .expect("fault-free service succeeds");
+    }
+    assert!(
+        sup.drain_state_corruptions().is_empty(),
+        "clean services must not declare corruption"
+    );
+    (sup, pmu)
+}
+
+/// The decision-relevant state of a checkpoint: everything except the
+/// activity counters (`stats` legitimately differs by exactly the
+/// declared repair — that is the declaration working, not a leak).
+fn decision_state(bytes: &[u8]) -> serde_json::Value {
+    let text = std::str::from_utf8(bytes).expect("checkpoint is utf-8");
+    let body = text
+        .split_once('\n')
+        .expect("checkpoint has a hash line and a payload")
+        .1;
+    let mut v: serde_json::Value =
+        serde_json::from_str(body).expect("checkpoint payload parses");
+    match &mut v {
+        serde_json::Value::Object(entries) => entries.retain(|(k, _)| k != "stats"),
+        other => panic!("checkpoint payload is an object, got {other:?}"),
+    }
+    v
+}
+
+proptest! {
+    /// Any single-bit flip over any state site and any *proper* replica
+    /// subset is declared exactly once as `repaired` — a checksummed
+    /// majority (or the single surviving valid replica) vouches for the
+    /// value — and the repaired detector checkpoints byte-identically to
+    /// an untouched twin: the corrupted word never leaks into any
+    /// decision.
+    #[test]
+    fn any_proper_subset_flip_is_repaired_to_the_exact_value(
+        index in 0usize..1 << 16,
+        mask in 1u8..7,
+        bit in 0u8..128,
+    ) {
+        let (mut sup, pmu) = serviced_supervisor();
+        let (twin, twin_pmu) = serviced_supervisor();
+        let cells = sup.state_cell_count();
+        let site = sup
+            .corrupt_state_cell(index % cells, mask, bit)
+            .expect("index is in range");
+
+        let records = sup.scrub_state_final();
+        prop_assert_eq!(records.len(), 1, "exactly one declaration for one flip");
+        prop_assert_eq!(records[0].site, site);
+        prop_assert!(records[0].repaired, "a surviving replica must repair {site:?}");
+        prop_assert_eq!(sup.stats().state_repairs, 1);
+        prop_assert_eq!(sup.stats().state_escalations, 0);
+        prop_assert_eq!(
+            decision_state(&sup.detector().checkpoint(&pmu).to_bytes()),
+            decision_state(&twin.detector().checkpoint(&twin_pmu).to_bytes()),
+            "repair must restore the exact pre-corruption state"
+        );
+    }
+
+    /// Correlated damage — the same bit flipped in *every* replica — can
+    /// never be silently absorbed either: it is declared exactly once as
+    /// unrepairable and counted as an escalation. (Whether the words
+    /// still happen to agree is irrelevant: with no checksum vouching
+    /// for any replica, the cell is untrusted by policy.)
+    #[test]
+    fn an_all_replica_flip_is_declared_and_escalated(
+        index in 0usize..1 << 16,
+        bit in 0u8..128,
+    ) {
+        let (mut sup, _pmu) = serviced_supervisor();
+        let cells = sup.state_cell_count();
+        let site = sup
+            .corrupt_state_cell(index % cells, 0b111, bit)
+            .expect("index is in range");
+
+        let records = sup.scrub_state_final();
+        prop_assert_eq!(records.len(), 1, "exactly one declaration for one strike");
+        prop_assert_eq!(records[0].site, site);
+        prop_assert!(!records[0].repaired, "no replica survives a correlated strike");
+        prop_assert_eq!(sup.stats().state_repairs, 0);
+        prop_assert_eq!(sup.stats().state_escalations, 1);
+    }
+}
+
+/// End to end through the service path: an unrepairable corruption is
+/// found — by the incremental scrub when the cursor reaches the carry's
+/// slice, or by the detector's own guarded read first — and escalates to
+/// a restart from the last good checkpoint, declared as a `Restarted`
+/// outcome with a recovery gap, within one scrub rotation. Never a
+/// silent continuation.
+#[test]
+fn service_escalates_an_unrepairable_carry_to_a_restart() {
+    let (mut sup, mut pmu) = serviced_supervisor();
+    let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
+    sup.corrupt_state_cell(0, 0b111, 62).expect("carry exists");
+
+    let mut restarted = false;
+    for _ in 0..=RuntimeConfig::default().scrub_slices {
+        let deadline = sup.deadline();
+        let outcome = sup
+            .service(deadline, &mut pmu, &mapping, &mut |_pid, va| Some(va))
+            .expect("escalation restarts within budget");
+        if let SupervisedOutcome::Restarted(r) = outcome {
+            assert!(r.gap > 0, "a declared recovery gap");
+            assert!(r.resumed_at > deadline);
+            restarted = true;
+            break;
+        }
+    }
+    assert!(restarted, "the corruption must escalate within one scrub rotation");
+    assert_eq!(sup.stats().state_escalations, 1);
+    assert_eq!(sup.stats().restarts, 1);
+    let declared = sup.drain_state_corruptions();
+    assert!(
+        declared.iter().any(|c| !c.repaired),
+        "the escalation carries a typed unrepaired record: {declared:?}"
+    );
+
+    // The restarted detector is healthy: the next window services
+    // normally and declares nothing.
+    let deadline = sup.deadline();
+    let outcome = sup
+        .service(deadline, &mut pmu, &mapping, &mut |_pid, va| Some(va))
+        .expect("post-restart service succeeds");
+    assert!(matches!(outcome, SupervisedOutcome::Serviced { .. }));
+    assert!(sup.drain_state_corruptions().is_empty());
+}

@@ -25,7 +25,12 @@
 //! cargo run --release -p anvil-bench --bin soak                  # full (2M windows)
 //! cargo run --release -p anvil-bench --bin soak -- --smoke       # CI subset
 //! cargo run --release -p anvil-bench --bin soak -- --windows 500000 --seed 7
+//! cargo run --release -p anvil-bench --bin soak -- --engine per-op  # reference core
 //! ```
+//!
+//! `--engine per-op|event` selects the simulation core (default:
+//! `event`, the epoch-skipping engine). `results/soak.json` is
+//! byte-identical either way; CI diffs both on every push.
 
 use anvil_bench::{campaigns, write_json, CampaignArgs, Table};
 use anvil_runtime::{install_quiet_panic_hook, SoakConfig};
@@ -60,10 +65,12 @@ fn main() {
     }
 
     eprintln!(
-        "soak: {windows} windows, seed {seed:#x}, crash rate {}, reload every {}",
-        cfg.lifecycle.crash_rate, cfg.reload_every
+        "soak: {windows} windows, seed {seed:#x}, crash rate {}, reload every {}, engine {}",
+        cfg.lifecycle.crash_rate,
+        cfg.reload_every,
+        args.engine.as_str()
     );
-    let out = campaigns::soak(&cfg, seed, args.smoke, args.threads);
+    let out = campaigns::soak_with_engine(&cfg, seed, args.smoke, args.threads, args.engine);
     let Some(s) = &out.summary else {
         // The soak cell itself died: the panic is recorded as typed data
         // in the JSON record instead of aborting the campaign binary.

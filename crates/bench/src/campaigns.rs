@@ -26,7 +26,7 @@ use anvil_faults::{FaultPlan, FaultScenario};
 use anvil_fleet::{run_machine, FleetConfig, FleetRisk, MachineSummary};
 use anvil_fuzz::{run_campaign, FuzzOptions, FuzzReport, Scenario, ScenarioOutcome};
 use anvil_mem::MemoryConfig;
-use anvil_runtime::{soak as soak_engine, SoakConfig, SoakSummary};
+use anvil_runtime::{soak as soak_engine, Engine, SoakConfig, SoakSummary};
 use serde_json::{json, Value};
 
 /// Splits [`run_cells_checked`] results into the completed cells and the
@@ -835,8 +835,23 @@ impl SoakOutcome {
 /// accepted for interface uniformity (and so the thread-count determinism
 /// tests cover it) but cannot subdivide the run.
 pub fn soak(cfg: &SoakConfig, seed: u64, smoke: bool, threads: usize) -> SoakOutcome {
-    let (mut cells, panics) =
-        split_cells(run_cells_checked(threads, vec![|| soak_engine::run(cfg)]));
+    soak_with_engine(cfg, seed, smoke, threads, Engine::default())
+}
+
+/// [`soak`] under an explicit simulation [`Engine`]. The JSON record is
+/// byte-identical across engines (the cross-engine CI smoke diffs them),
+/// so the engine is deliberately not serialized into it.
+pub fn soak_with_engine(
+    cfg: &SoakConfig,
+    seed: u64,
+    smoke: bool,
+    threads: usize,
+    engine: Engine,
+) -> SoakOutcome {
+    let (mut cells, panics) = split_cells(run_cells_checked(
+        threads,
+        vec![|| soak_engine::run_with_engine(cfg, engine)],
+    ));
     let s = (!cells.is_empty()).then(|| cells.remove(0));
     let json = json!({
         "experiment": "soak",

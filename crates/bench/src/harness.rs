@@ -4,6 +4,7 @@ use anvil_attacks::{Attack, ClflushFreeDoubleSided, DoubleSidedClflush, SingleSi
 use anvil_core::{AnvilConfig, Platform, PlatformConfig};
 use anvil_faults::FaultScenario;
 use anvil_mem::MemoryConfig;
+use anvil_runtime::Engine;
 use anvil_workloads::SpecBenchmark;
 use serde::Serialize;
 
@@ -54,10 +55,11 @@ pub fn windows_from_args() -> Option<u64> {
 /// each binary re-scanning `std::env::args()` ad hoc.
 ///
 /// Recognized flags: `--quick`, `--smoke`, `--windows N`, `--seed N`,
-/// `--machines N`, `--domains N`, `--threads N`. Unknown arguments are
-/// ignored (forward compatibility with binary-specific flags). Malformed
-/// or out-of-range values warn on stderr, naming the bad value, and fall
-/// back to the default.
+/// `--machines N`, `--domains N`, `--threads N`,
+/// `--engine per-op|event`. Unknown arguments are ignored (forward
+/// compatibility with binary-specific flags). Malformed or out-of-range
+/// values warn on stderr, naming the bad value, and fall back to the
+/// default.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignArgs {
     /// `--quick`: trade precision for speed (see [`Scale`]).
@@ -81,6 +83,12 @@ pub struct CampaignArgs {
     /// independent of this value, so there is no reproducibility reason to
     /// pin it.
     pub threads: usize,
+    /// `--engine per-op|event`: which simulation core drives
+    /// window-granular campaigns (default: `event`). Campaign output is
+    /// byte-for-byte independent of the engine — the flag exists so CI can
+    /// prove it by diffing both — and is therefore never serialized into
+    /// result records.
+    pub engine: Engine,
 }
 
 impl CampaignArgs {
@@ -147,6 +155,15 @@ impl CampaignArgs {
                     default_threads()
                 }
             });
+        let engine = value_of("--engine").map_or(Engine::default(), |raw| {
+            Engine::parse(&raw).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: ignoring `--engine {raw}`: expected `per-op` or `event`, \
+                     using the default (event)"
+                );
+                Engine::default()
+            })
+        });
         CampaignArgs {
             quick: args.iter().any(|a| a == "--quick"),
             smoke: args.iter().any(|a| a == "--smoke"),
@@ -155,6 +172,7 @@ impl CampaignArgs {
             machines,
             domains,
             threads,
+            engine,
         }
     }
 

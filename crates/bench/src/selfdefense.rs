@@ -200,7 +200,12 @@ pub fn run_arm(seed: u64, windows: u64, guarded: bool, trial: u64) -> ArmCell {
     } else {
         StateLayout::Naive
     };
-    let map = StateRowMap::new(layout, STATE_BANK, STATE_BASE_ROW, sup.state_cell_count().min(4));
+    let map = StateRowMap::new(
+        layout,
+        STATE_BANK,
+        STATE_BASE_ROW,
+        sup.state_cell_count().min(4),
+    );
     let rows = map.state_rows();
     let hammer = StateTargetingHammer::new().with_paced_activations(PACED_ACTIVATIONS);
     let mut traffic = FaultRng::new(cell_seed).fork(TRAFFIC_SITE);
@@ -289,9 +294,7 @@ pub fn run_arm(seed: u64, windows: u64, guarded: bool, trial: u64) -> ArmCell {
             }),
         ];
         if sup.detector().stage() == DetectorStage::Sampling {
-            let span = deadline
-                .saturating_sub(last_serviced)
-                .max(SAMPLED_OPS + 1);
+            let span = deadline.saturating_sub(last_serviced).max(SAMPLED_OPS + 1);
             for i in 0..SAMPLED_OPS {
                 let ts = last_serviced + span * (i + 1) / (SAMPLED_OPS + 1);
                 let op = if i % 16 == 15 {
@@ -510,6 +513,9 @@ mod tests {
     fn cells_are_pure_functions_of_their_inputs() {
         let a = run_arm(7, 60, true, 1);
         let b = run_arm(7, 60, true, 1);
-        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
     }
 }

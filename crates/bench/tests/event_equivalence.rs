@@ -1,0 +1,97 @@
+//! Observational equivalence of the event-driven soak engine.
+//!
+//! The epoch-skipping core ([`Engine::Event`]) is only admissible
+//! because it is *observationally equivalent* to the per-op reference
+//! core: same summary, same serialized bytes, for every config × fault
+//! × schedule box. The unit tests in `anvil-runtime` pin two named
+//! campaigns; this suite drives the claim across randomly drawn boxes —
+//! detector knobs sampled from the fuzzer's standard domain
+//! ([`FuzzDomain::standard`]), lifecycle fault intensities spanning
+//! quiet to crash-heavy, reload cadences, and both traffic mixes
+//! (adversary-paced and benign-dominated).
+
+use anvil_fuzz::FuzzDomain;
+use anvil_runtime::{install_quiet_panic_hook, soak, Engine, SoakConfig};
+use proptest::prelude::*;
+
+/// One randomly drawn soak box. Fault rates arrive as per-mille
+/// integers (the vendored proptest has no float strategies) and the
+/// detector knobs are clamped into the fuzzer's standard domain so
+/// every drawn config is one the detector accepts.
+#[derive(Debug)]
+struct Box_ {
+    cfg: SoakConfig,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_box(
+    windows: u64,
+    seed: u64,
+    adversary: bool,
+    llc: u64,
+    bank_support: u32,
+    ledger_min: u32,
+    interval: u64,
+    crash_pm: u64,
+    stall_pm: u64,
+    max_stall: u64,
+    corrupt_pm: u64,
+    reload_every: u64,
+) -> Box_ {
+    let d = FuzzDomain::standard();
+    let mut cfg = if adversary {
+        SoakConfig::standard(windows, seed)
+    } else {
+        SoakConfig::benign(windows, seed)
+    };
+    cfg.anvil.llc_miss_threshold = llc.clamp(d.llc_range.0, d.llc_range.1);
+    cfg.anvil.bank_support_min = bank_support.clamp(d.bank_support_range.0, d.bank_support_range.1);
+    cfg.anvil.hardening.ledger_min_windows =
+        ledger_min.clamp(d.ledger_min_windows_range.0, d.ledger_min_windows_range.1);
+    cfg.anvil.sampling.interval =
+        interval.clamp(d.sampling_interval_range.0, d.sampling_interval_range.1);
+    #[allow(clippy::cast_precision_loss)]
+    {
+        cfg.lifecycle.crash_rate = crash_pm as f64 * 1e-3;
+        cfg.lifecycle.stall_rate = stall_pm as f64 * 1e-3;
+        cfg.lifecycle.corrupt_rate = corrupt_pm as f64 * 1e-3;
+    }
+    cfg.lifecycle.max_stall = max_stall;
+    cfg.reload_every = reload_every;
+    Box_ { cfg }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any drawn box, the event engine's summary — and its
+    /// serialized bytes, which is what the campaign records commit —
+    /// match the per-op reference exactly.
+    #[test]
+    fn event_driven_matches_per_op(
+        windows in 200u64..1_200,
+        seed in any::<u64>(),
+        adversary in any::<bool>(),
+        llc in 4_000u64..40_000,
+        bank_support in 0u32..6,
+        ledger_min in 0u32..6,
+        interval in 100_000u64..3_000_000,
+        crash_pm in 0u64..20,
+        stall_pm in 0u64..50,
+        max_stall in 1u64..50_000,
+        corrupt_pm in 0u64..300,
+        reload_every in 0u64..2_000,
+    ) {
+        install_quiet_panic_hook();
+        let drawn = build_box(
+            windows, seed, adversary, llc, bank_support, ledger_min,
+            interval, crash_pm, stall_pm, max_stall, corrupt_pm, reload_every,
+        );
+        let reference = soak::run_with_engine(&drawn.cfg, Engine::PerOp);
+        let event = soak::run_with_engine(&drawn.cfg, Engine::Event);
+        prop_assert_eq!(&reference, &event);
+        let reference_bytes = serde_json::to_string(&reference).expect("summary serializes");
+        let event_bytes = serde_json::to_string(&event).expect("summary serializes");
+        prop_assert_eq!(reference_bytes, event_bytes);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::checkpoint::{config_hash, DetectorCheckpoint, CHECKPOINT_VERSION};
 use crate::config::AnvilConfig;
+use crate::epoch::{QuietCheckpoint, QuietShadow};
 use crate::error::{ConfigError, RuntimeError};
 use crate::guard::{GuardMode, GuardedCell, GuardedValue, StateCorruption, StateSite};
 use crate::locality::{analyze_with_ledger, LocalityReport, RowSample, SuspicionLedger};
@@ -693,6 +694,159 @@ impl AnvilDetector {
         );
         let window = self.next_stage1_window();
         self.deadline = now + window;
+    }
+
+    /// Opens a quiet-run shadow for the event-driven engine: the three
+    /// guarded scalars a stage-1-idle stretch evolves, decoded once so
+    /// subsequent windows run on plain registers. Returns `None` unless
+    /// the detector is idle in stage 1 (an armed stage-2 window must be
+    /// serviced through the full path).
+    ///
+    /// The caller owns the shadow until it calls
+    /// [`quiet_flush`](Self::quiet_flush); until then the guarded cells
+    /// hold stale values and must not be read or scrubbed.
+    pub fn quiet_shadow(&mut self) -> Option<QuietShadow> {
+        if self.stage != DetectorStage::MissCount {
+            return None;
+        }
+        let carry = cell_load(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.carry,
+            StateSite::Carry,
+        );
+        let phase = cell_load(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.phase_state,
+            StateSite::PhaseState,
+        );
+        let scale = cell_load(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.window_scale,
+            StateSite::WindowScale,
+        );
+        Some(QuietShadow {
+            carry,
+            phase,
+            scale,
+        })
+    }
+
+    /// Whether a stage-1 window carrying `misses` would trip under the
+    /// shadowed state. Pure: consumes no draws and mutates nothing, so
+    /// the event engine can peek the decision and fall back to the full
+    /// per-op service path for the tripping window itself.
+    pub fn quiet_trips(&self, shadow: &QuietShadow, misses: u64) -> bool {
+        let h = self.config.hardening;
+        let normalized = misses as f64 / shadow.scale;
+        transition::stage1_step(&h, self.config.llc_miss_threshold, shadow.carry, normalized)
+            .tripped
+    }
+
+    /// Retires one non-tripping stage-1 window in closed form: the same
+    /// slip accounting, EWMA step, and jitter draw as
+    /// [`service`](Self::service) → `end_stage1` → `restart_stage1`,
+    /// but against the shadow instead of the guarded cells and without
+    /// touching the (known-zero) PMU counters. Returns the identical
+    /// [`ServiceOutcome::Quiet`].
+    ///
+    /// The caller must have verified `!`[`quiet_trips`](Self::quiet_trips)
+    /// for this window; a tripping window must go through the full path.
+    pub fn quiet_step(
+        &mut self,
+        shadow: &mut QuietShadow,
+        now: Cycle,
+        misses: u64,
+    ) -> ServiceOutcome {
+        debug_assert_eq!(self.stage, DetectorStage::MissCount);
+        debug_assert!(now >= self.deadline, "serviced before the deadline");
+        let slip = now.saturating_sub(self.deadline);
+        if slip > 0 {
+            self.stats.missed_deadlines = self.stats.missed_deadlines.saturating_add(1);
+            self.stats.worst_deadline_slip = self.stats.worst_deadline_slip.max(slip);
+        }
+        self.stats.stage1_windows = self.stats.stage1_windows.saturating_add(1);
+        let h = self.config.hardening;
+        let normalized = misses as f64 / shadow.scale;
+        let step =
+            transition::stage1_step(&h, self.config.llc_miss_threshold, shadow.carry, normalized);
+        debug_assert!(!step.tripped, "tripping windows take the full path");
+        shadow.carry = step.next_carry;
+        // The shadow form of `next_stage1_window`: identical draws on
+        // the same jitter stream, landing in registers instead of cells.
+        let window = if !h.enabled || h.phase_jitter <= 0.0 {
+            shadow.scale = 1.0;
+            self.tc
+        } else {
+            let scale = transition::draw_window_scale(&h, &mut shadow.phase);
+            shadow.scale = scale;
+            ((self.tc as f64 * scale) as Cycle).max(1)
+        };
+        self.deadline = now + window;
+        ServiceOutcome::Quiet {
+            misses,
+            cost: self.config.costs.pmi,
+        }
+    }
+
+    /// Re-seals a quiet-run shadow into the guarded cells, ending the
+    /// run. On pristine cells this is observationally identical to the
+    /// per-window stores it replaces: replica state is a pure function
+    /// of the stored value, and the sticky-sampling depth was already
+    /// zero (every quiet window re-stores 0).
+    pub fn quiet_flush(&mut self, shadow: &QuietShadow) {
+        cell_store(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.carry,
+            StateSite::Carry,
+            shadow.carry,
+        );
+        cell_store(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.phase_state,
+            StateSite::PhaseState,
+            shadow.phase,
+        );
+        cell_store(
+            self.guard,
+            &mut self.corruptions,
+            &mut self.stats,
+            &mut self.window_scale,
+            StateSite::WindowScale,
+            shadow.scale,
+        );
+    }
+
+    /// Materializes a checkpoint deferred during a quiet run into the
+    /// full [`DetectorCheckpoint`] the per-window path would have
+    /// written at that boundary. Valid while the quiet run is still
+    /// open (or at its first flush point): the ledger, armed filter,
+    /// and config fingerprint cannot have changed since the deferral,
+    /// and every quiet boundary stores a sticky-sampling depth of zero.
+    pub fn materialize_quiet_checkpoint(&self, q: &QuietCheckpoint) -> DetectorCheckpoint {
+        DetectorCheckpoint {
+            version: CHECKPOINT_VERSION,
+            config_hash: self.config_fingerprint,
+            sampling: false,
+            armed_filter: self.armed_filter,
+            deadline: q.deadline,
+            stats: q.stats,
+            carry: q.carry,
+            phase_state: q.phase_state,
+            window_scale: q.window_scale,
+            pebs_jitter: q.pebs_jitter,
+            ledger: self.ledger.to_rows(),
+            resamples: 0,
+        }
     }
 
     /// The cross-window suspicion ledger (empty unless hardening is

@@ -1,0 +1,193 @@
+//! The event-driven epoch engine: typed "interesting timestamps" and the
+//! closed-form quiet-window state the engine advances between them.
+//!
+//! Per-access stepping retires one memory operation at a time; every
+//! layer of the simulator (cache recency, PMU counters, disturbance
+//! slabs, the detector's guarded cells) is touched once per op. That is
+//! the right model *inside* an interesting region — an attack burst, a
+//! sampled stage-2 window, an injected fault — but benign stretches are
+//! analytically boring: the stage-1 EWMA, the window-phase jitter
+//! stream, the PMU miss counters, and the lifecycle fault draws are all
+//! closed-form functions of the window's aggregate miss count. The
+//! epoch engine exploits that: it computes the **next event horizon**
+//! (the earliest of the typed [`EpochEvent`]s below), fast-forwards to
+//! it in one jump, and accumulates everything in between in bulk.
+//!
+//! The taxonomy, in deterministic tie-break priority order:
+//!
+//! 1. [`EpochEvent::WindowBoundary`] — the detector's next service
+//!    deadline (a stage-1 or stage-2 window expires; on hardware, the
+//!    PMI / kernel-timer fire).
+//! 2. [`EpochEvent::RefreshDeadline`] — the next DRAM auto-refresh /
+//!    arena-compaction epoch boundary.
+//! 3. [`EpochEvent::FaultSite`] — the next registered fault-plan site
+//!    (lifecycle draws are taken *per window*, so in window-granular
+//!    engines every window boundary is implicitly also a fault site;
+//!    platform-level fault plans register explicit cycle sites).
+//! 4. [`EpochEvent::PhaseChange`] — the next attack/workload schedule
+//!    phase change (an adversary turning on or off invalidates the
+//!    closed form).
+//! 5. [`EpochEvent::RunEnd`] — the simulation horizon.
+//! 6. [`EpochEvent::CoreYield`] — the multi-core fairness bound: a core
+//!    may not run past its siblings' lag window, so cross-core
+//!    interleavings replay identically at any batch size.
+//!
+//! An epoch **never skips past** any of these: the horizon is the
+//! minimum over every candidate, and the engine falls back to per-op
+//! stepping from the horizon onward whenever the closed form is invalid
+//! (see `DESIGN.md` §16 for the fallback conditions and the
+//! determinism argument).
+
+use crate::detector::DetectorStats;
+use anvil_dram::Cycle;
+
+/// Why an epoch ends: the typed event classes the engine fast-forwards
+/// between. Variants are ordered by tie-break priority — when several
+/// events land on the same cycle, the smallest variant wins, so horizon
+/// selection is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EpochEvent {
+    /// The detector's next service deadline (stage-1/stage-2 window
+    /// expiry; the PMI threshold crossing is resolved *at* this
+    /// boundary from the window's aggregate miss count).
+    WindowBoundary,
+    /// The next DRAM auto-refresh / arena-compaction epoch boundary.
+    RefreshDeadline,
+    /// The next registered fault-plan site.
+    FaultSite,
+    /// The next attack/workload schedule phase change.
+    PhaseChange,
+    /// The simulation horizon.
+    RunEnd,
+    /// The multi-core fairness bound (a sibling core must catch up).
+    CoreYield,
+}
+
+/// One event horizon: the cycle an epoch may run to, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochHorizon {
+    /// The cycle of the event.
+    pub at: Cycle,
+    /// The event class.
+    pub event: EpochEvent,
+}
+
+impl EpochHorizon {
+    /// The earliest horizon among `candidates`, breaking cycle ties by
+    /// [`EpochEvent`] priority. Returns `None` for an empty set.
+    pub fn earliest(candidates: impl IntoIterator<Item = EpochHorizon>) -> Option<EpochHorizon> {
+        candidates.into_iter().min_by_key(|h| (h.at, h.event))
+    }
+}
+
+/// The detector's quiet-run shadow: the three guarded scalars a
+/// stage-1-idle stretch actually evolves (the EWMA carry, the
+/// window-phase jitter stream position, and the current window scale).
+///
+/// During an epoch run these live in plain registers instead of
+/// triple-replicated checksummed cells; `AnvilDetector::quiet_flush`
+/// re-seals them into the guarded cells at the first event that ends
+/// the quiet run. On pristine cells the flush is observationally
+/// identical to the per-window stores it replaces: a [`GuardedCell`]'s
+/// replica state is a pure function of the last stored value, and
+/// scrubs of clean cells report nothing.
+///
+/// [`GuardedCell`]: crate::GuardedCell
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuietShadow {
+    /// Stage-1 EWMA miss-evidence carry.
+    pub carry: f64,
+    /// Splitmix64 state of the window-phase jitter stream.
+    pub phase: u64,
+    /// Current stage-1 window length as a fraction of `tc`.
+    pub scale: f64,
+}
+
+/// A checkpoint deferred during a quiet run: everything the eventual
+/// [`DetectorCheckpoint`] needs that is *not* constant across the run.
+///
+/// The ledger, armed filter, and config fingerprint cannot change while
+/// stage 1 stays quiet, so materialization
+/// (`AnvilDetector::materialize_quiet_checkpoint`) reads those from the
+/// live detector at flush time; the fields here are the ones that move
+/// per window. `resamples` is omitted: every quiet window stores zero
+/// (stage-1 restart resets the sticky-sampling depth), so the
+/// materialized checkpoint records 0. The PEBS jitter position is
+/// captured eagerly because materialization can happen after the PMU
+/// has moved on (e.g. at a teardown sync).
+///
+/// [`DetectorCheckpoint`]: crate::DetectorCheckpoint
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuietCheckpoint {
+    /// Next service deadline at checkpoint time.
+    pub deadline: Cycle,
+    /// Detector activity counters at checkpoint time.
+    pub stats: DetectorStats,
+    /// Stage-1 EWMA carry at checkpoint time.
+    pub carry: f64,
+    /// Window-phase jitter stream position at checkpoint time.
+    pub phase_state: u64,
+    /// Stage-1 window scale at checkpoint time.
+    pub window_scale: f64,
+    /// The PEBS sampler's programmed jitter-stream position (constant
+    /// across a quiet run; captured eagerly anyway).
+    pub pebs_jitter: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The contract the tentpole rests on: an epoch horizon never skips
+    /// past a refresh deadline, a detector window boundary, or a
+    /// registered fault site — the earliest candidate always wins.
+    #[test]
+    fn an_epoch_never_skips_past_a_registered_event() {
+        let window = EpochHorizon {
+            at: 15_600_000,
+            event: EpochEvent::WindowBoundary,
+        };
+        let refresh = EpochHorizon {
+            at: 166_400_000,
+            event: EpochEvent::RefreshDeadline,
+        };
+        let fault = EpochHorizon {
+            at: 9_000_000,
+            event: EpochEvent::FaultSite,
+        };
+        let run_end = EpochHorizon {
+            at: 1_000_000_000,
+            event: EpochEvent::RunEnd,
+        };
+        let h = EpochHorizon::earliest([window, refresh, fault, run_end]).unwrap();
+        assert_eq!(h, fault, "the earliest registered site bounds the epoch");
+
+        // Remove the fault site: the window boundary is next.
+        let h = EpochHorizon::earliest([window, refresh, run_end]).unwrap();
+        assert_eq!(h, window);
+
+        // Remove the window too: the refresh deadline bounds the epoch
+        // long before the run end.
+        let h = EpochHorizon::earliest([refresh, run_end]).unwrap();
+        assert_eq!(h, refresh);
+    }
+
+    #[test]
+    fn simultaneous_events_break_ties_by_taxonomy_priority() {
+        let at = 4_242;
+        let mk = |event| EpochHorizon { at, event };
+        let h = EpochHorizon::earliest([
+            mk(EpochEvent::CoreYield),
+            mk(EpochEvent::FaultSite),
+            mk(EpochEvent::WindowBoundary),
+            mk(EpochEvent::RefreshDeadline),
+        ])
+        .unwrap();
+        assert_eq!(h.event, EpochEvent::WindowBoundary);
+    }
+
+    #[test]
+    fn empty_candidate_sets_have_no_horizon() {
+        assert_eq!(EpochHorizon::earliest([]), None);
+    }
+}

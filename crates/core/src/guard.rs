@@ -218,7 +218,10 @@ impl<T: GuardedValue> GuardedCell<T> {
     /// Whether every replica verifies and all words agree.
     pub fn clean(&self) -> bool {
         self.replicas.iter().all(Replica::valid)
-            && self.replicas.iter().all(|r| r.word == self.replicas[0].word)
+            && self
+                .replicas
+                .iter()
+                .all(|r| r.word == self.replicas[0].word)
     }
 
     /// Verifies all replicas, repairs what a checksummed majority can

@@ -67,6 +67,7 @@ mod checkpoint;
 mod config;
 mod detector;
 mod envelope;
+pub mod epoch;
 mod error;
 mod guard;
 mod locality;
@@ -74,11 +75,12 @@ mod platform;
 pub mod transition;
 
 pub use checkpoint::{config_hash, fnv1a64, DetectorCheckpoint, CHECKPOINT_VERSION};
-pub use guard::{GuardMode, GuardedCell, GuardedValue, StateCorruption, StateSite, REPLICAS};
 pub use config::{AnvilConfig, DegradedMode, DetectorCosts, HardeningConfig, PAPER_REFRESH_MS};
 pub use detector::{AnvilDetector, DetectorStage, DetectorStats, ServiceOutcome, StateSignature};
 pub use envelope::{EnvelopeParams, GuaranteeEnvelope};
+pub use epoch::{EpochEvent, EpochHorizon, QuietCheckpoint, QuietShadow};
 pub use error::{ConfigError, PlatformError, RuntimeError};
+pub use guard::{GuardMode, GuardedCell, GuardedValue, StateCorruption, StateSite, REPLICAS};
 pub use locality::{
     analyze, analyze_with_ledger, AggressorFinding, LedgerRow, LocalityReport, RowSample,
     SuspicionLedger, FULL_WEIGHT,

@@ -12,6 +12,7 @@
 
 use crate::config::AnvilConfig;
 use crate::detector::{AnvilDetector, DetectorStats, ServiceOutcome};
+use crate::epoch::EpochEvent;
 use crate::error::PlatformError;
 use crate::guard::{StateCorruption, StateSite};
 use crate::locality::LocalityReport;
@@ -130,6 +131,49 @@ pub struct CoreStats {
 /// long enough to amortize the per-batch scheduling scan, short enough
 /// that a batch never holds many milliseconds of simulated time.
 const BATCH_OPS: u64 = 1024;
+
+/// The typed bound set one batch runs under — the platform's instance of
+/// the event taxonomy in [`epoch`](crate::epoch). A batch **never steps
+/// past** any of these: the detector's window boundary, the DRAM
+/// refresh/compaction deadline, the run horizon, or a scheduler yield
+/// point. Per-event checks match the historical per-op loop exactly
+/// (`>= yield_lo` vs `> yield_hi` encodes the lowest-index tie-break;
+/// the refresh deadline is tested against system time because writebacks
+/// advance memory beyond the core's local clock).
+#[derive(Debug, Clone, Copy)]
+struct BatchHorizons {
+    /// [`EpochEvent::WindowBoundary`]: the detector's service deadline.
+    window: Cycle,
+    /// [`EpochEvent::RefreshDeadline`]: the next compaction epoch.
+    refresh: Cycle,
+    /// [`EpochEvent::RunEnd`]: the caller's limit.
+    run_end: Cycle,
+    /// [`EpochEvent::CoreYield`]: an earlier core reaches this clock.
+    yield_lo: Cycle,
+    /// [`EpochEvent::CoreYield`]: a later core falls strictly behind.
+    yield_hi: Cycle,
+}
+
+impl BatchHorizons {
+    /// The event due at (`local`, `sys_now`), if any — checked once per
+    /// op so a batch stops *at* the first horizon it reaches, never past
+    /// it. Check order mirrors [`EpochEvent`]'s tie-break priority.
+    fn event_due(&self, local: Cycle, sys_now: Cycle) -> Option<EpochEvent> {
+        if local >= self.window {
+            return Some(EpochEvent::WindowBoundary);
+        }
+        if sys_now >= self.refresh {
+            return Some(EpochEvent::RefreshDeadline);
+        }
+        if local >= self.run_end {
+            return Some(EpochEvent::RunEnd);
+        }
+        if local >= self.yield_lo || local > self.yield_hi {
+            return Some(EpochEvent::CoreYield);
+        }
+        None
+    }
+}
 
 /// Number of slices the incremental state scrub divides the detector's
 /// cells into: each serviced window verifies one slice, so every cell is
@@ -487,52 +531,75 @@ impl Platform {
     }
 
     /// Executes up to `max_ops` operations on core `idx` — the scheduler's
-    /// current pick — stopping as soon as any condition the serial
-    /// one-op-at-a-time loop checks per operation could fire: `idx` stops
-    /// being the first-minimum core, a detector deadline or compaction
-    /// boundary arrives, or its clock reaches `limit`. Everything the
-    /// per-op loop used to recompute (scheduler scan, detector deadline
-    /// test, compaction test) is hoisted here and amortized over the
-    /// batch; the observable schedule is identical.
-    fn run_batch(&mut self, idx: usize, max_ops: u64, limit: Cycle) -> Result<(), PlatformError> {
-        // Only core `idx` advances inside the batch, so the other cores'
-        // clocks — and thus these scheduling bounds — are invariant. The
-        // scheduler breaks ties by lowest index: `idx` stays the pick
-        // while it is strictly below every earlier core and no later core
-        // is strictly below it.
-        let mut lo = Cycle::MAX;
-        let mut hi = Cycle::MAX;
-        for (j, c) in self.cores.iter().enumerate() {
-            if c.suspended || j == idx {
-                continue;
-            }
-            if j < idx {
-                lo = lo.min(c.local);
-            } else {
-                hi = hi.min(c.local);
-            }
-        }
-        let deadline = self
-            .detector
-            .as_ref()
-            .map_or(Cycle::MAX, AnvilDetector::deadline);
-        let compact_at = self
-            .last_compact
-            .saturating_add(self.config.memory.dram.timing.refresh_period);
+    /// current pick — stopping at the batch's [`BatchHorizons`]: the
+    /// platform instance of the event taxonomy in [`epoch`](crate::epoch).
+    /// Everything the per-op loop used to recompute (scheduler scan,
+    /// detector deadline test, compaction test) is hoisted here and
+    /// amortized over the batch; the observable schedule is identical.
+    /// Returns the event class that ended the batch.
+    ///
+    /// This is the engine's **per-op fallback region**: platform
+    /// workloads and attacks mutate cache recency, row buffers, and the
+    /// sampler on every access, so no closed form is valid between
+    /// horizons and each op is stepped individually. The window-granular
+    /// engines (`anvil-runtime`'s soak path) are where benign epochs
+    /// collapse to one analytical jump; the horizon discipline — never
+    /// step past a window boundary, refresh deadline, or registered
+    /// fault site — is shared.
+    fn run_batch(
+        &mut self,
+        idx: usize,
+        max_ops: u64,
+        limit: Cycle,
+    ) -> Result<EpochEvent, PlatformError> {
+        let horizons = self.batch_horizons(idx, limit);
         let mut ops = 0u64;
         loop {
             self.step_op(idx)?;
             ops += 1;
             let local = self.cores[idx].local;
-            if ops >= max_ops
-                || local >= lo
-                || local > hi
-                || local >= deadline
-                || local >= limit
-                || self.sys.now() >= compact_at
-            {
-                return Ok(());
+            if let Some(event) = horizons.event_due(local, self.sys.now()) {
+                return Ok(event);
             }
+            if ops >= max_ops {
+                // The batch quantum itself: a scheduler yield, so
+                // cross-core interleavings replay identically at any
+                // batch size.
+                return Ok(EpochEvent::CoreYield);
+            }
+        }
+    }
+
+    /// Computes the typed bound set one batch of core `idx` runs under.
+    /// Only core `idx` advances inside the batch, so the other cores'
+    /// clocks — and thus these bounds — are invariant for its duration.
+    fn batch_horizons(&self, idx: usize, limit: Cycle) -> BatchHorizons {
+        // The scheduler breaks ties by lowest index: `idx` stays the pick
+        // while it is strictly below every earlier core and no later core
+        // is strictly below it.
+        let mut yield_lo = Cycle::MAX;
+        let mut yield_hi = Cycle::MAX;
+        for (j, c) in self.cores.iter().enumerate() {
+            if c.suspended || j == idx {
+                continue;
+            }
+            if j < idx {
+                yield_lo = yield_lo.min(c.local);
+            } else {
+                yield_hi = yield_hi.min(c.local);
+            }
+        }
+        BatchHorizons {
+            window: self
+                .detector
+                .as_ref()
+                .map_or(Cycle::MAX, AnvilDetector::deadline),
+            refresh: self
+                .last_compact
+                .saturating_add(self.config.memory.dram.timing.refresh_period),
+            run_end: limit,
+            yield_lo,
+            yield_hi,
         }
     }
 

@@ -307,6 +307,81 @@ impl DisturbanceTracker {
         }
     }
 
+    /// Records `n` identical activations of `row` at `now` in closed
+    /// form: one dense pass over the (at most four) victim slots instead
+    /// of `n` full [`on_activation`](Self::on_activation) walks.
+    ///
+    /// Observationally identical to calling `on_activation(row, now,
+    /// schedule)` `n` times back to back — including the flip log's
+    /// order, which replays each flip at the activation index that
+    /// crossed its cell's threshold — **provided no other aggressor,
+    /// refresh, or repair touches these rows inside the epoch** (the
+    /// event-driven engine's closed-form condition; an epoch boundary is
+    /// forced at any such site). Counters accumulate on the same
+    /// [`BankSlab`] arena slots the per-op path uses.
+    pub fn activate_epoch(&mut self, row: RowId, n: u64, now: Cycle, schedule: &RefreshSchedule) {
+        if n == 0 {
+            return;
+        }
+        // Opening the row restores its own charge, idempotently per
+        // activation: once is enough.
+        self.reset_row(row, now);
+        // (crossing activation index, flip) pairs, collected per victim
+        // in the per-activation disturb order; the stable sort below
+        // restores the exact per-op interleaving across victims.
+        let mut pending: Vec<(u64, BitFlip)> = Vec::new();
+        if row.row > 0 {
+            self.disturb_epoch(
+                RowId::new(row.bank, row.row - 1),
+                Some(Side::Above),
+                n,
+                now,
+                schedule,
+                &mut pending,
+            );
+        }
+        if row.row + 1 < self.rows_per_bank {
+            self.disturb_epoch(
+                RowId::new(row.bank, row.row + 1),
+                Some(Side::Below),
+                n,
+                now,
+                schedule,
+                &mut pending,
+            );
+        }
+        if self.config.neighbor_reach >= 2 {
+            if row.row > 1 {
+                self.disturb_epoch(
+                    RowId::new(row.bank, row.row - 2),
+                    None,
+                    n,
+                    now,
+                    schedule,
+                    &mut pending,
+                );
+            }
+            if row.row + 2 < self.rows_per_bank {
+                self.disturb_epoch(
+                    RowId::new(row.bank, row.row + 2),
+                    None,
+                    n,
+                    now,
+                    schedule,
+                    &mut pending,
+                );
+            }
+        }
+        // Stable by crossing index: within one activation the per-op
+        // path visits victims (then cells) in exactly the order pending
+        // was filled.
+        pending.sort_by_key(|(k, _)| *k);
+        for (_, flip) in pending {
+            self.total_flips += 1;
+            self.flips.push(flip);
+        }
+    }
+
     /// Explicitly refreshes `row` (a selective-refresh read, a TRR/PARA
     /// neighbor refresh, or a scrub), resetting its disturbance counters.
     pub fn reset_row(&mut self, row: RowId, now: Cycle) {
@@ -495,11 +570,126 @@ impl DisturbanceTracker {
             }
         }
     }
+
+    /// The closed-form counterpart of [`disturb`](Self::disturb): applies
+    /// `n` same-side disturbances at once. Instead of pushing flips
+    /// directly it records `(k, flip)` pairs in `pending`, where `k` is
+    /// the 1-based activation index whose increment first crossed the
+    /// cell's threshold — found by binary search on the monotone
+    /// effective-disturbance curve — so the caller can interleave flips
+    /// from all victims in exact per-op order.
+    fn disturb_epoch(
+        &mut self,
+        victim: RowId,
+        side: Option<Side>,
+        n: u64,
+        now: Cycle,
+        schedule: &RefreshSchedule,
+        pending: &mut Vec<(u64, BitFlip)>,
+    ) {
+        let boost = self.config.coupling_boost();
+        let far_coupling = self.config.distance2_coupling;
+        let bank = victim.bank.0 as usize;
+        if bank >= self.banks.len() {
+            self.banks.resize_with(bank + 1, BankSlab::default);
+        }
+        let slab = &mut self.banks[bank];
+        if slab.index.is_empty() {
+            slab.index = vec![0; self.rows_per_bank as usize];
+        }
+        let entry = &mut slab.index[victim.row as usize];
+        let slot = if *entry == 0 {
+            slab.slots.push(RowState {
+                c_hi: 0,
+                c_lo: 0,
+                c_far: 0,
+                last_reset: 0,
+                min_threshold: min_threshold_for(&self.config, victim),
+                cells: None,
+            });
+            slab.rows.push(victim.row);
+            *entry = slab.slots.len() as u32;
+            slab.slots.len() - 1
+        } else {
+            (*entry - 1) as usize
+        };
+        let state = &mut slab.slots[slot];
+
+        // Lazy auto-refresh, once up front: the per-op path re-checks on
+        // every activation, but all `n` share the same `now`, so after the
+        // first check `last > state.last_reset` can never hold again.
+        if let Some(last) = schedule.last_refresh(victim.row, now) {
+            if last > state.last_reset {
+                state.c_hi = 0;
+                state.c_lo = 0;
+                state.c_far = 0;
+                state.last_reset = last;
+            }
+        }
+
+        let (h0, l0, f0) = (state.c_hi, state.c_lo, state.c_far);
+        match side {
+            Some(Side::Above) => state.c_hi += n,
+            Some(Side::Below) => state.c_lo += n,
+            None => state.c_far += n,
+        }
+
+        // Effective disturbance as the per-op path would see it after the
+        // k-th activation of this epoch; monotone nondecreasing in k.
+        let eff_at = |k: u64| match side {
+            Some(Side::Above) => effective_counts(h0 + k, l0, f0, boost, far_coupling),
+            Some(Side::Below) => effective_counts(h0, l0 + k, f0, boost, far_coupling),
+            None => effective_counts(h0, l0, f0 + k, boost, far_coupling),
+        };
+        let d_final = eff_at(n);
+        if d_final < state.min_threshold {
+            return;
+        }
+        // The per-op path materializes cells at the first activation that
+        // reaches `min_threshold`; monotonicity makes "materialized by the
+        // end of the epoch" the same condition.
+        if state.cells.is_none() {
+            state.cells = Some(sample_cells(&self.config, victim, self.row_bytes));
+        }
+        let cells = state.cells.as_mut().expect("just materialized");
+        for cell in cells.iter_mut() {
+            if !cell.flipped && d_final >= cell.threshold {
+                cell.flipped = true;
+                // Smallest k in 1..=n with eff_at(k) >= threshold.
+                let (mut lo, mut hi) = (1u64, n);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if eff_at(mid) >= cell.threshold {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                pending.push((
+                    lo,
+                    BitFlip {
+                        row: victim,
+                        col: cell.col,
+                        bit: cell.bit,
+                        cycle: now,
+                    },
+                ));
+            }
+        }
+    }
 }
 
 fn effective(s: &RowState, boost: f64, far_coupling: f64) -> u64 {
-    let min = s.c_hi.min(s.c_lo);
-    s.c_hi + s.c_lo + (2.0 * boost * min as f64) as u64 + (far_coupling * s.c_far as f64) as u64
+    effective_counts(s.c_hi, s.c_lo, s.c_far, boost, far_coupling)
+}
+
+/// The effective-disturbance formula on raw counter values. Split out of
+/// [`effective`] so the epoch path's "what would the counters read after
+/// `k` activations" probe uses bit-identical arithmetic (same `f64`
+/// truncations) as the per-op path.
+fn effective_counts(c_hi: u64, c_lo: u64, c_far: u64, boost: f64, far_coupling: f64) -> u64 {
+    let min = c_hi.min(c_lo);
+    c_hi + c_lo + (2.0 * boost * min as f64) as u64 + (far_coupling * c_far as f64) as u64
 }
 
 /// splitmix64: cheap, well-distributed stateless hash.

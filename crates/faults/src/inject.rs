@@ -202,6 +202,17 @@ impl DelayInjector {
 /// service for a stall ([`stall_cycles`](Self::stall_cycles)), and once
 /// per checkpoint write for at-rest corruption
 /// ([`corrupt`](Self::corrupt)). Each site draws from the same forked
+/// One service's bundled lifecycle draws — see
+/// [`LifecycleInjector::service_draws`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceDraws {
+    /// Scheduler-starvation stall, in cycles (zero when the fault did not
+    /// fire).
+    pub stall: u64,
+    /// Whether the detector panics at this service.
+    pub crash: bool,
+}
+
 /// stream in a fixed order, so a given seed replays the exact same
 /// crash/stall/corruption schedule.
 #[derive(Debug, Clone)]
@@ -282,6 +293,18 @@ impl LifecycleInjector {
         self.total_stall += d;
         self.worst_stall = self.worst_stall.max(d);
         d
+    }
+
+    /// Draws one service's stall and crash decisions as a bundle, in the
+    /// supervisor's canonical order (stall first, then crash). Both the
+    /// per-op service path and the event-driven quiet path call this one
+    /// method, so a window serviced by either engine consumes exactly the
+    /// same RNG draws — the draw-parity contract the epoch-skipping
+    /// engine's byte-identical-output guarantee rests on.
+    pub fn service_draws(&mut self) -> ServiceDraws {
+        let stall = self.stall_cycles();
+        let crash = self.crash_now();
+        ServiceDraws { stall, crash }
     }
 
     /// Possibly corrupts checkpoint bytes at rest by flipping one bit of

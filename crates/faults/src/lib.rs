@@ -58,8 +58,8 @@ mod rng;
 
 pub use correlated::{CorrelatedFaults, CorrelatedInjector};
 pub use inject::{
-    DelayInjector, LifecycleInjector, PebsInjector, SampleFate, StateCorruptionInjector, StateFlip,
-    TranslationInjector,
+    DelayInjector, LifecycleInjector, PebsInjector, SampleFate, ServiceDraws,
+    StateCorruptionInjector, StateFlip, TranslationInjector,
 };
 pub use plan::{
     CounterFaults, FaultPlan, FaultScenario, InterruptFaults, LifecycleFaults, PebsFaults,

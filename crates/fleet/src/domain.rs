@@ -643,14 +643,8 @@ mod tests {
         let mapping = AddressMapping::new(DramGeometry::ddr3_4gb());
         let mut gaps = Vec::new();
         for id in cfg.topology.iter() {
-            let mut d = DomainRuntime::boot(
-                &cfg,
-                0,
-                id,
-                cfg.topology.channel_of(id),
-                clock,
-                &mapping,
-            );
+            let mut d =
+                DomainRuntime::boot(&cfg, 0, id, cfg.topology.channel_of(id), clock, &mapping);
             let Some(sup) = d.sup.as_mut() else {
                 continue;
             };

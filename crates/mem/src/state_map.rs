@@ -170,7 +170,10 @@ mod tests {
             for i in 0..3 {
                 for j in (i + 1)..3 {
                     let gap = rows[i].row.abs_diff(rows[j].row);
-                    assert!(gap >= REPLICA_ROW_STRIDE - 2, "gap {gap} within blast radius");
+                    assert!(
+                        gap >= REPLICA_ROW_STRIDE - 2,
+                        "gap {gap} within blast radius"
+                    );
                 }
             }
         }

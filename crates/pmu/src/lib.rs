@@ -36,5 +36,5 @@ mod sampling;
 
 pub use counter::Counter;
 pub use events::{DataSource, EventKind};
-pub use pmu::{Pmu, PmuEffect, RetiredOp};
+pub use pmu::{EpochSummary, Pmu, PmuEffect, RetiredOp};
 pub use sampling::{SampleFilter, SampleRecord, Sampler, SamplerConfig};

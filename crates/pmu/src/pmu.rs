@@ -8,6 +8,22 @@ use anvil_dram::Cycle;
 use anvil_faults::PebsInjector;
 use anvil_mem::{AccessKind, AccessOutcome};
 
+/// One epoch's aggregate counter traffic, accumulated in closed form by
+/// the event-driven engine instead of one [`Pmu::observe_at`] call per
+/// op. See [`Pmu::observe_epoch`] for the validity conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSummary {
+    /// LLC misses to charge to `LONGEST_LAT_CACHE.MISS`.
+    pub llc_misses: u64,
+    /// LLC-missing loads to charge to
+    /// `MEM_LOAD_UOPS_MISC_RETIRED.LLC_MISS`.
+    pub llc_miss_loads: u64,
+    /// The cycle the epoch's traffic is attributed to (only observable
+    /// through an armed counter's overflow edge, which the closed form
+    /// excludes — kept for the fallback boundary's bookkeeping).
+    pub at: u64,
+}
+
 /// A retired memory operation as seen by the PMU: the architectural
 /// outcome plus the software context (virtual address and pid) that PEBS
 /// records capture.
@@ -66,6 +82,24 @@ impl Pmu {
             EventKind::LongestLatCacheMiss => &mut self.llc_miss,
             EventKind::MemLoadUopsRetiredLlcMiss => &mut self.llc_miss_loads,
         }
+    }
+
+    /// Bulk-advances the counters for one epoch of LLC-missing traffic
+    /// in closed form — the event-driven engine's alternative to feeding
+    /// `epoch.misses` individual ops through [`observe_at`].
+    ///
+    /// Observationally identical to per-op counting **only while the
+    /// counters are unarmed and sampling is off or the epoch carries no
+    /// sampleable ops**: an armed counter's overflow edge and the PEBS
+    /// sample spacing both depend on individual op timestamps, which an
+    /// aggregate cannot reconstruct. Callers (the epoch-skipping soak
+    /// engine) fall back to per-op observation whenever either facility
+    /// is live; `DESIGN.md` §16 records the rule.
+    ///
+    /// [`observe_at`]: Self::observe_at
+    pub fn observe_epoch(&mut self, epoch: &EpochSummary) {
+        self.llc_miss.add(epoch.llc_misses, epoch.at);
+        self.llc_miss_loads.add(epoch.llc_miss_loads, epoch.at);
     }
 
     /// The sampling engine.

@@ -66,7 +66,7 @@ mod supervisor;
 
 pub use anvil_faults::LifecycleFaults;
 pub use ladder::{DegradationLadder, LadderCause, LadderTransition, ProtectionLevel};
-pub use soak::{SoakConfig, SoakSummary};
+pub use soak::{Engine, SoakConfig, SoakSummary};
 pub use supervisor::{
     install_quiet_panic_hook, RecoveryReport, RuntimeConfig, RuntimeStats, SupervisedOutcome,
     Supervisor,

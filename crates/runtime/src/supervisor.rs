@@ -28,11 +28,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use anvil_core::{
-    AnvilConfig, AnvilDetector, ConfigError, DetectorCheckpoint, DetectorStage, RuntimeError,
-    ServiceOutcome, StateCorruption, StateSite,
+    AnvilConfig, AnvilDetector, ConfigError, DetectorCheckpoint, DetectorStage, QuietCheckpoint,
+    QuietShadow, RuntimeError, ServiceOutcome, StateCorruption, StateSite,
 };
 use anvil_dram::{AddressMapping, CpuClock, Cycle};
-use anvil_faults::{hash64, LifecycleInjector};
+use anvil_faults::{hash64, LifecycleInjector, ServiceDraws};
 use anvil_pmu::Pmu;
 use serde::{Deserialize, Serialize};
 
@@ -213,6 +213,22 @@ pub struct Supervisor {
     /// [`drain_state_corruptions`](Self::drain_state_corruptions); empty
     /// unless something is actually corrupting state cells.
     corruption_log: Vec<StateCorruption>,
+    /// The event-driven engine's open quiet-run shadow: while `Some`, the
+    /// detector's guarded carry/phase/scale cells are stale and the shadow
+    /// holds the live values. Flushed by [`sync_quiet`](Self::sync_quiet)
+    /// before anything observes detector state.
+    quiet: Option<QuietShadow>,
+    /// A clean checkpoint write deferred by the quiet path: the snapshot's
+    /// fields, materialized into a full [`DetectorCheckpoint`] only when
+    /// something could read it back (a crash, a fallback, run end).
+    deferred_checkpoint: Option<QuietCheckpoint>,
+    /// Whether no external corruption has ever been landed on the
+    /// detector's state cells ([`corrupt_state_cell`]); while true, a
+    /// scrub slice over the cells is a guaranteed no-op and the quiet
+    /// path advances the scrub cursor without touching them.
+    ///
+    /// [`corrupt_state_cell`]: Self::corrupt_state_cell
+    state_pristine: bool,
 }
 
 impl Supervisor {
@@ -247,6 +263,9 @@ impl Supervisor {
             consecutive_crashes: 0,
             scrub_cursor: 0,
             corruption_log: Vec::new(),
+            quiet: None,
+            deferred_checkpoint: None,
+            state_pristine: true,
         };
         sup.write_checkpoint(pmu);
         sup
@@ -310,6 +329,9 @@ impl Supervisor {
         mapping: &AddressMapping,
         translate: &mut dyn FnMut(u32, u64) -> Option<u64>,
     ) -> Result<SupervisedOutcome, RuntimeError> {
+        // Leaving the quiet fast path: make the detector's cells and the
+        // stored checkpoint current before the full machinery looks.
+        self.sync_quiet();
         // Self-integrity pass first: verify one slice of the detector's
         // own cells before trusting it with another window. Consumes no
         // fault draws, so lifecycle schedules are unchanged; unrepairable
@@ -352,6 +374,151 @@ impl Supervisor {
             }
             Err(_) => self.recover(at, pmu),
         }
+    }
+
+    /// The event-driven engine's quiet-window fast path: services a
+    /// stage-1 window whose miss total is already known **without**
+    /// `catch_unwind`, guarded-cell traffic, PMU counter reads, or
+    /// checkpoint serialization — those costs dominate
+    /// [`service`](Self::service) and none of them is observable across a
+    /// benign window. Carry/phase/scale live in a register-resident
+    /// [`QuietShadow`]; clean checkpoint writes are deferred and
+    /// materialized lazily by [`sync_quiet`](Self::sync_quiet).
+    ///
+    /// Returns `None` when this window needs the full path (detector not
+    /// in stage 1, the window would trip, a reload is queued, or state
+    /// cells are no longer pristine) — the caller then invokes `service`
+    /// with identical arguments and gets a byte-identical outcome, with
+    /// every lifecycle fault draw consumed in the same order
+    /// ([`LifecycleInjector::service_draws`] is shared by both paths).
+    ///
+    /// # Errors
+    ///
+    /// As [`service`](Self::service): `Some(Err(_))` when an injected
+    /// crash exhausts the restart budget.
+    pub fn service_quiet(
+        &mut self,
+        now: Cycle,
+        misses: u64,
+        pmu: &mut Pmu,
+    ) -> Option<Result<SupervisedOutcome, RuntimeError>> {
+        if !self.state_pristine || self.pending_reload.is_some() {
+            self.sync_quiet();
+            return None;
+        }
+        if self.quiet.is_none() {
+            // Opens a shadow only in stage 1 (miss counting).
+            self.quiet = self.detector.quiet_shadow();
+        }
+        let shadow = self.quiet.as_ref()?;
+        // Peek the trip decision before consuming any draw: a tripping
+        // window takes the full path, which re-derives the same decision
+        // from the flushed cells.
+        if self.detector.quiet_trips(shadow, misses) {
+            self.sync_quiet();
+            return None;
+        }
+        // The scrub slice over pristine cells finds nothing by
+        // construction; only the cursor advance is observable.
+        if self.runtime.guard_state {
+            self.scrub_cursor = (self.scrub_cursor + 1) % self.runtime.scrub_slices.max(1);
+        }
+        let draws = self.faults.as_mut().map_or(
+            ServiceDraws {
+                stall: 0,
+                crash: false,
+            },
+            LifecycleInjector::service_draws,
+        );
+        if draws.stall > 0 {
+            self.stats.stalled_services = self.stats.stalled_services.saturating_add(1);
+        }
+        let at = now + draws.stall;
+        self.stats.services = self.stats.services.saturating_add(1);
+        if draws.crash {
+            // The detector is replaced (or, on budget exhaustion, left in
+            // its pre-crash state for inspection): flush the shadow and
+            // materialize the deferred checkpoint first, so recovery reads
+            // exactly what the per-op path would have persisted.
+            self.sync_quiet();
+            return Some(self.recover(at, pmu));
+        }
+        let mut shadow = self.quiet.take().expect("checked above");
+        let outcome = self.detector.quiet_step(&mut shadow, at, misses);
+        self.quiet = Some(shadow);
+        self.consecutive_crashes = 0;
+        self.services_since_checkpoint = self.services_since_checkpoint.saturating_add(1);
+        if self.services_since_checkpoint >= self.runtime.checkpoint_every {
+            self.defer_checkpoint(pmu);
+        }
+        Some(Ok(SupervisedOutcome::Serviced {
+            outcome,
+            serviced_at: at,
+        }))
+    }
+
+    /// Closes the quiet fast path: flushes the shadow back into the
+    /// detector's guarded cells and materializes any deferred clean
+    /// checkpoint. Idempotent; a no-op when the fast path is not open.
+    fn sync_quiet(&mut self) {
+        if let Some(shadow) = self.quiet.take() {
+            self.detector.quiet_flush(&shadow);
+        }
+        if let Some(q) = self.deferred_checkpoint.take() {
+            self.checkpoint = Some(StoredCheckpoint::Clean(
+                self.detector.materialize_quiet_checkpoint(&q),
+            ));
+        }
+    }
+
+    /// The quiet path's checkpoint write: draws the corruption and tear
+    /// chances in [`write_checkpoint`](Self::write_checkpoint)'s exact
+    /// order, but defers the (dominant) snapshot construction when both
+    /// miss — a deferred clean checkpoint is observationally identical
+    /// because only a restore ever reads it, and `sync_quiet` materializes
+    /// it before any restore can happen. A fault firing forces immediate
+    /// materialization so the flipped/torn bytes exist exactly as storage
+    /// would present them.
+    fn defer_checkpoint(&mut self, pmu: &Pmu) {
+        let shadow = self.quiet.as_ref().expect("quiet path is open");
+        let q = QuietCheckpoint {
+            deadline: self.detector.deadline(),
+            stats: *self.detector.stats(),
+            carry: shadow.carry,
+            phase_state: shadow.phase,
+            window_scale: shadow.scale,
+            pebs_jitter: pmu.sampler().jitter_state(),
+        };
+        self.stats.checkpoints_written = self.stats.checkpoints_written.saturating_add(1);
+        let corrupted = self
+            .faults
+            .as_mut()
+            .is_some_and(LifecycleInjector::corrupt_fires);
+        let torn = self
+            .faults
+            .as_mut()
+            .is_some_and(LifecycleInjector::tear_fires);
+        if corrupted || torn {
+            let mut bytes = self.detector.materialize_quiet_checkpoint(&q).to_bytes();
+            let faults = self
+                .faults
+                .as_mut()
+                .expect("a fault fired, so an injector is installed");
+            if corrupted {
+                faults.corrupt_in_place(&mut bytes);
+                self.stats.checkpoints_corrupted =
+                    self.stats.checkpoints_corrupted.saturating_add(1);
+            }
+            if torn {
+                faults.tear_in_place(&mut bytes);
+                self.stats.checkpoints_torn = self.stats.checkpoints_torn.saturating_add(1);
+            }
+            self.checkpoint = Some(StoredCheckpoint::Bytes(bytes));
+            self.deferred_checkpoint = None;
+        } else {
+            self.deferred_checkpoint = Some(q);
+        }
+        self.services_since_checkpoint = 0;
     }
 
     /// Crash path: bounded-backoff restart from the stored checkpoint
@@ -504,6 +671,7 @@ impl Supervisor {
     /// teardown is counted as an escalation but no longer restarts —
     /// the run is over), and returns the full retained corruption log.
     pub fn scrub_state_final(&mut self) -> Vec<StateCorruption> {
+        self.sync_quiet();
         if self.runtime.guard_state {
             self.detector.scrub_state_all();
             self.fold_corruptions();
@@ -619,6 +787,10 @@ impl Supervisor {
         replica_mask: u8,
         bit: u8,
     ) -> Option<StateSite> {
+        // Corruption must land on the real cells, and from here on the
+        // quiet path's "scrubs find nothing" shortcut is off for good.
+        self.sync_quiet();
+        self.state_pristine = false;
         self.detector.corrupt_state_cell(index, replica_mask, bit)
     }
 }

@@ -59,8 +59,7 @@ fn decision_state(bytes: &[u8]) -> serde_json::Value {
         .split_once('\n')
         .expect("checkpoint has a hash line and a payload")
         .1;
-    let mut v: serde_json::Value =
-        serde_json::from_str(body).expect("checkpoint payload parses");
+    let mut v: serde_json::Value = serde_json::from_str(body).expect("checkpoint payload parses");
     match &mut v {
         serde_json::Value::Object(entries) => entries.retain(|(k, _)| k != "stats"),
         other => panic!("checkpoint payload is an object, got {other:?}"),
@@ -151,7 +150,10 @@ fn service_escalates_an_unrepairable_carry_to_a_restart() {
             break;
         }
     }
-    assert!(restarted, "the corruption must escalate within one scrub rotation");
+    assert!(
+        restarted,
+        "the corruption must escalate within one scrub rotation"
+    );
     assert_eq!(sup.stats().state_escalations, 1);
     assert_eq!(sup.stats().restarts, 1);
     let declared = sup.drain_state_corruptions();
